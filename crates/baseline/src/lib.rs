@@ -1,0 +1,254 @@
+//! Baselines: system **S10**. Reference implementations with the obvious
+//! complexity, used as (a) correctness oracles for differential testing
+//! of the whole pipeline and (b) the comparison points of the experiment
+//! suite ("who wins, by what factor, where is the crossover").
+
+use agq_logic::{Expr, Formula, Var};
+use agq_semiring::Semiring;
+use agq_structure::fx::FxHashMap;
+use agq_structure::{Elem, Structure, WeightedStructure};
+
+/// Evaluate a first-order formula under an assignment by brute force
+/// (`O(n^quantifiers)` with the naive quantifier loop).
+pub fn eval_formula(
+    f: &Formula,
+    a: &Structure,
+    env: &mut FxHashMap<Var, Elem>,
+) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Rel(r, args) => {
+            let tuple: Vec<Elem> = args.iter().map(|v| env[v]).collect();
+            a.holds(*r, &tuple)
+        }
+        Formula::Eq(x, y) => env[x] == env[y],
+        Formula::Not(g) => !eval_formula(g, a, env),
+        Formula::And(fs) => fs.iter().all(|g| eval_formula(g, a, env)),
+        Formula::Or(fs) => fs.iter().any(|g| eval_formula(g, a, env)),
+        Formula::Exists(v, g) => {
+            let saved = env.get(v).copied();
+            let mut found = false;
+            for e in 0..a.domain_size() as Elem {
+                env.insert(*v, e);
+                if eval_formula(g, a, env) {
+                    found = true;
+                    break;
+                }
+            }
+            restore(env, *v, saved);
+            found
+        }
+        Formula::Forall(v, g) => {
+            let saved = env.get(v).copied();
+            let mut all = true;
+            for e in 0..a.domain_size() as Elem {
+                env.insert(*v, e);
+                if !eval_formula(g, a, env) {
+                    all = false;
+                    break;
+                }
+            }
+            restore(env, *v, saved);
+            all
+        }
+    }
+}
+
+fn restore(env: &mut FxHashMap<Var, Elem>, v: Var, saved: Option<Elem>) {
+    match saved {
+        Some(e) => {
+            env.insert(v, e);
+        }
+        None => {
+            env.remove(&v);
+        }
+    }
+}
+
+/// Evaluate a weighted expression under an assignment by brute force:
+/// every `Σ_x` is a loop over the whole domain (`O(n^vars)`).
+pub fn eval_expr<S: Semiring>(
+    e: &Expr<S>,
+    w: &WeightedStructure<S>,
+    env: &mut FxHashMap<Var, Elem>,
+) -> S {
+    match e {
+        Expr::Const(s) => s.clone(),
+        Expr::Weight(wid, args) => {
+            let tuple: Vec<Elem> = args.iter().map(|v| env[v]).collect();
+            w.get(*wid, &tuple)
+        }
+        Expr::Bracket(f) => {
+            if eval_formula(f, w.structure(), env) {
+                S::one()
+            } else {
+                S::zero()
+            }
+        }
+        Expr::Add(es) => {
+            let mut acc = S::zero();
+            for x in es {
+                acc.add_assign(&eval_expr(x, w, env));
+            }
+            acc
+        }
+        Expr::Mul(es) => {
+            let mut acc = S::one();
+            for x in es {
+                acc.mul_assign(&eval_expr(x, w, env));
+            }
+            acc
+        }
+        Expr::Sum(vars, inner) => sum_rec(vars, 0, inner, w, env),
+    }
+}
+
+fn sum_rec<S: Semiring>(
+    vars: &[Var],
+    i: usize,
+    inner: &Expr<S>,
+    w: &WeightedStructure<S>,
+    env: &mut FxHashMap<Var, Elem>,
+) -> S {
+    if i == vars.len() {
+        return eval_expr(inner, w, env);
+    }
+    let v = vars[i];
+    let saved = env.get(&v).copied();
+    let mut acc = S::zero();
+    for e in 0..w.structure().domain_size() as Elem {
+        env.insert(v, e);
+        acc.add_assign(&sum_rec(vars, i + 1, inner, w, env));
+    }
+    restore(env, v, saved);
+    acc
+}
+
+/// Evaluate a closed expression by brute force.
+pub fn eval_closed<S: Semiring>(e: &Expr<S>, w: &WeightedStructure<S>) -> S {
+    let mut env = FxHashMap::default();
+    eval_expr(e, w, &mut env)
+}
+
+/// Evaluate an expression with free variables at a tuple (positions follow
+/// the sorted free-variable order, matching `CompiledQuery::free_vars`).
+pub fn eval_at<S: Semiring>(
+    e: &Expr<S>,
+    w: &WeightedStructure<S>,
+    free_vars: &[Var],
+    tuple: &[Elem],
+) -> S {
+    assert_eq!(free_vars.len(), tuple.len());
+    let mut env = FxHashMap::default();
+    for (v, &a) in free_vars.iter().zip(tuple) {
+        env.insert(*v, a);
+    }
+    eval_expr(e, w, &mut env)
+}
+
+/// Materialize all answers of a first-order formula by brute force,
+/// in lexicographic tuple order — the enumeration baseline of E9.
+pub fn all_answers(f: &Formula, a: &Structure) -> Vec<Vec<Elem>> {
+    let free = f.free_vars();
+    let mut env = FxHashMap::default();
+    let mut out = Vec::new();
+    let mut tuple = vec![0 as Elem; free.len()];
+    answers_rec(f, a, &free, 0, &mut tuple, &mut env, &mut out);
+    out
+}
+
+fn answers_rec(
+    f: &Formula,
+    a: &Structure,
+    free: &[Var],
+    i: usize,
+    tuple: &mut Vec<Elem>,
+    env: &mut FxHashMap<Var, Elem>,
+    out: &mut Vec<Vec<Elem>>,
+) {
+    if i == free.len() {
+        if eval_formula(f, a, env) {
+            out.push(tuple.clone());
+        }
+        return;
+    }
+    for e in 0..a.domain_size() as Elem {
+        env.insert(free[i], e);
+        tuple[i] = e;
+        answers_rec(f, a, free, i + 1, tuple, env, out);
+    }
+    env.remove(&free[i]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agq_semiring::Nat;
+    use agq_structure::Signature;
+    use std::sync::Arc;
+
+    fn path_structure(n: usize) -> Arc<Structure> {
+        let mut sig = Signature::new();
+        let e = sig.add_relation("E", 2);
+        sig.add_weight("w", 1);
+        let mut a = Structure::new(Arc::new(sig), n);
+        for i in 1..n as u32 {
+            a.insert(e, &[i - 1, i]);
+        }
+        Arc::new(a)
+    }
+
+    #[test]
+    fn counts_edges() {
+        let a = path_structure(5);
+        let e = a.signature().relation("E").unwrap();
+        let x = Var(0);
+        let y = Var(1);
+        let expr: Expr<Nat> =
+            Expr::Bracket(Formula::Rel(e, vec![x, y])).sum_over([x, y]);
+        let w = WeightedStructure::new(a);
+        assert_eq!(eval_closed(&expr, &w), Nat(4));
+    }
+
+    #[test]
+    fn weighted_sum() {
+        let a = path_structure(4);
+        let wsym = a.signature().weight("w").unwrap();
+        let mut w: WeightedStructure<Nat> = WeightedStructure::new(a);
+        for i in 0..4u32 {
+            w.set(wsym, &[i], Nat(i as u64 + 1));
+        }
+        let x = Var(0);
+        let expr = Expr::Weight(wsym, vec![x]).sum_over([x]);
+        assert_eq!(eval_closed(&expr, &w), Nat(10));
+    }
+
+    #[test]
+    fn quantifier_evaluation() {
+        let a = path_structure(4);
+        let e = a.signature().relation("E").unwrap();
+        let x = Var(0);
+        let y = Var(1);
+        // ∃y E(x,y): holds for 0,1,2 (not 3)
+        let f = Formula::Exists(y, Box::new(Formula::Rel(e, vec![x, y])));
+        let mut env = FxHashMap::default();
+        let mut holds = Vec::new();
+        for v in 0..4u32 {
+            env.insert(x, v);
+            if eval_formula(&f, &a, &mut env) {
+                holds.push(v);
+            }
+        }
+        assert_eq!(holds, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn all_answers_of_edges() {
+        let a = path_structure(3);
+        let e = a.signature().relation("E").unwrap();
+        let f = Formula::Rel(e, vec![Var(0), Var(1)]);
+        let ans = all_answers(&f, &a);
+        assert_eq!(ans, vec![vec![0, 1], vec![1, 2]]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Criterion benches for experiments E1–E4: permanent evaluation and
+//! maintenance across semiring capabilities.
+
+use agq_perm::{perm_naive, perm_streaming, ColMatrix, FinitePerm, RingPerm, SegTreePerm};
+use agq_semiring::{Bool, Int, Nat};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(k: usize, n: usize, seed: u64) -> ColMatrix<Nat> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut m = ColMatrix::new(k);
+    for _ in 0..n {
+        let col: Vec<Nat> = (0..k).map(|_| Nat(rng.gen_range(0..100))).collect();
+        m.push_col(&col);
+    }
+    m
+}
+
+/// E1: streaming evaluation is linear in n; naive is n^k.
+fn perm_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_perm_eval");
+    group.sample_size(10);
+    for &n in &[256usize, 1024, 4096] {
+        let m = random_matrix(3, n, n as u64);
+        group.bench_with_input(BenchmarkId::new("streaming_k3", n), &m, |b, m| {
+            b.iter(|| perm_streaming(m))
+        });
+    }
+    for &n in &[16usize, 32, 64] {
+        let m = random_matrix(3, n, n as u64);
+        group.bench_with_input(BenchmarkId::new("naive_k3", n), &m, |b, m| {
+            b.iter(|| perm_naive(m))
+        });
+    }
+    group.finish();
+}
+
+/// E2–E4: update latency by maintenance structure.
+fn perm_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E2_E4_perm_update");
+    group.sample_size(20);
+    for &n in &[1024usize, 16384] {
+        let m = random_matrix(3, n, 3);
+        let mut seg = SegTreePerm::build(m.clone());
+        let mut rng = SmallRng::seed_from_u64(7);
+        group.bench_function(BenchmarkId::new("segtree_general", n), |b| {
+            b.iter(|| {
+                seg.update(
+                    rng.gen_range(0..3),
+                    rng.gen_range(0..n),
+                    Nat(rng.gen_range(0..100)),
+                )
+            })
+        });
+        let rows: Vec<Vec<Int>> = (0..3)
+            .map(|r| (0..n).map(|cc| Int(m.get(r, cc).0 as i64)).collect())
+            .collect();
+        let mut ring = RingPerm::build(ColMatrix::from_rows(&rows));
+        group.bench_function(BenchmarkId::new("ring_const", n), |b| {
+            b.iter(|| {
+                ring.update(
+                    rng.gen_range(0..3),
+                    rng.gen_range(0..n),
+                    Int(rng.gen_range(0..100)),
+                );
+                std::hint::black_box(ring.total())
+            })
+        });
+        let rows: Vec<Vec<Bool>> = (0..3)
+            .map(|r| (0..n).map(|cc| Bool(m.get(r, cc).0.is_multiple_of(2))).collect())
+            .collect();
+        let mut fin = FinitePerm::build(ColMatrix::from_rows(&rows));
+        group.bench_function(BenchmarkId::new("finite_const", n), |b| {
+            b.iter(|| {
+                fin.update(
+                    rng.gen_range(0..3),
+                    rng.gen_range(0..n),
+                    Bool(rng.gen_bool(0.5)),
+                );
+                std::hint::black_box(fin.total())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, perm_eval, perm_update);
+criterion_main!(benches);

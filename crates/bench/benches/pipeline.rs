@@ -1,0 +1,103 @@
+//! Criterion benches for experiments E5–E9: compilation, dynamic
+//! evaluation, and enumeration through the full pipeline.
+
+use agq_bench::{fill_weights, sparse_random};
+use agq_core::{compile, CompileOptions, GeneralEngine};
+use agq_enumerate::AnswerIndex;
+use agq_logic::{normalize, Expr, Formula, Var};
+use agq_semiring::MinPlus;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// E5: Theorem 6 compilation scaling (triangle-cost query).
+fn compile_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_compile");
+    group.sample_size(10);
+    for &n in &[500usize, 1000, 2000] {
+        let wl = sparse_random(n, 5);
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        let phi = Formula::Rel(wl.e, vec![x, y])
+            .and(Formula::Rel(wl.e, vec![y, z]))
+            .and(Formula::Rel(wl.e, vec![z, x]));
+        let expr: Expr<MinPlus> = Expr::Mul(vec![
+            Expr::Bracket(phi),
+            Expr::Weight(wl.c, vec![x, y]),
+            Expr::Weight(wl.c, vec![y, z]),
+            Expr::Weight(wl.c, vec![z, x]),
+        ])
+        .sum_over([x, y, z]);
+        let nf = normalize(&expr).unwrap();
+        group.bench_with_input(BenchmarkId::new("triangle_minplus", n), &n, |b, _| {
+            b.iter(|| compile(&wl.a, &nf, &CompileOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// E6: Theorem 8 query/update latency.
+fn eval_query_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E6_eval");
+    group.sample_size(20);
+    for &n in &[2000usize, 16000] {
+        let wl = sparse_random(n, 9);
+        let (x, y) = (Var(0), Var(1));
+        let expr: Expr<MinPlus> = Expr::Mul(vec![
+            Expr::Bracket(Formula::Rel(wl.e, vec![x, y])),
+            Expr::Weight(wl.c, vec![x, y]),
+            Expr::Weight(wl.w, vec![y]),
+        ])
+        .sum_over([y]);
+        let weights = fill_weights(
+            &wl,
+            3,
+            |r| MinPlus(r.gen_range(1..50)),
+            |r| MinPlus(r.gen_range(1..50)),
+        );
+        let nf = normalize(&expr).unwrap();
+        let compiled = compile(&wl.a, &nf, &CompileOptions::default()).unwrap();
+        let mut engine: GeneralEngine<MinPlus> = GeneralEngine::new(compiled, &weights);
+        let mut rng = SmallRng::seed_from_u64(1);
+        group.bench_function(BenchmarkId::new("query", n), |b| {
+            b.iter(|| engine.query(&[rng.gen_range(0..n as u32)]))
+        });
+        group.bench_function(BenchmarkId::new("update", n), |b| {
+            b.iter(|| {
+                engine.set_weight(
+                    wl.w,
+                    &[rng.gen_range(0..n as u32)],
+                    MinPlus(rng.gen_range(1..50)),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// E9: Theorem 24 enumeration delay (one answer step, index prebuilt).
+fn enum_delay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E9_enum_delay");
+    group.sample_size(20);
+    for &n in &[1000usize, 4000] {
+        let wl = sparse_random(n, 7);
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        let phi = Formula::Rel(wl.e, vec![x, y])
+            .and(Formula::Rel(wl.e, vec![y, z]))
+            .and(Formula::neq(x, z));
+        let ix = AnswerIndex::build(&wl.a, &phi, &CompileOptions::default()).unwrap();
+        group.bench_function(BenchmarkId::new("next", n), |b| {
+            let mut it = ix.iter();
+            b.iter(|| match it.next() {
+                Some(t) => t,
+                None => {
+                    it = ix.iter();
+                    it.next().unwrap()
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, compile_scaling, eval_query_update, enum_delay);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Shared workload builders for the experiment suite (system **S11**).
+
+use agq_graph::{generators, Graph};
+use agq_semiring::Semiring;
+use agq_structure::{RelId, Signature, Structure, WeightId, WeightedStructure};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// A graph-shaped workload: symmetrized edge relation `E`, unary weight
+/// `w`, binary weight `c`.
+pub struct Workload {
+    /// The structure.
+    pub a: Arc<Structure>,
+    /// Edge relation.
+    pub e: RelId,
+    /// Unary weight symbol.
+    pub w: WeightId,
+    /// Binary (edge) weight symbol.
+    pub c: WeightId,
+    /// The underlying undirected graph.
+    pub graph: Graph,
+}
+
+/// Build a workload from any generator output.
+pub fn workload_from(graph: Graph) -> Workload {
+    let n = graph.num_vertices();
+    let mut sig = Signature::new();
+    let e = sig.add_relation("E", 2);
+    let w = sig.add_weight("w", 1);
+    let c = sig.add_weight("c", 2);
+    let mut a = Structure::new(Arc::new(sig), n);
+    for (u, v) in graph.edges() {
+        a.insert(e, &[u, v]);
+        a.insert(e, &[v, u]);
+    }
+    Workload {
+        a: Arc::new(a),
+        e,
+        w,
+        c,
+        graph,
+    }
+}
+
+/// Random sparse `G(n, 2n)` workload.
+pub fn sparse_random(n: usize, seed: u64) -> Workload {
+    workload_from(generators::gnm(n, 2 * n, seed))
+}
+
+/// Populate all weights with pseudo-random values produced by `f`.
+pub fn fill_weights<S: Semiring>(
+    wl: &Workload,
+    seed: u64,
+    mut unary: impl FnMut(&mut SmallRng) -> S,
+    mut binary: impl FnMut(&mut SmallRng) -> S,
+) -> WeightedStructure<S> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ws = WeightedStructure::new(wl.a.clone());
+    for v in 0..wl.a.domain_size() as u32 {
+        ws.set(wl.w, &[v], unary(&mut rng));
+    }
+    let tuples: Vec<_> = wl.a.relation(wl.e).iter().cloned().collect();
+    for t in tuples {
+        ws.set(wl.c, t.as_slice(), binary(&mut rng));
+    }
+    ws
+}

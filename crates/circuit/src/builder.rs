@@ -1,0 +1,234 @@
+//! Circuit construction with topological invariants and zero/one pruning.
+
+use crate::{Circuit, ConstRef, GateDef, GateId};
+
+/// Builds a [`Circuit`] gate by gate. Children must already exist, so ids
+/// are topological by construction. Trivial algebra is folded eagerly:
+/// multiplying by a known `0`/`1` constant, adding `0`s, and permanents
+/// with a structurally-zero column for some row short-circuit, which is
+/// what keeps compiled circuits linear-size under support pruning.
+#[derive(Default)]
+pub struct CircuitBuilder {
+    gates: Vec<GateDef>,
+    num_slots: u32,
+    num_lits: u32,
+    zero: Option<GateId>,
+    one: Option<GateId>,
+}
+
+impl CircuitBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, def: GateDef) -> GateId {
+        let id = GateId(self.gates.len() as u32);
+        self.gates.push(def);
+        id
+    }
+
+    /// An input gate reading `slot`.
+    pub fn input(&mut self, slot: u32) -> GateId {
+        self.num_slots = self.num_slots.max(slot + 1);
+        self.push(GateDef::Input(slot))
+    }
+
+    /// The shared `0` constant gate.
+    pub fn zero(&mut self) -> GateId {
+        if let Some(z) = self.zero {
+            return z;
+        }
+        let z = self.push(GateDef::Const(ConstRef::Zero));
+        self.zero = Some(z);
+        z
+    }
+
+    /// The shared `1` constant gate.
+    pub fn one(&mut self) -> GateId {
+        if let Some(o) = self.one {
+            return o;
+        }
+        let o = self.push(GateDef::Const(ConstRef::One));
+        self.one = Some(o);
+        o
+    }
+
+    /// A literal-table constant gate.
+    pub fn lit(&mut self, index: u32) -> GateId {
+        self.num_lits = self.num_lits.max(index + 1);
+        self.push(GateDef::Const(ConstRef::Lit(index)))
+    }
+
+    /// Is this gate the structural zero constant?
+    pub fn is_zero(&self, g: GateId) -> bool {
+        matches!(self.gates[g.0 as usize], GateDef::Const(ConstRef::Zero))
+    }
+
+    /// Is this gate the structural one constant?
+    pub fn is_one(&self, g: GateId) -> bool {
+        matches!(self.gates[g.0 as usize], GateDef::Const(ConstRef::One))
+    }
+
+    /// Sum of `children`, folding structural zeros.
+    pub fn add(&mut self, children: &[GateId]) -> GateId {
+        let kids: Vec<GateId> = children
+            .iter()
+            .copied()
+            .filter(|&g| !self.is_zero(g))
+            .collect();
+        match kids.len() {
+            0 => self.zero(),
+            1 => kids[0],
+            _ => self.push(GateDef::Add(kids)),
+        }
+    }
+
+    /// Product of two gates, folding structural zeros and ones.
+    pub fn mul(&mut self, a: GateId, b: GateId) -> GateId {
+        if self.is_zero(a) || self.is_zero(b) {
+            return self.zero();
+        }
+        if self.is_one(a) {
+            return b;
+        }
+        if self.is_one(b) {
+            return a;
+        }
+        self.push(GateDef::Mul(a, b))
+    }
+
+    /// Product of a list of gates.
+    pub fn mul_all(&mut self, gs: &[GateId]) -> GateId {
+        let mut acc = self.one();
+        for &g in gs {
+            acc = self.mul(acc, g);
+        }
+        acc
+    }
+
+    /// Permanent gate over columns of height `rows`.
+    ///
+    /// Structural pruning: columns that are all-zero are dropped (they can
+    /// never be selected); if fewer columns than rows remain, the permanent
+    /// is structurally zero. A 1-row permanent over a single column is that
+    /// column's entry; a 0-row permanent is `1`.
+    pub fn perm(&mut self, rows: usize, cols: &[[GateId; 2]]) -> GateId
+    where
+        [GateId; 2]: Sized,
+    {
+        // convenience wrapper for the common 2-row case
+        let flat: Vec<GateId> = cols.iter().flat_map(|c| c.iter().copied()).collect();
+        self.perm_flat(rows, flat)
+    }
+
+    /// Permanent gate from column-major flattened children
+    /// (`flat.len() = rows · n`).
+    pub fn perm_flat(&mut self, rows: usize, flat: Vec<GateId>) -> GateId {
+        assert!(rows <= agq_perm::MAX_ROWS, "too many permanent rows");
+        if rows == 0 {
+            return self.one();
+        }
+        assert_eq!(flat.len() % rows, 0, "ragged permanent matrix");
+        // Drop all-zero columns.
+        let mut kept: Vec<GateId> = Vec::with_capacity(flat.len());
+        for col in flat.chunks_exact(rows) {
+            if col.iter().any(|&g| !self.is_zero(g)) {
+                kept.extend_from_slice(col);
+            }
+        }
+        let n = kept.len() / rows;
+        if n < rows {
+            return self.zero();
+        }
+        if rows == 1 && n == 1 {
+            return kept[0];
+        }
+        self.push(GateDef::Perm {
+            rows: rows as u8,
+            cols: kept,
+        })
+    }
+
+    /// Finish with the given output gate.
+    pub fn finish(self, output: GateId) -> Circuit {
+        assert!(
+            (output.0 as usize) < self.gates.len(),
+            "output gate out of range"
+        );
+        Circuit {
+            gates: self.gates,
+            num_slots: self.num_slots,
+            num_lits: self.num_lits,
+            output,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agq_semiring::Nat;
+
+    #[test]
+    fn zero_one_folding() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input(0);
+        let z = b.zero();
+        let o = b.one();
+        assert_eq!(b.mul(x, o), x);
+        assert_eq!(b.mul(x, z), z);
+        assert_eq!(b.add(&[x, z]), x);
+        assert_eq!(b.add(&[z, z]), z);
+        let c = b.finish(x);
+        assert_eq!(c.eval(&[Nat(7)], &[]), Nat(7));
+    }
+
+    #[test]
+    fn perm_drops_zero_columns() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input(0);
+        let y = b.input(1);
+        let z = b.zero();
+        // 1-row permanent = sum; zero column dropped, singleton collapses
+        let p = b.perm_flat(1, vec![x, z, y]);
+        let c = b.finish(p);
+        assert_eq!(c.eval(&[Nat(3), Nat(4)], &[]), Nat(7));
+    }
+
+    #[test]
+    fn underfull_perm_is_zero() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input(0);
+        let z = b.zero();
+        // 2 rows but only one nonzero column
+        let p = b.perm_flat(2, vec![x, x, z, z]);
+        assert!(b.is_zero(p));
+    }
+
+    #[test]
+    fn zero_row_perm_is_one() {
+        let mut b = CircuitBuilder::new();
+        let p = b.perm_flat(0, vec![]);
+        assert!(b.is_one(p));
+    }
+
+    #[test]
+    fn ids_are_topological() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input(0);
+        let y = b.input(1);
+        let m = b.mul(x, y);
+        let s = b.add(&[m, x]);
+        let c = b.finish(s);
+        for (i, g) in c.gates().iter().enumerate() {
+            let ok = match g {
+                GateDef::Input(_) | GateDef::Const(_) => true,
+                GateDef::Add(ks) => ks.iter().all(|k| (k.0 as usize) < i),
+                GateDef::Mul(a, b2) => (a.0 as usize) < i && (b2.0 as usize) < i,
+                GateDef::Perm { cols, .. } => cols.iter().all(|k| (k.0 as usize) < i),
+            };
+            assert!(ok, "gate {i} references later gate");
+        }
+    }
+}

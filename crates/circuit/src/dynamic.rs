@@ -1,0 +1,367 @@
+//! Dynamic circuit evaluation under input updates (Theorem 8's engine).
+
+use crate::{Circuit, GateDef, GateId};
+use agq_perm::{ColMatrix, FinitePerm, RingPerm, SegTreePerm};
+use agq_semiring::{FiniteSemiring, Ring, Semiring};
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// A maintenance structure for one permanent gate: how updates to matrix
+/// entries are absorbed and the permanent re-read.
+///
+/// The three implementations are exactly the paper's case split:
+///
+/// | semiring  | structure                  | update cost      | ref |
+/// |-----------|----------------------------|------------------|-----|
+/// | arbitrary | [`SegTreePerm`]            | `O(3^k log n)`   | Cor. 13 (tight, Prop. 14) |
+/// | ring      | [`RingPerm`]               | `O_k(1)`         | Cor. 17 |
+/// | finite    | [`FinitePerm`]             | `O_{k,|S|}(1)`   | Cor. 20 |
+pub trait PermMaint<S: Semiring> {
+    /// Build from the initial matrix.
+    fn build(m: ColMatrix<S>) -> Self;
+    /// Overwrite one entry.
+    fn update(&mut self, row: usize, col: usize, value: S);
+    /// Current permanent.
+    fn total(&self) -> S;
+}
+
+impl<S: Semiring> PermMaint<S> for SegTreePerm<S> {
+    fn build(m: ColMatrix<S>) -> Self {
+        SegTreePerm::build(m)
+    }
+    fn update(&mut self, row: usize, col: usize, value: S) {
+        SegTreePerm::update(self, row, col, value);
+    }
+    fn total(&self) -> S {
+        SegTreePerm::total(self).clone()
+    }
+}
+
+/// Ring-backed permanent maintenance (constant-time updates).
+pub struct RingMaint<S: Ring>(RingPerm<S>);
+
+impl<S: Ring> PermMaint<S> for RingMaint<S> {
+    fn build(m: ColMatrix<S>) -> Self {
+        RingMaint(RingPerm::build(m))
+    }
+    fn update(&mut self, row: usize, col: usize, value: S) {
+        self.0.update(row, col, value);
+    }
+    fn total(&self) -> S {
+        self.0.total()
+    }
+}
+
+/// Finite-semiring permanent maintenance (constant-time updates).
+pub struct FiniteMaint<S: FiniteSemiring>(FinitePerm<S>);
+
+impl<S: FiniteSemiring> PermMaint<S> for FiniteMaint<S> {
+    fn build(m: ColMatrix<S>) -> Self {
+        FiniteMaint(FinitePerm::build(m))
+    }
+    fn update(&mut self, row: usize, col: usize, value: S) {
+        self.0.update(row, col, value);
+    }
+    fn total(&self) -> S {
+        self.0.total()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum ParentRef {
+    Add(u32),
+    Mul(u32),
+    Perm { gate: u32, row: u8, col: u32 },
+}
+
+/// Dynamic evaluator: caches every gate value and repairs them under input
+/// updates, routing permanent-entry changes through a [`PermMaint`].
+///
+/// Update cost is `O(affected gates · per-gate cost)`; for circuits
+/// produced by the Theorem 6 compiler the number of affected gates per
+/// input is query-bounded (bounded fan-out, bounded depth), giving the
+/// `O(log |A|)` / `O(1)` bounds of Theorem 8.
+pub struct DynEvaluator<S: Semiring, P: PermMaint<S>> {
+    circuit: Arc<Circuit>,
+    values: Vec<S>,
+    parents: Vec<Vec<ParentRef>>,
+    /// Perm-gate maintenance structures, indexed by gate id (None for
+    /// non-perm gates).
+    perm_states: Vec<Option<P>>,
+    /// Input gates per slot.
+    slot_gates: Vec<Vec<u32>>,
+    slot_values: Vec<S>,
+}
+
+impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
+    /// Build from an initial input assignment, evaluating once.
+    pub fn new(circuit: Arc<Circuit>, slots: &[S], lits: &[S]) -> Self {
+        assert_eq!(slots.len(), circuit.num_slots());
+        assert_eq!(lits.len(), circuit.num_lits());
+        let values = crate::eval_gates(&circuit, slots, lits);
+        let gates = circuit.gates();
+        let mut parents: Vec<Vec<ParentRef>> = vec![Vec::new(); gates.len()];
+        let mut perm_states: Vec<Option<P>> = Vec::with_capacity(gates.len());
+        let mut slot_gates: Vec<Vec<u32>> = vec![Vec::new(); circuit.num_slots()];
+        for (i, g) in gates.iter().enumerate() {
+            let mut state = None;
+            match g {
+                GateDef::Input(slot) => slot_gates[*slot as usize].push(i as u32),
+                GateDef::Const(_) => {}
+                GateDef::Add(children) => {
+                    for c in children {
+                        parents[c.0 as usize].push(ParentRef::Add(i as u32));
+                    }
+                }
+                GateDef::Mul(a, b) => {
+                    parents[a.0 as usize].push(ParentRef::Mul(i as u32));
+                    parents[b.0 as usize].push(ParentRef::Mul(i as u32));
+                }
+                GateDef::Perm { rows, cols } => {
+                    let k = *rows as usize;
+                    let mut m = ColMatrix::with_capacity(k, cols.len() / k);
+                    let mut buf = Vec::with_capacity(k);
+                    for (ci, col) in cols.chunks_exact(k).enumerate() {
+                        buf.clear();
+                        buf.extend(col.iter().map(|g| values[g.0 as usize].clone()));
+                        m.push_col(&buf);
+                        for (r, child) in col.iter().enumerate() {
+                            parents[child.0 as usize].push(ParentRef::Perm {
+                                gate: i as u32,
+                                row: r as u8,
+                                col: ci as u32,
+                            });
+                        }
+                    }
+                    state = Some(P::build(m));
+                }
+            }
+            perm_states.push(state);
+        }
+        DynEvaluator {
+            circuit,
+            values,
+            parents,
+            perm_states,
+            slot_gates,
+            slot_values: slots.to_vec(),
+        }
+    }
+
+    /// Current output value.
+    pub fn output(&self) -> &S {
+        &self.values[self.circuit.output().0 as usize]
+    }
+
+    /// Current value of any gate.
+    pub fn value(&self, g: GateId) -> &S {
+        &self.values[g.0 as usize]
+    }
+
+    /// Current value of an input slot.
+    pub fn slot_value(&self, slot: u32) -> &S {
+        &self.slot_values[slot as usize]
+    }
+
+    /// Set input `slot` to `value` and repair all affected gates.
+    pub fn set_input(&mut self, slot: u32, value: S) {
+        if self.slot_values[slot as usize] == value {
+            return;
+        }
+        self.slot_values[slot as usize] = value.clone();
+        let mut dirty: BinaryHeap<std::cmp::Reverse<u32>> = BinaryHeap::new();
+        let input_gates = self.slot_gates[slot as usize].clone();
+        for g in input_gates {
+            if self.values[g as usize] != value {
+                self.values[g as usize] = value.clone();
+                self.mark_parents(g, &mut dirty);
+            }
+        }
+        while let Some(std::cmp::Reverse(g)) = dirty.pop() {
+            // Deduplicate: the same gate may be queued multiple times.
+            if dirty.peek() == Some(&std::cmp::Reverse(g)) {
+                continue;
+            }
+            let new = self.recompute(g);
+            if self.values[g as usize] != new {
+                self.values[g as usize] = new;
+                self.mark_parents(g, &mut dirty);
+            }
+        }
+    }
+
+    /// Evaluate the output with some slots *temporarily* overwritten —
+    /// the query-by-updates trick of Theorem 8. State is restored.
+    pub fn peek_with(&mut self, patches: &[(u32, S)]) -> S {
+        let saved: Vec<(u32, S)> = patches
+            .iter()
+            .map(|(s, _)| (*s, self.slot_values[*s as usize].clone()))
+            .collect();
+        for (s, v) in patches {
+            self.set_input(*s, v.clone());
+        }
+        let out = self.output().clone();
+        for (s, v) in saved.into_iter().rev() {
+            self.set_input(s, v);
+        }
+        out
+    }
+
+    fn mark_parents(&mut self, g: u32, dirty: &mut BinaryHeap<std::cmp::Reverse<u32>>) {
+        // Perm parents absorb the new child value into their maintenance
+        // structure immediately; value recomputation happens in id order.
+        let parents = std::mem::take(&mut self.parents[g as usize]);
+        for p in &parents {
+            match *p {
+                ParentRef::Add(pg) | ParentRef::Mul(pg) => {
+                    dirty.push(std::cmp::Reverse(pg));
+                }
+                ParentRef::Perm { gate, row, col } => {
+                    let v = self.values[g as usize].clone();
+                    self.perm_states[gate as usize]
+                        .as_mut()
+                        .expect("perm state present")
+                        .update(row as usize, col as usize, v);
+                    dirty.push(std::cmp::Reverse(gate));
+                }
+            }
+        }
+        self.parents[g as usize] = parents;
+    }
+
+    fn recompute(&self, g: u32) -> S {
+        match &self.circuit.gates()[g as usize] {
+            GateDef::Input(_) | GateDef::Const(_) => self.values[g as usize].clone(),
+            GateDef::Add(children) => {
+                let mut acc = S::zero();
+                for c in children {
+                    acc.add_assign(&self.values[c.0 as usize]);
+                }
+                acc
+            }
+            GateDef::Mul(a, b) => self.values[a.0 as usize].mul(&self.values[b.0 as usize]),
+            GateDef::Perm { .. } => self.perm_states[g as usize]
+                .as_ref()
+                .expect("perm state present")
+                .total(),
+        }
+    }
+}
+
+/// Convenience alias: dynamic evaluation in an arbitrary semiring
+/// (logarithmic updates).
+pub type GeneralEvaluator<S> = DynEvaluator<S, SegTreePerm<S>>;
+
+/// Convenience alias: dynamic evaluation in a ring (constant updates).
+pub type RingEvaluator<S> = DynEvaluator<S, RingMaint<S>>;
+
+/// Convenience alias: dynamic evaluation in a finite semiring
+/// (constant updates).
+pub type FiniteEvaluator<S> = DynEvaluator<S, FiniteMaint<S>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitBuilder;
+    use agq_semiring::{Bool, Int, MinPlus, Nat};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Σ_{i≠j} a_i·b_j circuit with 2n slots plus a final +lit.
+    fn test_circuit(n: usize) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let mut flat = Vec::new();
+        for i in 0..n {
+            let a = b.input(i as u32);
+            let w = b.input((n + i) as u32);
+            let m = b.mul(a, w); // extra structure: perm entries are gates
+            flat.push(a);
+            flat.push(m);
+        }
+        let p = b.perm_flat(2, flat);
+        let l = b.lit(0);
+        let s = b.add(&[p, l]);
+        b.finish(s)
+    }
+
+    fn reference_eval(slots: &[Nat], lit: Nat, n: usize) -> Nat {
+        // Σ_{i≠j} a_i · (a_j · b_j) + lit
+        let mut total = 0u64;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    total += slots[i].0 * (slots[j].0 * slots[n + j].0);
+                }
+            }
+        }
+        Nat(total + lit.0)
+    }
+
+    #[test]
+    fn dynamic_updates_match_reference_general() {
+        let n = 6;
+        let circuit = Arc::new(test_circuit(n));
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut slots: Vec<Nat> = (0..2 * n).map(|_| Nat(rng.gen_range(0..5))).collect();
+        let lit = Nat(3);
+        let mut ev: GeneralEvaluator<Nat> =
+            DynEvaluator::new(circuit, &slots, &[lit]);
+        assert_eq!(*ev.output(), reference_eval(&slots, lit, n));
+        for _ in 0..50 {
+            let s = rng.gen_range(0..2 * n) as u32;
+            let v = Nat(rng.gen_range(0..5));
+            slots[s as usize] = v;
+            ev.set_input(s, v);
+            assert_eq!(*ev.output(), reference_eval(&slots, lit, n));
+        }
+    }
+
+    #[test]
+    fn ring_and_general_agree() {
+        let n = 5;
+        let circuit = Arc::new(test_circuit(n));
+        let mut rng = SmallRng::seed_from_u64(9);
+        let slots: Vec<Int> = (0..2 * n).map(|_| Int(rng.gen_range(-3..4))).collect();
+        let mut gen: GeneralEvaluator<Int> =
+            DynEvaluator::new(circuit.clone(), &slots, &[Int(0)]);
+        let mut ring: RingEvaluator<Int> = DynEvaluator::new(circuit, &slots, &[Int(0)]);
+        for _ in 0..40 {
+            let s = rng.gen_range(0..2 * n) as u32;
+            let v = Int(rng.gen_range(-3..4));
+            gen.set_input(s, v);
+            ring.set_input(s, v);
+            assert_eq!(gen.output(), ring.output());
+        }
+    }
+
+    #[test]
+    fn finite_evaluator_bool() {
+        let n = 4;
+        let circuit = Arc::new(test_circuit(n));
+        let mut rng = SmallRng::seed_from_u64(21);
+        let slots: Vec<Bool> = (0..2 * n).map(|_| Bool(rng.gen_bool(0.5))).collect();
+        let mut fin: FiniteEvaluator<Bool> =
+            DynEvaluator::new(circuit.clone(), &slots, &[Bool(false)]);
+        let mut gen: GeneralEvaluator<Bool> =
+            DynEvaluator::new(circuit, &slots, &[Bool(false)]);
+        for _ in 0..40 {
+            let s = rng.gen_range(0..2 * n) as u32;
+            let v = Bool(rng.gen_bool(0.5));
+            fin.set_input(s, v);
+            gen.set_input(s, v);
+            assert_eq!(fin.output(), gen.output());
+        }
+    }
+
+    #[test]
+    fn peek_restores_state() {
+        let n = 4;
+        let circuit = Arc::new(test_circuit(n));
+        let slots: Vec<MinPlus> = (0..2 * n).map(|i| MinPlus(i as u64 + 1)).collect();
+        let mut ev: GeneralEvaluator<MinPlus> =
+            DynEvaluator::new(circuit, &slots, &[MinPlus::INF]);
+        let before = *ev.output();
+        let _ = ev.peek_with(&[(0, MinPlus(0)), (3, MinPlus::INF)]);
+        assert_eq!(*ev.output(), before);
+    }
+}

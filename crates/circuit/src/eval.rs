@@ -1,0 +1,88 @@
+//! One-shot circuit evaluation.
+
+use crate::{Circuit, ConstRef, GateDef};
+use agq_perm::PrefixPerm;
+use agq_semiring::Semiring;
+
+/// Evaluate every gate of `circuit` in topological order, returning the
+/// full value vector. Permanent gates use the streaming subset DP
+/// (`O(n·2^k·k)` per gate, linear overall for fixed `k`).
+pub fn eval_gates<S: Semiring>(circuit: &Circuit, slots: &[S], lits: &[S]) -> Vec<S> {
+    let mut values: Vec<S> = Vec::with_capacity(circuit.gates().len());
+    for gate in circuit.gates() {
+        let v = match gate {
+            GateDef::Input(slot) => slots[*slot as usize].clone(),
+            GateDef::Const(ConstRef::Zero) => S::zero(),
+            GateDef::Const(ConstRef::One) => S::one(),
+            GateDef::Const(ConstRef::Lit(i)) => lits[*i as usize].clone(),
+            GateDef::Add(children) => {
+                let mut acc = S::zero();
+                for c in children {
+                    acc.add_assign(&values[c.0 as usize]);
+                }
+                acc
+            }
+            GateDef::Mul(a, b) => values[a.0 as usize].mul(&values[b.0 as usize]),
+            GateDef::Perm { rows, cols } => {
+                let k = *rows as usize;
+                let mut acc = PrefixPerm::new(k);
+                let mut col_buf: Vec<S> = Vec::with_capacity(k);
+                for col in cols.chunks_exact(k) {
+                    col_buf.clear();
+                    col_buf.extend(col.iter().map(|g| values[g.0 as usize].clone()));
+                    acc.push_col(&col_buf);
+                }
+                acc.total().clone()
+            }
+        };
+        values.push(v);
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::CircuitBuilder;
+    use agq_semiring::Nat;
+
+    #[test]
+    fn nested_gates_evaluate() {
+        // (x0 + x1) · perm1([x0, x1, 1])
+        let mut b = CircuitBuilder::new();
+        let x0 = b.input(0);
+        let x1 = b.input(1);
+        let s = b.add(&[x0, x1]);
+        let one = b.one();
+        let p = b.perm_flat(1, vec![x0, x1, one]);
+        let m = b.mul(s, p);
+        let c = b.finish(m);
+        // (2+3) * (2+3+1) = 30
+        assert_eq!(c.eval(&[Nat(2), Nat(3)], &[]), Nat(30));
+    }
+
+    #[test]
+    fn three_row_perm_inside_circuit() {
+        let mut b = CircuitBuilder::new();
+        let inputs: Vec<_> = (0..9).map(|i| b.input(i)).collect();
+        let cols: Vec<_> = (0..3)
+            .map(|c| {
+                [
+                    inputs[c * 3],
+                    inputs[c * 3 + 1],
+                    inputs[c * 3 + 2],
+                ]
+            })
+            .collect();
+        let flat: Vec<_> = cols.iter().flat_map(|x| x.iter().copied()).collect();
+        let p = b.perm_flat(3, flat);
+        let c = b.finish(p);
+        let slots: Vec<Nat> = (1..=9).map(Nat).collect();
+        // permanent of [[1,4,7],[2,5,8],[3,6,9]] (column-major cols) = 450
+        let m = agq_perm::ColMatrix::from_rows(&[
+            vec![Nat(1), Nat(4), Nat(7)],
+            vec![Nat(2), Nat(5), Nat(8)],
+            vec![Nat(3), Nat(6), Nat(9)],
+        ]);
+        assert_eq!(c.eval(&slots, &[]), agq_perm::perm_naive(&m));
+    }
+}

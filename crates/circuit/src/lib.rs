@@ -1,0 +1,194 @@
+//! Circuits with permanent gates: system **S6**, the target representation
+//! of the Theorem 6 compiler.
+//!
+//! A circuit (Section 3 of the paper) is a DAG of gates: inputs, constants,
+//! addition, multiplication, and **permanent gates** whose inputs form a
+//! `k × n` matrix with `k` bounded by the query. The same circuit can be
+//! evaluated in *any* commutative semiring — the universal property that
+//! the provenance and enumeration results exploit. Constants are stored as
+//! references (`0`, `1`, or an index into a per-evaluation literal table)
+//! precisely so the circuit stays semiring-agnostic.
+//!
+//! * [`Circuit`]/[`CircuitBuilder`] — construction with topological-id
+//!   invariants and peephole zero/one pruning;
+//! * [`Circuit::eval`] — one-shot evaluation (streaming permanents,
+//!   `O_k(size)`);
+//! * [`DynEvaluator`] — the dynamic evaluator of Theorem 8: cached gate
+//!   values plus a per-permanent-gate maintenance structure chosen by
+//!   semiring capability ([`PermMaint`]: segment tree for general
+//!   semirings, inclusion–exclusion for rings, column-type counting for
+//!   finite semirings);
+//! * [`CircuitStats`] — depth, fan-out, permanent-row bounds; the
+//!   quantities Theorem 6 promises are constant.
+
+mod builder;
+mod dynamic;
+mod eval;
+mod stats;
+
+pub use builder::CircuitBuilder;
+pub use dynamic::{
+    DynEvaluator, FiniteEvaluator, FiniteMaint, GeneralEvaluator, PermMaint, RingEvaluator,
+    RingMaint,
+};
+pub use eval::eval_gates;
+pub use stats::CircuitStats;
+
+use agq_semiring::Semiring;
+
+/// Index of a gate within its circuit.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct GateId(pub u32);
+
+/// A semiring-agnostic constant: `0`, `1`, or the `i`-th entry of the
+/// literal table supplied at evaluation time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConstRef {
+    /// The additive identity.
+    Zero,
+    /// The multiplicative identity.
+    One,
+    /// An indexed literal (e.g. a coefficient of the compiled expression).
+    Lit(u32),
+}
+
+/// One gate. Children always have smaller ids (topological invariant,
+/// enforced by [`CircuitBuilder`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum GateDef {
+    /// External input, identified by a dense *slot* index.
+    Input(u32),
+    /// A constant.
+    Const(ConstRef),
+    /// Sum of the children. The compiler only emits query-bounded fan-in
+    /// here; data-sized sums go through 1-row permanent gates.
+    Add(Vec<GateId>),
+    /// Product of two children.
+    Mul(GateId, GateId),
+    /// Permanent of a `rows × (cols.len()/rows)` matrix; `cols` is
+    /// column-major (entry `(r, c)` at `cols[c*rows + r]`).
+    Perm {
+        /// Number of rows (≤ `agq_perm::MAX_ROWS`).
+        rows: u8,
+        /// Column-major child references.
+        cols: Vec<GateId>,
+    },
+}
+
+/// An immutable circuit with a distinguished output gate.
+#[derive(Clone, Debug)]
+pub struct Circuit {
+    gates: Vec<GateDef>,
+    num_slots: u32,
+    num_lits: u32,
+    output: GateId,
+}
+
+impl Circuit {
+    /// The gates, in topological order.
+    pub fn gates(&self) -> &[GateDef] {
+        &self.gates
+    }
+
+    /// The output gate.
+    pub fn output(&self) -> GateId {
+        self.output
+    }
+
+    /// Number of input slots.
+    pub fn num_slots(&self) -> usize {
+        self.num_slots as usize
+    }
+
+    /// Number of literal-table entries expected at evaluation.
+    pub fn num_lits(&self) -> usize {
+        self.num_lits as usize
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Evaluate in semiring `S`: `slots` maps input slots to values,
+    /// `lits` the literal table. Runs in `O_k(size)`.
+    pub fn eval<S: Semiring>(&self, slots: &[S], lits: &[S]) -> S {
+        assert_eq!(slots.len(), self.num_slots as usize, "slot count mismatch");
+        assert_eq!(lits.len(), self.num_lits as usize, "literal count mismatch");
+        let values = eval_gates(self, slots, lits);
+        values[self.output.0 as usize].clone()
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> CircuitStats {
+        stats::compute(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agq_semiring::{MinPlus, Nat, Poly, Semiring};
+
+    /// Build Σ_{i≠j} a_i·b_j as a 2-row permanent over explicit inputs and
+    /// check the universal property: the same circuit evaluates correctly
+    /// in ℕ, the tropical semiring, and the free semiring.
+    fn two_row_perm_circuit(n: usize) -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let mut cols = Vec::new();
+        for i in 0..n {
+            let a = b.input(i as u32);
+            let w = b.input((n + i) as u32);
+            cols.push([a, w]);
+        }
+        let p = b.perm(2, &cols);
+        b.finish(p)
+    }
+
+    #[test]
+    fn universal_evaluation_nat() {
+        let c = two_row_perm_circuit(3);
+        // a = [1,2,3], b = [10,20,30]
+        let slots: Vec<Nat> = [1, 2, 3, 10, 20, 30].map(Nat).to_vec();
+        // Σ_{i≠j} a_i b_j = (1+2+3)(10+20+30) − (10+40+90) = 360−140 = 220
+        assert_eq!(c.eval(&slots, &[]), Nat(220));
+    }
+
+    #[test]
+    fn universal_evaluation_minplus() {
+        let c = two_row_perm_circuit(3);
+        let slots: Vec<MinPlus> = [5, 1, 4, 2, 8, 3].map(MinPlus).to_vec();
+        // min over i≠j of a_i + b_j: candidates 5+8=13,5+3=8,1+2=3,1+3=4,
+        // 4+2=6,4+8=12 → 3
+        assert_eq!(c.eval(&slots, &[]), MinPlus(3));
+    }
+
+    #[test]
+    fn universal_evaluation_provenance() {
+        use agq_semiring::Gen;
+        let c = two_row_perm_circuit(2);
+        let g = |i| Poly::var(Gen(i));
+        let slots = vec![g(1), g(2), g(10), g(20)];
+        let out = c.eval(&slots, &[]);
+        // a1·b2 + a2·b1
+        let expect = g(1).mul(&g(20)).add(&g(2).mul(&g(10)));
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn literal_constants() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input(0);
+        let c = b.lit(0);
+        let m = b.mul(x, c);
+        let one = b.one();
+        let s = b.add(&[m, one]);
+        let circuit = b.finish(s);
+        assert_eq!(circuit.eval(&[Nat(5)], &[Nat(3)]), Nat(16));
+    }
+}

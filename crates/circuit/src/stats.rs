@@ -1,0 +1,111 @@
+//! Structural circuit statistics — the quantities Theorem 6 bounds.
+
+use crate::{Circuit, GateDef, GateId};
+
+/// Structural statistics of a circuit.
+///
+/// Theorem 6 promises, for a fixed query over a fixed class: linear
+/// `num_gates`/`num_edges`, bounded `depth`, bounded `max_fanout`, and
+/// bounded `max_perm_rows` (while `max_perm_cols` is data-sized).
+/// Experiment E5 tracks all of these across scaling inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Total gates.
+    pub num_gates: usize,
+    /// Total child references (wires).
+    pub num_edges: usize,
+    /// Longest path from any source to any gate (permanent gates count as
+    /// one level, as in the paper).
+    pub depth: usize,
+    /// Maximum fan-out over all gates.
+    pub max_fanout: usize,
+    /// Maximum fan-in of an addition gate (query-bounded by construction;
+    /// data-sized sums go through 1-row permanents).
+    pub max_add_fanin: usize,
+    /// Maximum number of permanent rows.
+    pub max_perm_rows: usize,
+    /// Maximum number of permanent columns (data-sized).
+    pub max_perm_cols: usize,
+}
+
+/// Compute [`CircuitStats`] in one topological pass.
+pub fn compute(circuit: &Circuit) -> CircuitStats {
+    let gates = circuit.gates();
+    let mut depth = vec![0usize; gates.len()];
+    let mut fanout = vec![0usize; gates.len()];
+    let mut num_edges = 0;
+    let mut max_add_fanin = 0;
+    let mut max_perm_rows = 0;
+    let mut max_perm_cols = 0;
+
+    let bump = |fanout: &mut Vec<usize>, child: GateId| {
+        fanout[child.0 as usize] += 1;
+    };
+
+    for (i, g) in gates.iter().enumerate() {
+        match g {
+            GateDef::Input(_) | GateDef::Const(_) => {}
+            GateDef::Add(children) => {
+                max_add_fanin = max_add_fanin.max(children.len());
+                num_edges += children.len();
+                let mut d = 0;
+                for c in children {
+                    bump(&mut fanout, *c);
+                    d = d.max(depth[c.0 as usize]);
+                }
+                depth[i] = d + 1;
+            }
+            GateDef::Mul(a, b) => {
+                num_edges += 2;
+                bump(&mut fanout, *a);
+                bump(&mut fanout, *b);
+                depth[i] = depth[a.0 as usize].max(depth[b.0 as usize]) + 1;
+            }
+            GateDef::Perm { rows, cols } => {
+                let k = *rows as usize;
+                max_perm_rows = max_perm_rows.max(k);
+                max_perm_cols = max_perm_cols.max(cols.len() / k.max(1));
+                num_edges += cols.len();
+                let mut d = 0;
+                for c in cols {
+                    bump(&mut fanout, *c);
+                    d = d.max(depth[c.0 as usize]);
+                }
+                depth[i] = d + 1;
+            }
+        }
+    }
+
+    CircuitStats {
+        num_gates: gates.len(),
+        num_edges,
+        depth: depth.iter().copied().max().unwrap_or(0),
+        max_fanout: fanout.iter().copied().max().unwrap_or(0),
+        max_add_fanin,
+        max_perm_rows,
+        max_perm_cols,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::CircuitBuilder;
+
+    #[test]
+    fn stats_of_small_circuit() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input(0);
+        let y = b.input(1);
+        let m = b.mul(x, y);
+        let p = b.perm_flat(2, vec![x, y, m, x]);
+        let s = b.add(&[p, m]);
+        let c = b.finish(s);
+        let st = c.stats();
+        assert_eq!(st.num_gates, 5);
+        assert_eq!(st.max_perm_rows, 2);
+        assert_eq!(st.max_perm_cols, 2);
+        assert_eq!(st.depth, 3); // input → mul → perm → add
+        assert!(st.max_fanout >= 2);
+        assert_eq!(st.max_add_fanin, 2);
+    }
+}

@@ -1,0 +1,730 @@
+//! The Theorem 6 compiler: weighted expression × structure → circuit.
+
+use crate::shape::{enumerate_shapes, Shape};
+use crate::slots::{SlotKey, SlotRegistry};
+use crate::term::{expand_distinct, DistinctTerm};
+use crate::CompileError;
+use agq_circuit::{Circuit, CircuitBuilder, CircuitStats, GateId};
+use agq_graph::Graph;
+use agq_logic::{NormalForm, Var};
+use agq_semiring::Semiring;
+use agq_structure::fx::FxHashMap;
+use agq_structure::gaifman::gaifman_graph;
+use agq_structure::{Elem, RelId, Structure, Tuple, WeightId};
+use std::sync::Arc;
+
+/// Compilation knobs.
+#[derive(Clone, Debug)]
+pub struct CompileOptions {
+    /// Reject color sets whose DFS forest is deeper than this (the
+    /// observable bounded-expansion precondition).
+    pub depth_cap: u32,
+    /// Reject terms that need more than this many shapes.
+    pub max_shapes: usize,
+    /// Compile relational atoms as 0/1 *inputs* instead of static checks,
+    /// enabling Gaifman-preserving updates (Theorem 24 / Lemma 40).
+    pub dynamic_atoms: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            depth_cap: 24,
+            max_shapes: 200_000,
+            dynamic_atoms: false,
+        }
+    }
+}
+
+/// What the compiler produced, plus measurements for the experiments.
+#[derive(Clone, Debug)]
+pub struct CompileReport {
+    /// Colors used by the low-treedepth coloring.
+    pub num_colors: u32,
+    /// Color sets visited.
+    pub num_subsets: usize,
+    /// Shapes instantiated (over all terms, sets, surjections).
+    pub shapes_instantiated: usize,
+    /// Deepest DFS forest over the visited color sets.
+    pub max_forest_depth: u32,
+    /// Structural circuit statistics.
+    pub stats: CircuitStats,
+}
+
+/// A compiled weighted query: the circuit, its input-slot registry, the
+/// literal (coefficient) table, and the free-variable order.
+#[derive(Clone, Debug)]
+pub struct CompiledQuery<S> {
+    /// The circuit (Theorem 6 output).
+    pub circuit: Arc<Circuit>,
+    /// Input slot identities.
+    pub slots: SlotRegistry,
+    /// Coefficient table for [`agq_circuit::ConstRef::Lit`] gates.
+    pub lits: Vec<S>,
+    /// Free variables in query-tuple order.
+    pub free_vars: Vec<Var>,
+    /// Compilation measurements.
+    pub report: CompileReport,
+}
+
+/// Compile a normalized weighted expression against a structure.
+///
+/// The circuit depends on the structure and (in static-atom mode) its
+/// relations, but **not** on any weight values — weights are circuit
+/// inputs, exactly as in the paper's `Σ(w)`-circuit definition.
+pub fn compile<S: Semiring>(
+    a: &Structure,
+    nf: &NormalForm<S>,
+    opts: &CompileOptions,
+) -> Result<CompiledQuery<S>, CompileError> {
+    let free_vars = nf.free_vars();
+    assert!(free_vars.len() <= u8::MAX as usize, "too many free variables");
+
+    // Distinctness expansion of every term.
+    let mut dterms: Vec<DistinctTerm<S>> = Vec::new();
+    for t in &nf.terms {
+        dterms.extend(expand_distinct(t, &free_vars));
+    }
+    let p = dterms.iter().map(|d| d.k).max().unwrap_or(0);
+
+    let gaifman = gaifman_graph(a);
+    let coloring = agq_graph::low_treedepth_coloring(&gaifman, p.max(1));
+    let classes = coloring.classes();
+
+    let mut ctx = Ctx {
+        a,
+        gaifman: &gaifman,
+        colors: &coloring.colors,
+        builder: CircuitBuilder::new(),
+        slots: SlotRegistry::new(),
+        lits: Vec::new(),
+        opts,
+        shape_cache: FxHashMap::default(),
+        input_cache: FxHashMap::default(),
+        table: Vec::new(),
+    };
+
+    // Literal table: intern per-term coefficients.
+    let coeff_gate: Vec<GateId> = dterms
+        .iter()
+        .map(|d| {
+            if d.coeff.is_one() {
+                ctx.builder.one()
+            } else {
+                let idx = match ctx.lits.iter().position(|l: &S| *l == d.coeff) {
+                    Some(i) => i as u32,
+                    None => {
+                        ctx.lits.push(d.coeff.clone());
+                        (ctx.lits.len() - 1) as u32
+                    }
+                };
+                ctx.builder.lit(idx)
+            }
+        })
+        .collect();
+
+    let mut forest = SubForest::new(a.domain_size());
+    let mut top_gates: Vec<GateId> = Vec::new();
+    let mut report = CompileReport {
+        num_colors: coloring.num_colors,
+        num_subsets: 0,
+        shapes_instantiated: 0,
+        max_forest_depth: 0,
+        stats: CircuitStats {
+            num_gates: 0,
+            num_edges: 0,
+            depth: 0,
+            max_fanout: 0,
+            max_add_fanin: 0,
+            max_perm_rows: 0,
+            max_perm_cols: 0,
+        },
+    };
+
+    // Constant terms (k = 0) contribute their coefficient directly.
+    for (ti, d) in dterms.iter().enumerate() {
+        if d.k == 0 {
+            top_gates.push(coeff_gate[ti]);
+        }
+    }
+
+    // Enumerate color sets D of size 1..=p; for each, build the DFS forest
+    // of G[D] once and instantiate every compatible (term, surjection,
+    // shape) triple — identity (12)–(13) of the paper.
+    let num_colors = coloring.num_colors as usize;
+    let mut subset: Vec<u32> = Vec::new();
+    let mut subsets: Vec<Vec<u32>> = Vec::new();
+    enumerate_subsets(num_colors, p, &mut subset, 0, &mut subsets);
+
+    for d_set in &subsets {
+        // Build the forest over the union of the chosen color classes.
+        forest.build(&gaifman, d_set.iter().map(|&c| classes[c as usize].as_slice()));
+        if forest.preorder.is_empty() {
+            forest.reset();
+            continue;
+        }
+        report.num_subsets += 1;
+        let depth = forest.max_depth;
+        if depth > opts.depth_cap {
+            forest.reset();
+            return Err(CompileError::DepthCapExceeded {
+                depth,
+                cap: opts.depth_cap,
+            });
+        }
+        report.max_forest_depth = report.max_forest_depth.max(depth);
+
+        for (ti, dt) in dterms.iter().enumerate() {
+            if dt.k < d_set.len() || dt.k == 0 {
+                continue;
+            }
+            let plans = ctx.plans_for(ti, dt, depth as u8)?;
+            if plans.is_empty() {
+                continue;
+            }
+            // Surjective colorings c : vars → D.
+            let mut c_assign = vec![0u32; dt.k];
+            let mut gates_for_term: Vec<GateId> = Vec::new();
+            surjections(dt.k, d_set, &mut c_assign, 0, &mut |c_assign| {
+                for (shape, plan) in plans.iter() {
+                    if shape.max_depth() as u32 > depth {
+                        continue;
+                    }
+                    report.shapes_instantiated += 1;
+                    let g = instantiate(&mut ctx, &forest, shape, plan, c_assign);
+                    if !ctx.builder.is_zero(g) {
+                        gates_for_term.push(g);
+                    }
+                }
+            });
+            if !gates_for_term.is_empty() {
+                let sum = add_balanced(&mut ctx.builder, &gates_for_term);
+                let gated = ctx.builder.mul(coeff_gate[ti], sum);
+                top_gates.push(gated);
+            }
+        }
+        forest.reset();
+    }
+
+    let output = add_balanced(&mut ctx.builder, &top_gates);
+    let circuit = ctx.builder.finish(output);
+    report.stats = circuit.stats();
+    Ok(CompiledQuery {
+        circuit: Arc::new(circuit),
+        slots: ctx.slots,
+        lits: ctx.lits,
+        free_vars,
+        report,
+    })
+}
+
+fn enumerate_subsets(
+    num_colors: usize,
+    p: usize,
+    cur: &mut Vec<u32>,
+    from: usize,
+    out: &mut Vec<Vec<u32>>,
+) {
+    if !cur.is_empty() {
+        out.push(cur.clone());
+    }
+    if cur.len() == p {
+        return;
+    }
+    for c in from..num_colors {
+        cur.push(c as u32);
+        enumerate_subsets(num_colors, p, cur, c + 1, out);
+        cur.pop();
+    }
+}
+
+/// Enumerate surjections `vars → d_set` (as color-per-var assignments).
+fn surjections(
+    k: usize,
+    d_set: &[u32],
+    assign: &mut [u32],
+    i: usize,
+    f: &mut impl FnMut(&[u32]),
+) {
+    if i == k {
+        // surjectivity check
+        if d_set
+            .iter()
+            .all(|c| assign.iter().any(|a| a == c))
+        {
+            f(assign);
+        }
+        return;
+    }
+    // prune: remaining slots must cover missing colors
+    let missing = d_set
+        .iter()
+        .filter(|c| !assign[..i].contains(c))
+        .count();
+    if missing > k - i {
+        return;
+    }
+    for &c in d_set {
+        assign[i] = c;
+        surjections(k, d_set, assign, i + 1, f);
+    }
+}
+
+fn add_balanced(b: &mut CircuitBuilder, gates: &[GateId]) -> GateId {
+    match gates.len() {
+        0 => b.zero(),
+        1 => gates[0],
+        _ => {
+            let mid = gates.len() / 2;
+            let l = add_balanced(b, &gates[..mid]);
+            let r = add_balanced(b, &gates[mid..]);
+            b.add(&[l, r])
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shape plans: a term's atoms and weights decided against a shape.
+// ---------------------------------------------------------------------
+
+/// Sentinel for "structurally zero / absent" in the dense scratch table.
+const NO_GATE: u32 = u32::MAX;
+
+/// An atom decided against the shape: evaluated at a forest node `u`
+/// (where the deepest argument lands) against the ancestors of `u` at the
+/// recorded absolute depths.
+#[derive(Clone, Debug)]
+struct AtomCheck {
+    rel: RelId,
+    arg_depths: Vec<u8>,
+    positive: bool,
+}
+
+#[derive(Clone, Debug)]
+enum WeightRead {
+    /// A declared weight `w(ancestors at depths …)`.
+    Decl(WeightId, Vec<u8>),
+    /// A free-variable indicator `v_pos(u)`.
+    Free(u8),
+}
+
+/// Per-shape compilation plan for one term.
+/// Shapes of one term with their plans, shared across color sets.
+type PlanSet = Arc<Vec<(Shape, ShapePlan)>>;
+
+#[derive(Clone, Debug)]
+struct ShapePlan {
+    /// Checks per shape node.
+    checks: Vec<Vec<AtomCheck>>,
+    /// Weight reads per shape node.
+    reads: Vec<Vec<WeightRead>>,
+    /// Shape children lists.
+    children: Vec<Vec<u32>>,
+    /// Shape roots.
+    roots: Vec<u32>,
+    /// Shape nodes grouped by depth (instantiation visits only matches).
+    nodes_by_depth: Vec<Vec<u32>>,
+}
+
+fn analyze<S: Semiring>(dt: &DistinctTerm<S>, shape: &Shape) -> Option<ShapePlan> {
+    let n = shape.len();
+    let mut nodes_by_depth: Vec<Vec<u32>> =
+        vec![Vec::new(); shape.max_depth() as usize + 1];
+    for t in 0..n as u32 {
+        nodes_by_depth[shape.depth[t as usize] as usize].push(t);
+    }
+    let mut plan = ShapePlan {
+        checks: vec![Vec::new(); n],
+        reads: vec![Vec::new(); n],
+        children: shape.children(),
+        roots: shape.roots(),
+        nodes_by_depth,
+    };
+    for lit in &dt.rel_lits {
+        let nodes: Vec<u32> = lit
+            .args
+            .iter()
+            .map(|&v| shape.var_node[v as usize])
+            .collect();
+        let comparable = pairwise_comparable(shape, &nodes);
+        if !comparable {
+            if lit.positive {
+                return None; // a clique atom cannot hold off a root path
+            }
+            continue; // ¬R holds vacuously for this shape
+        }
+        let deepest = *nodes
+            .iter()
+            .max_by_key(|&&n| shape.depth[n as usize])
+            .expect("atom has arguments");
+        plan.checks[deepest as usize].push(AtomCheck {
+            rel: lit.rel,
+            arg_depths: nodes.iter().map(|&n| shape.depth[n as usize]).collect(),
+            positive: lit.positive,
+        });
+    }
+    for (w, args) in &dt.weights {
+        let nodes: Vec<u32> = args
+            .iter()
+            .map(|&v| shape.var_node[v as usize])
+            .collect();
+        if !pairwise_comparable(shape, &nodes) {
+            return None; // weights are supported on tuples, i.e. cliques
+        }
+        let deepest = *nodes
+            .iter()
+            .max_by_key(|&&n| shape.depth[n as usize])
+            .expect("weight has arguments");
+        plan.reads[deepest as usize].push(WeightRead::Decl(
+            *w,
+            nodes.iter().map(|&n| shape.depth[n as usize]).collect(),
+        ));
+    }
+    for &(pos, var) in &dt.free_reads {
+        let node = shape.var_node[var as usize];
+        plan.reads[node as usize].push(WeightRead::Free(pos));
+    }
+    Some(plan)
+}
+
+fn pairwise_comparable(shape: &Shape, nodes: &[u32]) -> bool {
+    for i in 0..nodes.len() {
+        for j in i + 1..nodes.len() {
+            if !shape.comparable(nodes[i], nodes[j]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------
+// Compilation context and the Lemma 29 instantiation.
+// ---------------------------------------------------------------------
+
+struct Ctx<'a, S> {
+    a: &'a Structure,
+    gaifman: &'a Graph,
+    colors: &'a [u32],
+    builder: CircuitBuilder,
+    slots: SlotRegistry,
+    lits: Vec<S>,
+    opts: &'a CompileOptions,
+    /// `(term index, forest depth)` → analyzed shapes.
+    shape_cache: FxHashMap<(usize, u8), PlanSet>,
+    /// One input gate per slot.
+    input_cache: FxHashMap<u32, GateId>,
+    /// Dense (shape node × preorder position) scratch for instantiation.
+    table: Vec<u32>,
+}
+
+impl<'a, S: Semiring> Ctx<'a, S> {
+    fn plans_for(
+        &mut self,
+        ti: usize,
+        dt: &DistinctTerm<S>,
+        depth: u8,
+    ) -> Result<PlanSet, CompileError> {
+        if let Some(p) = self.shape_cache.get(&(ti, depth)) {
+            return Ok(p.clone());
+        }
+        let shapes = enumerate_shapes(dt.k, depth, &dt.comparability, self.opts.max_shapes)
+            .ok_or(CompileError::TooManyShapes {
+                cap: self.opts.max_shapes,
+            })?;
+        let plans: Vec<(Shape, ShapePlan)> = shapes
+            .into_iter()
+            .filter_map(|s| analyze(dt, &s).map(|p| (s, p)))
+            .collect();
+        let plans = Arc::new(plans);
+        self.shape_cache.insert((ti, depth), plans.clone());
+        Ok(plans)
+    }
+
+    fn input(&mut self, key: SlotKey) -> GateId {
+        let slot = self.slots.intern(key);
+        if let Some(&g) = self.input_cache.get(&slot) {
+            return g;
+        }
+        let g = self.builder.input(slot);
+        self.input_cache.insert(slot, g);
+        g
+    }
+
+    /// Whether a tuple's distinct elements are pairwise adjacent in the
+    /// Gaifman graph (the invariant Gaifman-preserving updates maintain).
+    fn is_clique(&self, tuple: &[Elem]) -> bool {
+        for i in 0..tuple.len() {
+            for j in i + 1..tuple.len() {
+                if tuple[i] != tuple[j] && !self.gaifman.has_edge(tuple[i], tuple[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether some relation of matching arity contains the tuple — the
+    /// weight-support condition of Section 3.
+    fn on_support(&self, tuple: &[Elem]) -> bool {
+        let sig = self.a.signature();
+        sig.relation_ids().any(|r| {
+            sig.relation_arity(r) == tuple.len() && self.a.holds(r, tuple)
+        })
+    }
+}
+
+/// The Lemma 29 recursion, bottom-up over the forest: a gate for every
+/// (shape subtree, matching-depth forest node), permanent gates over the
+/// forest children, and a top permanent over (shape roots × forest roots).
+///
+/// The (shape node × forest node) table is a dense scratch buffer indexed
+/// by preorder position (reused across calls); hash maps here dominated
+/// compile time in profiling.
+fn instantiate<S: Semiring>(
+    ctx: &mut Ctx<'_, S>,
+    forest: &SubForest,
+    shape: &Shape,
+    plan: &ShapePlan,
+    c_assign: &[u32],
+) -> GateId {
+    let m = forest.preorder.len();
+    let cells = shape.len() * m;
+    ctx.table.clear();
+    ctx.table.resize(cells, NO_GATE);
+    let mut tuple_buf: Vec<Elem> = Vec::new();
+
+    for &u in forest.preorder.iter().rev() {
+        let du = forest.depth[u as usize] as u8;
+        if du as usize >= plan.nodes_by_depth.len() {
+            continue;
+        }
+        'nodes: for &t in &plan.nodes_by_depth[du as usize] {
+            // color requirement at variable nodes
+            if let Some(var) = shape.var_at[t as usize] {
+                if ctx.colors[u as usize] != c_assign[var as usize] {
+                    continue 'nodes;
+                }
+            }
+            let mut factors: Vec<GateId> = Vec::new();
+            // atoms decided at this node
+            for check in &plan.checks[t as usize] {
+                resolve_tuple(forest, u, &check.arg_depths, &mut tuple_buf);
+                if ctx.opts.dynamic_atoms {
+                    if !ctx.is_clique(&tuple_buf) {
+                        if check.positive {
+                            continue 'nodes; // can never hold
+                        }
+                        continue; // ¬R always true here
+                    }
+                    let key = if check.positive {
+                        SlotKey::AtomPos(check.rel, Tuple::new(&tuple_buf))
+                    } else {
+                        SlotKey::AtomNeg(check.rel, Tuple::new(&tuple_buf))
+                    };
+                    factors.push(ctx.input(key));
+                } else if ctx.a.holds(check.rel, &tuple_buf) != check.positive {
+                    continue 'nodes;
+                }
+            }
+            // weight and indicator reads
+            for read in &plan.reads[t as usize] {
+                match read {
+                    WeightRead::Decl(w, depths) => {
+                        resolve_tuple(forest, u, depths, &mut tuple_buf);
+                        if tuple_buf.len() >= 2 {
+                            let ok = if ctx.opts.dynamic_atoms {
+                                ctx.is_clique(&tuple_buf)
+                            } else {
+                                ctx.on_support(&tuple_buf)
+                            };
+                            if !ok {
+                                continue 'nodes; // weight structurally zero
+                            }
+                        }
+                        factors.push(
+                            ctx.input(SlotKey::Weight(*w, Tuple::new(&tuple_buf))),
+                        );
+                    }
+                    WeightRead::Free(pos) => {
+                        factors.push(ctx.input(SlotKey::FreeVar(*pos, u)));
+                    }
+                }
+            }
+            // permanent over (child subtrees × forest children)
+            let kids = &plan.children[t as usize];
+            let mut gate = if kids.is_empty() {
+                ctx.builder.one()
+            } else {
+                let rows = kids.len();
+                let mut flat: Vec<GateId> = Vec::new();
+                for &child in forest.children[u as usize].iter() {
+                    let cpos = forest.pos[child as usize] as usize;
+                    // prune all-zero columns before touching the builder
+                    if kids
+                        .iter()
+                        .all(|&ct| ctx.table[ct as usize * m + cpos] == NO_GATE)
+                    {
+                        continue;
+                    }
+                    for &ct in kids {
+                        let cell = ctx.table[ct as usize * m + cpos];
+                        flat.push(if cell == NO_GATE {
+                            ctx.builder.zero()
+                        } else {
+                            GateId(cell)
+                        });
+                    }
+                }
+                ctx.builder.perm_flat(rows, flat)
+            };
+            if ctx.builder.is_zero(gate) {
+                continue 'nodes;
+            }
+            for f in factors {
+                gate = ctx.builder.mul(gate, f);
+            }
+            if !ctx.builder.is_zero(gate) {
+                ctx.table[t as usize * m + forest.pos[u as usize] as usize] = gate.0;
+            }
+        }
+    }
+
+    // top level: shape roots over forest roots
+    let rows = plan.roots.len();
+    let mut flat: Vec<GateId> = Vec::new();
+    for &root in &forest.roots {
+        let rpos = forest.pos[root as usize] as usize;
+        if plan
+            .roots
+            .iter()
+            .all(|&rt| ctx.table[rt as usize * m + rpos] == NO_GATE)
+        {
+            continue;
+        }
+        for &rt in &plan.roots {
+            let cell = ctx.table[rt as usize * m + rpos];
+            flat.push(if cell == NO_GATE {
+                ctx.builder.zero()
+            } else {
+                GateId(cell)
+            });
+        }
+    }
+    ctx.builder.perm_flat(rows, flat)
+}
+
+fn resolve_tuple(forest: &SubForest, u: u32, depths: &[u8], out: &mut Vec<Elem>) {
+    out.clear();
+    for &d in depths {
+        out.push(forest.ancestor_at(u, d as u32));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reusable per-color-set DFS forest.
+// ---------------------------------------------------------------------
+
+/// DFS spanning forest of the subgraph induced by a set of color classes,
+/// with buffers reused across color sets (resetting only touched nodes,
+/// so one pass over a color set costs `O(|A_D| + edges(A_D))`, not `O(n)`).
+struct SubForest {
+    parent: Vec<u32>,
+    depth: Vec<u32>,
+    active: Vec<bool>,
+    visited: Vec<bool>,
+    children: Vec<Vec<u32>>,
+    preorder: Vec<u32>,
+    /// Position of each node in `preorder` (dense-table index).
+    pos: Vec<u32>,
+    roots: Vec<u32>,
+    max_depth: u32,
+}
+
+impl SubForest {
+    fn new(n: usize) -> Self {
+        SubForest {
+            parent: (0..n as u32).collect(),
+            depth: vec![0; n],
+            active: vec![false; n],
+            visited: vec![false; n],
+            children: vec![Vec::new(); n],
+            preorder: Vec::new(),
+            pos: vec![0; n],
+            roots: Vec::new(),
+            max_depth: 0,
+        }
+    }
+
+    fn build<'b>(&mut self, g: &Graph, classes: impl Iterator<Item = &'b [u32]>) {
+        debug_assert!(self.preorder.is_empty(), "reset before rebuild");
+        let mut members: Vec<u32> = Vec::new();
+        for class in classes {
+            for &v in class {
+                self.active[v as usize] = true;
+            }
+            members.extend_from_slice(class);
+        }
+        let mut stack: Vec<(u32, usize)> = Vec::new();
+        for &start in &members {
+            if self.visited[start as usize] {
+                continue;
+            }
+            self.visited[start as usize] = true;
+            self.parent[start as usize] = start;
+            self.depth[start as usize] = 0;
+            self.roots.push(start);
+            self.pos[start as usize] = self.preorder.len() as u32;
+            self.preorder.push(start);
+            stack.push((start, 0));
+            while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
+                let nbrs = g.neighbors(v);
+                let mut advanced = false;
+                while *idx < nbrs.len() {
+                    let w = nbrs[*idx];
+                    *idx += 1;
+                    if self.active[w as usize] && !self.visited[w as usize] {
+                        self.visited[w as usize] = true;
+                        self.parent[w as usize] = v;
+                        self.depth[w as usize] = self.depth[v as usize] + 1;
+                        self.max_depth = self.max_depth.max(self.depth[w as usize]);
+                        self.children[v as usize].push(w);
+                        self.pos[w as usize] = self.preorder.len() as u32;
+                        self.preorder.push(w);
+                        stack.push((w, 0));
+                        advanced = true;
+                        break;
+                    }
+                }
+                if !advanced {
+                    stack.pop();
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        for &v in &self.preorder {
+            self.parent[v as usize] = v;
+            self.depth[v as usize] = 0;
+            self.active[v as usize] = false;
+            self.visited[v as usize] = false;
+            self.children[v as usize].clear();
+        }
+        self.preorder.clear();
+        self.roots.clear();
+        self.max_depth = 0;
+    }
+
+    /// Ancestor of `u` at absolute depth `d ≤ depth(u)`.
+    fn ancestor_at(&self, u: u32, d: u32) -> u32 {
+        let mut cur = u;
+        let mut cd = self.depth[u as usize];
+        debug_assert!(d <= cd);
+        while cd > d {
+            cur = self.parent[cur as usize];
+            cd -= 1;
+        }
+        cur
+    }
+}

@@ -1,0 +1,137 @@
+//! The Theorem 8 evaluator: dynamic weighted-query evaluation with
+//! free-variable queries.
+
+use crate::compile::CompiledQuery;
+use crate::slots::SlotKey;
+use agq_circuit::{DynEvaluator, FiniteMaint, PermMaint, RingMaint};
+use agq_perm::SegTreePerm;
+use agq_semiring::Semiring;
+use agq_structure::{Elem, RelId, Tuple, WeightId, WeightedStructure};
+
+/// A compiled weighted query bound to live weight values: supports point
+/// queries at free-variable tuples, weight updates, and (in dynamic-atom
+/// mode) Gaifman-preserving relation updates.
+///
+/// * General semirings: `O(log |A|)` per query/update (via segment-tree
+///   permanents), tight by Proposition 14.
+/// * Rings and finite semirings: `O(1)` per query/update.
+pub struct QueryEngine<S: Semiring, P: PermMaint<S>> {
+    compiled: CompiledQuery<S>,
+    eval: DynEvaluator<S, P>,
+}
+
+/// Theorem 8 engine for arbitrary semirings (logarithmic updates).
+pub type GeneralEngine<S> = QueryEngine<S, SegTreePerm<S>>;
+/// Theorem 8 engine for rings (constant-time updates, Corollary 17).
+pub type RingEngine<S> = QueryEngine<S, RingMaint<S>>;
+/// Theorem 8 engine for finite semirings (constant-time updates,
+/// Corollary 20).
+pub type FiniteEngine<S> = QueryEngine<S, FiniteMaint<S>>;
+
+impl<S: Semiring, P: PermMaint<S>> QueryEngine<S, P> {
+    /// Bind a compiled query to concrete weights (and, in dynamic-atom
+    /// mode, the current relation contents).
+    pub fn new(compiled: CompiledQuery<S>, weights: &WeightedStructure<S>) -> Self {
+        let a = weights.structure();
+        let slot_values: Vec<S> = compiled
+            .slots
+            .iter()
+            .map(|(_, key)| match key {
+                SlotKey::Weight(w, t) => weights.get(w, t.as_slice()),
+                SlotKey::FreeVar(..) => S::zero(),
+                SlotKey::AtomPos(r, t) => {
+                    if a.holds(r, t.as_slice()) {
+                        S::one()
+                    } else {
+                        S::zero()
+                    }
+                }
+                SlotKey::AtomNeg(r, t) => {
+                    if a.holds(r, t.as_slice()) {
+                        S::zero()
+                    } else {
+                        S::one()
+                    }
+                }
+            })
+            .collect();
+        let eval = DynEvaluator::new(
+            compiled.circuit.clone(),
+            &slot_values,
+            &compiled.lits,
+        );
+        QueryEngine { compiled, eval }
+    }
+
+    /// The compiled query this engine runs.
+    pub fn compiled(&self) -> &CompiledQuery<S> {
+        &self.compiled
+    }
+
+    /// Value of a closed query (meaningless when free variables exist —
+    /// with all indicators at 0 every free term contributes 0).
+    pub fn value(&self) -> &S {
+        self.eval.output()
+    }
+
+    /// Value at a free-variable tuple (the `v_i`-indicator trick: `2|x|`
+    /// temporary updates, as in the paper's proof).
+    pub fn query(&mut self, tuple: &[Elem]) -> S {
+        assert_eq!(
+            tuple.len(),
+            self.compiled.free_vars.len(),
+            "query tuple arity mismatch"
+        );
+        let mut patches = Vec::with_capacity(tuple.len());
+        for (i, &a) in tuple.iter().enumerate() {
+            match self
+                .compiled
+                .slots
+                .lookup(&SlotKey::FreeVar(i as u8, a))
+            {
+                Some(slot) => patches.push((slot, S::one())),
+                // No gate reads v_i(a): no shape can place the variable
+                // there, so the value is structurally zero.
+                None => return S::zero(),
+            }
+        }
+        self.eval.peek_with(&patches)
+    }
+
+    /// Update a weight: `w(t̄) := value`. Returns false when the weight is
+    /// structurally irrelevant (no gate reads it; the query value cannot
+    /// depend on it).
+    pub fn set_weight(&mut self, w: WeightId, t: &[Elem], value: S) -> bool {
+        match self.compiled.slots.lookup(&SlotKey::Weight(w, Tuple::new(t))) {
+            Some(slot) => {
+                self.eval.set_input(slot, value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Dynamic-atom mode only: insert/remove a tuple of relation `r`
+    /// (must preserve the Gaifman graph — tuples over non-cliques were
+    /// compiled away as structural zeros and return false).
+    pub fn set_atom(&mut self, r: RelId, t: &[Elem], present: bool) -> bool {
+        let tuple = Tuple::new(t);
+        let pos = self.compiled.slots.lookup(&SlotKey::AtomPos(r, tuple));
+        let neg = self.compiled.slots.lookup(&SlotKey::AtomNeg(r, tuple));
+        if pos.is_none() && neg.is_none() {
+            return false;
+        }
+        let (pv, nv) = if present {
+            (S::one(), S::zero())
+        } else {
+            (S::zero(), S::one())
+        };
+        if let Some(slot) = pos {
+            self.eval.set_input(slot, pv);
+        }
+        if let Some(slot) = neg {
+            self.eval.set_input(slot, nv);
+        }
+        true
+    }
+}

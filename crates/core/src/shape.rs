@@ -1,0 +1,407 @@
+//! Shapes: ancestor-merge patterns of variable tuples in a rooted forest
+//! (the combinatorial core of Lemma 32 / Lemma 29).
+//!
+//! A *shape* for `k` variables records, for a tuple of pairwise-distinct
+//! elements of a rooted forest, the isomorphism type of the union of their
+//! root paths: which variables sit on which chains, where chains merge,
+//! and at what depths. Every distinct tuple matches exactly one shape, so
+//! summing per-shape circuits counts every tuple exactly once (the mutual
+//! exclusivity that Lemma 32 establishes through atomic types).
+//!
+//! Enumeration inserts variables one at a time in a fixed order; each
+//! insertion either (a) marks an existing unmarked node, (b) hangs a fresh
+//! chain below an existing node, or (c) starts a fresh root chain. With
+//! the insertion order fixed, every abstract shape is generated exactly
+//! once: the ancestor closure of the first `i` variables is an invariant
+//! of the abstract shape, and variable-labeled forests have no nontrivial
+//! automorphisms fixing the labels.
+
+/// One shape over variables `0..k`. Node `0..len` in creation order;
+/// `parent[root] == u32::MAX`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Shape {
+    /// Parent of each node (`u32::MAX` for roots).
+    pub parent: Vec<u32>,
+    /// Depth of each node (roots at 0).
+    pub depth: Vec<u8>,
+    /// The variable marked at a node, if any.
+    pub var_at: Vec<Option<u8>>,
+    /// Inverse map: the node of each variable.
+    pub var_node: Vec<u32>,
+}
+
+impl Shape {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the shape has no nodes (only for `k = 0`).
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Maximum node depth.
+    pub fn max_depth(&self) -> u8 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The children lists (computed; shapes are tiny).
+    pub fn children(&self) -> Vec<Vec<u32>> {
+        let mut ch = vec![Vec::new(); self.len()];
+        for (n, &p) in self.parent.iter().enumerate() {
+            if p != u32::MAX {
+                ch[p as usize].push(n as u32);
+            }
+        }
+        ch
+    }
+
+    /// Root nodes.
+    pub fn roots(&self) -> Vec<u32> {
+        (0..self.len() as u32)
+            .filter(|&n| self.parent[n as usize] == u32::MAX)
+            .collect()
+    }
+
+    /// Is `a` an ancestor of (or equal to) `b`?
+    pub fn is_ancestor(&self, a: u32, b: u32) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let p = self.parent[cur as usize];
+            if p == u32::MAX {
+                return false;
+            }
+            cur = p;
+        }
+    }
+
+    /// Are two nodes on a common root path?
+    pub fn comparable(&self, a: u32, b: u32) -> bool {
+        self.is_ancestor(a, b) || self.is_ancestor(b, a)
+    }
+}
+
+/// Enumerate every shape for `k` variables with depth ≤ `max_depth`,
+/// pruning (during enumeration) partial shapes that violate a
+/// comparability requirement: `require_comparable` lists variable pairs
+/// that must lie on a common root path (because a positive atom or a
+/// weight factor links them — tuples are cliques in the Gaifman graph and
+/// DFS forests make cliques chains).
+///
+/// Returns `None` when more than `cap` shapes would be produced.
+pub fn enumerate_shapes(
+    k: usize,
+    max_depth: u8,
+    require_comparable: &[(u8, u8)],
+    cap: usize,
+) -> Option<Vec<Shape>> {
+    let mut out = Vec::new();
+    let mut shape = Shape {
+        parent: Vec::new(),
+        depth: Vec::new(),
+        var_at: Vec::new(),
+        var_node: Vec::new(),
+    };
+    if insert_rec(k, max_depth, require_comparable, cap, &mut shape, &mut out) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+fn insert_rec(
+    k: usize,
+    max_depth: u8,
+    req: &[(u8, u8)],
+    cap: usize,
+    shape: &mut Shape,
+    out: &mut Vec<Shape>,
+) -> bool {
+    let i = shape.var_node.len();
+    if i == k {
+        if out.len() >= cap {
+            return false;
+        }
+        out.push(shape.clone());
+        return true;
+    }
+    let var = i as u8;
+    // (a) mark an existing unmarked node
+    for n in 0..shape.len() as u32 {
+        if shape.var_at[n as usize].is_none() {
+            shape.var_at[n as usize] = Some(var);
+            shape.var_node.push(n);
+            let mut over_cap = false;
+            if check_req(shape, var, req) {
+                over_cap = !insert_rec(k, max_depth, req, cap, shape, out);
+            }
+            shape.var_node.pop();
+            shape.var_at[n as usize] = None;
+            if over_cap {
+                return false;
+            }
+        }
+    }
+    // (b) hang a fresh chain below an existing node, (c) fresh root chain
+    let anchors: Vec<(Option<u32>, u8)> = {
+        let mut a: Vec<(Option<u32>, u8)> = shape
+            .parent
+            .iter()
+            .enumerate()
+            .map(|(n, _)| (Some(n as u32), shape.depth[n]))
+            .collect();
+        a.push((None, 0));
+        a
+    };
+    for (anchor, base_depth) in anchors {
+        let start_depth = match anchor {
+            Some(_) => base_depth + 1,
+            None => 0,
+        };
+        for target in start_depth..=max_depth {
+            // chain of nodes at depths start_depth..=target below anchor
+            let first_new = shape.len();
+            let mut parent = anchor;
+            for d in start_depth..=target {
+                let id = shape.len() as u32;
+                shape
+                    .parent
+                    .push(parent.map_or(u32::MAX, |p| p));
+                shape.depth.push(d);
+                shape.var_at.push(None);
+                parent = Some(id);
+            }
+            let leaf = shape.len() - 1;
+            shape.var_at[leaf] = Some(var);
+            shape.var_node.push(leaf as u32);
+            if check_req(shape, var, req)
+                && !insert_rec(k, max_depth, req, cap, shape, out)
+            {
+                // undo before propagating failure
+                shape.var_node.pop();
+                shape.parent.truncate(first_new);
+                shape.depth.truncate(first_new);
+                shape.var_at.truncate(first_new);
+                return false;
+            }
+            shape.var_node.pop();
+            shape.parent.truncate(first_new);
+            shape.depth.truncate(first_new);
+            shape.var_at.truncate(first_new);
+        }
+    }
+    true
+}
+
+/// Check all requirements whose later variable is `var`.
+fn check_req(shape: &Shape, var: u8, req: &[(u8, u8)]) -> bool {
+    for &(a, b) in req {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        if hi != var || lo as usize >= shape.var_node.len() {
+            continue;
+        }
+        let na = shape.var_node[lo as usize];
+        let nb = shape.var_node[hi as usize];
+        if !shape.comparable(na, nb) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(k: usize, d: u8) -> usize {
+        enumerate_shapes(k, d, &[], usize::MAX).unwrap().len()
+    }
+
+    #[test]
+    fn one_variable_counts_depths() {
+        // one var: a chain ending at each depth 0..=d
+        for d in 0..5u8 {
+            assert_eq!(count(1, d), d as usize + 1);
+        }
+    }
+
+    #[test]
+    fn two_variables_depth_zero() {
+        // depth 0: both vars are roots of trivial chains — 1 shape
+        assert_eq!(count(2, 0), 1);
+    }
+
+    #[test]
+    fn two_variables_depth_one_exhaustive() {
+        // Enumerate by hand: v0 at depth 0 or 1 (chain), v1 inserted.
+        // Shapes = equality types of (a,b), a≠b, in forests of depth ≤1:
+        //  (0,0): two roots
+        //  (0,1): root + child-of-other-root; a above b; b above a — but
+        //  these differ: v0 root & v1 its child; v0 root & v1 child of a
+        //  DIFFERENT root (v1's chain root unmarked); v0 at depth1 ...
+        // Just pin the number and cross-validate against the embedding
+        // count test below.
+        assert_eq!(count(2, 1), 7);
+    }
+
+    #[test]
+    fn every_node_is_ancestor_of_a_variable() {
+        for shape in enumerate_shapes(3, 2, &[], usize::MAX).unwrap() {
+            for n in 0..shape.len() as u32 {
+                let has_descendant_var = shape
+                    .var_node
+                    .iter()
+                    .any(|&vn| shape.is_ancestor(n, vn));
+                assert!(has_descendant_var, "dangling node in {shape:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_are_pairwise_distinct() {
+        let shapes = enumerate_shapes(3, 2, &[], usize::MAX).unwrap();
+        // canonical key: for every var pair, the meet pattern + depths
+        let mut keys = std::collections::HashSet::new();
+        for s in &shapes {
+            let mut key = Vec::new();
+            for v in 0..3usize {
+                key.push(s.depth[s.var_node[v] as usize] as i32);
+            }
+            for a in 0..3usize {
+                for b in a + 1..3 {
+                    key.push(meet_depth(s, s.var_node[a], s.var_node[b]));
+                }
+            }
+            assert!(keys.insert(key), "duplicate equality type: {s:?}");
+        }
+    }
+
+    /// Depth of deepest common ancestor, or -1.
+    fn meet_depth(s: &Shape, a: u32, b: u32) -> i32 {
+        let chain = |mut n: u32| {
+            let mut c = vec![n];
+            while s.parent[n as usize] != u32::MAX {
+                n = s.parent[n as usize];
+                c.push(n);
+            }
+            c
+        };
+        let ca = chain(a);
+        let cb = chain(b);
+        for n in &ca {
+            if cb.contains(n) {
+                return s.depth[*n as usize] as i32;
+            }
+        }
+        -1
+    }
+
+    /// Cross-validation: the number of k-tuples of distinct nodes of a
+    /// concrete forest must equal the sum over shapes of embedding counts
+    /// — which we verify here by brute force for a small forest, checking
+    /// both coverage and exclusivity of shapes.
+    #[test]
+    fn shapes_partition_distinct_tuples() {
+        // forest: two trees — path 0-1-2 (0 root) and single root 3
+        let parent = [u32::MAX, 0, 1, u32::MAX];
+        let depth = [0u8, 1, 2, 0];
+        let n = 4u32;
+        let matches = |s: &Shape, tuple: &[u32]| -> bool {
+            // try to embed: var v at tuple[v]; internal nodes forced
+            // check depths and parent consistency of the closure
+            let mut node_img = vec![u32::MAX; s.len()];
+            for (v, &fv) in s.var_node.iter().enumerate() {
+                node_img[fv as usize] = tuple[v];
+            }
+            // propagate upwards repeatedly
+            for _ in 0..s.len() {
+                for i in 0..s.len() {
+                    if node_img[i] != u32::MAX {
+                        let p = s.parent[i];
+                        if p != u32::MAX {
+                            let img_parent = parent[node_img[i] as usize];
+                            if img_parent == u32::MAX {
+                                return false; // shape node has parent, image is root
+                            }
+                            if node_img[p as usize] == u32::MAX {
+                                node_img[p as usize] = img_parent;
+                            } else if node_img[p as usize] != img_parent {
+                                return false;
+                            }
+                        }
+                    }
+                }
+            }
+            // all nodes placed, depths match, images distinct
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..s.len() {
+                if node_img[i] == u32::MAX {
+                    return false;
+                }
+                if s.depth[i] != depth[node_img[i] as usize] {
+                    return false;
+                }
+                if !seen.insert(node_img[i]) {
+                    return false;
+                }
+            }
+            // roots must map to roots
+            for &r in &s.roots() {
+                if parent[node_img[r as usize] as usize] != u32::MAX {
+                    return false;
+                }
+            }
+            true
+        };
+        for k in 1..=3usize {
+            let shapes = enumerate_shapes(k, 2, &[], usize::MAX).unwrap();
+            // all k-tuples of distinct nodes
+            let mut tuples = vec![vec![]];
+            for _ in 0..k {
+                let mut next = Vec::new();
+                for t in &tuples {
+                    for v in 0..n {
+                        if !t.contains(&v) {
+                            let mut t2: Vec<u32> = t.clone();
+                            t2.push(v);
+                            next.push(t2);
+                        }
+                    }
+                }
+                tuples = next;
+            }
+            for t in &tuples {
+                let hits = shapes.iter().filter(|s| matches(s, t)).count();
+                assert_eq!(hits, 1, "tuple {t:?} matched {hits} shapes (k={k})");
+            }
+        }
+    }
+
+    #[test]
+    fn comparability_requirements_prune() {
+        let all = count(2, 2);
+        let chained = enumerate_shapes(2, 2, &[(0, 1)], usize::MAX)
+            .unwrap()
+            .len();
+        assert!(chained < all, "{chained} vs {all}");
+        for s in enumerate_shapes(2, 2, &[(0, 1)], usize::MAX).unwrap() {
+            assert!(s.comparable(s.var_node[0], s.var_node[1]));
+        }
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        assert!(enumerate_shapes(3, 3, &[], 5).is_none());
+    }
+
+    #[test]
+    fn zero_variables_single_empty_shape() {
+        let shapes = enumerate_shapes(0, 3, &[], usize::MAX).unwrap();
+        assert_eq!(shapes.len(), 1);
+        assert!(shapes[0].is_empty());
+    }
+}

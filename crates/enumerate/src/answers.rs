@@ -1,0 +1,474 @@
+//! Result (D): constant-delay enumeration of first-order query answers,
+//! dynamic under Gaifman-preserving updates (Theorem 24).
+//!
+//! Following Section 6 of the paper: for `φ(x₁…x_k)`, build the closed
+//! weighted expression `f = Σ_x̄ [φ] · w₁(x₁)⋯w_k(x_k)` where `w_i(a)`
+//! is the fresh generator `e^i_a` of the free semiring. Then `f_A`'s
+//! formal sum has exactly one summand `e¹_{a₁}⋯e^k_{a_k}` per answer
+//! `(a₁…a_k)`, and the circuit enumerator of [`crate::machine`] yields
+//! them with constant delay and no duplicates. In dynamic mode the
+//! relations are compiled as 0/1 inputs (Lemma 40's `v±_R` weights), so
+//! tuple insertions/removals that keep the Gaifman graph intact are O(1)
+//! maintenance.
+
+use crate::cursor::SummandIter;
+use crate::machine::{EnumMachine, InputVal};
+use agq_core::{compile, eliminate_quantifiers, CompileError, CompileOptions, SlotKey};
+use agq_logic::{normalize, Expr, Formula};
+use agq_semiring::{Gen, Nat};
+use agq_structure::{Elem, RelId, Signature, Structure, Tuple, WeightId};
+use std::sync::Arc;
+
+/// Errors raised by answer-index updates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The tuple's elements are not a clique of the (compile-time)
+    /// Gaifman graph — the update is not Gaifman-preserving.
+    NotGaifmanPreserving,
+    /// The index was built statically (`dynamic = false`).
+    StaticIndex,
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::NotGaifmanPreserving => {
+                write!(f, "update does not preserve the Gaifman graph")
+            }
+            UpdateError::StaticIndex => write!(f, "index was built without dynamic support"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// A preprocessed first-order query ready for constant-delay answer
+/// enumeration (and constant-time maintenance in dynamic mode).
+pub struct AnswerIndex {
+    machine: EnumMachine,
+    slots: agq_core::SlotRegistry,
+    arity: usize,
+    dynamic: bool,
+    /// Generator weight symbols, one per free-variable position.
+    gen_weights: Vec<WeightId>,
+}
+
+impl AnswerIndex {
+    /// Preprocess `φ` over `a` in time `O_φ(|A|)` for enumeration only
+    /// (quantifiers allowed via guarded elimination).
+    pub fn build(a: &Structure, phi: &Formula, opts: &CompileOptions) -> Result<Self, CompileError> {
+        Self::build_inner(a, phi, opts, false)
+    }
+
+    /// Preprocess `φ` for enumeration **and** Gaifman-preserving updates
+    /// (Theorem 24's dynamic form). Requires a quantifier-free `φ` — the
+    /// guarded elimination materializes static predicates which updates
+    /// would invalidate.
+    pub fn build_dynamic(
+        a: &Structure,
+        phi: &Formula,
+        opts: &CompileOptions,
+    ) -> Result<Self, CompileError> {
+        if !phi.is_quantifier_free() {
+            return Err(CompileError::UnsupportedQuantifier {
+                formula: format!("{phi:?} (dynamic indexes require quantifier-free φ)"),
+            });
+        }
+        Self::build_inner(a, phi, opts, true)
+    }
+
+    fn build_inner(
+        a: &Structure,
+        phi: &Formula,
+        opts: &CompileOptions,
+        dynamic: bool,
+    ) -> Result<Self, CompileError> {
+        let free = phi.free_vars();
+        let arity = free.len();
+
+        // Extend the signature with one generator weight per position.
+        let mut sig = (**a.signature()).clone();
+        let gen_weights: Vec<WeightId> = (0..arity)
+            .map(|i| sig.add_weight(&format!("__gen{i}"), 1))
+            .collect();
+        let a2 = copy_structure(a, Arc::new(sig));
+
+        // f = Σ_x̄ [φ] · Π w_i(x_i)
+        let mut factors: Vec<Expr<Nat>> = vec![Expr::Bracket(phi.clone())];
+        for (i, v) in free.iter().enumerate() {
+            factors.push(Expr::Weight(gen_weights[i], vec![*v]));
+        }
+        let expr = Expr::Mul(factors).sum_over(free.iter().copied());
+
+        let mut copts = opts.clone();
+        copts.dynamic_atoms = dynamic;
+        let (expr, a3) = eliminate_quantifiers(&expr, &a2, &copts)?;
+        let nf = normalize(&expr)?;
+        let compiled = compile(&a3, &nf, &copts)?;
+
+        // Input values in the free semiring.
+        let values: Vec<InputVal> = compiled
+            .slots
+            .iter()
+            .map(|(_, key)| match key {
+                SlotKey::Weight(w, t) => {
+                    // generator weights: e^i_a; any other weight would be
+                    // a bug in expression construction
+                    let pos = gen_weights
+                        .iter()
+                        .position(|g| *g == w)
+                        .expect("only generator weights appear");
+                    vec![vec![Gen::pack(pos as u32, t.as_slice()[0])]]
+                }
+                SlotKey::AtomPos(r, t) => bool_val(a3.holds(r, t.as_slice())),
+                SlotKey::AtomNeg(r, t) => bool_val(!a3.holds(r, t.as_slice())),
+                SlotKey::FreeVar(..) => unreachable!("expression is closed"),
+            })
+            .collect();
+
+        let machine = EnumMachine::new(compiled.circuit.clone(), values);
+        Ok(AnswerIndex {
+            machine,
+            slots: compiled.slots,
+            arity,
+            dynamic,
+            gen_weights,
+        })
+    }
+
+    /// Answer-tuple arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of answers, computed in `O_φ(|A|)` by a counting pass
+    /// (evaluating the same circuit in ℕ).
+    pub fn count(&self) -> u64 {
+        self.machine.count_summands()
+    }
+
+    /// Whether at least one answer exists — `O_φ(1)` from the support
+    /// shadow.
+    pub fn is_nonempty(&self) -> bool {
+        self.machine.output_supported()
+    }
+
+    /// The underlying enumeration machine (for instrumentation).
+    pub fn machine(&self) -> &EnumMachine {
+        &self.machine
+    }
+
+    /// Constant-delay, duplicate-free, bidirectional iterator over the
+    /// answers.
+    pub fn iter(&self) -> AnswerIter<'_> {
+        AnswerIter {
+            inner: self.machine.summands(),
+            arity: self.arity,
+        }
+    }
+
+    /// Dynamic mode: set membership of `tuple` in relation `r`.
+    ///
+    /// Constant time. Fails if the index is static or the tuple is not a
+    /// clique of the compile-time Gaifman graph (insertions only;
+    /// removing a never-representable tuple is a no-op).
+    pub fn set_tuple(
+        &mut self,
+        r: RelId,
+        tuple: &[Elem],
+        present: bool,
+    ) -> Result<(), UpdateError> {
+        if !self.dynamic {
+            return Err(UpdateError::StaticIndex);
+        }
+        let t = Tuple::new(tuple);
+        let pos = self.slots.lookup(&SlotKey::AtomPos(r, t));
+        let neg = self.slots.lookup(&SlotKey::AtomNeg(r, t));
+        if pos.is_none() && neg.is_none() {
+            // The compiler never materialized this atom: either the tuple
+            // is not a clique (a true Gaifman violation when inserting) or
+            // the atom provably cannot influence any answer (safe no-op
+            // when removing). Reject insertions conservatively.
+            if present {
+                return Err(UpdateError::NotGaifmanPreserving);
+            }
+            return Ok(());
+        }
+        if let Some(s) = pos {
+            self.machine.set_input(s, bool_val(present));
+        }
+        if let Some(s) = neg {
+            self.machine.set_input(s, bool_val(!present));
+        }
+        Ok(())
+    }
+
+    /// The generator weight symbols (diagnostics).
+    pub fn generator_weights(&self) -> &[WeightId] {
+        &self.gen_weights
+    }
+}
+
+fn bool_val(b: bool) -> InputVal {
+    if b {
+        vec![vec![]]
+    } else {
+        vec![]
+    }
+}
+
+fn copy_structure(a: &Structure, sig: Arc<Signature>) -> Structure {
+    let mut b = Structure::new(sig, a.domain_size());
+    for r in a.signature().relation_ids() {
+        for t in a.relation(r).iter() {
+            b.insert(r, t.as_slice());
+        }
+    }
+    b
+}
+
+/// Bidirectional constant-delay iterator over answers.
+pub struct AnswerIter<'a> {
+    inner: SummandIter<'a>,
+    arity: usize,
+}
+
+impl AnswerIter<'_> {
+    /// Next answer tuple.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Vec<Elem>> {
+        self.inner.next().map(|m| self.decode(m))
+    }
+
+    /// Previous answer tuple.
+    pub fn prev(&mut self) -> Option<Vec<Elem>> {
+        self.inner.prev().map(|m| self.decode(m))
+    }
+
+    /// Current answer tuple.
+    pub fn current(&self) -> Option<Vec<Elem>> {
+        self.inner.current().map(|m| self.decode(m))
+    }
+
+    fn decode(&self, monomial: Vec<Gen>) -> Vec<Elem> {
+        debug_assert_eq!(monomial.len(), self.arity);
+        let mut out = vec![0 as Elem; self.arity];
+        for g in monomial {
+            let (slot, elem) = g.unpack();
+            out[slot as usize] = elem;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agq_logic::Var;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(n: usize, m: usize, seed: u64) -> Structure {
+        let mut sig = Signature::new();
+        let e = sig.add_relation("E", 2);
+        sig.add_relation("S", 1);
+        let mut a = Structure::new(Arc::new(sig), n);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..m {
+            let x = rng.gen_range(0..n as u32);
+            let y = rng.gen_range(0..n as u32);
+            if x != y {
+                a.insert(e, &[x, y]);
+            }
+        }
+        a
+    }
+
+    fn sorted(mut v: Vec<Vec<Elem>>) -> Vec<Vec<Elem>> {
+        v.sort();
+        v
+    }
+
+    fn collect_all(ix: &AnswerIndex) -> Vec<Vec<Elem>> {
+        let mut out = Vec::new();
+        let mut it = ix.iter();
+        while let Some(t) = it.next() {
+            out.push(t);
+        }
+        out
+    }
+
+    fn check_against_baseline(a: &Structure, phi: &Formula) {
+        let ix = AnswerIndex::build(a, phi, &CompileOptions::default()).unwrap();
+        let got = collect_all(&ix);
+        let expect = agq_baseline::all_answers(phi, a);
+        assert_eq!(got.len() as u64, ix.count(), "count() consistent");
+        assert_eq!(
+            sorted(got.clone()),
+            sorted(expect),
+            "answer sets must agree"
+        );
+        // no duplicates
+        let mut dedup = sorted(got.clone());
+        dedup.dedup();
+        assert_eq!(dedup.len(), got.len(), "no duplicate answers");
+    }
+
+    #[test]
+    fn edges_enumeration() {
+        for seed in 0..4 {
+            let a = random_graph(18, 30, seed);
+            let e = a.signature().relation("E").unwrap();
+            check_against_baseline(&a, &Formula::Rel(e, vec![Var(0), Var(1)]));
+        }
+    }
+
+    #[test]
+    fn paths_of_length_two() {
+        for seed in 0..3 {
+            let a = random_graph(14, 28, 10 + seed);
+            let e = a.signature().relation("E").unwrap();
+            let phi = Formula::Rel(e, vec![Var(0), Var(1)])
+                .and(Formula::Rel(e, vec![Var(1), Var(2)]))
+                .and(Formula::neq(Var(0), Var(2)));
+            check_against_baseline(&a, &phi);
+        }
+    }
+
+    #[test]
+    fn triangles_enumeration() {
+        let a = random_graph(12, 40, 21);
+        let e = a.signature().relation("E").unwrap();
+        let phi = Formula::Rel(e, vec![Var(0), Var(1)])
+            .and(Formula::Rel(e, vec![Var(1), Var(2)]))
+            .and(Formula::Rel(e, vec![Var(2), Var(0)]));
+        check_against_baseline(&a, &phi);
+    }
+
+    #[test]
+    fn non_edges_enumeration() {
+        let a = random_graph(10, 16, 33);
+        let e = a.signature().relation("E").unwrap();
+        let phi = Formula::Rel(e, vec![Var(0), Var(1)])
+            .not()
+            .and(Formula::neq(Var(0), Var(1)));
+        check_against_baseline(&a, &phi);
+    }
+
+    #[test]
+    fn quantified_formula_static() {
+        // nodes with an out-neighbor that has an out-neighbor
+        let a = random_graph(13, 22, 44);
+        let e = a.signature().relation("E").unwrap();
+        let inner = Formula::Exists(
+            Var(2),
+            Box::new(Formula::Rel(e, vec![Var(1), Var(2)])),
+        );
+        let phi = Formula::Exists(
+            Var(1),
+            Box::new(Formula::Rel(e, vec![Var(0), Var(1)]).and(inner)),
+        );
+        check_against_baseline(&a, &phi);
+    }
+
+    #[test]
+    fn bidirectional_walk() {
+        let a = random_graph(12, 25, 55);
+        let e = a.signature().relation("E").unwrap();
+        let ix = AnswerIndex::build(
+            &a,
+            &Formula::Rel(e, vec![Var(0), Var(1)]),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        let fwd = collect_all(&ix);
+        let mut it = ix.iter();
+        while it.next().is_some() {}
+        let mut back = Vec::new();
+        while let Some(t) = it.prev() {
+            back.push(t);
+        }
+        back.reverse();
+        assert_eq!(fwd, back);
+    }
+
+    #[test]
+    fn dynamic_updates_track_baseline() {
+        let mut rng = SmallRng::seed_from_u64(66);
+        let mut shadow = random_graph(14, 30, 66);
+        let e = shadow.signature().relation("E").unwrap();
+        let s = shadow.signature().relation("S").unwrap();
+        // φ(x,y) = E(x,y) ∧ S(x): exercises binary + unary updates
+        let phi = Formula::Rel(e, vec![Var(0), Var(1)]).and(Formula::Rel(s, vec![Var(0)]));
+        let mut ix =
+            AnswerIndex::build_dynamic(&shadow, &phi, &CompileOptions::default()).unwrap();
+        // candidate binary tuples: existing E tuples (and their reverses
+        // — same Gaifman clique)
+        let e_tuples: Vec<[u32; 2]> = shadow
+            .relation(e)
+            .iter()
+            .map(|t| [t.as_slice()[0], t.as_slice()[1]])
+            .collect();
+        for step in 0..40 {
+            if rng.gen_bool(0.5) {
+                // toggle S(a)
+                let v = rng.gen_range(0..14u32);
+                let present = rng.gen_bool(0.5);
+                if present {
+                    shadow.insert(s, &[v]);
+                } else {
+                    shadow.remove(s, &[v]);
+                }
+                ix.set_tuple(s, &[v], present).unwrap();
+            } else {
+                // toggle an E tuple (forward or reversed — same clique)
+                let t = e_tuples[rng.gen_range(0..e_tuples.len())];
+                let t = if rng.gen_bool(0.5) { t } else { [t[1], t[0]] };
+                let present = rng.gen_bool(0.5);
+                if present {
+                    shadow.insert(e, &t);
+                } else {
+                    shadow.remove(e, &t);
+                }
+                ix.set_tuple(e, &t, present).unwrap();
+            }
+            let got = sorted(collect_all(&ix));
+            let expect = sorted(agq_baseline::all_answers(&phi, &shadow));
+            assert_eq!(got, expect, "step {step}");
+        }
+    }
+
+    #[test]
+    fn non_gaifman_insert_rejected() {
+        let mut sig = Signature::new();
+        let e = sig.add_relation("E", 2);
+        let mut a = Structure::new(Arc::new(sig), 5);
+        a.insert(e, &[0, 1]);
+        a.insert(e, &[2, 3]);
+        let phi = Formula::Rel(e, vec![Var(0), Var(1)]);
+        let mut ix =
+            AnswerIndex::build_dynamic(&a, &phi, &CompileOptions::default()).unwrap();
+        // (0,3) is not an edge of the Gaifman graph
+        assert_eq!(
+            ix.set_tuple(e, &[0, 3], true),
+            Err(UpdateError::NotGaifmanPreserving)
+        );
+        // removal of a never-representable tuple is a no-op
+        assert_eq!(ix.set_tuple(e, &[0, 3], false), Ok(()));
+    }
+
+    #[test]
+    fn empty_answer_set() {
+        let a = random_graph(8, 0, 1);
+        let e = a.signature().relation("E").unwrap();
+        let ix = AnswerIndex::build(
+            &a,
+            &Formula::Rel(e, vec![Var(0), Var(1)]),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+        assert!(!ix.is_nonempty());
+        assert_eq!(ix.count(), 0);
+        assert!(collect_all(&ix).is_empty());
+    }
+}

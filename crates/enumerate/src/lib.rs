@@ -1,0 +1,35 @@
+//! Constant-delay enumeration over circuits in the free semiring:
+//! system **S8**, results (C), (D) and the enumeration half of (E).
+//!
+//! The same circuit the Theorem 6 compiler produces can be evaluated in
+//! the free (provenance) semiring, where values are formal sums of
+//! monomials. Materializing those sums would be as large as the output;
+//! instead — exactly as in Section 5 of the paper — every gate value is
+//! represented by a **bidirectional enumerator** of its summands:
+//!
+//! * addition gates concatenate the enumerators of their *supported*
+//!   children (a live list maintained under updates);
+//! * multiplication gates enumerate the pair product lexicographically;
+//! * permanent gates use the Lemma 23 recursion
+//!   `perm(M) = Σ_c M[r,c] · perm(M^rc)`, where the columns `c` worth
+//!   visiting (`N[r,c] = 1` and `perm(N^rc) = 1`) come from the Lemma 39
+//!   structure: per-support-mask column lists plus Hall-condition checks
+//!   on the mask counts (`agq_perm::support`), all `O_k(1)` per step.
+//!
+//! [`machine::EnumMachine`] holds the support state (Boolean shadow of
+//! the circuit) and maintains it in constant time per input flip —
+//! the Gaifman-preserving dynamics of Theorem 24. [`cursor`] implements
+//! the bidirectional cursor; [`answers`] packages result (D): linear-time
+//! preprocessing, constant-delay, duplicate-free enumeration of the
+//! answers to a first-order query, dynamic under updates that preserve
+//! the Gaifman graph. [`provenance`] packages result (C).
+
+pub mod answers;
+pub mod cursor;
+pub mod machine;
+pub mod provenance;
+
+pub use answers::{AnswerIndex, AnswerIter, UpdateError};
+pub use cursor::{Cursor, SummandIter};
+pub use machine::EnumMachine;
+pub use provenance::{ProvIter, ProvenanceIndex};

@@ -1,0 +1,397 @@
+//! Support tracking for circuits evaluated in the free semiring.
+
+use agq_circuit::{Circuit, ConstRef, GateDef};
+use agq_perm::support::sdr_exists;
+use agq_semiring::Gen;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// An input value in the free semiring: a list of summand monomials,
+/// each a (not necessarily sorted) list of generators. The empty list is
+/// `0`; a single empty monomial is `1`.
+pub type InputVal = Vec<Vec<Gen>>;
+
+/// Lemma 39's structure for one permanent gate: columns bucketed by their
+/// Boolean support mask, with counts for `O_k(1)` Hall checks.
+#[derive(Debug)]
+pub(crate) struct PermSupport {
+    pub k: usize,
+    /// Current support mask of each column.
+    pub col_mask: Vec<u32>,
+    /// `counts[mask]` = number of columns with that mask.
+    pub counts: Vec<i64>,
+    /// Columns per mask, in enumeration order.
+    pub lists: Vec<Vec<u32>>,
+    /// `pos[col]` = index of the column within its mask list.
+    pub pos: Vec<u32>,
+}
+
+impl PermSupport {
+    fn new(k: usize, masks: Vec<u32>) -> Self {
+        let mut counts = vec![0i64; 1 << k];
+        let mut lists = vec![Vec::new(); 1 << k];
+        let mut pos = vec![0u32; masks.len()];
+        for (c, &m) in masks.iter().enumerate() {
+            counts[m as usize] += 1;
+            pos[c] = lists[m as usize].len() as u32;
+            lists[m as usize].push(c as u32);
+        }
+        PermSupport {
+            k,
+            col_mask: masks,
+            counts,
+            lists,
+            pos,
+        }
+    }
+
+    /// Flip one entry's support; returns the gate's new support.
+    fn set_entry(&mut self, row: usize, col: usize, nonzero: bool) -> bool {
+        let old = self.col_mask[col];
+        let new = if nonzero {
+            old | (1 << row)
+        } else {
+            old & !(1 << row)
+        };
+        if new != old {
+            // remove from old list (swap-remove, fixing the moved column)
+            let p = self.pos[col] as usize;
+            let list = &mut self.lists[old as usize];
+            let last = *list.last().expect("column in its list");
+            list.swap_remove(p);
+            if (last as usize) != col {
+                self.pos[last as usize] = p as u32;
+            }
+            self.counts[old as usize] -= 1;
+            // append to new list
+            self.pos[col] = self.lists[new as usize].len() as u32;
+            self.lists[new as usize].push(col as u32);
+            self.counts[new as usize] += 1;
+            self.col_mask[col] = new;
+        }
+        self.supported()
+    }
+
+    /// Whether the permanent is nonzero in the Boolean shadow
+    /// (an SDR for all rows exists).
+    pub fn supported(&self) -> bool {
+        sdr_exists(self.k, &self.counts)
+    }
+}
+
+/// Live list of supported children of an addition gate.
+#[derive(Debug)]
+pub(crate) struct AddSupport {
+    /// Positions (into the gate's child list) of supported children, in
+    /// enumeration order.
+    pub nz: Vec<u32>,
+    /// Inverse: `where_pos[child_position]` = index in `nz`, or `u32::MAX`.
+    pub where_pos: Vec<u32>,
+}
+
+impl AddSupport {
+    fn set(&mut self, child_pos: usize, supported: bool) {
+        let cur = self.where_pos[child_pos];
+        if supported && cur == u32::MAX {
+            self.where_pos[child_pos] = self.nz.len() as u32;
+            self.nz.push(child_pos as u32);
+        } else if !supported && cur != u32::MAX {
+            let p = cur as usize;
+            let last = *self.nz.last().expect("nonempty");
+            self.nz.swap_remove(p);
+            if last as usize != child_pos {
+                self.where_pos[last as usize] = p as u32;
+            }
+            self.where_pos[child_pos] = u32::MAX;
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum ParentRef {
+    Add { gate: u32, child_pos: u32 },
+    Mul(u32),
+    Perm { gate: u32, row: u8, col: u32 },
+}
+
+/// The enumeration state of a circuit over the free semiring: per-slot
+/// input summand lists, a Boolean support shadow of every gate, and the
+/// Lemma 39 structures at permanent gates. Input updates propagate in
+/// time proportional to the (query-bounded) number of affected gates.
+pub struct EnumMachine {
+    circuit: Arc<Circuit>,
+    /// Summand lists per input slot.
+    input_vals: Vec<InputVal>,
+    /// Boolean support per gate.
+    pub(crate) support: Vec<bool>,
+    pub(crate) adds: Vec<Option<AddSupport>>,
+    pub(crate) perms: Vec<Option<PermSupport>>,
+    parents: Vec<Vec<ParentRef>>,
+    /// Input gates per slot (updates must not scan the circuit).
+    slot_gates: Vec<Vec<u32>>,
+    /// Bumped on every update; outstanding cursors become invalid.
+    pub(crate) version: u64,
+}
+
+impl EnumMachine {
+    /// Build from initial input values.
+    ///
+    /// # Panics
+    /// Panics if the circuit uses literal-table constants — enumeration
+    /// circuits carry coefficient 1 everywhere (formal sums have no
+    /// scalar action beyond ℕ, and compiled enumeration expressions use
+    /// coefficient 1).
+    pub fn new(circuit: Arc<Circuit>, input_vals: Vec<InputVal>) -> Self {
+        assert_eq!(input_vals.len(), circuit.num_slots());
+        assert_eq!(
+            circuit.num_lits(),
+            0,
+            "enumeration circuits must not use literal constants"
+        );
+        let gates = circuit.gates();
+        let mut support = vec![false; gates.len()];
+        let mut adds: Vec<Option<AddSupport>> = Vec::with_capacity(gates.len());
+        let mut perms: Vec<Option<PermSupport>> = Vec::with_capacity(gates.len());
+        let mut parents: Vec<Vec<ParentRef>> = vec![Vec::new(); gates.len()];
+        let mut slot_gates: Vec<Vec<u32>> = vec![Vec::new(); circuit.num_slots()];
+        for (i, g) in gates.iter().enumerate() {
+            let mut add_s = None;
+            let mut perm_s = None;
+            support[i] = match g {
+                GateDef::Input(slot) => {
+                    slot_gates[*slot as usize].push(i as u32);
+                    !input_vals[*slot as usize].is_empty()
+                }
+                GateDef::Const(ConstRef::Zero) => false,
+                GateDef::Const(ConstRef::One) => true,
+                GateDef::Const(ConstRef::Lit(_)) => unreachable!("no lits"),
+                GateDef::Add(children) => {
+                    let mut s = AddSupport {
+                        nz: Vec::new(),
+                        where_pos: vec![u32::MAX; children.len()],
+                    };
+                    for (p, c) in children.iter().enumerate() {
+                        parents[c.0 as usize].push(ParentRef::Add {
+                            gate: i as u32,
+                            child_pos: p as u32,
+                        });
+                        if support[c.0 as usize] {
+                            s.set(p, true);
+                        }
+                    }
+                    let sup = !s.nz.is_empty();
+                    add_s = Some(s);
+                    sup
+                }
+                GateDef::Mul(a, b) => {
+                    parents[a.0 as usize].push(ParentRef::Mul(i as u32));
+                    parents[b.0 as usize].push(ParentRef::Mul(i as u32));
+                    support[a.0 as usize] && support[b.0 as usize]
+                }
+                GateDef::Perm { rows, cols } => {
+                    let k = *rows as usize;
+                    let mut masks = Vec::with_capacity(cols.len() / k);
+                    for (ci, col) in cols.chunks_exact(k).enumerate() {
+                        let mut m = 0u32;
+                        for (r, child) in col.iter().enumerate() {
+                            parents[child.0 as usize].push(ParentRef::Perm {
+                                gate: i as u32,
+                                row: r as u8,
+                                col: ci as u32,
+                            });
+                            if support[child.0 as usize] {
+                                m |= 1 << r;
+                            }
+                        }
+                        masks.push(m);
+                    }
+                    let s = PermSupport::new(k, masks);
+                    let sup = s.supported();
+                    perm_s = Some(s);
+                    sup
+                }
+            };
+            adds.push(add_s);
+            perms.push(perm_s);
+        }
+        EnumMachine {
+            circuit,
+            input_vals,
+            support,
+            adds,
+            perms,
+            parents,
+            slot_gates,
+            version: 0,
+        }
+    }
+
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &Arc<Circuit> {
+        &self.circuit
+    }
+
+    /// Current value of an input slot.
+    pub fn input(&self, slot: u32) -> &InputVal {
+        &self.input_vals[slot as usize]
+    }
+
+    /// Whether the output is nonzero (at least one summand).
+    pub fn output_supported(&self) -> bool {
+        self.support[self.circuit.output().0 as usize]
+    }
+
+    /// Overwrite an input slot's value and repair the support shadow.
+    /// Invalidates outstanding cursors.
+    pub fn set_input(&mut self, slot: u32, value: InputVal) {
+        self.version += 1;
+        let new_support = !value.is_empty();
+        self.input_vals[slot as usize] = value;
+        // All input gates reading this slot flip together (indexed; an
+        // update must not scan the circuit).
+        let mut dirty: BinaryHeap<std::cmp::Reverse<u32>> = BinaryHeap::new();
+        let gates = std::mem::take(&mut self.slot_gates[slot as usize]);
+        for &i in &gates {
+            if self.support[i as usize] != new_support {
+                self.support[i as usize] = new_support;
+                self.notify_parents(i, &mut dirty);
+            }
+        }
+        self.slot_gates[slot as usize] = gates;
+        while let Some(std::cmp::Reverse(g)) = dirty.pop() {
+            if dirty.peek() == Some(&std::cmp::Reverse(g)) {
+                continue;
+            }
+            let new = self.recompute_support(g);
+            if self.support[g as usize] != new {
+                self.support[g as usize] = new;
+                self.notify_parents(g, &mut dirty);
+            }
+        }
+    }
+
+    fn notify_parents(&mut self, g: u32, dirty: &mut BinaryHeap<std::cmp::Reverse<u32>>) {
+        let sup = self.support[g as usize];
+        let parents = std::mem::take(&mut self.parents[g as usize]);
+        for p in &parents {
+            match *p {
+                ParentRef::Add { gate, child_pos } => {
+                    self.adds[gate as usize]
+                        .as_mut()
+                        .expect("add support")
+                        .set(child_pos as usize, sup);
+                    dirty.push(std::cmp::Reverse(gate));
+                }
+                ParentRef::Mul(gate) => dirty.push(std::cmp::Reverse(gate)),
+                ParentRef::Perm { gate, row, col } => {
+                    self.perms[gate as usize]
+                        .as_mut()
+                        .expect("perm support")
+                        .set_entry(row as usize, col as usize, sup);
+                    dirty.push(std::cmp::Reverse(gate));
+                }
+            }
+        }
+        self.parents[g as usize] = parents;
+    }
+
+    fn recompute_support(&self, g: u32) -> bool {
+        match &self.circuit.gates()[g as usize] {
+            GateDef::Input(_) | GateDef::Const(_) => self.support[g as usize],
+            GateDef::Add(_) => !self.adds[g as usize].as_ref().expect("add").nz.is_empty(),
+            GateDef::Mul(a, b) => {
+                self.support[a.0 as usize] && self.support[b.0 as usize]
+            }
+            GateDef::Perm { .. } => {
+                self.perms[g as usize].as_ref().expect("perm").supported()
+            }
+        }
+    }
+
+    /// Total number of summands of the output, counted by evaluating the
+    /// circuit in ℕ with each input replaced by its summand count.
+    /// Linear time; used by tests and progress reporting.
+    pub fn count_summands(&self) -> u64 {
+        use agq_semiring::Nat;
+        let slots: Vec<Nat> = self
+            .input_vals
+            .iter()
+            .map(|v| Nat(v.len() as u64))
+            .collect();
+        self.circuit.eval(&slots, &[]).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agq_circuit::CircuitBuilder;
+
+    fn gen(i: u64) -> Vec<Gen> {
+        vec![Gen(i)]
+    }
+
+    #[test]
+    fn support_flows_through_gates() {
+        // out = (x0 + x1) · x2
+        let mut b = CircuitBuilder::new();
+        let x0 = b.input(0);
+        let x1 = b.input(1);
+        let x2 = b.input(2);
+        let s = b.add(&[x0, x1]);
+        let m = b.mul(s, x2);
+        let c = Arc::new(b.finish(m));
+        let mut mach = EnumMachine::new(c, vec![vec![gen(1)], vec![], vec![gen(3)]]);
+        assert!(mach.output_supported());
+        mach.set_input(0, vec![]);
+        assert!(!mach.output_supported(), "both addends zero");
+        mach.set_input(1, vec![gen(2)]);
+        assert!(mach.output_supported());
+        mach.set_input(2, vec![]);
+        assert!(!mach.output_supported(), "product by zero");
+    }
+
+    #[test]
+    fn perm_support_is_hall_condition() {
+        // 2×2 permanent of inputs; zeroing a full row kills it, zeroing
+        // one diagonal still leaves the other.
+        let mut b = CircuitBuilder::new();
+        let g: Vec<_> = (0..4).map(|i| b.input(i)).collect();
+        // columns (g0,g1), (g2,g3)
+        let p = b.perm_flat(2, vec![g[0], g[1], g[2], g[3]]);
+        let c = Arc::new(b.finish(p));
+        let vals = |present: [bool; 4]| {
+            (0..4)
+                .map(|i| if present[i] { vec![gen(i as u64)] } else { vec![] })
+                .collect::<Vec<_>>()
+        };
+        let mut mach = EnumMachine::new(c, vals([true; 4]));
+        assert!(mach.output_supported());
+        // kill row 0 of both columns
+        mach.set_input(0, vec![]);
+        mach.set_input(2, vec![]);
+        assert!(!mach.output_supported());
+        // restore column 1 row 0: perm has the assignment (r0→c1, r1→c0)
+        mach.set_input(2, vec![gen(9)]);
+        assert!(mach.output_supported());
+        // but killing row 1 of column 0 forces both rows into column 1
+        mach.set_input(1, vec![]);
+        assert!(!mach.output_supported());
+    }
+
+    #[test]
+    fn count_summands_matches_nat_eval() {
+        let mut b = CircuitBuilder::new();
+        let x0 = b.input(0);
+        let x1 = b.input(1);
+        let s = b.add(&[x0, x1]);
+        let m = b.mul(s, x1);
+        let c = Arc::new(b.finish(m));
+        let mach = EnumMachine::new(
+            c,
+            vec![vec![gen(1), gen(2)], vec![gen(3), gen(4), gen(5)]],
+        );
+        // (2 + 3) * 3 = 15
+        assert_eq!(mach.count_summands(), 15);
+    }
+}

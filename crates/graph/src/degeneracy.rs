@@ -1,0 +1,185 @@
+//! Degeneracy orderings and bounded out-degree acyclic orientations
+//! (the engine of Lemma 37).
+
+use crate::Graph;
+
+/// An acyclic orientation of a graph with explicit out-neighbor lists.
+///
+/// Produced by [`degeneracy_orientation`]: out-degree is bounded by the
+/// degeneracy, and the orientation is acyclic because all arcs point
+/// forward in the elimination order. The paper's Lemma 37 encodes each arc
+/// `v → u` as a unary function `f_i(v) = u` where `i` is the arc's position
+/// in `v`'s out-list; [`Orientation::out`] exposes exactly that indexing.
+#[derive(Clone, Debug)]
+pub struct Orientation {
+    /// `out[v]` = out-neighbors of `v`, in a fixed order.
+    out: Vec<Vec<u32>>,
+    /// The elimination order (first-removed first).
+    order: Vec<u32>,
+    /// The degeneracy `d` = max out-degree.
+    degeneracy: usize,
+}
+
+impl Orientation {
+    /// Out-neighbors of `v` in arc order (`f_1(v), f_2(v), …`).
+    pub fn out(&self, v: u32) -> &[u32] {
+        &self.out[v as usize]
+    }
+
+    /// The `i`-th out-neighbor of `v` (0-based), or `None`.
+    pub fn out_at(&self, v: u32, i: usize) -> Option<u32> {
+        self.out[v as usize].get(i).copied()
+    }
+
+    /// Maximum out-degree (= degeneracy of the input graph).
+    pub fn max_out_degree(&self) -> usize {
+        self.degeneracy
+    }
+
+    /// The elimination order that produced this orientation.
+    pub fn elimination_order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.out.len()
+    }
+}
+
+/// Compute a degeneracy ordering by the classic bucket-queue algorithm
+/// (repeatedly remove a minimum-degree vertex), in `O(n + m)` time, and
+/// orient every edge from the earlier-removed endpoint to the later one.
+pub fn degeneracy_orientation(g: &Graph) -> Orientation {
+    let n = g.num_vertices();
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v as u32)).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n {
+        buckets[degree[v]].push(v as u32);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    // `cursor` is a lower bound on the minimum true degree among the
+    // unremoved vertices: removing a min-degree vertex lowers neighbor
+    // degrees by one, so the bound decreases by at most one per step.
+    // Entries are re-pushed on every decrement, so stale entries (already
+    // removed, or degree since changed) are simply skipped. Total work is
+    // O(n + m) because each decrement causes one push.
+    let mut cursor = 0usize;
+    for _ in 0..n {
+        let v = loop {
+            match buckets[cursor].pop() {
+                Some(v) if !removed[v as usize] && degree[v as usize] == cursor => break v,
+                Some(_) => continue, // stale
+                None => cursor += 1,
+            }
+        };
+        removed[v as usize] = true;
+        order.push(v);
+        for &u in g.neighbors(v) {
+            if !removed[u as usize] {
+                degree[u as usize] -= 1;
+                buckets[degree[u as usize]].push(u);
+            }
+        }
+        cursor = cursor.saturating_sub(1);
+    }
+
+    // Position in removal order; arcs go earlier → later.
+    let mut pos = vec![0u32; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i as u32;
+    }
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (u, v) in g.edges() {
+        if pos[u as usize] < pos[v as usize] {
+            out[u as usize].push(v);
+        } else {
+            out[v as usize].push(u);
+        }
+    }
+    let degeneracy = out.iter().map(Vec::len).max().unwrap_or(0);
+    Orientation {
+        out,
+        order,
+        degeneracy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn check_acyclic_and_covering(g: &Graph, o: &Orientation) {
+        // Every edge oriented exactly once.
+        let mut count = 0;
+        for v in 0..g.num_vertices() as u32 {
+            for &u in o.out(v) {
+                assert!(g.has_edge(v, u));
+                count += 1;
+            }
+        }
+        assert_eq!(count, g.num_edges());
+        // Acyclicity: arcs follow elimination positions strictly.
+        let mut pos = vec![0usize; g.num_vertices()];
+        for (i, &v) in o.elimination_order().iter().enumerate() {
+            pos[v as usize] = i;
+        }
+        for v in 0..g.num_vertices() as u32 {
+            for &u in o.out(v) {
+                assert!(pos[v as usize] < pos[u as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_has_degeneracy_one() {
+        let g = generators::path(50);
+        let o = degeneracy_orientation(&g);
+        assert_eq!(o.max_out_degree(), 1);
+        check_acyclic_and_covering(&g, &o);
+    }
+
+    #[test]
+    fn cycle_has_degeneracy_two() {
+        let g = generators::cycle(9);
+        let o = degeneracy_orientation(&g);
+        assert_eq!(o.max_out_degree(), 2);
+        check_acyclic_and_covering(&g, &o);
+    }
+
+    #[test]
+    fn complete_graph_degeneracy() {
+        let g = generators::complete(6);
+        let o = degeneracy_orientation(&g);
+        assert_eq!(o.max_out_degree(), 5);
+        check_acyclic_and_covering(&g, &o);
+    }
+
+    #[test]
+    fn grid_degeneracy_at_most_two() {
+        let g = generators::grid(8, 11);
+        let o = degeneracy_orientation(&g);
+        assert!(o.max_out_degree() <= 2, "grids are 2-degenerate");
+        check_acyclic_and_covering(&g, &o);
+    }
+
+    #[test]
+    fn random_sparse_has_small_outdegree() {
+        let g = generators::gnm(500, 1000, 3);
+        let o = degeneracy_orientation(&g);
+        check_acyclic_and_covering(&g, &o);
+        assert!(o.max_out_degree() <= 8, "got {}", o.max_out_degree());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = Graph::new(0);
+        assert_eq!(degeneracy_orientation(&g).num_vertices(), 0);
+        let g = Graph::new(1);
+        let o = degeneracy_orientation(&g);
+        assert_eq!(o.max_out_degree(), 0);
+    }
+}

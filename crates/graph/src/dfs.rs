@@ -1,0 +1,219 @@
+//! DFS spanning forests with the ancestor–descendant edge property
+//! (Example 2 of the paper).
+
+use crate::Graph;
+
+/// A rooted spanning forest of a graph, with depths and parent pointers.
+///
+/// Built by depth-first search, so **every edge of the underlying graph
+/// connects an ancestor–descendant pair** — the property (Example 2) that
+/// reduces bounded-treedepth structures to labelled forests of bounded
+/// depth. On a graph with no path of length `L`, the forest depth is < `L`,
+/// hence bounded when the treedepth is (depth < 2^treedepth).
+#[derive(Clone, Debug)]
+pub struct Forest {
+    /// `parent[v]` — parent of `v`, or `v` itself for roots (paper
+    /// convention: the `parent` function fixes roots).
+    parent: Vec<u32>,
+    /// `depth[v]` — 0 for roots.
+    depth: Vec<u32>,
+    /// Vertices in DFS preorder (parents precede children).
+    preorder: Vec<u32>,
+    /// Children lists.
+    children: Vec<Vec<u32>>,
+    roots: Vec<u32>,
+    max_depth: u32,
+}
+
+impl Forest {
+    /// Parent of `v` (itself for roots).
+    pub fn parent(&self, v: u32) -> u32 {
+        self.parent[v as usize]
+    }
+
+    /// Depth of `v` (roots have depth 0).
+    pub fn depth(&self, v: u32) -> u32 {
+        self.depth[v as usize]
+    }
+
+    /// Whether `v` is a root.
+    pub fn is_root(&self, v: u32) -> bool {
+        self.parent[v as usize] == v
+    }
+
+    /// The roots, in discovery order.
+    pub fn roots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// Children of `v`.
+    pub fn children(&self, v: u32) -> &[u32] {
+        &self.children[v as usize]
+    }
+
+    /// Vertices in DFS preorder (every parent precedes its children).
+    pub fn preorder(&self) -> &[u32] {
+        &self.preorder
+    }
+
+    /// Maximum depth over all vertices.
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The `parentⁱ(v)` of the paper's forest signature: walk `i` steps
+    /// toward the root, saturating there (roots map to themselves).
+    pub fn ancestor_saturating(&self, v: u32, i: u32) -> u32 {
+        let mut cur = v;
+        for _ in 0..i {
+            cur = self.parent[cur as usize];
+        }
+        cur
+    }
+
+    /// The ancestor of `v` at absolute depth `j`, or `None` if `j` exceeds
+    /// `depth(v)`.
+    pub fn ancestor_at_depth(&self, v: u32, j: u32) -> Option<u32> {
+        let d = self.depth(v);
+        (j <= d).then(|| self.ancestor_saturating(v, d - j))
+    }
+}
+
+/// Build a DFS spanning forest of `g` restricted to the vertices with
+/// `active[v]` (pass all-true for the whole graph). Inactive vertices get
+/// `parent = v`, `depth = 0` and do not appear in the preorder.
+pub fn dfs_forest_on(g: &Graph, active: &[bool]) -> Forest {
+    let n = g.num_vertices();
+    assert_eq!(active.len(), n);
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    let mut depth = vec![0u32; n];
+    let mut visited = vec![false; n];
+    let mut preorder = Vec::new();
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut roots = Vec::new();
+    let mut max_depth = 0;
+    // Iterative DFS: stack of (vertex, next-neighbor-index).
+    let mut stack: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n as u32 {
+        if visited[start as usize] || !active[start as usize] {
+            continue;
+        }
+        visited[start as usize] = true;
+        roots.push(start);
+        preorder.push(start);
+        stack.push((start, 0));
+        while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
+            let nbrs = g.neighbors(v);
+            let mut advanced = false;
+            while *idx < nbrs.len() {
+                let u = nbrs[*idx];
+                *idx += 1;
+                if active[u as usize] && !visited[u as usize] {
+                    visited[u as usize] = true;
+                    parent[u as usize] = v;
+                    depth[u as usize] = depth[v as usize] + 1;
+                    max_depth = max_depth.max(depth[u as usize]);
+                    children[v as usize].push(u);
+                    preorder.push(u);
+                    stack.push((u, 0));
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                stack.pop();
+            }
+        }
+    }
+    Forest {
+        parent,
+        depth,
+        preorder,
+        children,
+        roots,
+        max_depth,
+    }
+}
+
+/// DFS spanning forest over all vertices.
+pub fn dfs_forest(g: &Graph) -> Forest {
+    dfs_forest_on(g, &vec![true; g.num_vertices()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    /// The load-bearing invariant: every graph edge joins comparable nodes.
+    fn assert_edges_vertical(g: &Graph, f: &Forest) {
+        for (u, v) in g.edges() {
+            let (du, dv) = (f.depth(u), f.depth(v));
+            let (hi, lo, dhi, dlo) = if du >= dv { (u, v, du, dv) } else { (v, u, dv, du) };
+            let anc = f.ancestor_saturating(hi, dhi - dlo);
+            assert_eq!(anc, lo, "edge ({u},{v}) not ancestor-descendant");
+        }
+    }
+
+    #[test]
+    fn path_graph_forest() {
+        let g = generators::path(10);
+        let f = dfs_forest(&g);
+        assert_eq!(f.roots().len(), 1);
+        assert_eq!(f.max_depth(), 9);
+        assert_edges_vertical(&g, &f);
+    }
+
+    #[test]
+    fn edges_vertical_on_random_graphs() {
+        for seed in 0..5 {
+            let g = generators::gnm(200, 380, seed);
+            let f = dfs_forest(&g);
+            assert_edges_vertical(&g, &f);
+            // spanning: every vertex reachable appears once in preorder
+            assert_eq!(f.preorder().len(), 200);
+        }
+    }
+
+    #[test]
+    fn parents_precede_children_in_preorder() {
+        let g = generators::grid(5, 7);
+        let f = dfs_forest(&g);
+        let mut pos = vec![usize::MAX; g.num_vertices()];
+        for (i, &v) in f.preorder().iter().enumerate() {
+            pos[v as usize] = i;
+        }
+        for v in 0..g.num_vertices() as u32 {
+            if !f.is_root(v) {
+                assert!(pos[f.parent(v) as usize] < pos[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_forest_ignores_inactive() {
+        let g = generators::path(6);
+        let mut active = vec![true; 6];
+        active[3] = false; // splits the path
+        let f = dfs_forest_on(&g, &active);
+        assert_eq!(f.preorder().len(), 5);
+        assert_eq!(f.roots().len(), 2);
+    }
+
+    #[test]
+    fn ancestor_lookup() {
+        let g = generators::path(5);
+        let f = dfs_forest(&g);
+        let deep = *f.preorder().last().unwrap();
+        assert_eq!(f.ancestor_at_depth(deep, 0), Some(f.roots()[0]));
+        assert_eq!(f.ancestor_at_depth(deep, f.depth(deep)), Some(deep));
+        assert_eq!(f.ancestor_at_depth(f.roots()[0], 3), None);
+        // saturating walk stops at the root
+        assert_eq!(f.ancestor_saturating(deep, 100), f.roots()[0]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Undirected simple graphs with adjacency lists.
+
+/// An undirected simple graph on vertices `0..n`.
+///
+/// Stored as sorted, deduplicated adjacency lists; self-loops and parallel
+/// edges supplied by builders are dropped. All the sparse-decomposition
+/// machinery of this crate operates on this type.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+    m: usize,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            m: 0,
+        }
+    }
+
+    /// Build from an edge list (self-loops and duplicates ignored).
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut g = Graph::new(n);
+        for (u, v) in edges {
+            g.insert_edge(u, v);
+        }
+        g.normalize();
+        g
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    /// Neighbors of `v`, sorted ascending.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Whether the edge `{u, v}` is present (binary search).
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Insert an edge; duplicates allowed until [`Graph::normalize`].
+    ///
+    /// Intended for bulk construction; not for use after `normalize`
+    /// unless `normalize` is called again.
+    pub fn insert_edge(&mut self, u: u32, v: u32) {
+        if u == v {
+            return;
+        }
+        assert!(
+            (u as usize) < self.adj.len() && (v as usize) < self.adj.len(),
+            "edge ({u},{v}) out of range"
+        );
+        self.adj[u as usize].push(v);
+        self.adj[v as usize].push(u);
+    }
+
+    /// Sort and deduplicate adjacency lists; recomputes the edge count.
+    pub fn normalize(&mut self) {
+        let mut m2 = 0;
+        for list in &mut self.adj {
+            list.sort_unstable();
+            list.dedup();
+            m2 += list.len();
+        }
+        self.m = m2 / 2;
+    }
+
+    /// Iterate over edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, list)| {
+            let u = u as u32;
+            list.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The subgraph induced by `keep` (vertices keep their original ids;
+    /// edges to dropped vertices vanish). `keep[v]` marks survival.
+    pub fn induced_where(&self, keep: &[bool]) -> Graph {
+        assert_eq!(keep.len(), self.adj.len());
+        let mut g = Graph::new(self.adj.len());
+        for (u, v) in self.edges() {
+            if keep[u as usize] && keep[v as usize] {
+                g.insert_edge(u, v);
+            }
+        }
+        g.normalize();
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_dedups() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 0), (1, 2), (2, 2), (2, 3)]);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(2, 2));
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn edge_iteration_is_canonical() {
+        let g = Graph::from_edges(3, [(2, 1), (0, 2)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn induced_subgraph_drops_edges() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let keep = vec![true, false, true, true];
+        let h = g.induced_where(&keep);
+        assert_eq!(h.num_edges(), 1);
+        assert!(h.has_edge(2, 3));
+        assert!(!h.has_edge(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = Graph::new(2);
+        g.insert_edge(0, 5);
+    }
+}

@@ -1,0 +1,162 @@
+//! Treedepth utilities: exact computation for tiny graphs and
+//! certification of elimination forests.
+//!
+//! The theory ties every constant in the paper to the treedepth of the
+//! color-set subgraphs. These helpers let tests and diagnostics *verify*
+//! decomposition quality instead of assuming it: an exact (exponential)
+//! treedepth solver for small graphs, and a checker that a rooted forest
+//! is a valid elimination forest (every edge ancestor–descendant), with
+//! its depth as the certified treedepth upper bound.
+
+use crate::{dfs_forest, Forest, Graph};
+use std::collections::HashMap;
+
+/// Exact treedepth of `g` (number of levels; empty graph has 0, a single
+/// vertex 1). Exponential — intended for graphs with ≤ ~16 vertices in
+/// tests and diagnostics.
+pub fn treedepth_exact(g: &Graph) -> u32 {
+    let n = g.num_vertices();
+    assert!(n <= 24, "exact treedepth is exponential; n={n} too large");
+    if n == 0 {
+        return 0;
+    }
+    // adjacency masks
+    let adj: Vec<u32> = (0..n)
+        .map(|v| {
+            g.neighbors(v as u32)
+                .iter()
+                .fold(0u32, |m, &u| m | (1 << u))
+        })
+        .collect();
+    let full = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let mut memo: HashMap<u32, u32> = HashMap::new();
+    td_rec(full, &adj, &mut memo)
+}
+
+fn td_rec(mask: u32, adj: &[u32], memo: &mut HashMap<u32, u32>) -> u32 {
+    if mask == 0 {
+        return 0;
+    }
+    if let Some(&v) = memo.get(&mask) {
+        return v;
+    }
+    // decompose into connected components of the induced subgraph
+    let comps = components(mask, adj);
+    let result = if comps.len() > 1 {
+        comps.into_iter().map(|c| td_rec(c, adj, memo)).max().unwrap()
+    } else {
+        // connected: remove the best root
+        let mut best = u32::MAX;
+        let mut rest = mask;
+        while rest != 0 {
+            let v = rest.trailing_zeros();
+            rest &= rest - 1;
+            let sub = mask & !(1 << v);
+            best = best.min(1 + td_rec(sub, adj, memo));
+            if best == 1 {
+                break;
+            }
+        }
+        best
+    };
+    memo.insert(mask, result);
+    result
+}
+
+fn components(mask: u32, adj: &[u32]) -> Vec<u32> {
+    let mut remaining = mask;
+    let mut out = Vec::new();
+    while remaining != 0 {
+        let start = remaining.trailing_zeros();
+        let mut comp = 1u32 << start;
+        loop {
+            let mut frontier = 0u32;
+            let mut c = comp;
+            while c != 0 {
+                let v = c.trailing_zeros();
+                c &= c - 1;
+                frontier |= adj[v as usize] & mask;
+            }
+            let grown = comp | frontier;
+            if grown == comp {
+                break;
+            }
+            comp = grown;
+        }
+        out.push(comp);
+        remaining &= !comp;
+    }
+    out
+}
+
+/// Verify that `f` is an elimination forest of `g` (every edge of `g`
+/// joins an ancestor–descendant pair of `f`), returning the certified
+/// treedepth upper bound `max_depth + 1`, or `None` if invalid.
+pub fn certify_elimination_forest(g: &Graph, f: &Forest) -> Option<u32> {
+    for (u, v) in g.edges() {
+        let (du, dv) = (f.depth(u), f.depth(v));
+        let (hi, lo, dhi, dlo) = if du >= dv { (u, v, du, dv) } else { (v, u, dv, du) };
+        if f.ancestor_saturating(hi, dhi - dlo) != lo {
+            return None;
+        }
+    }
+    Some(f.max_depth() + 1)
+}
+
+/// The paper's Example 2 bound made checkable: a DFS forest certifies
+/// treedepth within a factor — depth + 1 ≤ 2^treedepth. Returns
+/// `(certified_bound, exact)` for small graphs.
+pub fn dfs_vs_exact(g: &Graph) -> (u32, u32) {
+    let f = dfs_forest(g);
+    let cert = certify_elimination_forest(g, &f).expect("DFS forests always certify");
+    (cert, treedepth_exact(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn exact_treedepth_of_known_graphs() {
+        assert_eq!(treedepth_exact(&Graph::new(0)), 0);
+        assert_eq!(treedepth_exact(&Graph::new(1)), 1);
+        assert_eq!(treedepth_exact(&generators::star(8)), 2);
+        assert_eq!(treedepth_exact(&generators::complete(5)), 5);
+        // path on 2^k − 1 vertices has treedepth exactly k
+        assert_eq!(treedepth_exact(&generators::path(7)), 3);
+        assert_eq!(treedepth_exact(&generators::path(15)), 4);
+        // cycles: td(C_n) = td(P_{n−1}) + 1
+        assert_eq!(treedepth_exact(&generators::cycle(7)), 4);
+    }
+
+    #[test]
+    fn dfs_certificate_respects_example_2_bound() {
+        for g in [
+            generators::path(15),
+            generators::star(12),
+            generators::cycle(9),
+            generators::gnm(14, 18, 3),
+        ] {
+            let (cert, exact) = dfs_vs_exact(&g);
+            assert!(cert >= exact, "certificate is an upper bound");
+            assert!(
+                cert <= (1u32 << exact),
+                "Example 2: DFS depth+1 ≤ 2^td ({cert} vs 2^{exact})"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_forest_is_rejected() {
+        // a star-shaped forest cannot certify a path: the path edge (1,2)
+        // joins two siblings (incomparable) of the star forest
+        let g = generators::path(4);
+        let star = generators::star(4);
+        let f = dfs_forest(&star);
+        assert_eq!(certify_elimination_forest(&g, &f), None);
+        // while a path-shaped forest certifies anything its chain covers
+        let f2 = dfs_forest(&g);
+        assert_eq!(certify_elimination_forest(&g, &f2), Some(4));
+    }
+}

@@ -1,0 +1,180 @@
+//! Weighted `Σ(w)`-expressions.
+
+use crate::formula::Formula;
+use crate::Var;
+use agq_structure::WeightId;
+use std::fmt;
+
+/// A weighted expression over a semiring `S` (Section 3 of the paper):
+/// constants, weight symbols applied to variables, Iverson brackets of
+/// first-order formulas, `+`, `·`, and aggregation `Σ_x`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr<S> {
+    /// A semiring constant.
+    Const(S),
+    /// `w(x̄)` — a weight symbol applied to variables.
+    Weight(WeightId, Vec<Var>),
+    /// `[φ]` — 1 if the formula holds, 0 otherwise.
+    Bracket(Formula),
+    /// Sum of subexpressions.
+    Add(Vec<Expr<S>>),
+    /// Product of subexpressions.
+    Mul(Vec<Expr<S>>),
+    /// `Σ_{x̄} e` — aggregation over all values of the listed variables.
+    Sum(Vec<Var>, Box<Expr<S>>),
+}
+
+impl<S> Expr<S> {
+    /// `e1 + e2` convenience constructor.
+    pub fn plus(self, other: Expr<S>) -> Expr<S> {
+        Expr::Add(vec![self, other])
+    }
+
+    /// `e1 · e2` convenience constructor.
+    pub fn times(self, other: Expr<S>) -> Expr<S> {
+        Expr::Mul(vec![self, other])
+    }
+
+    /// `Σ_x e` convenience constructor.
+    pub fn sum_over(self, vars: impl IntoIterator<Item = Var>) -> Expr<S> {
+        Expr::Sum(vars.into_iter().collect(), Box::new(self))
+    }
+
+    /// Free variables of the expression (weight arguments and free formula
+    /// variables, minus `Σ`-bound ones).
+    pub fn free_vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.free_vars_into(&mut Vec::new(), &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn free_vars_into(&self, bound: &mut Vec<Var>, out: &mut Vec<Var>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Weight(_, args) => {
+                out.extend(args.iter().filter(|v| !bound.contains(v)));
+            }
+            Expr::Bracket(f) => {
+                out.extend(f.free_vars().into_iter().filter(|v| !bound.contains(v)));
+            }
+            Expr::Add(es) | Expr::Mul(es) => {
+                for e in es {
+                    e.free_vars_into(bound, out);
+                }
+            }
+            Expr::Sum(vars, e) => {
+                let depth = bound.len();
+                bound.extend(vars.iter().copied());
+                e.free_vars_into(bound, out);
+                bound.truncate(depth);
+            }
+        }
+    }
+
+    /// The largest variable id mentioned anywhere (bound or free), used to
+    /// mint fresh variables during normalization.
+    pub fn max_var(&self) -> Option<u32> {
+        match self {
+            Expr::Const(_) => None,
+            Expr::Weight(_, args) => args.iter().map(|v| v.0).max(),
+            Expr::Bracket(f) => max_var_formula(f),
+            Expr::Add(es) | Expr::Mul(es) => es.iter().filter_map(Expr::max_var).max(),
+            Expr::Sum(vars, e) => vars
+                .iter()
+                .map(|v| v.0)
+                .max()
+                .into_iter()
+                .chain(e.max_var())
+                .max(),
+        }
+    }
+}
+
+fn max_var_formula(f: &Formula) -> Option<u32> {
+    match f {
+        Formula::True | Formula::False => None,
+        Formula::Rel(_, args) => args.iter().map(|v| v.0).max(),
+        Formula::Eq(a, b) => Some(a.0.max(b.0)),
+        Formula::Not(g) => max_var_formula(g),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().filter_map(max_var_formula).max(),
+        Formula::Exists(v, g) | Formula::Forall(v, g) => {
+            Some(max_var_formula(g).map_or(v.0, |m| m.max(v.0)))
+        }
+    }
+}
+
+impl<S: fmt::Debug> fmt::Display for Expr<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(s) => write!(f, "{s:?}"),
+            Expr::Weight(w, args) => {
+                write!(f, "w{}(", w.0)?;
+                for (i, v) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Bracket(formula) => write!(f, "[{formula:?}]"),
+            Expr::Add(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Mul(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "·")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Sum(vars, e) => {
+                write!(f, "Σ_{{")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}} {e}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agq_semiring::Nat;
+    use agq_structure::RelId;
+
+    #[test]
+    fn free_vars_of_sum() {
+        let x = Var(0);
+        let y = Var(1);
+        let e: Expr<Nat> = Expr::Bracket(Formula::Rel(RelId(0), vec![x, y]))
+            .times(Expr::Weight(WeightId(0), vec![x]))
+            .sum_over([x]);
+        assert_eq!(e.free_vars(), vec![y]);
+        assert_eq!(e.max_var(), Some(1));
+    }
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let x = Var(0);
+        let e: Expr<Nat> = Expr::Weight(WeightId(0), vec![x]).sum_over([x]);
+        assert_eq!(format!("{e}"), "Σ_{x0} w0(x0)");
+    }
+}

@@ -1,0 +1,456 @@
+//! First-order formulas and their decomposition into mutually exclusive
+//! conjunctions of literals.
+
+use crate::Var;
+use agq_structure::RelId;
+use std::fmt;
+
+/// A first-order formula over a relational signature. Terms are variables
+/// (function symbols are encoded as relations; the compiler reintroduces
+/// functional form internally where Lemma 37 needs it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Formula {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// `R(x̄)`.
+    Rel(RelId, Vec<Var>),
+    /// `x = y`.
+    Eq(Var, Var),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction of any width.
+    And(Vec<Formula>),
+    /// Disjunction of any width.
+    Or(Vec<Formula>),
+    /// `∃x φ`.
+    Exists(Var, Box<Formula>),
+    /// `∀x φ`.
+    Forall(Var, Box<Formula>),
+}
+
+impl Formula {
+    /// `x ≠ y` convenience constructor.
+    pub fn neq(a: Var, b: Var) -> Formula {
+        Formula::Not(Box::new(Formula::Eq(a, b)))
+    }
+
+    /// Binary conjunction convenience constructor.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(vec![self, other])
+    }
+
+    /// Binary disjunction convenience constructor.
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(vec![self, other])
+    }
+
+    /// Negation convenience constructor.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// Whether the formula contains no quantifiers.
+    pub fn is_quantifier_free(&self) -> bool {
+        match self {
+            Formula::True | Formula::False | Formula::Rel(..) | Formula::Eq(..) => true,
+            Formula::Not(f) => f.is_quantifier_free(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(Formula::is_quantifier_free),
+            Formula::Exists(..) | Formula::Forall(..) => false,
+        }
+    }
+
+    /// Collect the free variables.
+    pub fn free_vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.free_vars_into(&mut Vec::new(), &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn free_vars_into(&self, bound: &mut Vec<Var>, out: &mut Vec<Var>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Rel(_, args) => {
+                out.extend(args.iter().filter(|v| !bound.contains(v)));
+            }
+            Formula::Eq(a, b) => {
+                for v in [a, b] {
+                    if !bound.contains(v) {
+                        out.push(*v);
+                    }
+                }
+            }
+            Formula::Not(f) => f.free_vars_into(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.free_vars_into(bound, out);
+                }
+            }
+            Formula::Exists(v, f) | Formula::Forall(v, f) => {
+                bound.push(*v);
+                f.free_vars_into(bound, out);
+                bound.pop();
+            }
+        }
+    }
+
+    /// Negation normal form (quantifier-free input only).
+    fn nnf(&self, negate: bool) -> Formula {
+        match self {
+            Formula::True => {
+                if negate {
+                    Formula::False
+                } else {
+                    Formula::True
+                }
+            }
+            Formula::False => {
+                if negate {
+                    Formula::True
+                } else {
+                    Formula::False
+                }
+            }
+            Formula::Rel(..) | Formula::Eq(..) => {
+                if negate {
+                    Formula::Not(Box::new(self.clone()))
+                } else {
+                    self.clone()
+                }
+            }
+            Formula::Not(f) => f.nnf(!negate),
+            Formula::And(fs) => {
+                let kids: Vec<Formula> = fs.iter().map(|f| f.nnf(negate)).collect();
+                if negate {
+                    Formula::Or(kids)
+                } else {
+                    Formula::And(kids)
+                }
+            }
+            Formula::Or(fs) => {
+                let kids: Vec<Formula> = fs.iter().map(|f| f.nnf(negate)).collect();
+                if negate {
+                    Formula::And(kids)
+                } else {
+                    Formula::Or(kids)
+                }
+            }
+            Formula::Exists(..) | Formula::Forall(..) => {
+                unreachable!("nnf called on quantified formula")
+            }
+        }
+    }
+}
+
+/// A literal: a possibly negated relational atom or (in)equality.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Lit {
+    /// `R(x̄)` (positive) or `¬R(x̄)`.
+    Rel {
+        /// Relation symbol.
+        rel: RelId,
+        /// Argument variables.
+        args: Vec<Var>,
+        /// False for a negated atom.
+        positive: bool,
+    },
+    /// `x = y` (positive) or `x ≠ y`.
+    Eq {
+        /// Left variable.
+        a: Var,
+        /// Right variable.
+        b: Var,
+        /// False for `≠`.
+        positive: bool,
+    },
+}
+
+impl Lit {
+    /// The literal with opposite polarity.
+    pub fn negated(&self) -> Lit {
+        match self {
+            Lit::Rel { rel, args, positive } => Lit::Rel {
+                rel: *rel,
+                args: args.clone(),
+                positive: !positive,
+            },
+            Lit::Eq { a, b, positive } => Lit::Eq {
+                a: *a,
+                b: *b,
+                positive: !positive,
+            },
+        }
+    }
+
+    /// Variables of the literal.
+    pub fn vars(&self) -> Vec<Var> {
+        match self {
+            Lit::Rel { args, .. } => args.clone(),
+            Lit::Eq { a, b, .. } => vec![*a, *b],
+        }
+    }
+
+    /// Is this literal trivially true (`x = x`) or trivially false
+    /// (`x ≠ x`)? Returns `Some(truth)` when decidable without data.
+    pub fn trivial_truth(&self) -> Option<bool> {
+        match self {
+            Lit::Eq { a, b, positive } if a == b => Some(*positive),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lit::Rel { rel, args, positive } => {
+                if !positive {
+                    write!(f, "¬")?;
+                }
+                write!(f, "R{}(", rel.0)?;
+                for (i, v) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Lit::Eq { a, b, positive } => {
+                write!(f, "{a}{}{b}", if *positive { "=" } else { "≠" })
+            }
+        }
+    }
+}
+
+/// Decompose a quantifier-free formula into a **mutually exclusive**
+/// disjunction of conjunctions of literals:
+/// `φ ≡ C₁ ∨ C₂ ∨ …` with `Cᵢ ∧ Cⱼ` unsatisfiable for `i ≠ j`.
+///
+/// Exclusivity is what lets the Iverson bracket distribute:
+/// `[φ] = [C₁] + [C₂] + …` in *every* semiring (Lemma 32's expansion
+/// needs sums without double counting). We use
+/// `f₁ ∨ f₂ ≡ f₁ ∨ (¬f₁ ∧ f₂)`, which is exclusive by construction, and
+/// close under conjunction by cross products.
+///
+/// Clauses that contain a literal and its negation (or `x ≠ x`) are
+/// dropped; `x = x` literals are removed. The expansion is exponential in
+/// the formula size — a query constant, never data-sized.
+///
+/// # Panics
+/// Panics if the formula contains quantifiers (callers run the guarded
+/// quantifier elimination first; see `agq-core`).
+pub fn exclusive_dnf(f: &Formula) -> Vec<Vec<Lit>> {
+    assert!(
+        f.is_quantifier_free(),
+        "exclusive_dnf requires a quantifier-free formula"
+    );
+    let nnf = f.nnf(false);
+    let raw = dnf_rec(&nnf);
+    raw.into_iter().filter_map(simplify_clause).collect()
+}
+
+fn dnf_rec(f: &Formula) -> Vec<Vec<Lit>> {
+    match f {
+        Formula::True => vec![vec![]],
+        Formula::False => vec![],
+        Formula::Rel(rel, args) => vec![vec![Lit::Rel {
+            rel: *rel,
+            args: args.clone(),
+            positive: true,
+        }]],
+        Formula::Eq(a, b) => vec![vec![Lit::Eq {
+            a: *a,
+            b: *b,
+            positive: true,
+        }]],
+        Formula::Not(inner) => match inner.as_ref() {
+            Formula::Rel(rel, args) => vec![vec![Lit::Rel {
+                rel: *rel,
+                args: args.clone(),
+                positive: false,
+            }]],
+            Formula::Eq(a, b) => vec![vec![Lit::Eq {
+                a: *a,
+                b: *b,
+                positive: false,
+            }]],
+            _ => unreachable!("input is in NNF"),
+        },
+        Formula::And(fs) => {
+            let mut acc: Vec<Vec<Lit>> = vec![vec![]];
+            for g in fs {
+                let d = dnf_rec(g);
+                let mut next = Vec::with_capacity(acc.len() * d.len());
+                for c1 in &acc {
+                    for c2 in &d {
+                        let mut c = c1.clone();
+                        c.extend(c2.iter().cloned());
+                        next.push(c);
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        Formula::Or(fs) => {
+            // f₁ ∨ (¬f₁ ∧ f₂) ∨ (¬f₁ ∧ ¬f₂ ∧ f₃) ∨ …
+            let mut out = Vec::new();
+            for (i, g) in fs.iter().enumerate() {
+                let mut guarded = Formula::And(
+                    fs[..i]
+                        .iter()
+                        .map(|h| h.clone().not().nnf(false))
+                        .chain(std::iter::once(g.clone()))
+                        .collect(),
+                );
+                if i == 0 {
+                    guarded = g.clone();
+                }
+                out.extend(dnf_rec(&guarded.nnf(false)));
+            }
+            out
+        }
+        Formula::Exists(..) | Formula::Forall(..) => unreachable!("quantifier-free input"),
+    }
+}
+
+/// Deduplicate, drop `x = x`, detect contradictions. Returns `None` when
+/// the clause is unsatisfiable on syntactic grounds.
+fn simplify_clause(mut clause: Vec<Lit>) -> Option<Vec<Lit>> {
+    clause.retain(|l| l.trivial_truth() != Some(true));
+    if clause.iter().any(|l| l.trivial_truth() == Some(false)) {
+        return None;
+    }
+    clause.sort();
+    clause.dedup();
+    for l in &clause {
+        if clause.binary_search(&l.negated()).is_ok() {
+            return None;
+        }
+    }
+    Some(clause)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: RelId = RelId(0);
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn rel(a: u32, b: u32) -> Formula {
+        Formula::Rel(R, vec![v(a), v(b)])
+    }
+
+    /// Evaluate a clause / formula under a truth assignment for testing.
+    fn eval_lit(l: &Lit, edges: &[(u32, u32)], eqs: bool) -> bool {
+        match l {
+            Lit::Rel { args, positive, .. } => {
+                let present = edges.contains(&(args[0].0, args[1].0));
+                present == *positive
+            }
+            Lit::Eq { a, b, positive } => ((a == b) || eqs) == *positive,
+        }
+    }
+
+    fn eval_formula(f: &Formula, edges: &[(u32, u32)]) -> bool {
+        match f {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Rel(_, args) => edges.contains(&(args[0].0, args[1].0)),
+            Formula::Eq(a, b) => a == b,
+            Formula::Not(g) => !eval_formula(g, edges),
+            Formula::And(fs) => fs.iter().all(|g| eval_formula(g, edges)),
+            Formula::Or(fs) => fs.iter().any(|g| eval_formula(g, edges)),
+            _ => unreachable!(),
+        }
+    }
+
+    /// The key property: over every assignment, exactly as many clauses
+    /// hold as the formula does (0 or 1) — i.e. the decomposition is an
+    /// exclusive cover.
+    fn assert_exclusive_cover(f: &Formula, num_pairs: usize) {
+        let clauses = exclusive_dnf(f);
+        let pairs: Vec<(u32, u32)> = (0..3u32)
+            .flat_map(|a| (0..3u32).map(move |b| (a, b)))
+            .take(num_pairs)
+            .collect();
+        for mask in 0u32..(1 << pairs.len()) {
+            let edges: Vec<(u32, u32)> = pairs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, p)| *p)
+                .collect();
+            let want = eval_formula(f, &edges) as usize;
+            let got = clauses
+                .iter()
+                .filter(|c| c.iter().all(|l| eval_lit(l, &edges, false)))
+                .count();
+            assert_eq!(got, want, "mask {mask:b} for {f:?}");
+        }
+    }
+
+    #[test]
+    fn disjunction_is_exclusive() {
+        let f = rel(0, 1).or(rel(1, 2));
+        assert_exclusive_cover(&f, 4);
+    }
+
+    #[test]
+    fn nested_or_and_not() {
+        let f = rel(0, 1)
+            .or(rel(1, 2).and(rel(2, 0).not()))
+            .or(rel(2, 0));
+        assert_exclusive_cover(&f, 4);
+    }
+
+    #[test]
+    fn demorgan_negation() {
+        let f = (rel(0, 1).and(rel(1, 2))).not();
+        assert_exclusive_cover(&f, 4);
+    }
+
+    #[test]
+    fn contradictions_are_dropped() {
+        let f = rel(0, 1).and(rel(0, 1).not());
+        assert!(exclusive_dnf(&f).is_empty());
+        let g = Formula::neq(v(0), v(0));
+        assert!(exclusive_dnf(&g).is_empty());
+    }
+
+    #[test]
+    fn trivial_equalities_are_removed() {
+        let f = Formula::Eq(v(0), v(0)).and(rel(0, 1));
+        let d = exclusive_dnf(&f);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].len(), 1, "x=x dropped: {:?}", d[0]);
+    }
+
+    #[test]
+    fn true_false_constants() {
+        assert_eq!(exclusive_dnf(&Formula::True), vec![Vec::<Lit>::new()]);
+        assert!(exclusive_dnf(&Formula::False).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantifier-free")]
+    fn quantifiers_rejected() {
+        let f = Formula::Exists(v(0), Box::new(rel(0, 1)));
+        exclusive_dnf(&f);
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let f = Formula::Exists(v(0), Box::new(rel(0, 1).and(rel(1, 2))));
+        assert_eq!(f.free_vars(), vec![v(1), v(2)]);
+    }
+}

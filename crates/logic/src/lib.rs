@@ -1,0 +1,40 @@
+//! Weighted expressions and their normal forms: system **S5**.
+//!
+//! Section 3 of the paper defines `Σ(w)`-expressions — the query language
+//! built from semiring constants, weight symbols, Iverson brackets `[φ]`
+//! of first-order formulas, `+`, `·`, and aggregation `Σ_x`. This crate
+//! provides:
+//!
+//! * [`Formula`] — first-order formulas over a relational signature
+//!   (function symbols are represented by their graphs, as in the paper's
+//!   Gaifman-graph convention);
+//! * [`Expr`] — weighted expressions, generic over the semiring;
+//! * [`normalize`] — the Lemma 28 simplification composed with
+//!   distribution into *sum terms*: every expression is rewritten into an
+//!   equivalent combination `Σ_i cᵢ · Σ_{x̄} Π [literal] · Π w(x)`, with
+//!   the bracket formulas decomposed into **mutually exclusive**
+//!   conjunctions of literals (the exclusivity that Lemma 32 needs for
+//!   sums of shapes to count each tuple exactly once);
+//! * failure-mode checks: quantified brackets are surfaced as
+//!   [`NormalizeError::Quantifier`] so the caller can run the guarded
+//!   quantifier elimination of `agq-core` first.
+
+mod expr;
+mod formula;
+mod norm;
+mod parser;
+
+pub use expr::Expr;
+pub use formula::{exclusive_dnf, Formula, Lit};
+pub use norm::{normalize, NormalForm, NormalizeError, SumTerm};
+pub use parser::{parse_expr, parse_formula, ParseError, VarTable};
+
+/// A query variable (interned per query; use small consecutive ids).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Var(pub u32);
+
+impl std::fmt::Display for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}

@@ -1,0 +1,439 @@
+//! Normalization of weighted expressions into sum terms (Lemma 28 +
+//! the distribution step of Lemma 32).
+
+use crate::expr::Expr;
+use crate::formula::{exclusive_dnf, Lit};
+use crate::Var;
+use agq_semiring::Semiring;
+use agq_structure::WeightId;
+use std::fmt;
+
+/// One *sum term*: `coeff · Σ_{sum_vars} Π [lit] · Π w(x̄)`.
+///
+/// The normal form of every weighted expression is a finite sum of these
+/// (mutual exclusivity of the bracket decomposition guarantees no double
+/// counting). Variables not in `sum_vars` are free; the compiler treats
+/// them via the `v_i`-weight trick of Theorem 8.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SumTerm<S> {
+    /// Constant multiplier.
+    pub coeff: S,
+    /// Variables aggregated over (deduplicated; may include variables
+    /// that no literal or weight mentions — those simply range over the
+    /// whole domain).
+    pub sum_vars: Vec<Var>,
+    /// Conjunction of literals (the Iverson factor).
+    pub lits: Vec<Lit>,
+    /// Weight factors (symbol, argument variables). A symbol may repeat.
+    pub weights: Vec<(WeightId, Vec<Var>)>,
+}
+
+impl<S: Semiring> SumTerm<S> {
+    fn constant(coeff: S) -> Self {
+        SumTerm {
+            coeff,
+            sum_vars: Vec::new(),
+            lits: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Variables mentioned by literals or weights.
+    pub fn mentioned_vars(&self) -> Vec<Var> {
+        let mut out: Vec<Var> = self
+            .lits
+            .iter()
+            .flat_map(Lit::vars)
+            .chain(self.weights.iter().flat_map(|(_, vs)| vs.iter().copied()))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Free variables: mentioned but not summed.
+    pub fn free_vars(&self) -> Vec<Var> {
+        self.mentioned_vars()
+            .into_iter()
+            .filter(|v| !self.sum_vars.contains(v))
+            .collect()
+    }
+
+    fn substitute(&mut self, from: Var, to: Var) {
+        let sub = |v: &mut Var| {
+            if *v == from {
+                *v = to;
+            }
+        };
+        for l in &mut self.lits {
+            match l {
+                Lit::Rel { args, .. } => args.iter_mut().for_each(sub),
+                Lit::Eq { a, b, .. } => {
+                    sub(a);
+                    sub(b);
+                }
+            }
+        }
+        for (_, args) in &mut self.weights {
+            args.iter_mut().for_each(sub);
+        }
+    }
+
+    /// Resolve positive equalities by substitution, drop trivial literals,
+    /// detect contradictions. Returns `None` for a provably-zero term.
+    fn simplify(mut self) -> Option<Self> {
+        // Iterate: each pass resolves one equality involving a sum var.
+        loop {
+            let mut resolved = None;
+            for (i, l) in self.lits.iter().enumerate() {
+                if let Lit::Eq { a, b, positive: true } = l {
+                    if a == b {
+                        resolved = Some((i, None));
+                        break;
+                    }
+                    // Substitute a sum var by the other side (free vars
+                    // must be preserved as representatives).
+                    if self.sum_vars.contains(a) {
+                        resolved = Some((i, Some((*a, *b))));
+                        break;
+                    }
+                    if self.sum_vars.contains(b) {
+                        resolved = Some((i, Some((*b, *a))));
+                        break;
+                    }
+                    // both free: keep the literal as a runtime check
+                }
+            }
+            match resolved {
+                None => break,
+                Some((i, subst)) => {
+                    self.lits.remove(i);
+                    if let Some((from, to)) = subst {
+                        self.substitute(from, to);
+                        self.sum_vars.retain(|v| *v != from);
+                    }
+                }
+            }
+        }
+        self.lits.retain(|l| l.trivial_truth() != Some(true));
+        if self.lits.iter().any(|l| l.trivial_truth() == Some(false)) {
+            return None;
+        }
+        self.lits.sort();
+        self.lits.dedup();
+        for l in &self.lits {
+            if self.lits.binary_search(&l.negated()).is_ok() {
+                return None;
+            }
+        }
+        if self.coeff.is_zero() {
+            return None;
+        }
+        self.sum_vars.sort_unstable();
+        self.sum_vars.dedup();
+        Some(self)
+    }
+}
+
+impl<S: fmt::Debug> fmt::Display for SumTerm<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}·Σ_{{", self.coeff)?;
+        for (i, v) in self.sum_vars.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")?;
+        for l in &self.lits {
+            write!(f, " [{l}]")?;
+        }
+        for (w, args) in &self.weights {
+            write!(f, " w{}(", w.0)?;
+            for (i, v) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// The normal form: a sum of [`SumTerm`]s.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NormalForm<S> {
+    /// The terms; the expression is their sum.
+    pub terms: Vec<SumTerm<S>>,
+}
+
+impl<S: Semiring> NormalForm<S> {
+    /// Free variables across all terms.
+    pub fn free_vars(&self) -> Vec<Var> {
+        let mut out: Vec<Var> = self.terms.iter().flat_map(|t| t.free_vars()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Largest number of sum variables in any term (the `k` that bounds
+    /// permanent rows and drives all the exponential-in-query constants).
+    pub fn max_sum_vars(&self) -> usize {
+        self.terms.iter().map(|t| t.sum_vars.len()).max().unwrap_or(0)
+    }
+}
+
+/// Failure modes of normalization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NormalizeError {
+    /// A bracket contains a quantifier; run guarded quantifier elimination
+    /// (in `agq-core`) before normalizing.
+    Quantifier {
+        /// Rendering of the offending subformula.
+        formula: String,
+    },
+}
+
+impl fmt::Display for NormalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalizeError::Quantifier { formula } => write!(
+                f,
+                "bracket contains quantifiers ({formula}); apply guarded \
+                 quantifier elimination first"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NormalizeError {}
+
+/// Normalize an expression into a sum of [`SumTerm`]s, performing the
+/// Lemma 28 simplification (brackets → exclusive literal conjunctions)
+/// and distributing `·` over `+` and pushing `Σ` inward, with
+/// capture-avoiding renaming of bound variables.
+pub fn normalize<S: Semiring>(expr: &Expr<S>) -> Result<NormalForm<S>, NormalizeError> {
+    let mut fresh = expr.max_var().map_or(0, |m| m + 1);
+    let terms = rec(expr, &mut fresh)?;
+    let terms = terms.into_iter().filter_map(SumTerm::simplify).collect();
+    Ok(NormalForm { terms })
+}
+
+fn rec<S: Semiring>(
+    expr: &Expr<S>,
+    fresh: &mut u32,
+) -> Result<Vec<SumTerm<S>>, NormalizeError> {
+    match expr {
+        Expr::Const(s) => Ok(vec![SumTerm::constant(s.clone())]),
+        Expr::Weight(w, args) => {
+            let mut t = SumTerm::constant(S::one());
+            t.weights.push((*w, args.clone()));
+            Ok(vec![t])
+        }
+        Expr::Bracket(f) => {
+            if !f.is_quantifier_free() {
+                return Err(NormalizeError::Quantifier {
+                    formula: format!("{f:?}"),
+                });
+            }
+            Ok(exclusive_dnf(f)
+                .into_iter()
+                .map(|clause| {
+                    let mut t = SumTerm::constant(S::one());
+                    t.lits = clause;
+                    t
+                })
+                .collect())
+        }
+        Expr::Add(es) => {
+            let mut out = Vec::new();
+            for e in es {
+                out.extend(rec(e, fresh)?);
+            }
+            Ok(out)
+        }
+        Expr::Mul(es) => {
+            let mut acc = vec![SumTerm::constant(S::one())];
+            for e in es {
+                let terms = rec(e, fresh)?;
+                let mut next = Vec::with_capacity(acc.len() * terms.len());
+                for t1 in &acc {
+                    for t2 in &terms {
+                        next.push(multiply(t1, t2, fresh));
+                    }
+                }
+                acc = next;
+            }
+            Ok(acc)
+        }
+        Expr::Sum(vars, e) => {
+            let mut terms = rec(e, fresh)?;
+            for t in &mut terms {
+                for v in vars {
+                    if t.sum_vars.contains(v) {
+                        // Shadowed: the outer Σ_v sees no free v; it
+                        // contributes an unconstrained fresh variable
+                        // (a factor of |A|).
+                        let nv = Var(*fresh);
+                        *fresh += 1;
+                        t.sum_vars.push(nv);
+                    } else {
+                        t.sum_vars.push(*v);
+                    }
+                }
+            }
+            Ok(terms)
+        }
+    }
+}
+
+/// Multiply two sum terms: `(Σ_x̄ P)(Σ_ȳ Q) = Σ_{x̄ ȳ'} P·Q'` after
+/// renaming the right term's bound variables away from everything.
+fn multiply<S: Semiring>(a: &SumTerm<S>, b: &SumTerm<S>, fresh: &mut u32) -> SumTerm<S> {
+    let mut b = b.clone();
+    let bound: Vec<Var> = b.sum_vars.clone();
+    for v in bound {
+        let nv = Var(*fresh);
+        *fresh += 1;
+        b.substitute(v, nv);
+        for sv in &mut b.sum_vars {
+            if *sv == v {
+                *sv = nv;
+            }
+        }
+    }
+    let mut out = a.clone();
+    out.coeff = a.coeff.mul(&b.coeff);
+    out.sum_vars.extend(b.sum_vars);
+    out.lits.extend(b.lits);
+    out.weights.extend(b.weights);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Formula;
+    use agq_semiring::Nat;
+    use agq_structure::RelId;
+
+    const E: RelId = RelId(0);
+    const W: WeightId = WeightId(0);
+
+    fn v(i: u32) -> Var {
+        Var(i)
+    }
+
+    fn edge(a: u32, b: u32) -> Formula {
+        Formula::Rel(E, vec![v(a), v(b)])
+    }
+
+    #[test]
+    fn triangle_query_normalizes_to_one_term() {
+        // Σ_{x,y,z} [E(x,y) ∧ E(y,z) ∧ E(z,x)] · w(x,y)
+        let f = edge(0, 1).and(edge(1, 2)).and(edge(2, 0));
+        let e: Expr<Nat> = Expr::Bracket(f)
+            .times(Expr::Weight(W, vec![v(0), v(1)]))
+            .sum_over([v(0), v(1), v(2)]);
+        let nf = normalize(&e).unwrap();
+        assert_eq!(nf.terms.len(), 1);
+        let t = &nf.terms[0];
+        assert_eq!(t.sum_vars.len(), 3);
+        assert_eq!(t.lits.len(), 3);
+        assert_eq!(t.weights.len(), 1);
+        assert!(nf.free_vars().is_empty());
+    }
+
+    #[test]
+    fn disjunction_splits_into_exclusive_terms() {
+        let e: Expr<Nat> =
+            Expr::Bracket(edge(0, 1).or(edge(1, 0))).sum_over([v(0), v(1)]);
+        let nf = normalize(&e).unwrap();
+        assert_eq!(nf.terms.len(), 2);
+        // second term must carry the exclusion literal ¬E(x0,x1)
+        let with_neg = nf
+            .terms
+            .iter()
+            .filter(|t| {
+                t.lits
+                    .iter()
+                    .any(|l| matches!(l, Lit::Rel { positive: false, .. }))
+            })
+            .count();
+        assert_eq!(with_neg, 1);
+    }
+
+    #[test]
+    fn product_of_sums_renames_bound_vars() {
+        // (Σ_x w(x)) · (Σ_x w(x)) must become Σ_{x,x'} w(x)·w(x')
+        let s: Expr<Nat> = Expr::Weight(W, vec![v(0)]).sum_over([v(0)]);
+        let e = s.clone().times(s);
+        let nf = normalize(&e).unwrap();
+        assert_eq!(nf.terms.len(), 1);
+        let t = &nf.terms[0];
+        assert_eq!(t.sum_vars.len(), 2);
+        assert_ne!(t.weights[0].1, t.weights[1].1, "bound vars distinct");
+    }
+
+    #[test]
+    fn shadowed_sum_becomes_domain_factor() {
+        // Σ_x Σ_x w(x): the outer sum sees no free x — it contributes an
+        // unconstrained variable.
+        let inner: Expr<Nat> = Expr::Weight(W, vec![v(0)]).sum_over([v(0)]);
+        let e = inner.sum_over([v(0)]);
+        let nf = normalize(&e).unwrap();
+        assert_eq!(nf.terms.len(), 1);
+        assert_eq!(nf.terms[0].sum_vars.len(), 2);
+        assert_eq!(nf.terms[0].weights.len(), 1);
+    }
+
+    #[test]
+    fn equalities_are_substituted_away() {
+        // Σ_{x,y} [x=y] w(x,y) → Σ_x w(x,x)
+        let e: Expr<Nat> = Expr::Bracket(Formula::Eq(v(0), v(1)))
+            .times(Expr::Weight(W, vec![v(0), v(1)]))
+            .sum_over([v(0), v(1)]);
+        let nf = normalize(&e).unwrap();
+        assert_eq!(nf.terms.len(), 1);
+        let t = &nf.terms[0];
+        assert_eq!(t.sum_vars.len(), 1);
+        assert!(t.lits.is_empty());
+        assert_eq!(t.weights[0].1[0], t.weights[0].1[1]);
+    }
+
+    #[test]
+    fn contradictory_terms_vanish() {
+        let e: Expr<Nat> = Expr::Bracket(edge(0, 1).and(edge(0, 1).not()))
+            .sum_over([v(0), v(1)]);
+        let nf = normalize(&e).unwrap();
+        assert!(nf.terms.is_empty());
+    }
+
+    #[test]
+    fn zero_coefficients_vanish() {
+        let e: Expr<Nat> = Expr::Const(Nat(0)).times(Expr::Weight(W, vec![v(0)]));
+        let nf = normalize(&e).unwrap();
+        assert!(nf.terms.is_empty());
+    }
+
+    #[test]
+    fn quantified_bracket_is_an_error() {
+        let f = Formula::Exists(v(1), Box::new(edge(0, 1)));
+        let e: Expr<Nat> = Expr::Bracket(f).sum_over([v(0)]);
+        let err = normalize(&e).unwrap_err();
+        assert!(matches!(err, NormalizeError::Quantifier { .. }));
+    }
+
+    #[test]
+    fn free_variables_survive() {
+        // f(z) = Σ_x [E(x,z)] w(x): z free
+        let e: Expr<Nat> = Expr::Bracket(edge(0, 1))
+            .times(Expr::Weight(W, vec![v(0)]))
+            .sum_over([v(0)]);
+        let nf = normalize(&e).unwrap();
+        assert_eq!(nf.free_vars(), vec![v(1)]);
+        assert_eq!(nf.max_sum_vars(), 1);
+    }
+}

@@ -1,0 +1,543 @@
+//! A text surface syntax for weighted expressions and formulas.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! expr    := term ('+' term)*
+//! term    := factor ('*' factor)*
+//! factor  := NUMBER                      — semiring constant (via the
+//!                                          caller-supplied literal parser)
+//!          | 'sum' vars '.' term         — Σ_{vars} (scopes over the
+//!                                          following product)
+//!          | '[' formula ']'             — Iverson bracket
+//!          | name '(' vars ')'           — weight symbol (resolved
+//!                                          against the signature)
+//!          | '(' expr ')'
+//! formula := disj ; disj := conj ('|' conj)* ; conj := lit ('&' lit)*
+//! lit     := '!' lit
+//!          | 'exists' var '.' lit | 'forall' var '.' lit
+//!          | name '(' vars ')'           — relation symbol
+//!          | var '=' var | var '!=' var
+//!          | 'true' | 'false' | '(' formula ')'
+//! vars    := var (',' var)*
+//! ```
+//!
+//! Variables are interned in order of first appearance; the returned
+//! [`VarTable`] maps names to [`Var`]s (free variables keep stable
+//! positions for querying).
+//!
+//! ```
+//! use agq_logic::{parse_expr, Expr};
+//! use agq_semiring::Nat;
+//! use agq_structure::Signature;
+//!
+//! let mut sig = Signature::new();
+//! sig.add_relation("E", 2);
+//! sig.add_weight("w", 1);
+//! let (expr, vars) = parse_expr::<Nat>(
+//!     "sum x,y. [E(x,y) & !(x = y)] * w(x) * w(y)",
+//!     &sig,
+//!     |s| s.parse::<u64>().ok().map(Nat),
+//! ).unwrap();
+//! assert!(expr.free_vars().is_empty());
+//! assert_eq!(vars.names().len(), 2);
+//! # let _: Expr<Nat> = expr;
+//! ```
+
+use crate::expr::Expr;
+use crate::formula::Formula;
+use crate::Var;
+use agq_semiring::Semiring;
+use agq_structure::Signature;
+use std::fmt;
+
+/// Variable name interning produced by the parser.
+#[derive(Debug, Clone, Default)]
+pub struct VarTable {
+    names: Vec<String>,
+}
+
+impl VarTable {
+    /// The interned names, indexed by `Var` id.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Lookup a variable by name.
+    pub fn var(&self, name: &str) -> Option<Var> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Var(i as u32))
+    }
+
+    fn intern(&mut self, name: &str) -> Var {
+        match self.names.iter().position(|n| n == name) {
+            Some(i) => Var(i as u32),
+            None => {
+                self.names.push(name.to_owned());
+                Var(self.names.len() as u32 - 1)
+            }
+        }
+    }
+}
+
+/// Parse errors with byte offsets into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error.
+    pub at: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a weighted expression. `lit` parses semiring literals (numbers).
+pub fn parse_expr<S: Semiring>(
+    src: &str,
+    sig: &Signature,
+    lit: impl Fn(&str) -> Option<S>,
+) -> Result<(Expr<S>, VarTable), ParseError> {
+    let mut p = Parser::new(src, sig);
+    let e = p.expr(&lit)?;
+    p.skip_ws();
+    if p.pos < p.src.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok((e, p.vars))
+}
+
+/// Parse a bare first-order formula (for [`crate::Formula`]-level APIs
+/// such as answer enumeration).
+pub fn parse_formula(src: &str, sig: &Signature) -> Result<(Formula, VarTable), ParseError> {
+    let mut p = Parser::new(src, sig);
+    let f = p.formula()?;
+    p.skip_ws();
+    if p.pos < p.src.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok((f, p.vars))
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    sig: &'a Signature,
+    vars: VarTable,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str, sig: &'a Signature) -> Self {
+        Parser {
+            src: src.as_bytes(),
+            pos: 0,
+            sig,
+            vars: VarTable::default(),
+        }
+    }
+
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: msg.to_owned(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start || self.src[start].is_ascii_digit() {
+            self.pos = start;
+            None
+        } else {
+            Some(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+        }
+    }
+
+    fn number(&mut self) -> Option<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_digit()
+                || self.src[self.pos] == b'.'
+                || self.src[self.pos] == b'-' && self.pos == start)
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            None
+        } else {
+            Some(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let end = self.pos + kw.len();
+        if end <= self.src.len()
+            && &self.src[self.pos..end] == kw.as_bytes()
+            && end
+                .checked_sub(self.src.len())
+                .is_none_or(|_| true)
+            && (end == self.src.len()
+                || !(self.src[end].is_ascii_alphanumeric() || self.src[end] == b'_'))
+        {
+            self.pos = end;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn var_list(&mut self) -> Result<Vec<Var>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let name = self.ident().ok_or_else(|| self.err("expected variable"))?;
+            out.push(self.vars.intern(&name));
+            if !self.eat(b',') {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------ expressions
+
+    fn expr<S: Semiring>(
+        &mut self,
+        lit: &impl Fn(&str) -> Option<S>,
+    ) -> Result<Expr<S>, ParseError> {
+        let mut terms = vec![self.term(lit)?];
+        while self.eat(b'+') {
+            terms.push(self.term(lit)?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("nonempty")
+        } else {
+            Expr::Add(terms)
+        })
+    }
+
+    fn term<S: Semiring>(
+        &mut self,
+        lit: &impl Fn(&str) -> Option<S>,
+    ) -> Result<Expr<S>, ParseError> {
+        let mut factors = vec![self.factor(lit)?];
+        while self.eat(b'*') {
+            factors.push(self.factor(lit)?);
+        }
+        Ok(if factors.len() == 1 {
+            factors.pop().expect("nonempty")
+        } else {
+            Expr::Mul(factors)
+        })
+    }
+
+    fn factor<S: Semiring>(
+        &mut self,
+        lit: &impl Fn(&str) -> Option<S>,
+    ) -> Result<Expr<S>, ParseError> {
+        self.skip_ws();
+        if self.keyword("sum") {
+            let vars = self.var_list()?;
+            self.expect(b'.')?;
+            // the sum scopes over the whole following product
+            let body = self.term(lit)?;
+            return Ok(Expr::Sum(vars, Box::new(body)));
+        }
+        if self.eat(b'[') {
+            let f = self.formula()?;
+            self.expect(b']')?;
+            return Ok(Expr::Bracket(f));
+        }
+        if self.eat(b'(') {
+            let e = self.expr(lit)?;
+            self.expect(b')')?;
+            return Ok(e);
+        }
+        let save = self.pos;
+        if let Some(name) = self.ident() {
+            self.expect(b'(')?;
+            let args = self.var_list()?;
+            self.expect(b')')?;
+            return match self.sig.weight(&name) {
+                Some(w) => {
+                    if self.sig.weight_arity(w) != args.len() {
+                        self.pos = save;
+                        Err(self.err(&format!(
+                            "weight {name} has arity {}, got {}",
+                            self.sig.weight_arity(w),
+                            args.len()
+                        )))
+                    } else {
+                        Ok(Expr::Weight(w, args))
+                    }
+                }
+                None => {
+                    self.pos = save;
+                    Err(self.err(&format!(
+                        "unknown weight symbol {name:?} (relations go inside [..])"
+                    )))
+                }
+            };
+        }
+        if let Some(num) = self.number() {
+            return match lit(&num) {
+                Some(s) => Ok(Expr::Const(s)),
+                None => Err(self.err(&format!("cannot parse literal {num:?} in this semiring"))),
+            };
+        }
+        Err(self.err("expected a factor"))
+    }
+
+    // ------------------------------------------------ formulas
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.conj()?];
+        while self.eat(b'|') {
+            parts.push(self.conj()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("nonempty")
+        } else {
+            Formula::Or(parts)
+        })
+    }
+
+    fn conj(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.literal()?];
+        while self.eat(b'&') {
+            parts.push(self.literal()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("nonempty")
+        } else {
+            Formula::And(parts)
+        })
+    }
+
+    fn literal(&mut self) -> Result<Formula, ParseError> {
+        self.skip_ws();
+        if self.eat(b'!') {
+            return Ok(Formula::Not(Box::new(self.literal()?)));
+        }
+        if self.keyword("exists") {
+            let name = self.ident().ok_or_else(|| self.err("expected variable"))?;
+            let v = self.vars.intern(&name);
+            self.expect(b'.')?;
+            return Ok(Formula::Exists(v, Box::new(self.literal()?)));
+        }
+        if self.keyword("forall") {
+            let name = self.ident().ok_or_else(|| self.err("expected variable"))?;
+            let v = self.vars.intern(&name);
+            self.expect(b'.')?;
+            return Ok(Formula::Forall(v, Box::new(self.literal()?)));
+        }
+        if self.keyword("true") {
+            return Ok(Formula::True);
+        }
+        if self.keyword("false") {
+            return Ok(Formula::False);
+        }
+        if self.eat(b'(') {
+            let f = self.formula()?;
+            self.expect(b')')?;
+            return Ok(f);
+        }
+        let save = self.pos;
+        if let Some(name) = self.ident() {
+            // relation atom or equality
+            self.skip_ws();
+            if self.peek() == Some(b'(') {
+                self.expect(b'(')?;
+                let args = self.var_list()?;
+                self.expect(b')')?;
+                return match self.sig.relation(&name) {
+                    Some(r) => {
+                        if self.sig.relation_arity(r) != args.len() {
+                            self.pos = save;
+                            Err(self.err(&format!(
+                                "relation {name} has arity {}, got {}",
+                                self.sig.relation_arity(r),
+                                args.len()
+                            )))
+                        } else {
+                            Ok(Formula::Rel(r, args))
+                        }
+                    }
+                    None => {
+                        self.pos = save;
+                        Err(self.err(&format!("unknown relation symbol {name:?}")))
+                    }
+                };
+            }
+            // equality / inequality
+            let a = self.vars.intern(&name);
+            if self.eat(b'=') {
+                let rhs = self.ident().ok_or_else(|| self.err("expected variable"))?;
+                let b = self.vars.intern(&rhs);
+                return Ok(Formula::Eq(a, b));
+            }
+            if self.peek() == Some(b'!') {
+                self.pos += 1;
+                self.expect(b'=')?;
+                let rhs = self.ident().ok_or_else(|| self.err("expected variable"))?;
+                let b = self.vars.intern(&rhs);
+                return Ok(Formula::neq(a, b));
+            }
+            self.pos = save;
+            return Err(self.err("expected '(', '=' or '!=' after identifier"));
+        }
+        Err(self.err("expected a formula"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agq_semiring::{MinPlus, Nat};
+
+    fn sig() -> Signature {
+        let mut s = Signature::new();
+        s.add_relation("E", 2);
+        s.add_relation("S", 1);
+        s.add_weight("w", 1);
+        s.add_weight("c", 2);
+        s
+    }
+
+    fn nat(s: &str) -> Option<Nat> {
+        s.parse::<u64>().ok().map(Nat)
+    }
+
+    #[test]
+    fn parses_triangle_query() {
+        let (e, vars) = parse_expr::<Nat>(
+            "sum x,y,z. [E(x,y) & E(y,z) & E(z,x)] * c(x,y) * c(y,z) * c(z,x)",
+            &sig(),
+            nat,
+        )
+        .unwrap();
+        assert!(e.free_vars().is_empty());
+        assert_eq!(vars.names(), &["x", "y", "z"]);
+        match e {
+            Expr::Sum(vs, _) => assert_eq!(vs.len(), 3),
+            other => panic!("expected Sum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_constants_and_addition() {
+        let (e, _) = parse_expr::<Nat>("3 * sum x. w(x) + 5", &sig(), nat).unwrap();
+        // precedence: (3 * Σ) + 5
+        assert!(matches!(e, Expr::Add(_)));
+    }
+
+    #[test]
+    fn parses_quantifiers_and_negation() {
+        let (f, vars) =
+            parse_formula("exists y. (E(x,y) & !S(y)) | x = y", &sig()).unwrap();
+        assert!(!f.is_quantifier_free());
+        assert_eq!(vars.var("x"), Some(Var(1)));
+    }
+
+    #[test]
+    fn parses_inequality() {
+        let (f, _) = parse_formula("E(x,y) & x != y", &sig()).unwrap();
+        let clauses = crate::exclusive_dnf(&f);
+        assert_eq!(clauses.len(), 1);
+        assert_eq!(clauses[0].len(), 2);
+    }
+
+    #[test]
+    fn semantic_equivalence_with_ast_construction() {
+        let s = sig();
+        let (parsed, vars) =
+            parse_expr::<Nat>("sum x,y. [E(x,y)] * w(x)", &s, nat).unwrap();
+        let x = vars.var("x").unwrap();
+        let y = vars.var("y").unwrap();
+        let manual: Expr<Nat> = Expr::Bracket(Formula::Rel(
+            s.relation("E").unwrap(),
+            vec![x, y],
+        ))
+        .times(Expr::Weight(s.weight("w").unwrap(), vec![x]))
+        .sum_over([x, y]);
+        // equality up to nesting: compare normal forms
+        let a = crate::normalize(&parsed).unwrap();
+        let b = crate::normalize(&manual).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tropical_literals() {
+        let (e, _) = parse_expr::<MinPlus>("sum x. c(x,x) + 7", &sig(), |s| {
+            s.parse::<u64>().ok().map(MinPlus)
+        })
+        .unwrap();
+        assert!(matches!(e, Expr::Add(_)));
+    }
+
+    #[test]
+    fn error_unknown_symbol() {
+        let err = parse_expr::<Nat>("sum x. q(x)", &sig(), nat).unwrap_err();
+        assert!(err.message.contains("unknown weight symbol"), "{err}");
+    }
+
+    #[test]
+    fn error_wrong_arity() {
+        let err = parse_expr::<Nat>("w(x,y)", &sig(), nat).unwrap_err();
+        assert!(err.message.contains("arity"), "{err}");
+    }
+
+    #[test]
+    fn error_trailing_input() {
+        let err = parse_expr::<Nat>("w(x) )", &sig(), nat).unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn error_relation_in_expression_position() {
+        let err = parse_expr::<Nat>("E(x,y)", &sig(), nat).unwrap_err();
+        assert!(err.message.contains("relations go inside"), "{err}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Lowering connective-free `FOG[C]` formulas into the single-semiring
+//! weighted expressions of `agq-logic`.
+
+use crate::formula::{NestedFormula, TypeError};
+use crate::value::{SemiringTag, ValueCarrier};
+use agq_logic::{Expr, Formula};
+
+/// Convert a Boolean-valued, guarded-connective-free formula into a plain
+/// first-order formula. `Σ` becomes `∃` (summation in `B` is existential
+/// quantification); Boolean `S`-atoms must already have been materialized
+/// as relations by the evaluator.
+pub fn to_fo_formula(f: &NestedFormula) -> Result<Formula, TypeError> {
+    match f {
+        NestedFormula::Rel(r, args) => Ok(Formula::Rel(*r, args.clone())),
+        NestedFormula::Eq(a, b) => Ok(Formula::Eq(*a, *b)),
+        NestedFormula::Const(v) => Ok(if v.as_bool() {
+            Formula::True
+        } else {
+            Formula::False
+        }),
+        NestedFormula::Add(fs) => Ok(Formula::Or(
+            fs.iter().map(to_fo_formula).collect::<Result<_, _>>()?,
+        )),
+        NestedFormula::Mul(fs) => Ok(Formula::And(
+            fs.iter().map(to_fo_formula).collect::<Result<_, _>>()?,
+        )),
+        NestedFormula::Sum(vars, g) => {
+            let mut out = to_fo_formula(g)?;
+            for v in vars.iter().rev() {
+                out = Formula::Exists(*v, Box::new(out));
+            }
+            Ok(out)
+        }
+        NestedFormula::Not(g) => Ok(Formula::Not(Box::new(to_fo_formula(g)?))),
+        NestedFormula::Bracket(g, SemiringTag::B) => to_fo_formula(g),
+        NestedFormula::Bracket(..) => Err(TypeError::NotBoolean {
+            context: "non-Boolean bracket inside a Boolean formula".into(),
+        }),
+        NestedFormula::SAtom { tag, .. } => Err(TypeError::TagMismatch {
+            expected: SemiringTag::B,
+            found: *tag,
+            context: "S-atom inside a Boolean formula (materialize first)".into(),
+        }),
+        NestedFormula::Guarded { connective, .. } => Err(TypeError::TagMismatch {
+            expected: SemiringTag::B,
+            found: connective.output,
+            context: "guarded connective must be lowered before conversion".into(),
+        }),
+    }
+}
+
+/// Convert a guarded-connective-free formula of output semiring `S` into
+/// a weighted expression.
+pub fn to_expr<S: ValueCarrier>(f: &NestedFormula) -> Result<Expr<S>, TypeError> {
+    debug_assert_ne!(S::TAG, SemiringTag::B, "use to_fo_formula for B");
+    match f {
+        NestedFormula::SAtom { weight, tag, args } => {
+            if *tag != S::TAG {
+                return Err(TypeError::TagMismatch {
+                    expected: S::TAG,
+                    found: *tag,
+                    context: "S-atom".into(),
+                });
+            }
+            Ok(Expr::Weight(*weight, args.clone()))
+        }
+        NestedFormula::Const(v) => match S::from_value(v) {
+            Some(s) => Ok(Expr::Const(s)),
+            None => Err(TypeError::TagMismatch {
+                expected: S::TAG,
+                found: v.tag(),
+                context: "constant".into(),
+            }),
+        },
+        NestedFormula::Add(fs) => Ok(Expr::Add(
+            fs.iter().map(to_expr::<S>).collect::<Result<_, _>>()?,
+        )),
+        NestedFormula::Mul(fs) => Ok(Expr::Mul(
+            fs.iter().map(to_expr::<S>).collect::<Result<_, _>>()?,
+        )),
+        NestedFormula::Sum(vars, g) => {
+            Ok(Expr::Sum(vars.clone(), Box::new(to_expr::<S>(g)?)))
+        }
+        NestedFormula::Bracket(g, tag) => {
+            if *tag != S::TAG {
+                return Err(TypeError::TagMismatch {
+                    expected: S::TAG,
+                    found: *tag,
+                    context: "bracket".into(),
+                });
+            }
+            Ok(Expr::Bracket(to_fo_formula(g)?))
+        }
+        NestedFormula::Rel(..) | NestedFormula::Eq(..) => Err(TypeError::TagMismatch {
+            expected: S::TAG,
+            found: SemiringTag::B,
+            context: "bare Boolean atom in an S-context (wrap in [·]_S)".into(),
+        }),
+        NestedFormula::Not(_) => Err(TypeError::NotBoolean {
+            context: "negation in a non-Boolean context".into(),
+        }),
+        NestedFormula::Guarded { .. } => Err(TypeError::TagMismatch {
+            expected: S::TAG,
+            found: S::TAG,
+            context: "guarded connective must be lowered before conversion".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use agq_logic::Var;
+    use agq_semiring::Nat;
+    use agq_structure::{RelId, WeightId};
+
+    #[test]
+    fn boolean_sum_becomes_exists() {
+        let f = NestedFormula::Sum(
+            vec![Var(1)],
+            Box::new(NestedFormula::Rel(RelId(0), vec![Var(0), Var(1)])),
+        );
+        let fo = to_fo_formula(&f).unwrap();
+        assert!(matches!(fo, Formula::Exists(Var(1), _)));
+    }
+
+    #[test]
+    fn nat_expression_roundtrip() {
+        let f = NestedFormula::Sum(
+            vec![Var(1)],
+            Box::new(NestedFormula::Mul(vec![
+                NestedFormula::Bracket(
+                    Box::new(NestedFormula::Rel(RelId(0), vec![Var(0), Var(1)])),
+                    SemiringTag::N,
+                ),
+                NestedFormula::SAtom {
+                    weight: WeightId(0),
+                    tag: SemiringTag::N,
+                    args: vec![Var(1)],
+                },
+            ])),
+        );
+        let e = to_expr::<Nat>(&f).unwrap();
+        assert_eq!(e.free_vars(), vec![Var(0)]);
+    }
+
+    #[test]
+    fn bare_atom_in_s_context_rejected() {
+        let f = NestedFormula::Rel(RelId(0), vec![Var(0)]);
+        assert!(to_expr::<Nat>(&f).is_err());
+    }
+
+    #[test]
+    fn constant_tag_checked() {
+        let f = NestedFormula::Const(Value::N(Nat(3)));
+        assert!(to_expr::<Nat>(&f).is_ok());
+        assert!(to_fo_formula(&NestedFormula::Const(Value::B(agq_semiring::Bool(true)))).is_ok());
+    }
+}

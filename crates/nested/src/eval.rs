@@ -1,0 +1,335 @@
+//! Theorem 26: evaluation of `FOG[C]` by stratified materialization.
+
+use crate::convert::{to_expr, to_fo_formula};
+use crate::formula::{NestedFormula, TypeError};
+use crate::value::{MultiWeights, SemiringTag, Value, ValueCarrier};
+use agq_core::{
+    compile, eliminate_quantifiers, CompileError, CompileOptions, FiniteEngine,
+    GeneralEngine, QueryEngine, RingEngine,
+};
+use agq_logic::{normalize, Expr, Var};
+use agq_semiring::{Bool, Int, MaxF, MinPlus, Nat, Rat};
+use agq_structure::{Elem, Signature, Structure, Tuple};
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from nested-query evaluation.
+#[derive(Debug)]
+pub enum NestedError {
+    /// `FOG[C]` typing violation.
+    Type(TypeError),
+    /// Compilation failure of a stratum.
+    Compile(CompileError),
+}
+
+impl fmt::Display for NestedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NestedError::Type(e) => write!(f, "{e}"),
+            NestedError::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for NestedError {}
+
+impl From<TypeError> for NestedError {
+    fn from(e: TypeError) -> Self {
+        NestedError::Type(e)
+    }
+}
+
+impl From<CompileError> for NestedError {
+    fn from(e: CompileError) -> Self {
+        NestedError::Compile(e)
+    }
+}
+
+/// One Theorem 8 engine, dynamically tagged. Rings get constant-time
+/// engines, `B` the finite-semiring engine, the rest the general
+/// (logarithmic) one — exactly the case split of Theorem 26's statement.
+enum AnyEngine {
+    B(FiniteEngine<Bool>),
+    N(GeneralEngine<Nat>),
+    Z(RingEngine<Int>),
+    Q(RingEngine<Rat>),
+    MinPlus(GeneralEngine<MinPlus>),
+    MaxF(GeneralEngine<MaxF>),
+}
+
+impl AnyEngine {
+    fn value(&self) -> Value {
+        match self {
+            AnyEngine::B(e) => e.value().to_value(),
+            AnyEngine::N(e) => e.value().to_value(),
+            AnyEngine::Z(e) => e.value().to_value(),
+            AnyEngine::Q(e) => e.value().to_value(),
+            AnyEngine::MinPlus(e) => e.value().to_value(),
+            AnyEngine::MaxF(e) => e.value().to_value(),
+        }
+    }
+
+    fn query(&mut self, t: &[Elem]) -> Value {
+        match self {
+            AnyEngine::B(e) => e.query(t).to_value(),
+            AnyEngine::N(e) => e.query(t).to_value(),
+            AnyEngine::Z(e) => e.query(t).to_value(),
+            AnyEngine::Q(e) => e.query(t).to_value(),
+            AnyEngine::MinPlus(e) => e.query(t).to_value(),
+            AnyEngine::MaxF(e) => e.query(t).to_value(),
+        }
+    }
+
+    fn free_vars(&self) -> &[Var] {
+        match self {
+            AnyEngine::B(e) => &e.compiled().free_vars,
+            AnyEngine::N(e) => &e.compiled().free_vars,
+            AnyEngine::Z(e) => &e.compiled().free_vars,
+            AnyEngine::Q(e) => &e.compiled().free_vars,
+            AnyEngine::MinPlus(e) => &e.compiled().free_vars,
+            AnyEngine::MaxF(e) => &e.compiled().free_vars,
+        }
+    }
+}
+
+fn build_typed<S: ValueCarrier, P: agq_circuit::PermMaint<S>>(
+    a: &Structure,
+    mw: &MultiWeights,
+    expr: &Expr<S>,
+    opts: &CompileOptions,
+) -> Result<QueryEngine<S, P>, NestedError> {
+    let (expr, a2) = eliminate_quantifiers(expr, a, opts)?;
+    let nf = normalize(&expr).map_err(CompileError::from)?;
+    let compiled = compile(&a2, &nf, opts)?;
+    let weights = mw.project::<S>(&a2);
+    Ok(QueryEngine::new(compiled, &weights))
+}
+
+fn build_engine(
+    tag: SemiringTag,
+    a: &Structure,
+    mw: &MultiWeights,
+    f: &NestedFormula,
+    opts: &CompileOptions,
+) -> Result<AnyEngine, NestedError> {
+    Ok(match tag {
+        SemiringTag::B => {
+            let fo = to_fo_formula(f)?;
+            let expr: Expr<Bool> = Expr::Bracket(fo);
+            AnyEngine::B(build_typed(a, mw, &expr, opts)?)
+        }
+        SemiringTag::N => AnyEngine::N(build_typed(a, mw, &to_expr::<Nat>(f)?, opts)?),
+        SemiringTag::Z => AnyEngine::Z(build_typed(a, mw, &to_expr::<Int>(f)?, opts)?),
+        SemiringTag::Q => AnyEngine::Q(build_typed(a, mw, &to_expr::<Rat>(f)?, opts)?),
+        SemiringTag::MinPlus => {
+            AnyEngine::MinPlus(build_typed(a, mw, &to_expr::<MinPlus>(f)?, opts)?)
+        }
+        SemiringTag::MaxF => {
+            AnyEngine::MaxF(build_typed(a, mw, &to_expr::<MaxF>(f)?, opts)?)
+        }
+    })
+}
+
+struct LowerState {
+    a: Structure,
+    weights: MultiWeights,
+    opts: CompileOptions,
+    fresh: u32,
+}
+
+impl LowerState {
+    fn fresh_weight(&mut self, arity: usize) -> agq_structure::WeightId {
+        let mut sig = (**self.a.signature()).clone();
+        let w = sig.add_weight(&format!("__conn{}", self.fresh), arity);
+        self.fresh += 1;
+        self.a = rebuild(&self.a, Arc::new(sig));
+        w
+    }
+
+    fn fresh_relation(&mut self, arity: usize) -> agq_structure::RelId {
+        let mut sig = (**self.a.signature()).clone();
+        let r = sig.add_relation(&format!("__connR{}", self.fresh), arity);
+        self.fresh += 1;
+        self.a = rebuild(&self.a, Arc::new(sig));
+        r
+    }
+}
+
+fn rebuild(a: &Structure, sig: Arc<Signature>) -> Structure {
+    let mut b = Structure::new(sig, a.domain_size());
+    for r in a.signature().relation_ids() {
+        for t in a.relation(r).iter() {
+            b.insert(r, t.as_slice());
+        }
+    }
+    b
+}
+
+/// Replace every guarded connective (innermost first) by a materialized
+/// weight symbol / relation — the inductive step in the proof of
+/// Theorem 26.
+fn lower(f: &NestedFormula, st: &mut LowerState) -> Result<NestedFormula, NestedError> {
+    Ok(match f {
+        NestedFormula::Rel(..)
+        | NestedFormula::Eq(..)
+        | NestedFormula::SAtom { .. }
+        | NestedFormula::Const(_) => f.clone(),
+        NestedFormula::Add(fs) => NestedFormula::Add(
+            fs.iter().map(|g| lower(g, st)).collect::<Result<_, _>>()?,
+        ),
+        NestedFormula::Mul(fs) => NestedFormula::Mul(
+            fs.iter().map(|g| lower(g, st)).collect::<Result<_, _>>()?,
+        ),
+        NestedFormula::Sum(vs, g) => {
+            NestedFormula::Sum(vs.clone(), Box::new(lower(g, st)?))
+        }
+        NestedFormula::Not(g) => NestedFormula::Not(Box::new(lower(g, st)?)),
+        NestedFormula::Bracket(g, tag) => {
+            NestedFormula::Bracket(Box::new(lower(g, st)?), *tag)
+        }
+        NestedFormula::Guarded {
+            guard,
+            guard_args,
+            connective,
+            args,
+        } => {
+            // Arguments first (they may contain nested connectives).
+            let args: Vec<NestedFormula> = args
+                .iter()
+                .map(|g| lower(g, st))
+                .collect::<Result<_, _>>()?;
+            // One Theorem 8 evaluator per argument, each with its free
+            // variables among the guard's.
+            let mut engines: Vec<(AnyEngine, Vec<usize>)> = Vec::with_capacity(args.len());
+            for (g, tag) in args.iter().zip(&connective.inputs) {
+                let engine = build_engine(*tag, &st.a, &st.weights, g, &st.opts)?;
+                // map engine free-var order to guard positions
+                let positions: Vec<usize> = engine
+                    .free_vars()
+                    .iter()
+                    .map(|v| {
+                        guard_args
+                            .iter()
+                            .position(|gv| gv == v)
+                            .expect("typing guarantees guardedness")
+                    })
+                    .collect();
+                engines.push((engine, positions));
+            }
+            // Scan the (linearly many) guard tuples and apply the
+            // connective to the precomputed argument values.
+            let tuples: Vec<Tuple> = st.a.relation(*guard).iter().cloned().collect();
+            let arity = guard_args.len();
+            if connective.output == SemiringTag::B {
+                let rel = st.fresh_relation(arity);
+                for t in &tuples {
+                    let vals = query_all(&mut engines, t);
+                    if (connective.apply)(&vals).as_bool() {
+                        st.a.insert(rel, t.as_slice());
+                    }
+                }
+                NestedFormula::Rel(rel, guard_args.clone())
+            } else {
+                let w = st.fresh_weight(arity);
+                for t in &tuples {
+                    let vals = query_all(&mut engines, t);
+                    let v = (connective.apply)(&vals);
+                    debug_assert_eq!(v.tag(), connective.output, "connective output tag");
+                    st.weights.set(w, t.as_slice(), v);
+                }
+                NestedFormula::SAtom {
+                    weight: w,
+                    tag: connective.output,
+                    args: guard_args.clone(),
+                }
+            }
+        }
+    })
+}
+
+fn query_all(engines: &mut [(AnyEngine, Vec<usize>)], t: &Tuple) -> Vec<Value> {
+    engines
+        .iter_mut()
+        .map(|(e, positions)| {
+            let sub: Vec<Elem> = positions.iter().map(|&p| t.as_slice()[p]).collect();
+            e.query(&sub)
+        })
+        .collect()
+}
+
+/// A fully evaluated nested query: supports closed values and
+/// free-variable point queries (Theorem 26's data structure).
+pub struct NestedEvaluator {
+    engine: AnyEngine,
+    out_tag: SemiringTag,
+    /// For Boolean outputs: the lowered first-order formula and extended
+    /// structure, enabling Theorem 24 answer enumeration (result (E)).
+    lowered_bool: Option<(agq_logic::Formula, Arc<Structure>)>,
+}
+
+/// Convenience alias for evaluation results.
+pub type NestedResult = Value;
+
+impl NestedEvaluator {
+    /// Build the evaluation structure for `f` over `a` with weights `mw`.
+    pub fn build(
+        a: &Structure,
+        mw: &MultiWeights,
+        f: &NestedFormula,
+        opts: &CompileOptions,
+    ) -> Result<Self, NestedError> {
+        let out_tag = f.tag()?;
+        let mut st = LowerState {
+            a: a.clone(),
+            weights: mw.clone(),
+            opts: opts.clone(),
+            fresh: 0,
+        };
+        let lowered = lower(f, &mut st)?;
+        let engine = build_engine(out_tag, &st.a, &st.weights, &lowered, &st.opts)?;
+        let lowered_bool = if out_tag == SemiringTag::B {
+            Some((to_fo_formula(&lowered)?, Arc::new(st.a.clone())))
+        } else {
+            None
+        };
+        Ok(NestedEvaluator {
+            engine,
+            out_tag,
+            lowered_bool,
+        })
+    }
+
+    /// The output semiring.
+    pub fn output_tag(&self) -> SemiringTag {
+        self.out_tag
+    }
+
+    /// The free variables in query order.
+    pub fn free_vars(&self) -> &[Var] {
+        self.engine.free_vars()
+    }
+
+    /// Value of a closed query.
+    pub fn value(&self) -> Value {
+        self.engine.value()
+    }
+
+    /// Value at a free-variable tuple: `O(log |A|)` in general, `O(1)`
+    /// when the output semiring is a ring or finite.
+    pub fn query(&mut self, t: &[Elem]) -> Value {
+        self.engine.query(t)
+    }
+
+    /// Result (E): a constant-delay answer enumerator for Boolean-valued
+    /// queries (the lowered formula over the extended structure).
+    pub fn enumerate_answers(
+        &self,
+        opts: &CompileOptions,
+    ) -> Result<agq_enumerate::AnswerIndex, NestedError> {
+        let (formula, a) = self
+            .lowered_bool
+            .as_ref()
+            .expect("enumerate_answers requires a Boolean-valued query");
+        Ok(agq_enumerate::AnswerIndex::build(a, formula, opts)?)
+    }
+}

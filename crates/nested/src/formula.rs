@@ -1,0 +1,346 @@
+//! The syntax of `FOG[C]`: semiring-typed formulas with guarded
+//! connectives.
+
+use crate::value::{SemiringTag, Value};
+use agq_logic::Var;
+use agq_structure::{RelId, WeightId};
+use std::fmt;
+use std::sync::Arc;
+
+/// Shared connective function type.
+pub type ConnectiveFn = Arc<dyn Fn(&[Value]) -> Value + Send + Sync>;
+
+/// A connective `c : S₁ × ⋯ × S_k → S` of the collection `C`.
+#[derive(Clone)]
+pub struct Connective {
+    /// Human-readable name (diagnostics).
+    pub name: String,
+    /// Argument semirings.
+    pub inputs: Vec<SemiringTag>,
+    /// Output semiring.
+    pub output: SemiringTag,
+    /// The function itself.
+    pub apply: ConnectiveFn,
+}
+
+impl fmt::Debug for Connective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Connective({})", self.name)
+    }
+}
+
+impl Connective {
+    /// Build a connective from a closure.
+    pub fn new(
+        name: &str,
+        inputs: Vec<SemiringTag>,
+        output: SemiringTag,
+        apply: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
+    ) -> Self {
+        Connective {
+            name: name.to_owned(),
+            inputs,
+            output,
+            apply: Arc::new(apply),
+        }
+    }
+}
+
+/// An `FOG[C]` formula. Every formula has an output semiring, computed by
+/// [`NestedFormula::tag`].
+#[derive(Clone, Debug)]
+pub enum NestedFormula {
+    /// A classical (Boolean) relation atom `R(x̄)`.
+    Rel(RelId, Vec<Var>),
+    /// Equality `x = y` (Boolean).
+    Eq(Var, Var),
+    /// An `S`-relation atom: a weight symbol with declared value semiring.
+    SAtom {
+        /// The weight symbol.
+        weight: WeightId,
+        /// Its value semiring.
+        tag: SemiringTag,
+        /// Argument variables.
+        args: Vec<Var>,
+    },
+    /// A constant.
+    Const(Value),
+    /// `φ₁ + φ₂ + …` (∨ in `B`).
+    Add(Vec<NestedFormula>),
+    /// `φ₁ · φ₂ · …` (∧ in `B`).
+    Mul(Vec<NestedFormula>),
+    /// `Σ_x̄ φ` (∃ in `B`).
+    Sum(Vec<Var>, Box<NestedFormula>),
+    /// `¬φ` (Boolean only).
+    Not(Box<NestedFormula>),
+    /// `[φ]_S` — transport a Boolean formula into semiring `S`.
+    Bracket(Box<NestedFormula>, SemiringTag),
+    /// The guarded connective `[R(x̄)]_S · c(φ¹, …, φ^k)` — the defining
+    /// construct of `FOG[C]`: the guard's variables must cover the free
+    /// variables of every argument.
+    Guarded {
+        /// The Boolean guard relation.
+        guard: RelId,
+        /// Guard argument variables (pairwise distinct).
+        guard_args: Vec<Var>,
+        /// The connective.
+        connective: Connective,
+        /// Argument formulas (typed by `connective.inputs`).
+        args: Vec<NestedFormula>,
+    },
+}
+
+/// Type errors for `FOG[C]` formulas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// Children of `Add`/`Mul`/… disagree on semirings.
+    TagMismatch {
+        /// What was expected.
+        expected: SemiringTag,
+        /// What was found.
+        found: SemiringTag,
+        /// Where.
+        context: String,
+    },
+    /// `Not`/`Bracket` applied to a non-Boolean formula.
+    NotBoolean {
+        /// Where.
+        context: String,
+    },
+    /// A guarded connective whose arguments have free variables outside
+    /// the guard.
+    Unguarded {
+        /// Offending variable.
+        var: u32,
+        /// Connective name.
+        connective: String,
+    },
+    /// Guard arguments repeat a variable.
+    GuardNotDistinct,
+    /// Connective arity mismatch.
+    ConnectiveArity {
+        /// Connective name.
+        connective: String,
+    },
+    /// Empty `Add`/`Mul` has no inferable type.
+    EmptyCombination,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::TagMismatch {
+                expected,
+                found,
+                context,
+            } => write!(f, "type mismatch in {context}: expected {expected:?}, found {found:?}"),
+            TypeError::NotBoolean { context } => {
+                write!(f, "{context} requires a Boolean operand")
+            }
+            TypeError::Unguarded { var, connective } => write!(
+                f,
+                "free variable x{var} of a {connective}-argument is not covered \
+                 by the guard (outside FOG[C])"
+            ),
+            TypeError::GuardNotDistinct => write!(f, "guard variables must be distinct"),
+            TypeError::ConnectiveArity { connective } => {
+                write!(f, "connective {connective} applied to wrong arity")
+            }
+            TypeError::EmptyCombination => write!(f, "empty +/· has no type"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+impl NestedFormula {
+    /// Infer the output semiring, verifying `FOG[C]` typing rules.
+    pub fn tag(&self) -> Result<SemiringTag, TypeError> {
+        match self {
+            NestedFormula::Rel(..) | NestedFormula::Eq(..) => Ok(SemiringTag::B),
+            NestedFormula::SAtom { tag, .. } => Ok(*tag),
+            NestedFormula::Const(v) => Ok(v.tag()),
+            NestedFormula::Add(fs) | NestedFormula::Mul(fs) => {
+                let mut it = fs.iter();
+                let first = it.next().ok_or(TypeError::EmptyCombination)?.tag()?;
+                for f in it {
+                    let t = f.tag()?;
+                    if t != first {
+                        return Err(TypeError::TagMismatch {
+                            expected: first,
+                            found: t,
+                            context: "+/·".into(),
+                        });
+                    }
+                }
+                Ok(first)
+            }
+            NestedFormula::Sum(_, f) => f.tag(),
+            NestedFormula::Not(f) => {
+                if f.tag()? != SemiringTag::B {
+                    return Err(TypeError::NotBoolean {
+                        context: "negation".into(),
+                    });
+                }
+                Ok(SemiringTag::B)
+            }
+            NestedFormula::Bracket(f, tag) => {
+                if f.tag()? != SemiringTag::B {
+                    return Err(TypeError::NotBoolean {
+                        context: "Iverson bracket".into(),
+                    });
+                }
+                Ok(*tag)
+            }
+            NestedFormula::Guarded {
+                guard_args,
+                connective,
+                args,
+                ..
+            } => {
+                let mut distinct = guard_args.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                if distinct.len() != guard_args.len() {
+                    return Err(TypeError::GuardNotDistinct);
+                }
+                if connective.inputs.len() != args.len() {
+                    return Err(TypeError::ConnectiveArity {
+                        connective: connective.name.clone(),
+                    });
+                }
+                for (expected, arg) in connective.inputs.iter().zip(args) {
+                    let t = arg.tag()?;
+                    if t != *expected {
+                        return Err(TypeError::TagMismatch {
+                            expected: *expected,
+                            found: t,
+                            context: format!("argument of {}", connective.name),
+                        });
+                    }
+                    for v in arg.free_vars() {
+                        if !guard_args.contains(&v) {
+                            return Err(TypeError::Unguarded {
+                                var: v.0,
+                                connective: connective.name.clone(),
+                            });
+                        }
+                    }
+                }
+                Ok(connective.output)
+            }
+        }
+    }
+
+    /// Free variables.
+    pub fn free_vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.free_into(&mut Vec::new(), &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn free_into(&self, bound: &mut Vec<Var>, out: &mut Vec<Var>) {
+        match self {
+            NestedFormula::Rel(_, args) | NestedFormula::SAtom { args, .. } => {
+                out.extend(args.iter().filter(|v| !bound.contains(v)));
+            }
+            NestedFormula::Eq(a, b) => {
+                for v in [a, b] {
+                    if !bound.contains(v) {
+                        out.push(*v);
+                    }
+                }
+            }
+            NestedFormula::Const(_) => {}
+            NestedFormula::Add(fs) | NestedFormula::Mul(fs) => {
+                for f in fs {
+                    f.free_into(bound, out);
+                }
+            }
+            NestedFormula::Sum(vs, f) => {
+                let depth = bound.len();
+                bound.extend(vs.iter().copied());
+                f.free_into(bound, out);
+                bound.truncate(depth);
+            }
+            NestedFormula::Not(f) | NestedFormula::Bracket(f, _) => f.free_into(bound, out),
+            NestedFormula::Guarded {
+                guard_args, args, ..
+            } => {
+                out.extend(guard_args.iter().filter(|v| !bound.contains(v)));
+                for f in args {
+                    f.free_into(bound, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agq_semiring::Nat;
+
+    fn count_conn() -> Connective {
+        Connective::new(
+            "lt",
+            vec![SemiringTag::N, SemiringTag::N],
+            SemiringTag::B,
+            |vals| match (&vals[0], &vals[1]) {
+                (Value::N(a), Value::N(b)) => Value::B(agq_semiring::Bool(a.0 < b.0)),
+                _ => unreachable!(),
+            },
+        )
+    }
+
+    #[test]
+    fn typing_accepts_guarded() {
+        let f = NestedFormula::Guarded {
+            guard: RelId(0),
+            guard_args: vec![Var(0), Var(1)],
+            connective: count_conn(),
+            args: vec![
+                NestedFormula::Const(Value::N(Nat(1))),
+                NestedFormula::Sum(
+                    vec![Var(2)],
+                    Box::new(NestedFormula::Bracket(
+                        Box::new(NestedFormula::Rel(RelId(0), vec![Var(1), Var(2)])),
+                        SemiringTag::N,
+                    )),
+                ),
+            ],
+        };
+        assert_eq!(f.tag().unwrap(), SemiringTag::B);
+        assert_eq!(f.free_vars(), vec![Var(0), Var(1)]);
+    }
+
+    #[test]
+    fn typing_rejects_unguarded() {
+        let f = NestedFormula::Guarded {
+            guard: RelId(0),
+            guard_args: vec![Var(0)],
+            connective: count_conn(),
+            args: vec![
+                NestedFormula::Const(Value::N(Nat(1))),
+                // free variable x5 not covered by the guard
+                NestedFormula::SAtom {
+                    weight: WeightId(0),
+                    tag: SemiringTag::N,
+                    args: vec![Var(5)],
+                },
+            ],
+        };
+        assert!(matches!(f.tag(), Err(TypeError::Unguarded { var: 5, .. })));
+    }
+
+    #[test]
+    fn typing_rejects_mixed_addition() {
+        let f = NestedFormula::Add(vec![
+            NestedFormula::Const(Value::N(Nat(1))),
+            NestedFormula::Const(Value::Z(agq_semiring::Int(1))),
+        ]);
+        assert!(matches!(f.tag(), Err(TypeError::TagMismatch { .. })));
+    }
+}

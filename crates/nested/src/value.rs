@@ -1,0 +1,259 @@
+//! Dynamically-typed semiring values and multi-semiring weight stores.
+
+use agq_semiring::{Bool, Int, MaxF, MinPlus, Nat, Rat, Semiring};
+use agq_structure::fx::FxHashMap;
+use agq_structure::{Elem, Structure, Tuple, WeightId, WeightedStructure};
+use std::fmt;
+use std::sync::Arc;
+
+/// The semirings available to nested queries (the collection `C`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SemiringTag {
+    /// Boolean semiring `B`.
+    B,
+    /// Counting semiring `(ℕ, +, ·)`.
+    N,
+    /// Ring of integers `(ℤ, +, ·)`.
+    Z,
+    /// Field of rationals `(ℚ, +, ·)`.
+    Q,
+    /// Tropical `(ℕ ∪ {∞}, min, +)`.
+    MinPlus,
+    /// Real arctic `(ℝ ∪ {−∞}, max, +)` (the paper's `Qmax`).
+    MaxF,
+}
+
+/// A value in one of the supported semirings.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Value {
+    /// Boolean.
+    B(Bool),
+    /// Natural number.
+    N(Nat),
+    /// Integer.
+    Z(Int),
+    /// Exact rational.
+    Q(Rat),
+    /// Tropical.
+    MinPlus(MinPlus),
+    /// Real arctic.
+    MaxF(MaxF),
+}
+
+impl Value {
+    /// The value's semiring.
+    pub fn tag(&self) -> SemiringTag {
+        match self {
+            Value::B(_) => SemiringTag::B,
+            Value::N(_) => SemiringTag::N,
+            Value::Z(_) => SemiringTag::Z,
+            Value::Q(_) => SemiringTag::Q,
+            Value::MinPlus(_) => SemiringTag::MinPlus,
+            Value::MaxF(_) => SemiringTag::MaxF,
+        }
+    }
+
+    /// The zero of a tagged semiring.
+    pub fn zero(tag: SemiringTag) -> Value {
+        match tag {
+            SemiringTag::B => Value::B(Bool::zero()),
+            SemiringTag::N => Value::N(Nat::zero()),
+            SemiringTag::Z => Value::Z(Int::zero()),
+            SemiringTag::Q => Value::Q(Rat::zero()),
+            SemiringTag::MinPlus => Value::MinPlus(MinPlus::zero()),
+            SemiringTag::MaxF => Value::MaxF(MaxF::zero()),
+        }
+    }
+
+    /// The one of a tagged semiring.
+    pub fn one(tag: SemiringTag) -> Value {
+        match tag {
+            SemiringTag::B => Value::B(Bool::one()),
+            SemiringTag::N => Value::N(Nat::one()),
+            SemiringTag::Z => Value::Z(Int::one()),
+            SemiringTag::Q => Value::Q(Rat::one()),
+            SemiringTag::MinPlus => Value::MinPlus(MinPlus::one()),
+            SemiringTag::MaxF => Value::MaxF(MaxF::one()),
+        }
+    }
+
+    /// Semiring addition (tags must match).
+    pub fn add(&self, rhs: &Value) -> Value {
+        match (self, rhs) {
+            (Value::B(a), Value::B(b)) => Value::B(a.add(b)),
+            (Value::N(a), Value::N(b)) => Value::N(a.add(b)),
+            (Value::Z(a), Value::Z(b)) => Value::Z(a.add(b)),
+            (Value::Q(a), Value::Q(b)) => Value::Q(a.add(b)),
+            (Value::MinPlus(a), Value::MinPlus(b)) => Value::MinPlus(a.add(b)),
+            (Value::MaxF(a), Value::MaxF(b)) => Value::MaxF(a.add(b)),
+            _ => panic!("tag mismatch in Value::add: {self:?} + {rhs:?}"),
+        }
+    }
+
+    /// Semiring multiplication (tags must match).
+    pub fn mul(&self, rhs: &Value) -> Value {
+        match (self, rhs) {
+            (Value::B(a), Value::B(b)) => Value::B(a.mul(b)),
+            (Value::N(a), Value::N(b)) => Value::N(a.mul(b)),
+            (Value::Z(a), Value::Z(b)) => Value::Z(a.mul(b)),
+            (Value::Q(a), Value::Q(b)) => Value::Q(a.mul(b)),
+            (Value::MinPlus(a), Value::MinPlus(b)) => Value::MinPlus(a.mul(b)),
+            (Value::MaxF(a), Value::MaxF(b)) => Value::MaxF(a.mul(b)),
+            _ => panic!("tag mismatch in Value::mul: {self:?} · {rhs:?}"),
+        }
+    }
+
+    /// Whether the value is its semiring's zero.
+    pub fn is_zero(&self) -> bool {
+        match self {
+            Value::B(a) => a.is_zero(),
+            Value::N(a) => a.is_zero(),
+            Value::Z(a) => a.is_zero(),
+            Value::Q(a) => a.is_zero(),
+            Value::MinPlus(a) => a.is_zero(),
+            Value::MaxF(a) => a.is_zero(),
+        }
+    }
+
+    /// Extract a Boolean (panics on other tags).
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::B(b) => b.0,
+            _ => panic!("expected Boolean value, got {self:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::B(v) => write!(f, "{v}"),
+            Value::N(v) => write!(f, "{v}"),
+            Value::Z(v) => write!(f, "{v}"),
+            Value::Q(v) => write!(f, "{v}"),
+            Value::MinPlus(v) => write!(f, "{v}"),
+            Value::MaxF(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A concrete semiring usable in nested queries: conversion to/from
+/// [`Value`] plus its tag.
+pub trait ValueCarrier: Semiring {
+    /// This semiring's tag.
+    const TAG: SemiringTag;
+    /// Downcast (None on tag mismatch).
+    fn from_value(v: &Value) -> Option<Self>;
+    /// Upcast.
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! carrier {
+    ($ty:ty, $variant:ident) => {
+        impl ValueCarrier for $ty {
+            const TAG: SemiringTag = SemiringTag::$variant;
+            fn from_value(v: &Value) -> Option<Self> {
+                match v {
+                    Value::$variant(x) => Some(*x),
+                    _ => None,
+                }
+            }
+            fn to_value(&self) -> Value {
+                Value::$variant(*self)
+            }
+        }
+    };
+}
+
+carrier!(Bool, B);
+carrier!(Nat, N);
+carrier!(Int, Z);
+carrier!(Rat, Q);
+carrier!(MinPlus, MinPlus);
+carrier!(MaxF, MaxF);
+
+/// Weights in several semirings at once: the `S`-relations of a
+/// `C`-signature (Section 7). Zero-valued entries are absent.
+#[derive(Clone, Debug, Default)]
+pub struct MultiWeights {
+    entries: FxHashMap<(WeightId, Tuple), Value>,
+}
+
+impl MultiWeights {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set `w(t̄) := v` (zero values clear the entry).
+    pub fn set(&mut self, w: WeightId, t: &[Elem], v: Value) {
+        let key = (w, Tuple::new(t));
+        if v.is_zero() {
+            self.entries.remove(&key);
+        } else {
+            self.entries.insert(key, v);
+        }
+    }
+
+    /// Read `w(t̄)`, defaulting to the zero of `tag`.
+    pub fn get(&self, w: WeightId, t: &[Elem], tag: SemiringTag) -> Value {
+        self.entries
+            .get(&(w, Tuple::new(t)))
+            .copied()
+            .unwrap_or_else(|| Value::zero(tag))
+    }
+
+    /// Project the entries of one semiring into a typed weighted
+    /// structure over `a` (entries of other tags are ignored — the type
+    /// checker guarantees a stratum only reads its own).
+    pub fn project<S: ValueCarrier>(&self, a: &Arc<Structure>) -> WeightedStructure<S> {
+        let mut out = WeightedStructure::new(a.clone());
+        for ((w, t), v) in &self.entries {
+            if let Some(x) = S::from_value(v) {
+                // Skip symbols that the (possibly extended) signature does
+                // not know or whose arity mismatches — defensive: the
+                // evaluator constructs consistent stores.
+                let sig = a.signature();
+                if (w.0 as usize) < sig.num_weights()
+                    && sig.weight_arity(*w) == t.len()
+                {
+                    out.set(*w, t.as_slice(), x);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_algebra_dispatches() {
+        assert_eq!(
+            Value::N(Nat(2)).add(&Value::N(Nat(3))),
+            Value::N(Nat(5))
+        );
+        assert_eq!(
+            Value::MinPlus(MinPlus(2)).mul(&Value::MinPlus(MinPlus(3))),
+            Value::MinPlus(MinPlus(5))
+        );
+        assert!(Value::zero(SemiringTag::Q).is_zero());
+        assert!(Value::one(SemiringTag::B).as_bool());
+    }
+
+    #[test]
+    #[should_panic(expected = "tag mismatch")]
+    fn mixed_tags_panic() {
+        let _ = Value::N(Nat(1)).add(&Value::Z(Int(1)));
+    }
+
+    #[test]
+    fn carrier_roundtrip() {
+        let v = Value::Q(Rat::new(3, 4));
+        assert_eq!(Rat::from_value(&v), Some(Rat::new(3, 4)));
+        assert_eq!(Nat::from_value(&v), None);
+        assert_eq!(Rat::new(3, 4).to_value(), v);
+    }
+}

@@ -1,0 +1,387 @@
+//! Differential and example tests for Theorem 26 (FOG[C] evaluation).
+
+use agq_core::CompileOptions;
+use agq_logic::Var;
+use agq_nested::{
+    Connective, MultiWeights, NestedEvaluator, NestedFormula, SemiringTag, Value,
+};
+use agq_semiring::{Bool, MaxF, Nat, Rat};
+use agq_structure::fx::FxHashMap;
+use agq_structure::{Elem, Signature, Structure};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+// -------------------------------------------------------------------
+// A brute-force interpreter for FOG[C], used as the oracle.
+// -------------------------------------------------------------------
+
+fn naive(
+    f: &NestedFormula,
+    a: &Structure,
+    w: &MultiWeights,
+    env: &mut FxHashMap<Var, Elem>,
+) -> Value {
+    match f {
+        NestedFormula::Rel(r, args) => {
+            let t: Vec<Elem> = args.iter().map(|v| env[v]).collect();
+            Value::B(Bool(a.holds(*r, &t)))
+        }
+        NestedFormula::Eq(x, y) => Value::B(Bool(env[x] == env[y])),
+        NestedFormula::SAtom { weight, tag, args } => {
+            let t: Vec<Elem> = args.iter().map(|v| env[v]).collect();
+            w.get(*weight, &t, *tag)
+        }
+        NestedFormula::Const(v) => *v,
+        NestedFormula::Add(fs) => {
+            let tag = f.tag().unwrap();
+            let mut acc = Value::zero(tag);
+            for g in fs {
+                acc = acc.add(&naive(g, a, w, env));
+            }
+            acc
+        }
+        NestedFormula::Mul(fs) => {
+            let tag = f.tag().unwrap();
+            let mut acc = Value::one(tag);
+            for g in fs {
+                acc = acc.mul(&naive(g, a, w, env));
+            }
+            acc
+        }
+        NestedFormula::Sum(vars, g) => {
+            let tag = f.tag().unwrap();
+            let mut acc = Value::zero(tag);
+            sum_rec(vars, 0, g, a, w, env, &mut acc);
+            acc
+        }
+        NestedFormula::Not(g) => Value::B(Bool(!naive(g, a, w, env).as_bool())),
+        NestedFormula::Bracket(g, tag) => {
+            if naive(g, a, w, env).as_bool() {
+                Value::one(*tag)
+            } else {
+                Value::zero(*tag)
+            }
+        }
+        NestedFormula::Guarded {
+            guard,
+            guard_args,
+            connective,
+            args,
+        } => {
+            let t: Vec<Elem> = guard_args.iter().map(|v| env[v]).collect();
+            if !a.holds(*guard, &t) {
+                return Value::zero(connective.output);
+            }
+            let vals: Vec<Value> = args.iter().map(|g| naive(g, a, w, env)).collect();
+            (connective.apply)(&vals)
+        }
+    }
+}
+
+fn sum_rec(
+    vars: &[Var],
+    i: usize,
+    g: &NestedFormula,
+    a: &Structure,
+    w: &MultiWeights,
+    env: &mut FxHashMap<Var, Elem>,
+    acc: &mut Value,
+) {
+    if i == vars.len() {
+        *acc = acc.add(&naive(g, a, w, env));
+        return;
+    }
+    let saved = env.get(&vars[i]).copied();
+    for e in 0..a.domain_size() as Elem {
+        env.insert(vars[i], e);
+        sum_rec(vars, i + 1, g, a, w, env, acc);
+    }
+    match saved {
+        Some(v) => {
+            env.insert(vars[i], v);
+        }
+        None => {
+            env.remove(&vars[i]);
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// Fixtures
+// -------------------------------------------------------------------
+
+/// Graph with edges E, a unary "universe" guard U, and ℕ-valued node
+/// weights `w`.
+fn fixture(n: usize, m: usize, seed: u64) -> (Structure, MultiWeights) {
+    let mut sig = Signature::new();
+    let e = sig.add_relation("E", 2);
+    let u = sig.add_relation("U", 1);
+    let w = sig.add_weight("w", 1);
+    let mut a = Structure::new(Arc::new(sig), n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for v in 0..n as u32 {
+        a.insert(u, &[v]);
+    }
+    for _ in 0..m {
+        let x = rng.gen_range(0..n as u32);
+        let y = rng.gen_range(0..n as u32);
+        if x != y {
+            a.insert(e, &[x, y]);
+        }
+    }
+    let mut mw = MultiWeights::new();
+    for v in 0..n as u32 {
+        mw.set(w, &[v], Value::N(Nat(rng.gen_range(1..10))));
+    }
+    (a, mw)
+}
+
+fn div_conn() -> Connective {
+    // ÷ : ℕ × ℕ → Qmax (as MaxF), 0-denominator ↦ semiring zero (−∞)
+    Connective::new(
+        "avg-div",
+        vec![SemiringTag::N, SemiringTag::N],
+        SemiringTag::MaxF,
+        |vals| match (&vals[0], &vals[1]) {
+            (Value::N(num), Value::N(den)) => {
+                if den.0 == 0 {
+                    Value::MaxF(MaxF::NEG_INF)
+                } else {
+                    Value::MaxF(MaxF(num.0 as f64 / den.0 as f64))
+                }
+            }
+            _ => unreachable!(),
+        },
+    )
+}
+
+fn gt_conn() -> Connective {
+    Connective::new(
+        "gt",
+        vec![SemiringTag::N, SemiringTag::N],
+        SemiringTag::B,
+        |vals| match (&vals[0], &vals[1]) {
+            (Value::N(a), Value::N(b)) => Value::B(Bool(a.0 > b.0)),
+            _ => unreachable!(),
+        },
+    )
+}
+
+// -------------------------------------------------------------------
+// The paper's introduction examples
+// -------------------------------------------------------------------
+
+/// `max_x (Σ_y [E(x,y)]·w(y)) / (Σ_y [E(x,y)])` — maximum over all
+/// vertices of the average weight of out-neighbors (first nested example
+/// in the introduction).
+#[test]
+fn max_average_neighbor_weight() {
+    let (a, mw) = fixture(16, 36, 7);
+    let sig = a.signature().clone();
+    let e = sig.relation("E").unwrap();
+    let u = sig.relation("U").unwrap();
+    let w = sig.weight("w").unwrap();
+    let (x, y, y2) = (Var(0), Var(1), Var(2));
+    let num = NestedFormula::Sum(
+        vec![y],
+        Box::new(NestedFormula::Mul(vec![
+            NestedFormula::Bracket(
+                Box::new(NestedFormula::Rel(e, vec![x, y])),
+                SemiringTag::N,
+            ),
+            NestedFormula::SAtom {
+                weight: w,
+                tag: SemiringTag::N,
+                args: vec![y],
+            },
+        ])),
+    );
+    let den = NestedFormula::Sum(
+        vec![y2],
+        Box::new(NestedFormula::Bracket(
+            Box::new(NestedFormula::Rel(e, vec![x, y2])),
+            SemiringTag::N,
+        )),
+    );
+    let avg = NestedFormula::Guarded {
+        guard: u,
+        guard_args: vec![x],
+        connective: div_conn(),
+        args: vec![num, den],
+    };
+    let query = NestedFormula::Sum(vec![x], Box::new(avg));
+    assert_eq!(query.tag().unwrap(), SemiringTag::MaxF);
+
+    let ev = NestedEvaluator::build(&a, &mw, &query, &CompileOptions::default()).unwrap();
+    let got = ev.value();
+    let expect = naive(&query, &a, &mw, &mut FxHashMap::default());
+    match (got, expect) {
+        (Value::MaxF(MaxF(g)), Value::MaxF(MaxF(e2))) => {
+            assert!((g - e2).abs() < 1e-9, "{g} vs {e2}");
+        }
+        other => panic!("unexpected values {other:?}"),
+    }
+}
+
+/// `f(x) = ∃y E(x,y) ∧ (w(y) > Σ_z [E(y,z)]·w(z))` — the introduction's
+/// Boolean nested query: x has a neighbor whose weight exceeds the sum of
+/// its own neighbors' weights.
+#[test]
+fn rich_neighbor_boolean_query() {
+    for seed in [3u64, 9, 21] {
+        let (a, mw) = fixture(14, 30, seed);
+        let sig = a.signature().clone();
+        let e = sig.relation("E").unwrap();
+        let w = sig.weight("w").unwrap();
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        let wy = NestedFormula::SAtom {
+            weight: w,
+            tag: SemiringTag::N,
+            args: vec![y],
+        };
+        let neigh_sum = NestedFormula::Sum(
+            vec![z],
+            Box::new(NestedFormula::Mul(vec![
+                NestedFormula::Bracket(
+                    Box::new(NestedFormula::Rel(e, vec![y, z])),
+                    SemiringTag::N,
+                ),
+                NestedFormula::SAtom {
+                    weight: w,
+                    tag: SemiringTag::N,
+                    args: vec![z],
+                },
+            ])),
+        );
+        // guard E(x,y) covers the free variable y of both arguments
+        let cmp = NestedFormula::Guarded {
+            guard: e,
+            guard_args: vec![x, y],
+            connective: gt_conn(),
+            args: vec![wy, neigh_sum],
+        };
+        let f = NestedFormula::Sum(vec![y], Box::new(cmp));
+        assert_eq!(f.tag().unwrap(), SemiringTag::B);
+
+        let mut ev =
+            NestedEvaluator::build(&a, &mw, &f, &CompileOptions::default()).unwrap();
+        for v in 0..a.domain_size() as u32 {
+            let mut env = FxHashMap::default();
+            env.insert(x, v);
+            let expect = naive(&f, &a, &mw, &mut env);
+            let got = ev.query(&[v]);
+            assert_eq!(got, expect, "x={v} seed={seed}");
+        }
+        // result (E): enumerate the satisfying x's with constant delay
+        let ix = ev.enumerate_answers(&CompileOptions::default()).unwrap();
+        let mut got: Vec<u32> = Vec::new();
+        let mut it = ix.iter();
+        while let Some(t) = it.next() {
+            got.push(t[0]);
+        }
+        got.sort_unstable();
+        let mut expect: Vec<u32> = (0..a.domain_size() as u32)
+            .filter(|&v| {
+                let mut env = FxHashMap::default();
+                env.insert(x, v);
+                naive(&f, &a, &mw, &mut env).as_bool()
+            })
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect, "seed {seed}");
+    }
+}
+
+/// Example 9-style rational aggregation through connectives: average of
+/// averages stays exact in ℚ.
+#[test]
+fn rational_connective_values() {
+    let (a, mw) = fixture(10, 20, 13);
+    let sig = a.signature().clone();
+    let u = sig.relation("U").unwrap();
+    let e = sig.relation("E").unwrap();
+    let x = Var(0);
+    let y = Var(1);
+    // r(x) = degree(x) as ℚ via connective ℕ→ℚ
+    let deg = NestedFormula::Sum(
+        vec![y],
+        Box::new(NestedFormula::Bracket(
+            Box::new(NestedFormula::Rel(e, vec![x, y])),
+            SemiringTag::N,
+        )),
+    );
+    let to_q = Connective::new(
+        "ℕ→ℚ half",
+        vec![SemiringTag::N],
+        SemiringTag::Q,
+        |vals| match &vals[0] {
+            Value::N(n) => Value::Q(Rat::new(n.0 as i64, 2)),
+            _ => unreachable!(),
+        },
+    );
+    let halved = NestedFormula::Guarded {
+        guard: u,
+        guard_args: vec![x],
+        connective: to_q,
+        args: vec![deg],
+    };
+    // Σ_x halved(x) = m/2 exactly (each directed edge counted once)
+    let total = NestedFormula::Sum(vec![x], Box::new(halved));
+    let ev = NestedEvaluator::build(&a, &mw, &total, &CompileOptions::default()).unwrap();
+    let expect = naive(&total, &a, &mw, &mut FxHashMap::default());
+    assert_eq!(ev.value(), expect);
+    let m = a.relation(e).len() as i64;
+    assert_eq!(ev.value(), Value::Q(Rat::new(m, 2)));
+}
+
+/// Randomized differential test over two levels of nesting.
+#[test]
+fn randomized_nested_differential() {
+    for seed in 0..5u64 {
+        let (a, mw) = fixture(11, 22, 100 + seed);
+        let sig = a.signature().clone();
+        let e = sig.relation("E").unwrap();
+        let u = sig.relation("U").unwrap();
+        let w = sig.weight("w").unwrap();
+        let (x, y) = (Var(0), Var(1));
+        // inner: count of out-neighbors weighted
+        let inner = NestedFormula::Sum(
+            vec![y],
+            Box::new(NestedFormula::Mul(vec![
+                NestedFormula::Bracket(
+                    Box::new(NestedFormula::Rel(e, vec![x, y])),
+                    SemiringTag::N,
+                ),
+                NestedFormula::SAtom {
+                    weight: w,
+                    tag: SemiringTag::N,
+                    args: vec![y],
+                },
+            ])),
+        );
+        let gt5 = Connective::new(
+            "gt5",
+            vec![SemiringTag::N],
+            SemiringTag::B,
+            |vals| match &vals[0] {
+                Value::N(n) => Value::B(Bool(n.0 > 5)),
+                _ => unreachable!(),
+            },
+        );
+        let heavy = NestedFormula::Guarded {
+            guard: u,
+            guard_args: vec![x],
+            connective: gt5,
+            args: vec![inner],
+        };
+        // count heavy vertices
+        let f = NestedFormula::Sum(
+            vec![x],
+            Box::new(NestedFormula::Bracket(Box::new(heavy), SemiringTag::N)),
+        );
+        let ev = NestedEvaluator::build(&a, &mw, &f, &CompileOptions::default()).unwrap();
+        let expect = naive(&f, &a, &mw, &mut FxHashMap::default());
+        assert_eq!(ev.value(), expect, "seed {seed}");
+    }
+}

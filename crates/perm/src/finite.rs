@@ -1,0 +1,199 @@
+//! Constant-time permanent maintenance in finite semirings (Lemma 18).
+
+use crate::ColMatrix;
+use agq_semiring::{nat_mul, FiniteSemiring};
+use std::collections::HashMap;
+
+/// Dynamic permanent of a `k × n` matrix over a *finite* semiring, with
+/// `O_{k,|S|}(1)` updates — the structure behind Corollary 20.
+///
+/// The key observation of Lemma 18: `perm(M)` depends only on the number of
+/// occurrences of each vector `t ∈ S^k` as a column of `M`. We therefore
+/// maintain a multiset of column types and recompute the permanent from the
+/// (constantly many) type counts by a subset dynamic program with
+/// falling-factorial multiplicities:
+///
+/// ```text
+/// g_t[R] = Σ_{R' ⊆ R} g_{t−1}[R \ R'] · P(c_t, |R'|) · Π_{r ∈ R'} t[r]
+/// ```
+///
+/// where `P(c, j) = c(c−1)⋯(c−j+1)` counts ordered choices of distinct
+/// columns of type `t` (all columns of one type contribute equal products).
+pub struct FinitePerm<S: FiniteSemiring> {
+    cols: ColMatrix<S>,
+    counts: HashMap<Vec<S>, u64>,
+}
+
+impl<S: FiniteSemiring> FinitePerm<S> {
+    /// Build in `O(n · k)` time.
+    pub fn build(cols: ColMatrix<S>) -> Self {
+        let mut counts: HashMap<Vec<S>, u64> = HashMap::new();
+        for col in cols.iter_cols() {
+            *counts.entry(col.to_vec()).or_insert(0) += 1;
+        }
+        FinitePerm { cols, counts }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols.cols()
+    }
+
+    /// Number of distinct column types currently present (≤ `|S|^k`).
+    pub fn num_types(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Overwrite entry `(row, col)`; O(k) hash work.
+    pub fn update(&mut self, row: usize, col: usize, value: S) {
+        let old: Vec<S> = self.cols.col(col).to_vec();
+        self.cols.set(row, col, value);
+        let new: Vec<S> = self.cols.col(col).to_vec();
+        if old == new {
+            return;
+        }
+        if let Some(c) = self.counts.get_mut(&old) {
+            *c -= 1;
+            if *c == 0 {
+                self.counts.remove(&old);
+            }
+        }
+        *self.counts.entry(new).or_insert(0) += 1;
+    }
+
+    /// The permanent, recomputed from type counts:
+    /// `O(T · 3^k + T · 2^k · k)` with `T ≤ min(n, |S|^k)` — constant in
+    /// `n` once every type is present.
+    pub fn total(&self) -> S {
+        let k = self.cols.rows();
+        let full = (1usize << k) - 1;
+        let mut g = vec![S::zero(); 1 << k];
+        g[0] = S::one();
+        for (ty, &count) in &self.counts {
+            // Precompute Π_{r ∈ mask} ty[r] for every mask.
+            let mut prod = vec![S::one(); 1 << k];
+            for mask in 1..=full {
+                let r = mask.trailing_zeros() as usize;
+                prod[mask] = prod[mask & (mask - 1)].mul(&ty[r]);
+            }
+            // In-place descending-mask update (reads of strictly smaller
+            // masks still see pre-type values).
+            for mask in (1..=full).rev() {
+                let mut acc = g[mask].clone();
+                // Enumerate nonempty submasks R' of mask.
+                let mut sub = mask;
+                loop {
+                    let j = sub.count_ones() as u64;
+                    if count >= j {
+                        let mut term = g[mask & !sub].mul(&prod[sub]);
+                        // falling factorial P(count, j), factor by factor to
+                        // avoid u64 overflow for large counts
+                        for step in 0..j {
+                            term = nat_mul(count - step, &term);
+                        }
+                        acc.add_assign(&term);
+                    }
+                    sub = (sub - 1) & mask;
+                    if sub == 0 {
+                        break;
+                    }
+                }
+                g[mask] = acc;
+            }
+        }
+        g[full].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perm_naive;
+    use agq_semiring::{Bool, Mod};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bool_matrix(k: usize, n: usize, seed: u64) -> ColMatrix<Bool> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut m = ColMatrix::new(k);
+        for _ in 0..n {
+            let col: Vec<Bool> = (0..k).map(|_| Bool(rng.gen_bool(0.5))).collect();
+            m.push_col(&col);
+        }
+        m
+    }
+
+    #[test]
+    fn matches_naive_bool() {
+        for k in 1..=4 {
+            for n in [2usize, 5, 9] {
+                let m = random_bool_matrix(k, n, (k * 31 + n) as u64);
+                assert_eq!(
+                    FinitePerm::build(m.clone()).total(),
+                    perm_naive(&m),
+                    "k={k} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_mod5() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for k in 1..=3 {
+            let mut m = ColMatrix::new(k);
+            for _ in 0..8 {
+                let col: Vec<Mod> =
+                    (0..k).map(|_| Mod::new(rng.gen_range(0..5), 5)).collect();
+                m.push_col(&col);
+            }
+            assert_eq!(FinitePerm::build(m.clone()).total(), perm_naive(&m));
+        }
+    }
+
+    #[test]
+    fn update_sequences_stay_correct() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let m = random_bool_matrix(3, 8, 3);
+        let mut dynamic = FinitePerm::build(m.clone());
+        let mut shadow = m;
+        for _ in 0..60 {
+            let r = rng.gen_range(0..3);
+            let c = rng.gen_range(0..8);
+            let v = Bool(rng.gen_bool(0.5));
+            dynamic.update(r, c, v);
+            shadow.set(r, c, v);
+            assert_eq!(dynamic.total(), perm_naive(&shadow));
+        }
+    }
+
+    #[test]
+    fn boolean_permanent_is_sdr_existence() {
+        // A Boolean permanent is true iff a system of distinct
+        // representatives exists.
+        let m = ColMatrix::from_rows(&[
+            vec![Bool(true), Bool(true), Bool(false)],
+            vec![Bool(true), Bool(false), Bool(true)],
+            vec![Bool(true), Bool(false), Bool(false)],
+        ]);
+        assert_eq!(FinitePerm::build(m).total(), Bool(true));
+        let blocked = ColMatrix::from_rows(&[
+            vec![Bool(true), Bool(false), Bool(false)],
+            vec![Bool(true), Bool(false), Bool(false)],
+            vec![Bool(true), Bool(false), Bool(false)],
+        ]);
+        assert_eq!(FinitePerm::build(blocked).total(), Bool(false));
+    }
+
+    #[test]
+    fn falling_factorial_handles_large_counts() {
+        // 1×n all-true Boolean matrix: permanent = true for any n.
+        let mut m = ColMatrix::new(1);
+        for _ in 0..1000 {
+            m.push_col(&[Bool(true)]);
+        }
+        let p = FinitePerm::build(m);
+        assert_eq!(p.num_types(), 1);
+        assert_eq!(p.total(), Bool(true));
+    }
+}

@@ -1,0 +1,131 @@
+//! Permanents of rectangular matrices over commutative semirings.
+//!
+//! System **S2** of the reproduction: Section 4 of *Aggregate Queries on
+//! Sparse Databases* reduces the evaluation and maintenance of arbitrary
+//! weighted queries to the purely algebraic problem of computing and
+//! updating the permanent
+//!
+//! ```text
+//! perm(M) = Σ_{f : R → C injective} Π_{r ∈ R} M[r, f(r)]
+//! ```
+//!
+//! of a `k × n` matrix `M`, where the number of rows `k` is a query
+//! constant and the number of columns `n` is data-sized. This crate
+//! provides every algorithm the paper calls for:
+//!
+//! * [`perm_naive`] — the defining sum (the baseline; O(n^k));
+//! * [`perm_streaming`] — linear time `O_k(n)` for any semiring, via a
+//!   subset dynamic program (the unit-cost evaluation behind Theorem 8);
+//! * [`perm_prime`] — the ordered variant `perm′` of Lemma 10 together
+//!   with the divide-and-conquer identity used to prove Lemma 11;
+//! * [`SegTreePerm`] — the logarithmic-update structure of
+//!   Corollary 13 (general semirings; tight by Proposition 14);
+//! * [`RingPerm`] — constant-time updates for rings via the
+//!   inclusion–exclusion formula over set partitions (Lemma 15);
+//! * [`FinitePerm`] — constant-time updates for finite semirings via
+//!   column-type counting (Lemma 18);
+//! * [`support`] — Boolean permanent (system of distinct representatives)
+//!   tests on column-type counts, the engine behind the enumeration
+//!   structure of Lemma 39.
+//!
+//! Row counts are limited to [`MAX_ROWS`] so that row subsets fit in a
+//! `u32` mask; this mirrors the paper's standing assumption that the number
+//! of rows is a constant of the query.
+
+mod finite;
+mod matrix;
+mod naive;
+pub mod partitions;
+pub mod perm_prime;
+mod ring;
+mod segtree;
+pub mod support;
+mod streaming;
+
+pub use finite::FinitePerm;
+pub use matrix::ColMatrix;
+pub use naive::perm_naive;
+pub use ring::RingPerm;
+pub use segtree::SegTreePerm;
+pub use streaming::{perm_streaming, PrefixPerm};
+
+/// Maximum supported number of rows `k` (row subsets are `u32` masks and
+/// the dynamic programs are exponential in `k`; queries fix `k`).
+pub const MAX_ROWS: usize = 8;
+
+#[cfg(test)]
+mod cross_tests {
+    use super::*;
+    use agq_semiring::{Int, MinPlus, Nat, Semiring};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_nat_matrix(k: usize, n: usize, seed: u64) -> ColMatrix<Nat> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut m = ColMatrix::new(k);
+        for _ in 0..n {
+            let col: Vec<Nat> = (0..k).map(|_| Nat(rng.gen_range(0..5))).collect();
+            m.push_col(&col);
+        }
+        m
+    }
+
+    #[test]
+    fn streaming_matches_naive_nat() {
+        for k in 1..=4 {
+            for n in 0..8 {
+                let m = random_nat_matrix(k, n, (k * 100 + n) as u64);
+                assert_eq!(perm_streaming(&m), perm_naive(&m), "k={k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_naive_minplus() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for k in 1..=3 {
+            for n in 0..7 {
+                let mut m = ColMatrix::new(k);
+                for _ in 0..n {
+                    let col: Vec<MinPlus> =
+                        (0..k).map(|_| MinPlus(rng.gen_range(0..20))).collect();
+                    m.push_col(&col);
+                }
+                assert_eq!(perm_streaming(&m), perm_naive(&m), "k={k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_rows_permanent_is_one() {
+        let m: ColMatrix<Nat> = ColMatrix::new(0);
+        assert_eq!(perm_streaming(&m), Nat::one());
+        assert_eq!(perm_naive(&m), Nat::one());
+    }
+
+    #[test]
+    fn fewer_columns_than_rows_gives_zero() {
+        let m = random_nat_matrix(3, 2, 1);
+        assert_eq!(perm_streaming(&m), Nat::zero());
+    }
+
+    #[test]
+    fn all_structures_agree_int() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for k in 1..=3 {
+            for n in [3usize, 5, 9] {
+                let mut m = ColMatrix::new(k);
+                for _ in 0..n {
+                    let col: Vec<Int> = (0..k).map(|_| Int(rng.gen_range(-3..4))).collect();
+                    m.push_col(&col);
+                }
+                let expect = perm_naive(&m);
+                assert_eq!(perm_streaming(&m), expect);
+                let seg = SegTreePerm::build(m.clone());
+                assert_eq!(*seg.total(), expect);
+                let ring = RingPerm::build(m.clone());
+                assert_eq!(ring.total(), expect);
+            }
+        }
+    }
+}

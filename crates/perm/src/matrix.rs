@@ -1,0 +1,120 @@
+//! Column-major rectangular matrices with few rows.
+
+use crate::MAX_ROWS;
+use agq_semiring::Semiring;
+
+/// A `k × n` matrix stored column-major, `k ≤ MAX_ROWS`.
+///
+/// In the paper's use the rows are indexed by query atoms and the columns
+/// by data elements, so `n` grows with the database while `k` is fixed.
+/// Column-major layout keeps the per-column updates of Section 4 cache
+/// friendly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColMatrix<S> {
+    k: usize,
+    data: Vec<S>,
+}
+
+impl<S: Semiring> ColMatrix<S> {
+    /// Empty matrix with `k` rows.
+    ///
+    /// # Panics
+    /// Panics if `k > MAX_ROWS`.
+    pub fn new(k: usize) -> Self {
+        assert!(k <= MAX_ROWS, "at most {MAX_ROWS} rows supported, got {k}");
+        ColMatrix { k, data: Vec::new() }
+    }
+
+    /// Empty matrix with `k` rows and room for `n` columns.
+    pub fn with_capacity(k: usize, n: usize) -> Self {
+        let mut m = Self::new(k);
+        m.data.reserve(k * n);
+        m
+    }
+
+    /// Build from a row-major list of rows (all of equal length).
+    pub fn from_rows(rows: &[Vec<S>]) -> Self {
+        let k = rows.len();
+        let n = rows.first().map_or(0, Vec::len);
+        assert!(
+            rows.iter().all(|r| r.len() == n),
+            "all rows must have equal length"
+        );
+        let mut m = Self::with_capacity(k, n);
+        for c in 0..n {
+            for row in rows {
+                m.data.push(row[c].clone());
+            }
+        }
+        m
+    }
+
+    /// Number of rows `k`.
+    pub fn rows(&self) -> usize {
+        self.k
+    }
+
+    /// Number of columns `n`.
+    pub fn cols(&self) -> usize {
+        self.data.len().checked_div(self.k).unwrap_or(0)
+    }
+
+    /// Append a column (`col.len() == k`).
+    pub fn push_col(&mut self, col: &[S]) {
+        assert_eq!(col.len(), self.k, "column has wrong height");
+        self.data.extend_from_slice(col);
+    }
+
+    /// The entry at `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> &S {
+        &self.data[col * self.k + row]
+    }
+
+    /// Overwrite the entry at `(row, col)`, returning the old value.
+    pub fn set(&mut self, row: usize, col: usize, value: S) -> S {
+        std::mem::replace(&mut self.data[col * self.k + row], value)
+    }
+
+    /// The column `col` as a slice of length `k`.
+    pub fn col(&self, col: usize) -> &[S] {
+        &self.data[col * self.k..(col + 1) * self.k]
+    }
+
+    /// Iterate over columns as slices.
+    pub fn iter_cols(&self) -> impl Iterator<Item = &[S]> {
+        self.data.chunks_exact(self.k.max(1)).take(self.cols())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agq_semiring::Nat;
+
+    #[test]
+    fn layout_roundtrip() {
+        let m = ColMatrix::from_rows(&[
+            vec![Nat(1), Nat(2), Nat(3)],
+            vec![Nat(4), Nat(5), Nat(6)],
+        ]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(*m.get(0, 2), Nat(3));
+        assert_eq!(*m.get(1, 0), Nat(4));
+        assert_eq!(m.col(1), &[Nat(2), Nat(5)]);
+    }
+
+    #[test]
+    fn set_returns_old() {
+        let mut m = ColMatrix::from_rows(&[vec![Nat(1)]]);
+        assert_eq!(m.set(0, 0, Nat(9)), Nat(1));
+        assert_eq!(*m.get(0, 0), Nat(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong height")]
+    fn push_wrong_height_panics() {
+        let mut m: ColMatrix<Nat> = ColMatrix::new(2);
+        m.push_col(&[Nat(1)]);
+    }
+}

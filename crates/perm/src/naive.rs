@@ -1,0 +1,62 @@
+//! The defining-sum baseline for permanents.
+
+use crate::ColMatrix;
+use agq_semiring::Semiring;
+
+/// Evaluate `perm(M)` directly from the definition: sum over all injective
+/// assignments of rows to columns. Runs in `O(n^k)` time (with early
+/// pruning on zero prefixes) — the baseline that the linear-time algorithms
+/// are benchmarked against (Experiment E1).
+pub fn perm_naive<S: Semiring>(m: &ColMatrix<S>) -> S {
+    let n = m.cols();
+    let mut used = vec![false; n];
+    rec(m, 0, &S::one(), &mut used)
+}
+
+fn rec<S: Semiring>(m: &ColMatrix<S>, row: usize, acc: &S, used: &mut [bool]) -> S {
+    if row == m.rows() {
+        return acc.clone();
+    }
+    let mut total = S::zero();
+    for c in 0..m.cols() {
+        if used[c] {
+            continue;
+        }
+        let next = acc.mul(m.get(row, c));
+        // Pruning zero products is sound in every semiring: 0 annihilates.
+        if next.is_zero() {
+            continue;
+        }
+        used[c] = true;
+        total.add_assign(&rec(m, row + 1, &next, used));
+        used[c] = false;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agq_semiring::Nat;
+
+    #[test]
+    fn two_by_two() {
+        // perm [[a,b],[c,d]] = a·d + b·c
+        let m = ColMatrix::from_rows(&[vec![Nat(1), Nat(2)], vec![Nat(3), Nat(4)]]);
+        assert_eq!(perm_naive(&m), Nat(4 + 2 * 3));
+    }
+
+    #[test]
+    fn three_rows_example_from_paper() {
+        // perm of a 3×3 all-ones matrix = 3! = 6 (count of injections).
+        let ones = vec![Nat(1); 3];
+        let m = ColMatrix::from_rows(&[ones.clone(), ones.clone(), ones]);
+        assert_eq!(perm_naive(&m), Nat(6));
+    }
+
+    #[test]
+    fn one_row_is_row_sum() {
+        let m = ColMatrix::from_rows(&[vec![Nat(2), Nat(3), Nat(4)]]);
+        assert_eq!(perm_naive(&m), Nat(9));
+    }
+}

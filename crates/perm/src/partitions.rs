@@ -1,0 +1,122 @@
+//! Set partitions of `{0, …, k−1}` and their Möbius coefficients, used by
+//! the ring elimination of permanent gates (Lemma 15).
+
+/// One set partition: blocks as disjoint nonempty row masks covering
+/// `(1 << k) − 1`, plus the Möbius coefficient
+/// `μ(π) = Π_{B ∈ π} (−1)^{|B|−1} (|B|−1)!` split into sign and magnitude.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// Disjoint nonempty masks whose union is the full row set.
+    pub blocks: Vec<u32>,
+    /// True when `μ(π) < 0`.
+    pub negative: bool,
+    /// `|μ(π)|`.
+    pub magnitude: u64,
+}
+
+/// Enumerate all set partitions of `{0, …, k−1}` (Bell(k) many) together
+/// with their Möbius coefficients. `k = 0` yields the single empty
+/// partition with coefficient `+1`.
+pub fn set_partitions(k: usize) -> Vec<Partition> {
+    assert!(k <= crate::MAX_ROWS);
+    let mut out = Vec::new();
+    let mut blocks: Vec<u32> = Vec::new();
+    rec(0, k, &mut blocks, &mut out);
+    out
+}
+
+fn rec(i: usize, k: usize, blocks: &mut Vec<u32>, out: &mut Vec<Partition>) {
+    if i == k {
+        let mut negative = false;
+        let mut magnitude = 1u64;
+        for &b in blocks.iter() {
+            let size = b.count_ones() as u64;
+            if size.is_multiple_of(2) {
+                negative = !negative;
+            }
+            magnitude *= factorial(size - 1);
+        }
+        out.push(Partition {
+            blocks: blocks.clone(),
+            negative,
+            magnitude,
+        });
+        return;
+    }
+    // Element i joins an existing block or opens a new one. Restricting new
+    // blocks to be opened by their least element enumerates each partition
+    // exactly once (restricted growth).
+    for j in 0..blocks.len() {
+        blocks[j] |= 1 << i;
+        rec(i + 1, k, blocks, out);
+        blocks[j] &= !(1 << i);
+    }
+    blocks.push(1 << i);
+    rec(i + 1, k, blocks, out);
+    blocks.pop();
+}
+
+fn factorial(n: u64) -> u64 {
+    (1..=n).product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bell(k: usize) -> usize {
+        [1usize, 1, 2, 5, 15, 52, 203, 877, 4140][k]
+    }
+
+    #[test]
+    fn counts_match_bell_numbers() {
+        for k in 0..=6 {
+            assert_eq!(set_partitions(k).len(), bell(k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn blocks_are_disjoint_and_cover() {
+        for k in 1..=5 {
+            for p in set_partitions(k) {
+                let mut seen = 0u32;
+                for &b in &p.blocks {
+                    assert_ne!(b, 0);
+                    assert_eq!(seen & b, 0, "blocks overlap");
+                    seen |= b;
+                }
+                assert_eq!(seen, (1u32 << k) - 1, "blocks do not cover");
+            }
+        }
+    }
+
+    #[test]
+    fn coefficients_k2_and_k3() {
+        // k=2: {{0},{1}} → +1; {{0,1}} → −1.
+        let ps = set_partitions(2);
+        let single: Vec<_> = ps.iter().filter(|p| p.blocks.len() == 2).collect();
+        let merged: Vec<_> = ps.iter().filter(|p| p.blocks.len() == 1).collect();
+        assert_eq!(single.len(), 1);
+        assert!(!single[0].negative && single[0].magnitude == 1);
+        assert_eq!(merged.len(), 1);
+        assert!(merged[0].negative && merged[0].magnitude == 1);
+        // k=3: the full block has μ = +2.
+        let ps = set_partitions(3);
+        let full: Vec<_> = ps.iter().filter(|p| p.blocks.len() == 1).collect();
+        assert!(!full[0].negative && full[0].magnitude == 2);
+    }
+
+    #[test]
+    fn mobius_coefficients_sum_to_zero_for_k_ge_2() {
+        // Σ_π μ(π) = 0 for k ≥ 2 (Möbius function of a nontrivial lattice
+        // interval sums to zero).
+        for k in 2..=6 {
+            let mut total = 0i64;
+            for p in set_partitions(k) {
+                let m = p.magnitude as i64;
+                total += if p.negative { -m } else { m };
+            }
+            assert_eq!(total, 0, "k={k}");
+        }
+    }
+}

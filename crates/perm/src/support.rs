@@ -1,0 +1,148 @@
+//! Boolean permanent (system-of-distinct-representatives) tests on
+//! column-type counts — the combinatorial core of Lemma 39.
+//!
+//! A Boolean `k × n` matrix `N` is summarized by `counts[mask]` = number of
+//! columns whose support (set of rows `r` with `N[r,c] = 1`) equals `mask`.
+//! `perm(N) = 1` iff an SDR exists, which by Hall's theorem holds iff every
+//! row subset `R` has at least `|R|` columns intersecting it. All checks
+//! here run in `O_k(1)` time (independent of `n`), which is what makes the
+//! enumeration data structure of Lemma 39 maintainable in constant time.
+
+/// Does a system of distinct representatives exist for *all* `k` rows,
+/// given per-support-mask column counts (`counts.len() == 1 << k`)?
+pub fn sdr_exists(k: usize, counts: &[i64]) -> bool {
+    sdr_exists_rows(k, counts, ((1u64 << k) - 1) as u32)
+}
+
+/// Does an SDR exist for the row subset `rows`?
+///
+/// Hall's condition restricted to subsets of `rows`: for every nonempty
+/// `R ⊆ rows`, the number of columns whose support meets `R` must be at
+/// least `|R|`. Runs in `O(3^k)` via complement subset sums.
+pub fn sdr_exists_rows(k: usize, counts: &[i64], rows: u32) -> bool {
+    debug_assert_eq!(counts.len(), 1 << k);
+    let total: i64 = counts.iter().sum();
+    // Enumerate nonempty R ⊆ rows; columns *missing* R are those whose
+    // support mask is a subset of !R.
+    let mut r = rows;
+    loop {
+        if r != 0 {
+            let comp = !r & (((1u64 << k) - 1) as u32);
+            let mut missing = 0i64;
+            let mut sub = comp;
+            loop {
+                missing += counts[sub as usize];
+                if sub == 0 {
+                    break;
+                }
+                sub = (sub - 1) & comp;
+            }
+            let available = total - missing;
+            if available < r.count_ones() as i64 {
+                return false;
+            }
+        }
+        if r == 0 {
+            break;
+        }
+        r = (r - 1) & rows;
+    }
+    true
+}
+
+/// Maximum matching size between the rows in `rows` and the columns,
+/// given per-support-mask counts. Used for diagnostics and tests.
+pub fn max_matching(k: usize, counts: &[i64], rows: u32) -> u32 {
+    // König/Hall defect form: max matching = |rows| − max_R (|R| − N(R)).
+    let total: i64 = counts.iter().sum();
+    let mut best_defect: i64 = 0;
+    let mut r = rows;
+    loop {
+        let comp = !r & (((1u64 << k) - 1) as u32);
+        let mut missing = 0i64;
+        let mut sub = comp;
+        loop {
+            missing += counts[sub as usize];
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & comp;
+        }
+        let available = total - missing;
+        best_defect = best_defect.max(r.count_ones() as i64 - available);
+        if r == 0 {
+            break;
+        }
+        r = (r - 1) & rows;
+    }
+    (rows.count_ones() as i64 - best_defect).max(0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColMatrix, FinitePerm};
+    use agq_semiring::Bool;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn counts_of(m: &ColMatrix<Bool>) -> Vec<i64> {
+        let k = m.rows();
+        let mut counts = vec![0i64; 1 << k];
+        for col in m.iter_cols() {
+            let mut mask = 0usize;
+            for (r, v) in col.iter().enumerate() {
+                if v.0 {
+                    mask |= 1 << r;
+                }
+            }
+            counts[mask] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn agrees_with_boolean_permanent_on_random_matrices() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        for k in 1..=4 {
+            for n in [1usize, 3, 6, 10] {
+                let mut m = ColMatrix::new(k);
+                for _ in 0..n {
+                    let col: Vec<Bool> =
+                        (0..k).map(|_| Bool(rng.gen_bool(0.4))).collect();
+                    m.push_col(&col);
+                }
+                let expected = FinitePerm::build(m.clone()).total().0;
+                assert_eq!(
+                    sdr_exists(k, &counts_of(&m)),
+                    expected,
+                    "k={k} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subset_rows_hall() {
+        // Column supports: {0}, {0} — rows {0} matchable, {0,1} not.
+        let counts = {
+            let mut c = vec![0i64; 4];
+            c[0b01] = 2;
+            c
+        };
+        assert!(sdr_exists_rows(2, &counts, 0b01));
+        assert!(!sdr_exists_rows(2, &counts, 0b11));
+        assert!(!sdr_exists_rows(2, &counts, 0b10));
+        assert!(sdr_exists_rows(2, &counts, 0));
+    }
+
+    #[test]
+    fn max_matching_counts() {
+        let mut counts = vec![0i64; 8];
+        counts[0b001] = 1; // column seen by row 0 only
+        counts[0b011] = 1; // rows 0,1
+        assert_eq!(max_matching(3, &counts, 0b111), 2);
+        assert_eq!(max_matching(3, &counts, 0b011), 2);
+        assert_eq!(max_matching(3, &counts, 0b100), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Executable semiring laws, used by unit and property tests of every
+//! instance (and by downstream crates to validate user-supplied semirings).
+
+use crate::traits::{Ring, Semiring};
+
+/// Assert all commutative-semiring laws on every triple drawn from
+/// `samples`. Panics with a descriptive message on the first violation.
+pub fn check_semiring_laws<S: Semiring>(samples: &[S]) {
+    let zero = S::zero();
+    let one = S::one();
+    assert!(zero.is_zero(), "zero() must satisfy is_zero()");
+    assert!(one.is_one(), "one() must satisfy is_one()");
+    for a in samples {
+        assert_eq!(a.add(&zero), *a, "additive identity failed for {a:?}");
+        assert_eq!(a.mul(&one), *a, "multiplicative identity failed for {a:?}");
+        assert_eq!(a.mul(&zero), zero, "annihilation failed for {a:?}");
+        for b in samples {
+            assert_eq!(a.add(b), b.add(a), "+ not commutative: {a:?}, {b:?}");
+            assert_eq!(a.mul(b), b.mul(a), "· not commutative: {a:?}, {b:?}");
+            for c in samples {
+                assert_eq!(
+                    a.add(b).add(c),
+                    a.add(&b.add(c)),
+                    "+ not associative: {a:?}, {b:?}, {c:?}"
+                );
+                assert_eq!(
+                    a.mul(b).mul(c),
+                    a.mul(&b.mul(c)),
+                    "· not associative: {a:?}, {b:?}, {c:?}"
+                );
+                assert_eq!(
+                    a.mul(&b.add(c)),
+                    a.mul(b).add(&a.mul(c)),
+                    "distributivity failed: {a:?}, {b:?}, {c:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Assert the additional ring laws on every element of `samples`.
+pub fn check_ring_laws<R: Ring>(samples: &[R]) {
+    for a in samples {
+        assert!(
+            a.add(&a.neg()).is_zero(),
+            "a + (−a) ≠ 0 for {a:?}"
+        );
+        assert!(a.sub(a).is_zero(), "a − a ≠ 0 for {a:?}");
+        for b in samples {
+            assert_eq!(
+                a.sub(b),
+                a.add(&b.neg()),
+                "sub inconsistent with neg: {a:?}, {b:?}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric::{Bool, Int, Mod, Nat, Rat};
+    use crate::pair::Pair;
+    use crate::provenance::{Gen, Poly};
+    use crate::tropical::{MaxPlus, MinMax, MinPlus};
+
+    #[test]
+    fn bool_laws() {
+        check_semiring_laws(&[Bool(false), Bool(true)]);
+    }
+
+    #[test]
+    fn nat_laws() {
+        check_semiring_laws(&[Nat(0), Nat(1), Nat(2), Nat(7), Nat(100)]);
+    }
+
+    #[test]
+    fn int_laws() {
+        let xs = [Int(-5), Int(-1), Int(0), Int(1), Int(3), Int(12)];
+        check_semiring_laws(&xs);
+        check_ring_laws(&xs);
+    }
+
+    #[test]
+    fn rat_laws() {
+        let xs = [
+            Rat::zero(),
+            Rat::one(),
+            Rat::new(1, 2),
+            Rat::new(-3, 4),
+            Rat::new(7, 5),
+        ];
+        check_semiring_laws(&xs);
+        check_ring_laws(&xs);
+    }
+
+    #[test]
+    fn mod_laws() {
+        let xs: Vec<Mod> = (0..5).map(|v| Mod::new(v, 5)).collect();
+        check_semiring_laws(&xs);
+        check_ring_laws(&xs);
+    }
+
+    #[test]
+    fn tropical_laws() {
+        check_semiring_laws(&[MinPlus::INF, MinPlus(0), MinPlus(1), MinPlus(9)]);
+        check_semiring_laws(&[MaxPlus::NEG_INF, MaxPlus(-3), MaxPlus(0), MaxPlus(8)]);
+        check_semiring_laws(&[MinMax::INF, MinMax(0), MinMax(2), MinMax(11)]);
+    }
+
+    #[test]
+    fn pair_laws() {
+        let xs = [
+            Pair(Nat(0), MinPlus::INF),
+            Pair(Nat(1), MinPlus(0)),
+            Pair(Nat(3), MinPlus(4)),
+        ];
+        check_semiring_laws(&xs);
+    }
+
+    #[test]
+    fn poly_laws() {
+        let xs = [
+            Poly::zero(),
+            Poly::one(),
+            Poly::var(Gen(1)),
+            Poly::var(Gen(2)).add(&Poly::var(Gen(1))),
+            Poly::var(Gen(1)).mul(&Poly::var(Gen(1))),
+        ];
+        check_semiring_laws(&xs);
+    }
+}

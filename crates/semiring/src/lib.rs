@@ -1,0 +1,42 @@
+//! Commutative semirings for aggregate query evaluation.
+//!
+//! This crate implements system **S1** of the reproduction of
+//! *Aggregate Queries on Sparse Databases* (Toruńczyk, PODS 2020): the
+//! algebraic substrate every other crate is generic over.
+//!
+//! A [`Semiring`] is a commutative semiring `(S, +, ·, 0, 1)`: both
+//! operations are commutative and associative, `·` distributes over `+`,
+//! and `0` annihilates (`0 · s = 0`). The paper evaluates the *same*
+//! compiled circuit in different semirings to obtain counting, optimization,
+//! probability, provenance, and enumeration results; the instances here are
+//! exactly the ones the paper names in Sections 1–5:
+//!
+//! * [`Bool`] — the Boolean semiring `B = ({0,1}, ∨, ∧)`;
+//! * [`Nat`] — `(ℕ, +, ·)`, bag semantics / counting;
+//! * [`Int`] — the ring `(ℤ, +, ·)`;
+//! * [`Rat`] — the field of rationals `(ℚ, +, ·)` (exact, `i64`-normalized);
+//! * [`MinPlus`] — the tropical semiring `(ℕ ∪ {+∞}, min, +)`;
+//! * [`MaxPlus`] — `(ℤ ∪ {−∞}, max, +)` (the `Qmax` of the introduction);
+//! * [`MinMax`] — `(ℕ ∪ {+∞}, min, max)`, bottleneck optimization;
+//! * [`Mod`] — the finite rings `ℤ/m`;
+//! * [`Poly`] — the free commutative (provenance) semiring of Section 5;
+//! * [`Pair`] — the product of two semirings (useful for testing and for
+//!   combined aggregates).
+//!
+//! The sub-traits refine capability exactly along the paper's case split for
+//! permanent maintenance (Section 4): [`Ring`] (Lemma 15, subtraction
+//! available ⇒ O(1) updates) and [`FiniteSemiring`] (Lemma 18, counting
+//! gates ⇒ O(1) updates).
+
+pub mod laws;
+mod numeric;
+mod pair;
+mod provenance;
+mod traits;
+mod tropical;
+
+pub use numeric::{Bool, Int, Mod, Nat, Rat, F64};
+pub use pair::Pair;
+pub use provenance::{Gen, Monomial, Poly};
+pub use traits::{nat_mul, FiniteSemiring, Ring, Semiring};
+pub use tropical::{MaxF, MaxPlus, MinMax, MinPlus};

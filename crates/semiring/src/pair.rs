@@ -1,0 +1,84 @@
+//! The product of two semirings.
+
+use crate::traits::{FiniteSemiring, Ring, Semiring};
+use std::fmt;
+
+/// The product semiring `A × B` with componentwise operations.
+///
+/// Useful for evaluating two aggregates in one pass (e.g. count *and*
+/// minimum cost of triangles), and as a stress test that the circuit
+/// machinery never assumes anything beyond the semiring laws.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Pair<A, B>(pub A, pub B);
+
+impl<A: Semiring, B: Semiring> Semiring for Pair<A, B> {
+    fn zero() -> Self {
+        Pair(A::zero(), B::zero())
+    }
+    fn one() -> Self {
+        Pair(A::one(), B::one())
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        Pair(self.0.add(&rhs.0), self.1.add(&rhs.1))
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        Pair(self.0.mul(&rhs.0), self.1.mul(&rhs.1))
+    }
+    fn is_zero(&self) -> bool {
+        self.0.is_zero() && self.1.is_zero()
+    }
+    fn is_one(&self) -> bool {
+        self.0.is_one() && self.1.is_one()
+    }
+}
+
+impl<A: Ring, B: Ring> Ring for Pair<A, B> {
+    fn neg(&self) -> Self {
+        Pair(self.0.neg(), self.1.neg())
+    }
+}
+
+impl<A: FiniteSemiring, B: FiniteSemiring> FiniteSemiring for Pair<A, B> {
+    fn enumerate() -> Vec<Self> {
+        let bs = B::enumerate();
+        A::enumerate()
+            .into_iter()
+            .flat_map(|a| bs.iter().map(move |b| Pair(a.clone(), b.clone())))
+            .collect()
+    }
+    fn index_of(&self) -> usize {
+        self.0.index_of() * B::cardinality() + self.1.index_of()
+    }
+    fn cardinality() -> usize {
+        A::cardinality() * B::cardinality()
+    }
+}
+
+impl<A: fmt::Display, B: fmt::Display> fmt::Display for Pair<A, B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.0, self.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric::{Bool, Nat};
+    use crate::tropical::MinPlus;
+
+    #[test]
+    fn componentwise_ops() {
+        let x = Pair(Nat(2), MinPlus(3));
+        let y = Pair(Nat(5), MinPlus(1));
+        assert_eq!(x.add(&y), Pair(Nat(7), MinPlus(1)));
+        assert_eq!(x.mul(&y), Pair(Nat(10), MinPlus(4)));
+    }
+
+    #[test]
+    fn finite_pair_indexing() {
+        for (i, x) in <Pair<Bool, Bool>>::enumerate().into_iter().enumerate() {
+            assert_eq!(x.index_of(), i);
+        }
+        assert_eq!(<Pair<Bool, Bool>>::cardinality(), 4);
+    }
+}

@@ -1,0 +1,254 @@
+//! The free commutative semiring (provenance semiring) of Section 5.
+//!
+//! Elements are formal ℕ-linear combinations of monomials, where a monomial
+//! is a multiset of generators — i.e. polynomials over the generators with
+//! coefficients in ℕ. This eager representation is exact but not unit-cost;
+//! the paper's scalable representation by constant-delay *enumerators*
+//! lives in `agq-enumerate`. The eager form here is the reference oracle
+//! the enumerators are differentially tested against.
+
+use crate::traits::Semiring;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A generator of the free semiring: an opaque 64-bit identifier.
+///
+/// Applications pack meaning into it, e.g. `(slot, element)` for the answer
+/// enumeration of Theorem 24 (see [`Gen::pack`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Gen(pub u64);
+
+impl Gen {
+    /// Pack a `(slot, element)` pair, the shape used by results (C)–(E)
+    /// of the paper, where `slot` is a variable index and `element` a
+    /// domain element.
+    pub fn pack(slot: u32, element: u32) -> Self {
+        Gen(((slot as u64) << 32) | element as u64)
+    }
+
+    /// Inverse of [`Gen::pack`].
+    pub fn unpack(self) -> (u32, u32) {
+        ((self.0 >> 32) as u32, self.0 as u32)
+    }
+}
+
+impl fmt::Display for Gen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (s, e) = self.unpack();
+        write!(f, "e{s}_{e}")
+    }
+}
+
+/// A monomial: a multiset of generators, stored sorted.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Monomial(Box<[Gen]>);
+
+impl Monomial {
+    /// The empty monomial (the `1` of the semiring).
+    pub fn unit() -> Self {
+        Monomial(Box::new([]))
+    }
+
+    /// A single generator.
+    pub fn var(g: Gen) -> Self {
+        Monomial(Box::new([g]))
+    }
+
+    /// Build from an arbitrary generator list (sorted internally).
+    pub fn from_gens(mut gens: Vec<Gen>) -> Self {
+        gens.sort_unstable();
+        Monomial(gens.into_boxed_slice())
+    }
+
+    /// The generators, sorted, with multiplicity.
+    pub fn gens(&self) -> &[Gen] {
+        &self.0
+    }
+
+    /// Total degree (number of generators with multiplicity).
+    pub fn degree(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Merge-multiply two monomials.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        let mut out = Vec::with_capacity(self.0.len() + rhs.0.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < rhs.0.len() {
+            if self.0[i] <= rhs.0[j] {
+                out.push(self.0[i]);
+                i += 1;
+            } else {
+                out.push(rhs.0[j]);
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&self.0[i..]);
+        out.extend_from_slice(&rhs.0[j..]);
+        Monomial(out.into_boxed_slice())
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "1");
+        }
+        for (i, g) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "·")?;
+            }
+            write!(f, "{g}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An element of the free commutative semiring: a finite formal sum of
+/// monomials with multiplicities in ℕ.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Poly(BTreeMap<Monomial, u64>);
+
+impl Poly {
+    /// The polynomial consisting of a single generator.
+    pub fn var(g: Gen) -> Self {
+        let mut m = BTreeMap::new();
+        m.insert(Monomial::var(g), 1);
+        Poly(m)
+    }
+
+    /// A single monomial with coefficient `c`.
+    pub fn monomial(m: Monomial, c: u64) -> Self {
+        let mut map = BTreeMap::new();
+        if c > 0 {
+            map.insert(m, c);
+        }
+        Poly(map)
+    }
+
+    /// Iterate over `(monomial, multiplicity)` pairs in canonical order.
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, u64)> {
+        self.0.iter().map(|(m, &c)| (m, c))
+    }
+
+    /// Number of distinct monomials.
+    pub fn num_terms(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of summands counted with multiplicity.
+    pub fn total_multiplicity(&self) -> u64 {
+        self.0.values().sum()
+    }
+
+    /// The multiplicity of a given monomial.
+    pub fn coeff(&self, m: &Monomial) -> u64 {
+        self.0.get(m).copied().unwrap_or(0)
+    }
+}
+
+impl Semiring for Poly {
+    fn zero() -> Self {
+        Poly(BTreeMap::new())
+    }
+
+    fn one() -> Self {
+        Poly::monomial(Monomial::unit(), 1)
+    }
+
+    fn add(&self, rhs: &Self) -> Self {
+        let mut out = self.0.clone();
+        for (m, c) in &rhs.0 {
+            *out.entry(m.clone()).or_insert(0) += c;
+        }
+        Poly(out)
+    }
+
+    fn mul(&self, rhs: &Self) -> Self {
+        let mut out: BTreeMap<Monomial, u64> = BTreeMap::new();
+        for (m1, c1) in &self.0 {
+            for (m2, c2) in &rhs.0 {
+                *out.entry(m1.mul(m2)).or_insert(0) += c1 * c2;
+            }
+        }
+        Poly(out)
+    }
+
+    fn is_zero(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, (m, c)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            if *c != 1 {
+                write!(f, "{c}·")?;
+            }
+            write!(f, "{m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(i: u64) -> Poly {
+        Poly::var(Gen(i))
+    }
+
+    #[test]
+    fn example_21_shape() {
+        // e_ab·e_bc·e_ca + e_ab·e_bd·e_da — two triangle provenances.
+        let t1 = g(1).mul(&g(2)).mul(&g(3));
+        let t2 = g(1).mul(&g(4)).mul(&g(5));
+        let p = t1.add(&t2);
+        assert_eq!(p.num_terms(), 2);
+        assert_eq!(p.total_multiplicity(), 2);
+        for (m, c) in p.terms() {
+            assert_eq!(m.degree(), 3);
+            assert_eq!(c, 1);
+        }
+    }
+
+    #[test]
+    fn monomials_are_commutative() {
+        assert_eq!(g(1).mul(&g(2)), g(2).mul(&g(1)));
+        assert_eq!(
+            g(1).mul(&g(2)).mul(&g(1)),
+            g(1).mul(&g(1)).mul(&g(2))
+        );
+    }
+
+    #[test]
+    fn multiplicities_accumulate() {
+        let p = g(1).add(&g(1));
+        assert_eq!(p.num_terms(), 1);
+        assert_eq!(p.total_multiplicity(), 2);
+        let q = p.mul(&p); // (2x)^2 = 4x^2
+        assert_eq!(q.num_terms(), 1);
+        assert_eq!(q.total_multiplicity(), 4);
+    }
+
+    #[test]
+    fn zero_and_one_behave() {
+        let x = g(3);
+        assert_eq!(Poly::zero().mul(&x), Poly::zero());
+        assert_eq!(Poly::one().mul(&x), x);
+        assert_eq!(Poly::zero().add(&x), x);
+    }
+
+    #[test]
+    fn gen_pack_roundtrip() {
+        let g = Gen::pack(3, 0xDEAD_BEEF);
+        assert_eq!(g.unpack(), (3, 0xDEAD_BEEF));
+    }
+}

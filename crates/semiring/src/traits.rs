@@ -1,0 +1,178 @@
+//! Core algebraic traits.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A commutative semiring `(S, +, ·, 0, 1)`.
+///
+/// All semirings in the paper (and hence in this crate) are commutative in
+/// both operations. Implementations must satisfy, for all `a, b, c`:
+///
+/// * `(a + b) + c = a + (b + c)`, `a + b = b + a`, `a + 0 = a`;
+/// * `(a · b) · c = a · (b · c)`, `a · b = b · a`, `a · 1 = a`;
+/// * `a · (b + c) = a · b + a · c`;
+/// * `a · 0 = 0`.
+///
+/// These laws are checked for every instance by the property tests in
+/// [`crate::laws`].
+pub trait Semiring: Clone + PartialEq + Debug + Send + Sync + 'static {
+    /// The additive identity `0`.
+    fn zero() -> Self;
+    /// The multiplicative identity `1`.
+    fn one() -> Self;
+    /// Semiring addition.
+    fn add(&self, rhs: &Self) -> Self;
+    /// Semiring multiplication.
+    fn mul(&self, rhs: &Self) -> Self;
+
+    /// Whether this element is the additive identity.
+    ///
+    /// Instances with a non-canonical representation of `0` must override.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+
+    /// Whether this element is the multiplicative identity.
+    fn is_one(&self) -> bool {
+        *self == Self::one()
+    }
+
+    /// In-place addition (override when avoiding a clone matters).
+    fn add_assign(&mut self, rhs: &Self) {
+        *self = self.add(rhs);
+    }
+
+    /// In-place multiplication.
+    fn mul_assign(&mut self, rhs: &Self) {
+        *self = self.mul(rhs);
+    }
+
+    /// Sum of a sequence of elements (empty sum is `0`).
+    fn sum<'a, I>(iter: I) -> Self
+    where
+        Self: 'a,
+        I: IntoIterator<Item = &'a Self>,
+    {
+        let mut acc = Self::zero();
+        for x in iter {
+            acc.add_assign(x);
+        }
+        acc
+    }
+
+    /// Product of a sequence of elements (empty product is `1`).
+    fn product<'a, I>(iter: I) -> Self
+    where
+        Self: 'a,
+        I: IntoIterator<Item = &'a Self>,
+    {
+        let mut acc = Self::one();
+        for x in iter {
+            acc.mul_assign(x);
+        }
+        acc
+    }
+
+    /// `self` raised to the `n`-th multiplicative power (`n = 0` gives `1`),
+    /// by binary exponentiation.
+    fn pow(&self, mut n: u64) -> Self {
+        let mut base = self.clone();
+        let mut acc = Self::one();
+        while n > 0 {
+            if n & 1 == 1 {
+                acc.mul_assign(&base);
+            }
+            n >>= 1;
+            if n > 0 {
+                base = base.mul(&base);
+            }
+        }
+        acc
+    }
+}
+
+/// The `n`-fold sum `s + s + ⋯ + s` (`n` summands; `n = 0` gives `0`),
+/// computed with O(log n) semiring additions by binary doubling.
+///
+/// This is the `n · s` operation of Lemma 18; for finite semirings the
+/// sequence `(n · s)` is ultimately periodic (the "lasso" of Lemma 38) but
+/// doubling is simpler and already O(log n) ⊆ O_k(1) for the fixed-size
+/// multiplicities that arise in permanent maintenance.
+pub fn nat_mul<S: Semiring>(mut n: u64, s: &S) -> S {
+    let mut base = s.clone();
+    let mut acc = S::zero();
+    while n > 0 {
+        if n & 1 == 1 {
+            acc.add_assign(&base);
+        }
+        n >>= 1;
+        if n > 0 {
+            base = base.add(&base);
+        }
+    }
+    acc
+}
+
+/// A commutative ring: a semiring with additive inverses.
+///
+/// Rings admit the inclusion–exclusion elimination of permanent gates
+/// (Lemma 15) and therefore constant-time updates (Corollary 17).
+pub trait Ring: Semiring {
+    /// The additive inverse `−self`.
+    fn neg(&self) -> Self;
+
+    /// Subtraction `self − rhs`.
+    fn sub(&self, rhs: &Self) -> Self {
+        self.add(&rhs.neg())
+    }
+}
+
+/// A finite semiring, with its elements enumerable.
+///
+/// Finite semirings admit the counting-gate elimination of permanent gates
+/// (Lemma 18) and therefore constant-time updates (Corollary 20): the
+/// permanent of a `k × n` matrix depends only on the number of occurrences
+/// of each column vector in `S^k`.
+pub trait FiniteSemiring: Semiring + Eq + Hash {
+    /// All elements of the semiring, in a fixed order.
+    fn enumerate() -> Vec<Self>;
+
+    /// The position of `self` in [`FiniteSemiring::enumerate`].
+    fn index_of(&self) -> usize;
+
+    /// Number of elements.
+    fn cardinality() -> usize {
+        Self::enumerate().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric::Nat;
+
+    #[test]
+    fn nat_mul_matches_repeated_addition() {
+        for n in 0..50u64 {
+            assert_eq!(nat_mul(n, &Nat(7)), Nat(7 * n));
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for n in 0..10u64 {
+            assert_eq!(Nat(3).pow(n), Nat(3u64.pow(n as u32)));
+        }
+        assert_eq!(Nat(5).pow(0), Nat(1));
+    }
+
+    #[test]
+    fn sum_and_product_fold() {
+        let xs = [Nat(1), Nat(2), Nat(3)];
+        assert_eq!(Nat::sum(&xs), Nat(6));
+        assert_eq!(Nat::product(&xs), Nat(6));
+        let empty: [Nat; 0] = [];
+        assert_eq!(Nat::sum(&empty), Nat(0));
+        assert_eq!(Nat::product(&empty), Nat(1));
+    }
+}

@@ -1,0 +1,231 @@
+//! Tropical and bottleneck semirings: `(ℕ∪{+∞}, min, +)`, `(ℤ∪{−∞}, max, +)`,
+//! and `(ℕ∪{+∞}, min, max)`.
+
+use crate::traits::Semiring;
+use std::fmt;
+
+/// The tropical semiring `(ℕ ∪ {+∞}, min, +)`.
+///
+/// `min` plays the role of addition and `+` of multiplication, so a weighted
+/// query such as the triangle query of the introduction evaluates to the
+/// minimum total cost of a triangle. `+∞` (the additive identity) is
+/// represented by `u64::MAX`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct MinPlus(pub u64);
+
+impl MinPlus {
+    /// The additive identity `+∞`.
+    pub const INF: MinPlus = MinPlus(u64::MAX);
+
+    /// Finite value accessor; `None` for `+∞`.
+    pub fn finite(&self) -> Option<u64> {
+        (self.0 != u64::MAX).then_some(self.0)
+    }
+}
+
+impl Semiring for MinPlus {
+    fn zero() -> Self {
+        Self::INF
+    }
+    fn one() -> Self {
+        MinPlus(0)
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        MinPlus(self.0.min(rhs.0))
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        // +∞ is absorbing; saturating_add keeps u64::MAX fixed.
+        MinPlus(self.0.saturating_add(rhs.0))
+    }
+    fn is_zero(&self) -> bool {
+        self.0 == u64::MAX
+    }
+    fn is_one(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for MinPlus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.finite() {
+            Some(v) => write!(f, "{v}"),
+            None => write!(f, "+inf"),
+        }
+    }
+}
+
+/// The arctic semiring `(ℤ ∪ {−∞}, max, +)` — the paper's `Qmax`
+/// restricted to integers.
+///
+/// `−∞` (the additive identity) is represented by `i64::MIN`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct MaxPlus(pub i64);
+
+impl MaxPlus {
+    /// The additive identity `−∞`.
+    pub const NEG_INF: MaxPlus = MaxPlus(i64::MIN);
+
+    /// Finite value accessor; `None` for `−∞`.
+    pub fn finite(&self) -> Option<i64> {
+        (self.0 != i64::MIN).then_some(self.0)
+    }
+}
+
+impl Semiring for MaxPlus {
+    fn zero() -> Self {
+        Self::NEG_INF
+    }
+    fn one() -> Self {
+        MaxPlus(0)
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        MaxPlus(self.0.max(rhs.0))
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        if self.0 == i64::MIN || rhs.0 == i64::MIN {
+            Self::NEG_INF
+        } else {
+            MaxPlus(self.0.saturating_add(rhs.0))
+        }
+    }
+    fn is_zero(&self) -> bool {
+        self.0 == i64::MIN
+    }
+    fn is_one(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for MaxPlus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.finite() {
+            Some(v) => write!(f, "{v}"),
+            None => write!(f, "-inf"),
+        }
+    }
+}
+
+/// The bottleneck semiring `(ℕ ∪ {+∞}, min, max)`.
+///
+/// A weighted query evaluated here computes the minimax (bottleneck) cost:
+/// the smallest possible maximum weight along a combination.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct MinMax(pub u64);
+
+impl MinMax {
+    /// The additive identity `+∞`.
+    pub const INF: MinMax = MinMax(u64::MAX);
+
+    /// Finite value accessor; `None` for `+∞`.
+    pub fn finite(&self) -> Option<u64> {
+        (self.0 != u64::MAX).then_some(self.0)
+    }
+}
+
+impl Semiring for MinMax {
+    fn zero() -> Self {
+        Self::INF
+    }
+    fn one() -> Self {
+        MinMax(0)
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        MinMax(self.0.min(rhs.0))
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        MinMax(self.0.max(rhs.0))
+    }
+    fn is_zero(&self) -> bool {
+        self.0 == u64::MAX
+    }
+    fn is_one(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for MinMax {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.finite() {
+            Some(v) => write!(f, "{v}"),
+            None => write!(f, "+inf"),
+        }
+    }
+}
+
+/// The real arctic semiring `(ℝ ∪ {−∞}, max, +)` on `f64` — the paper's
+/// `Qmax` with floating-point values, used for nested queries that
+/// maximize rational-valued aggregates (e.g. the average-neighbor-weight
+/// example of the introduction).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MaxF(pub f64);
+
+impl MaxF {
+    /// The additive identity `−∞`.
+    pub const NEG_INF: MaxF = MaxF(f64::NEG_INFINITY);
+
+    /// Finite value accessor; `None` for `−∞`.
+    pub fn finite(&self) -> Option<f64> {
+        (self.0 != f64::NEG_INFINITY).then_some(self.0)
+    }
+}
+
+impl Semiring for MaxF {
+    fn zero() -> Self {
+        Self::NEG_INF
+    }
+    fn one() -> Self {
+        MaxF(0.0)
+    }
+    fn add(&self, rhs: &Self) -> Self {
+        MaxF(self.0.max(rhs.0))
+    }
+    fn mul(&self, rhs: &Self) -> Self {
+        MaxF(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for MaxF {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.finite() {
+            Some(v) => write!(f, "{v}"),
+            None => write!(f, "-inf"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minplus_optimizes() {
+        assert_eq!(MinPlus(3).add(&MinPlus(5)), MinPlus(3));
+        assert_eq!(MinPlus(3).mul(&MinPlus(5)), MinPlus(8));
+        assert_eq!(MinPlus::INF.mul(&MinPlus(5)), MinPlus::INF);
+        assert_eq!(MinPlus::INF.add(&MinPlus(5)), MinPlus(5));
+    }
+
+    #[test]
+    fn maxplus_neg_inf_is_absorbing() {
+        assert_eq!(MaxPlus::NEG_INF.mul(&MaxPlus(5)), MaxPlus::NEG_INF);
+        assert_eq!(MaxPlus(-2).mul(&MaxPlus(5)), MaxPlus(3));
+        assert_eq!(MaxPlus(-2).add(&MaxPlus(5)), MaxPlus(5));
+    }
+
+    #[test]
+    fn minmax_is_bottleneck() {
+        assert_eq!(MinMax(3).mul(&MinMax(5)), MinMax(5));
+        assert_eq!(MinMax(3).add(&MinMax(5)), MinMax(3));
+        assert_eq!(MinMax::INF.mul(&MinMax(5)), MinMax::INF);
+        // one is the max-identity 0
+        assert_eq!(MinMax::one().mul(&MinMax(5)), MinMax(5));
+    }
+
+    #[test]
+    fn maxf_behaves_like_maxplus() {
+        assert_eq!(MaxF(1.5).add(&MaxF(2.5)), MaxF(2.5));
+        assert_eq!(MaxF(1.5).mul(&MaxF(2.5)), MaxF(4.0));
+        assert_eq!(MaxF::NEG_INF.mul(&MaxF(3.0)), MaxF::NEG_INF);
+        assert_eq!(MaxF::zero().add(&MaxF(3.0)), MaxF(3.0));
+    }
+}

@@ -1,0 +1,87 @@
+//! Gaifman graphs of relational structures.
+
+use crate::structure::Structure;
+use agq_graph::Graph;
+
+/// Build the Gaifman graph of `a`: vertices are the domain elements, and
+/// two *distinct* elements are adjacent iff they occur together in some
+/// tuple of some relation (Section 2 of the paper).
+///
+/// Linear in the number of tuples for bounded arity.
+pub fn gaifman_graph(a: &Structure) -> Graph {
+    let mut g = Graph::new(a.domain_size());
+    for r in a.signature().relation_ids() {
+        for t in a.relation(r).iter() {
+            let items = t.as_slice();
+            for i in 0..items.len() {
+                for j in i + 1..items.len() {
+                    if items[i] != items[j] {
+                        g.insert_edge(items[i], items[j]);
+                    }
+                }
+            }
+        }
+    }
+    g.normalize();
+    g
+}
+
+/// Check that inserting `items` into a relation would preserve the Gaifman
+/// graph `g` of the structure: all pairs of distinct elements must already
+/// be adjacent (i.e. the tuple's elements form a clique), the condition for
+/// the Gaifman-preserving updates of Theorem 24.
+pub fn tuple_preserves_gaifman(g: &Graph, items: &[u32]) -> bool {
+    for i in 0..items.len() {
+        for j in i + 1..items.len() {
+            if items[i] != items[j] && !g.has_edge(items[i], items[j]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::Signature;
+    use std::sync::Arc;
+
+    #[test]
+    fn binary_tuples_become_edges() {
+        let mut sig = Signature::new();
+        let e = sig.add_relation("E", 2);
+        let mut a = Structure::new(Arc::new(sig), 4);
+        a.insert(e, &[0, 1]);
+        a.insert(e, &[1, 2]);
+        a.insert(e, &[2, 2]); // self-pair: no Gaifman edge
+        let g = gaifman_graph(&a);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn ternary_tuples_become_triangles() {
+        let mut sig = Signature::new();
+        let r = sig.add_relation("R", 3);
+        let mut a = Structure::new(Arc::new(sig), 5);
+        a.insert(r, &[0, 2, 4]);
+        let g = gaifman_graph(&a);
+        assert!(g.has_edge(0, 2) && g.has_edge(2, 4) && g.has_edge(0, 4));
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn gaifman_preservation_check() {
+        let mut sig = Signature::new();
+        let e = sig.add_relation("E", 2);
+        let mut a = Structure::new(Arc::new(sig), 4);
+        a.insert(e, &[0, 1]);
+        a.insert(e, &[1, 2]);
+        let g = gaifman_graph(&a);
+        assert!(tuple_preserves_gaifman(&g, &[1, 0]));
+        assert!(tuple_preserves_gaifman(&g, &[2, 2]));
+        assert!(!tuple_preserves_gaifman(&g, &[0, 2]));
+    }
+}

@@ -1,0 +1,33 @@
+//! Relational structures with semiring-valued weight functions:
+//! system **S4** of the reproduction.
+//!
+//! A `Σ(w)`-structure (Section 3 of the paper) is a finite relational
+//! structure `A` over a signature `Σ` together with, for every weight
+//! symbol `w ∈ w` of arity `r`, a weight function `w_A : A^r → S` that is
+//! nonzero only on tuples of the structure. This crate provides:
+//!
+//! * [`Signature`] — relation and weight symbol declarations;
+//! * [`Structure`] — the relational part, with per-relation tuple indexes
+//!   and dynamic tuple insertion/removal;
+//! * [`WeightedStructure`] — the weights, generic over the semiring;
+//! * [`gaifman`] — extraction of the Gaifman graph (two elements are
+//!   adjacent iff they co-occur in some tuple);
+//! * [`Tuple`] — a small inline tuple type (arity ≤ [`MAX_ARITY`]);
+//! * [`fx`] — a fast FxHash-style hasher for the element-keyed maps
+//!   (HashDoS is not a concern for an analytical engine).
+
+pub mod fx;
+pub mod gaifman;
+mod signature;
+#[allow(clippy::module_inception)]
+mod structure;
+mod tuple;
+mod weighted;
+
+pub use signature::{RelId, Signature, WeightId};
+pub use structure::{Relation, Structure};
+pub use tuple::{Tuple, MAX_ARITY};
+pub use weighted::WeightedStructure;
+
+/// A domain element: structures are always over `0..n`.
+pub type Elem = u32;

@@ -1,0 +1,179 @@
+//! Signatures: declarations of relation and weight symbols.
+
+use crate::fx::FxHashMap;
+use crate::tuple::MAX_ARITY;
+use std::fmt;
+
+/// Identifier of a relation symbol within a [`Signature`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RelId(pub u32);
+
+/// Identifier of a weight symbol within a [`Signature`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct WeightId(pub u32);
+
+#[derive(Clone, Debug)]
+struct SymbolDecl {
+    name: String,
+    arity: usize,
+}
+
+/// A `Σ(w)` signature: named relation symbols and named weight symbols,
+/// each with a fixed arity ≤ [`MAX_ARITY`].
+///
+/// Function symbols of the paper are represented by their graphs as
+/// relations (the standard conversion the paper also uses when defining
+/// Gaifman graphs); the compiler reintroduces functional structure where
+/// it matters (degeneracy reduction, Lemma 37).
+#[derive(Clone, Debug, Default)]
+pub struct Signature {
+    relations: Vec<SymbolDecl>,
+    weights: Vec<SymbolDecl>,
+    rel_by_name: FxHashMap<String, RelId>,
+    weight_by_name: FxHashMap<String, WeightId>,
+}
+
+impl Signature {
+    /// Empty signature.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a relation symbol; returns its id.
+    ///
+    /// # Panics
+    /// Panics on duplicate names or arity > [`MAX_ARITY`].
+    pub fn add_relation(&mut self, name: &str, arity: usize) -> RelId {
+        assert!(arity <= MAX_ARITY, "arity {arity} exceeds {MAX_ARITY}");
+        assert!(
+            !self.rel_by_name.contains_key(name),
+            "duplicate relation symbol {name:?}"
+        );
+        let id = RelId(self.relations.len() as u32);
+        self.relations.push(SymbolDecl {
+            name: name.to_owned(),
+            arity,
+        });
+        self.rel_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Declare a weight symbol; returns its id.
+    pub fn add_weight(&mut self, name: &str, arity: usize) -> WeightId {
+        assert!(arity <= MAX_ARITY, "arity {arity} exceeds {MAX_ARITY}");
+        assert!(
+            !self.weight_by_name.contains_key(name),
+            "duplicate weight symbol {name:?}"
+        );
+        let id = WeightId(self.weights.len() as u32);
+        self.weights.push(SymbolDecl {
+            name: name.to_owned(),
+            arity,
+        });
+        self.weight_by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Look up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<RelId> {
+        self.rel_by_name.get(name).copied()
+    }
+
+    /// Look up a weight symbol by name.
+    pub fn weight(&self, name: &str) -> Option<WeightId> {
+        self.weight_by_name.get(name).copied()
+    }
+
+    /// Name of a relation.
+    pub fn relation_name(&self, id: RelId) -> &str {
+        &self.relations[id.0 as usize].name
+    }
+
+    /// Arity of a relation.
+    pub fn relation_arity(&self, id: RelId) -> usize {
+        self.relations[id.0 as usize].arity
+    }
+
+    /// Name of a weight symbol.
+    pub fn weight_name(&self, id: WeightId) -> &str {
+        &self.weights[id.0 as usize].name
+    }
+
+    /// Arity of a weight symbol.
+    pub fn weight_arity(&self, id: WeightId) -> usize {
+        self.weights[id.0 as usize].arity
+    }
+
+    /// Number of relation symbols.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Number of weight symbols.
+    pub fn num_weights(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// All relation ids.
+    pub fn relation_ids(&self) -> impl Iterator<Item = RelId> {
+        (0..self.relations.len() as u32).map(RelId)
+    }
+
+    /// All weight ids.
+    pub fn weight_ids(&self) -> impl Iterator<Item = WeightId> {
+        (0..self.weights.len() as u32).map(WeightId)
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Σ = {{")?;
+        for (i, r) in self.relations.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}/{}", r.name, r.arity)?;
+        }
+        write!(f, "}}, w = {{")?;
+        for (i, w) in self.weights.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}/{}", w.name, w.arity)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut sig = Signature::new();
+        let e = sig.add_relation("E", 2);
+        let w = sig.add_weight("w", 2);
+        assert_eq!(sig.relation("E"), Some(e));
+        assert_eq!(sig.weight("w"), Some(w));
+        assert_eq!(sig.relation_arity(e), 2);
+        assert_eq!(sig.weight_name(w), "w");
+        assert_eq!(sig.relation("F"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate relation")]
+    fn duplicate_relation_panics() {
+        let mut sig = Signature::new();
+        sig.add_relation("E", 2);
+        sig.add_relation("E", 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut sig = Signature::new();
+        sig.add_relation("E", 2);
+        sig.add_weight("w", 1);
+        assert_eq!(format!("{sig}"), "Σ = {E/2}, w = {w/1}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Finite relational structures with tuple indexes.
+
+use crate::fx::FxHashMap;
+use crate::signature::{RelId, Signature};
+use crate::tuple::Tuple;
+use crate::Elem;
+use std::sync::Arc;
+
+/// One relation instance: an indexed set of tuples of fixed arity.
+///
+/// Tuples are stored in insertion order with a hash index for O(1)
+/// membership; removal swaps with the last tuple (order is not meaningful).
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    arity: usize,
+    tuples: Vec<Tuple>,
+    index: FxHashMap<Tuple, u32>,
+}
+
+impl Relation {
+    fn new(arity: usize) -> Self {
+        Relation {
+            arity,
+            tuples: Vec::new(),
+            index: FxHashMap::default(),
+        }
+    }
+
+    /// Arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.index.contains_key(t)
+    }
+
+    /// Iterate over tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The tuples as a slice.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(t.len(), self.arity, "tuple arity mismatch");
+        if self.index.contains_key(&t) {
+            return false;
+        }
+        self.index.insert(t, self.tuples.len() as u32);
+        self.tuples.push(t);
+        true
+    }
+
+    fn remove(&mut self, t: &Tuple) -> bool {
+        match self.index.remove(t) {
+            None => false,
+            Some(pos) => {
+                let pos = pos as usize;
+                self.tuples.swap_remove(pos);
+                if pos < self.tuples.len() {
+                    self.index.insert(self.tuples[pos], pos as u32);
+                }
+                true
+            }
+        }
+    }
+}
+
+/// A finite `Σ`-structure over the domain `0..n`.
+#[derive(Clone, Debug)]
+pub struct Structure {
+    sig: Arc<Signature>,
+    n: usize,
+    relations: Vec<Relation>,
+}
+
+impl Structure {
+    /// Empty structure with `n` elements over `sig`.
+    pub fn new(sig: Arc<Signature>, n: usize) -> Self {
+        let relations = sig
+            .relation_ids()
+            .map(|r| Relation::new(sig.relation_arity(r)))
+            .collect();
+        Structure { sig, n, relations }
+    }
+
+    /// The signature.
+    pub fn signature(&self) -> &Arc<Signature> {
+        &self.sig
+    }
+
+    /// Domain size `|A|`.
+    pub fn domain_size(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of tuples across all relations (the paper's
+    /// representation size; linear in `|A|` on bounded expansion classes).
+    pub fn num_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// The relation instance for `r`.
+    pub fn relation(&self, r: RelId) -> &Relation {
+        &self.relations[r.0 as usize]
+    }
+
+    /// Insert a tuple; returns false if it was already present.
+    ///
+    /// # Panics
+    /// Panics if an element is out of the domain or the arity mismatches.
+    pub fn insert(&mut self, r: RelId, items: &[Elem]) -> bool {
+        let t = Tuple::new(items);
+        for e in t.iter() {
+            assert!((e as usize) < self.n, "element {e} out of domain");
+        }
+        self.relations[r.0 as usize].insert(t)
+    }
+
+    /// Remove a tuple; returns false if absent.
+    pub fn remove(&mut self, r: RelId, items: &[Elem]) -> bool {
+        self.relations[r.0 as usize].remove(&Tuple::new(items))
+    }
+
+    /// Membership test.
+    pub fn holds(&self, r: RelId, items: &[Elem]) -> bool {
+        self.relations[r.0 as usize].contains(&Tuple::new(items))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_sig() -> Arc<Signature> {
+        let mut sig = Signature::new();
+        sig.add_relation("E", 2);
+        sig.add_relation("P", 1);
+        Arc::new(sig)
+    }
+
+    #[test]
+    fn insert_query_remove() {
+        let sig = graph_sig();
+        let e = sig.relation("E").unwrap();
+        let mut a = Structure::new(sig, 5);
+        assert!(a.insert(e, &[0, 1]));
+        assert!(!a.insert(e, &[0, 1]), "duplicate rejected");
+        assert!(a.insert(e, &[1, 2]));
+        assert!(a.holds(e, &[0, 1]));
+        assert!(!a.holds(e, &[1, 0]), "directed tuples");
+        assert_eq!(a.num_tuples(), 2);
+        assert!(a.remove(e, &[0, 1]));
+        assert!(!a.remove(e, &[0, 1]));
+        assert!(!a.holds(e, &[0, 1]));
+        assert!(a.holds(e, &[1, 2]), "swap_remove keeps the other tuple");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of domain")]
+    fn out_of_domain_panics() {
+        let sig = graph_sig();
+        let e = sig.relation("E").unwrap();
+        let mut a = Structure::new(sig, 3);
+        a.insert(e, &[0, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let sig = graph_sig();
+        let e = sig.relation("E").unwrap();
+        let mut a = Structure::new(sig, 3);
+        a.insert(e, &[0]);
+    }
+
+    #[test]
+    fn removal_keeps_index_consistent() {
+        let sig = graph_sig();
+        let e = sig.relation("E").unwrap();
+        let mut a = Structure::new(sig, 10);
+        for i in 0..9u32 {
+            a.insert(e, &[i, i + 1]);
+        }
+        a.remove(e, &[0, 1]); // forces a swap with the last tuple
+        for i in 1..9u32 {
+            assert!(a.holds(e, &[i, i + 1]), "({i},{}) lost", i + 1);
+        }
+        assert_eq!(a.relation(e).len(), 8);
+    }
+}

@@ -1,0 +1,136 @@
+//! Small inline tuples of domain elements.
+
+use crate::Elem;
+use std::fmt;
+use std::ops::Index;
+
+/// Maximum relation/weight arity supported by the engine.
+///
+/// The paper allows arbitrary fixed arities; five covers every query in the
+/// paper and keeps tuples inline (no heap traffic on the hot tuple-index
+/// paths). Raising it is a one-line change.
+pub const MAX_ARITY: usize = 5;
+
+/// A tuple of at most [`MAX_ARITY`] elements, stored inline.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    len: u8,
+    items: [Elem; MAX_ARITY],
+}
+
+impl Tuple {
+    /// Build from a slice.
+    ///
+    /// # Panics
+    /// Panics if `items.len() > MAX_ARITY`.
+    pub fn new(items: &[Elem]) -> Self {
+        assert!(
+            items.len() <= MAX_ARITY,
+            "arity {} exceeds MAX_ARITY {MAX_ARITY}",
+            items.len()
+        );
+        let mut buf = [0; MAX_ARITY];
+        buf[..items.len()].copy_from_slice(items);
+        Tuple {
+            len: items.len() as u8,
+            items: buf,
+        }
+    }
+
+    /// The empty tuple.
+    pub fn empty() -> Self {
+        Tuple::new(&[])
+    }
+
+    /// Single-element tuple.
+    pub fn unary(a: Elem) -> Self {
+        Tuple::new(&[a])
+    }
+
+    /// Two-element tuple.
+    pub fn binary(a: Elem, b: Elem) -> Self {
+        Tuple::new(&[a, b])
+    }
+
+    /// Arity.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the tuple is empty (arity 0).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[Elem] {
+        &self.items[..self.len as usize]
+    }
+
+    /// Iterate over the elements.
+    pub fn iter(&self) -> impl Iterator<Item = Elem> + '_ {
+        self.as_slice().iter().copied()
+    }
+
+    /// Whether `e` occurs in the tuple.
+    pub fn contains(&self, e: Elem) -> bool {
+        self.as_slice().contains(&e)
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Elem;
+    fn index(&self, i: usize) -> &Elem {
+        &self.as_slice()[i]
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, e) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<&[Elem]> for Tuple {
+    fn from(items: &[Elem]) -> Self {
+        Tuple::new(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_eq() {
+        let t = Tuple::new(&[3, 1, 4]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.as_slice(), &[3, 1, 4]);
+        assert_eq!(t[1], 1);
+        assert_eq!(t, Tuple::new(&[3, 1, 4]));
+        assert_ne!(t, Tuple::new(&[3, 1]));
+        assert!(t.contains(4) && !t.contains(5));
+    }
+
+    #[test]
+    fn padding_does_not_leak_into_equality() {
+        // Two tuples of equal prefix but different construction paths.
+        let a = Tuple::new(&[7]);
+        let mut b = Tuple::new(&[7, 9]);
+        b = Tuple::new(&b.as_slice()[..1]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_ARITY")]
+    fn oversized_panics() {
+        let _ = Tuple::new(&[1, 2, 3, 4, 5, 6]);
+    }
+}

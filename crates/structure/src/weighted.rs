@@ -1,0 +1,187 @@
+//! Weight functions over a semiring, attached to a structure.
+
+use crate::fx::FxHashMap;
+use crate::signature::WeightId;
+use crate::structure::Structure;
+use crate::tuple::Tuple;
+use crate::Elem;
+use agq_semiring::Semiring;
+use std::sync::Arc;
+
+/// The weights of a `Σ(w)`-structure: for every weight symbol, a function
+/// `A^r → S`.
+///
+/// Unary weights are stored densely (every element may carry one); weights
+/// of arity ≥ 2 are stored sparsely and — per the paper's definition — may
+/// be nonzero **only on tuples of the structure**: setting a weight on a
+/// tuple that belongs to no relation of matching arity is rejected. This is
+/// what keeps the weighted structure within the sparsity class of its
+/// Gaifman graph.
+#[derive(Clone, Debug)]
+pub struct WeightedStructure<S> {
+    structure: Arc<Structure>,
+    /// Dense tables for unary weights, indexed by `WeightId` order
+    /// (None for non-unary symbols).
+    unary: Vec<Option<Vec<S>>>,
+    /// Sparse maps for weights of arity ≠ 1 (including nullary).
+    sparse: Vec<FxHashMap<Tuple, S>>,
+}
+
+impl<S: Semiring> WeightedStructure<S> {
+    /// All-zero weights over `structure`.
+    pub fn new(structure: Arc<Structure>) -> Self {
+        let sig = structure.signature().clone();
+        let n = structure.domain_size();
+        let mut unary = Vec::new();
+        let mut sparse = Vec::new();
+        for w in sig.weight_ids() {
+            if sig.weight_arity(w) == 1 {
+                unary.push(Some(vec![S::zero(); n]));
+            } else {
+                unary.push(None);
+            }
+            sparse.push(FxHashMap::default());
+        }
+        WeightedStructure {
+            structure,
+            unary,
+            sparse,
+        }
+    }
+
+    /// The underlying structure.
+    pub fn structure(&self) -> &Arc<Structure> {
+        &self.structure
+    }
+
+    /// The weight `w(t)`.
+    pub fn get(&self, w: WeightId, t: &[Elem]) -> S {
+        let widx = w.0 as usize;
+        if let Some(table) = &self.unary[widx] {
+            debug_assert_eq!(t.len(), 1);
+            return table[t[0] as usize].clone();
+        }
+        self.sparse[widx]
+            .get(&Tuple::new(t))
+            .cloned()
+            .unwrap_or_else(S::zero)
+    }
+
+    /// Set the weight `w(t) := value`, returning the old value.
+    ///
+    /// # Panics
+    /// * arity mismatch with the declaration;
+    /// * elements out of the domain;
+    /// * for arity ≥ 2: `t` is not a tuple of any relation of that arity
+    ///   and `value` is nonzero (the paper's support condition).
+    pub fn set(&mut self, w: WeightId, t: &[Elem], value: S) -> S {
+        let sig = self.structure.signature();
+        assert_eq!(
+            t.len(),
+            sig.weight_arity(w),
+            "weight {} expects arity {}",
+            sig.weight_name(w),
+            sig.weight_arity(w)
+        );
+        for &e in t {
+            assert!(
+                (e as usize) < self.structure.domain_size(),
+                "element {e} out of domain"
+            );
+        }
+        let widx = w.0 as usize;
+        if let Some(table) = &mut self.unary[widx] {
+            return std::mem::replace(&mut table[t[0] as usize], value);
+        }
+        if t.len() >= 2 && !value.is_zero() {
+            let supported = sig.relation_ids().any(|r| {
+                sig.relation_arity(r) == t.len() && self.structure.holds(r, t)
+            });
+            assert!(
+                supported,
+                "weight {} set on {:?}, which is not a tuple of any arity-{} relation",
+                sig.weight_name(w),
+                t,
+                t.len()
+            );
+        }
+        let key = Tuple::new(t);
+        if value.is_zero() {
+            self.sparse[widx].remove(&key).unwrap_or_else(S::zero)
+        } else {
+            self.sparse[widx]
+                .insert(key, value)
+                .unwrap_or_else(S::zero)
+        }
+    }
+
+    /// Iterate over the nonzero entries of a non-unary weight symbol.
+    pub fn sparse_entries(&self, w: WeightId) -> impl Iterator<Item = (&Tuple, &S)> {
+        self.sparse[w.0 as usize].iter()
+    }
+
+    /// The dense table of a unary weight symbol.
+    pub fn unary_table(&self, w: WeightId) -> &[S] {
+        self.unary[w.0 as usize]
+            .as_deref()
+            .expect("weight symbol is not unary")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::Signature;
+    use agq_semiring::Nat;
+
+    fn setup() -> (Arc<Structure>, WeightId, WeightId) {
+        let mut sig = Signature::new();
+        let e = sig.add_relation("E", 2);
+        let wu = sig.add_weight("u", 1);
+        let wb = sig.add_weight("w", 2);
+        let sig = Arc::new(sig);
+        let mut a = Structure::new(sig, 4);
+        a.insert(e, &[0, 1]);
+        a.insert(e, &[1, 2]);
+        (Arc::new(a), wu, wb)
+    }
+
+    #[test]
+    fn unary_weights_are_dense() {
+        let (a, wu, _) = setup();
+        let mut ws: WeightedStructure<Nat> = WeightedStructure::new(a);
+        assert_eq!(ws.get(wu, &[2]), Nat(0));
+        assert_eq!(ws.set(wu, &[2], Nat(9)), Nat(0));
+        assert_eq!(ws.get(wu, &[2]), Nat(9));
+        assert_eq!(ws.unary_table(wu)[2], Nat(9));
+    }
+
+    #[test]
+    fn binary_weights_require_support() {
+        let (a, _, wb) = setup();
+        let mut ws: WeightedStructure<Nat> = WeightedStructure::new(a);
+        ws.set(wb, &[0, 1], Nat(5));
+        assert_eq!(ws.get(wb, &[0, 1]), Nat(5));
+        assert_eq!(ws.get(wb, &[1, 0]), Nat(0));
+        // setting zero anywhere is fine
+        ws.set(wb, &[3, 3], Nat(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a tuple of any arity-2 relation")]
+    fn off_support_weight_panics() {
+        let (a, _, wb) = setup();
+        let mut ws: WeightedStructure<Nat> = WeightedStructure::new(a);
+        ws.set(wb, &[3, 0], Nat(1));
+    }
+
+    #[test]
+    fn setting_zero_clears_storage() {
+        let (a, _, wb) = setup();
+        let mut ws: WeightedStructure<Nat> = WeightedStructure::new(a);
+        ws.set(wb, &[0, 1], Nat(5));
+        assert_eq!(ws.sparse_entries(wb).count(), 1);
+        assert_eq!(ws.set(wb, &[0, 1], Nat(0)), Nat(5));
+        assert_eq!(ws.sparse_entries(wb).count(), 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Quickstart: one query, five semirings.
+//!
+//! Compiles the triangle query of the paper's introduction
+//!
+//! ```text
+//! f = Σ_{x,y,z} [E(x,y) ∧ E(y,z) ∧ E(z,x)] · w(x,y) · w(y,z) · w(z,x)
+//! ```
+//!
+//! once per semiring over the same random sparse graph and reads off:
+//! triangle count (bag semantics, ℕ), minimum-cost triangle (tropical),
+//! bottleneck triangle (min-max), existence (B), and a ±1-signed count
+//! (ℤ, with constant-time updates).
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use sparse_agg::graph::generators;
+use sparse_agg::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let n = 2_000;
+    let g = generators::gnm(n, 2 * n, 42);
+
+    // Relational structure: directed edges both ways along each graph edge.
+    let mut sig = Signature::new();
+    let e = sig.add_relation("E", 2);
+    let w = sig.add_weight("w", 2);
+    let mut a = Structure::new(Arc::new(sig), n);
+    for (u, v) in g.edges() {
+        a.insert(e, &[u, v]);
+        a.insert(e, &[v, u]);
+    }
+    let a = Arc::new(a);
+
+    // The triangle expression (shared across semirings as an AST shape).
+    let (x, y, z) = (Var(0), Var(1), Var(2));
+    let phi = Formula::Rel(e, vec![x, y])
+        .and(Formula::Rel(e, vec![y, z]))
+        .and(Formula::Rel(e, vec![z, x]));
+    macro_rules! triangle_expr {
+        ($S:ty) => {{
+            let expr: Expr<$S> = Expr::Mul(vec![
+                Expr::Bracket(phi.clone()),
+                Expr::Weight(w, vec![x, y]),
+                Expr::Weight(w, vec![y, z]),
+                Expr::Weight(w, vec![z, x]),
+            ])
+            .sum_over([x, y, z]);
+            expr
+        }};
+    }
+
+    let t0 = Instant::now();
+    let expr_nat = triangle_expr!(Nat);
+    let nf = normalize(&expr_nat).unwrap();
+    let compiled = compile(&a, &nf, &CompileOptions::default()).unwrap();
+    let stats = compiled.report.stats;
+    println!(
+        "compiled in {:?}: {} gates, depth {}, ≤{} perm rows, {} colors, forest depth ≤ {}",
+        t0.elapsed(),
+        stats.num_gates,
+        stats.depth,
+        stats.max_perm_rows,
+        compiled.report.num_colors,
+        compiled.report.max_forest_depth,
+    );
+
+    // ℕ: number of directed triangles (each counted once per orientation).
+    let mut weights_nat: WeightedStructure<Nat> = WeightedStructure::new(a.clone());
+    set_all(&a, e, |t| {
+        weights_nat.set(w, t, Nat(1));
+    });
+    let engine = GeneralEngine::new(compiled.clone(), &weights_nat);
+    println!("ℕ   triangle count (bag semantics):   {}", engine.value());
+
+    // Tropical: cheapest triangle under random edge costs.
+    let expr_min = triangle_expr!(MinPlus);
+    let nf_min = normalize(&expr_min).unwrap();
+    let compiled_min = compile(&a, &nf_min, &CompileOptions::default()).unwrap();
+    let mut weights_min: WeightedStructure<MinPlus> = WeightedStructure::new(a.clone());
+    set_all(&a, e, |t| {
+        let c = 1 + (t[0] as u64 * 31 + t[1] as u64 * 17) % 100;
+        weights_min.set(w, t, MinPlus(c));
+    });
+    let engine_min = GeneralEngine::new(compiled_min, &weights_min);
+    println!("min+ cheapest triangle cost:          {}", engine_min.value());
+
+    // Bottleneck: minimize the heaviest edge of a triangle.
+    let expr_mm = triangle_expr!(MinMax);
+    let nf_mm = normalize(&expr_mm).unwrap();
+    let compiled_mm = compile(&a, &nf_mm, &CompileOptions::default()).unwrap();
+    let mut weights_mm: WeightedStructure<MinMax> = WeightedStructure::new(a.clone());
+    set_all(&a, e, |t| {
+        let c = 1 + (t[0] as u64 * 13 + t[1] as u64 * 7) % 100;
+        weights_mm.set(w, t, MinMax(c));
+    });
+    let engine_mm = GeneralEngine::new(compiled_mm, &weights_mm);
+    println!("minmax bottleneck triangle:           {}", engine_mm.value());
+
+    // Boolean: does any triangle exist? (finite semiring ⇒ O(1) updates)
+    let expr_b = triangle_expr!(Bool);
+    let nf_b = normalize(&expr_b).unwrap();
+    let compiled_b = compile(&a, &nf_b, &CompileOptions::default()).unwrap();
+    let mut weights_b: WeightedStructure<Bool> = WeightedStructure::new(a.clone());
+    set_all(&a, e, |t| {
+        weights_b.set(w, t, Bool(true));
+    });
+    let engine_b = FiniteEngine::new(compiled_b, &weights_b);
+    println!("B   triangle exists:                  {}", engine_b.value());
+
+    // ℤ with dynamic updates: flip one edge's sign and watch the signed
+    // count change in constant time per update.
+    let expr_z = triangle_expr!(Int);
+    let nf_z = normalize(&expr_z).unwrap();
+    let compiled_z = compile(&a, &nf_z, &CompileOptions::default()).unwrap();
+    let mut weights_z: WeightedStructure<Int> = WeightedStructure::new(a.clone());
+    set_all(&a, e, |t| {
+        weights_z.set(w, t, Int(1));
+    });
+    let mut engine_z = RingEngine::new(compiled_z, &weights_z);
+    println!("ℤ   signed count before update:       {}", engine_z.value());
+    let first_edge = a.relation(e).iter().next().copied();
+    if let Some(t) = first_edge {
+        let t0 = Instant::now();
+        engine_z.set_weight(w, t.as_slice(), Int(-1));
+        println!(
+            "ℤ   after flipping w{:?} to −1:    {}   (update took {:?})",
+            t,
+            engine_z.value(),
+            t0.elapsed()
+        );
+    }
+}
+
+fn set_all(a: &Arc<Structure>, e: sparse_agg::structure::RelId, mut f: impl FnMut(&[u32])) {
+    let tuples: Vec<_> = a.relation(e).iter().cloned().collect();
+    for t in tuples {
+        f(t.as_slice());
+    }
+}

@@ -1,0 +1,188 @@
+//! Failure injection: every documented error path is a typed error with
+//! an actionable message — never a wrong answer, panic from library
+//! internals, or silent degradation.
+
+use sparse_agg::logic::{parse_expr, parse_formula};
+use sparse_agg::nested::{
+    Connective, MultiWeights, NestedEvaluator, NestedFormula, SemiringTag, TypeError, Value,
+};
+use sparse_agg::prelude::*;
+use std::sync::Arc;
+
+fn sig() -> Signature {
+    let mut s = Signature::new();
+    s.add_relation("E", 2);
+    s.add_weight("w", 1);
+    s
+}
+
+fn small_graph() -> Structure {
+    let s = sig();
+    let e = s.relation("E").unwrap();
+    let mut a = Structure::new(Arc::new(s), 6);
+    for i in 0..5u32 {
+        a.insert(e, &[i, i + 1]);
+    }
+    a
+}
+
+#[test]
+fn unguarded_two_variable_quantifier_is_rejected() {
+    use sparse_agg::core_engine::{eliminate_quantifiers, CompileError};
+    let a = small_graph();
+    let e = a.signature().relation("E").unwrap();
+    // [∃z (E(x,z) ∧ E(z,y))] has two free variables — outside the
+    // guarded fragment we substitute for Theorem 3.
+    let inner = Formula::Exists(
+        Var(2),
+        Box::new(
+            Formula::Rel(e, vec![Var(0), Var(2)]).and(Formula::Rel(e, vec![Var(2), Var(1)])),
+        ),
+    );
+    let expr: Expr<Nat> = Expr::Bracket(inner).sum_over([Var(0), Var(1)]);
+    let err = eliminate_quantifiers(&expr, &a, &CompileOptions::default()).unwrap_err();
+    assert!(matches!(err, CompileError::UnsupportedQuantifier { .. }));
+    assert!(err.to_string().contains("free variables"));
+}
+
+#[test]
+fn shape_cap_is_a_structured_error() {
+    use sparse_agg::core_engine::CompileError;
+    let a = small_graph();
+    let wsym = a.signature().weight("w").unwrap();
+    // Four unlinked variables force the full shape space.
+    let expr: Expr<Nat> = Expr::Mul(vec![
+        Expr::Weight(wsym, vec![Var(0)]),
+        Expr::Weight(wsym, vec![Var(1)]),
+        Expr::Weight(wsym, vec![Var(2)]),
+    ])
+    .sum_over([Var(0), Var(1), Var(2)]);
+    let nf = normalize(&expr).unwrap();
+    let opts = CompileOptions {
+        max_shapes: 3,
+        ..CompileOptions::default()
+    };
+    match compile(&a, &nf, &opts) {
+        Err(CompileError::TooManyShapes { cap }) => assert_eq!(cap, 3),
+        other => panic!("expected shape-cap error, got {other:?}"),
+    }
+}
+
+#[test]
+fn off_support_weight_is_rejected_by_the_store() {
+    let s = {
+        let mut s = Signature::new();
+        s.add_relation("E", 2);
+        s.add_weight("c", 2);
+        s
+    };
+    let e = s.relation("E").unwrap();
+    let c = s.weight("c").unwrap();
+    let mut a = Structure::new(Arc::new(s), 4);
+    a.insert(e, &[0, 1]);
+    let mut w: WeightedStructure<Nat> = WeightedStructure::new(Arc::new(a));
+    let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        w.set(c, &[2, 3], Nat(5)); // (2,3) is in no relation
+    }));
+    assert!(panic.is_err(), "off-support weights must be rejected");
+}
+
+#[test]
+fn parse_errors_carry_position_and_cause() {
+    let s = sig();
+    let err = parse_expr::<Nat>("sum x. [E(x)]", &s, |t| t.parse().ok().map(Nat)).unwrap_err();
+    assert!(err.message.contains("arity"), "{err}");
+    let err = parse_formula("E(x,y) &", &s).unwrap_err();
+    assert!(err.at >= 8, "position should point at the hole: {err}");
+    let err = parse_expr::<Nat>("unknown(x)", &s, |t| t.parse().ok().map(Nat)).unwrap_err();
+    assert!(err.message.contains("unknown weight symbol"), "{err}");
+}
+
+#[test]
+fn nested_type_errors_are_precise() {
+    // mixing ℕ and ℤ in one addition
+    let f = NestedFormula::Add(vec![
+        NestedFormula::Const(Value::N(Nat(1))),
+        NestedFormula::Const(Value::Z(Int(1))),
+    ]);
+    assert!(matches!(f.tag(), Err(TypeError::TagMismatch { .. })));
+
+    // a connective argument whose free variable escapes the guard
+    let a = small_graph();
+    let e = a.signature().relation("E").unwrap();
+    let w = a.signature().weight("w").unwrap();
+    let leaky = NestedFormula::Guarded {
+        guard: e,
+        guard_args: vec![Var(0), Var(1)],
+        connective: Connective::new("id", vec![SemiringTag::N], SemiringTag::N, |v| v[0]),
+        args: vec![NestedFormula::SAtom {
+            weight: w,
+            tag: SemiringTag::N,
+            args: vec![Var(7)],
+        }],
+    };
+    let err = match NestedEvaluator::build(
+        &a,
+        &MultiWeights::new(),
+        &NestedFormula::Sum(vec![Var(0), Var(1)], Box::new(leaky)),
+        &CompileOptions::default(),
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("expected an unguarded-variable error"),
+    };
+    assert!(err.to_string().contains("not covered"), "{err}");
+}
+
+#[test]
+fn query_arity_mismatch_panics_with_message() {
+    let a = small_graph();
+    let e = a.signature().relation("E").unwrap();
+    let expr: Expr<Nat> =
+        Expr::Bracket(Formula::Rel(e, vec![Var(0), Var(1)])).sum_over([Var(0)]);
+    let nf = normalize(&expr).unwrap();
+    let compiled = compile(&a, &nf, &CompileOptions::default()).unwrap();
+    let w: WeightedStructure<Nat> = WeightedStructure::new(Arc::new(a));
+    let mut engine = GeneralEngine::new(compiled, &w);
+    let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = engine.query(&[0, 1]); // one free var, two elements
+    }));
+    assert!(panic.is_err());
+}
+
+#[test]
+fn querying_out_of_domain_elements_is_zero_not_panic() {
+    // An element id that exists in the domain but has no compatible
+    // placement (e.g. isolated) yields a structural zero.
+    let s = sig();
+    let e = s.relation("E").unwrap();
+    let mut a = Structure::new(Arc::new(s), 5);
+    a.insert(e, &[0, 1]); // elements 2..4 isolated
+    let expr: Expr<Nat> =
+        Expr::Bracket(Formula::Rel(e, vec![Var(0), Var(1)])).sum_over([Var(0)]);
+    let nf = normalize(&expr).unwrap();
+    let compiled = compile(&a, &nf, &CompileOptions::default()).unwrap();
+    let w: WeightedStructure<Nat> = WeightedStructure::new(Arc::new(a));
+    let mut engine = GeneralEngine::new(compiled, &w);
+    assert_eq!(engine.query(&[4]), Nat(0));
+    assert_eq!(engine.query(&[1]), Nat(1));
+}
+
+#[test]
+fn dynamic_index_rejects_non_clique_insertions() {
+    use sparse_agg::enumerate::{AnswerIndex, UpdateError};
+    let a = small_graph();
+    let e = a.signature().relation("E").unwrap();
+    let phi = Formula::Rel(e, vec![Var(0), Var(1)]);
+    let mut ix = AnswerIndex::build_dynamic(&a, &phi, &CompileOptions::default()).unwrap();
+    // (0,5) is not a Gaifman edge of the path
+    assert_eq!(
+        ix.set_tuple(e, &[0, 5], true),
+        Err(UpdateError::NotGaifmanPreserving)
+    );
+    // a static index rejects updates entirely
+    let mut ix2 = AnswerIndex::build(&a, &phi, &CompileOptions::default()).unwrap();
+    assert_eq!(
+        ix2.set_tuple(e, &[0, 1], false),
+        Err(UpdateError::StaticIndex)
+    );
+}

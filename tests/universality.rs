@@ -1,0 +1,162 @@
+//! The paper's central structural claim, tested at the API level: the
+//! *same compiled circuit* (Theorem 6) evaluates correctly in every
+//! commutative semiring — counting, optimization, existence, parity,
+//! probability, and provenance all come from one compilation.
+
+use sparse_agg::core_engine::SlotKey;
+use sparse_agg::graph::generators;
+use sparse_agg::prelude::*;
+use sparse_agg::semiring::{Mod, Pair};
+use std::sync::Arc;
+
+/// Compile the weighted 2-path query once; evaluate the one circuit in
+/// six semirings by remapping only the input values.
+#[test]
+fn one_circuit_six_semirings() {
+    let n = 120;
+    let g = generators::gnm(n, 2 * n, 13);
+    let mut sig = Signature::new();
+    let e = sig.add_relation("E", 2);
+    let c = sig.add_weight("c", 2);
+    let mut a = Structure::new(Arc::new(sig), n);
+    for (u, v) in g.edges() {
+        a.insert(e, &[u, v]);
+        a.insert(e, &[v, u]);
+    }
+    let a = Arc::new(a);
+
+    let (x, y, z) = (Var(0), Var(1), Var(2));
+    let phi = Formula::Rel(e, vec![x, y])
+        .and(Formula::Rel(e, vec![y, z]))
+        .and(Formula::neq(x, z));
+    let expr: Expr<Nat> = Expr::Mul(vec![
+        Expr::Bracket(phi.clone()),
+        Expr::Weight(c, vec![x, y]),
+        Expr::Weight(c, vec![y, z]),
+    ])
+    .sum_over([x, y, z]);
+    let nf = normalize(&expr).unwrap();
+    let compiled = compile(&a, &nf, &CompileOptions::default()).unwrap();
+    let circuit = compiled.circuit.clone();
+    assert_eq!(compiled.lits.len(), 0, "coefficient-free query");
+
+    // per-edge base weight: a small deterministic integer ≥ 1
+    let base = |t: &[u32]| u64::from((t[0] * 7 + t[1] * 3) % 5 + 1);
+    fn map_slots<S>(
+        slots: &sparse_agg::core_engine::SlotRegistry,
+        f: impl Fn(&[u32]) -> S,
+    ) -> Vec<S> {
+        slots
+            .iter()
+            .map(|(_, key)| match key {
+                SlotKey::Weight(_, t) => f(t.as_slice()),
+                _ => unreachable!("closed static query has only weight slots"),
+            })
+            .collect()
+    }
+
+    // ℕ: weighted count
+    let nat_slots: Vec<Nat> = map_slots(&compiled.slots, |t| Nat(base(t)));
+    let count = circuit.eval(&nat_slots, &[]);
+
+    // ℤ: must agree with ℕ embedded
+    let int_slots: Vec<Int> = compiled
+        .slots
+        .iter()
+        .map(|(s, _)| Int(nat_slots[s as usize].0 as i64))
+        .collect();
+    assert_eq!(circuit.eval(&int_slots, &[]).0 as u64, count.0);
+
+    // ℤ/7: must agree with ℕ reduced mod 7 (homomorphism property)
+    let mod_slots: Vec<Mod> = compiled
+        .slots
+        .iter()
+        .map(|(s, _)| Mod::new(nat_slots[s as usize].0, 7))
+        .collect();
+    assert_eq!(circuit.eval(&mod_slots, &[]).value(), count.0 % 7);
+
+    // B: existence = (count ≠ 0)
+    let bool_slots: Vec<Bool> = compiled
+        .slots
+        .iter()
+        .map(|(s, _)| Bool(nat_slots[s as usize].0 != 0))
+        .collect();
+    assert_eq!(circuit.eval(&bool_slots, &[]).0, count.0 != 0);
+
+    // (min,+): cheapest 2-path; check against a direct graph scan
+    let min_slots: Vec<MinPlus> = map_slots(&compiled.slots, |t| MinPlus(base(t)));
+    let cheapest = circuit.eval(&min_slots, &[]);
+    let mut direct = MinPlus::INF;
+    for u in 0..n as u32 {
+        for &v in g.neighbors(u) {
+            for &w2 in g.neighbors(v) {
+                if w2 != u {
+                    let cost = base(&[u, v]) + base(&[v, w2]);
+                    direct = direct.add(&MinPlus(cost));
+                }
+            }
+        }
+    }
+    assert_eq!(cheapest, direct);
+
+    // Pair(ℕ, min+): both aggregates in one pass
+    let pair_slots: Vec<Pair<Nat, MinPlus>> = compiled
+        .slots
+        .iter()
+        .map(|(s, _)| Pair(nat_slots[s as usize], min_slots[s as usize]))
+        .collect();
+    let both = circuit.eval(&pair_slots, &[]);
+    assert_eq!(both.0, count);
+    assert_eq!(both.1, cheapest);
+
+    // Free semiring: the number of monomials (with multiplicity) equals
+    // the ℕ count under all-ones weights.
+    let ones: Vec<Nat> = compiled.slots.iter().map(|_| Nat(1)).collect();
+    let plain_count = circuit.eval(&ones, &[]);
+    let poly_slots: Vec<Poly> = compiled
+        .slots
+        .iter()
+        .map(|(s, _)| {
+            Poly::var(Gen(s as u64)) // unique generator per input
+        })
+        .collect();
+    let poly = circuit.eval(&poly_slots, &[]);
+    assert_eq!(poly.total_multiplicity(), plain_count.0);
+}
+
+/// Probability semantics (Example 4): with weights forming a probability
+/// distribution, the query value is the probability that a random tuple
+/// satisfies φ — checked against direct computation in ℚ (exact).
+#[test]
+fn probability_of_random_edge() {
+    let n = 12;
+    let g = generators::gnm(n, 20, 3);
+    let mut sig = Signature::new();
+    let e = sig.add_relation("E", 2);
+    let p1 = sig.add_weight("p1", 1);
+    let p2 = sig.add_weight("p2", 1);
+    let mut a = Structure::new(Arc::new(sig), n);
+    for (u, v) in g.edges() {
+        a.insert(e, &[u, v]);
+    }
+    let a = Arc::new(a);
+    // uniform distributions
+    let (x, y) = (Var(0), Var(1));
+    let expr: Expr<Rat> = Expr::Mul(vec![
+        Expr::Bracket(Formula::Rel(e, vec![x, y])),
+        Expr::Weight(p1, vec![x]),
+        Expr::Weight(p2, vec![y]),
+    ])
+    .sum_over([x, y]);
+    let mut w: WeightedStructure<Rat> = WeightedStructure::new(a.clone());
+    for v in 0..n as u32 {
+        w.set(p1, &[v], Rat::new(1, n as i64));
+        w.set(p2, &[v], Rat::new(1, n as i64));
+    }
+    let nf = normalize(&expr).unwrap();
+    let compiled = compile(&a, &nf, &CompileOptions::default()).unwrap();
+    let engine = RingEngine::new(compiled, &w);
+    // P(edge) = m / n²  exactly
+    let m = a.relation(e).len() as i64;
+    assert_eq!(*engine.value(), Rat::new(m, (n * n) as i64));
+}
