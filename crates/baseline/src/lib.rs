@@ -10,11 +10,7 @@ use agq_structure::{Elem, Structure, WeightedStructure};
 
 /// Evaluate a first-order formula under an assignment by brute force
 /// (`O(n^quantifiers)` with the naive quantifier loop).
-pub fn eval_formula(
-    f: &Formula,
-    a: &Structure,
-    env: &mut FxHashMap<Var, Elem>,
-) -> bool {
+pub fn eval_formula(f: &Formula, a: &Structure, env: &mut FxHashMap<Var, Elem>) -> bool {
     match f {
         Formula::True => true,
         Formula::False => false,
@@ -205,8 +201,7 @@ mod tests {
         let e = a.signature().relation("E").unwrap();
         let x = Var(0);
         let y = Var(1);
-        let expr: Expr<Nat> =
-            Expr::Bracket(Formula::Rel(e, vec![x, y])).sum_over([x, y]);
+        let expr: Expr<Nat> = Expr::Bracket(Formula::Rel(e, vec![x, y])).sum_over([x, y]);
         let w = WeightedStructure::new(a);
         assert_eq!(eval_closed(&expr, &w), Nat(4));
     }

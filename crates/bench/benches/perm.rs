@@ -68,7 +68,11 @@ fn perm_update(c: &mut Criterion) {
             })
         });
         let rows: Vec<Vec<Bool>> = (0..3)
-            .map(|r| (0..n).map(|cc| Bool(m.get(r, cc).0.is_multiple_of(2))).collect())
+            .map(|r| {
+                (0..n)
+                    .map(|cc| Bool(m.get(r, cc).0.is_multiple_of(2)))
+                    .collect()
+            })
             .collect();
         let mut fin = FinitePerm::build(ColMatrix::from_rows(&rows));
         group.bench_function(BenchmarkId::new("finite_const", n), |b| {

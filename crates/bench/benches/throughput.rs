@@ -1,0 +1,72 @@
+//! E10_throughput: point-query throughput on the n=16k E6 workload —
+//! the zero-restore overlay/batch path vs the seed's `peek_with`
+//! update/restore baseline (preserved as `agq_bench::legacy`).
+
+use agq_bench::legacy::LegacyEngine;
+use agq_bench::{fill_weights, sparse_random};
+use agq_core::{compile, CompileOptions, GeneralEngine};
+use agq_logic::{normalize, Expr, Formula, Var};
+use agq_semiring::MinPlus;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E10_throughput");
+    group.sample_size(20);
+    let n = 16_000usize;
+    let wl = sparse_random(n, 9);
+    let (x, y) = (Var(0), Var(1));
+    let expr: Expr<MinPlus> = Expr::Mul(vec![
+        Expr::Bracket(Formula::Rel(wl.e, vec![x, y])),
+        Expr::Weight(wl.c, vec![x, y]),
+        Expr::Weight(wl.w, vec![y]),
+    ])
+    .sum_over([y]);
+    let weights = fill_weights(
+        &wl,
+        3,
+        |r| MinPlus(r.gen_range(1..50)),
+        |r| MinPlus(r.gen_range(1..50)),
+    );
+    let nf = normalize(&expr).unwrap();
+    let compiled = compile(&wl.a, &nf, &CompileOptions::default()).unwrap();
+    let mut legacy: LegacyEngine<MinPlus> = LegacyEngine::new(compiled.clone(), &weights);
+    let mut engine: GeneralEngine<MinPlus> = GeneralEngine::new(compiled, &weights);
+
+    let mut rng = SmallRng::seed_from_u64(1);
+    let points: Vec<[u32; 1]> = (0..1024).map(|_| [rng.gen_range(0..n as u32)]).collect();
+    let tuples: Vec<&[u32]> = points.iter().map(|p| p.as_slice()).collect();
+
+    group.bench_function(BenchmarkId::new("seed_peek_with_baseline", n), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let out = legacy.query(&points[i % points.len()]);
+            i += 1;
+            out
+        })
+    });
+    group.bench_function(BenchmarkId::new("update_restore_flat_ir", n), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let out = engine.query_via_updates(&points[i % points.len()]);
+            i += 1;
+            out
+        })
+    });
+    group.bench_function(BenchmarkId::new("overlay_query", n), |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let out = engine.query(&points[i % points.len()]);
+            i += 1;
+            out
+        })
+    });
+    group.bench_function(BenchmarkId::new("query_batch_1024", n), |b| {
+        b.iter(|| engine.query_batch(&tuples))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, throughput);
+criterion_main!(benches);

@@ -22,9 +22,10 @@ use std::time::{Duration, Instant};
 fn main() {
     println!("# Experiment harness — sparse-agg");
     println!("(one section per experiment id of DESIGN.md §5)\n");
+    let mut record = BenchRecord::default();
     e1_perm_eval();
-    e2_e4_perm_updates();
-    e5_compile_scaling();
+    e2_e4_perm_updates(&mut record);
+    e5_compile_scaling(&mut record);
     e6_eval_query_update();
     e7_pagerank();
     e8_provenance_delay();
@@ -33,6 +34,55 @@ fn main() {
     e10_nested();
     e11_local_search();
     e12_ablation_coloring();
+    e13_throughput(&mut record);
+    record.write("BENCH_1.json");
+}
+
+/// Headline numbers of this PR, persisted as `BENCH_1.json` so future
+/// PRs have a perf trajectory to compare against.
+#[derive(Default)]
+struct BenchRecord {
+    compile_seq_ms: f64,
+    compile_par_ms: f64,
+    compile_n: usize,
+    update_ns: f64,
+    update_n: usize,
+    qps_peek_with: f64,
+    qps_update_restore: f64,
+    qps_overlay: f64,
+    qps_batch: f64,
+    throughput_n: usize,
+}
+
+impl BenchRecord {
+    fn write(&self, path: &str) {
+        let ratio = |num: f64| {
+            if self.qps_peek_with > 0.0 {
+                num / self.qps_peek_with
+            } else {
+                0.0
+            }
+        };
+        let json = format!(
+            "{{\n  \"bench\": 1,\n  \"e5_compile\": {{\"n\": {}, \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}}},\n  \"e2_update\": {{\"n\": {}, \"segtree_update_ns\": {:.1}}},\n  \"e10_throughput\": {{\"n\": {}, \"peek_with_qps\": {:.0}, \"update_restore_qps\": {:.0}, \"overlay_qps\": {:.0}, \"batch_qps\": {:.0}, \"overlay_speedup\": {:.2}, \"batch_speedup\": {:.2}}}\n}}\n",
+            self.compile_n,
+            self.compile_seq_ms,
+            self.compile_par_ms,
+            self.update_n,
+            self.update_ns,
+            self.throughput_n,
+            self.qps_peek_with,
+            self.qps_update_restore,
+            self.qps_overlay,
+            self.qps_batch,
+            ratio(self.qps_overlay),
+            ratio(self.qps_batch),
+        );
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
 }
 
 fn time<F: FnMut()>(mut f: F) -> Duration {
@@ -78,13 +128,16 @@ fn e1_perm_eval() {
         let t = time(|| {
             let _ = perm_streaming(&m);
         });
-        println!("    n={n:>7}: {t:>10?}  ({:.2} ns/col)", t.as_nanos() as f64 / n as f64);
+        println!(
+            "    n={n:>7}: {t:>10?}  ({:.2} ns/col)",
+            t.as_nanos() as f64 / n as f64
+        );
     }
     println!();
 }
 
 /// E2–E4 — permanent update costs: log (general) vs O(1) (ring, finite).
-fn e2_e4_perm_updates() {
+fn e2_e4_perm_updates(record: &mut BenchRecord) {
     println!("## E2–E4  permanent updates: segment tree O(log n) vs ring/finite O(1)");
     println!("k=3 | n | segtree(update) | ring(update+read) | finite-B(update+read)");
     for &n in &[1 << 10, 1 << 13, 1 << 16] {
@@ -95,37 +148,61 @@ fn e2_e4_perm_updates() {
             .collect();
         let mut ring = RingPerm::build(ColMatrix::from_rows(&int_rows));
         let bool_rows: Vec<Vec<Bool>> = (0..3)
-            .map(|r| (0..n).map(|c| Bool(m.get(r, c).0.is_multiple_of(2))).collect())
+            .map(|r| {
+                (0..n)
+                    .map(|c| Bool(m.get(r, c).0.is_multiple_of(2)))
+                    .collect()
+            })
             .collect();
         let mut fin = FinitePerm::build(ColMatrix::from_rows(&bool_rows));
         let mut rng = SmallRng::seed_from_u64(7);
         let reps = 2000;
         let t_seg = time(|| {
             for _ in 0..reps {
-                seg.update(rng.gen_range(0..3), rng.gen_range(0..n), Nat(rng.gen_range(0..100)));
+                seg.update(
+                    rng.gen_range(0..3),
+                    rng.gen_range(0..n),
+                    Nat(rng.gen_range(0..100)),
+                );
             }
         }) / reps;
         let t_ring = time(|| {
             for _ in 0..reps {
-                ring.update(rng.gen_range(0..3), rng.gen_range(0..n), Int(rng.gen_range(0..100)));
+                ring.update(
+                    rng.gen_range(0..3),
+                    rng.gen_range(0..n),
+                    Int(rng.gen_range(0..100)),
+                );
                 std::hint::black_box(ring.total());
             }
         }) / reps;
         let t_fin = time(|| {
             for _ in 0..reps {
-                fin.update(rng.gen_range(0..3), rng.gen_range(0..n), Bool(rng.gen_bool(0.5)));
+                fin.update(
+                    rng.gen_range(0..3),
+                    rng.gen_range(0..n),
+                    Bool(rng.gen_bool(0.5)),
+                );
                 std::hint::black_box(fin.total());
             }
         }) / reps;
         println!("    | {n:>7} | {t_seg:>12?} | {t_ring:>12?} | {t_fin:>12?}");
+        record.update_ns = t_seg.as_nanos() as f64;
+        record.update_n = n;
     }
     println!("  (segtree column should grow ~log n; ring/finite stay flat — Cor. 13/17/20)\n");
 }
 
-/// E5 — Theorem 6: compile time ~linear, circuit structure bounded.
-fn e5_compile_scaling() {
+/// E5 — Theorem 6: compile time ~linear, circuit structure bounded;
+/// sequential vs parallel (byte-identical output) on multi-core.
+fn e5_compile_scaling(record: &mut BenchRecord) {
     println!("## E5  Theorem 6 compilation: time, size, structural bounds");
-    println!("triangle-cost query on G(n,2n) | n | compile | gates/n | depth | perm-rows | colors | fdepth");
+    println!("triangle-cost query on G(n,2n) | n | seq | par | speedup | gates/n | depth | perm-rows | colors | fdepth");
+    let seq_opts = CompileOptions {
+        threads: 1,
+        ..Default::default()
+    };
+    let par_opts = CompileOptions::default(); // threads = 0: one per core
     for &n in &[1000usize, 2000, 4000, 8000] {
         let wl = sparse_random(n, 5);
         let (x, y, z) = (Var(0), Var(1), Var(2));
@@ -141,17 +218,28 @@ fn e5_compile_scaling() {
         .sum_over([x, y, z]);
         let nf = normalize(&expr).unwrap();
         let t0 = Instant::now();
-        let compiled = compile(&wl.a, &nf, &CompileOptions::default()).unwrap();
-        let t = t0.elapsed();
+        let compiled = compile(&wl.a, &nf, &seq_opts).unwrap();
+        let t_seq = t0.elapsed();
+        let t0 = Instant::now();
+        let compiled_par = compile(&wl.a, &nf, &par_opts).unwrap();
+        let t_par = t0.elapsed();
+        assert_eq!(
+            *compiled.circuit, *compiled_par.circuit,
+            "parallel compile must be byte-identical"
+        );
         let st = compiled.report.stats;
         println!(
-            "    | {n:>5} | {t:>9?} | {:>7.1} | {:>5} | {:>9} | {:>6} | {:>6}",
+            "    | {n:>5} | {t_seq:>9?} | {t_par:>9?} | {:>6.2}× | {:>7.1} | {:>5} | {:>9} | {:>6} | {:>6}",
+            t_seq.as_secs_f64() / t_par.as_secs_f64(),
             st.num_gates as f64 / n as f64,
             st.depth,
             st.max_perm_rows,
             compiled.report.num_colors,
             compiled.report.max_forest_depth,
         );
+        record.compile_seq_ms = t_seq.as_secs_f64() * 1e3;
+        record.compile_par_ms = t_par.as_secs_f64() * 1e3;
+        record.compile_n = n;
     }
     println!("  (gates/n and depth stay bounded; time grows ~linearly with a depth-dependent constant)\n");
 }
@@ -159,7 +247,9 @@ fn e5_compile_scaling() {
 /// E6 — Theorem 8: query/update latency vs naive re-evaluation.
 fn e6_eval_query_update() {
     println!("## E6  Theorem 8 dynamic evaluation (min-cost neighbor sum)");
-    println!("f(x) = Σ_y [E(x,y)]·c(x,y)+w(y) in (min,+) | n | build | query | update | naive-scan");
+    println!(
+        "f(x) = Σ_y [E(x,y)]·c(x,y)+w(y) in (min,+) | n | build | query | update | naive-scan"
+    );
     for &n in &[2000usize, 8000, 32000] {
         let wl = sparse_random(n, 9);
         let (x, y) = (Var(0), Var(1));
@@ -189,7 +279,11 @@ fn e6_eval_query_update() {
         }) / reps;
         let tu = time(|| {
             for _ in 0..reps {
-                engine.set_weight(wl.w, &[rng.gen_range(0..n as u32)], MinPlus(rng.gen_range(1..50)));
+                engine.set_weight(
+                    wl.w,
+                    &[rng.gen_range(0..n as u32)],
+                    MinPlus(rng.gen_range(1..50)),
+                );
             }
         }) / reps;
         // naive: re-scan the neighbor list per query (the "no index" baseline)
@@ -224,12 +318,7 @@ fn e6_eval_query_update() {
             Expr::Weight(wl.c, vec![z, x]),
         ])
         .sum_over([x, y, z]);
-        let weights = fill_weights(
-            &wl,
-            5,
-            |_| MinPlus(0),
-            |r| MinPlus(r.gen_range(1..100)),
-        );
+        let weights = fill_weights(&wl, 5, |_| MinPlus(0), |r| MinPlus(r.gen_range(1..100)));
         let nf = normalize(&expr).unwrap();
         let compiled = compile(&wl.a, &nf, &CompileOptions::default()).unwrap();
         let mut engine: GeneralEngine<MinPlus> = GeneralEngine::new(compiled.clone(), &weights);
@@ -329,9 +418,7 @@ fn e8_provenance_delay() {
             }
             count += 1;
         }
-        println!(
-            "    n={n:>5}: build {build:>10?}, {count} monomials, max delay {max_delay:?}"
-        );
+        println!("    n={n:>5}: build {build:>10?}, {count} monomials, max delay {max_delay:?}");
     }
     println!();
 }
@@ -369,7 +456,9 @@ fn e9_enum_delay() {
             "    | {n:>5} | {build:>10?} | {count:>7} | {max_delay:>10?} | {first_latency:>10?}"
         );
     }
-    println!("  (max delay stays flat as n grows; the baseline must materialize all answers first)\n");
+    println!(
+        "  (max delay stays flat as n grows; the baseline must materialize all answers first)\n"
+    );
 }
 
 /// E9b — dynamic maintenance cost of the answer index.
@@ -379,14 +468,12 @@ fn e9b_enum_dynamic() {
         let wl = sparse_random(n, 23);
         let (x, y) = (Var(0), Var(1));
         let phi = Formula::Rel(wl.e, vec![x, y]);
-        let mut ix =
-            AnswerIndex::build_dynamic(&wl.a, &phi, &CompileOptions::default()).unwrap();
-        let edges: Vec<[u32; 2]> = wl
-            .a
-            .relation(wl.e)
-            .iter()
-            .map(|t| [t.as_slice()[0], t.as_slice()[1]])
-            .collect();
+        let mut ix = AnswerIndex::build_dynamic(&wl.a, &phi, &CompileOptions::default()).unwrap();
+        let edges: Vec<[u32; 2]> =
+            wl.a.relation(wl.e)
+                .iter()
+                .map(|t| [t.as_slice()[0], t.as_slice()[1]])
+                .collect();
         let mut rng = SmallRng::seed_from_u64(3);
         let reps = 5000u32;
         let t = time(|| {
@@ -403,7 +490,9 @@ fn e9b_enum_dynamic() {
 /// E10 — Theorem 26: nested query evaluation.
 fn e10_nested() {
     println!("## E10  Theorem 26 FOG[C]: max average-neighbor-weight");
-    use agq_nested::{Connective, MultiWeights, NestedEvaluator, NestedFormula, SemiringTag, Value};
+    use agq_nested::{
+        Connective, MultiWeights, NestedEvaluator, NestedFormula, SemiringTag, Value,
+    };
     for &n in &[1000usize, 4000] {
         // needs a universe guard
         let g = generators::gnm(n, 2 * n, 31);
@@ -428,10 +517,7 @@ fn e10_nested() {
         let num = NestedFormula::Sum(
             vec![y],
             Box::new(NestedFormula::Mul(vec![
-                NestedFormula::Bracket(
-                    Box::new(NestedFormula::Rel(e, vec![x, y])),
-                    SemiringTag::N,
-                ),
+                NestedFormula::Bracket(Box::new(NestedFormula::Rel(e, vec![x, y])), SemiringTag::N),
                 NestedFormula::SAtom {
                     weight: w,
                     tag: SemiringTag::N,
@@ -467,7 +553,10 @@ fn e10_nested() {
         let t0 = Instant::now();
         let ev = NestedEvaluator::build(&a, &mw, &query, &CompileOptions::default()).unwrap();
         let t = t0.elapsed();
-        println!("    n={n:>5}: evaluated in {t:>10?}, max avg = {}", ev.value());
+        println!(
+            "    n={n:>5}: evaluated in {t:>10?}, max avg = {}",
+            ev.value()
+        );
     }
     println!();
 }
@@ -513,6 +602,102 @@ fn e11_local_search() {
         );
     }
     println!();
+}
+
+/// E13 — point-query throughput: the zero-restore overlay/batch path vs
+/// the seed's `peek_with` update/restore path (E10_throughput in the
+/// criterion suite; acceptance: ≥2× queries/sec on the n=16k workload).
+///
+/// The baseline is the preserved seed evaluator
+/// ([`agq_bench::legacy::LegacyEngine`]) — per-gate parent `Vec`s, cloned
+/// slot lists, allocating segment-tree updates, and `2|x̄|` full
+/// update/restore cycles per query — exactly the "current peek_with
+/// path" this PR replaces. The in-tree update/restore path
+/// (`query_via_updates`, already sped up by the flat CSR layout and the
+/// in-place segment tree) is reported alongside for honesty.
+fn e13_throughput(record: &mut BenchRecord) {
+    use agq_bench::legacy::LegacyEngine;
+    println!("## E13  point-query throughput (n=16k E6 workload, MinPlus)");
+    let n = 16_000usize;
+    let wl = sparse_random(n, 9);
+    let (x, y) = (Var(0), Var(1));
+    let expr: Expr<MinPlus> = Expr::Mul(vec![
+        Expr::Bracket(Formula::Rel(wl.e, vec![x, y])),
+        Expr::Weight(wl.c, vec![x, y]),
+        Expr::Weight(wl.w, vec![y]),
+    ])
+    .sum_over([y]);
+    let weights = fill_weights(
+        &wl,
+        3,
+        |r| MinPlus(r.gen_range(1..50)),
+        |r| MinPlus(r.gen_range(1..50)),
+    );
+    let nf = normalize(&expr).unwrap();
+    let compiled = compile(&wl.a, &nf, &CompileOptions::default()).unwrap();
+    let mut legacy: LegacyEngine<MinPlus> = LegacyEngine::new(compiled.clone(), &weights);
+    let mut engine: GeneralEngine<MinPlus> = GeneralEngine::new(compiled, &weights);
+
+    let mut rng = SmallRng::seed_from_u64(1);
+    let points: Vec<[u32; 1]> = (0..4096).map(|_| [rng.gen_range(0..n as u32)]).collect();
+    let tuples: Vec<&[u32]> = points.iter().map(|p| p.as_slice()).collect();
+
+    // correctness guard: all paths agree on this workload
+    for p in points.iter().take(64) {
+        let a = legacy.query(p);
+        let b = engine.query(p);
+        let c = engine.query_via_updates(p);
+        assert_eq!(a, b, "overlay must match the seed path");
+        assert_eq!(a, c, "update/restore must match the seed path");
+    }
+
+    let reps = points.len() as u32;
+    let t_legacy = time(|| {
+        for p in &points {
+            std::hint::black_box(legacy.query(p));
+        }
+    });
+    let t_classic = time(|| {
+        for p in &points {
+            std::hint::black_box(engine.query_via_updates(p));
+        }
+    });
+    let t_overlay = time(|| {
+        for p in &points {
+            std::hint::black_box(engine.query(p));
+        }
+    });
+    let t_batch = time(|| {
+        std::hint::black_box(engine.query_batch(&tuples));
+    });
+    let qps = |t: Duration| reps as f64 / t.as_secs_f64();
+    let (q_legacy, q_classic, q_overlay, q_batch) =
+        (qps(t_legacy), qps(t_classic), qps(t_overlay), qps(t_batch));
+    println!(
+        "    seed peek_with baseline:  {q_legacy:>10.0} q/s ({:?}/query)",
+        t_legacy / reps
+    );
+    println!(
+        "    update/restore (flat IR): {q_classic:>10.0} q/s ({:?}/query)",
+        t_classic / reps
+    );
+    println!(
+        "    overlay query:            {q_overlay:>10.0} q/s ({:?}/query)",
+        t_overlay / reps
+    );
+    println!(
+        "    query_batch:              {q_batch:>10.0} q/s ({:?}/query)",
+        t_batch / reps
+    );
+    println!(
+        "    speedup (batch vs seed peek_with): {:.2}×\n",
+        q_batch / q_legacy
+    );
+    record.qps_peek_with = q_legacy;
+    record.qps_update_restore = q_classic;
+    record.qps_overlay = q_overlay;
+    record.qps_batch = q_batch;
+    record.throughput_n = n;
 }
 
 /// E12 — ablation: how coloring quality drives the constants.

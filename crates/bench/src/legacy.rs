@@ -1,0 +1,324 @@
+//! The seed implementation of the dynamic evaluator and its segment-tree
+//! permanents, preserved verbatim-in-spirit as the measured baseline of
+//! the `E10_throughput` experiment.
+//!
+//! This is the "current `peek_with` path" the PR's acceptance criterion
+//! refers to: per-gate parent `Vec`s, a cloned `slot_gates` list on every
+//! update, per-node table allocations inside the segment tree, a cloning
+//! `total()`, and free-variable point queries run as `2|x̄|` full
+//! update/restore cycles. Do **not** use this outside benchmarks — the
+//! production path is `agq_core::QueryEngine`.
+
+use agq_circuit::{Circuit, GateDef};
+use agq_core::{CompiledQuery, SlotKey};
+use agq_perm::ColMatrix;
+use agq_semiring::Semiring;
+use agq_structure::{Elem, WeightedStructure};
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// The seed's segment-tree permanent: one `Vec` table per node, merges
+/// allocate, `total()` is read through a clone at the call sites.
+pub struct LegacySegTree<S> {
+    k: usize,
+    n: usize,
+    size: usize,
+    tables: Vec<Vec<S>>,
+    cols: ColMatrix<S>,
+}
+
+impl<S: Semiring> LegacySegTree<S> {
+    /// Build the tree over the columns of `cols`.
+    pub fn build(cols: ColMatrix<S>) -> Self {
+        let k = cols.rows();
+        let n = cols.cols();
+        let size = n.next_power_of_two().max(1);
+        let empty = Self::empty_table(k);
+        let tables = vec![empty; 2 * size];
+        let mut tree = LegacySegTree {
+            k,
+            n,
+            size,
+            tables,
+            cols,
+        };
+        for c in 0..n {
+            tree.tables[tree.size + c] = tree.leaf_table(c);
+        }
+        for node in (1..tree.size).rev() {
+            tree.tables[node] = tree.merge(node);
+        }
+        tree
+    }
+
+    /// The permanent of the full matrix (cloned, as in the seed's
+    /// `PermMaint::total`).
+    pub fn total(&self) -> S {
+        self.tables[1][(1 << self.k) - 1].clone()
+    }
+
+    /// Overwrite entry `(row, col)` and repair the root path, allocating
+    /// a fresh table per level.
+    pub fn update(&mut self, row: usize, col: usize, value: S) {
+        assert!(col < self.n, "column {col} out of range");
+        self.cols.set(row, col, value);
+        self.tables[self.size + col] = self.leaf_table(col);
+        let mut node = (self.size + col) / 2;
+        while node >= 1 {
+            self.tables[node] = self.merge(node);
+            node /= 2;
+        }
+    }
+
+    fn empty_table(k: usize) -> Vec<S> {
+        let mut t = vec![S::zero(); 1 << k];
+        t[0] = S::one();
+        t
+    }
+
+    fn leaf_table(&self, c: usize) -> Vec<S> {
+        let mut t = Self::empty_table(self.k);
+        if c < self.n {
+            for r in 0..self.k {
+                t[1 << r] = self.cols.get(r, c).clone();
+            }
+        }
+        t
+    }
+
+    fn merge(&self, node: usize) -> Vec<S> {
+        let left = &self.tables[2 * node];
+        let right = &self.tables[2 * node + 1];
+        let mut out = Vec::with_capacity(1 << self.k);
+        for mask in 0..(1u32 << self.k) {
+            let mut acc = S::zero();
+            let mut sub = mask;
+            loop {
+                acc.add_assign(&left[sub as usize].mul(&right[(mask & !sub) as usize]));
+                if sub == 0 {
+                    break;
+                }
+                sub = (sub - 1) & mask;
+            }
+            out.push(acc);
+        }
+        out
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum ParentRef {
+    Add(u32),
+    Mul(u32),
+    Perm { gate: u32, row: u8, col: u32 },
+}
+
+/// The seed's dynamic evaluator: per-gate parent `Vec`s, `Option`-boxed
+/// perm states, and a cloned per-slot gate list on every `set_input`.
+pub struct LegacyEvaluator<S: Semiring> {
+    circuit: Arc<Circuit>,
+    values: Vec<S>,
+    parents: Vec<Vec<ParentRef>>,
+    perm_states: Vec<Option<LegacySegTree<S>>>,
+    slot_gates: Vec<Vec<u32>>,
+    slot_values: Vec<S>,
+}
+
+impl<S: Semiring> LegacyEvaluator<S> {
+    /// Build from an initial input assignment, evaluating once.
+    pub fn new(circuit: Arc<Circuit>, slots: &[S], lits: &[S]) -> Self {
+        assert_eq!(slots.len(), circuit.num_slots());
+        assert_eq!(lits.len(), circuit.num_lits());
+        let values = agq_circuit::eval_gates(&circuit, slots, lits);
+        let gates = circuit.gates();
+        let mut parents: Vec<Vec<ParentRef>> = vec![Vec::new(); gates.len()];
+        let mut perm_states: Vec<Option<LegacySegTree<S>>> = Vec::with_capacity(gates.len());
+        let mut slot_gates: Vec<Vec<u32>> = vec![Vec::new(); circuit.num_slots()];
+        for (i, g) in gates.iter().enumerate() {
+            let mut state = None;
+            match g {
+                GateDef::Input(slot) => slot_gates[*slot as usize].push(i as u32),
+                GateDef::Const(_) => {}
+                GateDef::Add(children) => {
+                    for c in circuit.children(*children) {
+                        parents[c.0 as usize].push(ParentRef::Add(i as u32));
+                    }
+                }
+                GateDef::Mul(a, b) => {
+                    parents[a.0 as usize].push(ParentRef::Mul(i as u32));
+                    parents[b.0 as usize].push(ParentRef::Mul(i as u32));
+                }
+                GateDef::Perm { rows, cols } => {
+                    let k = *rows as usize;
+                    let cols = circuit.children(*cols);
+                    let mut m = ColMatrix::with_capacity(k, cols.len() / k);
+                    let mut buf = Vec::with_capacity(k);
+                    for (ci, col) in cols.chunks_exact(k).enumerate() {
+                        buf.clear();
+                        buf.extend(col.iter().map(|g| values[g.0 as usize].clone()));
+                        m.push_col(&buf);
+                        for (r, child) in col.iter().enumerate() {
+                            parents[child.0 as usize].push(ParentRef::Perm {
+                                gate: i as u32,
+                                row: r as u8,
+                                col: ci as u32,
+                            });
+                        }
+                    }
+                    state = Some(LegacySegTree::build(m));
+                }
+            }
+            perm_states.push(state);
+        }
+        LegacyEvaluator {
+            circuit,
+            values,
+            parents,
+            perm_states,
+            slot_gates,
+            slot_values: slots.to_vec(),
+        }
+    }
+
+    /// Current output value.
+    pub fn output(&self) -> &S {
+        &self.values[self.circuit.output().0 as usize]
+    }
+
+    /// Set input `slot` to `value` and repair all affected gates
+    /// (cloning the slot's gate list, as the seed did).
+    pub fn set_input(&mut self, slot: u32, value: S) {
+        if self.slot_values[slot as usize] == value {
+            return;
+        }
+        self.slot_values[slot as usize] = value.clone();
+        let mut dirty: BinaryHeap<std::cmp::Reverse<u32>> = BinaryHeap::new();
+        let input_gates = self.slot_gates[slot as usize].clone();
+        for g in input_gates {
+            if self.values[g as usize] != value {
+                self.values[g as usize] = value.clone();
+                self.mark_parents(g, &mut dirty);
+            }
+        }
+        while let Some(std::cmp::Reverse(g)) = dirty.pop() {
+            if dirty.peek() == Some(&std::cmp::Reverse(g)) {
+                continue;
+            }
+            let new = self.recompute(g);
+            if self.values[g as usize] != new {
+                self.values[g as usize] = new;
+                self.mark_parents(g, &mut dirty);
+            }
+        }
+    }
+
+    /// The seed's query trick: `2|x̄|` full update/restore cycles.
+    pub fn peek_with(&mut self, patches: &[(u32, S)]) -> S {
+        let saved: Vec<(u32, S)> = patches
+            .iter()
+            .map(|(s, _)| (*s, self.slot_values[*s as usize].clone()))
+            .collect();
+        for (s, v) in patches {
+            self.set_input(*s, v.clone());
+        }
+        let out = self.output().clone();
+        for (s, v) in saved.into_iter().rev() {
+            self.set_input(s, v);
+        }
+        out
+    }
+
+    fn mark_parents(&mut self, g: u32, dirty: &mut BinaryHeap<std::cmp::Reverse<u32>>) {
+        let parents = std::mem::take(&mut self.parents[g as usize]);
+        for p in &parents {
+            match *p {
+                ParentRef::Add(pg) | ParentRef::Mul(pg) => {
+                    dirty.push(std::cmp::Reverse(pg));
+                }
+                ParentRef::Perm { gate, row, col } => {
+                    let v = self.values[g as usize].clone();
+                    self.perm_states[gate as usize]
+                        .as_mut()
+                        .expect("perm state present")
+                        .update(row as usize, col as usize, v);
+                    dirty.push(std::cmp::Reverse(gate));
+                }
+            }
+        }
+        self.parents[g as usize] = parents;
+    }
+
+    fn recompute(&self, g: u32) -> S {
+        match &self.circuit.gates()[g as usize] {
+            GateDef::Input(_) | GateDef::Const(_) => self.values[g as usize].clone(),
+            GateDef::Add(children) => {
+                let mut acc = S::zero();
+                for c in self.circuit.children(*children) {
+                    acc.add_assign(&self.values[c.0 as usize]);
+                }
+                acc
+            }
+            GateDef::Mul(a, b) => self.values[a.0 as usize].mul(&self.values[b.0 as usize]),
+            GateDef::Perm { .. } => self.perm_states[g as usize]
+                .as_ref()
+                .expect("perm state present")
+                .total(),
+        }
+    }
+}
+
+/// The seed engine: a [`LegacyEvaluator`] bound to a compiled query, with
+/// the seed's free-variable point-query path.
+pub struct LegacyEngine<S: Semiring> {
+    compiled: CompiledQuery<S>,
+    eval: LegacyEvaluator<S>,
+}
+
+impl<S: Semiring> LegacyEngine<S> {
+    /// Bind a compiled query to concrete weights (static-atom mode).
+    pub fn new(compiled: CompiledQuery<S>, weights: &WeightedStructure<S>) -> Self {
+        let a = weights.structure();
+        let slot_values: Vec<S> = compiled
+            .slots
+            .iter()
+            .map(|(_, key)| match key {
+                SlotKey::Weight(w, t) => weights.get(w, t.as_slice()),
+                SlotKey::FreeVar(..) => S::zero(),
+                SlotKey::AtomPos(r, t) => {
+                    if a.holds(r, t.as_slice()) {
+                        S::one()
+                    } else {
+                        S::zero()
+                    }
+                }
+                SlotKey::AtomNeg(r, t) => {
+                    if a.holds(r, t.as_slice()) {
+                        S::zero()
+                    } else {
+                        S::one()
+                    }
+                }
+            })
+            .collect();
+        let eval = LegacyEvaluator::new(compiled.circuit.clone(), &slot_values, &compiled.lits);
+        LegacyEngine { compiled, eval }
+    }
+
+    /// Value at a free-variable tuple via the seed's `2|x̄|`
+    /// update/restore cycles.
+    pub fn query(&mut self, tuple: &[Elem]) -> S {
+        assert_eq!(
+            tuple.len(),
+            self.compiled.free_vars.len(),
+            "query tuple arity mismatch"
+        );
+        let mut patches = Vec::with_capacity(tuple.len());
+        for (i, &a) in tuple.iter().enumerate() {
+            match self.compiled.slots.lookup(&SlotKey::FreeVar(i as u8, a)) {
+                Some(slot) => patches.push((slot, S::one())),
+                None => return S::zero(),
+            }
+        }
+        self.eval.peek_with(&patches)
+    }
+}

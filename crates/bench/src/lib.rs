@@ -1,4 +1,8 @@
-//! Shared workload builders for the experiment suite (system **S11**).
+//! Shared workload builders for the experiment suite (system **S11**),
+//! plus the preserved seed evaluator ([`legacy`]) used as the measured
+//! baseline of the throughput experiments.
+
+pub mod legacy;
 
 use agq_graph::{generators, Graph};
 use agq_semiring::Semiring;

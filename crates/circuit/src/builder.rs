@@ -1,15 +1,20 @@
 //! Circuit construction with topological invariants and zero/one pruning.
 
-use crate::{Circuit, ConstRef, GateDef, GateId};
+use crate::{ChildRange, Circuit, ConstRef, GateDef, GateId};
 
 /// Builds a [`Circuit`] gate by gate. Children must already exist, so ids
 /// are topological by construction. Trivial algebra is folded eagerly:
 /// multiplying by a known `0`/`1` constant, adding `0`s, and permanents
 /// with a structurally-zero column for some row short-circuit, which is
 /// what keeps compiled circuits linear-size under support pruning.
+///
+/// Child lists are appended to one shared arena (see the crate docs on
+/// the flat IR); a finished circuit owns exactly two gate buffers no
+/// matter how many gates it has.
 #[derive(Default)]
 pub struct CircuitBuilder {
     gates: Vec<GateDef>,
+    children: Vec<GateId>,
     num_slots: u32,
     num_lits: u32,
     zero: Option<GateId>,
@@ -26,6 +31,16 @@ impl CircuitBuilder {
         let id = GateId(self.gates.len() as u32);
         self.gates.push(def);
         id
+    }
+
+    /// Append `kids` to the arena, returning their range.
+    fn intern_children(&mut self, kids: &[GateId]) -> ChildRange {
+        let start = self.children.len() as u32;
+        self.children.extend_from_slice(kids);
+        ChildRange {
+            start,
+            len: kids.len() as u32,
+        }
     }
 
     /// An input gate reading `slot`.
@@ -72,15 +87,25 @@ impl CircuitBuilder {
 
     /// Sum of `children`, folding structural zeros.
     pub fn add(&mut self, children: &[GateId]) -> GateId {
-        let kids: Vec<GateId> = children
-            .iter()
-            .copied()
-            .filter(|&g| !self.is_zero(g))
-            .collect();
-        match kids.len() {
+        let nonzero = children.iter().filter(|&&g| !self.is_zero(g)).count();
+        match nonzero {
             0 => self.zero(),
-            1 => kids[0],
-            _ => self.push(GateDef::Add(kids)),
+            1 => *children
+                .iter()
+                .find(|&&g| !self.is_zero(g))
+                .expect("one nonzero child"),
+            _ => {
+                let start = self.children.len() as u32;
+                for &g in children {
+                    if !self.is_zero(g) {
+                        self.children.push(g);
+                    }
+                }
+                self.push(GateDef::Add(ChildRange {
+                    start,
+                    len: nonzero as u32,
+                }))
+            }
         }
     }
 
@@ -124,30 +149,56 @@ impl CircuitBuilder {
 
     /// Permanent gate from column-major flattened children
     /// (`flat.len() = rows · n`).
-    pub fn perm_flat(&mut self, rows: usize, flat: Vec<GateId>) -> GateId {
+    pub fn perm_flat(&mut self, rows: usize, mut flat: Vec<GateId>) -> GateId {
         assert!(rows <= agq_perm::MAX_ROWS, "too many permanent rows");
         if rows == 0 {
             return self.one();
         }
         assert_eq!(flat.len() % rows, 0, "ragged permanent matrix");
-        // Drop all-zero columns.
-        let mut kept: Vec<GateId> = Vec::with_capacity(flat.len());
-        for col in flat.chunks_exact(rows) {
+        // Drop all-zero columns, compacting in place.
+        let mut write = 0;
+        for ci in 0..flat.len() / rows {
+            let col = &flat[ci * rows..(ci + 1) * rows];
             if col.iter().any(|&g| !self.is_zero(g)) {
-                kept.extend_from_slice(col);
+                flat.copy_within(ci * rows..(ci + 1) * rows, write);
+                write += rows;
             }
         }
-        let n = kept.len() / rows;
+        flat.truncate(write);
+        let n = flat.len() / rows;
         if n < rows {
             return self.zero();
         }
         if rows == 1 && n == 1 {
-            return kept[0];
+            return flat[0];
         }
+        let cols = self.intern_children(&flat);
         self.push(GateDef::Perm {
             rows: rows as u8,
-            cols: kept,
+            cols,
         })
+    }
+
+    /// The gates built so far, in topological order (read access for
+    /// deterministic circuit merging — see agq-core's parallel compiler).
+    pub fn gates(&self) -> &[GateDef] {
+        &self.gates
+    }
+
+    /// Resolve a child range against this builder's arena (read access
+    /// for deterministic circuit merging).
+    pub fn children(&self, range: ChildRange) -> &[GateId] {
+        &self.children[range.start as usize..(range.start + range.len) as usize]
+    }
+
+    /// Number of gates built so far.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether no gates were built yet.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
     }
 
     /// Finish with the given output gate.
@@ -158,6 +209,7 @@ impl CircuitBuilder {
         );
         Circuit {
             gates: self.gates,
+            children: self.children,
             num_slots: self.num_slots,
             num_lits: self.num_lits,
             output,
@@ -214,6 +266,21 @@ mod tests {
     }
 
     #[test]
+    fn add_folds_interior_zeros() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input(0);
+        let y = b.input(1);
+        let z = b.zero();
+        let s = b.add(&[x, z, y, z]);
+        let c = b.finish(s);
+        match c.gates()[s.0 as usize] {
+            GateDef::Add(r) => assert_eq!(c.children(r), &[x, y]),
+            ref g => panic!("expected add, got {g:?}"),
+        }
+        assert_eq!(c.eval(&[Nat(3), Nat(4)], &[]), Nat(7));
+    }
+
+    #[test]
     fn ids_are_topological() {
         let mut b = CircuitBuilder::new();
         let x = b.input(0);
@@ -224,9 +291,9 @@ mod tests {
         for (i, g) in c.gates().iter().enumerate() {
             let ok = match g {
                 GateDef::Input(_) | GateDef::Const(_) => true,
-                GateDef::Add(ks) => ks.iter().all(|k| (k.0 as usize) < i),
+                GateDef::Add(r) => c.children(*r).iter().all(|k| (k.0 as usize) < i),
                 GateDef::Mul(a, b2) => (a.0 as usize) < i && (b2.0 as usize) < i,
-                GateDef::Perm { cols, .. } => cols.iter().all(|k| (k.0 as usize) < i),
+                GateDef::Perm { cols, .. } => c.children(*cols).iter().all(|k| (k.0 as usize) < i),
             };
             assert!(ok, "gate {i} references later gate");
         }

@@ -21,8 +21,13 @@ pub trait PermMaint<S: Semiring> {
     fn build(m: ColMatrix<S>) -> Self;
     /// Overwrite one entry.
     fn update(&mut self, row: usize, col: usize, value: S);
-    /// Current permanent.
-    fn total(&self) -> S;
+    /// Current permanent. Reads are free: implementations cache the value
+    /// across updates.
+    fn total(&self) -> &S;
+    /// The permanent with some entries replaced, computed **without
+    /// mutating** the structure (the zero-restore query path). Later
+    /// patches to the same entry win.
+    fn peek(&self, patches: &[(usize, usize, S)]) -> S;
 }
 
 impl<S: Semiring> PermMaint<S> for SegTreePerm<S> {
@@ -32,38 +37,61 @@ impl<S: Semiring> PermMaint<S> for SegTreePerm<S> {
     fn update(&mut self, row: usize, col: usize, value: S) {
         SegTreePerm::update(self, row, col, value);
     }
-    fn total(&self) -> S {
-        SegTreePerm::total(self).clone()
+    fn total(&self) -> &S {
+        SegTreePerm::total(self)
+    }
+    fn peek(&self, patches: &[(usize, usize, S)]) -> S {
+        SegTreePerm::peek(self, patches)
     }
 }
 
-/// Ring-backed permanent maintenance (constant-time updates).
-pub struct RingMaint<S: Ring>(RingPerm<S>);
+/// Ring-backed permanent maintenance (constant-time updates). The total
+/// is cached so reads return a reference.
+pub struct RingMaint<S: Ring> {
+    perm: RingPerm<S>,
+    total: S,
+}
 
 impl<S: Ring> PermMaint<S> for RingMaint<S> {
     fn build(m: ColMatrix<S>) -> Self {
-        RingMaint(RingPerm::build(m))
+        let perm = RingPerm::build(m);
+        let total = perm.total();
+        RingMaint { perm, total }
     }
     fn update(&mut self, row: usize, col: usize, value: S) {
-        self.0.update(row, col, value);
+        self.perm.update(row, col, value);
+        self.total = self.perm.total();
     }
-    fn total(&self) -> S {
-        self.0.total()
+    fn total(&self) -> &S {
+        &self.total
+    }
+    fn peek(&self, patches: &[(usize, usize, S)]) -> S {
+        self.perm.peek(patches)
     }
 }
 
-/// Finite-semiring permanent maintenance (constant-time updates).
-pub struct FiniteMaint<S: FiniteSemiring>(FinitePerm<S>);
+/// Finite-semiring permanent maintenance (constant-time updates). The
+/// total is cached so reads return a reference.
+pub struct FiniteMaint<S: FiniteSemiring> {
+    perm: FinitePerm<S>,
+    total: S,
+}
 
 impl<S: FiniteSemiring> PermMaint<S> for FiniteMaint<S> {
     fn build(m: ColMatrix<S>) -> Self {
-        FiniteMaint(FinitePerm::build(m))
+        let perm = FinitePerm::build(m);
+        let total = perm.total();
+        FiniteMaint { perm, total }
     }
     fn update(&mut self, row: usize, col: usize, value: S) {
-        self.0.update(row, col, value);
+        self.perm.update(row, col, value);
+        self.total = self.perm.total();
     }
-    fn total(&self) -> S {
-        self.0.total()
+    fn total(&self) -> &S {
+        &self.total
+    }
+    fn peek(&self, patches: &[(usize, usize, S)]) -> S {
+        self.perm.peek(patches)
     }
 }
 
@@ -74,6 +102,9 @@ enum ParentRef {
     Perm { gate: u32, row: u8, col: u32 },
 }
 
+/// Sentinel for "gate is not a permanent" in the dense perm index.
+const NO_PERM: u32 = u32::MAX;
+
 /// Dynamic evaluator: caches every gate value and repairs them under input
 /// updates, routing permanent-entry changes through a [`PermMaint`].
 ///
@@ -81,15 +112,26 @@ enum ParentRef {
 /// produced by the Theorem 6 compiler the number of affected gates per
 /// input is query-bounded (bounded fan-out, bounded depth), giving the
 /// `O(log |A|)` / `O(1)` bounds of Theorem 8.
+///
+/// Like the circuit itself, the evaluator's adjacency is flat: parent
+/// lists and per-slot input-gate lists are CSR buffers (one offset table
+/// plus one contiguous payload each), built in two counting passes —
+/// no per-gate allocations, no per-update clones.
 pub struct DynEvaluator<S: Semiring, P: PermMaint<S>> {
     circuit: Arc<Circuit>,
     values: Vec<S>,
-    parents: Vec<Vec<ParentRef>>,
-    /// Perm-gate maintenance structures, indexed by gate id (None for
-    /// non-perm gates).
-    perm_states: Vec<Option<P>>,
-    /// Input gates per slot.
-    slot_gates: Vec<Vec<u32>>,
+    /// CSR: parents of gate `g` are
+    /// `parent_refs[parent_offsets[g]..parent_offsets[g+1]]`.
+    parent_offsets: Vec<u32>,
+    parent_refs: Vec<ParentRef>,
+    /// Gate id → index into `perms` (`NO_PERM` for non-perm gates).
+    perm_index: Vec<u32>,
+    /// Perm-gate maintenance structures, dense, in gate order.
+    perms: Vec<P>,
+    /// CSR: input gates of slot `s` are
+    /// `slot_gates[slot_offsets[s]..slot_offsets[s+1]]`.
+    slot_offsets: Vec<u32>,
+    slot_gates: Vec<u32>,
     slot_values: Vec<S>,
 }
 
@@ -100,25 +142,86 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
         assert_eq!(lits.len(), circuit.num_lits());
         let values = crate::eval_gates(&circuit, slots, lits);
         let gates = circuit.gates();
-        let mut parents: Vec<Vec<ParentRef>> = vec![Vec::new(); gates.len()];
-        let mut perm_states: Vec<Option<P>> = Vec::with_capacity(gates.len());
-        let mut slot_gates: Vec<Vec<u32>> = vec![Vec::new(); circuit.num_slots()];
-        for (i, g) in gates.iter().enumerate() {
-            let mut state = None;
+        let n = gates.len();
+
+        // Pass 1: count parent references and input gates per slot.
+        let mut parent_offsets = vec![0u32; n + 1];
+        let mut slot_offsets = vec![0u32; circuit.num_slots() + 1];
+        let mut num_perms = 0usize;
+        for g in gates {
             match g {
-                GateDef::Input(slot) => slot_gates[*slot as usize].push(i as u32),
+                GateDef::Input(slot) => slot_offsets[*slot as usize + 1] += 1,
                 GateDef::Const(_) => {}
-                GateDef::Add(children) => {
-                    for c in children {
-                        parents[c.0 as usize].push(ParentRef::Add(i as u32));
+                GateDef::Add(r) => {
+                    for c in circuit.children(*r) {
+                        parent_offsets[c.0 as usize + 1] += 1;
                     }
                 }
                 GateDef::Mul(a, b) => {
-                    parents[a.0 as usize].push(ParentRef::Mul(i as u32));
-                    parents[b.0 as usize].push(ParentRef::Mul(i as u32));
+                    parent_offsets[a.0 as usize + 1] += 1;
+                    parent_offsets[b.0 as usize + 1] += 1;
+                }
+                GateDef::Perm { cols, .. } => {
+                    num_perms += 1;
+                    for c in circuit.children(*cols) {
+                        parent_offsets[c.0 as usize + 1] += 1;
+                    }
+                }
+            }
+        }
+        for i in 1..parent_offsets.len() {
+            parent_offsets[i] += parent_offsets[i - 1];
+        }
+        for i in 1..slot_offsets.len() {
+            slot_offsets[i] += slot_offsets[i - 1];
+        }
+
+        // Pass 2: fill the flat buffers and build perm maintenance state.
+        let mut parent_refs = vec![ParentRef::Add(0); *parent_offsets.last().unwrap() as usize];
+        let mut slot_gates = vec![0u32; *slot_offsets.last().unwrap() as usize];
+        let mut parent_cursor: Vec<u32> = parent_offsets[..n].to_vec();
+        let mut slot_cursor: Vec<u32> = slot_offsets[..circuit.num_slots()].to_vec();
+        let mut perm_index = vec![NO_PERM; n];
+        let mut perms: Vec<P> = Vec::with_capacity(num_perms);
+        let place = |refs: &mut Vec<ParentRef>, cursor: &mut Vec<u32>, child: u32, r: ParentRef| {
+            refs[cursor[child as usize] as usize] = r;
+            cursor[child as usize] += 1;
+        };
+        for (i, g) in gates.iter().enumerate() {
+            match g {
+                GateDef::Input(slot) => {
+                    let s = *slot as usize;
+                    slot_gates[slot_cursor[s] as usize] = i as u32;
+                    slot_cursor[s] += 1;
+                }
+                GateDef::Const(_) => {}
+                GateDef::Add(r) => {
+                    for c in circuit.children(*r) {
+                        place(
+                            &mut parent_refs,
+                            &mut parent_cursor,
+                            c.0,
+                            ParentRef::Add(i as u32),
+                        );
+                    }
+                }
+                GateDef::Mul(a, b) => {
+                    place(
+                        &mut parent_refs,
+                        &mut parent_cursor,
+                        a.0,
+                        ParentRef::Mul(i as u32),
+                    );
+                    place(
+                        &mut parent_refs,
+                        &mut parent_cursor,
+                        b.0,
+                        ParentRef::Mul(i as u32),
+                    );
                 }
                 GateDef::Perm { rows, cols } => {
                     let k = *rows as usize;
+                    let cols = circuit.children(*cols);
                     let mut m = ColMatrix::with_capacity(k, cols.len() / k);
                     let mut buf = Vec::with_capacity(k);
                     for (ci, col) in cols.chunks_exact(k).enumerate() {
@@ -126,23 +229,31 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
                         buf.extend(col.iter().map(|g| values[g.0 as usize].clone()));
                         m.push_col(&buf);
                         for (r, child) in col.iter().enumerate() {
-                            parents[child.0 as usize].push(ParentRef::Perm {
-                                gate: i as u32,
-                                row: r as u8,
-                                col: ci as u32,
-                            });
+                            place(
+                                &mut parent_refs,
+                                &mut parent_cursor,
+                                child.0,
+                                ParentRef::Perm {
+                                    gate: i as u32,
+                                    row: r as u8,
+                                    col: ci as u32,
+                                },
+                            );
                         }
                     }
-                    state = Some(P::build(m));
+                    perm_index[i] = perms.len() as u32;
+                    perms.push(P::build(m));
                 }
             }
-            perm_states.push(state);
         }
         DynEvaluator {
             circuit,
             values,
-            parents,
-            perm_states,
+            parent_offsets,
+            parent_refs,
+            perm_index,
+            perms,
+            slot_offsets,
             slot_gates,
             slot_values: slots.to_vec(),
         }
@@ -170,8 +281,10 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
         }
         self.slot_values[slot as usize] = value.clone();
         let mut dirty: BinaryHeap<std::cmp::Reverse<u32>> = BinaryHeap::new();
-        let input_gates = self.slot_gates[slot as usize].clone();
-        for g in input_gates {
+        let start = self.slot_offsets[slot as usize] as usize;
+        let end = self.slot_offsets[slot as usize + 1] as usize;
+        for i in start..end {
+            let g = self.slot_gates[i];
             if self.values[g as usize] != value {
                 self.values[g as usize] = value.clone();
                 self.mark_parents(g, &mut dirty);
@@ -190,8 +303,10 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
         }
     }
 
-    /// Evaluate the output with some slots *temporarily* overwritten —
-    /// the query-by-updates trick of Theorem 8. State is restored.
+    /// Evaluate the output with some slots *temporarily* overwritten via
+    /// full update/restore cycles — the literal query-by-updates trick of
+    /// Theorem 8. Prefer [`DynEvaluator::peek`], which computes the same
+    /// value without touching (and then repairing) persistent state.
     pub fn peek_with(&mut self, patches: &[(u32, S)]) -> S {
         let saved: Vec<(u32, S)> = patches
             .iter()
@@ -207,26 +322,125 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
         out
     }
 
+    /// Evaluate the output with some slots overwritten, **without
+    /// mutating any state**: only the query-bounded cone above the
+    /// patched slots is recomputed, into `scratch`'s overlay. Permanent
+    /// gates answer through the non-mutating [`PermMaint::peek`], so
+    /// nothing has to be committed or rolled back. The scratch is reused
+    /// across calls; clearing is `O(touched)`.
+    pub fn peek(&self, patches: &[(u32, S)], scratch: &mut PeekScratch<S>) -> S {
+        scratch.begin();
+        // Later patches to one slot win; resolve that *before* propagating
+        // so a patch back to the base value cancels an earlier one.
+        let mut resolved = std::mem::take(&mut scratch.resolved);
+        resolved.clear();
+        for (i, (slot, _)) in patches.iter().enumerate() {
+            match resolved.iter_mut().find(|&&mut (s, _)| s == *slot) {
+                Some((_, pi)) => *pi = i,
+                None => resolved.push((*slot, i)),
+            }
+        }
+        for &(slot, pi) in &resolved {
+            let v = &patches[pi].1;
+            let slot = slot as usize;
+            if self.slot_values[slot] == *v {
+                continue;
+            }
+            let start = self.slot_offsets[slot] as usize;
+            let end = self.slot_offsets[slot + 1] as usize;
+            for i in start..end {
+                let g = self.slot_gates[i];
+                if self.values[g as usize] != *v {
+                    scratch.set(g, v.clone());
+                    self.mark_parents_overlay(g, scratch);
+                }
+            }
+        }
+        scratch.resolved = resolved;
+        while let Some(std::cmp::Reverse(g)) = scratch.dirty.pop() {
+            if scratch.dirty.peek() == Some(&std::cmp::Reverse(g)) {
+                continue;
+            }
+            let new = match &self.circuit.gates()[g as usize] {
+                GateDef::Perm { .. } => {
+                    // Assemble this permanent's patch list from the flat
+                    // per-query buffer (no duplicates possible: every
+                    // (row, col) has exactly one child gate, finalized
+                    // once).
+                    let pi = self.perm_index[g as usize];
+                    let mut buf = std::mem::take(&mut scratch.perm_buf);
+                    buf.clear();
+                    buf.extend(
+                        scratch
+                            .perm_patches
+                            .iter()
+                            .filter(|&(p, _r, _c, _v)| *p == pi)
+                            .map(|(_p, r, c, v)| (*r as usize, *c as usize, v.clone())),
+                    );
+                    let out = self.perms[pi as usize].peek(&buf);
+                    scratch.perm_buf = buf;
+                    out
+                }
+                _ => self.recompute_overlay(g, scratch),
+            };
+            if new != self.values[g as usize] {
+                scratch.set(g, new);
+                self.mark_parents_overlay(g, scratch);
+            }
+        }
+        let out = self.circuit.output().0;
+        scratch
+            .get(out)
+            .cloned()
+            .unwrap_or_else(|| self.values[out as usize].clone())
+    }
+
+    /// [`DynEvaluator::peek`] with a one-off scratch (convenience for
+    /// single queries; batch callers should reuse a [`PeekScratch`]).
+    pub fn peek_alloc(&self, patches: &[(u32, S)]) -> S {
+        let mut scratch = PeekScratch::new();
+        self.peek(patches, &mut scratch)
+    }
+
+    fn parents(&self, g: u32) -> std::ops::Range<usize> {
+        self.parent_offsets[g as usize] as usize..self.parent_offsets[g as usize + 1] as usize
+    }
+
     fn mark_parents(&mut self, g: u32, dirty: &mut BinaryHeap<std::cmp::Reverse<u32>>) {
         // Perm parents absorb the new child value into their maintenance
         // structure immediately; value recomputation happens in id order.
-        let parents = std::mem::take(&mut self.parents[g as usize]);
-        for p in &parents {
-            match *p {
+        for i in self.parents(g) {
+            match self.parent_refs[i] {
                 ParentRef::Add(pg) | ParentRef::Mul(pg) => {
                     dirty.push(std::cmp::Reverse(pg));
                 }
                 ParentRef::Perm { gate, row, col } => {
                     let v = self.values[g as usize].clone();
-                    self.perm_states[gate as usize]
-                        .as_mut()
-                        .expect("perm state present")
-                        .update(row as usize, col as usize, v);
+                    let pi = self.perm_index[gate as usize] as usize;
+                    self.perms[pi].update(row as usize, col as usize, v);
                     dirty.push(std::cmp::Reverse(gate));
                 }
             }
         }
-        self.parents[g as usize] = parents;
+    }
+
+    fn mark_parents_overlay(&self, g: u32, scratch: &mut PeekScratch<S>) {
+        for i in self.parents(g) {
+            match self.parent_refs[i] {
+                ParentRef::Add(pg) | ParentRef::Mul(pg) => {
+                    scratch.dirty.push(std::cmp::Reverse(pg));
+                }
+                ParentRef::Perm { gate, row, col } => {
+                    let v = scratch
+                        .get(g)
+                        .expect("overlaid child value present")
+                        .clone();
+                    let pi = self.perm_index[gate as usize];
+                    scratch.perm_patches.push((pi, row as u32, col, v));
+                    scratch.dirty.push(std::cmp::Reverse(gate));
+                }
+            }
+        }
     }
 
     fn recompute(&self, g: u32) -> S {
@@ -234,17 +448,88 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
             GateDef::Input(_) | GateDef::Const(_) => self.values[g as usize].clone(),
             GateDef::Add(children) => {
                 let mut acc = S::zero();
-                for c in children {
+                for c in self.circuit.children(*children) {
                     acc.add_assign(&self.values[c.0 as usize]);
                 }
                 acc
             }
             GateDef::Mul(a, b) => self.values[a.0 as usize].mul(&self.values[b.0 as usize]),
-            GateDef::Perm { .. } => self.perm_states[g as usize]
-                .as_ref()
-                .expect("perm state present")
-                .total(),
+            GateDef::Perm { .. } => self.perms[self.perm_index[g as usize] as usize]
+                .total()
+                .clone(),
         }
+    }
+
+    fn recompute_overlay(&self, g: u32, scratch: &PeekScratch<S>) -> S {
+        let eff = |gate: GateId| scratch.get(gate.0).unwrap_or(&self.values[gate.0 as usize]);
+        match &self.circuit.gates()[g as usize] {
+            GateDef::Input(_) | GateDef::Const(_) => self.values[g as usize].clone(),
+            GateDef::Add(children) => {
+                let mut acc = S::zero();
+                for c in self.circuit.children(*children) {
+                    acc.add_assign(eff(*c));
+                }
+                acc
+            }
+            GateDef::Mul(a, b) => eff(*a).mul(eff(*b)),
+            GateDef::Perm { .. } => unreachable!("perm gates handled in the peek loop"),
+        }
+    }
+}
+
+/// Reusable scratch state of the zero-restore query path
+/// ([`DynEvaluator::peek`]): a value overlay over the touched gates,
+/// a flat per-query permanent patch buffer, and the dirty queue. One
+/// scratch serves any number of queries against evaluators of one
+/// circuit; `begin` clears the buffers while keeping their capacity, so
+/// the per-query cost is bounded by the scratch's high-water mark, not
+/// the circuit size.
+///
+/// The overlay is a *small* hash map (gate → value, Fx-hashed) rather
+/// than a gate-indexed array: a point query touches a query-bounded
+/// handful of gates, so the whole scratch stays cache-resident instead of
+/// striding through circuit-sized buffers.
+pub struct PeekScratch<S> {
+    overlay: agq_semiring::fx::FxHashMap<u32, S>,
+    /// Flat per-query patch buffer: `(perm index, row, col, value)`.
+    perm_patches: Vec<(u32, u32, u32, S)>,
+    /// Assembly buffer for one permanent's patches.
+    perm_buf: Vec<(usize, usize, S)>,
+    dirty: BinaryHeap<std::cmp::Reverse<u32>>,
+    /// Slot-dedup buffer: `(slot, index of its last patch)`.
+    resolved: Vec<(u32, usize)>,
+}
+
+impl<S> PeekScratch<S> {
+    /// Empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        PeekScratch {
+            overlay: agq_semiring::fx::FxHashMap::default(),
+            perm_patches: Vec::new(),
+            perm_buf: Vec::new(),
+            dirty: BinaryHeap::new(),
+            resolved: Vec::new(),
+        }
+    }
+
+    fn begin(&mut self) {
+        self.overlay.clear();
+        self.perm_patches.clear();
+        self.dirty.clear();
+    }
+
+    fn set(&mut self, gate: u32, value: S) {
+        self.overlay.insert(gate, value);
+    }
+
+    fn get(&self, gate: u32) -> Option<&S> {
+        self.overlay.get(&gate)
+    }
+}
+
+impl<S> Default for PeekScratch<S> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -304,8 +589,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let mut slots: Vec<Nat> = (0..2 * n).map(|_| Nat(rng.gen_range(0..5))).collect();
         let lit = Nat(3);
-        let mut ev: GeneralEvaluator<Nat> =
-            DynEvaluator::new(circuit, &slots, &[lit]);
+        let mut ev: GeneralEvaluator<Nat> = DynEvaluator::new(circuit, &slots, &[lit]);
         assert_eq!(*ev.output(), reference_eval(&slots, lit, n));
         for _ in 0..50 {
             let s = rng.gen_range(0..2 * n) as u32;
@@ -322,8 +606,7 @@ mod tests {
         let circuit = Arc::new(test_circuit(n));
         let mut rng = SmallRng::seed_from_u64(9);
         let slots: Vec<Int> = (0..2 * n).map(|_| Int(rng.gen_range(-3..4))).collect();
-        let mut gen: GeneralEvaluator<Int> =
-            DynEvaluator::new(circuit.clone(), &slots, &[Int(0)]);
+        let mut gen: GeneralEvaluator<Int> = DynEvaluator::new(circuit.clone(), &slots, &[Int(0)]);
         let mut ring: RingEvaluator<Int> = DynEvaluator::new(circuit, &slots, &[Int(0)]);
         for _ in 0..40 {
             let s = rng.gen_range(0..2 * n) as u32;
@@ -342,8 +625,7 @@ mod tests {
         let slots: Vec<Bool> = (0..2 * n).map(|_| Bool(rng.gen_bool(0.5))).collect();
         let mut fin: FiniteEvaluator<Bool> =
             DynEvaluator::new(circuit.clone(), &slots, &[Bool(false)]);
-        let mut gen: GeneralEvaluator<Bool> =
-            DynEvaluator::new(circuit, &slots, &[Bool(false)]);
+        let mut gen: GeneralEvaluator<Bool> = DynEvaluator::new(circuit, &slots, &[Bool(false)]);
         for _ in 0..40 {
             let s = rng.gen_range(0..2 * n) as u32;
             let v = Bool(rng.gen_bool(0.5));
@@ -358,10 +640,80 @@ mod tests {
         let n = 4;
         let circuit = Arc::new(test_circuit(n));
         let slots: Vec<MinPlus> = (0..2 * n).map(|i| MinPlus(i as u64 + 1)).collect();
-        let mut ev: GeneralEvaluator<MinPlus> =
-            DynEvaluator::new(circuit, &slots, &[MinPlus::INF]);
+        let mut ev: GeneralEvaluator<MinPlus> = DynEvaluator::new(circuit, &slots, &[MinPlus::INF]);
         let before = *ev.output();
         let _ = ev.peek_with(&[(0, MinPlus(0)), (3, MinPlus::INF)]);
         assert_eq!(*ev.output(), before);
+    }
+
+    /// Run random overlay peeks against `peek_with` on one evaluator and
+    /// check values agree and no state changes (the evaluator is also
+    /// updated between peeks to vary the base state).
+    fn overlay_agrees_with_peek_with<P: PermMaint<Int>>(seed: u64) {
+        let n = 5;
+        let circuit = Arc::new(test_circuit(n));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let slots: Vec<Int> = (0..2 * n).map(|_| Int(rng.gen_range(-3..4))).collect();
+        let mut ev: DynEvaluator<Int, P> = DynEvaluator::new(circuit, &slots, &[Int(2)]);
+        let mut scratch = PeekScratch::new();
+        for round in 0..40 {
+            let patches: Vec<(u32, Int)> = (0..rng.gen_range(1..4))
+                .map(|_| (rng.gen_range(0..2 * n) as u32, Int(rng.gen_range(-3..4))))
+                .collect();
+            let before = *ev.output();
+            let peeked = ev.peek(&patches, &mut scratch);
+            assert_eq!(*ev.output(), before, "overlay peek must not mutate");
+            let classic = ev.peek_with(&patches);
+            assert_eq!(peeked, classic, "round {round}: overlay vs peek_with");
+            assert_eq!(*ev.output(), before, "peek_with must restore");
+            // mutate the base state and keep going
+            let s = rng.gen_range(0..2 * n) as u32;
+            ev.set_input(s, Int(rng.gen_range(-3..4)));
+        }
+    }
+
+    #[test]
+    fn overlay_peek_general_backend() {
+        overlay_agrees_with_peek_with::<SegTreePerm<Int>>(31);
+    }
+
+    #[test]
+    fn overlay_peek_ring_backend() {
+        overlay_agrees_with_peek_with::<RingMaint<Int>>(32);
+    }
+
+    #[test]
+    fn overlay_peek_finite_backend() {
+        // Nat is not finite; use Bool for the finite backend instead.
+        let n = 5;
+        let circuit = Arc::new(test_circuit(n));
+        let mut rng = SmallRng::seed_from_u64(33);
+        let slots: Vec<Bool> = (0..2 * n).map(|_| Bool(rng.gen_bool(0.5))).collect();
+        let mut ev: FiniteEvaluator<Bool> = DynEvaluator::new(circuit, &slots, &[Bool(true)]);
+        let mut scratch = PeekScratch::new();
+        for _ in 0..40 {
+            let patches: Vec<(u32, Bool)> = (0..rng.gen_range(1..4))
+                .map(|_| (rng.gen_range(0..2 * n) as u32, Bool(rng.gen_bool(0.5))))
+                .collect();
+            let before = *ev.output();
+            let peeked = ev.peek(&patches, &mut scratch);
+            assert_eq!(*ev.output(), before);
+            assert_eq!(peeked, ev.peek_with(&patches));
+            let s = rng.gen_range(0..2 * n) as u32;
+            ev.set_input(s, Bool(rng.gen_bool(0.5)));
+        }
+    }
+
+    #[test]
+    fn peek_alloc_matches_scratch_reuse() {
+        let n = 4;
+        let circuit = Arc::new(test_circuit(n));
+        let slots: Vec<Nat> = (0..2 * n).map(|i| Nat(i as u64 % 3)).collect();
+        let ev: GeneralEvaluator<Nat> = DynEvaluator::new(circuit, &slots, &[Nat(1)]);
+        let patches = [(0u32, Nat(7)), (5u32, Nat(0))];
+        let mut scratch = PeekScratch::new();
+        assert_eq!(ev.peek(&patches, &mut scratch), ev.peek_alloc(&patches));
+        // empty patch list returns the current output
+        assert_eq!(ev.peek(&[], &mut scratch), *ev.output());
     }
 }

@@ -17,7 +17,7 @@ pub fn eval_gates<S: Semiring>(circuit: &Circuit, slots: &[S], lits: &[S]) -> Ve
             GateDef::Const(ConstRef::Lit(i)) => lits[*i as usize].clone(),
             GateDef::Add(children) => {
                 let mut acc = S::zero();
-                for c in children {
+                for c in circuit.children(*children) {
                     acc.add_assign(&values[c.0 as usize]);
                 }
                 acc
@@ -27,7 +27,7 @@ pub fn eval_gates<S: Semiring>(circuit: &Circuit, slots: &[S], lits: &[S]) -> Ve
                 let k = *rows as usize;
                 let mut acc = PrefixPerm::new(k);
                 let mut col_buf: Vec<S> = Vec::with_capacity(k);
-                for col in cols.chunks_exact(k) {
+                for col in circuit.children(*cols).chunks_exact(k) {
                     col_buf.clear();
                     col_buf.extend(col.iter().map(|g| values[g.0 as usize].clone()));
                     acc.push_col(&col_buf);
@@ -65,13 +65,7 @@ mod tests {
         let mut b = CircuitBuilder::new();
         let inputs: Vec<_> = (0..9).map(|i| b.input(i)).collect();
         let cols: Vec<_> = (0..3)
-            .map(|c| {
-                [
-                    inputs[c * 3],
-                    inputs[c * 3 + 1],
-                    inputs[c * 3 + 2],
-                ]
-            })
+            .map(|c| [inputs[c * 3], inputs[c * 3 + 1], inputs[c * 3 + 2]])
             .collect();
         let flat: Vec<_> = cols.iter().flat_map(|x| x.iter().copied()).collect();
         let p = b.perm_flat(3, flat);

@@ -9,6 +9,19 @@
 //! references (`0`, `1`, or an index into a per-evaluation literal table)
 //! precisely so the circuit stays semiring-agnostic.
 //!
+//! # Flat-arena IR
+//!
+//! A compiled circuit is a handful of contiguous allocations, not one per
+//! gate: every gate's child list lives in one shared `Vec<GateId>` arena,
+//! and a [`GateDef`] stores only a [`ChildRange`] (offset + length) into
+//! it. [`Circuit::children`] resolves a range to a slice. [`GateDef`] is
+//! therefore `Copy`-cheap, gate iteration is cache-friendly, and circuits
+//! serialize/compare as plain flat buffers. The dynamic evaluator mirrors
+//! this layout: its parent lists and per-slot input-gate lists are CSR
+//! (offset table + one flat buffer), built in two counting passes.
+//!
+//! # Evaluation
+//!
 //! * [`Circuit`]/[`CircuitBuilder`] — construction with topological-id
 //!   invariants and peephole zero/one pruning;
 //! * [`Circuit::eval`] — one-shot evaluation (streaming permanents,
@@ -20,6 +33,18 @@
 //!   finite semirings);
 //! * [`CircuitStats`] — depth, fan-out, permanent-row bounds; the
 //!   quantities Theorem 6 promises are constant.
+//!
+//! # Zero-restore queries
+//!
+//! [`DynEvaluator::set_input`] mutates persistent state and repairs the
+//! affected cone. Point queries, however, only need the output *as if*
+//! some inputs were patched: [`DynEvaluator::peek`] evaluates exactly the
+//! query-bounded cone above the patched slots into a reusable
+//! [`PeekScratch`] overlay — no state is written, nothing is restored,
+//! and permanent gates answer through the non-mutating
+//! [`PermMaint::peek`]. This halves the maintenance-structure work of the
+//! classic `2|x̄|`-update trick (`peek_with`) and, taking `&self`, makes
+//! batched and concurrent point queries possible.
 
 mod builder;
 mod dynamic;
@@ -28,8 +53,8 @@ mod stats;
 
 pub use builder::CircuitBuilder;
 pub use dynamic::{
-    DynEvaluator, FiniteEvaluator, FiniteMaint, GeneralEvaluator, PermMaint, RingEvaluator,
-    RingMaint,
+    DynEvaluator, FiniteEvaluator, FiniteMaint, GeneralEvaluator, PeekScratch, PermMaint,
+    RingEvaluator, RingMaint,
 };
 pub use eval::eval_gates;
 pub use stats::CircuitStats;
@@ -52,33 +77,65 @@ pub enum ConstRef {
     Lit(u32),
 }
 
+/// A contiguous run of child references in the circuit's shared arena
+/// (resolve with [`Circuit::children`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChildRange {
+    start: u32,
+    len: u32,
+}
+
+impl ChildRange {
+    /// Number of children in the range.
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    fn as_range(self) -> std::ops::Range<usize> {
+        self.start as usize..(self.start + self.len) as usize
+    }
+}
+
 /// One gate. Children always have smaller ids (topological invariant,
-/// enforced by [`CircuitBuilder`]).
-#[derive(Clone, Debug, PartialEq)]
+/// enforced by [`CircuitBuilder`]); child lists live in the circuit's
+/// shared arena.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum GateDef {
     /// External input, identified by a dense *slot* index.
     Input(u32),
     /// A constant.
     Const(ConstRef),
-    /// Sum of the children. The compiler only emits query-bounded fan-in
-    /// here; data-sized sums go through 1-row permanent gates.
-    Add(Vec<GateId>),
+    /// Sum of the referenced children. The compiler only emits
+    /// query-bounded fan-in here; data-sized sums go through 1-row
+    /// permanent gates.
+    Add(ChildRange),
     /// Product of two children.
     Mul(GateId, GateId),
-    /// Permanent of a `rows × (cols.len()/rows)` matrix; `cols` is
-    /// column-major (entry `(r, c)` at `cols[c*rows + r]`).
+    /// Permanent of a `rows × (cols.len()/rows)` matrix; the referenced
+    /// children are column-major (entry `(r, c)` at `cols[c*rows + r]`).
     Perm {
         /// Number of rows (≤ `agq_perm::MAX_ROWS`).
         rows: u8,
         /// Column-major child references.
-        cols: Vec<GateId>,
+        cols: ChildRange,
     },
 }
 
 /// An immutable circuit with a distinguished output gate.
-#[derive(Clone, Debug)]
+///
+/// Storage is a flat arena: `gates` (one fixed-size [`GateDef`] each) and
+/// `children` (every gate's child list, concatenated). Equality compares
+/// both buffers — two circuits are `==` exactly when they are
+/// byte-identical IR.
+#[derive(Clone, Debug, PartialEq)]
 pub struct Circuit {
     gates: Vec<GateDef>,
+    children: Vec<GateId>,
     num_slots: u32,
     num_lits: u32,
     output: GateId,
@@ -88,6 +145,17 @@ impl Circuit {
     /// The gates, in topological order.
     pub fn gates(&self) -> &[GateDef] {
         &self.gates
+    }
+
+    /// Resolve a child range to its slice of the shared arena.
+    pub fn children(&self, range: ChildRange) -> &[GateId] {
+        &self.children[range.as_range()]
+    }
+
+    /// The whole child arena (total wire count is its length plus two per
+    /// `Mul` gate).
+    pub fn child_arena(&self) -> &[GateId] {
+        &self.children
     }
 
     /// The output gate.
@@ -190,5 +258,29 @@ mod tests {
         let s = b.add(&[m, one]);
         let circuit = b.finish(s);
         assert_eq!(circuit.eval(&[Nat(5)], &[Nat(3)]), Nat(16));
+    }
+
+    #[test]
+    fn arena_holds_all_child_lists() {
+        let mut b = CircuitBuilder::new();
+        let x = b.input(0);
+        let y = b.input(1);
+        let s = b.add(&[x, y]);
+        let p = b.perm_flat(2, vec![x, y, s, x]);
+        let out = b.add(&[s, p]);
+        let c = b.finish(out);
+        // Add(x,y) + Perm cols (x,y,s,x) + Add(s,p) = 8 arena entries.
+        assert_eq!(c.child_arena().len(), 8);
+        match c.gates()[s.0 as usize] {
+            GateDef::Add(r) => assert_eq!(c.children(r), &[x, y]),
+            ref g => panic!("expected add, got {g:?}"),
+        }
+        match c.gates()[p.0 as usize] {
+            GateDef::Perm { rows, cols } => {
+                assert_eq!(rows, 2);
+                assert_eq!(c.children(cols), &[x, y, s, x]);
+            }
+            ref g => panic!("expected perm, got {g:?}"),
+        }
     }
 }

@@ -46,6 +46,7 @@ pub fn compute(circuit: &Circuit) -> CircuitStats {
         match g {
             GateDef::Input(_) | GateDef::Const(_) => {}
             GateDef::Add(children) => {
+                let children = circuit.children(*children);
                 max_add_fanin = max_add_fanin.max(children.len());
                 num_edges += children.len();
                 let mut d = 0;
@@ -62,6 +63,7 @@ pub fn compute(circuit: &Circuit) -> CircuitStats {
                 depth[i] = depth[a.0 as usize].max(depth[b.0 as usize]) + 1;
             }
             GateDef::Perm { rows, cols } => {
+                let cols = circuit.children(*cols);
                 let k = *rows as usize;
                 max_perm_rows = max_perm_rows.max(k);
                 max_perm_cols = max_perm_cols.max(cols.len() / k.max(1));

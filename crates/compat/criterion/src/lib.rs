@@ -1,0 +1,181 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this crate implements
+//! the API subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — as a small wall-clock harness. Each
+//! benchmark is calibrated to a per-sample time budget, run for a fixed
+//! number of samples, and reported as `min / median / mean` nanoseconds
+//! per iteration on stdout. No statistics machinery, no HTML reports;
+//! just honest timings with the same source-level interface.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id made of a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    /// Total measured time of the last run.
+    elapsed: Duration,
+    /// Iterations of the last run.
+    iters: u64,
+    /// Per-sample time budget.
+    budget: Duration,
+}
+
+impl Bencher {
+    fn run<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        // Calibrate: find an iteration count filling the sample budget.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(payload());
+            }
+            let spent = t0.elapsed();
+            if spent >= self.budget || iters >= 1 << 20 {
+                self.elapsed = spent;
+                self.iters = iters;
+                return;
+            }
+            let grow = if spent.is_zero() {
+                16
+            } else {
+                (self.budget.as_nanos() / spent.as_nanos().max(1)).clamp(2, 16) as u64
+            };
+            iters = iters.saturating_mul(grow);
+        }
+    }
+
+    /// Time `payload`, criterion-style.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, payload: F) {
+        self.run(payload);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark (criterion's `sample_size`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    fn run_bench(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 1,
+            budget: Duration::from_millis(10),
+        };
+        // One warm-up sample, discarded.
+        f(&mut b);
+        for _ in 0..self.samples {
+            f(&mut b);
+            per_iter.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let min = per_iter.first().copied().unwrap_or(0.0);
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{}/{id}: min {min:.1} ns, median {median:.1} ns, mean {mean:.1} ns \
+             ({} samples)",
+            self.name, self.samples
+        );
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        self.run_bench(id, &mut f);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into().id;
+        self.run_bench(id, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (report output is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group {name}");
+        BenchmarkGroup {
+            name,
+            samples: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declare a group of benchmark functions (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main` (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,17 +1,34 @@
 //! The Theorem 6 compiler: weighted expression × structure → circuit.
+//!
+//! Compilation decomposes over color sets `D` (identity (12)–(13) of the
+//! paper): each `D` contributes an independent family of gates, built
+//! against the DFS forest of `G[D]`. That independence is exploited twice:
+//!
+//! * **sequentially**, each `(D, term)` unit is instantiated straight into
+//!   the main builder;
+//! * **in parallel** ([`CompileOptions::threads`]), workers instantiate
+//!   units into *local* builders with local slot registries, and a
+//!   deterministic merge replays the unit gate streams into the main
+//!   builder in color-set order, re-interning inputs and constants.
+//!
+//! The merge performs exactly the interning and peephole decisions the
+//! sequential path would, so the parallel compiler's output circuit is
+//! **byte-identical** to the sequential one (checked by the differential
+//! test suite).
 
 use crate::shape::{enumerate_shapes, Shape};
 use crate::slots::{SlotKey, SlotRegistry};
 use crate::term::{expand_distinct, DistinctTerm};
 use crate::CompileError;
-use agq_circuit::{Circuit, CircuitBuilder, CircuitStats, GateId};
+use agq_circuit::{Circuit, CircuitBuilder, CircuitStats, ConstRef, GateDef, GateId};
 use agq_graph::Graph;
 use agq_logic::{NormalForm, Var};
 use agq_semiring::Semiring;
 use agq_structure::fx::FxHashMap;
 use agq_structure::gaifman::gaifman_graph;
 use agq_structure::{Elem, RelId, Structure, Tuple, WeightId};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Compilation knobs.
 #[derive(Clone, Debug)]
@@ -24,6 +41,10 @@ pub struct CompileOptions {
     /// Compile relational atoms as 0/1 *inputs* instead of static checks,
     /// enabling Gaifman-preserving updates (Theorem 24 / Lemma 40).
     pub dynamic_atoms: bool,
+    /// Worker threads for compilation: `0` = one per available core,
+    /// `1` = sequential. The parallel compiler's output is byte-identical
+    /// to the sequential one.
+    pub threads: usize,
 }
 
 impl Default for CompileOptions {
@@ -32,6 +53,7 @@ impl Default for CompileOptions {
             depth_cap: 24,
             max_shapes: 200_000,
             dynamic_atoms: false,
+            threads: 0,
         }
     }
 }
@@ -78,7 +100,10 @@ pub fn compile<S: Semiring>(
     opts: &CompileOptions,
 ) -> Result<CompiledQuery<S>, CompileError> {
     let free_vars = nf.free_vars();
-    assert!(free_vars.len() <= u8::MAX as usize, "too many free variables");
+    assert!(
+        free_vars.len() <= u8::MAX as usize,
+        "too many free variables"
+    );
 
     // Distinctness expansion of every term.
     let mut dterms: Vec<DistinctTerm<S>> = Vec::new();
@@ -91,39 +116,28 @@ pub fn compile<S: Semiring>(
     let coloring = agq_graph::low_treedepth_coloring(&gaifman, p.max(1));
     let classes = coloring.classes();
 
-    let mut ctx = Ctx {
-        a,
-        gaifman: &gaifman,
-        colors: &coloring.colors,
-        builder: CircuitBuilder::new(),
-        slots: SlotRegistry::new(),
-        lits: Vec::new(),
-        opts,
-        shape_cache: FxHashMap::default(),
-        input_cache: FxHashMap::default(),
-        table: Vec::new(),
-    };
+    let mut emit = Emit::new();
+    let mut lits: Vec<S> = Vec::new();
 
     // Literal table: intern per-term coefficients.
     let coeff_gate: Vec<GateId> = dterms
         .iter()
         .map(|d| {
             if d.coeff.is_one() {
-                ctx.builder.one()
+                emit.builder.one()
             } else {
-                let idx = match ctx.lits.iter().position(|l: &S| *l == d.coeff) {
+                let idx = match lits.iter().position(|l: &S| *l == d.coeff) {
                     Some(i) => i as u32,
                     None => {
-                        ctx.lits.push(d.coeff.clone());
-                        (ctx.lits.len() - 1) as u32
+                        lits.push(d.coeff.clone());
+                        (lits.len() - 1) as u32
                     }
                 };
-                ctx.builder.lit(idx)
+                emit.builder.lit(idx)
             }
         })
         .collect();
 
-    let mut forest = SubForest::new(a.domain_size());
     let mut top_gates: Vec<GateId> = Vec::new();
     let mut report = CompileReport {
         num_colors: coloring.num_colors,
@@ -156,66 +170,131 @@ pub fn compile<S: Semiring>(
     let mut subsets: Vec<Vec<u32>> = Vec::new();
     enumerate_subsets(num_colors, p, &mut subset, 0, &mut subsets);
 
-    for d_set in &subsets {
-        // Build the forest over the union of the chosen color classes.
-        forest.build(&gaifman, d_set.iter().map(|&c| classes[c as usize].as_slice()));
-        if forest.preorder.is_empty() {
-            forest.reset();
-            continue;
-        }
-        report.num_subsets += 1;
-        let depth = forest.max_depth;
-        if depth > opts.depth_cap {
-            forest.reset();
-            return Err(CompileError::DepthCapExceeded {
-                depth,
-                cap: opts.depth_cap,
-            });
-        }
-        report.max_forest_depth = report.max_forest_depth.max(depth);
+    let shared = Shared {
+        a,
+        gaifman: &gaifman,
+        colors: &coloring.colors,
+        opts,
+        dterms: &dterms,
+        plan_cache: Mutex::new(FxHashMap::default()),
+    };
 
-        for (ti, dt) in dterms.iter().enumerate() {
-            if dt.k < d_set.len() || dt.k == 0 {
+    let threads = match opts.threads {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        t => t,
+    }
+    .min(subsets.len())
+    .max(1);
+
+    if threads <= 1 {
+        // Sequential: units go straight into the main builder.
+        let mut forest = SubForest::new(a.domain_size());
+        for d_set in &subsets {
+            forest.build(
+                &gaifman,
+                d_set.iter().map(|&c| classes[c as usize].as_slice()),
+            );
+            if forest.preorder.is_empty() {
+                forest.reset();
                 continue;
             }
-            let plans = ctx.plans_for(ti, dt, depth as u8)?;
-            if plans.is_empty() {
-                continue;
+            report.num_subsets += 1;
+            let depth = forest.max_depth;
+            if depth > opts.depth_cap {
+                forest.reset();
+                return Err(CompileError::DepthCapExceeded {
+                    depth,
+                    cap: opts.depth_cap,
+                });
             }
-            // Surjective colorings c : vars → D.
-            let mut c_assign = vec![0u32; dt.k];
-            let mut gates_for_term: Vec<GateId> = Vec::new();
-            surjections(dt.k, d_set, &mut c_assign, 0, &mut |c_assign| {
-                for (shape, plan) in plans.iter() {
-                    if shape.max_depth() as u32 > depth {
-                        continue;
-                    }
-                    report.shapes_instantiated += 1;
-                    let g = instantiate(&mut ctx, &forest, shape, plan, c_assign);
-                    if !ctx.builder.is_zero(g) {
-                        gates_for_term.push(g);
-                    }
+            report.max_forest_depth = report.max_forest_depth.max(depth);
+            for (ti, dt) in dterms.iter().enumerate() {
+                if dt.k < d_set.len() || dt.k == 0 {
+                    continue;
                 }
-            });
-            if !gates_for_term.is_empty() {
-                let sum = add_balanced(&mut ctx.builder, &gates_for_term);
-                let gated = ctx.builder.mul(coeff_gate[ti], sum);
-                top_gates.push(gated);
+                let tops = match instantiate_term(
+                    &shared,
+                    &forest,
+                    depth as u8,
+                    d_set,
+                    ti,
+                    dt,
+                    &mut emit,
+                    &mut report.shapes_instantiated,
+                ) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        forest.reset();
+                        return Err(e);
+                    }
+                };
+                push_term_sum(&mut emit.builder, coeff_gate[ti], &tops, &mut top_gates);
+            }
+            forest.reset();
+        }
+    } else {
+        // Parallel: workers instantiate (color set × term) units into
+        // local builders; the merge below replays them in order.
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Result<DsetOut, CompileError>>>> =
+            (0..subsets.len()).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut forest = SubForest::new(a.domain_size());
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= subsets.len() {
+                            break;
+                        }
+                        let out = process_dset_unit(&shared, &mut forest, &subsets[idx], &classes);
+                        *results[idx].lock().expect("result lock") = Some(out);
+                    }
+                });
+            }
+        });
+        // Deterministic merge, in color-set order. The first failing
+        // color set (in order) reports its error, as sequentially.
+        for cell in results {
+            let out = cell
+                .into_inner()
+                .expect("result lock")
+                .expect("worker completed")?;
+            report.num_subsets += out.num_subsets;
+            report.shapes_instantiated += out.shapes_instantiated;
+            report.max_forest_depth = report.max_forest_depth.max(out.forest_depth);
+            for tu in &out.term_units {
+                let tops = merge_term_unit(&mut emit, tu);
+                push_term_sum(&mut emit.builder, coeff_gate[tu.ti], &tops, &mut top_gates);
             }
         }
-        forest.reset();
     }
 
-    let output = add_balanced(&mut ctx.builder, &top_gates);
-    let circuit = ctx.builder.finish(output);
+    let output = add_balanced(&mut emit.builder, &top_gates);
+    let circuit = emit.builder.finish(output);
     report.stats = circuit.stats();
     Ok(CompiledQuery {
         circuit: Arc::new(circuit),
-        slots: ctx.slots,
-        lits: ctx.lits,
+        slots: emit.slots,
+        lits,
         free_vars,
         report,
     })
+}
+
+/// Sum a term's instantiation gates, apply its coefficient, and collect
+/// the result (no-op when the term contributed nothing).
+fn push_term_sum(
+    builder: &mut CircuitBuilder,
+    coeff: GateId,
+    tops: &[GateId],
+    top_gates: &mut Vec<GateId>,
+) {
+    if !tops.is_empty() {
+        let sum = add_balanced(builder, tops);
+        let gated = builder.mul(coeff, sum);
+        top_gates.push(gated);
+    }
 }
 
 fn enumerate_subsets(
@@ -239,28 +318,16 @@ fn enumerate_subsets(
 }
 
 /// Enumerate surjections `vars → d_set` (as color-per-var assignments).
-fn surjections(
-    k: usize,
-    d_set: &[u32],
-    assign: &mut [u32],
-    i: usize,
-    f: &mut impl FnMut(&[u32]),
-) {
+fn surjections(k: usize, d_set: &[u32], assign: &mut [u32], i: usize, f: &mut impl FnMut(&[u32])) {
     if i == k {
         // surjectivity check
-        if d_set
-            .iter()
-            .all(|c| assign.iter().any(|a| a == c))
-        {
+        if d_set.iter().all(|c| assign.iter().any(|a| a == c)) {
             f(assign);
         }
         return;
     }
     // prune: remaining slots must cover missing colors
-    let missing = d_set
-        .iter()
-        .filter(|c| !assign[..i].contains(c))
-        .count();
+    let missing = d_set.iter().filter(|c| !assign[..i].contains(c)).count();
     if missing > k - i {
         return;
     }
@@ -328,8 +395,7 @@ struct ShapePlan {
 
 fn analyze<S: Semiring>(dt: &DistinctTerm<S>, shape: &Shape) -> Option<ShapePlan> {
     let n = shape.len();
-    let mut nodes_by_depth: Vec<Vec<u32>> =
-        vec![Vec::new(); shape.max_depth() as usize + 1];
+    let mut nodes_by_depth: Vec<Vec<u32>> = vec![Vec::new(); shape.max_depth() as usize + 1];
     for t in 0..n as u32 {
         nodes_by_depth[shape.depth[t as usize] as usize].push(t);
     }
@@ -364,10 +430,7 @@ fn analyze<S: Semiring>(dt: &DistinctTerm<S>, shape: &Shape) -> Option<ShapePlan
         });
     }
     for (w, args) in &dt.weights {
-        let nodes: Vec<u32> = args
-            .iter()
-            .map(|&v| shape.var_node[v as usize])
-            .collect();
+        let nodes: Vec<u32> = args.iter().map(|&v| shape.var_node[v as usize]).collect();
         if !pairwise_comparable(shape, &nodes) {
             return None; // weights are supported on tuples, i.e. cliques
         }
@@ -402,53 +465,50 @@ fn pairwise_comparable(shape: &Shape, nodes: &[u32]) -> bool {
 // Compilation context and the Lemma 29 instantiation.
 // ---------------------------------------------------------------------
 
-struct Ctx<'a, S> {
+/// Read-only state shared by every compilation unit (and every worker
+/// thread in parallel mode).
+struct Shared<'a, S> {
     a: &'a Structure,
     gaifman: &'a Graph,
     colors: &'a [u32],
-    builder: CircuitBuilder,
-    slots: SlotRegistry,
-    lits: Vec<S>,
     opts: &'a CompileOptions,
+    dterms: &'a [DistinctTerm<S>],
     /// `(term index, forest depth)` → analyzed shapes.
-    shape_cache: FxHashMap<(usize, u8), PlanSet>,
-    /// One input gate per slot.
-    input_cache: FxHashMap<u32, GateId>,
-    /// Dense (shape node × preorder position) scratch for instantiation.
-    table: Vec<u32>,
+    plan_cache: Mutex<FxHashMap<(usize, u8), PlanSet>>,
 }
 
-impl<'a, S: Semiring> Ctx<'a, S> {
+impl<S: Semiring> Shared<'_, S> {
     fn plans_for(
-        &mut self,
+        &self,
         ti: usize,
         dt: &DistinctTerm<S>,
         depth: u8,
     ) -> Result<PlanSet, CompileError> {
-        if let Some(p) = self.shape_cache.get(&(ti, depth)) {
+        if let Some(p) = self
+            .plan_cache
+            .lock()
+            .expect("plan cache")
+            .get(&(ti, depth))
+        {
             return Ok(p.clone());
         }
-        let shapes = enumerate_shapes(dt.k, depth, &dt.comparability, self.opts.max_shapes)
-            .ok_or(CompileError::TooManyShapes {
+        // Computed outside the lock: a racing worker may duplicate the
+        // work, but the value is deterministic, so either insert wins.
+        let shapes = enumerate_shapes(dt.k, depth, &dt.comparability, self.opts.max_shapes).ok_or(
+            CompileError::TooManyShapes {
                 cap: self.opts.max_shapes,
-            })?;
+            },
+        )?;
         let plans: Vec<(Shape, ShapePlan)> = shapes
             .into_iter()
             .filter_map(|s| analyze(dt, &s).map(|p| (s, p)))
             .collect();
         let plans = Arc::new(plans);
-        self.shape_cache.insert((ti, depth), plans.clone());
+        self.plan_cache
+            .lock()
+            .expect("plan cache")
+            .insert((ti, depth), plans.clone());
         Ok(plans)
-    }
-
-    fn input(&mut self, key: SlotKey) -> GateId {
-        let slot = self.slots.intern(key);
-        if let Some(&g) = self.input_cache.get(&slot) {
-            return g;
-        }
-        let g = self.builder.input(slot);
-        self.input_cache.insert(slot, g);
-        g
     }
 
     /// Whether a tuple's distinct elements are pairwise adjacent in the
@@ -468,10 +528,204 @@ impl<'a, S: Semiring> Ctx<'a, S> {
     /// weight-support condition of Section 3.
     fn on_support(&self, tuple: &[Elem]) -> bool {
         let sig = self.a.signature();
-        sig.relation_ids().any(|r| {
-            sig.relation_arity(r) == tuple.len() && self.a.holds(r, tuple)
-        })
+        sig.relation_ids()
+            .any(|r| sig.relation_arity(r) == tuple.len() && self.a.holds(r, tuple))
     }
+}
+
+/// Mutable gate-emission state: a builder, its slot registry, and scratch
+/// buffers. The sequential path uses one; each parallel unit uses its
+/// own, merged later.
+struct Emit {
+    builder: CircuitBuilder,
+    slots: SlotRegistry,
+    /// One input gate per slot.
+    input_cache: FxHashMap<u32, GateId>,
+    /// Dense (shape node × preorder position) scratch for instantiation.
+    table: Vec<u32>,
+}
+
+impl Emit {
+    fn new() -> Self {
+        Emit {
+            builder: CircuitBuilder::new(),
+            slots: SlotRegistry::new(),
+            input_cache: FxHashMap::default(),
+            table: Vec::new(),
+        }
+    }
+
+    fn input(&mut self, key: SlotKey) -> GateId {
+        let slot = self.slots.intern(key);
+        if let Some(&g) = self.input_cache.get(&slot) {
+            return g;
+        }
+        let g = self.builder.input(slot);
+        self.input_cache.insert(slot, g);
+        g
+    }
+}
+
+/// One term's contribution to one color set, built in a unit-local
+/// builder: its gate stream, local slot registry, and the (local ids of)
+/// its per-(surjection, shape) top gates.
+struct TermUnit {
+    ti: usize,
+    builder: CircuitBuilder,
+    slots: SlotRegistry,
+    tops: Vec<GateId>,
+}
+
+/// A worker's output for one color set.
+struct DsetOut {
+    num_subsets: usize,
+    shapes_instantiated: usize,
+    forest_depth: u32,
+    term_units: Vec<TermUnit>,
+}
+
+/// Parallel worker body: build the forest of one color set and
+/// instantiate every eligible term into its own local builder.
+fn process_dset_unit<S: Semiring>(
+    shared: &Shared<'_, S>,
+    forest: &mut SubForest,
+    d_set: &[u32],
+    classes: &[Vec<u32>],
+) -> Result<DsetOut, CompileError> {
+    forest.build(
+        shared.gaifman,
+        d_set.iter().map(|&c| classes[c as usize].as_slice()),
+    );
+    if forest.preorder.is_empty() {
+        forest.reset();
+        return Ok(DsetOut {
+            num_subsets: 0,
+            shapes_instantiated: 0,
+            forest_depth: 0,
+            term_units: Vec::new(),
+        });
+    }
+    let depth = forest.max_depth;
+    if depth > shared.opts.depth_cap {
+        forest.reset();
+        return Err(CompileError::DepthCapExceeded {
+            depth,
+            cap: shared.opts.depth_cap,
+        });
+    }
+    let mut out = DsetOut {
+        num_subsets: 1,
+        shapes_instantiated: 0,
+        forest_depth: depth,
+        term_units: Vec::new(),
+    };
+    for (ti, dt) in shared.dterms.iter().enumerate() {
+        if dt.k < d_set.len() || dt.k == 0 {
+            continue;
+        }
+        let mut emit = Emit::new();
+        let tops = match instantiate_term(
+            shared,
+            forest,
+            depth as u8,
+            d_set,
+            ti,
+            dt,
+            &mut emit,
+            &mut out.shapes_instantiated,
+        ) {
+            Ok(t) => t,
+            Err(e) => {
+                forest.reset();
+                return Err(e);
+            }
+        };
+        out.term_units.push(TermUnit {
+            ti,
+            builder: emit.builder,
+            slots: emit.slots,
+            tops,
+        });
+    }
+    forest.reset();
+    Ok(out)
+}
+
+/// Instantiate one (color set, term) unit into `emit`: every surjective
+/// coloring × compatible shape. Returns the non-zero top gates.
+#[allow(clippy::too_many_arguments)]
+fn instantiate_term<S: Semiring>(
+    shared: &Shared<'_, S>,
+    forest: &SubForest,
+    depth: u8,
+    d_set: &[u32],
+    ti: usize,
+    dt: &DistinctTerm<S>,
+    emit: &mut Emit,
+    shapes_instantiated: &mut usize,
+) -> Result<Vec<GateId>, CompileError> {
+    let plans = shared.plans_for(ti, dt, depth)?;
+    if plans.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut c_assign = vec![0u32; dt.k];
+    let mut tops: Vec<GateId> = Vec::new();
+    surjections(dt.k, d_set, &mut c_assign, 0, &mut |c_assign| {
+        for (shape, plan) in plans.iter() {
+            if shape.max_depth() as u32 > depth as u32 {
+                continue;
+            }
+            *shapes_instantiated += 1;
+            let g = instantiate(shared, emit, forest, shape, plan, c_assign);
+            if !emit.builder.is_zero(g) {
+                tops.push(g);
+            }
+        }
+    });
+    Ok(tops)
+}
+
+/// Replay one unit's gate stream into the main emitter, re-interning
+/// inputs, constants, and slots. Returns the remapped top gates.
+///
+/// Because a unit-local builder made exactly the peephole decisions the
+/// main builder would (structural zero/one status is preserved by the
+/// remap), replaying through the ordinary builder API appends exactly the
+/// gates the sequential compiler would have appended — this is what makes
+/// the parallel output byte-identical.
+fn merge_term_unit(emit: &mut Emit, unit: &TermUnit) -> Vec<GateId> {
+    let mut map: Vec<GateId> = Vec::with_capacity(unit.builder.len());
+    let mut kid_buf: Vec<GateId> = Vec::new();
+    for g in unit.builder.gates() {
+        let gid = match g {
+            GateDef::Input(local_slot) => emit.input(unit.slots.key(*local_slot)),
+            GateDef::Const(ConstRef::Zero) => emit.builder.zero(),
+            GateDef::Const(ConstRef::One) => emit.builder.one(),
+            GateDef::Const(ConstRef::Lit(_)) => {
+                unreachable!("literal gates only exist in the main builder")
+            }
+            GateDef::Add(r) => {
+                kid_buf.clear();
+                kid_buf.extend(unit.builder.children(*r).iter().map(|c| map[c.0 as usize]));
+                emit.builder.add(&kid_buf)
+            }
+            GateDef::Mul(x, y) => {
+                let (x, y) = (map[x.0 as usize], map[y.0 as usize]);
+                emit.builder.mul(x, y)
+            }
+            GateDef::Perm { rows, cols } => {
+                let flat: Vec<GateId> = unit
+                    .builder
+                    .children(*cols)
+                    .iter()
+                    .map(|c| map[c.0 as usize])
+                    .collect();
+                emit.builder.perm_flat(*rows as usize, flat)
+            }
+        };
+        map.push(gid);
+    }
+    unit.tops.iter().map(|g| map[g.0 as usize]).collect()
 }
 
 /// The Lemma 29 recursion, bottom-up over the forest: a gate for every
@@ -482,7 +736,8 @@ impl<'a, S: Semiring> Ctx<'a, S> {
 /// by preorder position (reused across calls); hash maps here dominated
 /// compile time in profiling.
 fn instantiate<S: Semiring>(
-    ctx: &mut Ctx<'_, S>,
+    shared: &Shared<'_, S>,
+    emit: &mut Emit,
     forest: &SubForest,
     shape: &Shape,
     plan: &ShapePlan,
@@ -490,8 +745,8 @@ fn instantiate<S: Semiring>(
 ) -> GateId {
     let m = forest.preorder.len();
     let cells = shape.len() * m;
-    ctx.table.clear();
-    ctx.table.resize(cells, NO_GATE);
+    emit.table.clear();
+    emit.table.resize(cells, NO_GATE);
     let mut tuple_buf: Vec<Elem> = Vec::new();
 
     for &u in forest.preorder.iter().rev() {
@@ -502,7 +757,7 @@ fn instantiate<S: Semiring>(
         'nodes: for &t in &plan.nodes_by_depth[du as usize] {
             // color requirement at variable nodes
             if let Some(var) = shape.var_at[t as usize] {
-                if ctx.colors[u as usize] != c_assign[var as usize] {
+                if shared.colors[u as usize] != c_assign[var as usize] {
                     continue 'nodes;
                 }
             }
@@ -510,8 +765,8 @@ fn instantiate<S: Semiring>(
             // atoms decided at this node
             for check in &plan.checks[t as usize] {
                 resolve_tuple(forest, u, &check.arg_depths, &mut tuple_buf);
-                if ctx.opts.dynamic_atoms {
-                    if !ctx.is_clique(&tuple_buf) {
+                if shared.opts.dynamic_atoms {
+                    if !shared.is_clique(&tuple_buf) {
                         if check.positive {
                             continue 'nodes; // can never hold
                         }
@@ -522,8 +777,8 @@ fn instantiate<S: Semiring>(
                     } else {
                         SlotKey::AtomNeg(check.rel, Tuple::new(&tuple_buf))
                     };
-                    factors.push(ctx.input(key));
-                } else if ctx.a.holds(check.rel, &tuple_buf) != check.positive {
+                    factors.push(emit.input(key));
+                } else if shared.a.holds(check.rel, &tuple_buf) != check.positive {
                     continue 'nodes;
                 }
             }
@@ -533,28 +788,26 @@ fn instantiate<S: Semiring>(
                     WeightRead::Decl(w, depths) => {
                         resolve_tuple(forest, u, depths, &mut tuple_buf);
                         if tuple_buf.len() >= 2 {
-                            let ok = if ctx.opts.dynamic_atoms {
-                                ctx.is_clique(&tuple_buf)
+                            let ok = if shared.opts.dynamic_atoms {
+                                shared.is_clique(&tuple_buf)
                             } else {
-                                ctx.on_support(&tuple_buf)
+                                shared.on_support(&tuple_buf)
                             };
                             if !ok {
                                 continue 'nodes; // weight structurally zero
                             }
                         }
-                        factors.push(
-                            ctx.input(SlotKey::Weight(*w, Tuple::new(&tuple_buf))),
-                        );
+                        factors.push(emit.input(SlotKey::Weight(*w, Tuple::new(&tuple_buf))));
                     }
                     WeightRead::Free(pos) => {
-                        factors.push(ctx.input(SlotKey::FreeVar(*pos, u)));
+                        factors.push(emit.input(SlotKey::FreeVar(*pos, u)));
                     }
                 }
             }
             // permanent over (child subtrees × forest children)
             let kids = &plan.children[t as usize];
             let mut gate = if kids.is_empty() {
-                ctx.builder.one()
+                emit.builder.one()
             } else {
                 let rows = kids.len();
                 let mut flat: Vec<GateId> = Vec::new();
@@ -563,29 +816,29 @@ fn instantiate<S: Semiring>(
                     // prune all-zero columns before touching the builder
                     if kids
                         .iter()
-                        .all(|&ct| ctx.table[ct as usize * m + cpos] == NO_GATE)
+                        .all(|&ct| emit.table[ct as usize * m + cpos] == NO_GATE)
                     {
                         continue;
                     }
                     for &ct in kids {
-                        let cell = ctx.table[ct as usize * m + cpos];
+                        let cell = emit.table[ct as usize * m + cpos];
                         flat.push(if cell == NO_GATE {
-                            ctx.builder.zero()
+                            emit.builder.zero()
                         } else {
                             GateId(cell)
                         });
                     }
                 }
-                ctx.builder.perm_flat(rows, flat)
+                emit.builder.perm_flat(rows, flat)
             };
-            if ctx.builder.is_zero(gate) {
+            if emit.builder.is_zero(gate) {
                 continue 'nodes;
             }
             for f in factors {
-                gate = ctx.builder.mul(gate, f);
+                gate = emit.builder.mul(gate, f);
             }
-            if !ctx.builder.is_zero(gate) {
-                ctx.table[t as usize * m + forest.pos[u as usize] as usize] = gate.0;
+            if !emit.builder.is_zero(gate) {
+                emit.table[t as usize * m + forest.pos[u as usize] as usize] = gate.0;
             }
         }
     }
@@ -598,20 +851,20 @@ fn instantiate<S: Semiring>(
         if plan
             .roots
             .iter()
-            .all(|&rt| ctx.table[rt as usize * m + rpos] == NO_GATE)
+            .all(|&rt| emit.table[rt as usize * m + rpos] == NO_GATE)
         {
             continue;
         }
         for &rt in &plan.roots {
-            let cell = ctx.table[rt as usize * m + rpos];
+            let cell = emit.table[rt as usize * m + rpos];
             flat.push(if cell == NO_GATE {
-                ctx.builder.zero()
+                emit.builder.zero()
             } else {
                 GateId(cell)
             });
         }
     }
-    ctx.builder.perm_flat(rows, flat)
+    emit.builder.perm_flat(rows, flat)
 }
 
 fn resolve_tuple(forest: &SubForest, u: u32, depths: &[u8], out: &mut Vec<Elem>) {

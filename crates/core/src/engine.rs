@@ -3,21 +3,30 @@
 
 use crate::compile::CompiledQuery;
 use crate::slots::SlotKey;
-use agq_circuit::{DynEvaluator, FiniteMaint, PermMaint, RingMaint};
+use agq_circuit::{DynEvaluator, FiniteMaint, PeekScratch, PermMaint, RingMaint};
 use agq_perm::SegTreePerm;
 use agq_semiring::Semiring;
 use agq_structure::{Elem, RelId, Tuple, WeightId, WeightedStructure};
 
 /// A compiled weighted query bound to live weight values: supports point
-/// queries at free-variable tuples, weight updates, and (in dynamic-atom
-/// mode) Gaifman-preserving relation updates.
+/// queries at free-variable tuples, batched zero-restore queries, weight
+/// updates, and (in dynamic-atom mode) Gaifman-preserving relation
+/// updates.
 ///
 /// * General semirings: `O(log |A|)` per query/update (via segment-tree
 ///   permanents), tight by Proposition 14.
 /// * Rings and finite semirings: `O(1)` per query/update.
+///
+/// Point queries run over a non-mutating overlay ([`DynEvaluator::peek`]):
+/// the `v_i` indicator slots of the queried tuple are patched only inside
+/// the query-bounded cone, so nothing is committed or rolled back —
+/// roughly half the maintenance work of the classic `2|x̄|`-update trick
+/// (kept as [`QueryEngine::query_via_updates`] for comparison).
 pub struct QueryEngine<S: Semiring, P: PermMaint<S>> {
     compiled: CompiledQuery<S>,
     eval: DynEvaluator<S, P>,
+    scratch: PeekScratch<S>,
+    patch_buf: Vec<(u32, S)>,
 }
 
 /// Theorem 8 engine for arbitrary semirings (logarithmic updates).
@@ -55,12 +64,13 @@ impl<S: Semiring, P: PermMaint<S>> QueryEngine<S, P> {
                 }
             })
             .collect();
-        let eval = DynEvaluator::new(
-            compiled.circuit.clone(),
-            &slot_values,
-            &compiled.lits,
-        );
-        QueryEngine { compiled, eval }
+        let eval = DynEvaluator::new(compiled.circuit.clone(), &slot_values, &compiled.lits);
+        QueryEngine {
+            compiled,
+            eval,
+            scratch: PeekScratch::new(),
+            patch_buf: Vec::new(),
+        }
     }
 
     /// The compiled query this engine runs.
@@ -74,35 +84,122 @@ impl<S: Semiring, P: PermMaint<S>> QueryEngine<S, P> {
         self.eval.output()
     }
 
-    /// Value at a free-variable tuple (the `v_i`-indicator trick: `2|x|`
-    /// temporary updates, as in the paper's proof).
+    /// Value at a free-variable tuple, via the zero-restore overlay: the
+    /// `v_i` indicator slots are patched to `1` only inside the
+    /// query-bounded cone, with no state mutation or restore pass.
     pub fn query(&mut self, tuple: &[Elem]) -> S {
+        let mut patches = std::mem::take(&mut self.patch_buf);
+        patches.clear();
+        let out = match self.free_var_patches(tuple, &mut patches) {
+            true => self.eval.peek(&patches, &mut self.scratch),
+            false => S::zero(),
+        };
+        self.patch_buf = patches;
+        out
+    }
+
+    /// Values at many free-variable tuples. Equivalent to mapping
+    /// [`QueryEngine::query`] over `tuples`, with per-query setup
+    /// amortized across one reusable scratch per worker.
+    ///
+    /// Because the zero-restore overlay never mutates the evaluator, the
+    /// batch fans out over threads — something the classic update/restore
+    /// path structurally cannot do. `threads = 0` uses one worker per
+    /// available core; results are returned in input order regardless.
+    pub fn query_batch(&self, tuples: &[&[Elem]]) -> Vec<S>
+    where
+        P: Sync,
+    {
+        self.query_batch_threads(tuples, 0)
+    }
+
+    /// [`QueryEngine::query_batch`] with an explicit worker count
+    /// (`0` = one per core, `1` = run on the calling thread).
+    pub fn query_batch_threads(&self, tuples: &[&[Elem]], threads: usize) -> Vec<S>
+    where
+        P: Sync,
+    {
+        let threads = match threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            t => t,
+        }
+        .min(tuples.len())
+        .max(1);
+        let run_chunk = |chunk: &[&[Elem]], out: &mut Vec<S>| {
+            let mut scratch = PeekScratch::new();
+            let mut patches = Vec::new();
+            for tuple in chunk {
+                patches.clear();
+                out.push(match self.free_var_patches(tuple, &mut patches) {
+                    true => self.eval.peek(&patches, &mut scratch),
+                    false => S::zero(),
+                });
+            }
+        };
+        if threads <= 1 {
+            let mut out = Vec::with_capacity(tuples.len());
+            run_chunk(tuples, &mut out);
+            return out;
+        }
+        let chunk_size = tuples.len().div_ceil(threads);
+        let mut results: Vec<Vec<S>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let run_chunk = &run_chunk;
+            let handles: Vec<_> = tuples
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut out = Vec::with_capacity(chunk.len());
+                        run_chunk(chunk, &mut out);
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("batch worker"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+
+    /// Value at a free-variable tuple via the classic `2|x̄|`
+    /// update/restore cycles of the Theorem 8 proof. Kept as the measured
+    /// baseline of the zero-restore path; prefer [`QueryEngine::query`].
+    pub fn query_via_updates(&mut self, tuple: &[Elem]) -> S {
+        let mut patches = Vec::with_capacity(tuple.len());
+        match self.free_var_patches(tuple, &mut patches) {
+            true => self.eval.peek_with(&patches),
+            false => S::zero(),
+        }
+    }
+
+    /// Build the `v_i(a) := 1` patch list for `tuple`; false when some
+    /// indicator has no slot (no gate reads `v_i(a)`: no shape can place
+    /// the variable there, so the value is structurally zero).
+    fn free_var_patches(&self, tuple: &[Elem], patches: &mut Vec<(u32, S)>) -> bool {
         assert_eq!(
             tuple.len(),
             self.compiled.free_vars.len(),
             "query tuple arity mismatch"
         );
-        let mut patches = Vec::with_capacity(tuple.len());
         for (i, &a) in tuple.iter().enumerate() {
-            match self
-                .compiled
-                .slots
-                .lookup(&SlotKey::FreeVar(i as u8, a))
-            {
+            match self.compiled.slots.lookup(&SlotKey::FreeVar(i as u8, a)) {
                 Some(slot) => patches.push((slot, S::one())),
-                // No gate reads v_i(a): no shape can place the variable
-                // there, so the value is structurally zero.
-                None => return S::zero(),
+                None => return false,
             }
         }
-        self.eval.peek_with(&patches)
+        true
     }
 
     /// Update a weight: `w(t̄) := value`. Returns false when the weight is
     /// structurally irrelevant (no gate reads it; the query value cannot
     /// depend on it).
     pub fn set_weight(&mut self, w: WeightId, t: &[Elem], value: S) -> bool {
-        match self.compiled.slots.lookup(&SlotKey::Weight(w, Tuple::new(t))) {
+        match self
+            .compiled
+            .slots
+            .lookup(&SlotKey::Weight(w, Tuple::new(t)))
+        {
             Some(slot) => {
                 self.eval.set_input(slot, value);
                 true

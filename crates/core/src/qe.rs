@@ -71,10 +71,7 @@ impl Working<'_> {
     }
 }
 
-fn rewrite_expr<S: Semiring>(
-    e: &Expr<S>,
-    w: &mut Working<'_>,
-) -> Result<Expr<S>, CompileError> {
+fn rewrite_expr<S: Semiring>(e: &Expr<S>, w: &mut Working<'_>) -> Result<Expr<S>, CompileError> {
     Ok(match e {
         Expr::Const(_) | Expr::Weight(..) => e.clone(),
         Expr::Bracket(f) => Expr::Bracket(rewrite_formula(f, w)?),
@@ -122,8 +119,7 @@ fn rewrite_formula(f: &Formula, w: &mut Working<'_>) -> Result<Formula, CompileE
             match free.len() {
                 0 => {
                     // a sentence: evaluate Σ_v [g] in B
-                    let q: Expr<Bool> =
-                        Expr::Bracket(g.clone()).sum_over([*v]);
+                    let q: Expr<Bool> = Expr::Bracket(g.clone()).sum_over([*v]);
                     let truth = eval_bool_closed(&q, w)?;
                     if truth {
                         Formula::True
@@ -134,8 +130,7 @@ fn rewrite_formula(f: &Formula, w: &mut Working<'_>) -> Result<Formula, CompileE
                 1 => {
                     let x = free[0];
                     // P := { a : ∃v g(a, v) }
-                    let q: Expr<Bool> =
-                        Expr::Bracket(g.clone()).sum_over([*v]);
+                    let q: Expr<Bool> = Expr::Bracket(g.clone()).sum_over([*v]);
                     let members = eval_bool_unary(&q, x, w)?;
                     let rel = w.materialize(&members);
                     Formula::Rel(rel, vec![x])
@@ -153,8 +148,7 @@ fn rewrite_formula(f: &Formula, w: &mut Working<'_>) -> Result<Formula, CompileE
 fn eval_bool_closed<'o>(q: &Expr<Bool>, w: &mut Working<'o>) -> Result<bool, CompileError> {
     let nf = normalize(q)?;
     let compiled = compile(&w.a, &nf, w.opts)?;
-    let weights: WeightedStructure<Bool> =
-        WeightedStructure::new(Arc::new(w.a.clone()));
+    let weights: WeightedStructure<Bool> = WeightedStructure::new(Arc::new(w.a.clone()));
     let engine: FiniteEngine<Bool> = FiniteEngine::new(compiled, &weights);
     Ok(engine.value().0)
 }
@@ -167,8 +161,7 @@ fn eval_bool_unary<'o>(
     let nf = normalize(q)?;
     debug_assert_eq!(nf.free_vars(), vec![x]);
     let compiled = compile(&w.a, &nf, w.opts)?;
-    let weights: WeightedStructure<Bool> =
-        WeightedStructure::new(Arc::new(w.a.clone()));
+    let weights: WeightedStructure<Bool> = WeightedStructure::new(Arc::new(w.a.clone()));
     let mut engine: FiniteEngine<Bool> = FiniteEngine::new(compiled, &weights);
     let mut members = Vec::new();
     for a in 0..w.a.domain_size() as u32 {

@@ -168,9 +168,7 @@ fn insert_rec(
             let mut parent = anchor;
             for d in start_depth..=target {
                 let id = shape.len() as u32;
-                shape
-                    .parent
-                    .push(parent.map_or(u32::MAX, |p| p));
+                shape.parent.push(parent.map_or(u32::MAX, |p| p));
                 shape.depth.push(d);
                 shape.var_at.push(None);
                 parent = Some(id);
@@ -178,9 +176,7 @@ fn insert_rec(
             let leaf = shape.len() - 1;
             shape.var_at[leaf] = Some(var);
             shape.var_node.push(leaf as u32);
-            if check_req(shape, var, req)
-                && !insert_rec(k, max_depth, req, cap, shape, out)
-            {
+            if check_req(shape, var, req) && !insert_rec(k, max_depth, req, cap, shape, out) {
                 // undo before propagating failure
                 shape.var_node.pop();
                 shape.parent.truncate(first_new);
@@ -252,10 +248,7 @@ mod tests {
     fn every_node_is_ancestor_of_a_variable() {
         for shape in enumerate_shapes(3, 2, &[], usize::MAX).unwrap() {
             for n in 0..shape.len() as u32 {
-                let has_descendant_var = shape
-                    .var_node
-                    .iter()
-                    .any(|&vn| shape.is_ancestor(n, vn));
+                let has_descendant_var = shape.var_node.iter().any(|&vn| shape.is_ancestor(n, vn));
                 assert!(has_descendant_var, "dangling node in {shape:?}");
             }
         }
@@ -384,9 +377,7 @@ mod tests {
     #[test]
     fn comparability_requirements_prune() {
         let all = count(2, 2);
-        let chained = enumerate_shapes(2, 2, &[(0, 1)], usize::MAX)
-            .unwrap()
-            .len();
+        let chained = enumerate_shapes(2, 2, &[(0, 1)], usize::MAX).unwrap().len();
         assert!(chained < all, "{chained} vs {all}");
         for s in enumerate_shapes(2, 2, &[(0, 1)], usize::MAX).unwrap() {
             assert!(s.comparable(s.var_node[0], s.var_node[1]));

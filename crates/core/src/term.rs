@@ -47,10 +47,7 @@ pub struct RelLit {
 /// Expand one normalized sum term over all variable partitions consistent
 /// with its (in)equality literals. `free_order` fixes the query-tuple
 /// positions of the free variables.
-pub fn expand_distinct<S: Semiring>(
-    term: &SumTerm<S>,
-    free_order: &[Var],
-) -> Vec<DistinctTerm<S>> {
+pub fn expand_distinct<S: Semiring>(term: &SumTerm<S>, free_order: &[Var]) -> Vec<DistinctTerm<S>> {
     // All variables of the term: summed ∪ free, in a fixed order.
     let mut vars: Vec<Var> = term.sum_vars.clone();
     for v in term.free_vars() {
@@ -92,7 +89,12 @@ pub fn expand_distinct<S: Semiring>(
             comparability: Vec::new(),
         };
         for l in &term.lits {
-            if let Lit::Rel { rel, args, positive } = l {
+            if let Lit::Rel {
+                rel,
+                args,
+                positive,
+            } = l
+            {
                 let args: Vec<u8> = args
                     .iter()
                     .map(|v| block_of[index_of(*v) as usize])

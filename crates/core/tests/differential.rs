@@ -86,8 +86,7 @@ fn self_loops_count() {
         Arc::new(s)
     };
     let e = a.signature().relation("E").unwrap();
-    let expr: Expr<Nat> =
-        Expr::Bracket(Formula::Rel(e, vec![Var(0), Var(0)])).sum_over([Var(0)]);
+    let expr: Expr<Nat> = Expr::Bracket(Formula::Rel(e, vec![Var(0), Var(0)])).sum_over([Var(0)]);
     check_closed_nat(&expr, &a, 1);
 }
 
@@ -432,4 +431,140 @@ fn circuit_stats_are_bounded() {
     assert!(st.max_perm_rows <= 3, "perm rows {}", st.max_perm_rows);
     assert!(st.depth <= 64, "depth {}", st.depth);
     check_closed_nat(&expr, &a, 601);
+}
+
+#[test]
+fn parallel_compile_is_byte_identical_to_sequential() {
+    // The deterministic merge must reproduce the sequential gate stream,
+    // child arena, slot order, and literal table exactly, across query
+    // shapes (closed, free-variable, weighted, dynamic-atom).
+    let seq_opts = CompileOptions {
+        threads: 1,
+        ..Default::default()
+    };
+    let par_opts = CompileOptions {
+        threads: 8,
+        ..Default::default()
+    };
+
+    let cases: Vec<(Arc<Structure>, Expr<Nat>)> = {
+        let mut cases = Vec::new();
+        for seed in 0..4 {
+            let a = random_graph(24, 60, 700 + seed);
+            let sig = a.signature().clone();
+            let e = sig.relation("E").unwrap();
+            let c = sig.weight("c").unwrap();
+            let wsym = sig.weight("w").unwrap();
+            let f = Formula::Rel(e, vec![Var(0), Var(1)])
+                .and(Formula::Rel(e, vec![Var(1), Var(2)]))
+                .and(Formula::Rel(e, vec![Var(2), Var(0)]));
+            let triangle: Expr<Nat> = Expr::Mul(vec![
+                Expr::Bracket(f),
+                Expr::Weight(c, vec![Var(0), Var(1)]),
+                Expr::Weight(c, vec![Var(1), Var(2)]),
+                Expr::Weight(c, vec![Var(2), Var(0)]),
+            ])
+            .sum_over([Var(0), Var(1), Var(2)]);
+            cases.push((a.clone(), triangle));
+            // free variable + coefficient + constant term
+            let free: Expr<Nat> = Expr::Const(Nat(3))
+                .times(
+                    Expr::Bracket(Formula::Rel(e, vec![Var(0), Var(1)]))
+                        .times(Expr::Weight(wsym, vec![Var(0)]))
+                        .sum_over([Var(0)]),
+                )
+                .plus(Expr::Const(Nat(5)));
+            cases.push((a, free));
+        }
+        cases
+    };
+
+    for (i, (a, expr)) in cases.iter().enumerate() {
+        let nf = normalize(expr).unwrap();
+        for dynamic_atoms in [false, true] {
+            let mut s = seq_opts.clone();
+            s.dynamic_atoms = dynamic_atoms;
+            let mut p = par_opts.clone();
+            p.dynamic_atoms = dynamic_atoms;
+            let seq = compile(a, &nf, &s).unwrap();
+            let par = compile(a, &nf, &p).unwrap();
+            assert_eq!(
+                *seq.circuit, *par.circuit,
+                "case {i} (dynamic_atoms={dynamic_atoms}): circuit IR differs"
+            );
+            let seq_slots: Vec<_> = seq.slots.iter().collect();
+            let par_slots: Vec<_> = par.slots.iter().collect();
+            assert_eq!(seq_slots, par_slots, "case {i}: slot registries differ");
+            assert_eq!(seq.lits, par.lits, "case {i}: literal tables differ");
+            assert_eq!(seq.free_vars, par.free_vars);
+            assert_eq!(seq.report.num_subsets, par.report.num_subsets);
+            assert_eq!(
+                seq.report.shapes_instantiated,
+                par.report.shapes_instantiated
+            );
+            assert_eq!(seq.report.max_forest_depth, par.report.max_forest_depth);
+        }
+    }
+}
+
+#[test]
+fn query_batch_matches_sequential_queries() {
+    // query_batch ≡ query ≡ the classic update/restore path, across the
+    // general and ring engines.
+    for seed in 0..3 {
+        let a = random_graph(16, 30, 800 + seed);
+        let sig = a.signature().clone();
+        let e = sig.relation("E").unwrap();
+        let wsym = sig.weight("w").unwrap();
+        let expr: Expr<Nat> = Expr::Bracket(Formula::Rel(e, vec![Var(0), Var(1)]))
+            .times(Expr::Weight(wsym, vec![Var(0)]))
+            .sum_over([Var(0)]);
+        let w = nat_weights(&a, 801 + seed);
+        let nf = normalize(&expr).unwrap();
+        let compiled = compile(&a, &nf, &CompileOptions::default()).unwrap();
+        let mut engine: GeneralEngine<Nat> = GeneralEngine::new(compiled, &w);
+        let points: Vec<[u32; 1]> = (0..a.domain_size() as u32).map(|z| [z]).collect();
+        let tuples: Vec<&[u32]> = points.iter().map(|p| p.as_slice()).collect();
+        let batch = engine.query_batch(&tuples);
+        for (z, got) in batch.iter().enumerate() {
+            let single = engine.query(&[z as u32]);
+            let classic = engine.query_via_updates(&[z as u32]);
+            let expect = agq_baseline::eval_at(&expr, &w, &[Var(1)], &[z as u32]);
+            assert_eq!(*got, single, "z={z}: batch vs query");
+            assert_eq!(*got, classic, "z={z}: batch vs update/restore");
+            assert_eq!(*got, expect, "z={z}: vs brute force");
+        }
+    }
+}
+
+#[test]
+fn query_batch_ring_engine_with_interleaved_updates() {
+    let a = random_graph(14, 28, 900);
+    let sig = a.signature().clone();
+    let e = sig.relation("E").unwrap();
+    let wsym = sig.weight("w").unwrap();
+    let expr: Expr<Int> = Expr::Bracket(Formula::Rel(e, vec![Var(0), Var(1)]))
+        .times(Expr::Weight(wsym, vec![Var(0)]))
+        .sum_over([Var(0)]);
+    let mut rng = SmallRng::seed_from_u64(901);
+    let mut w: WeightedStructure<Int> = WeightedStructure::new(a.clone());
+    for i in 0..14u32 {
+        w.set(wsym, &[i], Int(rng.gen_range(-3..4)));
+    }
+    let nf = normalize(&expr).unwrap();
+    let compiled = compile(&a, &nf, &CompileOptions::default()).unwrap();
+    let mut engine: RingEngine<Int> = RingEngine::new(compiled, &w);
+    for _ in 0..15 {
+        let i = rng.gen_range(0..14u32);
+        let v = Int(rng.gen_range(-3..4));
+        w.set(wsym, &[i], v);
+        engine.set_weight(wsym, &[i], v);
+        let points: Vec<[u32; 1]> = (0..14u32).map(|z| [z]).collect();
+        let tuples: Vec<&[u32]> = points.iter().map(|p| p.as_slice()).collect();
+        let batch = engine.query_batch(&tuples);
+        for (z, got) in batch.iter().enumerate() {
+            let expect = agq_baseline::eval_at(&expr, &w, &[Var(1)], &[z as u32]);
+            assert_eq!(*got, expect, "z={z}");
+        }
+    }
 }

@@ -56,7 +56,11 @@ pub struct AnswerIndex {
 impl AnswerIndex {
     /// Preprocess `φ` over `a` in time `O_φ(|A|)` for enumeration only
     /// (quantifiers allowed via guarded elimination).
-    pub fn build(a: &Structure, phi: &Formula, opts: &CompileOptions) -> Result<Self, CompileError> {
+    pub fn build(
+        a: &Structure,
+        phi: &Formula,
+        opts: &CompileOptions,
+    ) -> Result<Self, CompileError> {
         Self::build_inner(a, phi, opts, false)
     }
 
@@ -360,10 +364,7 @@ mod tests {
         // nodes with an out-neighbor that has an out-neighbor
         let a = random_graph(13, 22, 44);
         let e = a.signature().relation("E").unwrap();
-        let inner = Formula::Exists(
-            Var(2),
-            Box::new(Formula::Rel(e, vec![Var(1), Var(2)])),
-        );
+        let inner = Formula::Exists(Var(2), Box::new(Formula::Rel(e, vec![Var(1), Var(2)])));
         let phi = Formula::Exists(
             Var(1),
             Box::new(Formula::Rel(e, vec![Var(0), Var(1)]).and(inner)),
@@ -400,8 +401,7 @@ mod tests {
         let s = shadow.signature().relation("S").unwrap();
         // φ(x,y) = E(x,y) ∧ S(x): exercises binary + unary updates
         let phi = Formula::Rel(e, vec![Var(0), Var(1)]).and(Formula::Rel(s, vec![Var(0)]));
-        let mut ix =
-            AnswerIndex::build_dynamic(&shadow, &phi, &CompileOptions::default()).unwrap();
+        let mut ix = AnswerIndex::build_dynamic(&shadow, &phi, &CompileOptions::default()).unwrap();
         // candidate binary tuples: existing E tuples (and their reverses
         // — same Gaifman clique)
         let e_tuples: Vec<[u32; 2]> = shadow
@@ -446,8 +446,7 @@ mod tests {
         a.insert(e, &[0, 1]);
         a.insert(e, &[2, 3]);
         let phi = Formula::Rel(e, vec![Var(0), Var(1)]);
-        let mut ix =
-            AnswerIndex::build_dynamic(&a, &phi, &CompileOptions::default()).unwrap();
+        let mut ix = AnswerIndex::build_dynamic(&a, &phi, &CompileOptions::default()).unwrap();
         // (0,3) is not an edge of the Gaifman graph
         assert_eq!(
             ix.set_tuple(e, &[0, 3], true),

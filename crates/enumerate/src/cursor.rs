@@ -96,8 +96,12 @@ impl EnumMachine {
             GateDef::Const(_) => unreachable!("unsupported const"),
             GateDef::Add(children) => {
                 let adds = self.adds[gi].as_ref().expect("add support");
-                let nz_idx = if dir == Dir::Fwd { 0 } else { adds.nz.len() - 1 };
-                let child = children[adds.nz[nz_idx] as usize];
+                let nz_idx = if dir == Dir::Fwd {
+                    0
+                } else {
+                    adds.nz.len() - 1
+                };
+                let child = self.circuit().children(*children)[adds.nz[nz_idx] as usize];
                 Cursor::Add {
                     gate: gate.0,
                     nz_idx,
@@ -153,7 +157,9 @@ impl EnumMachine {
 
     fn entry_gate(&self, gate: u32, row: usize, col: u32) -> GateId {
         match &self.circuit().gates()[gate as usize] {
-            GateDef::Perm { rows, cols } => cols[col as usize * (*rows as usize) + row],
+            GateDef::Perm { rows, cols } => {
+                self.circuit().children(*cols)[col as usize * (*rows as usize) + row]
+            }
             _ => unreachable!("perm gate"),
         }
     }
@@ -253,7 +259,11 @@ impl EnumMachine {
                 }
             }
             Cursor::One => false,
-            Cursor::Add { gate, nz_idx, inner } => {
+            Cursor::Add {
+                gate,
+                nz_idx,
+                inner,
+            } => {
                 if self.step(inner, dir) {
                     return true;
                 }
@@ -274,7 +284,7 @@ impl EnumMachine {
                     }
                 };
                 let children = match &self.circuit().gates()[gi] {
-                    GateDef::Add(ch) => ch,
+                    GateDef::Add(ch) => self.circuit().children(*ch),
                     _ => unreachable!(),
                 };
                 let child = children[adds.nz[next] as usize];
@@ -368,12 +378,20 @@ impl EnumMachine {
                 };
             }
             Cursor::One => {}
-            Cursor::Add { gate, nz_idx, inner } => {
+            Cursor::Add {
+                gate,
+                nz_idx,
+                inner,
+            } => {
                 let gi = *gate as usize;
                 let adds = self.adds[gi].as_ref().expect("add support");
-                *nz_idx = if dir == Dir::Fwd { 0 } else { adds.nz.len() - 1 };
+                *nz_idx = if dir == Dir::Fwd {
+                    0
+                } else {
+                    adds.nz.len() - 1
+                };
                 let children = match &self.circuit().gates()[gi] {
-                    GateDef::Add(ch) => ch,
+                    GateDef::Add(ch) => self.circuit().children(*ch),
                     _ => unreachable!(),
                 };
                 let child = children[adds.nz[*nz_idx] as usize];
@@ -573,10 +591,7 @@ mod tests {
         let s = b.add(&[x, y]);
         let m = b.mul(s, z);
         let c = Arc::new(b.finish(m));
-        let machine = EnumMachine::new(
-            c,
-            vec![gens(&[1, 2]), gens(&[3]), gens(&[10, 20])],
-        );
+        let machine = EnumMachine::new(c, vec![gens(&[1, 2]), gens(&[3]), gens(&[10, 20])]);
         assert_enumerates_exactly(&machine);
     }
 
@@ -586,10 +601,7 @@ mod tests {
         let inputs: Vec<_> = (0..6).map(|i| b.input(i)).collect();
         let p = b.perm_flat(2, inputs.clone());
         let c = Arc::new(b.finish(p));
-        let machine = EnumMachine::new(
-            c,
-            (0..6).map(|i| gens(&[i as u64 + 1])).collect(),
-        );
+        let machine = EnumMachine::new(c, (0..6).map(|i| gens(&[i as u64 + 1])).collect());
         assert_enumerates_exactly(&machine);
     }
 
@@ -600,14 +612,7 @@ mod tests {
         let p = b.perm_flat(2, inputs.clone());
         let c = Arc::new(b.finish(p));
         // column 1 fully zero; column 0 row 1 zero
-        let vals = vec![
-            gens(&[1]),
-            vec![],
-            vec![],
-            vec![],
-            gens(&[5]),
-            gens(&[6]),
-        ];
+        let vals = vec![gens(&[1]), vec![], vec![], vec![], gens(&[5]), gens(&[6])];
         let machine = EnumMachine::new(c, vals);
         assert_enumerates_exactly(&machine);
     }
@@ -655,8 +660,7 @@ mod tests {
         let inputs: Vec<_> = (0..6).map(|i| b.input(i)).collect();
         let p = b.perm_flat(2, inputs.clone());
         let c = Arc::new(b.finish(p));
-        let mut machine =
-            EnumMachine::new(c, (0..6).map(|i| gens(&[i as u64 + 1])).collect());
+        let mut machine = EnumMachine::new(c, (0..6).map(|i| gens(&[i as u64 + 1])).collect());
         assert_enumerates_exactly(&machine);
         machine.set_input(2, vec![]);
         machine.set_input(5, vec![]);

@@ -166,6 +166,7 @@ impl EnumMachine {
                 GateDef::Const(ConstRef::One) => true,
                 GateDef::Const(ConstRef::Lit(_)) => unreachable!("no lits"),
                 GateDef::Add(children) => {
+                    let children = circuit.children(*children);
                     let mut s = AddSupport {
                         nz: Vec::new(),
                         where_pos: vec![u32::MAX; children.len()],
@@ -190,6 +191,7 @@ impl EnumMachine {
                 }
                 GateDef::Perm { rows, cols } => {
                     let k = *rows as usize;
+                    let cols = circuit.children(*cols);
                     let mut masks = Vec::with_capacity(cols.len() / k);
                     for (ci, col) in cols.chunks_exact(k).enumerate() {
                         let mut m = 0u32;
@@ -299,12 +301,8 @@ impl EnumMachine {
         match &self.circuit.gates()[g as usize] {
             GateDef::Input(_) | GateDef::Const(_) => self.support[g as usize],
             GateDef::Add(_) => !self.adds[g as usize].as_ref().expect("add").nz.is_empty(),
-            GateDef::Mul(a, b) => {
-                self.support[a.0 as usize] && self.support[b.0 as usize]
-            }
-            GateDef::Perm { .. } => {
-                self.perms[g as usize].as_ref().expect("perm").supported()
-            }
+            GateDef::Mul(a, b) => self.support[a.0 as usize] && self.support[b.0 as usize],
+            GateDef::Perm { .. } => self.perms[g as usize].as_ref().expect("perm").supported(),
         }
     }
 
@@ -362,7 +360,13 @@ mod tests {
         let c = Arc::new(b.finish(p));
         let vals = |present: [bool; 4]| {
             (0..4)
-                .map(|i| if present[i] { vec![gen(i as u64)] } else { vec![] })
+                .map(|i| {
+                    if present[i] {
+                        vec![gen(i as u64)]
+                    } else {
+                        vec![]
+                    }
+                })
                 .collect::<Vec<_>>()
         };
         let mut mach = EnumMachine::new(c, vals([true; 4]));
@@ -387,10 +391,7 @@ mod tests {
         let s = b.add(&[x0, x1]);
         let m = b.mul(s, x1);
         let c = Arc::new(b.finish(m));
-        let mach = EnumMachine::new(
-            c,
-            vec![vec![gen(1), gen(2)], vec![gen(3), gen(4), gen(5)]],
-        );
+        let mach = EnumMachine::new(c, vec![vec![gen(1), gen(2)], vec![gen(3), gen(4), gen(5)]]);
         // (2 + 3) * 3 = 15
         assert_eq!(mach.count_summands(), 15);
     }

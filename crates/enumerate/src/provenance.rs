@@ -216,8 +216,8 @@ mod tests {
     use super::*;
     use agq_logic::{Formula, Var};
     use agq_semiring::{Monomial, Poly};
-    use std::sync::Arc;
     use agq_structure::Signature;
+    use std::sync::Arc;
 
     /// The paper's Example 21: the graph a,b,c,d with edges ab, bc, ca,
     /// bd, da; f(x) = Σ_{y,z} w(x,y)·w(y,z)·w(z,x) evaluated at a yields
@@ -260,8 +260,8 @@ mod tests {
         drop(it);
         let mono = |ids: [u64; 3]| Monomial::from_gens(ids.into_iter().map(Gen).collect());
         let mut expect = vec![
-            mono([1, 12, 20]),  // e_ab e_bc e_ca
-            mono([1, 13, 30]),  // e_ab e_bd e_da
+            mono([1, 12, 20]), // e_ab e_bc e_ca
+            mono([1, 13, 30]), // e_ab e_bd e_da
         ];
         got.sort();
         expect.sort();
@@ -318,16 +318,11 @@ mod tests {
             let tuples: Vec<_> = arc.relation(e).iter().cloned().collect();
             for t in &tuples {
                 let s = t.as_slice();
-                pw.set(
-                    w,
-                    s,
-                    Poly::var(Gen((s[0] * 100 + s[1]) as u64)),
-                );
+                pw.set(w, s, Poly::var(Gen((s[0] * 100 + s[1]) as u64)));
             }
-            let poly_expr: Expr<Poly> =
-                Expr::Bracket(Formula::Rel(e, vec![Var(0), Var(1)]))
-                    .times(Expr::Weight(w, vec![Var(0), Var(1)]))
-                    .sum_over([Var(0), Var(1)]);
+            let poly_expr: Expr<Poly> = Expr::Bracket(Formula::Rel(e, vec![Var(0), Var(1)]))
+                .times(Expr::Weight(w, vec![Var(0), Var(1)]))
+                .sum_over([Var(0), Var(1)]);
             let eager = agq_baseline::eval_closed(&poly_expr, &pw);
             let mut expect: Vec<Monomial> = Vec::new();
             for (m, c) in eager.terms() {

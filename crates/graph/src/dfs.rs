@@ -154,7 +154,11 @@ mod tests {
     fn assert_edges_vertical(g: &Graph, f: &Forest) {
         for (u, v) in g.edges() {
             let (du, dv) = (f.depth(u), f.depth(v));
-            let (hi, lo, dhi, dlo) = if du >= dv { (u, v, du, dv) } else { (v, u, dv, du) };
+            let (hi, lo, dhi, dlo) = if du >= dv {
+                (u, v, du, dv)
+            } else {
+                (v, u, dv, du)
+            };
             let anc = f.ancestor_saturating(hi, dhi - dlo);
             assert_eq!(anc, lo, "edge ({u},{v}) not ancestor-descendant");
         }

@@ -83,12 +83,7 @@ pub fn planar_like(w: usize, h: usize, seed: u64) -> Graph {
 /// self-loops dropped, so the result may have slightly fewer edges).
 pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let edges = (0..m).map(|_| {
-        (
-            rng.gen_range(0..n as u32),
-            rng.gen_range(0..n as u32),
-        )
-    });
+    let edges = (0..m).map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)));
     Graph::from_edges(n, edges)
 }
 

@@ -119,7 +119,8 @@ mod tests {
     use crate::generators;
 
     fn is_proper(g: &Graph, c: &LtdColoring) -> bool {
-        g.edges().all(|(u, v)| c.colors[u as usize] != c.colors[v as usize])
+        g.edges()
+            .all(|(u, v)| c.colors[u as usize] != c.colors[v as usize])
     }
 
     /// Depth of the deepest DFS forest over all ≤p-color subsets.
@@ -131,11 +132,7 @@ mod tests {
             if (mask.count_ones() as usize) > p {
                 continue;
             }
-            let active: Vec<bool> = c
-                .colors
-                .iter()
-                .map(|&col| mask >> col & 1 == 1)
-                .collect();
+            let active: Vec<bool> = c.colors.iter().map(|&col| mask >> col & 1 == 1).collect();
             let sub = g.induced_where(&active);
             let f = dfs_forest_on(&sub, &active);
             worst = worst.max(f.max_depth());

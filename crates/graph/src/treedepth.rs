@@ -43,7 +43,11 @@ fn td_rec(mask: u32, adj: &[u32], memo: &mut HashMap<u32, u32>) -> u32 {
     // decompose into connected components of the induced subgraph
     let comps = components(mask, adj);
     let result = if comps.len() > 1 {
-        comps.into_iter().map(|c| td_rec(c, adj, memo)).max().unwrap()
+        comps
+            .into_iter()
+            .map(|c| td_rec(c, adj, memo))
+            .max()
+            .unwrap()
     } else {
         // connected: remove the best root
         let mut best = u32::MAX;
@@ -95,7 +99,11 @@ fn components(mask: u32, adj: &[u32]) -> Vec<u32> {
 pub fn certify_elimination_forest(g: &Graph, f: &Forest) -> Option<u32> {
     for (u, v) in g.edges() {
         let (du, dv) = (f.depth(u), f.depth(v));
-        let (hi, lo, dhi, dlo) = if du >= dv { (u, v, du, dv) } else { (v, u, dv, du) };
+        let (hi, lo, dhi, dlo) = if du >= dv {
+            (u, v, du, dv)
+        } else {
+            (v, u, dv, du)
+        };
         if f.ancestor_saturating(hi, dhi - dlo) != lo {
             return None;
         }

@@ -173,7 +173,11 @@ impl Lit {
     /// The literal with opposite polarity.
     pub fn negated(&self) -> Lit {
         match self {
-            Lit::Rel { rel, args, positive } => Lit::Rel {
+            Lit::Rel {
+                rel,
+                args,
+                positive,
+            } => Lit::Rel {
                 rel: *rel,
                 args: args.clone(),
                 positive: !positive,
@@ -207,7 +211,11 @@ impl Lit {
 impl fmt::Display for Lit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Lit::Rel { rel, args, positive } => {
+            Lit::Rel {
+                rel,
+                args,
+                positive,
+            } => {
                 if !positive {
                     write!(f, "¬")?;
                 }
@@ -407,9 +415,7 @@ mod tests {
 
     #[test]
     fn nested_or_and_not() {
-        let f = rel(0, 1)
-            .or(rel(1, 2).and(rel(2, 0).not()))
-            .or(rel(2, 0));
+        let f = rel(0, 1).or(rel(1, 2).and(rel(2, 0).not())).or(rel(2, 0));
         assert_exclusive_cover(&f, 4);
     }
 

@@ -86,7 +86,12 @@ impl<S: Semiring> SumTerm<S> {
         loop {
             let mut resolved = None;
             for (i, l) in self.lits.iter().enumerate() {
-                if let Lit::Eq { a, b, positive: true } = l {
+                if let Lit::Eq {
+                    a,
+                    b,
+                    positive: true,
+                } = l
+                {
                     if a == b {
                         resolved = Some((i, None));
                         break;
@@ -181,7 +186,11 @@ impl<S: Semiring> NormalForm<S> {
     /// Largest number of sum variables in any term (the `k` that bounds
     /// permanent rows and drives all the exponential-in-query constants).
     pub fn max_sum_vars(&self) -> usize {
-        self.terms.iter().map(|t| t.sum_vars.len()).max().unwrap_or(0)
+        self.terms
+            .iter()
+            .map(|t| t.sum_vars.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -221,10 +230,7 @@ pub fn normalize<S: Semiring>(expr: &Expr<S>) -> Result<NormalForm<S>, Normalize
     Ok(NormalForm { terms })
 }
 
-fn rec<S: Semiring>(
-    expr: &Expr<S>,
-    fresh: &mut u32,
-) -> Result<Vec<SumTerm<S>>, NormalizeError> {
+fn rec<S: Semiring>(expr: &Expr<S>, fresh: &mut u32) -> Result<Vec<SumTerm<S>>, NormalizeError> {
     match expr {
         Expr::Const(s) => Ok(vec![SumTerm::constant(s.clone())]),
         Expr::Weight(w, args) => {
@@ -348,8 +354,7 @@ mod tests {
 
     #[test]
     fn disjunction_splits_into_exclusive_terms() {
-        let e: Expr<Nat> =
-            Expr::Bracket(edge(0, 1).or(edge(1, 0))).sum_over([v(0), v(1)]);
+        let e: Expr<Nat> = Expr::Bracket(edge(0, 1).or(edge(1, 0))).sum_over([v(0), v(1)]);
         let nf = normalize(&e).unwrap();
         assert_eq!(nf.terms.len(), 2);
         // second term must carry the exclusion literal ¬E(x0,x1)
@@ -357,9 +362,15 @@ mod tests {
             .terms
             .iter()
             .filter(|t| {
-                t.lits
-                    .iter()
-                    .any(|l| matches!(l, Lit::Rel { positive: false, .. }))
+                t.lits.iter().any(|l| {
+                    matches!(
+                        l,
+                        Lit::Rel {
+                            positive: false,
+                            ..
+                        }
+                    )
+                })
             })
             .count();
         assert_eq!(with_neg, 1);
@@ -405,8 +416,7 @@ mod tests {
 
     #[test]
     fn contradictory_terms_vanish() {
-        let e: Expr<Nat> = Expr::Bracket(edge(0, 1).and(edge(0, 1).not()))
-            .sum_over([v(0), v(1)]);
+        let e: Expr<Nat> = Expr::Bracket(edge(0, 1).and(edge(0, 1).not())).sum_over([v(0), v(1)]);
         let nf = normalize(&e).unwrap();
         assert!(nf.terms.is_empty());
     }

@@ -216,9 +216,7 @@ impl<'a> Parser<'a> {
         let end = self.pos + kw.len();
         if end <= self.src.len()
             && &self.src[self.pos..end] == kw.as_bytes()
-            && end
-                .checked_sub(self.src.len())
-                .is_none_or(|_| true)
+            && end.checked_sub(self.src.len()).is_none_or(|_| true)
             && (end == self.src.len()
                 || !(self.src[end].is_ascii_alphanumeric() || self.src[end] == b'_'))
         {
@@ -475,8 +473,7 @@ mod tests {
 
     #[test]
     fn parses_quantifiers_and_negation() {
-        let (f, vars) =
-            parse_formula("exists y. (E(x,y) & !S(y)) | x = y", &sig()).unwrap();
+        let (f, vars) = parse_formula("exists y. (E(x,y) & !S(y)) | x = y", &sig()).unwrap();
         assert!(!f.is_quantifier_free());
         assert_eq!(vars.var("x"), Some(Var(1)));
     }
@@ -492,16 +489,12 @@ mod tests {
     #[test]
     fn semantic_equivalence_with_ast_construction() {
         let s = sig();
-        let (parsed, vars) =
-            parse_expr::<Nat>("sum x,y. [E(x,y)] * w(x)", &s, nat).unwrap();
+        let (parsed, vars) = parse_expr::<Nat>("sum x,y. [E(x,y)] * w(x)", &s, nat).unwrap();
         let x = vars.var("x").unwrap();
         let y = vars.var("y").unwrap();
-        let manual: Expr<Nat> = Expr::Bracket(Formula::Rel(
-            s.relation("E").unwrap(),
-            vec![x, y],
-        ))
-        .times(Expr::Weight(s.weight("w").unwrap(), vec![x]))
-        .sum_over([x, y]);
+        let manual: Expr<Nat> = Expr::Bracket(Formula::Rel(s.relation("E").unwrap(), vec![x, y]))
+            .times(Expr::Weight(s.weight("w").unwrap(), vec![x]))
+            .sum_over([x, y]);
         // equality up to nesting: compare normal forms
         let a = crate::normalize(&parsed).unwrap();
         let b = crate::normalize(&manual).unwrap();

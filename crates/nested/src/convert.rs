@@ -78,9 +78,7 @@ pub fn to_expr<S: ValueCarrier>(f: &NestedFormula) -> Result<Expr<S>, TypeError>
         NestedFormula::Mul(fs) => Ok(Expr::Mul(
             fs.iter().map(to_expr::<S>).collect::<Result<_, _>>()?,
         )),
-        NestedFormula::Sum(vars, g) => {
-            Ok(Expr::Sum(vars.clone(), Box::new(to_expr::<S>(g)?)))
-        }
+        NestedFormula::Sum(vars, g) => Ok(Expr::Sum(vars.clone(), Box::new(to_expr::<S>(g)?))),
         NestedFormula::Bracket(g, tag) => {
             if *tag != S::TAG {
                 return Err(TypeError::TagMismatch {

@@ -4,8 +4,8 @@ use crate::convert::{to_expr, to_fo_formula};
 use crate::formula::{NestedFormula, TypeError};
 use crate::value::{MultiWeights, SemiringTag, Value, ValueCarrier};
 use agq_core::{
-    compile, eliminate_quantifiers, CompileError, CompileOptions, FiniteEngine,
-    GeneralEngine, QueryEngine, RingEngine,
+    compile, eliminate_quantifiers, CompileError, CompileOptions, FiniteEngine, GeneralEngine,
+    QueryEngine, RingEngine,
 };
 use agq_logic::{normalize, Expr, Var};
 use agq_semiring::{Bool, Int, MaxF, MinPlus, Nat, Rat};
@@ -124,9 +124,7 @@ fn build_engine(
         SemiringTag::MinPlus => {
             AnyEngine::MinPlus(build_typed(a, mw, &to_expr::<MinPlus>(f)?, opts)?)
         }
-        SemiringTag::MaxF => {
-            AnyEngine::MaxF(build_typed(a, mw, &to_expr::<MaxF>(f)?, opts)?)
-        }
+        SemiringTag::MaxF => AnyEngine::MaxF(build_typed(a, mw, &to_expr::<MaxF>(f)?, opts)?),
     })
 }
 
@@ -174,19 +172,15 @@ fn lower(f: &NestedFormula, st: &mut LowerState) -> Result<NestedFormula, Nested
         | NestedFormula::Eq(..)
         | NestedFormula::SAtom { .. }
         | NestedFormula::Const(_) => f.clone(),
-        NestedFormula::Add(fs) => NestedFormula::Add(
-            fs.iter().map(|g| lower(g, st)).collect::<Result<_, _>>()?,
-        ),
-        NestedFormula::Mul(fs) => NestedFormula::Mul(
-            fs.iter().map(|g| lower(g, st)).collect::<Result<_, _>>()?,
-        ),
-        NestedFormula::Sum(vs, g) => {
-            NestedFormula::Sum(vs.clone(), Box::new(lower(g, st)?))
+        NestedFormula::Add(fs) => {
+            NestedFormula::Add(fs.iter().map(|g| lower(g, st)).collect::<Result<_, _>>()?)
         }
+        NestedFormula::Mul(fs) => {
+            NestedFormula::Mul(fs.iter().map(|g| lower(g, st)).collect::<Result<_, _>>()?)
+        }
+        NestedFormula::Sum(vs, g) => NestedFormula::Sum(vs.clone(), Box::new(lower(g, st)?)),
         NestedFormula::Not(g) => NestedFormula::Not(Box::new(lower(g, st)?)),
-        NestedFormula::Bracket(g, tag) => {
-            NestedFormula::Bracket(Box::new(lower(g, st)?), *tag)
-        }
+        NestedFormula::Bracket(g, tag) => NestedFormula::Bracket(Box::new(lower(g, st)?), *tag),
         NestedFormula::Guarded {
             guard,
             guard_args,

@@ -133,7 +133,10 @@ impl fmt::Display for TypeError {
                 expected,
                 found,
                 context,
-            } => write!(f, "type mismatch in {context}: expected {expected:?}, found {found:?}"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected:?}, found {found:?}"
+            ),
             TypeError::NotBoolean { context } => {
                 write!(f, "{context} requires a Boolean operand")
             }

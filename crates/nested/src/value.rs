@@ -214,9 +214,7 @@ impl MultiWeights {
                 // not know or whose arity mismatches — defensive: the
                 // evaluator constructs consistent stores.
                 let sig = a.signature();
-                if (w.0 as usize) < sig.num_weights()
-                    && sig.weight_arity(*w) == t.len()
-                {
+                if (w.0 as usize) < sig.num_weights() && sig.weight_arity(*w) == t.len() {
                     out.set(*w, t.as_slice(), x);
                 }
             }
@@ -231,10 +229,7 @@ mod tests {
 
     #[test]
     fn value_algebra_dispatches() {
-        assert_eq!(
-            Value::N(Nat(2)).add(&Value::N(Nat(3))),
-            Value::N(Nat(5))
-        );
+        assert_eq!(Value::N(Nat(2)).add(&Value::N(Nat(3))), Value::N(Nat(5)));
         assert_eq!(
             Value::MinPlus(MinPlus(2)).mul(&Value::MinPlus(MinPlus(3))),
             Value::MinPlus(MinPlus(5))

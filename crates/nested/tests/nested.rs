@@ -2,9 +2,7 @@
 
 use agq_core::CompileOptions;
 use agq_logic::Var;
-use agq_nested::{
-    Connective, MultiWeights, NestedEvaluator, NestedFormula, SemiringTag, Value,
-};
+use agq_nested::{Connective, MultiWeights, NestedEvaluator, NestedFormula, SemiringTag, Value};
 use agq_semiring::{Bool, MaxF, Nat, Rat};
 use agq_structure::fx::FxHashMap;
 use agq_structure::{Elem, Signature, Structure};
@@ -186,10 +184,7 @@ fn max_average_neighbor_weight() {
     let num = NestedFormula::Sum(
         vec![y],
         Box::new(NestedFormula::Mul(vec![
-            NestedFormula::Bracket(
-                Box::new(NestedFormula::Rel(e, vec![x, y])),
-                SemiringTag::N,
-            ),
+            NestedFormula::Bracket(Box::new(NestedFormula::Rel(e, vec![x, y])), SemiringTag::N),
             NestedFormula::SAtom {
                 weight: w,
                 tag: SemiringTag::N,
@@ -243,10 +238,7 @@ fn rich_neighbor_boolean_query() {
         let neigh_sum = NestedFormula::Sum(
             vec![z],
             Box::new(NestedFormula::Mul(vec![
-                NestedFormula::Bracket(
-                    Box::new(NestedFormula::Rel(e, vec![y, z])),
-                    SemiringTag::N,
-                ),
+                NestedFormula::Bracket(Box::new(NestedFormula::Rel(e, vec![y, z])), SemiringTag::N),
                 NestedFormula::SAtom {
                     weight: w,
                     tag: SemiringTag::N,
@@ -264,8 +256,7 @@ fn rich_neighbor_boolean_query() {
         let f = NestedFormula::Sum(vec![y], Box::new(cmp));
         assert_eq!(f.tag().unwrap(), SemiringTag::B);
 
-        let mut ev =
-            NestedEvaluator::build(&a, &mw, &f, &CompileOptions::default()).unwrap();
+        let mut ev = NestedEvaluator::build(&a, &mw, &f, &CompileOptions::default()).unwrap();
         for v in 0..a.domain_size() as u32 {
             let mut env = FxHashMap::default();
             env.insert(x, v);
@@ -349,10 +340,7 @@ fn randomized_nested_differential() {
         let inner = NestedFormula::Sum(
             vec![y],
             Box::new(NestedFormula::Mul(vec![
-                NestedFormula::Bracket(
-                    Box::new(NestedFormula::Rel(e, vec![x, y])),
-                    SemiringTag::N,
-                ),
+                NestedFormula::Bracket(Box::new(NestedFormula::Rel(e, vec![x, y])), SemiringTag::N),
                 NestedFormula::SAtom {
                     weight: w,
                     tag: SemiringTag::N,

@@ -65,11 +65,52 @@ impl<S: FiniteSemiring> FinitePerm<S> {
     /// `O(T · 3^k + T · 2^k · k)` with `T ≤ min(n, |S|^k)` — constant in
     /// `n` once every type is present.
     pub fn total(&self) -> S {
+        self.total_from(&self.counts)
+    }
+
+    /// Evaluate the permanent with some entries replaced, **without
+    /// mutating** the structure: the type counts are adjusted into a
+    /// transient copy (`O_{k,|S|}(1)`). Later patches to the same entry
+    /// win.
+    pub fn peek(&self, patches: &[(usize, usize, S)]) -> S {
+        if patches.is_empty() {
+            return self.total();
+        }
+        let mut counts = self.counts.clone();
+        // Patched columns, with patch order preserved per column.
+        let mut touched: Vec<(usize, Vec<S>)> = Vec::new();
+        for (row, col, v) in patches {
+            let idx = match touched.iter().position(|(c, _)| c == col) {
+                Some(i) => i,
+                None => {
+                    touched.push((*col, self.cols.col(*col).to_vec()));
+                    touched.len() - 1
+                }
+            };
+            touched[idx].1[*row] = v.clone();
+        }
+        for (col, new_col) in touched {
+            let old_col = self.cols.col(col);
+            if old_col == new_col.as_slice() {
+                continue;
+            }
+            if let Some(c) = counts.get_mut(old_col) {
+                *c -= 1;
+                if *c == 0 {
+                    counts.remove(old_col);
+                }
+            }
+            *counts.entry(new_col).or_insert(0) += 1;
+        }
+        self.total_from(&counts)
+    }
+
+    fn total_from(&self, counts: &HashMap<Vec<S>, u64>) -> S {
         let k = self.cols.rows();
         let full = (1usize << k) - 1;
         let mut g = vec![S::zero(); 1 << k];
         g[0] = S::one();
-        for (ty, &count) in &self.counts {
+        for (ty, &count) in counts {
             // Precompute Π_{r ∈ mask} ty[r] for every mask.
             let mut prod = vec![S::one(); 1 << k];
             for mask in 1..=full {
@@ -143,8 +184,7 @@ mod tests {
         for k in 1..=3 {
             let mut m = ColMatrix::new(k);
             for _ in 0..8 {
-                let col: Vec<Mod> =
-                    (0..k).map(|_| Mod::new(rng.gen_range(0..5), 5)).collect();
+                let col: Vec<Mod> = (0..k).map(|_| Mod::new(rng.gen_range(0..5), 5)).collect();
                 m.push_col(&col);
             }
             assert_eq!(FinitePerm::build(m.clone()).total(), perm_naive(&m));
@@ -164,6 +204,30 @@ mod tests {
             dynamic.update(r, c, v);
             shadow.set(r, c, v);
             assert_eq!(dynamic.total(), perm_naive(&shadow));
+        }
+    }
+
+    #[test]
+    fn peek_matches_naive_and_leaves_state() {
+        let mut rng = SmallRng::seed_from_u64(15);
+        let m = random_bool_matrix(3, 7, 6);
+        let dynamic = FinitePerm::build(m.clone());
+        for _ in 0..30 {
+            let patches: Vec<(usize, usize, Bool)> = (0..rng.gen_range(1..4))
+                .map(|_| {
+                    (
+                        rng.gen_range(0..3),
+                        rng.gen_range(0..7),
+                        Bool(rng.gen_bool(0.5)),
+                    )
+                })
+                .collect();
+            let mut shadow = m.clone();
+            for (r, c, v) in &patches {
+                shadow.set(*r, *c, *v);
+            }
+            assert_eq!(dynamic.peek(&patches), perm_naive(&shadow));
+            assert_eq!(dynamic.total(), perm_naive(&m), "peek must not mutate");
         }
     }
 

@@ -39,8 +39,8 @@ pub mod partitions;
 pub mod perm_prime;
 mod ring;
 mod segtree;
-pub mod support;
 mod streaming;
+pub mod support;
 
 pub use finite::FinitePerm;
 pub use matrix::ColMatrix;
@@ -87,8 +87,7 @@ mod cross_tests {
             for n in 0..7 {
                 let mut m = ColMatrix::new(k);
                 for _ in 0..n {
-                    let col: Vec<MinPlus> =
-                        (0..k).map(|_| MinPlus(rng.gen_range(0..20))).collect();
+                    let col: Vec<MinPlus> = (0..k).map(|_| MinPlus(rng.gen_range(0..20))).collect();
                     m.push_col(&col);
                 }
                 assert_eq!(perm_streaming(&m), perm_naive(&m), "k={k} n={n}");

@@ -22,7 +22,10 @@ impl<S: Semiring> ColMatrix<S> {
     /// Panics if `k > MAX_ROWS`.
     pub fn new(k: usize) -> Self {
         assert!(k <= MAX_ROWS, "at most {MAX_ROWS} rows supported, got {k}");
-        ColMatrix { k, data: Vec::new() }
+        ColMatrix {
+            k,
+            data: Vec::new(),
+        }
     }
 
     /// Empty matrix with `k` rows and room for `n` columns.
@@ -93,10 +96,7 @@ mod tests {
 
     #[test]
     fn layout_roundtrip() {
-        let m = ColMatrix::from_rows(&[
-            vec![Nat(1), Nat(2), Nat(3)],
-            vec![Nat(4), Nat(5), Nat(6)],
-        ]);
+        let m = ColMatrix::from_rows(&[vec![Nat(1), Nat(2), Nat(3)], vec![Nat(4), Nat(5), Nat(6)]]);
         assert_eq!(m.rows(), 2);
         assert_eq!(m.cols(), 3);
         assert_eq!(*m.get(0, 2), Nat(3));

@@ -67,11 +67,46 @@ impl<S: Ring> RingPerm<S> {
 
     /// The permanent; `O(Bell(k) · k)` ring operations, independent of `n`.
     pub fn total(&self) -> S {
+        self.total_from(&self.sums)
+    }
+
+    /// Evaluate the permanent with some entries replaced, **without
+    /// mutating** the structure: the power sums are adjusted into a
+    /// transient copy (`O_k(1)`). Later patches to the same entry win.
+    pub fn peek(&self, patches: &[(usize, usize, S)]) -> S {
+        if patches.is_empty() {
+            return self.total();
+        }
+        let k = self.cols.rows();
+        let mut sums = self.sums.clone();
+        // Patched columns, with patch order preserved per column.
+        let mut touched: Vec<(usize, Vec<S>)> = Vec::new();
+        for (row, col, v) in patches {
+            let idx = match touched.iter().position(|(c, _)| c == col) {
+                Some(i) => i,
+                None => {
+                    touched.push((*col, self.cols.col(*col).to_vec()));
+                    touched.len() - 1
+                }
+            };
+            touched[idx].1[*row] = v.clone();
+        }
+        for (col, new_col) in &touched {
+            let old_col = self.cols.col(*col);
+            for mask in 1u32..(1 << k) {
+                let delta = prod_over(new_col, mask).sub(&prod_over(old_col, mask));
+                sums[mask as usize].add_assign(&delta);
+            }
+        }
+        self.total_from(&sums)
+    }
+
+    fn total_from(&self, sums: &[S]) -> S {
         let mut out = S::zero();
         for p in &self.partitions {
             let mut term = S::one();
             for &b in &p.blocks {
-                term.mul_assign(&self.sums[b as usize]);
+                term.mul_assign(&sums[b as usize]);
             }
             let scaled = nat_mul(p.magnitude, &term);
             if p.negative {
@@ -136,6 +171,30 @@ mod tests {
                 shadow.set(r, c, v);
                 assert_eq!(dynamic.total(), perm_naive(&shadow));
             }
+        }
+    }
+
+    #[test]
+    fn peek_matches_naive_and_leaves_state() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let m = random_int_matrix(3, 7, 5);
+        let dynamic = RingPerm::build(m.clone());
+        for _ in 0..30 {
+            let patches: Vec<(usize, usize, Int)> = (0..rng.gen_range(1..4))
+                .map(|_| {
+                    (
+                        rng.gen_range(0..3),
+                        rng.gen_range(0..7),
+                        Int(rng.gen_range(-4..5)),
+                    )
+                })
+                .collect();
+            let mut shadow = m.clone();
+            for (r, c, v) in &patches {
+                shadow.set(*r, *c, *v);
+            }
+            assert_eq!(dynamic.peek(&patches), perm_naive(&shadow));
+            assert_eq!(dynamic.total(), perm_naive(&m), "peek must not mutate");
         }
     }
 

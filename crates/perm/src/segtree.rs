@@ -15,13 +15,19 @@ use agq_semiring::Semiring;
 /// fixed (see [`crate::perm_prime`] for the literal Lemma 10 identity).
 /// The logarithmic update bound is optimal for general semirings by
 /// Proposition 14 (sorting lower bound via `(ℕ ∪ {∞}, min, +)`).
+///
+/// All node tables live in **one contiguous buffer** (`2 · size · 2^k`
+/// entries, heap order): updates repair the root path in place with no
+/// allocation, and the read-only [`SegTreePerm::peek`] walks it with two
+/// small ping-pong buffers.
 pub struct SegTreePerm<S> {
     k: usize,
     n: usize,
     /// Number of leaves, `n` rounded up to a power of two (min 1).
     size: usize,
-    /// `tables[node]` has `2^k` entries; nodes in heap order, root at 1.
-    tables: Vec<Vec<S>>,
+    /// Node tables, `2^k` entries each, nodes in heap order (root at 1):
+    /// table of `node` is `tables[node << k .. (node + 1) << k]`.
+    tables: Vec<S>,
     cols: ColMatrix<S>,
 }
 
@@ -31,8 +37,13 @@ impl<S: Semiring> SegTreePerm<S> {
         let k = cols.rows();
         let n = cols.cols();
         let size = n.next_power_of_two().max(1);
-        let empty = Self::empty_table(k);
-        let mut tables = vec![empty; 2 * size];
+        // empty-range tables everywhere: perm(∅ rows) = 1, else 0
+        let mut tables = Vec::with_capacity((2 * size) << k);
+        for _ in 0..2 * size {
+            for mask in 0..1usize << k {
+                tables.push(if mask == 0 { S::one() } else { S::zero() });
+            }
+        }
         let mut tree = SegTreePerm {
             k,
             n,
@@ -41,15 +52,11 @@ impl<S: Semiring> SegTreePerm<S> {
             cols,
         };
         for c in 0..n {
-            tree.tables[tree.size + c] = tree.leaf_table(c);
+            tree.write_leaf(c);
         }
         for node in (1..tree.size).rev() {
-            tree.tables[node] = tree.merge(node);
+            tree.merge_into_node(node);
         }
-        // `tables` moved into `tree` above; shadowing silences the unused
-        // first binding without an extra allocation.
-        tables = Vec::new();
-        let _ = tables;
         tree
     }
 
@@ -63,13 +70,18 @@ impl<S: Semiring> SegTreePerm<S> {
         self.cols.get(row, col)
     }
 
+    /// The table of `node` as a slice of `2^k` entries.
+    fn table(&self, node: usize) -> &[S] {
+        &self.tables[node << self.k..(node + 1) << self.k]
+    }
+
     /// The permanent of the full matrix.
     pub fn total(&self) -> &S {
-        &self.tables[1][(1 << self.k) - 1]
+        &self.tables[(1 << self.k) + ((1 << self.k) - 1)]
     }
 
     /// Overwrite entry `(row, col)` and repair the root path:
-    /// `O(3^k log n)` semiring operations.
+    /// `O(3^k log n)` semiring operations, no allocation.
     pub fn update(&mut self, row: usize, col: usize, value: S) {
         assert!(col < self.n, "column {col} out of range");
         self.cols.set(row, col, value);
@@ -101,54 +113,173 @@ impl<S: Semiring> SegTreePerm<S> {
         out
     }
 
+    /// Evaluate the permanent with some entries replaced, **without
+    /// mutating** the structure: only the root paths of the patched
+    /// columns are recomputed, into a transient overlay
+    /// (`O(3^k · p · log n)` for `p` patched columns). Later patches to
+    /// the same entry win.
+    pub fn peek(&self, patches: &[(usize, usize, S)]) -> S {
+        if patches.is_empty() {
+            return self.total().clone();
+        }
+        // Fast path — all patches hit one column (the common case for
+        // point queries): walk the single root path with two ping-pong
+        // buffers instead of a per-level frontier.
+        let col0 = patches[0].1;
+        if patches.iter().all(|(_, c, _)| *c == col0) {
+            assert!(col0 < self.n, "column {col0} out of range");
+            let mut cur = self.patched_leaf(col0, patches);
+            let mut buf: Vec<S> = Vec::with_capacity(1 << self.k);
+            let mut node = self.size + col0;
+            // Early exit: once the overlay table equals the stored table
+            // at some node, every ancestor is unchanged too (frequent in
+            // idempotent semirings like (min, +)).
+            while node > 1 {
+                if cur == self.table(node) {
+                    return self.total().clone();
+                }
+                let sibling = self.table(node ^ 1);
+                if node.is_multiple_of(2) {
+                    merge_tables_into(self.k, &cur, sibling, &mut buf);
+                } else {
+                    merge_tables_into(self.k, sibling, &cur, &mut buf);
+                }
+                std::mem::swap(&mut cur, &mut buf);
+                node /= 2;
+            }
+            return cur[(1 << self.k) - 1].clone();
+        }
+        // General path: patched leaf tables, one per affected column
+        // (patch order is preserved within a column, so the last write to
+        // an entry wins).
+        let mut frontier: Vec<(usize, Vec<S>)> = Vec::with_capacity(patches.len());
+        for (row, col, v) in patches {
+            assert!(*col < self.n, "column {col} out of range");
+            let node = self.size + *col;
+            let idx = match frontier.iter().position(|(nd, _)| *nd == node) {
+                Some(i) => i,
+                None => {
+                    frontier.push((node, self.table(node).to_vec()));
+                    frontier.len() - 1
+                }
+            };
+            frontier[idx].1[1 << *row] = v.clone();
+        }
+        frontier.sort_by_key(|(node, _)| *node);
+        // Walk the affected paths up level by level, merging against the
+        // stored sibling tables (or a sibling overlay, when both children
+        // of a node are patched). Overlay tables that match the stored
+        // table are dropped — their ancestors cannot change.
+        while !frontier.is_empty() && (frontier.len() > 1 || frontier[0].0 > 1) {
+            let mut next: Vec<(usize, Vec<S>)> = Vec::with_capacity(frontier.len());
+            let mut i = 0;
+            while i < frontier.len() {
+                let node = frontier[i].0;
+                if frontier[i].1 == self.table(node) {
+                    i += 1;
+                    continue;
+                }
+                if node.is_multiple_of(2)
+                    && i + 1 < frontier.len()
+                    && frontier[i + 1].0 == node + 1
+                    && frontier[i + 1].1 != self.table(node + 1)
+                {
+                    let merged = merge_tables(self.k, &frontier[i].1, &frontier[i + 1].1);
+                    next.push((node / 2, merged));
+                    i += 2;
+                } else {
+                    let sibling = self.table(node ^ 1);
+                    let merged = if node.is_multiple_of(2) {
+                        merge_tables(self.k, &frontier[i].1, sibling)
+                    } else {
+                        merge_tables(self.k, sibling, &frontier[i].1)
+                    };
+                    next.push((node / 2, merged));
+                    i += 1;
+                }
+            }
+            frontier = next;
+        }
+        match frontier.pop() {
+            Some((_, root)) => root[(1 << self.k) - 1].clone(),
+            None => self.total().clone(),
+        }
+    }
+
+    /// The leaf table of `col` with same-column patches applied.
+    fn patched_leaf(&self, col: usize, patches: &[(usize, usize, S)]) -> Vec<S> {
+        let mut t = self.table(self.size + col).to_vec();
+        for (row, _, v) in patches {
+            t[1 << *row] = v.clone();
+        }
+        t
+    }
+
     fn refresh_col(&mut self, col: usize) {
-        self.tables[self.size + col] = self.leaf_table(col);
+        self.write_leaf(col);
         let mut node = (self.size + col) / 2;
         while node >= 1 {
-            self.tables[node] = self.merge(node);
+            self.merge_into_node(node);
             node /= 2;
         }
     }
 
-    /// Table of a node covering zero columns: perm(∅ rows) = 1, else 0.
-    fn empty_table(k: usize) -> Vec<S> {
-        let mut t = vec![S::zero(); 1 << k];
-        t[0] = S::one();
-        t
-    }
-
-    /// Table of the single column `c`: only ∅ and singleton row sets have
-    /// nonzero permanents.
-    fn leaf_table(&self, c: usize) -> Vec<S> {
-        let mut t = Self::empty_table(self.k);
-        if c < self.n {
-            for r in 0..self.k {
-                t[1 << r] = self.cols.get(r, c).clone();
-            }
+    /// (Re)write the leaf table of column `c` from the matrix: only ∅ and
+    /// singleton row sets have nonzero permanents.
+    fn write_leaf(&mut self, c: usize) {
+        let base = (self.size + c) << self.k;
+        self.tables[base] = S::one();
+        for mask in 1..1usize << self.k {
+            self.tables[base + mask] = if mask.is_power_of_two() {
+                self.cols.get(mask.trailing_zeros() as usize, c).clone()
+            } else {
+                S::zero()
+            };
         }
-        t
     }
 
-    /// Subset-convolve the two children of `node`.
-    fn merge(&self, node: usize) -> Vec<S> {
-        let left = &self.tables[2 * node];
-        let right = &self.tables[2 * node + 1];
-        let mut out = Vec::with_capacity(1 << self.k);
-        for mask in 0..(1u32 << self.k) {
+    /// Subset-convolve the two children of `node` into `node`, in place.
+    fn merge_into_node(&mut self, node: usize) {
+        let k = self.k;
+        for mask in 0..1u32 << k {
             let mut acc = S::zero();
             let mut sub = mask;
             loop {
-                acc.add_assign(
-                    &left[sub as usize].mul(&right[(mask & !sub) as usize]),
-                );
+                let l = &self.tables[((2 * node) << k) + sub as usize];
+                let r = &self.tables[((2 * node + 1) << k) + (mask & !sub) as usize];
+                acc.add_assign(&l.mul(r));
                 if sub == 0 {
                     break;
                 }
                 sub = (sub - 1) & mask;
             }
-            out.push(acc);
+            self.tables[(node << k) + mask as usize] = acc;
         }
-        out
+    }
+}
+
+/// Subset-convolve two per-row-subset permanent tables:
+/// `out[R'] = Σ_{R'' ⊆ R'} left[R''] · right[R' \ R'']`.
+fn merge_tables<S: Semiring>(k: usize, left: &[S], right: &[S]) -> Vec<S> {
+    let mut out = Vec::with_capacity(1 << k);
+    merge_tables_into(k, left, right, &mut out);
+    out
+}
+
+/// [`merge_tables`] into a reusable buffer (cleared first).
+fn merge_tables_into<S: Semiring>(k: usize, left: &[S], right: &[S], out: &mut Vec<S>) {
+    out.clear();
+    for mask in 0..(1u32 << k) {
+        let mut acc = S::zero();
+        let mut sub = mask;
+        loop {
+            acc.add_assign(&left[sub as usize].mul(&right[(mask & !sub) as usize]));
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & mask;
+        }
+        out.push(acc);
     }
 }
 
@@ -221,6 +352,68 @@ mod tests {
         shadow.set(1, 3, Nat(7));
         assert_eq!(peeked, perm_naive(&shadow));
         assert_eq!(tree.total(), &before, "peek must restore");
+    }
+
+    #[test]
+    fn peek_matches_peek_with_and_leaves_state() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let m = random_matrix(3, 9, 4);
+        let mut tree = SegTreePerm::build(m.clone());
+        for _ in 0..40 {
+            let patches: Vec<(usize, usize, Nat)> = (0..rng.gen_range(1..5))
+                .map(|_| {
+                    (
+                        rng.gen_range(0..3),
+                        rng.gen_range(0..9),
+                        Nat(rng.gen_range(0..4)),
+                    )
+                })
+                .collect();
+            let before = *tree.total();
+            let peeked = tree.peek(&patches);
+            assert_eq!(*tree.total(), before, "peek must not mutate");
+            assert_eq!(peeked, tree.peek_with(&patches));
+        }
+    }
+
+    #[test]
+    fn peek_minplus_single_and_multi_column() {
+        let mut rng = SmallRng::seed_from_u64(29);
+        let mut m = ColMatrix::new(2);
+        for _ in 0..11 {
+            m.push_col(&[MinPlus(rng.gen_range(1..30)), MinPlus(rng.gen_range(1..30))]);
+        }
+        let tree = SegTreePerm::build(m.clone());
+        for _ in 0..40 {
+            let patches: Vec<(usize, usize, MinPlus)> = (0..rng.gen_range(1..4))
+                .map(|_| {
+                    (
+                        rng.gen_range(0..2),
+                        rng.gen_range(0..11),
+                        if rng.gen_bool(0.3) {
+                            MinPlus::INF
+                        } else {
+                            MinPlus(rng.gen_range(1..30))
+                        },
+                    )
+                })
+                .collect();
+            let mut shadow = m.clone();
+            for (r, c, v) in &patches {
+                shadow.set(*r, *c, *v);
+            }
+            assert_eq!(tree.peek(&patches), perm_naive(&shadow));
+        }
+    }
+
+    #[test]
+    fn peek_last_patch_wins_per_entry() {
+        let m = random_matrix(2, 4, 8);
+        let tree = SegTreePerm::build(m.clone());
+        let peeked = tree.peek(&[(0, 1, Nat(5)), (0, 1, Nat(2))]);
+        let mut shadow = m;
+        shadow.set(0, 1, Nat(2));
+        assert_eq!(peeked, perm_naive(&shadow));
     }
 
     #[test]

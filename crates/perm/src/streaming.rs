@@ -87,8 +87,7 @@ mod tests {
         let mut acc = PrefixPerm::new(2);
         for j in 0..full.cols() {
             acc.push_col(full.col(j));
-            let prefix_rows: Vec<Vec<Nat>> =
-                rows.iter().map(|r| r[..=j].to_vec()).collect();
+            let prefix_rows: Vec<Vec<Nat>> = rows.iter().map(|r| r[..=j].to_vec()).collect();
             let prefix = ColMatrix::from_rows(&prefix_rows);
             assert_eq!(acc.total(), &crate::perm_naive(&prefix), "prefix {j}");
         }
@@ -108,10 +107,7 @@ mod tests {
 
     #[test]
     fn subset_masks_expose_partial_permanents() {
-        let m = ColMatrix::from_rows(&[
-            vec![Nat(1), Nat(2)],
-            vec![Nat(3), Nat(4)],
-        ]);
+        let m = ColMatrix::from_rows(&[vec![Nat(1), Nat(2)], vec![Nat(3), Nat(4)]]);
         let mut acc = PrefixPerm::new(2);
         for c in m.iter_cols() {
             acc.push_col(c);

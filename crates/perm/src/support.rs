@@ -108,16 +108,11 @@ mod tests {
             for n in [1usize, 3, 6, 10] {
                 let mut m = ColMatrix::new(k);
                 for _ in 0..n {
-                    let col: Vec<Bool> =
-                        (0..k).map(|_| Bool(rng.gen_bool(0.4))).collect();
+                    let col: Vec<Bool> = (0..k).map(|_| Bool(rng.gen_bool(0.4))).collect();
                     m.push_col(&col);
                 }
                 let expected = FinitePerm::build(m.clone()).total().0;
-                assert_eq!(
-                    sdr_exists(k, &counts_of(&m)),
-                    expected,
-                    "k={k} n={n}"
-                );
+                assert_eq!(sdr_exists(k, &counts_of(&m)), expected, "k={k} n={n}");
             }
         }
     }

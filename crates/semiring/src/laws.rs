@@ -41,10 +41,7 @@ pub fn check_semiring_laws<S: Semiring>(samples: &[S]) {
 /// Assert the additional ring laws on every element of `samples`.
 pub fn check_ring_laws<R: Ring>(samples: &[R]) {
     for a in samples {
-        assert!(
-            a.add(&a.neg()).is_zero(),
-            "a + (−a) ≠ 0 for {a:?}"
-        );
+        assert!(a.add(&a.neg()).is_zero(), "a + (−a) ≠ 0 for {a:?}");
         assert!(a.sub(a).is_zero(), "a − a ≠ 0 for {a:?}");
         for b in samples {
             assert_eq!(

@@ -28,6 +28,7 @@
 //! available ⇒ O(1) updates) and [`FiniteSemiring`] (Lemma 18, counting
 //! gates ⇒ O(1) updates).
 
+pub mod fx;
 pub mod laws;
 mod numeric;
 mod pair;

@@ -283,10 +283,7 @@ impl Mod {
         } else if rhs.modulus == DEFAULT_MODULUS {
             self.modulus
         } else {
-            panic!(
-                "modulus mismatch: {} vs {}",
-                self.modulus, rhs.modulus
-            );
+            panic!("modulus mismatch: {} vs {}", self.modulus, rhs.modulus);
         }
     }
 }
@@ -322,7 +319,9 @@ impl Ring for Mod {
 
 impl FiniteSemiring for Mod {
     fn enumerate() -> Vec<Self> {
-        (0..DEFAULT_MODULUS).map(|v| Mod::new(v, DEFAULT_MODULUS)).collect()
+        (0..DEFAULT_MODULUS)
+            .map(|v| Mod::new(v, DEFAULT_MODULUS))
+            .collect()
     }
     fn index_of(&self) -> usize {
         self.value as usize

@@ -222,10 +222,7 @@ mod tests {
     #[test]
     fn monomials_are_commutative() {
         assert_eq!(g(1).mul(&g(2)), g(2).mul(&g(1)));
-        assert_eq!(
-            g(1).mul(&g(2)).mul(&g(1)),
-            g(1).mul(&g(1)).mul(&g(2))
-        );
+        assert_eq!(g(1).mul(&g(2)).mul(&g(1)), g(1).mul(&g(1)).mul(&g(2)));
     }
 
     #[test]

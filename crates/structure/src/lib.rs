@@ -16,7 +16,7 @@
 //! * [`fx`] — a fast FxHash-style hasher for the element-keyed maps
 //!   (HashDoS is not a concern for an analytical engine).
 
-pub mod fx;
+pub use agq_semiring::fx;
 pub mod gaifman;
 mod signature;
 #[allow(clippy::module_inception)]

@@ -94,9 +94,9 @@ impl<S: Semiring> WeightedStructure<S> {
             return std::mem::replace(&mut table[t[0] as usize], value);
         }
         if t.len() >= 2 && !value.is_zero() {
-            let supported = sig.relation_ids().any(|r| {
-                sig.relation_arity(r) == t.len() && self.structure.holds(r, t)
-            });
+            let supported = sig
+                .relation_ids()
+                .any(|r| sig.relation_arity(r) == t.len() && self.structure.holds(r, t));
             assert!(
                 supported,
                 "weight {} set on {:?}, which is not a tuple of any arity-{} relation",
@@ -109,9 +109,7 @@ impl<S: Semiring> WeightedStructure<S> {
         if value.is_zero() {
             self.sparse[widx].remove(&key).unwrap_or_else(S::zero)
         } else {
-            self.sparse[widx]
-                .insert(key, value)
-                .unwrap_or_else(S::zero)
+            self.sparse[widx].insert(key, value).unwrap_or_else(S::zero)
         }
     }
 

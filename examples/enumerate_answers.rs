@@ -68,9 +68,7 @@ fn main() {
     let second = it.next();
     let back = it.prev();
     assert_eq!(first, back, "prev undoes next");
-    println!(
-        "\nbidirectional walk: first {first:?}, second {second:?}, prev back to {back:?}"
-    );
+    println!("\nbidirectional walk: first {first:?}, second {second:?}, prev back to {back:?}");
 
     // Result (E): a nested Boolean query — vertices whose out-neighbor
     // count exceeds 4 — through FOG[C] + answer enumeration.
@@ -99,12 +97,15 @@ fn main() {
             SemiringTag::N,
         )),
     );
-    let gt4 = Connective::new("deg>4", vec![SemiringTag::N], SemiringTag::B, |vals| {
-        match &vals[0] {
+    let gt4 = Connective::new(
+        "deg>4",
+        vec![SemiringTag::N],
+        SemiringTag::B,
+        |vals| match &vals[0] {
             Value::N(n) => Value::B(Bool(n.0 > 4)),
             _ => unreachable!(),
-        }
-    });
+        },
+    );
     let hubs = NestedFormula::Guarded {
         guard: u_rel,
         guard_args: vec![x],

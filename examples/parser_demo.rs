@@ -40,12 +40,11 @@ fn main() {
     println!("open 2-paths (wedges that don't close): {}", engine.value());
 
     // ---- the same text, optimized in (min,+) --------------------------
-    let (expr, vars) = parse_expr::<MinPlus>(
-        "sum y. [E(x,y)] * c(x,y) * w(y)",
-        a.signature(),
-        |s| s.parse().ok().map(MinPlus),
-    )
-    .unwrap();
+    let (expr, vars) =
+        parse_expr::<MinPlus>("sum y. [E(x,y)] * c(x,y) * w(y)", a.signature(), |s| {
+            s.parse().ok().map(MinPlus)
+        })
+        .unwrap();
     println!(
         "parsed f({}) with free variable(s) {:?}",
         vars.names().join(","),
@@ -64,12 +63,18 @@ fn main() {
     }
     let mut engine = GeneralEngine::new(compiled, &weights);
     for probe in [0u32, 7, 100] {
-        println!("  cheapest outgoing step from {probe}: {}", engine.query(&[probe]));
+        println!(
+            "  cheapest outgoing step from {probe}: {}",
+            engine.query(&[probe])
+        );
     }
 
     // ---- formulas for enumeration -------------------------------------
     let (phi, _) = parse_formula("E(x,y) & E(y,z) & x != z", a.signature()).unwrap();
-    let ix = sparse_agg::enumerate::AnswerIndex::build(&a, &phi, &CompileOptions::default())
-        .unwrap();
-    println!("2-paths in the graph: {} (constant-delay enumerable)", ix.count());
+    let ix =
+        sparse_agg::enumerate::AnswerIndex::build(&a, &phi, &CompileOptions::default()).unwrap();
+    println!(
+        "2-paths in the graph: {} (constant-delay enumerable)",
+        ix.count()
+    );
 }

@@ -43,7 +43,11 @@ fn main() {
             .iter()
             .map(|g| {
                 let id = g.0;
-                format!("e_{}{}", names[(id / 10) as usize], names[(id % 10) as usize])
+                format!(
+                    "e_{}{}",
+                    names[(id / 10) as usize],
+                    names[(id % 10) as usize]
+                )
             })
             .collect();
         println!("  {}", pretty.join("·"));

@@ -84,7 +84,10 @@ fn main() {
         weights_min.set(w, t, MinPlus(c));
     });
     let engine_min = GeneralEngine::new(compiled_min, &weights_min);
-    println!("min+ cheapest triangle cost:          {}", engine_min.value());
+    println!(
+        "min+ cheapest triangle cost:          {}",
+        engine_min.value()
+    );
 
     // Bottleneck: minimize the heaviest edge of a triangle.
     let expr_mm = triangle_expr!(MinMax);
@@ -96,7 +99,10 @@ fn main() {
         weights_mm.set(w, t, MinMax(c));
     });
     let engine_mm = GeneralEngine::new(compiled_mm, &weights_mm);
-    println!("minmax bottleneck triangle:           {}", engine_mm.value());
+    println!(
+        "minmax bottleneck triangle:           {}",
+        engine_mm.value()
+    );
 
     // Boolean: does any triangle exist? (finite semiring ⇒ O(1) updates)
     let expr_b = triangle_expr!(Bool);

@@ -59,8 +59,8 @@ pub use agq_structure as structure;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use agq_core::{
-        compile, eliminate_quantifiers, CompileError, CompileOptions, FiniteEngine,
-        GeneralEngine, QueryEngine, RingEngine,
+        compile, eliminate_quantifiers, CompileError, CompileOptions, FiniteEngine, GeneralEngine,
+        QueryEngine, RingEngine,
     };
     pub use agq_enumerate::{AnswerIndex, ProvenanceIndex};
     pub use agq_logic::{normalize, parse_expr, parse_formula, Expr, Formula, Var};
@@ -68,8 +68,7 @@ pub mod prelude {
         Connective, MultiWeights, NestedEvaluator, NestedFormula, SemiringTag, Value,
     };
     pub use agq_semiring::{
-        Bool, Gen, Int, MaxF, MaxPlus, MinMax, MinPlus, Monomial, Nat, Poly, Rat, Ring,
-        Semiring,
+        Bool, Gen, Int, MaxF, MaxPlus, MinMax, MinPlus, Monomial, Nat, Poly, Rat, Ring, Semiring,
     };
     pub use agq_structure::{Signature, Structure, WeightedStructure};
 }

@@ -7,7 +7,11 @@ use sparse_agg::graph::generators;
 use sparse_agg::prelude::*;
 use std::sync::Arc;
 
-fn graph_structure(n: usize, m_factor: usize, seed: u64) -> (Arc<Structure>, sparse_agg::structure::RelId) {
+fn graph_structure(
+    n: usize,
+    m_factor: usize,
+    seed: u64,
+) -> (Arc<Structure>, sparse_agg::structure::RelId) {
     let g = generators::gnm(n, m_factor * n, seed);
     let mut sig = Signature::new();
     let e = sig.add_relation("E", 2);
@@ -155,8 +159,7 @@ fn works_across_graph_classes() {
             a.insert(e, &[v, u]);
         }
         let (x, y) = (Var(0), Var(1));
-        let expr: Expr<Nat> =
-            Expr::Bracket(Formula::Rel(e, vec![x, y])).sum_over([x, y]);
+        let expr: Expr<Nat> = Expr::Bracket(Formula::Rel(e, vec![x, y])).sum_over([x, y]);
         let nf = normalize(&expr).unwrap();
         let compiled = compile(&a, &nf, &CompileOptions::default())
             .unwrap_or_else(|err| panic!("{name}: {err}"));

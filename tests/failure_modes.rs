@@ -35,9 +35,7 @@ fn unguarded_two_variable_quantifier_is_rejected() {
     // guarded fragment we substitute for Theorem 3.
     let inner = Formula::Exists(
         Var(2),
-        Box::new(
-            Formula::Rel(e, vec![Var(0), Var(2)]).and(Formula::Rel(e, vec![Var(2), Var(1)])),
-        ),
+        Box::new(Formula::Rel(e, vec![Var(0), Var(2)]).and(Formula::Rel(e, vec![Var(2), Var(1)]))),
     );
     let expr: Expr<Nat> = Expr::Bracket(inner).sum_over([Var(0), Var(1)]);
     let err = eliminate_quantifiers(&expr, &a, &CompileOptions::default()).unwrap_err();
@@ -137,8 +135,7 @@ fn nested_type_errors_are_precise() {
 fn query_arity_mismatch_panics_with_message() {
     let a = small_graph();
     let e = a.signature().relation("E").unwrap();
-    let expr: Expr<Nat> =
-        Expr::Bracket(Formula::Rel(e, vec![Var(0), Var(1)])).sum_over([Var(0)]);
+    let expr: Expr<Nat> = Expr::Bracket(Formula::Rel(e, vec![Var(0), Var(1)])).sum_over([Var(0)]);
     let nf = normalize(&expr).unwrap();
     let compiled = compile(&a, &nf, &CompileOptions::default()).unwrap();
     let w: WeightedStructure<Nat> = WeightedStructure::new(Arc::new(a));
@@ -157,8 +154,7 @@ fn querying_out_of_domain_elements_is_zero_not_panic() {
     let e = s.relation("E").unwrap();
     let mut a = Structure::new(Arc::new(s), 5);
     a.insert(e, &[0, 1]); // elements 2..4 isolated
-    let expr: Expr<Nat> =
-        Expr::Bracket(Formula::Rel(e, vec![Var(0), Var(1)])).sum_over([Var(0)]);
+    let expr: Expr<Nat> = Expr::Bracket(Formula::Rel(e, vec![Var(0), Var(1)])).sum_over([Var(0)]);
     let nf = normalize(&expr).unwrap();
     let compiled = compile(&a, &nf, &CompileOptions::default()).unwrap();
     let w: WeightedStructure<Nat> = WeightedStructure::new(Arc::new(a));

@@ -5,9 +5,7 @@
 
 use proptest::prelude::*;
 use sparse_agg::baseline;
-use sparse_agg::perm::{
-    perm_naive, perm_streaming, ColMatrix, FinitePerm, RingPerm, SegTreePerm,
-};
+use sparse_agg::perm::{perm_naive, perm_streaming, ColMatrix, FinitePerm, RingPerm, SegTreePerm};
 use sparse_agg::prelude::*;
 use sparse_agg::semiring::laws;
 use std::sync::Arc;
@@ -143,7 +141,13 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
     })
 }
 
-fn build(inst: &Instance) -> (Arc<Structure>, sparse_agg::structure::RelId, sparse_agg::structure::WeightId) {
+fn build(
+    inst: &Instance,
+) -> (
+    Arc<Structure>,
+    sparse_agg::structure::RelId,
+    sparse_agg::structure::WeightId,
+) {
     let mut sig = Signature::new();
     let e = sig.add_relation("E", 2);
     let w = sig.add_weight("w", 1);
