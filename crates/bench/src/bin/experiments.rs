@@ -36,6 +36,153 @@ fn main() {
     e12_ablation_coloring();
     e13_throughput(&mut record);
     record.write("BENCH_1.json");
+    let mut record2 = Bench2Record::default();
+    e9v2_enum_csr(&mut record2);
+    record2.write("BENCH_2.json");
+}
+
+/// Headline numbers of PR 2 (CSR enumeration machine + compiler
+/// instantiation caches), persisted as `BENCH_2.json`.
+#[derive(Default)]
+struct Bench2Record {
+    n: usize,
+    build_ms: f64,
+    answers: u64,
+    answers_per_sec: f64,
+    /// Delay histogram buckets: <1µs, 1–10µs, 10–100µs, 100µs–1ms, ≥1ms.
+    delay_hist: [u64; 5],
+    apply_update_ns: f64,
+    rebuild_ms: f64,
+}
+
+impl Bench2Record {
+    /// `AnswerIndex::build` time for this workload as measured at the
+    /// end of PR 1 on this hardware (the super-linear instantiation
+    /// re-scan; the seed-era number in the issue was 14 s).
+    const PR1_BUILD_MS: f64 = 11_415.0;
+
+    fn write(&self, path: &str) {
+        let update_speedup = if self.apply_update_ns > 0.0 {
+            self.rebuild_ms * 1e6 / self.apply_update_ns
+        } else {
+            0.0
+        };
+        let json = format!(
+            "{{\n  \"bench\": 2,\n  \"e9v2_build\": {{\"n\": {}, \"build_ms\": {:.1}, \"pr1_build_ms\": {:.1}, \"build_speedup\": {:.2}}},\n  \"e9v2_enumerate\": {{\"answers\": {}, \"answers_per_sec\": {:.0}, \"delay_hist\": {{\"lt_1us\": {}, \"1_10us\": {}, \"10_100us\": {}, \"100us_1ms\": {}, \"ge_1ms\": {}}}}},\n  \"e9v2_update\": {{\"apply_update_ns\": {:.1}, \"full_rebuild_ms\": {:.1}, \"update_speedup\": {:.0}}}\n}}\n",
+            self.n,
+            self.build_ms,
+            Self::PR1_BUILD_MS,
+            Self::PR1_BUILD_MS / self.build_ms,
+            self.answers,
+            self.answers_per_sec,
+            self.delay_hist[0],
+            self.delay_hist[1],
+            self.delay_hist[2],
+            self.delay_hist[3],
+            self.delay_hist[4],
+            self.apply_update_ns,
+            self.rebuild_ms,
+            update_speedup,
+        );
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+/// E9v2 — PR 2 headline: CSR enumeration machine over the E9 workload.
+/// Build time (the compiler re-scan fix), enumeration throughput with a
+/// delay histogram, and incremental `apply_update` vs a full rebuild.
+fn e9v2_enum_csr(record: &mut Bench2Record) {
+    println!(
+        "## E9v2  CSR enumeration: build / throughput / delay histogram / incremental updates"
+    );
+    println!("2-path query | n | build | answers | ans/s | delay hist <1µs,<10µs,<100µs,<1ms,≥1ms");
+    for &n in &[1000usize, 2000, 4000] {
+        let wl = sparse_random(n, 7);
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        let phi = Formula::Rel(wl.e, vec![x, y])
+            .and(Formula::Rel(wl.e, vec![y, z]))
+            .and(Formula::neq(x, z));
+        let t0 = Instant::now();
+        let ix = AnswerIndex::build(&wl.a, &phi, &CompileOptions::default()).unwrap();
+        let build = t0.elapsed();
+        let mut hist = [0u64; 5];
+        let mut count = 0u64;
+        let t_enum = Instant::now();
+        let mut it = ix.iter();
+        loop {
+            let t = Instant::now();
+            let step = it.next();
+            let d = t.elapsed();
+            if step.is_none() {
+                break; // the exhausted call is not an answer delay
+            }
+            hist[match d.as_nanos() {
+                0..=999 => 0,
+                1_000..=9_999 => 1,
+                10_000..=99_999 => 2,
+                100_000..=999_999 => 3,
+                _ => 4,
+            }] += 1;
+            count += 1;
+        }
+        let total = t_enum.elapsed();
+        let aps = count as f64 / total.as_secs_f64();
+        println!(
+            "    | {n:>5} | {build:>9?} | {count:>7} | {aps:>9.0} | {:?}",
+            hist
+        );
+        if n == 4000 {
+            record.n = n;
+            record.build_ms = build.as_secs_f64() * 1e3;
+            record.answers = count;
+            record.answers_per_sec = aps;
+            record.delay_hist = hist;
+        }
+    }
+
+    // Incremental maintenance vs rebuild: dynamic edge query at n=4000.
+    let n = 4000;
+    let wl = sparse_random(n, 23);
+    let (x, y) = (Var(0), Var(1));
+    let phi = Formula::Rel(wl.e, vec![x, y]);
+    let mut ix = AnswerIndex::build_dynamic(&wl.a, &phi, &CompileOptions::default()).unwrap();
+    let edges: Vec<[u32; 2]> =
+        wl.a.relation(wl.e)
+            .iter()
+            .map(|t| [t.as_slice()[0], t.as_slice()[1]])
+            .collect();
+    let mut rng = SmallRng::seed_from_u64(3);
+    let reps = 5000u32;
+    // Every timed update is a genuine membership flip (tracking current
+    // state), so the per-update cost includes the cone repair.
+    let mut present = vec![true; edges.len()];
+    let t_upd = time(|| {
+        for _ in 0..reps {
+            let ei = rng.gen_range(0..edges.len());
+            present[ei] = !present[ei];
+            let u = agq_core::TupleUpdate {
+                rel: wl.e,
+                tuple: edges[ei].to_vec(),
+                present: present[ei],
+            };
+            ix.apply_update(&u).unwrap();
+        }
+    }) / reps;
+    let t_rebuild = time(|| {
+        std::hint::black_box(
+            AnswerIndex::build_dynamic(&wl.a, &phi, &CompileOptions::default()).unwrap(),
+        );
+    });
+    record.apply_update_ns = t_upd.as_nanos() as f64;
+    record.rebuild_ms = t_rebuild.as_secs_f64() * 1e3;
+    println!(
+        "    incremental apply_update: {t_upd:?}/update vs full rebuild {t_rebuild:?} \
+         ({:.0}× faster per single-tuple update)\n",
+        t_rebuild.as_secs_f64() / t_upd.as_secs_f64()
+    );
 }
 
 /// Headline numbers of this PR, persisted as `BENCH_1.json` so future

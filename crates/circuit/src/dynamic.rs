@@ -1,5 +1,6 @@
 //! Dynamic circuit evaluation under input updates (Theorem 8's engine).
 
+use crate::csr::{Csr, CsrBuilder};
 use crate::{Circuit, GateDef, GateId};
 use agq_perm::{ColMatrix, FinitePerm, RingPerm, SegTreePerm};
 use agq_semiring::{FiniteSemiring, Ring, Semiring};
@@ -114,24 +115,20 @@ const NO_PERM: u32 = u32::MAX;
 /// `O(log |A|)` / `O(1)` bounds of Theorem 8.
 ///
 /// Like the circuit itself, the evaluator's adjacency is flat: parent
-/// lists and per-slot input-gate lists are CSR buffers (one offset table
-/// plus one contiguous payload each), built in two counting passes —
-/// no per-gate allocations, no per-update clones.
+/// lists and per-slot input-gate lists are [`Csr`] buffers (one offset
+/// table plus one contiguous payload each), built in two counting
+/// passes — no per-gate allocations, no per-update clones.
 pub struct DynEvaluator<S: Semiring, P: PermMaint<S>> {
     circuit: Arc<Circuit>,
     values: Vec<S>,
-    /// CSR: parents of gate `g` are
-    /// `parent_refs[parent_offsets[g]..parent_offsets[g+1]]`.
-    parent_offsets: Vec<u32>,
-    parent_refs: Vec<ParentRef>,
+    /// Parents of each gate.
+    parents: Csr<ParentRef>,
     /// Gate id → index into `perms` (`NO_PERM` for non-perm gates).
     perm_index: Vec<u32>,
     /// Perm-gate maintenance structures, dense, in gate order.
     perms: Vec<P>,
-    /// CSR: input gates of slot `s` are
-    /// `slot_gates[slot_offsets[s]..slot_offsets[s+1]]`.
-    slot_offsets: Vec<u32>,
-    slot_gates: Vec<u32>,
+    /// Input gates of each slot.
+    slot_gates: Csr<u32>,
     slot_values: Vec<S>,
 }
 
@@ -145,79 +142,48 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
         let n = gates.len();
 
         // Pass 1: count parent references and input gates per slot.
-        let mut parent_offsets = vec![0u32; n + 1];
-        let mut slot_offsets = vec![0u32; circuit.num_slots() + 1];
+        let mut parents = CsrBuilder::new(n);
+        let mut slot_gates = CsrBuilder::new(circuit.num_slots());
         let mut num_perms = 0usize;
         for g in gates {
             match g {
-                GateDef::Input(slot) => slot_offsets[*slot as usize + 1] += 1,
+                GateDef::Input(slot) => slot_gates.count(*slot as usize),
                 GateDef::Const(_) => {}
                 GateDef::Add(r) => {
                     for c in circuit.children(*r) {
-                        parent_offsets[c.0 as usize + 1] += 1;
+                        parents.count(c.0 as usize);
                     }
                 }
                 GateDef::Mul(a, b) => {
-                    parent_offsets[a.0 as usize + 1] += 1;
-                    parent_offsets[b.0 as usize + 1] += 1;
+                    parents.count(a.0 as usize);
+                    parents.count(b.0 as usize);
                 }
                 GateDef::Perm { cols, .. } => {
                     num_perms += 1;
                     for c in circuit.children(*cols) {
-                        parent_offsets[c.0 as usize + 1] += 1;
+                        parents.count(c.0 as usize);
                     }
                 }
             }
         }
-        for i in 1..parent_offsets.len() {
-            parent_offsets[i] += parent_offsets[i - 1];
-        }
-        for i in 1..slot_offsets.len() {
-            slot_offsets[i] += slot_offsets[i - 1];
-        }
 
         // Pass 2: fill the flat buffers and build perm maintenance state.
-        let mut parent_refs = vec![ParentRef::Add(0); *parent_offsets.last().unwrap() as usize];
-        let mut slot_gates = vec![0u32; *slot_offsets.last().unwrap() as usize];
-        let mut parent_cursor: Vec<u32> = parent_offsets[..n].to_vec();
-        let mut slot_cursor: Vec<u32> = slot_offsets[..circuit.num_slots()].to_vec();
+        let mut parents = parents.finish_counts(ParentRef::Add(0));
+        let mut slot_gates = slot_gates.finish_counts(0u32);
         let mut perm_index = vec![NO_PERM; n];
         let mut perms: Vec<P> = Vec::with_capacity(num_perms);
-        let place = |refs: &mut Vec<ParentRef>, cursor: &mut Vec<u32>, child: u32, r: ParentRef| {
-            refs[cursor[child as usize] as usize] = r;
-            cursor[child as usize] += 1;
-        };
         for (i, g) in gates.iter().enumerate() {
             match g {
-                GateDef::Input(slot) => {
-                    let s = *slot as usize;
-                    slot_gates[slot_cursor[s] as usize] = i as u32;
-                    slot_cursor[s] += 1;
-                }
+                GateDef::Input(slot) => slot_gates.place(*slot as usize, i as u32),
                 GateDef::Const(_) => {}
                 GateDef::Add(r) => {
                     for c in circuit.children(*r) {
-                        place(
-                            &mut parent_refs,
-                            &mut parent_cursor,
-                            c.0,
-                            ParentRef::Add(i as u32),
-                        );
+                        parents.place(c.0 as usize, ParentRef::Add(i as u32));
                     }
                 }
                 GateDef::Mul(a, b) => {
-                    place(
-                        &mut parent_refs,
-                        &mut parent_cursor,
-                        a.0,
-                        ParentRef::Mul(i as u32),
-                    );
-                    place(
-                        &mut parent_refs,
-                        &mut parent_cursor,
-                        b.0,
-                        ParentRef::Mul(i as u32),
-                    );
+                    parents.place(a.0 as usize, ParentRef::Mul(i as u32));
+                    parents.place(b.0 as usize, ParentRef::Mul(i as u32));
                 }
                 GateDef::Perm { rows, cols } => {
                     let k = *rows as usize;
@@ -229,10 +195,8 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
                         buf.extend(col.iter().map(|g| values[g.0 as usize].clone()));
                         m.push_col(&buf);
                         for (r, child) in col.iter().enumerate() {
-                            place(
-                                &mut parent_refs,
-                                &mut parent_cursor,
-                                child.0,
+                            parents.place(
+                                child.0 as usize,
                                 ParentRef::Perm {
                                     gate: i as u32,
                                     row: r as u8,
@@ -249,12 +213,10 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
         DynEvaluator {
             circuit,
             values,
-            parent_offsets,
-            parent_refs,
+            parents: parents.finish(),
             perm_index,
             perms,
-            slot_offsets,
-            slot_gates,
+            slot_gates: slot_gates.finish(),
             slot_values: slots.to_vec(),
         }
     }
@@ -281,10 +243,8 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
         }
         self.slot_values[slot as usize] = value.clone();
         let mut dirty: BinaryHeap<std::cmp::Reverse<u32>> = BinaryHeap::new();
-        let start = self.slot_offsets[slot as usize] as usize;
-        let end = self.slot_offsets[slot as usize + 1] as usize;
-        for i in start..end {
-            let g = self.slot_gates[i];
+        for i in 0..self.slot_gates.row(slot as usize).len() {
+            let g = self.slot_gates.row(slot as usize)[i];
             if self.values[g as usize] != value {
                 self.values[g as usize] = value.clone();
                 self.mark_parents(g, &mut dirty);
@@ -346,10 +306,7 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
             if self.slot_values[slot] == *v {
                 continue;
             }
-            let start = self.slot_offsets[slot] as usize;
-            let end = self.slot_offsets[slot + 1] as usize;
-            for i in start..end {
-                let g = self.slot_gates[i];
+            for &g in self.slot_gates.row(slot) {
                 if self.values[g as usize] != *v {
                     scratch.set(g, v.clone());
                     self.mark_parents_overlay(g, scratch);
@@ -402,15 +359,12 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
         self.peek(patches, &mut scratch)
     }
 
-    fn parents(&self, g: u32) -> std::ops::Range<usize> {
-        self.parent_offsets[g as usize] as usize..self.parent_offsets[g as usize + 1] as usize
-    }
-
     fn mark_parents(&mut self, g: u32, dirty: &mut BinaryHeap<std::cmp::Reverse<u32>>) {
         // Perm parents absorb the new child value into their maintenance
         // structure immediately; value recomputation happens in id order.
-        for i in self.parents(g) {
-            match self.parent_refs[i] {
+        for i in 0..self.parents.row(g as usize).len() {
+            let p = self.parents.row(g as usize)[i];
+            match p {
                 ParentRef::Add(pg) | ParentRef::Mul(pg) => {
                     dirty.push(std::cmp::Reverse(pg));
                 }
@@ -425,8 +379,8 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
     }
 
     fn mark_parents_overlay(&self, g: u32, scratch: &mut PeekScratch<S>) {
-        for i in self.parents(g) {
-            match self.parent_refs[i] {
+        for &p in self.parents.row(g as usize) {
+            match p {
                 ParentRef::Add(pg) | ParentRef::Mul(pg) => {
                     scratch.dirty.push(std::cmp::Reverse(pg));
                 }

@@ -47,11 +47,13 @@
 //! batched and concurrent point queries possible.
 
 mod builder;
+mod csr;
 mod dynamic;
 mod eval;
 mod stats;
 
 pub use builder::CircuitBuilder;
+pub use csr::{Csr, CsrBuilder, CsrCursor};
 pub use dynamic::{
     DynEvaluator, FiniteEvaluator, FiniteMaint, GeneralEvaluator, PeekScratch, PermMaint,
     RingEvaluator, RingMaint,

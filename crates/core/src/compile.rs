@@ -177,6 +177,7 @@ pub fn compile<S: Semiring>(
         opts,
         dterms: &dterms,
         plan_cache: Mutex::new(FxHashMap::default()),
+        leaf_interner: Mutex::new(LeafInterner::default()),
     };
 
     let threads = match opts.threads {
@@ -189,10 +190,13 @@ pub fn compile<S: Semiring>(
     if threads <= 1 {
         // Sequential: units go straight into the main builder.
         let mut forest = SubForest::new(a.domain_size());
+        let mut ctx = InstCtx::new();
         for d_set in &subsets {
             forest.build(
                 &gaifman,
                 d_set.iter().map(|&c| classes[c as usize].as_slice()),
+                &coloring.colors,
+                d_set,
             );
             if forest.preorder.is_empty() {
                 forest.reset();
@@ -208,6 +212,7 @@ pub fn compile<S: Semiring>(
                 });
             }
             report.max_forest_depth = report.max_forest_depth.max(depth);
+            ctx.begin_dset();
             for (ti, dt) in dterms.iter().enumerate() {
                 if dt.k < d_set.len() || dt.k == 0 {
                     continue;
@@ -220,6 +225,7 @@ pub fn compile<S: Semiring>(
                     ti,
                     dt,
                     &mut emit,
+                    &mut ctx,
                     &mut report.shapes_instantiated,
                 ) {
                     Ok(t) => t,
@@ -238,16 +244,25 @@ pub fn compile<S: Semiring>(
         let next = AtomicUsize::new(0);
         let results: Vec<Mutex<Option<Result<DsetOut, CompileError>>>> =
             (0..subsets.len()).map(|_| Mutex::new(None)).collect();
+        let colors = &coloring.colors;
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
                     let mut forest = SubForest::new(a.domain_size());
+                    let mut ctx = InstCtx::new();
                     loop {
                         let idx = next.fetch_add(1, Ordering::Relaxed);
                         if idx >= subsets.len() {
                             break;
                         }
-                        let out = process_dset_unit(&shared, &mut forest, &subsets[idx], &classes);
+                        let out = process_dset_unit(
+                            &shared,
+                            &mut forest,
+                            &mut ctx,
+                            &subsets[idx],
+                            &classes,
+                            colors,
+                        );
                         *results[idx].lock().expect("result lock") = Some(out);
                     }
                 });
@@ -379,6 +394,9 @@ enum WeightRead {
 /// Shapes of one term with their plans, shared across color sets.
 type PlanSet = Arc<Vec<(Shape, ShapePlan)>>;
 
+/// Sentinel for "not a leaf" in [`ShapePlan::leaf_prog`]/`leaf_guard`.
+const NO_PROG: u32 = u32::MAX;
+
 #[derive(Clone, Debug)]
 struct ShapePlan {
     /// Checks per shape node.
@@ -391,9 +409,73 @@ struct ShapePlan {
     roots: Vec<u32>,
     /// Shape nodes grouped by depth (instantiation visits only matches).
     nodes_by_depth: Vec<Vec<u32>>,
+    /// Interned *guard* id per leaf node (`NO_PROG` for internal nodes):
+    /// the node's depth, atom checks, and killing weight reads. Two leaf
+    /// nodes with one guard accept exactly the same forest nodes, so
+    /// survivor lists are cached per (guard, color) across a color set.
+    leaf_guard: Vec<u32>,
+    /// Interned *program* id per leaf node (`NO_PROG` for internal
+    /// nodes): the guard plus every factor-producing read. Two leaf nodes
+    /// with one program produce identical cell gates, so gate lists are
+    /// cached per (program, color) within a compilation unit.
+    leaf_prog: Vec<u32>,
 }
 
-fn analyze<S: Semiring>(dt: &DistinctTerm<S>, shape: &Shape) -> Option<ShapePlan> {
+/// Interner for leaf guards and programs (scoped to one `compile` call,
+/// shared by all workers). Ids are only used as cache keys — the actual
+/// checks/reads are re-read from the shape node that carries them.
+#[derive(Default)]
+struct LeafInterner {
+    guards: FxHashMap<Vec<u32>, u32>,
+    progs: FxHashMap<Vec<u32>, u32>,
+}
+
+impl LeafInterner {
+    fn intern(map: &mut FxHashMap<Vec<u32>, u32>, key: Vec<u32>) -> u32 {
+        let next = map.len() as u32;
+        *map.entry(key).or_insert(next)
+    }
+}
+
+/// Canonical encodings of a leaf's kill conditions and factor reads.
+fn leaf_keys(depth: u8, checks: &[AtomCheck], reads: &[WeightRead]) -> (Vec<u32>, Vec<u32>) {
+    let mut guard: Vec<u32> = vec![depth as u32];
+    for c in checks {
+        guard.push(c.rel.0);
+        guard.push(c.positive as u32);
+        guard.push(c.arg_depths.len() as u32);
+        guard.extend(c.arg_depths.iter().map(|&d| d as u32));
+    }
+    // Weight reads of arity ≥ 2 carry a support/clique condition that can
+    // kill the node, so they belong to the guard as well as the program.
+    let mut prog = guard.clone();
+    for r in reads {
+        match r {
+            WeightRead::Decl(w, depths) => {
+                if depths.len() >= 2 {
+                    guard.push(u32::MAX - 1);
+                    guard.push(w.0);
+                    guard.extend(depths.iter().map(|&d| d as u32));
+                }
+                prog.push(u32::MAX - 1);
+                prog.push(w.0);
+                prog.push(depths.len() as u32);
+                prog.extend(depths.iter().map(|&d| d as u32));
+            }
+            WeightRead::Free(pos) => {
+                prog.push(u32::MAX - 2);
+                prog.push(*pos as u32);
+            }
+        }
+    }
+    (guard, prog)
+}
+
+fn analyze<S: Semiring>(
+    dt: &DistinctTerm<S>,
+    shape: &Shape,
+    interner: &Mutex<LeafInterner>,
+) -> Option<ShapePlan> {
     let n = shape.len();
     let mut nodes_by_depth: Vec<Vec<u32>> = vec![Vec::new(); shape.max_depth() as usize + 1];
     for t in 0..n as u32 {
@@ -405,6 +487,8 @@ fn analyze<S: Semiring>(dt: &DistinctTerm<S>, shape: &Shape) -> Option<ShapePlan
         children: shape.children(),
         roots: shape.roots(),
         nodes_by_depth,
+        leaf_guard: vec![NO_PROG; n],
+        leaf_prog: vec![NO_PROG; n],
     };
     for lit in &dt.rel_lits {
         let nodes: Vec<u32> = lit
@@ -447,6 +531,18 @@ fn analyze<S: Semiring>(dt: &DistinctTerm<S>, shape: &Shape) -> Option<ShapePlan
         let node = shape.var_node[var as usize];
         plan.reads[node as usize].push(WeightRead::Free(pos));
     }
+    // Intern leaf guards/programs. Every leaf is a variable node (every
+    // node has a variable among its descendants), which is what lets the
+    // instantiation drive leaves from (depth, color) buckets.
+    for t in 0..n {
+        if plan.children[t].is_empty() {
+            debug_assert!(shape.var_at[t].is_some(), "leaf without a variable");
+            let (gkey, pkey) = leaf_keys(shape.depth[t], &plan.checks[t], &plan.reads[t]);
+            let mut int = interner.lock().expect("leaf interner");
+            plan.leaf_guard[t] = LeafInterner::intern(&mut int.guards, gkey);
+            plan.leaf_prog[t] = LeafInterner::intern(&mut int.progs, pkey);
+        }
+    }
     Some(plan)
 }
 
@@ -475,6 +571,8 @@ struct Shared<'a, S> {
     dterms: &'a [DistinctTerm<S>],
     /// `(term index, forest depth)` → analyzed shapes.
     plan_cache: Mutex<FxHashMap<(usize, u8), PlanSet>>,
+    /// Leaf guard/program interner backing the instantiation caches.
+    leaf_interner: Mutex<LeafInterner>,
 }
 
 impl<S: Semiring> Shared<'_, S> {
@@ -501,7 +599,7 @@ impl<S: Semiring> Shared<'_, S> {
         )?;
         let plans: Vec<(Shape, ShapePlan)> = shapes
             .into_iter()
-            .filter_map(|s| analyze(dt, &s).map(|p| (s, p)))
+            .filter_map(|s| analyze(dt, &s, &self.leaf_interner).map(|p| (s, p)))
             .collect();
         let plans = Arc::new(plans);
         self.plan_cache
@@ -541,8 +639,6 @@ struct Emit {
     slots: SlotRegistry,
     /// One input gate per slot.
     input_cache: FxHashMap<u32, GateId>,
-    /// Dense (shape node × preorder position) scratch for instantiation.
-    table: Vec<u32>,
 }
 
 impl Emit {
@@ -551,7 +647,6 @@ impl Emit {
             builder: CircuitBuilder::new(),
             slots: SlotRegistry::new(),
             input_cache: FxHashMap::default(),
-            table: Vec::new(),
         }
     }
 
@@ -563,6 +658,108 @@ impl Emit {
         let g = self.builder.input(slot);
         self.input_cache.insert(slot, g);
         g
+    }
+}
+
+/// A leaf's cached cell list: (preorder position, gate id) pairs.
+type LeafCells = Arc<Vec<(u32, u32)>>;
+
+/// Per-worker instantiation scratch. Replaces the old dense
+/// (shape node × preorder position) table that was `memset` for every
+/// (surjection, shape) pair — the profiled super-linear re-scan of
+/// `AnswerIndex::build` (1.3G cells cleared and 320M nodes scanned at
+/// n = 4000 for ~260k final gates).
+///
+/// * `table`/`table_stamp` — the same dense cell table, but
+///   generation-stamped: "clearing" is one counter bump.
+/// * `filled` — positions filled per shape node, so internal shape nodes
+///   visit only the parents of filled child cells instead of every
+///   forest node.
+/// * `survivors` — per color set: forest positions passing a leaf's
+///   checks, cached per (guard, color) and shared across every
+///   surjection, shape, and term of the color set.
+/// * `leaf_gates` — per compilation unit: a leaf's (position, cell gate)
+///   list per (program, color). Unit-scoped (not color-set-scoped)
+///   because gate ids are builder-local, and the parallel compiler gives
+///   every (color set, term) unit its own builder — caching wider would
+///   break the sequential/parallel byte-identity.
+struct InstCtx {
+    table: Vec<u32>,
+    table_stamp: Vec<u32>,
+    stamp: u32,
+    filled: Vec<Vec<u32>>,
+    cand: Vec<u32>,
+    cand_stamp: Vec<u32>,
+    cstamp: u32,
+    survivors: FxHashMap<(u32, u32), Arc<Vec<u32>>>,
+    leaf_gates: FxHashMap<(u32, u32), LeafCells>,
+    tuple_buf: Vec<Elem>,
+}
+
+impl InstCtx {
+    fn new() -> Self {
+        InstCtx {
+            table: Vec::new(),
+            table_stamp: Vec::new(),
+            stamp: 0,
+            filled: Vec::new(),
+            cand: Vec::new(),
+            cand_stamp: Vec::new(),
+            cstamp: 0,
+            survivors: FxHashMap::default(),
+            leaf_gates: FxHashMap::default(),
+            tuple_buf: Vec::new(),
+        }
+    }
+
+    /// Enter a new color set: survivor and gate caches are stale.
+    fn begin_dset(&mut self) {
+        self.survivors.clear();
+        self.leaf_gates.clear();
+    }
+
+    /// Enter a new (color set, term) unit: gate ids are builder-local.
+    fn begin_unit(&mut self) {
+        self.leaf_gates.clear();
+    }
+
+    /// Start one (surjection, shape) instantiation over `m` positions.
+    fn begin_inst(&mut self, shape_len: usize, m: usize) {
+        let cells = shape_len * m;
+        if self.table.len() < cells {
+            self.table.resize(cells, NO_GATE);
+            self.table_stamp.resize(cells, 0);
+        }
+        if self.cand_stamp.len() < m {
+            self.cand_stamp.resize(m, 0);
+        }
+        if self.stamp == u32::MAX {
+            self.table_stamp.fill(0);
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+        if self.filled.len() < shape_len {
+            self.filled.resize(shape_len, Vec::new());
+        }
+        for f in &mut self.filled[..shape_len] {
+            f.clear();
+        }
+    }
+
+    fn cell(&self, t: usize, m: usize, pos: usize) -> u32 {
+        let i = t * m + pos;
+        if self.table_stamp[i] == self.stamp {
+            self.table[i]
+        } else {
+            NO_GATE
+        }
+    }
+
+    fn set_cell(&mut self, t: usize, m: usize, pos: usize, gate: u32) {
+        let i = t * m + pos;
+        self.table[i] = gate;
+        self.table_stamp[i] = self.stamp;
+        self.filled[t].push(pos as u32);
     }
 }
 
@@ -589,12 +786,16 @@ struct DsetOut {
 fn process_dset_unit<S: Semiring>(
     shared: &Shared<'_, S>,
     forest: &mut SubForest,
+    ctx: &mut InstCtx,
     d_set: &[u32],
     classes: &[Vec<u32>],
+    colors: &[u32],
 ) -> Result<DsetOut, CompileError> {
     forest.build(
         shared.gaifman,
         d_set.iter().map(|&c| classes[c as usize].as_slice()),
+        colors,
+        d_set,
     );
     if forest.preorder.is_empty() {
         forest.reset();
@@ -619,6 +820,7 @@ fn process_dset_unit<S: Semiring>(
         forest_depth: depth,
         term_units: Vec::new(),
     };
+    ctx.begin_dset();
     for (ti, dt) in shared.dterms.iter().enumerate() {
         if dt.k < d_set.len() || dt.k == 0 {
             continue;
@@ -632,6 +834,7 @@ fn process_dset_unit<S: Semiring>(
             ti,
             dt,
             &mut emit,
+            ctx,
             &mut out.shapes_instantiated,
         ) {
             Ok(t) => t,
@@ -662,12 +865,14 @@ fn instantiate_term<S: Semiring>(
     ti: usize,
     dt: &DistinctTerm<S>,
     emit: &mut Emit,
+    ctx: &mut InstCtx,
     shapes_instantiated: &mut usize,
 ) -> Result<Vec<GateId>, CompileError> {
     let plans = shared.plans_for(ti, dt, depth)?;
     if plans.is_empty() {
         return Ok(Vec::new());
     }
+    ctx.begin_unit();
     let mut c_assign = vec![0u32; dt.k];
     let mut tops: Vec<GateId> = Vec::new();
     surjections(dt.k, d_set, &mut c_assign, 0, &mut |c_assign| {
@@ -676,7 +881,7 @@ fn instantiate_term<S: Semiring>(
                 continue;
             }
             *shapes_instantiated += 1;
-            let g = instantiate(shared, emit, forest, shape, plan, c_assign);
+            let g = instantiate(shared, emit, ctx, forest, shape, plan, c_assign, d_set);
             if !emit.builder.is_zero(g) {
                 tops.push(g);
             }
@@ -728,87 +933,251 @@ fn merge_term_unit(emit: &mut Emit, unit: &TermUnit) -> Vec<GateId> {
     unit.tops.iter().map(|g| map[g.0 as usize]).collect()
 }
 
+/// The surviving forest positions of a leaf guard under one color: the
+/// (depth, color) bucket filtered by the leaf's atom checks and weight
+/// support conditions. Computed once per (guard, color) per color set and
+/// shared across every surjection, shape, and term — the fix for the
+/// super-linear re-scan where every instantiation re-checked every node.
+#[allow(clippy::too_many_arguments)]
+fn leaf_survivors<S: Semiring>(
+    shared: &Shared<'_, S>,
+    ctx: &mut InstCtx,
+    forest: &SubForest,
+    plan: &ShapePlan,
+    t: usize,
+    depth: usize,
+    color: u32,
+    d_set: &[u32],
+) -> Arc<Vec<u32>> {
+    let guard = plan.leaf_guard[t];
+    if let Some(s) = ctx.survivors.get(&(guard, color)) {
+        return s.clone();
+    }
+    let local = d_set
+        .iter()
+        .position(|&c| c == color)
+        .expect("surjection colors come from the color set");
+    let bucket = forest.bucket(depth, local, d_set.len());
+    let mut out: Vec<u32> = Vec::new();
+    let mut tuple_buf = std::mem::take(&mut ctx.tuple_buf);
+    'nodes: for &pos in bucket {
+        let u = forest.preorder[pos as usize];
+        for check in &plan.checks[t] {
+            resolve_tuple(forest, u, &check.arg_depths, &mut tuple_buf);
+            if shared.opts.dynamic_atoms {
+                // positive atoms over non-cliques can never hold; negative
+                // ones hold vacuously (no input gate will be read)
+                if check.positive && !shared.is_clique(&tuple_buf) {
+                    continue 'nodes;
+                }
+            } else if shared.a.holds(check.rel, &tuple_buf) != check.positive {
+                continue 'nodes;
+            }
+        }
+        for read in &plan.reads[t] {
+            if let WeightRead::Decl(_, depths) = read {
+                if depths.len() >= 2 {
+                    resolve_tuple(forest, u, depths, &mut tuple_buf);
+                    let ok = if shared.opts.dynamic_atoms {
+                        shared.is_clique(&tuple_buf)
+                    } else {
+                        shared.on_support(&tuple_buf)
+                    };
+                    if !ok {
+                        continue 'nodes; // weight structurally zero
+                    }
+                }
+            }
+        }
+        out.push(pos);
+    }
+    ctx.tuple_buf = tuple_buf;
+    let out = Arc::new(out);
+    ctx.survivors.insert((guard, color), out.clone());
+    out
+}
+
+/// The (position, cell gate) list of a leaf program under one color,
+/// cached per compilation unit: survivors never change within a color
+/// set, and the factor gates a survivor produces are determined by
+/// (program, node) alone — surjections only move which *bucket* a leaf
+/// reads, so one list serves every (surjection, shape) pair of the unit.
+#[allow(clippy::too_many_arguments)]
+fn leaf_cells<S: Semiring>(
+    shared: &Shared<'_, S>,
+    emit: &mut Emit,
+    ctx: &mut InstCtx,
+    forest: &SubForest,
+    plan: &ShapePlan,
+    t: usize,
+    depth: usize,
+    color: u32,
+    d_set: &[u32],
+) -> LeafCells {
+    let prog = plan.leaf_prog[t];
+    if let Some(g) = ctx.leaf_gates.get(&(prog, color)) {
+        return g.clone();
+    }
+    let survivors = leaf_survivors(shared, ctx, forest, plan, t, depth, color, d_set);
+    let mut tuple_buf = std::mem::take(&mut ctx.tuple_buf);
+    let mut out: Vec<(u32, u32)> = Vec::with_capacity(survivors.len());
+    for &pos in survivors.iter() {
+        let u = forest.preorder[pos as usize];
+        // Leaf cell = product of the node's factors (no child permanent).
+        // Factor order matches the general instantiation path: checks
+        // (dynamic mode only), then reads.
+        let mut gate = emit.builder.one();
+        if shared.opts.dynamic_atoms {
+            for check in &plan.checks[t] {
+                resolve_tuple(forest, u, &check.arg_depths, &mut tuple_buf);
+                if !shared.is_clique(&tuple_buf) {
+                    continue; // negative atom, vacuously true (see survivors)
+                }
+                let key = if check.positive {
+                    SlotKey::AtomPos(check.rel, Tuple::new(&tuple_buf))
+                } else {
+                    SlotKey::AtomNeg(check.rel, Tuple::new(&tuple_buf))
+                };
+                let f = emit.input(key);
+                gate = emit.builder.mul(gate, f);
+            }
+        }
+        for read in &plan.reads[t] {
+            let f = match read {
+                WeightRead::Decl(w, depths) => {
+                    resolve_tuple(forest, u, depths, &mut tuple_buf);
+                    emit.input(SlotKey::Weight(*w, Tuple::new(&tuple_buf)))
+                }
+                WeightRead::Free(qpos) => emit.input(SlotKey::FreeVar(*qpos, u)),
+            };
+            gate = emit.builder.mul(gate, f);
+        }
+        out.push((pos, gate.0));
+    }
+    ctx.tuple_buf = tuple_buf;
+    let out = Arc::new(out);
+    ctx.leaf_gates.insert((prog, color), out.clone());
+    out
+}
+
 /// The Lemma 29 recursion, bottom-up over the forest: a gate for every
 /// (shape subtree, matching-depth forest node), permanent gates over the
 /// forest children, and a top permanent over (shape roots × forest roots).
 ///
-/// The (shape node × forest node) table is a dense scratch buffer indexed
-/// by preorder position (reused across calls); hash maps here dominated
-/// compile time in profiling.
+/// Leaf shape nodes are driven by the forest's (depth, color) buckets
+/// through the [`InstCtx`] survivor/gate caches; internal shape nodes
+/// visit only the parents of filled child cells. Per instantiation the
+/// work is proportional to the cells that exist, not to the forest.
+#[allow(clippy::too_many_arguments)]
 fn instantiate<S: Semiring>(
     shared: &Shared<'_, S>,
     emit: &mut Emit,
+    ctx: &mut InstCtx,
     forest: &SubForest,
     shape: &Shape,
     plan: &ShapePlan,
     c_assign: &[u32],
+    d_set: &[u32],
 ) -> GateId {
     let m = forest.preorder.len();
-    let cells = shape.len() * m;
-    emit.table.clear();
-    emit.table.resize(cells, NO_GATE);
-    let mut tuple_buf: Vec<Elem> = Vec::new();
+    ctx.begin_inst(shape.len(), m);
 
-    for &u in forest.preorder.iter().rev() {
-        let du = forest.depth[u as usize] as u8;
-        if du as usize >= plan.nodes_by_depth.len() {
-            continue;
-        }
-        'nodes: for &t in &plan.nodes_by_depth[du as usize] {
-            // color requirement at variable nodes
-            if let Some(var) = shape.var_at[t as usize] {
-                if shared.colors[u as usize] != c_assign[var as usize] {
-                    continue 'nodes;
+    for d in (0..plan.nodes_by_depth.len()).rev() {
+        for ni in 0..plan.nodes_by_depth[d].len() {
+            let t = plan.nodes_by_depth[d][ni] as usize;
+            let kids = &plan.children[t];
+            if kids.is_empty() {
+                // Leaf: pull the cached (position, gate) list.
+                let var = shape.var_at[t].expect("leaves carry a variable");
+                let color = c_assign[var as usize];
+                let cells = leaf_cells(shared, emit, ctx, forest, plan, t, d, color, d_set);
+                for &(pos, gate) in cells.iter() {
+                    ctx.set_cell(t, m, pos as usize, gate);
                 }
+                continue;
             }
-            let mut factors: Vec<GateId> = Vec::new();
-            // atoms decided at this node
-            for check in &plan.checks[t as usize] {
-                resolve_tuple(forest, u, &check.arg_depths, &mut tuple_buf);
-                if shared.opts.dynamic_atoms {
-                    if !shared.is_clique(&tuple_buf) {
-                        if check.positive {
-                            continue 'nodes; // can never hold
-                        }
-                        continue; // ¬R always true here
+
+            // Internal node: candidate forest nodes are the parents of
+            // positions filled for some child (dedup via stamps). The
+            // candidate order is deterministic — child lists and their
+            // fill order are.
+            if ctx.cstamp == u32::MAX {
+                ctx.cand_stamp.fill(0);
+                ctx.cstamp = 0;
+            }
+            ctx.cstamp += 1;
+            ctx.cand.clear();
+            for &ct in kids {
+                for fi in 0..ctx.filled[ct as usize].len() {
+                    let cpos = ctx.filled[ct as usize][fi];
+                    let cnode = forest.preorder[cpos as usize];
+                    let parent = forest.parent[cnode as usize];
+                    if parent == cnode {
+                        continue; // forest root: no parent cell
                     }
-                    let key = if check.positive {
-                        SlotKey::AtomPos(check.rel, Tuple::new(&tuple_buf))
-                    } else {
-                        SlotKey::AtomNeg(check.rel, Tuple::new(&tuple_buf))
-                    };
-                    factors.push(emit.input(key));
-                } else if shared.a.holds(check.rel, &tuple_buf) != check.positive {
-                    continue 'nodes;
+                    let ppos = forest.pos[parent as usize];
+                    if ctx.cand_stamp[ppos as usize] != ctx.cstamp {
+                        ctx.cand_stamp[ppos as usize] = ctx.cstamp;
+                        ctx.cand.push(ppos);
+                    }
                 }
             }
-            // weight and indicator reads
-            for read in &plan.reads[t as usize] {
-                match read {
-                    WeightRead::Decl(w, depths) => {
-                        resolve_tuple(forest, u, depths, &mut tuple_buf);
-                        if tuple_buf.len() >= 2 {
-                            let ok = if shared.opts.dynamic_atoms {
-                                shared.is_clique(&tuple_buf)
-                            } else {
-                                shared.on_support(&tuple_buf)
-                            };
-                            if !ok {
-                                continue 'nodes; // weight structurally zero
+
+            let mut cand = std::mem::take(&mut ctx.cand);
+            let mut tuple_buf = std::mem::take(&mut ctx.tuple_buf);
+            'nodes: for &upos in &cand {
+                let u = forest.preorder[upos as usize];
+                debug_assert_eq!(forest.depth[u as usize] as usize, d);
+                // color requirement at variable nodes
+                if let Some(var) = shape.var_at[t] {
+                    if shared.colors[u as usize] != c_assign[var as usize] {
+                        continue 'nodes;
+                    }
+                }
+                let mut factors: Vec<GateId> = Vec::new();
+                // atoms decided at this node
+                for check in &plan.checks[t] {
+                    resolve_tuple(forest, u, &check.arg_depths, &mut tuple_buf);
+                    if shared.opts.dynamic_atoms {
+                        if !shared.is_clique(&tuple_buf) {
+                            if check.positive {
+                                continue 'nodes; // can never hold
                             }
+                            continue; // ¬R always true here
                         }
-                        factors.push(emit.input(SlotKey::Weight(*w, Tuple::new(&tuple_buf))));
-                    }
-                    WeightRead::Free(pos) => {
-                        factors.push(emit.input(SlotKey::FreeVar(*pos, u)));
+                        let key = if check.positive {
+                            SlotKey::AtomPos(check.rel, Tuple::new(&tuple_buf))
+                        } else {
+                            SlotKey::AtomNeg(check.rel, Tuple::new(&tuple_buf))
+                        };
+                        factors.push(emit.input(key));
+                    } else if shared.a.holds(check.rel, &tuple_buf) != check.positive {
+                        continue 'nodes;
                     }
                 }
-            }
-            // permanent over (child subtrees × forest children)
-            let kids = &plan.children[t as usize];
-            let mut gate = if kids.is_empty() {
-                emit.builder.one()
-            } else {
+                // weight and indicator reads
+                for read in &plan.reads[t] {
+                    match read {
+                        WeightRead::Decl(w, depths) => {
+                            resolve_tuple(forest, u, depths, &mut tuple_buf);
+                            if tuple_buf.len() >= 2 {
+                                let ok = if shared.opts.dynamic_atoms {
+                                    shared.is_clique(&tuple_buf)
+                                } else {
+                                    shared.on_support(&tuple_buf)
+                                };
+                                if !ok {
+                                    continue 'nodes; // weight structurally zero
+                                }
+                            }
+                            factors.push(emit.input(SlotKey::Weight(*w, Tuple::new(&tuple_buf))));
+                        }
+                        WeightRead::Free(qpos) => {
+                            factors.push(emit.input(SlotKey::FreeVar(*qpos, u)));
+                        }
+                    }
+                }
+                // permanent over (child subtrees × forest children)
                 let rows = kids.len();
                 let mut flat: Vec<GateId> = Vec::new();
                 for &child in forest.children[u as usize].iter() {
@@ -816,12 +1185,12 @@ fn instantiate<S: Semiring>(
                     // prune all-zero columns before touching the builder
                     if kids
                         .iter()
-                        .all(|&ct| emit.table[ct as usize * m + cpos] == NO_GATE)
+                        .all(|&ct| ctx.cell(ct as usize, m, cpos) == NO_GATE)
                     {
                         continue;
                     }
                     for &ct in kids {
-                        let cell = emit.table[ct as usize * m + cpos];
+                        let cell = ctx.cell(ct as usize, m, cpos);
                         flat.push(if cell == NO_GATE {
                             emit.builder.zero()
                         } else {
@@ -829,17 +1198,20 @@ fn instantiate<S: Semiring>(
                         });
                     }
                 }
-                emit.builder.perm_flat(rows, flat)
-            };
-            if emit.builder.is_zero(gate) {
-                continue 'nodes;
+                let mut gate = emit.builder.perm_flat(rows, flat);
+                if emit.builder.is_zero(gate) {
+                    continue 'nodes;
+                }
+                for f in factors {
+                    gate = emit.builder.mul(gate, f);
+                }
+                if !emit.builder.is_zero(gate) {
+                    ctx.set_cell(t, m, upos as usize, gate.0);
+                }
             }
-            for f in factors {
-                gate = emit.builder.mul(gate, f);
-            }
-            if !emit.builder.is_zero(gate) {
-                emit.table[t as usize * m + forest.pos[u as usize] as usize] = gate.0;
-            }
+            ctx.tuple_buf = tuple_buf;
+            cand.clear();
+            ctx.cand = cand;
         }
     }
 
@@ -851,12 +1223,12 @@ fn instantiate<S: Semiring>(
         if plan
             .roots
             .iter()
-            .all(|&rt| emit.table[rt as usize * m + rpos] == NO_GATE)
+            .all(|&rt| ctx.cell(rt as usize, m, rpos) == NO_GATE)
         {
             continue;
         }
         for &rt in &plan.roots {
-            let cell = emit.table[rt as usize * m + rpos];
+            let cell = ctx.cell(rt as usize, m, rpos);
             flat.push(if cell == NO_GATE {
                 emit.builder.zero()
             } else {
@@ -892,6 +1264,11 @@ struct SubForest {
     pos: Vec<u32>,
     roots: Vec<u32>,
     max_depth: u32,
+    /// Preorder positions bucketed by `depth * |D| + local color index`
+    /// (pooled `Vec`s, cleared on reset). Leaf shape nodes draw their
+    /// candidates from here instead of scanning the preorder.
+    buckets: Vec<Vec<u32>>,
+    buckets_used: usize,
 }
 
 impl SubForest {
@@ -906,10 +1283,29 @@ impl SubForest {
             pos: vec![0; n],
             roots: Vec::new(),
             max_depth: 0,
+            buckets: Vec::new(),
+            buckets_used: 0,
         }
     }
 
-    fn build<'b>(&mut self, g: &Graph, classes: impl Iterator<Item = &'b [u32]>) {
+    /// Candidate positions for a leaf at `depth` colored with the
+    /// `local`-th color of the color set.
+    fn bucket(&self, depth: usize, local: usize, dlen: usize) -> &[u32] {
+        let idx = depth * dlen + local;
+        if idx < self.buckets_used {
+            &self.buckets[idx]
+        } else {
+            &[]
+        }
+    }
+
+    fn build<'b>(
+        &mut self,
+        g: &Graph,
+        classes: impl Iterator<Item = &'b [u32]>,
+        colors: &[u32],
+        d_set: &[u32],
+    ) {
         debug_assert!(self.preorder.is_empty(), "reset before rebuild");
         let mut members: Vec<u32> = Vec::new();
         for class in classes {
@@ -954,6 +1350,20 @@ impl SubForest {
                 }
             }
         }
+        // (depth, color) buckets over the finished preorder
+        let dlen = d_set.len();
+        let need = (self.max_depth as usize + 1) * dlen;
+        if self.buckets.len() < need {
+            self.buckets.resize_with(need, Vec::new);
+        }
+        self.buckets_used = need;
+        for (pos, &v) in self.preorder.iter().enumerate() {
+            let local = d_set
+                .iter()
+                .position(|&c| c == colors[v as usize])
+                .expect("forest node colored outside its color set");
+            self.buckets[self.depth[v as usize] as usize * dlen + local].push(pos as u32);
+        }
     }
 
     fn reset(&mut self) {
@@ -967,6 +1377,10 @@ impl SubForest {
         self.preorder.clear();
         self.roots.clear();
         self.max_depth = 0;
+        for b in &mut self.buckets[..self.buckets_used] {
+            b.clear();
+        }
+        self.buckets_used = 0;
     }
 
     /// Ancestor of `u` at absolute depth `d ≤ depth(u)`.

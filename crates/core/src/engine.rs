@@ -8,6 +8,42 @@ use agq_perm::SegTreePerm;
 use agq_semiring::Semiring;
 use agq_structure::{Elem, RelId, Tuple, WeightId, WeightedStructure};
 
+/// One Gaifman-preserving database update: set the membership of `tuple`
+/// in relation `rel`. The shared update language of every index bound to
+/// a compiled query — [`QueryEngine::apply_update`] patches the dynamic
+/// evaluator, and `agq-enumerate`'s `AnswerIndex::apply_update` patches
+/// the answer enumeration index — so one update object can drive every
+/// structure derived from the same database.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TupleUpdate {
+    /// The relation.
+    pub rel: RelId,
+    /// The tuple (must be a clique of the compile-time Gaifman graph).
+    pub tuple: Vec<Elem>,
+    /// `true` inserts, `false` removes.
+    pub present: bool,
+}
+
+impl TupleUpdate {
+    /// Insert `tuple` into `rel`.
+    pub fn insert(rel: RelId, tuple: &[Elem]) -> Self {
+        TupleUpdate {
+            rel,
+            tuple: tuple.to_vec(),
+            present: true,
+        }
+    }
+
+    /// Remove `tuple` from `rel`.
+    pub fn remove(rel: RelId, tuple: &[Elem]) -> Self {
+        TupleUpdate {
+            rel,
+            tuple: tuple.to_vec(),
+            present: false,
+        }
+    }
+}
+
 /// A compiled weighted query bound to live weight values: supports point
 /// queries at free-variable tuples, batched zero-restore queries, weight
 /// updates, and (in dynamic-atom mode) Gaifman-preserving relation
@@ -206,6 +242,13 @@ impl<S: Semiring, P: PermMaint<S>> QueryEngine<S, P> {
             }
             None => false,
         }
+    }
+
+    /// Apply a [`TupleUpdate`] (dynamic-atom mode only). Equivalent to
+    /// [`QueryEngine::set_atom`]; returns false when the tuple has no
+    /// compiled atom slots (a structural zero).
+    pub fn apply_update(&mut self, u: &TupleUpdate) -> bool {
+        self.set_atom(u.rel, &u.tuple, u.present)
     }
 
     /// Dynamic-atom mode only: insert/remove a tuple of relation `r`

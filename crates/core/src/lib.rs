@@ -50,7 +50,7 @@ mod slots;
 mod term;
 
 pub use compile::{compile, CompileOptions, CompileReport, CompiledQuery};
-pub use engine::{FiniteEngine, GeneralEngine, QueryEngine, RingEngine};
+pub use engine::{FiniteEngine, GeneralEngine, QueryEngine, RingEngine, TupleUpdate};
 pub use qe::eliminate_quantifiers;
 pub use shape::{enumerate_shapes, Shape};
 pub use slots::{SlotKey, SlotRegistry};

@@ -13,7 +13,9 @@
 
 use crate::cursor::SummandIter;
 use crate::machine::{EnumMachine, InputVal};
-use agq_core::{compile, eliminate_quantifiers, CompileError, CompileOptions, SlotKey};
+use agq_core::{
+    compile, eliminate_quantifiers, CompileError, CompileOptions, SlotKey, TupleUpdate,
+};
 use agq_logic::{normalize, Expr, Formula};
 use agq_semiring::{Gen, Nat};
 use agq_structure::{Elem, RelId, Signature, Structure, Tuple, WeightId};
@@ -173,9 +175,10 @@ impl AnswerIndex {
 
     /// Dynamic mode: set membership of `tuple` in relation `r`.
     ///
-    /// Constant time. Fails if the index is static or the tuple is not a
-    /// clique of the compile-time Gaifman graph (insertions only;
-    /// removing a never-representable tuple is a no-op).
+    /// Constant time, allocation-free (the indicator slots toggle in
+    /// place). Fails if the index is static or the tuple is not a clique
+    /// of the compile-time Gaifman graph (insertions only; removing a
+    /// never-representable tuple is a no-op).
     pub fn set_tuple(
         &mut self,
         r: RelId,
@@ -199,12 +202,21 @@ impl AnswerIndex {
             return Ok(());
         }
         if let Some(s) = pos {
-            self.machine.set_input(s, bool_val(present));
+            self.machine.set_input_bool(s, present);
         }
         if let Some(s) = neg {
-            self.machine.set_input(s, bool_val(!present));
+            self.machine.set_input_bool(s, !present);
         }
         Ok(())
+    }
+
+    /// Apply one database update *incrementally*: the support shadow is
+    /// patched along the (query-bounded) affected cone — `O_φ(1)` — and
+    /// the index immediately enumerates the post-update answers, no
+    /// rebuild. Shares the update language of
+    /// [`agq_core::QueryEngine::apply_update`].
+    pub fn apply_update(&mut self, u: &TupleUpdate) -> Result<(), UpdateError> {
+        self.set_tuple(u.rel, &u.tuple, u.present)
     }
 
     /// The generator weight symbols (diagnostics).

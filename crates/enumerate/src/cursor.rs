@@ -95,13 +95,9 @@ impl EnumMachine {
             GateDef::Const(ConstRef::One) => Cursor::One,
             GateDef::Const(_) => unreachable!("unsupported const"),
             GateDef::Add(children) => {
-                let adds = self.adds[gi].as_ref().expect("add support");
-                let nz_idx = if dir == Dir::Fwd {
-                    0
-                } else {
-                    adds.nz.len() - 1
-                };
-                let child = self.circuit().children(*children)[adds.nz[nz_idx] as usize];
+                let nz = self.add_nz(gate.0);
+                let nz_idx = if dir == Dir::Fwd { 0 } else { nz.len() - 1 };
+                let child = self.circuit().children(*children)[nz[nz_idx] as usize];
                 Cursor::Add {
                     gate: gate.0,
                     nz_idx,
@@ -134,7 +130,7 @@ impl EnumMachine {
         excluded: &mut Vec<u32>,
         dir: Dir,
     ) -> Option<Vec<PermRow>> {
-        let ps = self.perms[gate as usize].as_ref().expect("perm support");
+        let ps = self.perm_support(gate);
         let k = ps.k;
         if r == k {
             return Some(Vec::new());
@@ -268,10 +264,10 @@ impl EnumMachine {
                     return true;
                 }
                 let gi = *gate as usize;
-                let adds = self.adds[gi].as_ref().expect("add support");
+                let nz = self.add_nz(*gate);
                 let next = match dir {
                     Dir::Fwd => {
-                        if *nz_idx + 1 >= adds.nz.len() {
+                        if *nz_idx + 1 >= nz.len() {
                             return false;
                         }
                         *nz_idx + 1
@@ -287,7 +283,7 @@ impl EnumMachine {
                     GateDef::Add(ch) => self.circuit().children(*ch),
                     _ => unreachable!(),
                 };
-                let child = children[adds.nz[next] as usize];
+                let child = children[nz[next] as usize];
                 *nz_idx = next;
                 **inner = self.boundary(child, dir).expect("supported child");
                 true
@@ -343,7 +339,7 @@ impl EnumMachine {
             return true;
         }
         // then this row's column choice
-        let ps = self.perms[gate as usize].as_ref().expect("perm support");
+        let ps = self.perm_support(gate);
         if let Some((m, p, col)) =
             self.candidate(ps, r, excluded, Some((rows[r].mask, rows[r].pos)), dir)
         {
@@ -384,17 +380,13 @@ impl EnumMachine {
                 inner,
             } => {
                 let gi = *gate as usize;
-                let adds = self.adds[gi].as_ref().expect("add support");
-                *nz_idx = if dir == Dir::Fwd {
-                    0
-                } else {
-                    adds.nz.len() - 1
-                };
+                let nz = self.add_nz(*gate);
+                *nz_idx = if dir == Dir::Fwd { 0 } else { nz.len() - 1 };
                 let children = match &self.circuit().gates()[gi] {
                     GateDef::Add(ch) => self.circuit().children(*ch),
                     _ => unreachable!(),
                 };
-                let child = children[adds.nz[*nz_idx] as usize];
+                let child = children[nz[*nz_idx] as usize];
                 **inner = self.boundary(child, dir).expect("supported");
             }
             Cursor::Mul { left, right } => {

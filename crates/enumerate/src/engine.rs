@@ -1,0 +1,212 @@
+//! One engine API for a first-order query: point queries, answer
+//! enumeration, and Gaifman-preserving updates behind a single facade.
+//!
+//! [`agq_core::QueryEngine`] answers *point* queries (`is ā an answer?`
+//! as the semiring value `[φ](ā)`) and absorbs updates through its
+//! dynamic evaluator; [`AnswerIndex`] *enumerates* answers with constant
+//! delay and absorbs the same updates through its support shadow. Before
+//! this module they were separate objects fed separately.
+//! [`EnumQueryEngine`] binds both to one formula and one database and
+//! routes one [`TupleUpdate`] object to both — so enumeration, point
+//! queries, and updates share one engine API (and the differential test
+//! suite can assert they never disagree).
+
+use crate::answers::{AnswerIndex, AnswerIter, UpdateError};
+use agq_circuit::{FiniteMaint, PermMaint, RingMaint};
+use agq_core::{
+    compile, eliminate_quantifiers, CompileError, CompileOptions, QueryEngine, TupleUpdate,
+};
+use agq_logic::{normalize, Expr, Formula};
+use agq_perm::SegTreePerm;
+use agq_semiring::Semiring;
+use agq_structure::{Elem, Structure, WeightedStructure};
+use std::sync::Arc;
+
+/// A first-order query bound to a database, answering point queries,
+/// constant-delay enumeration, and (in dynamic mode) constant-time
+/// Gaifman-preserving updates through one API.
+pub struct EnumQueryEngine<S: Semiring, P: PermMaint<S>> {
+    engine: QueryEngine<S, P>,
+    index: AnswerIndex,
+}
+
+/// Unified engine for arbitrary semirings (logarithmic point queries).
+pub type GeneralEnumEngine<S> = EnumQueryEngine<S, SegTreePerm<S>>;
+/// Unified engine for rings (constant-time point queries).
+pub type RingEnumEngine<S> = EnumQueryEngine<S, RingMaint<S>>;
+/// Unified engine for finite semirings (constant-time point queries).
+pub type FiniteEnumEngine<S> = EnumQueryEngine<S, FiniteMaint<S>>;
+
+impl<S: Semiring, P: PermMaint<S>> EnumQueryEngine<S, P> {
+    /// Preprocess `φ` over `a` for point queries and enumeration only
+    /// (quantifiers allowed via guarded elimination; updates rejected).
+    pub fn build(
+        a: &Arc<Structure>,
+        phi: &Formula,
+        opts: &CompileOptions,
+    ) -> Result<Self, CompileError> {
+        Self::build_inner(a, phi, opts, false)
+    }
+
+    /// Preprocess a quantifier-free `φ` over `a` for point queries,
+    /// enumeration, **and** Gaifman-preserving updates (Theorem 24).
+    pub fn build_dynamic(
+        a: &Arc<Structure>,
+        phi: &Formula,
+        opts: &CompileOptions,
+    ) -> Result<Self, CompileError> {
+        Self::build_inner(a, phi, opts, true)
+    }
+
+    fn build_inner(
+        a: &Arc<Structure>,
+        phi: &Formula,
+        opts: &CompileOptions,
+        dynamic: bool,
+    ) -> Result<Self, CompileError> {
+        // Point-query side: compile the indicator expression [φ] with
+        // φ's variables free — `query(ā)` then evaluates to `[φ(ā)]`.
+        let expr: Expr<S> = Expr::Bracket(phi.clone());
+        let mut copts = opts.clone();
+        copts.dynamic_atoms = dynamic;
+        let (expr, a2) = eliminate_quantifiers(&expr, a, &copts)?;
+        let nf = normalize(&expr)?;
+        let compiled = compile(&a2, &nf, &copts)?;
+        let weights: WeightedStructure<S> = WeightedStructure::new(a2);
+        let engine = QueryEngine::new(compiled, &weights);
+        // Enumeration side: the answer index over the same formula.
+        let index = if dynamic {
+            AnswerIndex::build_dynamic(a, phi, opts)?
+        } else {
+            AnswerIndex::build(a, phi, opts)?
+        };
+        Ok(EnumQueryEngine { engine, index })
+    }
+
+    /// Answer-tuple arity.
+    pub fn arity(&self) -> usize {
+        self.index.arity()
+    }
+
+    /// Point query: the indicator value `[φ(ā)]` (one when `ā` is an
+    /// answer, zero otherwise). Zero-restore, `O_φ(log |A|)` general /
+    /// `O_φ(1)` ring and finite backends.
+    pub fn query(&mut self, tuple: &[Elem]) -> S {
+        self.engine.query(tuple)
+    }
+
+    /// Number of answers (`O_φ(|A|)` counting pass).
+    pub fn count(&self) -> u64 {
+        self.index.count()
+    }
+
+    /// Whether at least one answer exists, in `O_φ(1)`.
+    pub fn is_nonempty(&self) -> bool {
+        self.index.is_nonempty()
+    }
+
+    /// Constant-delay, duplicate-free, bidirectional answer iterator.
+    pub fn enumerate(&self) -> AnswerIter<'_> {
+        self.index.iter()
+    }
+
+    /// Apply one update to *both* sides — the enumeration index
+    /// incrementally (`O_φ(1)`, no rebuild) and the point-query
+    /// evaluator. Dynamic mode only; the update must preserve the
+    /// Gaifman graph. On error nothing is modified.
+    pub fn apply_update(&mut self, u: &TupleUpdate) -> Result<(), UpdateError> {
+        self.index.apply_update(u)?;
+        self.engine.apply_update(u);
+        Ok(())
+    }
+
+    /// [`EnumQueryEngine::apply_update`] followed by a fresh
+    /// [`EnumQueryEngine::enumerate`]: the enumerate-after-update flow of
+    /// Theorem 24, as one call.
+    pub fn enumerate_after_update(
+        &mut self,
+        u: &TupleUpdate,
+    ) -> Result<AnswerIter<'_>, UpdateError> {
+        self.apply_update(u)?;
+        Ok(self.index.iter())
+    }
+
+    /// The point-query engine (instrumentation, batch queries).
+    pub fn query_engine(&self) -> &QueryEngine<S, P> {
+        &self.engine
+    }
+
+    /// The enumeration index (instrumentation).
+    pub fn answer_index(&self) -> &AnswerIndex {
+        &self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agq_logic::Var;
+    use agq_semiring::Nat;
+    use agq_structure::Signature;
+
+    fn small_graph() -> (Arc<Structure>, agq_structure::RelId) {
+        let mut sig = Signature::new();
+        let e = sig.add_relation("E", 2);
+        let mut a = Structure::new(Arc::new(sig), 6);
+        for (u, v) in [(0u32, 1u32), (1, 2), (2, 0), (3, 4)] {
+            a.insert(e, &[u, v]);
+            a.insert(e, &[v, u]);
+        }
+        (Arc::new(a), e)
+    }
+
+    #[test]
+    fn point_queries_agree_with_enumeration() {
+        let (a, e) = small_graph();
+        let phi = Formula::Rel(e, vec![Var(0), Var(1)]);
+        let mut eng: GeneralEnumEngine<Nat> =
+            EnumQueryEngine::build(&a, &phi, &CompileOptions::default()).unwrap();
+        let mut answers = Vec::new();
+        let mut it = eng.enumerate();
+        while let Some(t) = it.next() {
+            answers.push(t);
+        }
+        assert_eq!(answers.len() as u64, eng.count());
+        for t in &answers {
+            assert_eq!(eng.query(t), Nat(1), "enumerated answer {t:?}");
+        }
+        assert_eq!(eng.query(&[0, 3]), Nat(0), "non-answer");
+    }
+
+    #[test]
+    fn update_patches_both_sides() {
+        let (a, e) = small_graph();
+        let phi = Formula::Rel(e, vec![Var(0), Var(1)]);
+        let mut eng: GeneralEnumEngine<Nat> =
+            EnumQueryEngine::build_dynamic(&a, &phi, &CompileOptions::default()).unwrap();
+        let before = eng.count();
+        let u = TupleUpdate::remove(e, &[0, 1]);
+        let mut it = eng.enumerate_after_update(&u).unwrap();
+        let mut n = 0;
+        while it.next().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, before - 1);
+        assert_eq!(eng.query(&[0, 1]), Nat(0), "removed on the query side too");
+        eng.apply_update(&TupleUpdate::insert(e, &[0, 1])).unwrap();
+        assert_eq!(eng.query(&[0, 1]), Nat(1));
+        assert_eq!(eng.count(), before);
+    }
+
+    #[test]
+    fn static_engine_rejects_updates() {
+        let (a, e) = small_graph();
+        let phi = Formula::Rel(e, vec![Var(0), Var(1)]);
+        let mut eng: GeneralEnumEngine<Nat> =
+            EnumQueryEngine::build(&a, &phi, &CompileOptions::default()).unwrap();
+        assert_eq!(
+            eng.apply_update(&TupleUpdate::remove(e, &[0, 1])),
+            Err(UpdateError::StaticIndex)
+        );
+    }
+}

@@ -16,20 +16,60 @@
 //!   structure: per-support-mask column lists plus Hall-condition checks
 //!   on the mask counts (`agq_perm::support`), all `O_k(1)` per step.
 //!
+//! # CSR layout
+//!
 //! [`machine::EnumMachine`] holds the support state (Boolean shadow of
-//! the circuit) and maintains it in constant time per input flip —
-//! the Gaifman-preserving dynamics of Theorem 24. [`cursor`] implements
-//! the bidirectional cursor; [`answers`] packages result (D): linear-time
+//! the circuit) and maintains it in constant time per input flip — the
+//! Gaifman-preserving dynamics of Theorem 24. Its storage mirrors the
+//! flat-arena IR of `agq-circuit` rather than per-gate heap lists:
+//!
+//! * parent references and per-slot input-gate lists are
+//!   [`agq_circuit::Csr`] buffers (one offset table + one payload each),
+//!   shared-convention with `DynEvaluator` and built by the same
+//!   two-pass counting builder;
+//! * addition gates' live supported-children lists are one flat pair of
+//!   buffers (`machine::AddSupports`): each gate owns a fixed-capacity
+//!   segment sized by its fan-in, membership flips are in-place
+//!   swap-removes;
+//! * per-gate side state is dense-indexed (`add_index`/`perm_index`
+//!   with a `u32::MAX` sentinel), so the hot update path touches flat
+//!   arrays only and allocates nothing (the dirty queue is reused).
+//!
+//! # `AnswerIndex` invariants
+//!
+//! [`answers::AnswerIndex`] packages result (D): linear-time
 //! preprocessing, constant-delay, duplicate-free enumeration of the
-//! answers to a first-order query, dynamic under updates that preserve
-//! the Gaifman graph. [`provenance`] packages result (C).
+//! answers to a first-order query, dynamic under Gaifman-preserving
+//! updates. It maintains:
+//!
+//! 1. **Support soundness** — a gate's Boolean support bit is `true` iff
+//!    its free-semiring value has at least one summand; cursors only
+//!    descend into supported children, which is what bounds the delay.
+//! 2. **One summand per answer** — the compiled expression
+//!    `Σ_x̄ [φ] · Π_i e^i_{x_i}` yields exactly one monomial
+//!    `e¹_{a₁}⋯e^k_{a_k}` per answer `(a₁…a_k)`; enumeration is
+//!    therefore duplicate-free without bookkeeping.
+//! 3. **Update coherence** — [`answers::AnswerIndex::apply_update`]
+//!    patches the 0/1 atom-indicator slots (Lemma 40's `v±_R` weights)
+//!    in place and repairs the support shadow along the affected cone
+//!    only; after any update sequence the index is in exactly the state
+//!    a fresh build over the updated database would produce (asserted by
+//!    the update-interleaving test suite).
+//! 4. **Cursor invalidation** — every update bumps the machine version;
+//!    outstanding iterators panic instead of yielding stale answers.
+//!
+//! [`cursor`] implements the bidirectional cursor; [`provenance`]
+//! packages result (C); [`engine`] fronts point queries, enumeration,
+//! and updates with one [`engine::EnumQueryEngine`] API.
 
 pub mod answers;
 pub mod cursor;
+pub mod engine;
 pub mod machine;
 pub mod provenance;
 
 pub use answers::{AnswerIndex, AnswerIter, UpdateError};
 pub use cursor::{Cursor, SummandIter};
+pub use engine::{EnumQueryEngine, FiniteEnumEngine, GeneralEnumEngine, RingEnumEngine};
 pub use machine::EnumMachine;
 pub use provenance::{ProvIter, ProvenanceIndex};

@@ -1,6 +1,19 @@
 //! Support tracking for circuits evaluated in the free semiring.
+//!
+//! # CSR layout
+//!
+//! The machine mirrors the flat-arena conventions of
+//! [`agq_circuit::DynEvaluator`]: derived adjacency lives in
+//! [`Csr`] buffers (parent references per gate, input gates per slot)
+//! built in two counting passes, and per-gate support state is stored
+//! densely — `add_index`/`perm_index` map gate ids to compact tables
+//! (`u32::MAX` for gates of other kinds). Addition gates' live
+//! supported-children lists are themselves flattened into one shared
+//! buffer ([`AddSupports`]): every add gate owns a fixed-capacity
+//! segment sized by its fan-in, so membership updates are in-place
+//! swap-removes with no per-gate allocation and no per-update clones.
 
-use agq_circuit::{Circuit, ConstRef, GateDef};
+use agq_circuit::{Circuit, ConstRef, Csr, CsrBuilder, GateDef};
 use agq_perm::support::sdr_exists;
 use agq_semiring::Gen;
 use std::collections::BinaryHeap;
@@ -10,6 +23,9 @@ use std::sync::Arc;
 /// each a (not necessarily sorted) list of generators. The empty list is
 /// `0`; a single empty monomial is `1`.
 pub type InputVal = Vec<Vec<Gen>>;
+
+/// Sentinel for "gate has no entry in this dense side table".
+const NO_IDX: u32 = u32::MAX;
 
 /// Lemma 39's structure for one permanent gate: columns bucketed by their
 /// Boolean support mask, with counts for `O_k(1)` Hall checks.
@@ -79,30 +95,61 @@ impl PermSupport {
     }
 }
 
-/// Live list of supported children of an addition gate.
+/// Live supported-children lists of every addition gate, flattened: add
+/// gate `ai` (dense index) owns the segment
+/// `offsets[ai]..offsets[ai+1]` of both `nz` and `where_pos`; its first
+/// `len[ai]` `nz` entries are the supported child positions in
+/// enumeration order, and `where_pos[child position]` is the index in
+/// that prefix (or `u32::MAX`). Two flat buffers for the whole circuit —
+/// the CSR analogue of the old per-gate `Vec` pairs.
 #[derive(Debug)]
-pub(crate) struct AddSupport {
-    /// Positions (into the gate's child list) of supported children, in
-    /// enumeration order.
-    pub nz: Vec<u32>,
-    /// Inverse: `where_pos[child_position]` = index in `nz`, or `u32::MAX`.
-    pub where_pos: Vec<u32>,
+pub(crate) struct AddSupports {
+    offsets: Vec<u32>,
+    len: Vec<u32>,
+    nz: Vec<u32>,
+    where_pos: Vec<u32>,
 }
 
-impl AddSupport {
-    fn set(&mut self, child_pos: usize, supported: bool) {
-        let cur = self.where_pos[child_pos];
+impl AddSupports {
+    fn with_capacities(fanins: &[u32]) -> Self {
+        let mut offsets = Vec::with_capacity(fanins.len() + 1);
+        offsets.push(0u32);
+        let mut total = 0u32;
+        for &f in fanins {
+            total += f;
+            offsets.push(total);
+        }
+        AddSupports {
+            offsets,
+            len: vec![0; fanins.len()],
+            nz: vec![0; total as usize],
+            where_pos: vec![u32::MAX; total as usize],
+        }
+    }
+
+    /// Supported child positions of add gate `ai`, in enumeration order.
+    pub fn nz(&self, ai: usize) -> &[u32] {
+        let start = self.offsets[ai] as usize;
+        &self.nz[start..start + self.len[ai] as usize]
+    }
+
+    fn set(&mut self, ai: usize, child_pos: usize, supported: bool) {
+        let start = self.offsets[ai] as usize;
+        let n = self.len[ai] as usize;
+        let cur = self.where_pos[start + child_pos];
         if supported && cur == u32::MAX {
-            self.where_pos[child_pos] = self.nz.len() as u32;
-            self.nz.push(child_pos as u32);
+            self.where_pos[start + child_pos] = n as u32;
+            self.nz[start + n] = child_pos as u32;
+            self.len[ai] += 1;
         } else if !supported && cur != u32::MAX {
             let p = cur as usize;
-            let last = *self.nz.last().expect("nonempty");
-            self.nz.swap_remove(p);
+            let last = self.nz[start + n - 1];
+            self.nz[start + p] = last;
+            self.len[ai] -= 1;
             if last as usize != child_pos {
-                self.where_pos[last as usize] = p as u32;
+                self.where_pos[start + last as usize] = p as u32;
             }
-            self.where_pos[child_pos] = u32::MAX;
+            self.where_pos[start + child_pos] = u32::MAX;
         }
     }
 }
@@ -117,24 +164,34 @@ enum ParentRef {
 /// The enumeration state of a circuit over the free semiring: per-slot
 /// input summand lists, a Boolean support shadow of every gate, and the
 /// Lemma 39 structures at permanent gates. Input updates propagate in
-/// time proportional to the (query-bounded) number of affected gates.
+/// time proportional to the (query-bounded) number of affected gates,
+/// with no allocation on the update path (the adjacency is immutable
+/// CSR, the dirty queue is reused).
 pub struct EnumMachine {
     circuit: Arc<Circuit>,
     /// Summand lists per input slot.
     input_vals: Vec<InputVal>,
     /// Boolean support per gate.
     pub(crate) support: Vec<bool>,
-    pub(crate) adds: Vec<Option<AddSupport>>,
-    pub(crate) perms: Vec<Option<PermSupport>>,
-    parents: Vec<Vec<ParentRef>>,
+    /// Gate id → dense index into `add_sup` (`NO_IDX` for non-add gates).
+    add_index: Vec<u32>,
+    pub(crate) add_sup: AddSupports,
+    /// Gate id → dense index into `perms` (`NO_IDX` for non-perm gates).
+    perm_index: Vec<u32>,
+    perms: Vec<PermSupport>,
+    /// Parents of each gate.
+    parents: Csr<ParentRef>,
     /// Input gates per slot (updates must not scan the circuit).
-    slot_gates: Vec<Vec<u32>>,
+    slot_gates: Csr<u32>,
+    /// Reused dirty queue (drained after every update).
+    dirty: BinaryHeap<std::cmp::Reverse<u32>>,
     /// Bumped on every update; outstanding cursors become invalid.
     pub(crate) version: u64,
 }
 
 impl EnumMachine {
-    /// Build from initial input values.
+    /// Build from initial input values: one bottom-up pass over the gate
+    /// arena (plus one counting pass for the CSR buffers).
     ///
     /// # Panics
     /// Panics if the circuit uses literal-table constants — enumeration
@@ -149,44 +206,75 @@ impl EnumMachine {
             "enumeration circuits must not use literal constants"
         );
         let gates = circuit.gates();
-        let mut support = vec![false; gates.len()];
-        let mut adds: Vec<Option<AddSupport>> = Vec::with_capacity(gates.len());
-        let mut perms: Vec<Option<PermSupport>> = Vec::with_capacity(gates.len());
-        let mut parents: Vec<Vec<ParentRef>> = vec![Vec::new(); gates.len()];
-        let mut slot_gates: Vec<Vec<u32>> = vec![Vec::new(); circuit.num_slots()];
+        let n = gates.len();
+
+        // Counting pass: parent references, input gates per slot, and
+        // dense side-table sizes.
+        let mut parents = CsrBuilder::new(n);
+        let mut slot_gates = CsrBuilder::new(circuit.num_slots());
+        let mut add_index = vec![NO_IDX; n];
+        let mut perm_index = vec![NO_IDX; n];
+        let mut add_fanins: Vec<u32> = Vec::new();
+        let mut num_perms = 0usize;
         for (i, g) in gates.iter().enumerate() {
-            let mut add_s = None;
-            let mut perm_s = None;
+            match g {
+                GateDef::Input(slot) => slot_gates.count(*slot as usize),
+                GateDef::Const(_) => {}
+                GateDef::Add(r) => {
+                    add_index[i] = add_fanins.len() as u32;
+                    add_fanins.push(r.len() as u32);
+                    for c in circuit.children(*r) {
+                        parents.count(c.0 as usize);
+                    }
+                }
+                GateDef::Mul(a, b) => {
+                    parents.count(a.0 as usize);
+                    parents.count(b.0 as usize);
+                }
+                GateDef::Perm { cols, .. } => {
+                    num_perms += 1;
+                    for c in circuit.children(*cols) {
+                        parents.count(c.0 as usize);
+                    }
+                }
+            }
+        }
+
+        // Bottom-up pass: fill the CSR buffers and compute the support
+        // shadow (children precede parents, so one pass suffices).
+        let mut parents = parents.finish_counts(ParentRef::Mul(0));
+        let mut slot_gates = slot_gates.finish_counts(0u32);
+        let mut add_sup = AddSupports::with_capacities(&add_fanins);
+        let mut perms: Vec<PermSupport> = Vec::with_capacity(num_perms);
+        let mut support = vec![false; n];
+        for (i, g) in gates.iter().enumerate() {
             support[i] = match g {
                 GateDef::Input(slot) => {
-                    slot_gates[*slot as usize].push(i as u32);
+                    slot_gates.place(*slot as usize, i as u32);
                     !input_vals[*slot as usize].is_empty()
                 }
                 GateDef::Const(ConstRef::Zero) => false,
                 GateDef::Const(ConstRef::One) => true,
                 GateDef::Const(ConstRef::Lit(_)) => unreachable!("no lits"),
                 GateDef::Add(children) => {
-                    let children = circuit.children(*children);
-                    let mut s = AddSupport {
-                        nz: Vec::new(),
-                        where_pos: vec![u32::MAX; children.len()],
-                    };
-                    for (p, c) in children.iter().enumerate() {
-                        parents[c.0 as usize].push(ParentRef::Add {
-                            gate: i as u32,
-                            child_pos: p as u32,
-                        });
+                    let ai = add_index[i] as usize;
+                    for (p, c) in circuit.children(*children).iter().enumerate() {
+                        parents.place(
+                            c.0 as usize,
+                            ParentRef::Add {
+                                gate: i as u32,
+                                child_pos: p as u32,
+                            },
+                        );
                         if support[c.0 as usize] {
-                            s.set(p, true);
+                            add_sup.set(ai, p, true);
                         }
                     }
-                    let sup = !s.nz.is_empty();
-                    add_s = Some(s);
-                    sup
+                    !add_sup.nz(ai).is_empty()
                 }
                 GateDef::Mul(a, b) => {
-                    parents[a.0 as usize].push(ParentRef::Mul(i as u32));
-                    parents[b.0 as usize].push(ParentRef::Mul(i as u32));
+                    parents.place(a.0 as usize, ParentRef::Mul(i as u32));
+                    parents.place(b.0 as usize, ParentRef::Mul(i as u32));
                     support[a.0 as usize] && support[b.0 as usize]
                 }
                 GateDef::Perm { rows, cols } => {
@@ -196,34 +284,39 @@ impl EnumMachine {
                     for (ci, col) in cols.chunks_exact(k).enumerate() {
                         let mut m = 0u32;
                         for (r, child) in col.iter().enumerate() {
-                            parents[child.0 as usize].push(ParentRef::Perm {
-                                gate: i as u32,
-                                row: r as u8,
-                                col: ci as u32,
-                            });
+                            parents.place(
+                                child.0 as usize,
+                                ParentRef::Perm {
+                                    gate: i as u32,
+                                    row: r as u8,
+                                    col: ci as u32,
+                                },
+                            );
                             if support[child.0 as usize] {
                                 m |= 1 << r;
                             }
                         }
                         masks.push(m);
                     }
+                    perm_index[i] = perms.len() as u32;
                     let s = PermSupport::new(k, masks);
                     let sup = s.supported();
-                    perm_s = Some(s);
+                    perms.push(s);
                     sup
                 }
             };
-            adds.push(add_s);
-            perms.push(perm_s);
         }
         EnumMachine {
             circuit,
             input_vals,
             support,
-            adds,
+            add_index,
+            add_sup,
+            perm_index,
             perms,
-            parents,
-            slot_gates,
+            parents: parents.finish(),
+            slot_gates: slot_gates.finish(),
+            dirty: BinaryHeap::new(),
             version: 0,
         }
     }
@@ -243,23 +336,58 @@ impl EnumMachine {
         self.support[self.circuit.output().0 as usize]
     }
 
+    /// Live supported-children list of an addition gate.
+    pub(crate) fn add_nz(&self, gate: u32) -> &[u32] {
+        let ai = self.add_index[gate as usize];
+        debug_assert_ne!(ai, NO_IDX, "not an addition gate");
+        self.add_sup.nz(ai as usize)
+    }
+
+    /// Lemma 39 support structure of a permanent gate.
+    pub(crate) fn perm_support(&self, gate: u32) -> &PermSupport {
+        let pi = self.perm_index[gate as usize];
+        debug_assert_ne!(pi, NO_IDX, "not a permanent gate");
+        &self.perms[pi as usize]
+    }
+
     /// Overwrite an input slot's value and repair the support shadow.
     /// Invalidates outstanding cursors.
     pub fn set_input(&mut self, slot: u32, value: InputVal) {
-        self.version += 1;
         let new_support = !value.is_empty();
         self.input_vals[slot as usize] = value;
+        self.refresh_slot(slot, new_support);
+    }
+
+    /// Set a 0/1-valued slot: `true` is the single empty monomial `1`,
+    /// `false` the empty sum `0`. Unlike [`EnumMachine::set_input`] this
+    /// reuses the slot's existing buffers, so toggling relation
+    /// indicators (the [Lemma 40] dynamic-atom slots) allocates nothing.
+    ///
+    /// [Lemma 40]: crate::answers
+    pub fn set_input_bool(&mut self, slot: u32, present: bool) {
+        let v = &mut self.input_vals[slot as usize];
+        v.clear();
+        if present {
+            // `Vec::new()` does not allocate, and the outer push reuses
+            // the slot's retained capacity after the first toggle.
+            v.push(Vec::new());
+        }
+        self.refresh_slot(slot, present);
+    }
+
+    /// Propagate a slot's (possibly changed) support through the shadow.
+    fn refresh_slot(&mut self, slot: u32, new_support: bool) {
+        self.version += 1;
         // All input gates reading this slot flip together (indexed; an
         // update must not scan the circuit).
-        let mut dirty: BinaryHeap<std::cmp::Reverse<u32>> = BinaryHeap::new();
-        let gates = std::mem::take(&mut self.slot_gates[slot as usize]);
-        for &i in &gates {
-            if self.support[i as usize] != new_support {
-                self.support[i as usize] = new_support;
-                self.notify_parents(i, &mut dirty);
+        let mut dirty = std::mem::take(&mut self.dirty);
+        for i in 0..self.slot_gates.row(slot as usize).len() {
+            let g = self.slot_gates.row(slot as usize)[i];
+            if self.support[g as usize] != new_support {
+                self.support[g as usize] = new_support;
+                self.notify_parents(g, &mut dirty);
             }
         }
-        self.slot_gates[slot as usize] = gates;
         while let Some(std::cmp::Reverse(g)) = dirty.pop() {
             if dirty.peek() == Some(&std::cmp::Reverse(g)) {
                 continue;
@@ -270,39 +398,35 @@ impl EnumMachine {
                 self.notify_parents(g, &mut dirty);
             }
         }
+        self.dirty = dirty;
     }
 
     fn notify_parents(&mut self, g: u32, dirty: &mut BinaryHeap<std::cmp::Reverse<u32>>) {
         let sup = self.support[g as usize];
-        let parents = std::mem::take(&mut self.parents[g as usize]);
-        for p in &parents {
-            match *p {
+        for i in 0..self.parents.row(g as usize).len() {
+            let p = self.parents.row(g as usize)[i];
+            match p {
                 ParentRef::Add { gate, child_pos } => {
-                    self.adds[gate as usize]
-                        .as_mut()
-                        .expect("add support")
-                        .set(child_pos as usize, sup);
+                    let ai = self.add_index[gate as usize] as usize;
+                    self.add_sup.set(ai, child_pos as usize, sup);
                     dirty.push(std::cmp::Reverse(gate));
                 }
                 ParentRef::Mul(gate) => dirty.push(std::cmp::Reverse(gate)),
                 ParentRef::Perm { gate, row, col } => {
-                    self.perms[gate as usize]
-                        .as_mut()
-                        .expect("perm support")
-                        .set_entry(row as usize, col as usize, sup);
+                    let pi = self.perm_index[gate as usize] as usize;
+                    self.perms[pi].set_entry(row as usize, col as usize, sup);
                     dirty.push(std::cmp::Reverse(gate));
                 }
             }
         }
-        self.parents[g as usize] = parents;
     }
 
     fn recompute_support(&self, g: u32) -> bool {
         match &self.circuit.gates()[g as usize] {
             GateDef::Input(_) | GateDef::Const(_) => self.support[g as usize],
-            GateDef::Add(_) => !self.adds[g as usize].as_ref().expect("add").nz.is_empty(),
+            GateDef::Add(_) => !self.add_nz(g).is_empty(),
             GateDef::Mul(a, b) => self.support[a.0 as usize] && self.support[b.0 as usize],
-            GateDef::Perm { .. } => self.perms[g as usize].as_ref().expect("perm").supported(),
+            GateDef::Perm { .. } => self.perm_support(g).supported(),
         }
     }
 
@@ -394,5 +518,22 @@ mod tests {
         let mach = EnumMachine::new(c, vec![vec![gen(1), gen(2)], vec![gen(3), gen(4), gen(5)]]);
         // (2 + 3) * 3 = 15
         assert_eq!(mach.count_summands(), 15);
+    }
+
+    #[test]
+    fn bool_input_toggle_matches_set_input() {
+        let mut b = CircuitBuilder::new();
+        let x0 = b.input(0);
+        let x1 = b.input(1);
+        let m = b.mul(x0, x1);
+        let c = Arc::new(b.finish(m));
+        let mut mach = EnumMachine::new(c, vec![vec![vec![]], vec![gen(7)]]);
+        assert!(mach.output_supported());
+        mach.set_input_bool(0, false);
+        assert!(!mach.output_supported());
+        assert!(mach.input(0).is_empty());
+        mach.set_input_bool(0, true);
+        assert!(mach.output_supported());
+        assert_eq!(mach.input(0), &vec![Vec::<Gen>::new()]);
     }
 }

@@ -107,7 +107,7 @@ impl ProvenanceIndex {
         }
         if !dead {
             for &slot in &patched {
-                self.machine.set_input(slot, vec![vec![]]);
+                self.machine.set_input_bool(slot, true);
             }
         }
         ProvIter {
@@ -206,7 +206,8 @@ impl Drop for ProvIter<'_> {
     fn drop(&mut self) {
         self.state = ProvState::Dead;
         for &slot in &self.patched {
-            self.index.machine.set_input(slot, Vec::new());
+            // in-place toggle: querying allocates nothing per tuple
+            self.index.machine.set_input_bool(slot, false);
         }
     }
 }

@@ -1,0 +1,91 @@
+//! Delay-bound regression test over the E9 benchmark workload.
+//!
+//! `AnswerIndex::build` on the n = 4000 two-path workload regressed to
+//! ~14 s before the compiler's instantiation re-scan was fixed (PR 2);
+//! this test pins generous budgets on build time and per-answer delay so
+//! the super-linear behavior cannot silently return. The budgets are
+//! ~4× the currently measured release-mode numbers — loose enough for
+//! slow CI hardware, tight enough that an O(n^1.5) re-scan (a ~10×
+//! regression at this size) trips them.
+//!
+//! Budgets are only meaningful with optimizations on, so the assertions
+//! are compiled under `not(debug_assertions)`: run via
+//! `cargo test -p agq-enumerate --release` (CI does).
+
+#![cfg(not(debug_assertions))]
+
+use agq_core::CompileOptions;
+use agq_enumerate::AnswerIndex;
+use agq_graph::generators;
+use agq_logic::{Formula, Var};
+use agq_structure::{Signature, Structure};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The E9 workload: symmetrized G(n, 2n), two-path query with x ≠ z.
+fn e9_workload(n: usize) -> (Structure, Formula) {
+    let g = generators::gnm(n, 2 * n, 7);
+    let mut sig = Signature::new();
+    let e = sig.add_relation("E", 2);
+    let mut a = Structure::new(Arc::new(sig), n);
+    for (u, v) in g.edges() {
+        a.insert(e, &[u, v]);
+        a.insert(e, &[v, u]);
+    }
+    let (x, y, z) = (Var(0), Var(1), Var(2));
+    let phi = Formula::Rel(e, vec![x, y])
+        .and(Formula::Rel(e, vec![y, z]))
+        .and(Formula::neq(x, z));
+    (a, phi)
+}
+
+#[test]
+fn e9_build_and_delay_budgets() {
+    const BUILD_BUDGET: Duration = Duration::from_secs(6);
+    /// p99.9 bound: actual per-answer work is 1–10 µs; a delay that
+    /// scales with the database would push the *distribution* over this.
+    const P999_BUDGET: Duration = Duration::from_millis(1);
+    /// Absolute bound: single-sample timings on shared CI hardware see
+    /// multi-millisecond scheduler hiccups, so the hard cap is loose.
+    const MAX_BUDGET: Duration = Duration::from_millis(50);
+
+    let n = 4000;
+    let (a, phi) = e9_workload(n);
+    let t0 = Instant::now();
+    let ix = AnswerIndex::build(&a, &phi, &CompileOptions::default()).unwrap();
+    let build = t0.elapsed();
+    assert!(
+        build < BUILD_BUDGET,
+        "AnswerIndex::build(n={n}) took {build:?}, budget {BUILD_BUDGET:?} — \
+         the super-linear construction re-scan is back"
+    );
+
+    let mut it = ix.iter();
+    let mut count = 0u64;
+    let mut delays: Vec<Duration> = Vec::with_capacity(70_000);
+    loop {
+        let t = Instant::now();
+        let step = it.next();
+        let d = t.elapsed();
+        if step.is_none() {
+            break; // the exhausted call is not an answer delay
+        }
+        delays.push(d);
+        count += 1;
+    }
+    assert_eq!(count, ix.count(), "enumeration must be complete");
+    assert!(count > 10_000, "workload sanity: enough answers to measure");
+    delays.sort();
+    let p999 = delays[delays.len() - 1 - delays.len() / 1000];
+    let max = *delays.last().unwrap();
+    assert!(
+        p999 < P999_BUDGET,
+        "p99.9 per-answer delay {p999:?} over budget {P999_BUDGET:?} \
+         across {count} answers"
+    );
+    assert!(
+        max < MAX_BUDGET,
+        "max per-answer delay {max:?} over budget {MAX_BUDGET:?} \
+         across {count} answers"
+    );
+}
