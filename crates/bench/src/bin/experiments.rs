@@ -20,25 +20,269 @@ use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
 fn main() {
+    // `… -- bench3` reruns only this PR's experiments (E9v3 + E14) and
+    // rewrites BENCH_3.json, leaving the earlier records untouched.
+    let bench3_only = std::env::args().any(|a| a == "bench3");
     println!("# Experiment harness — sparse-agg");
     println!("(one section per experiment id of DESIGN.md §5)\n");
-    let mut record = BenchRecord::default();
-    e1_perm_eval();
-    e2_e4_perm_updates(&mut record);
-    e5_compile_scaling(&mut record);
-    e6_eval_query_update();
-    e7_pagerank();
-    e8_provenance_delay();
-    e9_enum_delay();
-    e9b_enum_dynamic();
-    e10_nested();
-    e11_local_search();
-    e12_ablation_coloring();
-    e13_throughput(&mut record);
-    record.write("BENCH_1.json");
-    let mut record2 = Bench2Record::default();
-    e9v2_enum_csr(&mut record2);
-    record2.write("BENCH_2.json");
+    if !bench3_only {
+        let mut record = BenchRecord::default();
+        e1_perm_eval();
+        e2_e4_perm_updates(&mut record);
+        e5_compile_scaling(&mut record);
+        e6_eval_query_update();
+        e7_pagerank();
+        e8_provenance_delay();
+        e9_enum_delay();
+        e9b_enum_dynamic();
+        e10_nested();
+        e11_local_search();
+        e12_ablation_coloring();
+        e13_throughput(&mut record);
+        record.write("BENCH_1.json");
+        let mut record2 = Bench2Record::default();
+        e9v2_enum_csr(&mut record2);
+        record2.write("BENCH_2.json");
+    }
+    let mut record3 = Bench3Record::default();
+    e9v3_delay_tail(&mut record3);
+    e14_sharded_service(&mut record3);
+    record3.write("BENCH_3.json");
+}
+
+/// Headline numbers of PR 3 (Gaifman-component sharded engine, pooled
+/// perm support arena, memoized point-query cones), persisted as
+/// `BENCH_3.json`.
+#[derive(Default)]
+struct Bench3Record {
+    // E9v3: E9v2's workload after the pooled arena removed the
+    // enumeration path's last steady-state allocations.
+    e9v3_n: usize,
+    e9v3_answers: u64,
+    e9v3_answers_per_sec: f64,
+    /// Delay histogram buckets: <1µs, 1–10µs, 10–100µs, 100µs–1ms, ≥1ms.
+    e9v3_delay_hist: [u64; 5],
+    // E14: sharded update+query service mix, single-shard baseline vs
+    // one shard per core.
+    e14_n: usize,
+    e14_components: usize,
+    e14_shards: usize,
+    build_ms_single: f64,
+    build_ms_sharded: f64,
+    query_qps_single: f64,
+    query_qps_sharded: f64,
+    update_ups_single: f64,
+    update_ups_sharded: f64,
+    mixed_ops_single: f64,
+    mixed_ops_sharded: f64,
+}
+
+impl Bench3Record {
+    fn write(&self, path: &str) {
+        let json = format!(
+            "{{\n  \"bench\": 3,\n  \"e9v3_delay_tail\": {{\"n\": {}, \"answers\": {}, \"answers_per_sec\": {:.0}, \"delay_hist\": {{\"lt_1us\": {}, \"1_10us\": {}, \"10_100us\": {}, \"100us_1ms\": {}, \"ge_1ms\": {}}}}},\n  \"e14_sharded_service\": {{\"n\": {}, \"components\": {}, \"shards\": {}, \"build_ms\": {{\"single\": {:.1}, \"sharded\": {:.1}}}, \"query_batch_qps\": {{\"single\": {:.0}, \"sharded\": {:.0}}}, \"updates_per_sec\": {{\"single\": {:.0}, \"sharded\": {:.0}}}, \"concurrent_mixed_ops_per_sec\": {{\"single\": {:.0}, \"sharded\": {:.0}}}}}\n}}\n",
+            self.e9v3_n,
+            self.e9v3_answers,
+            self.e9v3_answers_per_sec,
+            self.e9v3_delay_hist[0],
+            self.e9v3_delay_hist[1],
+            self.e9v3_delay_hist[2],
+            self.e9v3_delay_hist[3],
+            self.e9v3_delay_hist[4],
+            self.e14_n,
+            self.e14_components,
+            self.e14_shards,
+            self.build_ms_single,
+            self.build_ms_sharded,
+            self.query_qps_single,
+            self.query_qps_sharded,
+            self.update_ups_single,
+            self.update_ups_sharded,
+            self.mixed_ops_single,
+            self.mixed_ops_sharded,
+        );
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+/// E9v3 — the E9v2 delay-histogram workload, re-measured after the
+/// pooled Lemma 39 arena: `candidate`'s per-call `counts` clone and
+/// mask-range `Vec` (the only steady-state allocations on the
+/// enumeration path) are gone, so a shrinking 10–100µs tail attributes
+/// the tail to the allocator, not to perm candidate rebuilds.
+fn e9v3_delay_tail(record: &mut Bench3Record) {
+    println!("## E9v3  delay-tail attribution: E9v2 workload, allocation-free candidate scan");
+    println!("2-path query | n | answers | ans/s | delay hist <1µs,<10µs,<100µs,<1ms,≥1ms");
+    let n = 4000usize;
+    let wl = sparse_random(n, 7);
+    let (x, y, z) = (Var(0), Var(1), Var(2));
+    let phi = Formula::Rel(wl.e, vec![x, y])
+        .and(Formula::Rel(wl.e, vec![y, z]))
+        .and(Formula::neq(x, z));
+    let ix = AnswerIndex::build(&wl.a, &phi, &CompileOptions::default()).unwrap();
+    let mut hist = [0u64; 5];
+    let mut count = 0u64;
+    let t_enum = Instant::now();
+    let mut it = ix.iter();
+    loop {
+        let t = Instant::now();
+        let step = it.next();
+        let d = t.elapsed();
+        if step.is_none() {
+            break;
+        }
+        hist[match d.as_nanos() {
+            0..=999 => 0,
+            1_000..=9_999 => 1,
+            10_000..=99_999 => 2,
+            100_000..=999_999 => 3,
+            _ => 4,
+        }] += 1;
+        count += 1;
+    }
+    let total = t_enum.elapsed();
+    let aps = count as f64 / total.as_secs_f64();
+    println!("    | {n:>5} | {count:>7} | {aps:>9.0} | {hist:?}");
+    println!("  (compare delay_hist against BENCH_2.json's e9v2_enumerate)\n");
+    record.e9v3_n = n;
+    record.e9v3_answers = count;
+    record.e9v3_answers_per_sec = aps;
+    record.e9v3_delay_hist = hist;
+}
+
+/// E14 — the sharded service: a multi-component database behind a
+/// `ShardedEngine`, serving a mixed update+query workload, single-shard
+/// baseline vs one shard per core. On a 1-CPU container the sharded
+/// numbers show routing overhead, not speedup — re-measure on real
+/// hardware (the concurrency itself is exercised by the release-mode
+/// smoke test in CI).
+fn e14_sharded_service(record: &mut Bench3Record) {
+    use agq_enumerate::{GeneralShardedEngine, ShardedEngine};
+    use agq_structure::Signature;
+    println!("## E14  sharded service: Gaifman-component shards, update+query mix");
+    let comps = 64usize;
+    let m = 250usize;
+    let n = comps * m;
+    let mut sig = Signature::new();
+    let e = sig.add_relation("E", 2);
+    let s = sig.add_relation("S", 1);
+    let mut a = agq_structure::Structure::new(std::sync::Arc::new(sig), n);
+    let mut rng = SmallRng::seed_from_u64(14);
+    for c in 0..comps {
+        let base = (c * m) as u32;
+        for i in 1..m as u32 {
+            let u = base + i;
+            let v = base + rng.gen_range(0..i);
+            a.insert(e, &[u, v]);
+            a.insert(e, &[v, u]);
+        }
+    }
+    for v in 0..n as u32 {
+        if v.is_multiple_of(2) {
+            a.insert(s, &[v]);
+        }
+    }
+    let edges: Vec<[u32; 2]> = a
+        .relation(e)
+        .iter()
+        .map(|t| [t.as_slice()[0], t.as_slice()[1]])
+        .collect();
+    let a = std::sync::Arc::new(a);
+    let (x, y) = (Var(0), Var(1));
+    let phi = Formula::Rel(e, vec![x, y]).and(Formula::Rel(s, vec![x]));
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let shard_target = cores.max(2);
+    println!("shards | build | query_batch q/s | updates/s | concurrent mixed ops/s");
+    for (label, max_shards) in [("single", 1usize), ("sharded", shard_target)] {
+        let t0 = Instant::now();
+        let eng: GeneralShardedEngine<Nat> =
+            ShardedEngine::build(&a, &phi, &CompileOptions::default(), max_shards).unwrap();
+        let build = t0.elapsed();
+        // query batches
+        let mut rng = SmallRng::seed_from_u64(15);
+        let points: Vec<[u32; 2]> = (0..4096)
+            .map(|_| {
+                let c = rng.gen_range(0..comps as u32) * m as u32;
+                [
+                    c + rng.gen_range(0..m as u32),
+                    c + rng.gen_range(0..m as u32),
+                ]
+            })
+            .collect();
+        let tuples: Vec<&[u32]> = points.iter().map(|p| p.as_slice()).collect();
+        let t_q = time(|| {
+            std::hint::black_box(eng.query_batch(&tuples));
+        });
+        let qps = tuples.len() as f64 / t_q.as_secs_f64();
+        // routed updates (genuine membership flips)
+        let reps = 20_000usize;
+        let mut present = vec![true; edges.len()];
+        let t_u = time(|| {
+            for _ in 0..reps {
+                let ei = rng.gen_range(0..edges.len());
+                present[ei] = !present[ei];
+                let u = agq_core::TupleUpdate {
+                    rel: e,
+                    tuple: edges[ei].to_vec(),
+                    present: present[ei],
+                };
+                eng.apply_update(&u).unwrap();
+            }
+        });
+        let ups = reps as f64 / t_u.as_secs_f64();
+        // concurrent mixed load: one writer thread + one batch-reader
+        // thread (each op counted once)
+        let writer_edges = &edges;
+        let eng_ref = &eng;
+        let mixed_updates = 10_000usize;
+        let mixed_batches = 16usize;
+        let t_m = time(|| {
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let mut rng = SmallRng::seed_from_u64(16);
+                    let mut present = vec![true; writer_edges.len()];
+                    for _ in 0..mixed_updates {
+                        let ei = rng.gen_range(0..writer_edges.len());
+                        present[ei] = !present[ei];
+                        let u = agq_core::TupleUpdate {
+                            rel: e,
+                            tuple: writer_edges[ei].to_vec(),
+                            present: present[ei],
+                        };
+                        eng_ref.apply_update(&u).unwrap();
+                    }
+                });
+                scope.spawn(|| {
+                    for _ in 0..mixed_batches {
+                        std::hint::black_box(eng_ref.query_batch(&tuples));
+                    }
+                });
+            });
+        });
+        let mixed_ops = (mixed_updates + mixed_batches * tuples.len()) as f64 / t_m.as_secs_f64();
+        println!(
+            "    {label:>7} ({:>3} shards) | {build:>9?} | {qps:>11.0} | {ups:>9.0} | {mixed_ops:>9.0}",
+            eng.num_shards()
+        );
+        if max_shards == 1 {
+            record.build_ms_single = build.as_secs_f64() * 1e3;
+            record.query_qps_single = qps;
+            record.update_ups_single = ups;
+            record.mixed_ops_single = mixed_ops;
+        } else {
+            record.e14_n = n;
+            record.e14_components = comps;
+            record.e14_shards = eng.num_shards();
+            record.build_ms_sharded = build.as_secs_f64() * 1e3;
+            record.query_qps_sharded = qps;
+            record.update_ups_sharded = ups;
+            record.mixed_ops_sharded = mixed_ops;
+        }
+    }
+    println!();
 }
 
 /// Headline numbers of PR 2 (CSR enumeration machine + compiler
@@ -783,6 +1027,15 @@ fn e13_throughput(record: &mut BenchRecord) {
     let nf = normalize(&expr).unwrap();
     let compiled = compile(&wl.a, &nf, &CompileOptions::default()).unwrap();
     let mut legacy: LegacyEngine<MinPlus> = LegacyEngine::new(compiled.clone(), &weights);
+    // A/B the per-slot cone memoization: an engine over a cone-less plan
+    // takes the discovery-peek path (heap + hash-map per query), while
+    // the default engine sweeps the memoized cones.
+    let compiled_nocones = std::sync::Arc::new(compiled.clone());
+    let mut engine_disc: GeneralEngine<MinPlus> = GeneralEngine::from_parts(
+        compiled_nocones.clone(),
+        std::sync::Arc::new(agq_circuit::EvalPlan::new(compiled_nocones.circuit.clone())),
+        &weights,
+    );
     let mut engine: GeneralEngine<MinPlus> = GeneralEngine::new(compiled, &weights);
 
     let mut rng = SmallRng::seed_from_u64(1);
@@ -794,8 +1047,10 @@ fn e13_throughput(record: &mut BenchRecord) {
         let a = legacy.query(p);
         let b = engine.query(p);
         let c = engine.query_via_updates(p);
-        assert_eq!(a, b, "overlay must match the seed path");
+        let d = engine_disc.query(p);
+        assert_eq!(a, b, "memoized-cone overlay must match the seed path");
         assert_eq!(a, c, "update/restore must match the seed path");
+        assert_eq!(a, d, "discovery overlay must match the seed path");
     }
 
     let reps = points.len() as u32;
@@ -807,6 +1062,11 @@ fn e13_throughput(record: &mut BenchRecord) {
     let t_classic = time(|| {
         for p in &points {
             std::hint::black_box(engine.query_via_updates(p));
+        }
+    });
+    let t_disc = time(|| {
+        for p in &points {
+            std::hint::black_box(engine_disc.query(p));
         }
     });
     let t_overlay = time(|| {
@@ -829,7 +1089,12 @@ fn e13_throughput(record: &mut BenchRecord) {
         t_classic / reps
     );
     println!(
-        "    overlay query:            {q_overlay:>10.0} q/s ({:?}/query)",
+        "    overlay (discovery):      {:>10.0} q/s ({:?}/query)",
+        qps(t_disc),
+        t_disc / reps
+    );
+    println!(
+        "    overlay (memoized cones): {q_overlay:>10.0} q/s ({:?}/query)",
         t_overlay / reps
     );
     println!(

@@ -106,38 +106,43 @@ enum ParentRef {
 /// Sentinel for "gate is not a permanent" in the dense perm index.
 const NO_PERM: u32 = u32::MAX;
 
-/// Dynamic evaluator: caches every gate value and repairs them under input
-/// updates, routing permanent-entry changes through a [`PermMaint`].
-///
-/// Update cost is `O(affected gates · per-gate cost)`; for circuits
-/// produced by the Theorem 6 compiler the number of affected gates per
-/// input is query-bounded (bounded fan-out, bounded depth), giving the
-/// `O(log |A|)` / `O(1)` bounds of Theorem 8.
-///
-/// Like the circuit itself, the evaluator's adjacency is flat: parent
-/// lists and per-slot input-gate lists are [`Csr`] buffers (one offset
-/// table plus one contiguous payload each), built in two counting
-/// passes — no per-gate allocations, no per-update clones.
-pub struct DynEvaluator<S: Semiring, P: PermMaint<S>> {
+/// The immutable half of dynamic evaluation: everything derived from the
+/// circuit topology alone — parent references, per-slot input-gate lists,
+/// the dense perm-gate numbering, and (optionally) memoized per-slot peek
+/// cones. An `EvalPlan` carries **no values** and is `Send + Sync`, so
+/// one `Arc<EvalPlan>` can back any number of [`DynEvaluator`] states —
+/// the shard states of a sharded engine, the workers of a batch — without
+/// re-deriving the adjacency.
+pub struct EvalPlan {
     circuit: Arc<Circuit>,
-    values: Vec<S>,
     /// Parents of each gate.
     parents: Csr<ParentRef>,
-    /// Gate id → index into `perms` (`NO_PERM` for non-perm gates).
+    /// Gate id → dense perm index (`NO_PERM` for non-perm gates).
     perm_index: Vec<u32>,
-    /// Perm-gate maintenance structures, dense, in gate order.
-    perms: Vec<P>,
+    num_perms: usize,
     /// Input gates of each slot.
     slot_gates: Csr<u32>,
-    slot_values: Vec<S>,
+    /// Memoized peek cones: for a memoized slot, the ascending (hence
+    /// topologically sorted) gate ids of every gate reachable upward from
+    /// the slot's input gates. An empty row means "not memoized" (a slot
+    /// read by at least one gate always has a nonempty cone).
+    cones: Csr<u32>,
 }
 
-impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
-    /// Build from an initial input assignment, evaluating once.
-    pub fn new(circuit: Arc<Circuit>, slots: &[S], lits: &[S]) -> Self {
-        assert_eq!(slots.len(), circuit.num_slots());
-        assert_eq!(lits.len(), circuit.num_lits());
-        let values = crate::eval_gates(&circuit, slots, lits);
+impl EvalPlan {
+    /// Derive the plan of `circuit` (no cone memoization).
+    pub fn new(circuit: Arc<Circuit>) -> Self {
+        Self::with_cones(circuit, &[])
+    }
+
+    /// Derive the plan and memoize the peek cones of `cone_slots`.
+    ///
+    /// A slot's cone is static topology: for query-bounded slots (the
+    /// `v_i` free-variable indicators of Theorem 8) it has constant size,
+    /// and memoizing it lets [`DynEvaluator::peek_memo`] evaluate a point
+    /// query by a linear sweep of the precomputed cone instead of
+    /// discovering it per query through a heap and a hash map.
+    pub fn with_cones(circuit: Arc<Circuit>, cone_slots: &[u32]) -> Self {
         let gates = circuit.gates();
         let n = gates.len();
 
@@ -167,11 +172,11 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
             }
         }
 
-        // Pass 2: fill the flat buffers and build perm maintenance state.
+        // Pass 2: fill the flat adjacency buffers.
         let mut parents = parents.finish_counts(ParentRef::Add(0));
         let mut slot_gates = slot_gates.finish_counts(0u32);
         let mut perm_index = vec![NO_PERM; n];
-        let mut perms: Vec<P> = Vec::with_capacity(num_perms);
+        let mut next_perm = 0u32;
         for (i, g) in gates.iter().enumerate() {
             match g {
                 GateDef::Input(slot) => slot_gates.place(*slot as usize, i as u32),
@@ -187,13 +192,7 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
                 }
                 GateDef::Perm { rows, cols } => {
                     let k = *rows as usize;
-                    let cols = circuit.children(*cols);
-                    let mut m = ColMatrix::with_capacity(k, cols.len() / k);
-                    let mut buf = Vec::with_capacity(k);
-                    for (ci, col) in cols.chunks_exact(k).enumerate() {
-                        buf.clear();
-                        buf.extend(col.iter().map(|g| values[g.0 as usize].clone()));
-                        m.push_col(&buf);
+                    for (ci, col) in circuit.children(*cols).chunks_exact(k).enumerate() {
                         for (r, child) in col.iter().enumerate() {
                             parents.place(
                                 child.0 as usize,
@@ -205,25 +204,152 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
                             );
                         }
                     }
-                    perm_index[i] = perms.len() as u32;
-                    perms.push(P::build(m));
+                    perm_index[i] = next_perm;
+                    next_perm += 1;
                 }
             }
         }
-        DynEvaluator {
+        let parents = parents.finish();
+        let slot_gates = slot_gates.finish();
+
+        // Cone memoization: ascend from each requested slot's input gates
+        // through the parent lists, stamping visits; sort for the
+        // topological sweep of `peek_memo`.
+        let mut stamp = vec![u32::MAX; n];
+        let mut cone_of: Vec<(u32, Vec<u32>)> = Vec::with_capacity(cone_slots.len());
+        let mut stack: Vec<u32> = Vec::new();
+        for (si, &slot) in cone_slots.iter().enumerate() {
+            let mut cone: Vec<u32> = Vec::new();
+            stack.clear();
+            for &g in slot_gates.row(slot as usize) {
+                if stamp[g as usize] != si as u32 {
+                    stamp[g as usize] = si as u32;
+                    stack.push(g);
+                    cone.push(g);
+                }
+            }
+            while let Some(g) = stack.pop() {
+                for &p in parents.row(g as usize) {
+                    let pg = match p {
+                        ParentRef::Add(pg) | ParentRef::Mul(pg) => pg,
+                        ParentRef::Perm { gate, .. } => gate,
+                    };
+                    if stamp[pg as usize] != si as u32 {
+                        stamp[pg as usize] = si as u32;
+                        stack.push(pg);
+                        cone.push(pg);
+                    }
+                }
+            }
+            cone.sort_unstable();
+            cone_of.push((slot, cone));
+        }
+        let mut cones = CsrBuilder::new(circuit.num_slots());
+        for (slot, cone) in &cone_of {
+            for _ in cone {
+                cones.count(*slot as usize);
+            }
+        }
+        let mut cones = cones.finish_counts(0u32);
+        for (slot, cone) in &cone_of {
+            for &g in cone {
+                cones.place(*slot as usize, g);
+            }
+        }
+
+        EvalPlan {
             circuit,
-            values,
-            parents: parents.finish(),
+            parents,
             perm_index,
+            num_perms,
+            slot_gates,
+            cones: cones.finish(),
+        }
+    }
+
+    fn cone(&self, slot: u32) -> &[u32] {
+        self.cones.row(slot as usize)
+    }
+
+    /// The circuit this plan describes.
+    pub fn circuit(&self) -> &Arc<Circuit> {
+        &self.circuit
+    }
+
+    /// Whether `slot`'s peek cone was memoized.
+    pub fn has_cone(&self, slot: u32) -> bool {
+        !self.cones.row(slot as usize).is_empty()
+    }
+}
+
+/// Dynamic evaluator: caches every gate value and repairs them under input
+/// updates, routing permanent-entry changes through a [`PermMaint`].
+///
+/// Update cost is `O(affected gates · per-gate cost)`; for circuits
+/// produced by the Theorem 6 compiler the number of affected gates per
+/// input is query-bounded (bounded fan-out, bounded depth), giving the
+/// `O(log |A|)` / `O(1)` bounds of Theorem 8.
+///
+/// The evaluator is the **mutable half** of the plan/state split: it owns
+/// only the per-gate value buffer, the per-perm-gate maintenance
+/// structures, and the slot values; all adjacency lives in a shared
+/// [`EvalPlan`] (see [`DynEvaluator::from_plan`]). Instantiating another
+/// state over the same plan costs one circuit evaluation — no counting
+/// passes, no adjacency rebuild.
+pub struct DynEvaluator<S: Semiring, P: PermMaint<S>> {
+    plan: Arc<EvalPlan>,
+    values: Vec<S>,
+    /// Perm-gate maintenance structures, dense, in gate order.
+    perms: Vec<P>,
+    slot_values: Vec<S>,
+}
+
+impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
+    /// Build from an initial input assignment, deriving a fresh plan and
+    /// evaluating once. Equivalent to
+    /// `DynEvaluator::from_plan(Arc::new(EvalPlan::new(circuit)), …)`.
+    pub fn new(circuit: Arc<Circuit>, slots: &[S], lits: &[S]) -> Self {
+        Self::from_plan(Arc::new(EvalPlan::new(circuit)), slots, lits)
+    }
+
+    /// Instantiate a mutable evaluation state over a shared immutable
+    /// plan, evaluating the circuit once at `slots`/`lits`.
+    pub fn from_plan(plan: Arc<EvalPlan>, slots: &[S], lits: &[S]) -> Self {
+        let circuit = &plan.circuit;
+        assert_eq!(slots.len(), circuit.num_slots());
+        assert_eq!(lits.len(), circuit.num_lits());
+        let values = crate::eval_gates(circuit, slots, lits);
+        let mut perms: Vec<P> = Vec::with_capacity(plan.num_perms);
+        for g in circuit.gates() {
+            if let GateDef::Perm { rows, cols } = g {
+                let k = *rows as usize;
+                let cols = circuit.children(*cols);
+                let mut m = ColMatrix::with_capacity(k, cols.len() / k);
+                let mut buf = Vec::with_capacity(k);
+                for col in cols.chunks_exact(k) {
+                    buf.clear();
+                    buf.extend(col.iter().map(|g| values[g.0 as usize].clone()));
+                    m.push_col(&buf);
+                }
+                perms.push(P::build(m));
+            }
+        }
+        DynEvaluator {
+            plan,
+            values,
             perms,
-            slot_gates: slot_gates.finish(),
             slot_values: slots.to_vec(),
         }
     }
 
+    /// The shared immutable plan.
+    pub fn plan(&self) -> &Arc<EvalPlan> {
+        &self.plan
+    }
+
     /// Current output value.
     pub fn output(&self) -> &S {
-        &self.values[self.circuit.output().0 as usize]
+        &self.values[self.plan.circuit.output().0 as usize]
     }
 
     /// Current value of any gate.
@@ -243,8 +369,8 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
         }
         self.slot_values[slot as usize] = value.clone();
         let mut dirty: BinaryHeap<std::cmp::Reverse<u32>> = BinaryHeap::new();
-        for i in 0..self.slot_gates.row(slot as usize).len() {
-            let g = self.slot_gates.row(slot as usize)[i];
+        for i in 0..self.plan.slot_gates.row(slot as usize).len() {
+            let g = self.plan.slot_gates.row(slot as usize)[i];
             if self.values[g as usize] != value {
                 self.values[g as usize] = value.clone();
                 self.mark_parents(g, &mut dirty);
@@ -306,7 +432,7 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
             if self.slot_values[slot] == *v {
                 continue;
             }
-            for &g in self.slot_gates.row(slot) {
+            for &g in self.plan.slot_gates.row(slot) {
                 if self.values[g as usize] != *v {
                     scratch.set(g, v.clone());
                     self.mark_parents_overlay(g, scratch);
@@ -318,13 +444,13 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
             if scratch.dirty.peek() == Some(&std::cmp::Reverse(g)) {
                 continue;
             }
-            let new = match &self.circuit.gates()[g as usize] {
+            let new = match &self.plan.circuit.gates()[g as usize] {
                 GateDef::Perm { .. } => {
                     // Assemble this permanent's patch list from the flat
                     // per-query buffer (no duplicates possible: every
                     // (row, col) has exactly one child gate, finalized
                     // once).
-                    let pi = self.perm_index[g as usize];
+                    let pi = self.plan.perm_index[g as usize];
                     let mut buf = std::mem::take(&mut scratch.perm_buf);
                     buf.clear();
                     buf.extend(
@@ -345,11 +471,117 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
                 self.mark_parents_overlay(g, scratch);
             }
         }
-        let out = self.circuit.output().0;
+        let out = self.plan.circuit.output().0;
         scratch
             .get(out)
             .cloned()
             .unwrap_or_else(|| self.values[out as usize].clone())
+    }
+
+    /// [`DynEvaluator::peek`] over the **memoized cones** of the patched
+    /// slots: the union cone is the merge of the per-slot gate lists
+    /// precomputed in the plan ([`EvalPlan::with_cones`]), evaluated by
+    /// one ascending sweep — no heap, no hash map, no per-query cone
+    /// discovery. Falls back to [`DynEvaluator::peek`] when some patched
+    /// slot has no memoized cone.
+    pub fn peek_memo(&self, patches: &[(u32, S)], scratch: &mut PeekScratch<S>) -> S {
+        if patches.iter().any(|&(s, _)| !self.plan.has_cone(s)) {
+            return self.peek(patches, scratch);
+        }
+        // Resolve duplicate slots: later patches win.
+        let mut resolved = std::mem::take(&mut scratch.resolved);
+        resolved.clear();
+        for (i, (slot, _)) in patches.iter().enumerate() {
+            match resolved.iter_mut().find(|&&mut (s, _)| s == *slot) {
+                Some((_, pi)) => *pi = i,
+                None => resolved.push((*slot, i)),
+            }
+        }
+        // Merge the cones of the effectively-changed slots.
+        let mut cone = std::mem::take(&mut scratch.cone);
+        cone.clear();
+        for &(slot, pi) in &resolved {
+            if self.slot_values[slot as usize] != patches[pi].1 {
+                cone.extend_from_slice(self.plan.cone(slot));
+            }
+        }
+        cone.sort_unstable();
+        cone.dedup();
+        if cone.is_empty() {
+            scratch.cone = cone;
+            scratch.resolved = resolved;
+            return self.output().clone();
+        }
+        // One topological sweep over the merged cone (ascending gate ids;
+        // children precede parents in the arena).
+        let mut vals = std::mem::take(&mut scratch.cone_vals);
+        vals.clear();
+        scratch.perm_patches.clear();
+        let lookup = |cone: &[u32], vals: &[S], gate: u32| -> Option<usize> {
+            cone.binary_search(&gate).ok().filter(|&i| i < vals.len())
+        };
+        for (ci, &g) in cone.iter().enumerate() {
+            let v = match &self.plan.circuit.gates()[g as usize] {
+                GateDef::Input(slot) => match resolved.iter().find(|&&(s, _)| s == *slot) {
+                    Some(&(_, pi)) => patches[pi].1.clone(),
+                    None => self.values[g as usize].clone(),
+                },
+                GateDef::Const(_) => self.values[g as usize].clone(),
+                GateDef::Add(children) => {
+                    let mut acc = S::zero();
+                    for c in self.plan.circuit.children(*children) {
+                        acc.add_assign(match lookup(&cone, &vals, c.0) {
+                            Some(i) => &vals[i],
+                            None => &self.values[c.0 as usize],
+                        });
+                    }
+                    acc
+                }
+                GateDef::Mul(a, b) => {
+                    let eff = |g: GateId| match lookup(&cone, &vals, g.0) {
+                        Some(i) => &vals[i],
+                        None => &self.values[g.0 as usize],
+                    };
+                    eff(*a).mul(eff(*b))
+                }
+                GateDef::Perm { .. } => {
+                    let pi = self.plan.perm_index[g as usize];
+                    let mut buf = std::mem::take(&mut scratch.perm_buf);
+                    buf.clear();
+                    buf.extend(
+                        scratch
+                            .perm_patches
+                            .iter()
+                            .filter(|&(p, _r, _c, _v)| *p == pi)
+                            .map(|(_p, r, c, v)| (*r as usize, *c as usize, v.clone())),
+                    );
+                    let out = self.perms[pi as usize].peek(&buf);
+                    scratch.perm_buf = buf;
+                    out
+                }
+            };
+            // Feed changed values to perm parents (processed later in the
+            // sweep); Add/Mul parents re-read children directly.
+            if v != self.values[g as usize] {
+                for &p in self.plan.parents.row(g as usize) {
+                    if let ParentRef::Perm { gate, row, col } = p {
+                        let pi = self.plan.perm_index[gate as usize];
+                        scratch.perm_patches.push((pi, row as u32, col, v.clone()));
+                    }
+                }
+            }
+            debug_assert_eq!(ci, vals.len());
+            vals.push(v);
+        }
+        let out_gate = self.plan.circuit.output().0;
+        let out = match cone.binary_search(&out_gate) {
+            Ok(i) => vals[i].clone(),
+            Err(_) => self.values[out_gate as usize].clone(),
+        };
+        scratch.cone = cone;
+        scratch.cone_vals = vals;
+        scratch.resolved = resolved;
+        out
     }
 
     /// [`DynEvaluator::peek`] with a one-off scratch (convenience for
@@ -362,15 +594,14 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
     fn mark_parents(&mut self, g: u32, dirty: &mut BinaryHeap<std::cmp::Reverse<u32>>) {
         // Perm parents absorb the new child value into their maintenance
         // structure immediately; value recomputation happens in id order.
-        for i in 0..self.parents.row(g as usize).len() {
-            let p = self.parents.row(g as usize)[i];
+        for &p in self.plan.parents.row(g as usize) {
             match p {
                 ParentRef::Add(pg) | ParentRef::Mul(pg) => {
                     dirty.push(std::cmp::Reverse(pg));
                 }
                 ParentRef::Perm { gate, row, col } => {
                     let v = self.values[g as usize].clone();
-                    let pi = self.perm_index[gate as usize] as usize;
+                    let pi = self.plan.perm_index[gate as usize] as usize;
                     self.perms[pi].update(row as usize, col as usize, v);
                     dirty.push(std::cmp::Reverse(gate));
                 }
@@ -379,7 +610,7 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
     }
 
     fn mark_parents_overlay(&self, g: u32, scratch: &mut PeekScratch<S>) {
-        for &p in self.parents.row(g as usize) {
+        for &p in self.plan.parents.row(g as usize) {
             match p {
                 ParentRef::Add(pg) | ParentRef::Mul(pg) => {
                     scratch.dirty.push(std::cmp::Reverse(pg));
@@ -389,7 +620,7 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
                         .get(g)
                         .expect("overlaid child value present")
                         .clone();
-                    let pi = self.perm_index[gate as usize];
+                    let pi = self.plan.perm_index[gate as usize];
                     scratch.perm_patches.push((pi, row as u32, col, v));
                     scratch.dirty.push(std::cmp::Reverse(gate));
                 }
@@ -398,17 +629,17 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
     }
 
     fn recompute(&self, g: u32) -> S {
-        match &self.circuit.gates()[g as usize] {
+        match &self.plan.circuit.gates()[g as usize] {
             GateDef::Input(_) | GateDef::Const(_) => self.values[g as usize].clone(),
             GateDef::Add(children) => {
                 let mut acc = S::zero();
-                for c in self.circuit.children(*children) {
+                for c in self.plan.circuit.children(*children) {
                     acc.add_assign(&self.values[c.0 as usize]);
                 }
                 acc
             }
             GateDef::Mul(a, b) => self.values[a.0 as usize].mul(&self.values[b.0 as usize]),
-            GateDef::Perm { .. } => self.perms[self.perm_index[g as usize] as usize]
+            GateDef::Perm { .. } => self.perms[self.plan.perm_index[g as usize] as usize]
                 .total()
                 .clone(),
         }
@@ -416,11 +647,11 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
 
     fn recompute_overlay(&self, g: u32, scratch: &PeekScratch<S>) -> S {
         let eff = |gate: GateId| scratch.get(gate.0).unwrap_or(&self.values[gate.0 as usize]);
-        match &self.circuit.gates()[g as usize] {
+        match &self.plan.circuit.gates()[g as usize] {
             GateDef::Input(_) | GateDef::Const(_) => self.values[g as usize].clone(),
             GateDef::Add(children) => {
                 let mut acc = S::zero();
-                for c in self.circuit.children(*children) {
+                for c in self.plan.circuit.children(*children) {
                     acc.add_assign(eff(*c));
                 }
                 acc
@@ -452,6 +683,10 @@ pub struct PeekScratch<S> {
     dirty: BinaryHeap<std::cmp::Reverse<u32>>,
     /// Slot-dedup buffer: `(slot, index of its last patch)`.
     resolved: Vec<(u32, usize)>,
+    /// Merged-cone gate ids ([`DynEvaluator::peek_memo`]).
+    cone: Vec<u32>,
+    /// Values parallel to `cone`.
+    cone_vals: Vec<S>,
 }
 
 impl<S> PeekScratch<S> {
@@ -463,6 +698,8 @@ impl<S> PeekScratch<S> {
             perm_buf: Vec::new(),
             dirty: BinaryHeap::new(),
             resolved: Vec::new(),
+            cone: Vec::new(),
+            cone_vals: Vec::new(),
         }
     }
 
@@ -656,6 +893,92 @@ mod tests {
             let s = rng.gen_range(0..2 * n) as u32;
             ev.set_input(s, Bool(rng.gen_bool(0.5)));
         }
+    }
+
+    #[test]
+    fn memoized_cone_peek_matches_discovery_peek() {
+        let n = 5;
+        let circuit = Arc::new(test_circuit(n));
+        let all_slots: Vec<u32> = (0..2 * n as u32).collect();
+        let plan = Arc::new(EvalPlan::with_cones(circuit, &all_slots));
+        let mut rng = SmallRng::seed_from_u64(41);
+        let slots: Vec<Int> = (0..2 * n).map(|_| Int(rng.gen_range(-3..4))).collect();
+        let mut ev: DynEvaluator<Int, RingMaint<Int>> =
+            DynEvaluator::from_plan(plan, &slots, &[Int(2)]);
+        let mut scratch = PeekScratch::new();
+        let mut scratch2 = PeekScratch::new();
+        for round in 0..60 {
+            let patches: Vec<(u32, Int)> = (0..rng.gen_range(1..4))
+                .map(|_| (rng.gen_range(0..2 * n) as u32, Int(rng.gen_range(-3..4))))
+                .collect();
+            let before = *ev.output();
+            let memo = ev.peek_memo(&patches, &mut scratch);
+            assert_eq!(*ev.output(), before, "peek_memo must not mutate");
+            let disc = ev.peek(&patches, &mut scratch2);
+            assert_eq!(memo, disc, "round {round}: cone sweep vs discovery");
+            // duplicate-slot patches: later wins in both paths
+            let dup = vec![(0u32, Int(5)), (0u32, slots[0])];
+            assert_eq!(
+                ev.peek_memo(&dup, &mut scratch),
+                ev.peek(&dup, &mut scratch2)
+            );
+            let s = rng.gen_range(0..2 * n) as u32;
+            ev.set_input(s, Int(rng.gen_range(-3..4)));
+        }
+    }
+
+    #[test]
+    fn peek_memo_falls_back_without_cones() {
+        let n = 4;
+        let circuit = Arc::new(test_circuit(n));
+        // cones only for slot 0; patching slot 1 must fall back to peek
+        let plan = Arc::new(EvalPlan::with_cones(circuit, &[0]));
+        assert!(plan.has_cone(0));
+        assert!(!plan.has_cone(1));
+        let slots: Vec<Nat> = (0..2 * n).map(|i| Nat(i as u64 % 3 + 1)).collect();
+        let ev: GeneralEvaluator<Nat> = DynEvaluator::from_plan(plan, &slots, &[Nat(1)]);
+        let mut scratch = PeekScratch::new();
+        let patches = [(1u32, Nat(9))];
+        assert_eq!(
+            ev.peek_memo(&patches, &mut scratch),
+            ev.peek_alloc(&patches)
+        );
+    }
+
+    #[test]
+    fn shared_plan_states_update_independently() {
+        let n = 5;
+        let circuit = Arc::new(test_circuit(n));
+        let plan = Arc::new(EvalPlan::new(circuit.clone()));
+        let slots: Vec<Nat> = (0..2 * n).map(|i| Nat(i as u64 % 4)).collect();
+        let lit = [Nat(2)];
+        let mut a: GeneralEvaluator<Nat> = DynEvaluator::from_plan(plan.clone(), &slots, &lit);
+        let mut b: GeneralEvaluator<Nat> = DynEvaluator::from_plan(plan.clone(), &slots, &lit);
+        // independent references: two evaluators, one fresh control each
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut sa = slots.clone();
+        let mut sb = slots.clone();
+        for _ in 0..30 {
+            let s = rng.gen_range(0..2 * n);
+            let v = Nat(rng.gen_range(0..4));
+            if rng.gen_bool(0.5) {
+                sa[s] = v;
+                a.set_input(s as u32, v);
+            } else {
+                sb[s] = v;
+                b.set_input(s as u32, v);
+            }
+            let fa: GeneralEvaluator<Nat> = DynEvaluator::new(circuit.clone(), &sa, &lit);
+            let fb: GeneralEvaluator<Nat> = DynEvaluator::new(circuit.clone(), &sb, &lit);
+            assert_eq!(a.output(), fa.output(), "state A diverged");
+            assert_eq!(b.output(), fb.output(), "state B diverged");
+        }
+    }
+
+    #[test]
+    fn plan_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EvalPlan>();
     }
 
     #[test]

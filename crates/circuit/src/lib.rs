@@ -45,6 +45,19 @@
 //! [`PermMaint::peek`]. This halves the maintenance-structure work of the
 //! classic `2|x̄|`-update trick (`peek_with`) and, taking `&self`, makes
 //! batched and concurrent point queries possible.
+//!
+//! # Plan/state split
+//!
+//! The evaluator is split into an immutable, `Send + Sync` [`EvalPlan`]
+//! (parent CSR, per-slot input-gate CSR, dense perm numbering, memoized
+//! per-slot peek cones) and the mutable [`DynEvaluator`] state (gate
+//! values, permanent maintenance structures, slot values). One
+//! `Arc<EvalPlan>` backs any number of states
+//! ([`DynEvaluator::from_plan`]) — this is what lets a sharded engine
+//! keep one compiled plan and a cheap mutable state per Gaifman shard.
+//! With cones memoized ([`EvalPlan::with_cones`]),
+//! [`DynEvaluator::peek_memo`] answers point queries by a single
+//! topological sweep of the precomputed cone.
 
 mod builder;
 mod csr;
@@ -55,7 +68,7 @@ mod stats;
 pub use builder::CircuitBuilder;
 pub use csr::{Csr, CsrBuilder, CsrCursor};
 pub use dynamic::{
-    DynEvaluator, FiniteEvaluator, FiniteMaint, GeneralEvaluator, PeekScratch, PermMaint,
+    DynEvaluator, EvalPlan, FiniteEvaluator, FiniteMaint, GeneralEvaluator, PeekScratch, PermMaint,
     RingEvaluator, RingMaint,
 };
 pub use eval::eval_gates;

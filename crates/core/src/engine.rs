@@ -1,12 +1,42 @@
 //! The Theorem 8 evaluator: dynamic weighted-query evaluation with
 //! free-variable queries.
+//!
+//! # Plan/state architecture
+//!
+//! A bound query is two halves:
+//!
+//! * the **immutable plan** — the [`CompiledQuery`] (circuit, slot
+//!   registry, literal table, free-variable order) behind an `Arc`, plus
+//!   the derived [`EvalPlan`] (parent CSR, per-slot input-gate CSR,
+//!   memoized per-`FreeVar`-slot peek cones). Nothing in the plan changes
+//!   under weight or relation updates, and it is `Send + Sync`;
+//! * the **mutable state** — the [`DynEvaluator`]'s gate values and
+//!   permanent maintenance structures, plus reusable query scratch.
+//!
+//! [`QueryEngine::new`] builds both at once; [`QueryEngine::from_parts`]
+//! instantiates another *state* over already-built plan halves. That is
+//! the shard constructor: a sharded engine compiles once, then creates
+//! one cheap `QueryEngine` per Gaifman shard, all pointing at the same
+//! plan (see `agq-enumerate`'s `ShardedEngine`). Each shard state absorbs
+//! only its own shard's updates; a point query at a tuple of that shard
+//! reads only the cone above the tuple's indicator slots, which — because
+//! compiled tuples are Gaifman cliques — never leaves the shard's
+//! component, so the other shards' staleness is invisible.
+//!
+//! Point queries run over the memoized cones
+//! ([`DynEvaluator::peek_memo`]): the cone topology above each `v_i(a)`
+//! indicator slot is static, so it is precomputed in the plan and each
+//! query is one topological sweep — no per-query cone discovery.
+//! [`QueryEngine::query_with`] is the `&self` form that takes external
+//! scratch, which is what batch workers and shard read-locks use.
 
 use crate::compile::CompiledQuery;
 use crate::slots::SlotKey;
-use agq_circuit::{DynEvaluator, FiniteMaint, PeekScratch, PermMaint, RingMaint};
+use agq_circuit::{DynEvaluator, EvalPlan, FiniteMaint, PeekScratch, PermMaint, RingMaint};
 use agq_perm::SegTreePerm;
 use agq_semiring::Semiring;
 use agq_structure::{Elem, RelId, Tuple, WeightId, WeightedStructure};
+use std::sync::Arc;
 
 /// One Gaifman-preserving database update: set the membership of `tuple`
 /// in relation `rel`. The shared update language of every index bound to
@@ -59,7 +89,7 @@ impl TupleUpdate {
 /// roughly half the maintenance work of the classic `2|x̄|`-update trick
 /// (kept as [`QueryEngine::query_via_updates`] for comparison).
 pub struct QueryEngine<S: Semiring, P: PermMaint<S>> {
-    compiled: CompiledQuery<S>,
+    compiled: Arc<CompiledQuery<S>>,
     eval: DynEvaluator<S, P>,
     scratch: PeekScratch<S>,
     patch_buf: Vec<(u32, S)>,
@@ -75,8 +105,36 @@ pub type FiniteEngine<S> = QueryEngine<S, FiniteMaint<S>>;
 
 impl<S: Semiring, P: PermMaint<S>> QueryEngine<S, P> {
     /// Bind a compiled query to concrete weights (and, in dynamic-atom
-    /// mode, the current relation contents).
+    /// mode, the current relation contents). Derives the evaluation plan
+    /// with memoized cones for every `FreeVar` indicator slot.
     pub fn new(compiled: CompiledQuery<S>, weights: &WeightedStructure<S>) -> Self {
+        let compiled = Arc::new(compiled);
+        let plan = Arc::new(Self::build_plan(&compiled));
+        Self::from_parts(compiled, plan, weights)
+    }
+
+    /// Derive the shared evaluation plan of a compiled query: adjacency
+    /// CSR plus memoized peek cones for the `FreeVar` indicator slots
+    /// (their cone topology is static and query-bounded, so point queries
+    /// become one precomputed-cone sweep).
+    pub fn build_plan(compiled: &CompiledQuery<S>) -> EvalPlan {
+        let cone_slots: Vec<u32> = compiled
+            .slots
+            .iter()
+            .filter(|(_, key)| matches!(key, SlotKey::FreeVar(..)))
+            .map(|(slot, _)| slot)
+            .collect();
+        EvalPlan::with_cones(compiled.circuit.clone(), &cone_slots)
+    }
+
+    /// Instantiate a mutable engine *state* over shared plan halves —
+    /// the per-shard constructor of the sharded engine. Cost: one circuit
+    /// evaluation; no compilation, no adjacency rebuild.
+    pub fn from_parts(
+        compiled: Arc<CompiledQuery<S>>,
+        plan: Arc<EvalPlan>,
+        weights: &WeightedStructure<S>,
+    ) -> Self {
         let a = weights.structure();
         let slot_values: Vec<S> = compiled
             .slots
@@ -100,7 +158,7 @@ impl<S: Semiring, P: PermMaint<S>> QueryEngine<S, P> {
                 }
             })
             .collect();
-        let eval = DynEvaluator::new(compiled.circuit.clone(), &slot_values, &compiled.lits);
+        let eval = DynEvaluator::from_plan(plan, &slot_values, &compiled.lits);
         QueryEngine {
             compiled,
             eval,
@@ -114,6 +172,16 @@ impl<S: Semiring, P: PermMaint<S>> QueryEngine<S, P> {
         &self.compiled
     }
 
+    /// The compiled query behind its shareable `Arc`.
+    pub fn compiled_arc(&self) -> &Arc<CompiledQuery<S>> {
+        &self.compiled
+    }
+
+    /// The shared evaluation plan (for instantiating sibling states).
+    pub fn plan(&self) -> &Arc<EvalPlan> {
+        self.eval.plan()
+    }
+
     /// Value of a closed query (meaningless when free variables exist —
     /// with all indicators at 0 every free term contributes 0).
     pub fn value(&self) -> &S {
@@ -122,16 +190,32 @@ impl<S: Semiring, P: PermMaint<S>> QueryEngine<S, P> {
 
     /// Value at a free-variable tuple, via the zero-restore overlay: the
     /// `v_i` indicator slots are patched to `1` only inside the
-    /// query-bounded cone, with no state mutation or restore pass.
+    /// query-bounded cone — which is memoized in the plan, so the query
+    /// is one topological sweep with no state mutation or restore pass.
     pub fn query(&mut self, tuple: &[Elem]) -> S {
         let mut patches = std::mem::take(&mut self.patch_buf);
-        patches.clear();
-        let out = match self.free_var_patches(tuple, &mut patches) {
-            true => self.eval.peek(&patches, &mut self.scratch),
-            false => S::zero(),
-        };
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let out = self.query_with(tuple, &mut scratch, &mut patches);
         self.patch_buf = patches;
+        self.scratch = scratch;
         out
+    }
+
+    /// [`QueryEngine::query`] through caller-provided scratch, taking
+    /// `&self`: the form used by batch workers and by shard read-locks
+    /// (the evaluator is never mutated, so any number of `query_with`
+    /// calls may run concurrently on one engine).
+    pub fn query_with(
+        &self,
+        tuple: &[Elem],
+        scratch: &mut PeekScratch<S>,
+        patches: &mut Vec<(u32, S)>,
+    ) -> S {
+        patches.clear();
+        match self.free_var_patches(tuple, patches) {
+            true => self.eval.peek_memo(patches, scratch),
+            false => S::zero(),
+        }
     }
 
     /// Values at many free-variable tuples. Equivalent to mapping
@@ -165,11 +249,7 @@ impl<S: Semiring, P: PermMaint<S>> QueryEngine<S, P> {
             let mut scratch = PeekScratch::new();
             let mut patches = Vec::new();
             for tuple in chunk {
-                patches.clear();
-                out.push(match self.free_var_patches(tuple, &mut patches) {
-                    true => self.eval.peek(&patches, &mut scratch),
-                    false => S::zero(),
-                });
+                out.push(self.query_with(tuple, &mut scratch, &mut patches));
             }
         };
         if threads <= 1 {

@@ -46,13 +46,21 @@ impl std::error::Error for UpdateError {}
 
 /// A preprocessed first-order query ready for constant-delay answer
 /// enumeration (and constant-time maintenance in dynamic mode).
+///
+/// The index follows the plan/state split of [`EnumMachine`]: the
+/// compiled circuit, its [`agq_core::SlotRegistry`], and the generator
+/// weight symbols are immutable and shared behind `Arc`s, while the
+/// machine state (input summand lists, support shadow) is per-index.
+/// [`AnswerIndex::shard_filtered`] instantiates a sibling state over the
+/// same plan whose generator weights are restricted to one set of domain
+/// elements — the per-shard answer indexes of the sharded engine.
 pub struct AnswerIndex {
     machine: EnumMachine,
-    slots: agq_core::SlotRegistry,
+    slots: Arc<agq_core::SlotRegistry>,
     arity: usize,
     dynamic: bool,
     /// Generator weight symbols, one per free-variable position.
-    gen_weights: Vec<WeightId>,
+    gen_weights: Arc<Vec<WeightId>>,
 }
 
 impl AnswerIndex {
@@ -135,11 +143,45 @@ impl AnswerIndex {
         let machine = EnumMachine::new(compiled.circuit.clone(), values);
         Ok(AnswerIndex {
             machine,
-            slots: compiled.slots,
+            slots: Arc::new(compiled.slots),
             arity,
             dynamic,
-            gen_weights,
+            gen_weights: Arc::new(gen_weights),
         })
+    }
+
+    /// Instantiate a sibling index over the **same shared plan**, keeping
+    /// only the answers whose elements all satisfy `keep`: generator
+    /// weight slots `e^i_a` with `!keep(a)` are zeroed, which kills every
+    /// summand (answer) mentioning such an element, while atom-indicator
+    /// slots copy this index's current state. This is the shard
+    /// constructor of the sharded engine — each Gaifman shard keeps the
+    /// answers of its own components and absorbs only its own updates.
+    ///
+    /// Cost: one bottom-up support pass (no compilation, no adjacency
+    /// rebuild).
+    pub fn shard_filtered(&self, mut keep: impl FnMut(Elem) -> bool) -> AnswerIndex {
+        let values: Vec<InputVal> = self
+            .slots
+            .iter()
+            .map(|(slot, key)| match key {
+                SlotKey::Weight(w, t) if self.gen_weights.contains(&w) => {
+                    if keep(t.as_slice()[0]) {
+                        self.machine.input(slot).clone()
+                    } else {
+                        Vec::new()
+                    }
+                }
+                _ => self.machine.input(slot).clone(),
+            })
+            .collect();
+        AnswerIndex {
+            machine: EnumMachine::from_plan(self.machine.plan().clone(), values),
+            slots: self.slots.clone(),
+            arity: self.arity,
+            dynamic: self.dynamic,
+            gen_weights: self.gen_weights.clone(),
+        }
     }
 
     /// Answer-tuple arity.

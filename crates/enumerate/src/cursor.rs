@@ -51,14 +51,44 @@ pub enum Cursor {
 /// One row's state inside a permanent cursor.
 #[derive(Clone, Debug)]
 pub struct PermRow {
-    /// Support mask of the chosen column.
+    /// Support mask of the chosen column (its bucket in the pooled
+    /// Lemma 39 structure).
     pub mask: u32,
-    /// Position of the column within its mask list.
-    pub pos: u32,
     /// The chosen column index.
     pub col: u32,
     /// Cursor within the entry `M[row, col]`.
     pub entry: Cursor,
+}
+
+/// Bucket-count scratch for the Hall-condition viability checks: stack
+/// storage for the common case (`2^k ≤ 64`), heap fallback above. Keeps
+/// the per-candidate check allocation-free — the counts clone here was
+/// the one allocation on the steady-state enumeration path.
+struct CountScratch {
+    stack: [i64; 64],
+    heap: Vec<i64>,
+}
+
+impl CountScratch {
+    fn new() -> Self {
+        CountScratch {
+            stack: [0; 64],
+            heap: Vec::new(),
+        }
+    }
+
+    /// A mutable copy of `counts`, reusing owned storage.
+    fn load(&mut self, counts: &[i64]) -> &mut [i64] {
+        if counts.len() <= 64 {
+            let s = &mut self.stack[..counts.len()];
+            s.copy_from_slice(counts);
+            s
+        } else {
+            self.heap.clear();
+            self.heap.extend_from_slice(counts);
+            &mut self.heap
+        }
+    }
 }
 
 /// Direction of cursor construction.
@@ -131,11 +161,11 @@ impl EnumMachine {
         dir: Dir,
     ) -> Option<Vec<PermRow>> {
         let ps = self.perm_support(gate);
-        let k = ps.k;
+        let k = ps.k();
         if r == k {
             return Some(Vec::new());
         }
-        let (mask, pos, col) = self.candidate(ps, r, excluded, None, dir)?;
+        let (mask, col) = self.candidate(&ps, r, excluded, None, dir)?;
         let entry = self.entry_gate(gate, r, col);
         let entry_cur = self.boundary(entry, dir).expect("entry supported");
         excluded.push(col);
@@ -143,7 +173,6 @@ impl EnumMachine {
         excluded.pop();
         let mut rows = vec![PermRow {
             mask,
-            pos,
             col,
             entry: entry_cur,
         }];
@@ -161,68 +190,80 @@ impl EnumMachine {
     }
 
     /// The first (or last) viable column for `row` given exclusions,
-    /// strictly after (before) `after` in `(mask, pos)` order.
+    /// strictly after (before) `after = (mask, col)` in bucket order
+    /// (masks ascending, then bucket-list order).
     ///
     /// Viability (Lemma 39): the column's support mask contains `row`,
     /// and Hall's condition still holds for the later rows once this
     /// column and the exclusions are removed. Viability depends only on
     /// the mask, so whole mask buckets are accepted or skipped at once —
-    /// `O_k(1)` total.
+    /// `O_k(1)` total. Bucket membership is walked through the pooled
+    /// linked lists; the count scratch is stack-allocated.
     fn candidate(
         &self,
-        ps: &PermSupport,
+        ps: &PermSupport<'_>,
         row: usize,
         excluded: &[u32],
         after: Option<(u32, u32)>,
         dir: Dir,
-    ) -> Option<(u32, u32, u32)> {
-        let k = ps.k;
+    ) -> Option<(u32, u32)> {
+        let k = ps.k();
         let full = (1u32 << k) - 1;
         // remaining rows strictly after `row`
         let remaining = full & !((1u32 << (row + 1)) - 1);
-        let mask_range: Vec<u32> = match dir {
-            Dir::Fwd => (0..(1u32 << k)).collect(),
-            Dir::Bwd => (0..(1u32 << k)).rev().collect(),
-        };
-        for m in mask_range {
-            if m & (1 << row) == 0 {
-                continue;
-            }
-            // honor the starting point
-            if let Some((am, _)) = after {
-                if (dir == Dir::Fwd && m < am) || (dir == Dir::Bwd && m > am) {
-                    continue;
+        let counts = ps.counts();
+        let mut scratch = CountScratch::new();
+        let mut m = if dir == Dir::Fwd { 0u32 } else { full };
+        loop {
+            let skip = m & (1 << row) == 0
+                || match after {
+                    Some((am, _)) => (dir == Dir::Fwd && m < am) || (dir == Dir::Bwd && m > am),
+                    None => false,
+                };
+            if !skip {
+                // Starting column of this bucket's scan: after `after`
+                // when resuming inside its bucket, else the boundary.
+                let start = match (after, dir) {
+                    (Some((am, ac)), Dir::Fwd) if am == m => ps.next(ac),
+                    (Some((am, ac)), Dir::Bwd) if am == m => ps.prev(ac),
+                    (_, Dir::Fwd) => ps.head(m),
+                    (_, Dir::Bwd) => ps.tail(m),
+                };
+                if start.is_some() {
+                    // Check viability of this mask once (counts minus
+                    // exclusions minus one column of this mask).
+                    let counts_mut = scratch.load(counts);
+                    for &x in excluded {
+                        counts_mut[ps.mask_of(x) as usize] -= 1;
+                    }
+                    counts_mut[m as usize] -= 1;
+                    if sdr_exists_rows(k, counts_mut, remaining) {
+                        let mut cur = start;
+                        while let Some(col) = cur {
+                            if !excluded.contains(&col) {
+                                return Some((m, col));
+                            }
+                            cur = match dir {
+                                Dir::Fwd => ps.next(col),
+                                Dir::Bwd => ps.prev(col),
+                            };
+                        }
+                    }
                 }
             }
-            let list = &ps.lists[m as usize];
-            if list.is_empty() {
-                continue;
-            }
-            // Check viability of this mask once (counts minus exclusions
-            // minus one column of this mask).
-            let mut scratch = ps.counts.clone();
-            for &x in excluded {
-                scratch[ps.col_mask[x as usize] as usize] -= 1;
-            }
-            scratch[m as usize] -= 1;
-            if !sdr_exists_rows(k, &scratch, remaining) {
-                continue;
-            }
-            // make sure a non-excluded column exists in the valid range
-            let start: i64 = match (after, dir) {
-                (Some((am, ap)), Dir::Fwd) if am == m => ap as i64 + 1,
-                (Some((am, ap)), Dir::Bwd) if am == m => ap as i64 - 1,
-                (_, Dir::Fwd) => 0,
-                (_, Dir::Bwd) => list.len() as i64 - 1,
-            };
-            let step: i64 = if dir == Dir::Fwd { 1 } else { -1 };
-            let mut p = start;
-            while p >= 0 && (p as usize) < list.len() {
-                let col = list[p as usize];
-                if !excluded.contains(&col) {
-                    return Some((m, p as u32, col));
+            match dir {
+                Dir::Fwd => {
+                    if m == full {
+                        break;
+                    }
+                    m += 1;
                 }
-                p += step;
+                Dir::Bwd => {
+                    if m == 0 {
+                        break;
+                    }
+                    m -= 1;
+                }
             }
         }
         None
@@ -340,13 +381,12 @@ impl EnumMachine {
         }
         // then this row's column choice
         let ps = self.perm_support(gate);
-        if let Some((m, p, col)) =
-            self.candidate(ps, r, excluded, Some((rows[r].mask, rows[r].pos)), dir)
+        if let Some((m, col)) =
+            self.candidate(&ps, r, excluded, Some((rows[r].mask, rows[r].col)), dir)
         {
             let entry = self.entry_gate(gate, r, col);
             rows[r] = PermRow {
                 mask: m,
-                pos: p,
                 col,
                 entry: self.boundary(entry, dir).expect("entry supported"),
             };

@@ -16,24 +16,54 @@
 //!   structure: per-support-mask column lists plus Hall-condition checks
 //!   on the mask counts (`agq_perm::support`), all `O_k(1)` per step.
 //!
-//! # CSR layout
+//! # Plan/state split and CSR layout
 //!
 //! [`machine::EnumMachine`] holds the support state (Boolean shadow of
 //! the circuit) and maintains it in constant time per input flip — the
-//! Gaifman-preserving dynamics of Theorem 24. Its storage mirrors the
-//! flat-arena IR of `agq-circuit` rather than per-gate heap lists:
+//! Gaifman-preserving dynamics of Theorem 24. It is split into an
+//! immutable, `Send + Sync` **plan** ([`machine::EnumPlan`]) and a cheap
+//! mutable **state**, mirroring `agq_circuit::EvalPlan`/`DynEvaluator`:
 //!
-//! * parent references and per-slot input-gate lists are
-//!   [`agq_circuit::Csr`] buffers (one offset table + one payload each),
-//!   shared-convention with `DynEvaluator` and built by the same
-//!   two-pass counting builder;
-//! * addition gates' live supported-children lists are one flat pair of
-//!   buffers (`machine::AddSupports`): each gate owns a fixed-capacity
+//! * the plan owns everything derived from the circuit topology alone —
+//!   parent references and per-slot input-gate lists as
+//!   [`agq_circuit::Csr`] buffers (built by the shared two-pass counting
+//!   builder), the dense `add_index`/`perm_index` side numbering, the
+//!   per-add-gate segment offsets, and the permanent pool layout. One
+//!   `Arc<EnumPlan>` backs any number of machine states
+//!   ([`machine::EnumMachine::from_plan`]);
+//! * the state owns only mutable buffers: input summand lists, the
+//!   support shadow, the live supported-children segments
+//!   (`machine::AddSupports` — each add gate owns a fixed-capacity
 //!   segment sized by its fan-in, membership flips are in-place
-//!   swap-removes;
-//! * per-gate side state is dense-indexed (`add_index`/`perm_index`
-//!   with a `u32::MAX` sentinel), so the hot update path touches flat
-//!   arrays only and allocates nothing (the dirty queue is reused).
+//!   swap-removes), and the pooled Lemma 39 permanent structure
+//!   (`machine::PermPool` — per-column masks plus doubly-linked
+//!   mask-bucket lists threaded through flat arrays, with per-bucket
+//!   head/tail/count arrays; a support flip is an O(1) splice). No
+//!   per-gate, per-mask `Vec`s anywhere; the hot update path touches
+//!   flat arrays only and allocates nothing (the dirty queue is reused).
+//!
+//! The cursor layer ([`cursor`]) walks the bucket lists through the
+//! pooled links and keeps its Hall-condition scratch on the stack, so
+//! steady-state enumeration (advance/retreat) performs no heap
+//! allocation beyond the answer tuples it returns.
+//!
+//! # Shard routing
+//!
+//! [`shard::ShardedEngine`] serves one query from Gaifman-component
+//! shards: `φ` is compiled **once** into shared immutable plans (the
+//! point-query `CompiledQuery` with its `EvalPlan`, and the enumeration
+//! `EnumPlan` with its slot registry), and every shard owns only mutable
+//! state — a `QueryEngine` evaluator state and an [`AnswerIndex`] whose
+//! generator weights are restricted to the shard's elements
+//! ([`answers::AnswerIndex::shard_filtered`]) — behind its own `RwLock`.
+//! `agq_structure::gaifman::GaifmanComponents` (union-find over the
+//! compile-time Gaifman graph) routes every [`agq_core::TupleUpdate`] to
+//! the single shard owning its (clique) tuple; batched point queries
+//! fan out one worker per shard under read locks; per-shard enumeration
+//! streams merge into one globally ordered stream. Admission is the
+//! conservative `Formula::answers_component_local` check — formulas
+//! whose answers could span components run on one shard (correct,
+//! unsharded).
 //!
 //! # `AnswerIndex` invariants
 //!
@@ -67,9 +97,11 @@ pub mod cursor;
 pub mod engine;
 pub mod machine;
 pub mod provenance;
+pub mod shard;
 
 pub use answers::{AnswerIndex, AnswerIter, UpdateError};
 pub use cursor::{Cursor, SummandIter};
 pub use engine::{EnumQueryEngine, FiniteEnumEngine, GeneralEnumEngine, RingEnumEngine};
-pub use machine::EnumMachine;
+pub use machine::{EnumMachine, EnumPlan};
 pub use provenance::{ProvIter, ProvenanceIndex};
+pub use shard::{FiniteShardedEngine, GeneralShardedEngine, RingShardedEngine, ShardedEngine};

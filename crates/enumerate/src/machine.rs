@@ -1,17 +1,31 @@
 //! Support tracking for circuits evaluated in the free semiring.
 //!
-//! # CSR layout
+//! # Plan/state split
 //!
-//! The machine mirrors the flat-arena conventions of
-//! [`agq_circuit::DynEvaluator`]: derived adjacency lives in
-//! [`Csr`] buffers (parent references per gate, input gates per slot)
-//! built in two counting passes, and per-gate support state is stored
-//! densely — `add_index`/`perm_index` map gate ids to compact tables
-//! (`u32::MAX` for gates of other kinds). Addition gates' live
-//! supported-children lists are themselves flattened into one shared
-//! buffer ([`AddSupports`]): every add gate owns a fixed-capacity
+//! The machine mirrors the plan/state architecture of
+//! [`agq_circuit::DynEvaluator`]: everything derived from the circuit
+//! topology alone lives in an immutable, `Send + Sync` [`EnumPlan`] —
+//! parent references and per-slot input-gate lists as [`Csr`] buffers,
+//! dense add/perm side numbering, per-add-gate segment offsets, and the
+//! per-perm-gate pool layout. The [`EnumMachine`] is the mutable state
+//! half: input summand lists, the Boolean support shadow, the live
+//! supported-children segments, and the pooled permanent support
+//! structure. One `Arc<EnumPlan>` backs any number of machine states
+//! ([`EnumMachine::from_plan`]) — the per-shard answer indexes of a
+//! sharded engine share one plan.
+//!
+//! # Flat layout
+//!
+//! Addition gates' live supported-children lists are flattened into one
+//! shared buffer ([`AddSupports`]): every add gate owns a fixed-capacity
 //! segment sized by its fan-in, so membership updates are in-place
-//! swap-removes with no per-gate allocation and no per-update clones.
+//! swap-removes with no per-gate allocation. The Lemma 39 permanent
+//! support structure is likewise pooled ([`PermPool`]): per-column masks
+//! and doubly-linked bucket lists live in arrays sized by the total
+//! column count over all permanent gates, and per-mask bucket
+//! heads/tails/counts in arrays sized by the total bucket count — moving
+//! a column between buckets is an O(1) splice in flat memory, with no
+//! per-gate, per-mask `Vec`s anywhere.
 
 use agq_circuit::{Circuit, ConstRef, Csr, CsrBuilder, GateDef};
 use agq_perm::support::sdr_exists;
@@ -24,117 +38,198 @@ use std::sync::Arc;
 /// `0`; a single empty monomial is `1`.
 pub type InputVal = Vec<Vec<Gen>>;
 
-/// Sentinel for "gate has no entry in this dense side table".
+/// Sentinel for "gate has no entry in this dense side table", and for
+/// "no neighbor" in the pooled bucket lists.
 const NO_IDX: u32 = u32::MAX;
 
-/// Lemma 39's structure for one permanent gate: columns bucketed by their
-/// Boolean support mask, with counts for `O_k(1)` Hall checks.
-#[derive(Debug)]
-pub(crate) struct PermSupport {
-    pub k: usize,
-    /// Current support mask of each column.
-    pub col_mask: Vec<u32>,
-    /// `counts[mask]` = number of columns with that mask.
-    pub counts: Vec<i64>,
-    /// Columns per mask, in enumeration order.
-    pub lists: Vec<Vec<u32>>,
-    /// `pos[col]` = index of the column within its mask list.
-    pub pos: Vec<u32>,
+/// Static layout of one permanent gate's slice of the [`PermPool`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PermMeta {
+    /// Row count `k`.
+    pub k: u8,
+    /// Start of this gate's columns in the pooled per-column arrays.
+    pub col_base: u32,
+    /// Start of this gate's `2^k` buckets in the pooled per-mask arrays.
+    pub bucket_base: u32,
 }
 
-impl PermSupport {
-    fn new(k: usize, masks: Vec<u32>) -> Self {
-        let mut counts = vec![0i64; 1 << k];
-        let mut lists = vec![Vec::new(); 1 << k];
-        let mut pos = vec![0u32; masks.len()];
-        for (c, &m) in masks.iter().enumerate() {
-            counts[m as usize] += 1;
-            pos[c] = lists[m as usize].len() as u32;
-            lists[m as usize].push(c as u32);
-        }
-        PermSupport {
-            k,
-            col_mask: masks,
-            counts,
-            lists,
-            pos,
+/// Lemma 39's structure for every permanent gate, pooled: columns
+/// bucketed by their Boolean support mask, with counts for `O_k(1)` Hall
+/// checks. Buckets are doubly-linked lists threaded through two flat
+/// per-column arrays (`next`/`prev`, local column indexes), with
+/// per-bucket head/tail/count arrays — one allocation each for the whole
+/// circuit, O(1) splices on support flips.
+#[derive(Debug)]
+pub(crate) struct PermPool {
+    /// Current support mask of each column (indexed by `col_base + col`).
+    col_mask: Vec<u32>,
+    /// Successor within the column's bucket (`NO_IDX` at the tail).
+    next: Vec<u32>,
+    /// Predecessor within the column's bucket (`NO_IDX` at the head).
+    prev: Vec<u32>,
+    /// First column of each bucket (indexed by `bucket_base + mask`).
+    heads: Vec<u32>,
+    /// Last column of each bucket.
+    tails: Vec<u32>,
+    /// Number of columns in each bucket.
+    counts: Vec<i64>,
+}
+
+impl PermPool {
+    fn with_layout(total_cols: usize, total_buckets: usize) -> Self {
+        PermPool {
+            col_mask: vec![0; total_cols],
+            next: vec![NO_IDX; total_cols],
+            prev: vec![NO_IDX; total_cols],
+            heads: vec![NO_IDX; total_buckets],
+            tails: vec![NO_IDX; total_buckets],
+            counts: vec![0; total_buckets],
         }
     }
 
-    /// Flip one entry's support; returns the gate's new support.
-    fn set_entry(&mut self, row: usize, col: usize, nonzero: bool) -> bool {
-        let old = self.col_mask[col];
+    /// Append `col` (local index) to the tail of `mask`'s bucket.
+    fn push_bucket(&mut self, meta: PermMeta, mask: u32, col: u32) {
+        let cb = meta.col_base as usize;
+        let bb = meta.bucket_base as usize + mask as usize;
+        let t = self.tails[bb];
+        self.prev[cb + col as usize] = t;
+        self.next[cb + col as usize] = NO_IDX;
+        if t == NO_IDX {
+            self.heads[bb] = col;
+        } else {
+            self.next[cb + t as usize] = col;
+        }
+        self.tails[bb] = col;
+        self.counts[bb] += 1;
+        self.col_mask[cb + col as usize] = mask;
+    }
+
+    /// Splice `col` out of its current bucket.
+    fn unlink(&mut self, meta: PermMeta, col: u32) {
+        let cb = meta.col_base as usize;
+        let mask = self.col_mask[cb + col as usize];
+        let bb = meta.bucket_base as usize + mask as usize;
+        let p = self.prev[cb + col as usize];
+        let n = self.next[cb + col as usize];
+        if p == NO_IDX {
+            self.heads[bb] = n;
+        } else {
+            self.next[cb + p as usize] = n;
+        }
+        if n == NO_IDX {
+            self.tails[bb] = p;
+        } else {
+            self.prev[cb + n as usize] = p;
+        }
+        self.counts[bb] -= 1;
+    }
+
+    /// Flip one entry's support.
+    fn set_entry(&mut self, meta: PermMeta, row: usize, col: usize, nonzero: bool) {
+        let old = self.col_mask[meta.col_base as usize + col];
         let new = if nonzero {
             old | (1 << row)
         } else {
             old & !(1 << row)
         };
         if new != old {
-            // remove from old list (swap-remove, fixing the moved column)
-            let p = self.pos[col] as usize;
-            let list = &mut self.lists[old as usize];
-            let last = *list.last().expect("column in its list");
-            list.swap_remove(p);
-            if (last as usize) != col {
-                self.pos[last as usize] = p as u32;
-            }
-            self.counts[old as usize] -= 1;
-            // append to new list
-            self.pos[col] = self.lists[new as usize].len() as u32;
-            self.lists[new as usize].push(col as u32);
-            self.counts[new as usize] += 1;
-            self.col_mask[col] = new;
+            self.unlink(meta, col as u32);
+            self.push_bucket(meta, new, col as u32);
         }
-        self.supported()
+    }
+}
+
+/// Read view of one permanent gate's support structure: the Lemma 39
+/// bucket lists, served from the pooled arrays.
+#[derive(Clone, Copy)]
+pub(crate) struct PermSupport<'m> {
+    meta: PermMeta,
+    pool: &'m PermPool,
+}
+
+impl PermSupport<'_> {
+    /// Row count `k`.
+    pub fn k(&self) -> usize {
+        self.meta.k as usize
+    }
+
+    /// `counts[mask]` = number of columns with that support mask.
+    pub fn counts(&self) -> &[i64] {
+        let bb = self.meta.bucket_base as usize;
+        &self.pool.counts[bb..bb + (1usize << self.meta.k)]
+    }
+
+    /// Current support mask of a column.
+    pub fn mask_of(&self, col: u32) -> u32 {
+        self.pool.col_mask[self.meta.col_base as usize + col as usize]
+    }
+
+    /// First column of `mask`'s bucket, in enumeration order.
+    pub fn head(&self, mask: u32) -> Option<u32> {
+        idx_opt(self.pool.heads[self.meta.bucket_base as usize + mask as usize])
+    }
+
+    /// Last column of `mask`'s bucket.
+    pub fn tail(&self, mask: u32) -> Option<u32> {
+        idx_opt(self.pool.tails[self.meta.bucket_base as usize + mask as usize])
+    }
+
+    /// Successor of `col` within its bucket.
+    pub fn next(&self, col: u32) -> Option<u32> {
+        idx_opt(self.pool.next[self.meta.col_base as usize + col as usize])
+    }
+
+    /// Predecessor of `col` within its bucket.
+    pub fn prev(&self, col: u32) -> Option<u32> {
+        idx_opt(self.pool.prev[self.meta.col_base as usize + col as usize])
     }
 
     /// Whether the permanent is nonzero in the Boolean shadow
     /// (an SDR for all rows exists).
     pub fn supported(&self) -> bool {
-        sdr_exists(self.k, &self.counts)
+        sdr_exists(self.k(), self.counts())
+    }
+}
+
+fn idx_opt(i: u32) -> Option<u32> {
+    if i == NO_IDX {
+        None
+    } else {
+        Some(i)
     }
 }
 
 /// Live supported-children lists of every addition gate, flattened: add
 /// gate `ai` (dense index) owns the segment
-/// `offsets[ai]..offsets[ai+1]` of both `nz` and `where_pos`; its first
-/// `len[ai]` `nz` entries are the supported child positions in
-/// enumeration order, and `where_pos[child position]` is the index in
-/// that prefix (or `u32::MAX`). Two flat buffers for the whole circuit —
-/// the CSR analogue of the old per-gate `Vec` pairs.
+/// `offsets[ai]..offsets[ai+1]` (offsets live in the shared plan) of
+/// both `nz` and `where_pos`; its first `len[ai]` `nz` entries are the
+/// supported child positions in enumeration order, and
+/// `where_pos[child position]` is the index in that prefix (or
+/// `u32::MAX`). Two flat buffers for the whole circuit.
 #[derive(Debug)]
 pub(crate) struct AddSupports {
-    offsets: Vec<u32>,
     len: Vec<u32>,
     nz: Vec<u32>,
     where_pos: Vec<u32>,
 }
 
 impl AddSupports {
-    fn with_capacities(fanins: &[u32]) -> Self {
-        let mut offsets = Vec::with_capacity(fanins.len() + 1);
-        offsets.push(0u32);
-        let mut total = 0u32;
-        for &f in fanins {
-            total += f;
-            offsets.push(total);
-        }
+    fn with_layout(num_adds: usize, total: usize) -> Self {
         AddSupports {
-            offsets,
-            len: vec![0; fanins.len()],
-            nz: vec![0; total as usize],
-            where_pos: vec![u32::MAX; total as usize],
+            len: vec![0; num_adds],
+            nz: vec![0; total],
+            where_pos: vec![u32::MAX; total],
         }
     }
 
     /// Supported child positions of add gate `ai`, in enumeration order.
-    pub fn nz(&self, ai: usize) -> &[u32] {
-        let start = self.offsets[ai] as usize;
+    pub fn nz(&self, offsets: &[u32], ai: usize) -> &[u32] {
+        let start = offsets[ai] as usize;
         &self.nz[start..start + self.len[ai] as usize]
     }
 
-    fn set(&mut self, ai: usize, child_pos: usize, supported: bool) {
-        let start = self.offsets[ai] as usize;
+    fn set(&mut self, offsets: &[u32], ai: usize, child_pos: usize, supported: bool) {
+        let start = offsets[ai] as usize;
         let n = self.len[ai] as usize;
         let cur = self.where_pos[start + child_pos];
         if supported && cur == u32::MAX {
@@ -161,45 +256,36 @@ enum ParentRef {
     Perm { gate: u32, row: u8, col: u32 },
 }
 
-/// The enumeration state of a circuit over the free semiring: per-slot
-/// input summand lists, a Boolean support shadow of every gate, and the
-/// Lemma 39 structures at permanent gates. Input updates propagate in
-/// time proportional to the (query-bounded) number of affected gates,
-/// with no allocation on the update path (the adjacency is immutable
-/// CSR, the dirty queue is reused).
-pub struct EnumMachine {
+/// The immutable half of the enumeration machine: adjacency, dense side
+/// numbering, and pool layout, all derived from the circuit topology in
+/// two counting passes. `Send + Sync`; shared by every state over the
+/// same circuit.
+pub struct EnumPlan {
     circuit: Arc<Circuit>,
-    /// Summand lists per input slot.
-    input_vals: Vec<InputVal>,
-    /// Boolean support per gate.
-    pub(crate) support: Vec<bool>,
-    /// Gate id → dense index into `add_sup` (`NO_IDX` for non-add gates).
-    add_index: Vec<u32>,
-    pub(crate) add_sup: AddSupports,
-    /// Gate id → dense index into `perms` (`NO_IDX` for non-perm gates).
-    perm_index: Vec<u32>,
-    perms: Vec<PermSupport>,
     /// Parents of each gate.
     parents: Csr<ParentRef>,
     /// Input gates per slot (updates must not scan the circuit).
     slot_gates: Csr<u32>,
-    /// Reused dirty queue (drained after every update).
-    dirty: BinaryHeap<std::cmp::Reverse<u32>>,
-    /// Bumped on every update; outstanding cursors become invalid.
-    pub(crate) version: u64,
+    /// Gate id → dense add index (`NO_IDX` for non-add gates).
+    add_index: Vec<u32>,
+    /// Dense add index → start of its [`AddSupports`] segment
+    /// (`add_offsets[num_adds]` is the total).
+    add_offsets: Vec<u32>,
+    /// Gate id → dense perm index (`NO_IDX` for non-perm gates).
+    perm_index: Vec<u32>,
+    /// Dense perm index → pool layout.
+    perm_meta: Vec<PermMeta>,
+    total_cols: usize,
+    total_buckets: usize,
 }
 
-impl EnumMachine {
-    /// Build from initial input values: one bottom-up pass over the gate
-    /// arena (plus one counting pass for the CSR buffers).
+impl EnumPlan {
+    /// Derive the plan of `circuit`.
     ///
     /// # Panics
     /// Panics if the circuit uses literal-table constants — enumeration
-    /// circuits carry coefficient 1 everywhere (formal sums have no
-    /// scalar action beyond ℕ, and compiled enumeration expressions use
-    /// coefficient 1).
-    pub fn new(circuit: Arc<Circuit>, input_vals: Vec<InputVal>) -> Self {
-        assert_eq!(input_vals.len(), circuit.num_slots());
+    /// circuits carry coefficient 1 everywhere.
+    pub fn new(circuit: Arc<Circuit>) -> Self {
         assert_eq!(
             circuit.num_lits(),
             0,
@@ -208,21 +294,24 @@ impl EnumMachine {
         let gates = circuit.gates();
         let n = gates.len();
 
-        // Counting pass: parent references, input gates per slot, and
-        // dense side-table sizes.
+        // Counting pass: parent references, input gates per slot, dense
+        // side-table sizes, and pool layout.
         let mut parents = CsrBuilder::new(n);
         let mut slot_gates = CsrBuilder::new(circuit.num_slots());
         let mut add_index = vec![NO_IDX; n];
         let mut perm_index = vec![NO_IDX; n];
-        let mut add_fanins: Vec<u32> = Vec::new();
-        let mut num_perms = 0usize;
+        let mut add_offsets: Vec<u32> = vec![0];
+        let mut perm_meta: Vec<PermMeta> = Vec::new();
+        let mut total_cols = 0usize;
+        let mut total_buckets = 0usize;
         for (i, g) in gates.iter().enumerate() {
             match g {
                 GateDef::Input(slot) => slot_gates.count(*slot as usize),
                 GateDef::Const(_) => {}
                 GateDef::Add(r) => {
-                    add_index[i] = add_fanins.len() as u32;
-                    add_fanins.push(r.len() as u32);
+                    add_index[i] = (add_offsets.len() - 1) as u32;
+                    let last = *add_offsets.last().expect("nonempty");
+                    add_offsets.push(last + r.len() as u32);
                     for c in circuit.children(*r) {
                         parents.count(c.0 as usize);
                     }
@@ -231,8 +320,17 @@ impl EnumMachine {
                     parents.count(a.0 as usize);
                     parents.count(b.0 as usize);
                 }
-                GateDef::Perm { cols, .. } => {
-                    num_perms += 1;
+                GateDef::Perm { rows, cols } => {
+                    let k = *rows as usize;
+                    let ncols = cols.len() / k;
+                    perm_index[i] = perm_meta.len() as u32;
+                    perm_meta.push(PermMeta {
+                        k: *rows,
+                        col_base: total_cols as u32,
+                        bucket_base: total_buckets as u32,
+                    });
+                    total_cols += ncols;
+                    total_buckets += 1 << k;
                     for c in circuit.children(*cols) {
                         parents.count(c.0 as usize);
                     }
@@ -240,24 +338,14 @@ impl EnumMachine {
             }
         }
 
-        // Bottom-up pass: fill the CSR buffers and compute the support
-        // shadow (children precede parents, so one pass suffices).
+        // Placement pass.
         let mut parents = parents.finish_counts(ParentRef::Mul(0));
         let mut slot_gates = slot_gates.finish_counts(0u32);
-        let mut add_sup = AddSupports::with_capacities(&add_fanins);
-        let mut perms: Vec<PermSupport> = Vec::with_capacity(num_perms);
-        let mut support = vec![false; n];
         for (i, g) in gates.iter().enumerate() {
-            support[i] = match g {
-                GateDef::Input(slot) => {
-                    slot_gates.place(*slot as usize, i as u32);
-                    !input_vals[*slot as usize].is_empty()
-                }
-                GateDef::Const(ConstRef::Zero) => false,
-                GateDef::Const(ConstRef::One) => true,
-                GateDef::Const(ConstRef::Lit(_)) => unreachable!("no lits"),
+            match g {
+                GateDef::Input(slot) => slot_gates.place(*slot as usize, i as u32),
+                GateDef::Const(_) => {}
                 GateDef::Add(children) => {
-                    let ai = add_index[i] as usize;
                     for (p, c) in circuit.children(*children).iter().enumerate() {
                         parents.place(
                             c.0 as usize,
@@ -266,23 +354,15 @@ impl EnumMachine {
                                 child_pos: p as u32,
                             },
                         );
-                        if support[c.0 as usize] {
-                            add_sup.set(ai, p, true);
-                        }
                     }
-                    !add_sup.nz(ai).is_empty()
                 }
                 GateDef::Mul(a, b) => {
                     parents.place(a.0 as usize, ParentRef::Mul(i as u32));
                     parents.place(b.0 as usize, ParentRef::Mul(i as u32));
-                    support[a.0 as usize] && support[b.0 as usize]
                 }
                 GateDef::Perm { rows, cols } => {
                     let k = *rows as usize;
-                    let cols = circuit.children(*cols);
-                    let mut masks = Vec::with_capacity(cols.len() / k);
-                    for (ci, col) in cols.chunks_exact(k).enumerate() {
-                        let mut m = 0u32;
+                    for (ci, col) in circuit.children(*cols).chunks_exact(k).enumerate() {
                         for (r, child) in col.iter().enumerate() {
                             parents.place(
                                 child.0 as usize,
@@ -292,38 +372,127 @@ impl EnumMachine {
                                     col: ci as u32,
                                 },
                             );
+                        }
+                    }
+                }
+            }
+        }
+
+        EnumPlan {
+            circuit,
+            parents: parents.finish(),
+            slot_gates: slot_gates.finish(),
+            add_index,
+            add_offsets,
+            perm_index,
+            perm_meta,
+            total_cols,
+            total_buckets,
+        }
+    }
+
+    /// The circuit this plan describes.
+    pub fn circuit(&self) -> &Arc<Circuit> {
+        &self.circuit
+    }
+}
+
+/// The enumeration state of a circuit over the free semiring: per-slot
+/// input summand lists, a Boolean support shadow of every gate, and the
+/// pooled Lemma 39 structures at permanent gates. Input updates propagate
+/// in time proportional to the (query-bounded) number of affected gates,
+/// with no allocation on the update path (the adjacency is immutable
+/// CSR in the shared [`EnumPlan`], the dirty queue is reused).
+pub struct EnumMachine {
+    plan: Arc<EnumPlan>,
+    /// Summand lists per input slot.
+    input_vals: Vec<InputVal>,
+    /// Boolean support per gate.
+    pub(crate) support: Vec<bool>,
+    add_sup: AddSupports,
+    perms: PermPool,
+    /// Reused dirty queue (drained after every update).
+    dirty: BinaryHeap<std::cmp::Reverse<u32>>,
+    /// Bumped on every update; outstanding cursors become invalid.
+    pub(crate) version: u64,
+}
+
+impl EnumMachine {
+    /// Build from initial input values, deriving a fresh plan. Equivalent
+    /// to `EnumMachine::from_plan(Arc::new(EnumPlan::new(circuit)), …)`.
+    ///
+    /// # Panics
+    /// Panics if the circuit uses literal-table constants.
+    pub fn new(circuit: Arc<Circuit>, input_vals: Vec<InputVal>) -> Self {
+        Self::from_plan(Arc::new(EnumPlan::new(circuit)), input_vals)
+    }
+
+    /// Instantiate a mutable enumeration state over a shared immutable
+    /// plan: one bottom-up support pass over the gate arena, no counting
+    /// passes, no adjacency rebuild.
+    pub fn from_plan(plan: Arc<EnumPlan>, input_vals: Vec<InputVal>) -> Self {
+        let circuit = &plan.circuit;
+        assert_eq!(input_vals.len(), circuit.num_slots());
+        let gates = circuit.gates();
+        let n = gates.len();
+        let mut add_sup = AddSupports::with_layout(
+            plan.add_offsets.len() - 1,
+            *plan.add_offsets.last().expect("nonempty") as usize,
+        );
+        let mut perms = PermPool::with_layout(plan.total_cols, plan.total_buckets);
+        let mut support = vec![false; n];
+        // Bottom-up: children precede parents, so one pass suffices.
+        for (i, g) in gates.iter().enumerate() {
+            support[i] = match g {
+                GateDef::Input(slot) => !input_vals[*slot as usize].is_empty(),
+                GateDef::Const(ConstRef::Zero) => false,
+                GateDef::Const(ConstRef::One) => true,
+                GateDef::Const(ConstRef::Lit(_)) => unreachable!("no lits"),
+                GateDef::Add(children) => {
+                    let ai = plan.add_index[i] as usize;
+                    for (p, c) in circuit.children(*children).iter().enumerate() {
+                        if support[c.0 as usize] {
+                            add_sup.set(&plan.add_offsets, ai, p, true);
+                        }
+                    }
+                    !add_sup.nz(&plan.add_offsets, ai).is_empty()
+                }
+                GateDef::Mul(a, b) => support[a.0 as usize] && support[b.0 as usize],
+                GateDef::Perm { rows, cols } => {
+                    let k = *rows as usize;
+                    let meta = plan.perm_meta[plan.perm_index[i] as usize];
+                    for (ci, col) in circuit.children(*cols).chunks_exact(k).enumerate() {
+                        let mut m = 0u32;
+                        for (r, child) in col.iter().enumerate() {
                             if support[child.0 as usize] {
                                 m |= 1 << r;
                             }
                         }
-                        masks.push(m);
+                        perms.push_bucket(meta, m, ci as u32);
                     }
-                    perm_index[i] = perms.len() as u32;
-                    let s = PermSupport::new(k, masks);
-                    let sup = s.supported();
-                    perms.push(s);
-                    sup
+                    PermSupport { meta, pool: &perms }.supported()
                 }
             };
         }
         EnumMachine {
-            circuit,
+            plan,
             input_vals,
             support,
-            add_index,
             add_sup,
-            perm_index,
             perms,
-            parents: parents.finish(),
-            slot_gates: slot_gates.finish(),
             dirty: BinaryHeap::new(),
             version: 0,
         }
     }
 
+    /// The shared immutable plan.
+    pub fn plan(&self) -> &Arc<EnumPlan> {
+        &self.plan
+    }
+
     /// The underlying circuit.
     pub fn circuit(&self) -> &Arc<Circuit> {
-        &self.circuit
+        &self.plan.circuit
     }
 
     /// Current value of an input slot.
@@ -333,21 +502,24 @@ impl EnumMachine {
 
     /// Whether the output is nonzero (at least one summand).
     pub fn output_supported(&self) -> bool {
-        self.support[self.circuit.output().0 as usize]
+        self.support[self.plan.circuit.output().0 as usize]
     }
 
     /// Live supported-children list of an addition gate.
     pub(crate) fn add_nz(&self, gate: u32) -> &[u32] {
-        let ai = self.add_index[gate as usize];
+        let ai = self.plan.add_index[gate as usize];
         debug_assert_ne!(ai, NO_IDX, "not an addition gate");
-        self.add_sup.nz(ai as usize)
+        self.add_sup.nz(&self.plan.add_offsets, ai as usize)
     }
 
     /// Lemma 39 support structure of a permanent gate.
-    pub(crate) fn perm_support(&self, gate: u32) -> &PermSupport {
-        let pi = self.perm_index[gate as usize];
+    pub(crate) fn perm_support(&self, gate: u32) -> PermSupport<'_> {
+        let pi = self.plan.perm_index[gate as usize];
         debug_assert_ne!(pi, NO_IDX, "not a permanent gate");
-        &self.perms[pi as usize]
+        PermSupport {
+            meta: self.plan.perm_meta[pi as usize],
+            pool: &self.perms,
+        }
     }
 
     /// Overwrite an input slot's value and repair the support shadow.
@@ -381,8 +553,8 @@ impl EnumMachine {
         // All input gates reading this slot flip together (indexed; an
         // update must not scan the circuit).
         let mut dirty = std::mem::take(&mut self.dirty);
-        for i in 0..self.slot_gates.row(slot as usize).len() {
-            let g = self.slot_gates.row(slot as usize)[i];
+        for i in 0..self.plan.slot_gates.row(slot as usize).len() {
+            let g = self.plan.slot_gates.row(slot as usize)[i];
             if self.support[g as usize] != new_support {
                 self.support[g as usize] = new_support;
                 self.notify_parents(g, &mut dirty);
@@ -403,18 +575,19 @@ impl EnumMachine {
 
     fn notify_parents(&mut self, g: u32, dirty: &mut BinaryHeap<std::cmp::Reverse<u32>>) {
         let sup = self.support[g as usize];
-        for i in 0..self.parents.row(g as usize).len() {
-            let p = self.parents.row(g as usize)[i];
+        for &p in self.plan.parents.row(g as usize) {
             match p {
                 ParentRef::Add { gate, child_pos } => {
-                    let ai = self.add_index[gate as usize] as usize;
-                    self.add_sup.set(ai, child_pos as usize, sup);
+                    let ai = self.plan.add_index[gate as usize] as usize;
+                    self.add_sup
+                        .set(&self.plan.add_offsets, ai, child_pos as usize, sup);
                     dirty.push(std::cmp::Reverse(gate));
                 }
                 ParentRef::Mul(gate) => dirty.push(std::cmp::Reverse(gate)),
                 ParentRef::Perm { gate, row, col } => {
-                    let pi = self.perm_index[gate as usize] as usize;
-                    self.perms[pi].set_entry(row as usize, col as usize, sup);
+                    let pi = self.plan.perm_index[gate as usize] as usize;
+                    let meta = self.plan.perm_meta[pi];
+                    self.perms.set_entry(meta, row as usize, col as usize, sup);
                     dirty.push(std::cmp::Reverse(gate));
                 }
             }
@@ -422,7 +595,7 @@ impl EnumMachine {
     }
 
     fn recompute_support(&self, g: u32) -> bool {
-        match &self.circuit.gates()[g as usize] {
+        match &self.plan.circuit.gates()[g as usize] {
             GateDef::Input(_) | GateDef::Const(_) => self.support[g as usize],
             GateDef::Add(_) => !self.add_nz(g).is_empty(),
             GateDef::Mul(a, b) => self.support[a.0 as usize] && self.support[b.0 as usize],
@@ -440,7 +613,7 @@ impl EnumMachine {
             .iter()
             .map(|v| Nat(v.len() as u64))
             .collect();
-        self.circuit.eval(&slots, &[]).0
+        self.plan.circuit.eval(&slots, &[]).0
     }
 }
 
@@ -505,6 +678,82 @@ mod tests {
         // but killing row 1 of column 0 forces both rows into column 1
         mach.set_input(1, vec![]);
         assert!(!mach.output_supported());
+    }
+
+    #[test]
+    fn pooled_bucket_lists_stay_coherent() {
+        let mut b = CircuitBuilder::new();
+        let inputs: Vec<_> = (0..6).map(|i| b.input(i)).collect();
+        let p = b.perm_flat(2, inputs);
+        let pg = p;
+        let c = Arc::new(b.finish(p));
+        let mut mach = EnumMachine::new(c, (0..6).map(|i| gens(&[i + 1])).collect());
+        // walk every bucket forward and backward, checking consistency
+        let check = |mach: &EnumMachine| {
+            let ps = mach.perm_support(pg.0);
+            let mut seen = 0;
+            for m in 0..4u32 {
+                let mut fwd = Vec::new();
+                let mut cur = ps.head(m);
+                while let Some(col) = cur {
+                    assert_eq!(ps.mask_of(col), m);
+                    fwd.push(col);
+                    cur = ps.next(col);
+                }
+                let mut bwd = Vec::new();
+                let mut cur = ps.tail(m);
+                while let Some(col) = cur {
+                    bwd.push(col);
+                    cur = ps.prev(col);
+                }
+                bwd.reverse();
+                assert_eq!(fwd, bwd, "mask {m}");
+                assert_eq!(fwd.len() as i64, ps.counts()[m as usize]);
+                seen += fwd.len();
+            }
+            assert_eq!(seen, 3, "all three columns accounted for");
+        };
+        check(&mach);
+        for (slot, present) in [(0, false), (3, false), (0, true), (1, false), (4, false)] {
+            mach.set_input(slot, if present { vec![gen(9)] } else { vec![] });
+            check(&mach);
+        }
+    }
+
+    #[test]
+    fn shared_plan_machines_update_independently() {
+        let mut b = CircuitBuilder::new();
+        let inputs: Vec<_> = (0..6).map(|i| b.input(i)).collect();
+        let p = b.perm_flat(2, inputs);
+        let c = Arc::new(b.finish(p));
+        let plan = Arc::new(EnumPlan::new(c));
+        let init: Vec<InputVal> = (0..6).map(|i| gens(&[i + 1])).collect();
+        let mut a = EnumMachine::from_plan(plan.clone(), init.clone());
+        let mut bm = EnumMachine::from_plan(plan.clone(), init.clone());
+        // kill row 0 of every column in state A only
+        a.set_input(0, vec![]);
+        a.set_input(2, vec![]);
+        a.set_input(4, vec![]);
+        assert!(!a.output_supported());
+        assert!(bm.output_supported(), "sibling state untouched");
+        // kill row 1 of every column in state B only
+        bm.set_input(1, vec![]);
+        bm.set_input(3, vec![]);
+        bm.set_input(5, vec![]);
+        assert!(!bm.output_supported());
+        a.set_input(0, gens(&[7]));
+        assert!(a.output_supported());
+        assert!(!bm.output_supported(), "sibling state still independent");
+    }
+
+    #[test]
+    fn plan_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EnumPlan>();
+    }
+
+    fn gens(ids: &[u64]) -> InputVal {
+        ids.iter().map(|&i| vec![Gen(i)]).collect()
     }
 
     #[test]

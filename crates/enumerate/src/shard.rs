@@ -1,0 +1,444 @@
+//! The Gaifman-component sharded engine: one immutable compiled plan,
+//! per-shard mutable state, concurrent batched queries and routed
+//! updates.
+//!
+//! # Why components shard
+//!
+//! The paper's dynamic story (Theorem 24) only admits updates whose
+//! tuples are cliques of the *compile-time* Gaifman graph, so the graph
+//! never gains edges and its connected components never merge: two
+//! elements in different components cannot interact through any update.
+//! When additionally every answer of `φ` is forced into one component
+//! ([`agq_logic::Formula::answers_component_local`] — free variables
+//! chained through positive atoms/equalities in every model), the
+//! database decomposes into independent shards:
+//!
+//! * an update touches exactly one shard (its tuple is a clique, hence
+//!   single-component);
+//! * a point query at a single-shard tuple reads only the cone above its
+//!   indicator slots, which never leaves the shard's components; a
+//!   cross-shard tuple is structurally zero;
+//! * the global answer set is the disjoint union of per-shard answer
+//!   sets.
+//!
+//! # One plan, N states
+//!
+//! [`ShardedEngine`] compiles `φ` **once** and derives one immutable,
+//! `Send + Sync` plan: the [`agq_core::CompiledQuery`] +
+//! [`agq_circuit::EvalPlan`] pair on the point-query side and the
+//! [`crate::machine::EnumPlan`] + slot registry on the enumeration side.
+//! Every shard then owns only cheap mutable state — a
+//! [`QueryEngine`] evaluator state and an [`AnswerIndex`] machine state
+//! whose generator weights are restricted to the shard's elements
+//! ([`AnswerIndex::shard_filtered`]) — behind its own `RwLock`. Updates
+//! take a write lock on the owning shard only; point queries and batch
+//! queries take read locks (the zero-restore query path never mutates),
+//! so queries against one shard proceed concurrently with updates to
+//! every other shard.
+//!
+//! Formulas that fail the component-locality check degrade gracefully to
+//! a single shard — always correct, never parallel.
+//!
+//! # Ordering
+//!
+//! Per-shard enumeration keeps each shard's native constant-delay cursor
+//! order; [`ShardedEngine::enumerate_merged`] merges the per-shard
+//! answer streams into one globally lexicographically ordered stream.
+//! The differential suite pins sharded ≡ unsharded answer sets, point
+//! queries, and post-update behavior on all three backends.
+
+use crate::answers::{AnswerIndex, UpdateError};
+use agq_circuit::{FiniteMaint, PeekScratch, PermMaint, RingMaint};
+use agq_core::{
+    compile, eliminate_quantifiers, CompileError, CompileOptions, QueryEngine, TupleUpdate,
+};
+use agq_logic::{normalize, Expr, Formula};
+use agq_perm::SegTreePerm;
+use agq_semiring::Semiring;
+use agq_structure::gaifman::GaifmanComponents;
+use agq_structure::{Elem, Structure, WeightedStructure};
+use std::sync::{Arc, RwLock};
+
+/// One shard's mutable state: a point-query evaluator state and an
+/// enumeration index state, both over the engine-wide shared plans.
+struct Shard<S: Semiring, P: PermMaint<S>> {
+    engine: QueryEngine<S, P>,
+    index: AnswerIndex,
+}
+
+/// A first-order query served from Gaifman-component shards: one shared
+/// immutable compiled plan, per-shard mutable state, one update/query
+/// language. See the [module docs](self) for the decomposition argument.
+pub struct ShardedEngine<S: Semiring, P: PermMaint<S>> {
+    components: GaifmanComponents,
+    shards: Vec<RwLock<Shard<S, P>>>,
+    component_local: bool,
+    arity: usize,
+}
+
+/// Sharded engine for arbitrary semirings (logarithmic point queries).
+pub type GeneralShardedEngine<S> = ShardedEngine<S, SegTreePerm<S>>;
+/// Sharded engine for rings (constant-time point queries).
+pub type RingShardedEngine<S> = ShardedEngine<S, RingMaint<S>>;
+/// Sharded engine for finite semirings (constant-time point queries).
+pub type FiniteShardedEngine<S> = ShardedEngine<S, FiniteMaint<S>>;
+
+/// Where a tuple routes.
+enum Route {
+    /// All elements in one shard.
+    Shard(usize),
+    /// Elements span shards: structurally zero for component-local
+    /// formulas.
+    Cross,
+}
+
+impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
+    /// Preprocess a quantifier-free `φ` over `a` for sharded point
+    /// queries, enumeration, and Gaifman-preserving updates, packing the
+    /// Gaifman components into at most `max_shards` shards
+    /// (`0` = one shard per component).
+    ///
+    /// Compiles once; instantiates one mutable state per shard. Formulas
+    /// whose answers are not syntactically component-local fall back to
+    /// one shard (correct, unsharded).
+    pub fn build(
+        a: &Arc<Structure>,
+        phi: &Formula,
+        opts: &CompileOptions,
+        max_shards: usize,
+    ) -> Result<Self, CompileError> {
+        // Sharding is admitted only for component-local formulas with at
+        // least one free variable: a closed (arity-0) formula's single
+        // boolean/empty-tuple answer belongs to no component, so every
+        // shard would hold a full copy and fold it in twice.
+        let component_local = !phi.free_vars().is_empty() && phi.answers_component_local();
+        let components = GaifmanComponents::new(a, if component_local { max_shards } else { 1 });
+        let num_shards = components.num_shards();
+
+        // Point-query side: compile the indicator expression [φ] once,
+        // derive the shared evaluation plan (with memoized FreeVar
+        // cones), then instantiate one evaluator state per shard.
+        let expr: Expr<S> = Expr::Bracket(phi.clone());
+        let mut copts = opts.clone();
+        copts.dynamic_atoms = true;
+        let (expr, a2) = eliminate_quantifiers(&expr, a, &copts)?;
+        let nf = normalize(&expr)?;
+        let compiled = Arc::new(compile(&a2, &nf, &copts)?);
+        let arity = compiled.free_vars.len();
+        let plan = Arc::new(QueryEngine::<S, P>::build_plan(&compiled));
+        let weights: WeightedStructure<S> = WeightedStructure::new(a2);
+
+        // Enumeration side: build the answer index once (shared EnumPlan
+        // + slot registry), then fork one shard-restricted state each.
+        let base = AnswerIndex::build_dynamic(a, phi, opts)?;
+
+        let mut base = Some(base);
+        let shards = (0..num_shards)
+            .map(|s| {
+                let engine = QueryEngine::from_parts(compiled.clone(), plan.clone(), &weights);
+                let index = if num_shards == 1 {
+                    base.take().expect("single shard consumes the base index")
+                } else {
+                    base.as_ref()
+                        .expect("base index alive")
+                        .shard_filtered(|e| components.shard_of(e) == s as u32)
+                };
+                RwLock::new(Shard { engine, index })
+            })
+            .collect();
+        Ok(ShardedEngine {
+            components,
+            shards,
+            component_local,
+            arity,
+        })
+    }
+
+    /// Answer-tuple arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of shards serving this engine.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether `φ` was admitted to sharding: at least one free variable
+    /// and the component-locality check passed. When false, the engine
+    /// runs with one shard.
+    pub fn component_local(&self) -> bool {
+        self.component_local
+    }
+
+    /// The component decomposition backing the routing.
+    pub fn components(&self) -> &GaifmanComponents {
+        &self.components
+    }
+
+    fn route(&self, tuple: &[Elem]) -> Route {
+        if self.shards.len() == 1 || tuple.is_empty() {
+            return Route::Shard(0);
+        }
+        match self.components.shard_of_tuple(tuple) {
+            Some(s) => Route::Shard(s as usize),
+            None => Route::Cross,
+        }
+    }
+
+    /// Point query: the indicator value `[φ(ā)]`, served by the owning
+    /// shard under a read lock. A tuple spanning shards is structurally
+    /// zero (its elements can never be chained by positive atoms).
+    pub fn query(&self, tuple: &[Elem]) -> S {
+        match self.route(tuple) {
+            Route::Cross => S::zero(),
+            Route::Shard(s) => {
+                let shard = self.shards[s].read().expect("shard lock");
+                let mut scratch = PeekScratch::new();
+                let mut patches = Vec::new();
+                shard.engine.query_with(tuple, &mut scratch, &mut patches)
+            }
+        }
+    }
+
+    /// Values at many tuples: the batch is grouped by owning shard and
+    /// the non-empty shard groups are spread over at most one worker per
+    /// core, each taking its shards' read locks in turn — so a batch
+    /// proceeds concurrently with updates to shards it does not touch,
+    /// without spawning a thread per shard (`max_shards = 0` can make
+    /// the shard count data-sized). Results come back in input order.
+    pub fn query_batch(&self, tuples: &[&[Elem]]) -> Vec<S>
+    where
+        P: Send + Sync,
+    {
+        // Group tuple indices by shard; resolve cross-shard tuples inline.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        let mut out: Vec<Option<S>> = vec![None; tuples.len()];
+        for (i, t) in tuples.iter().enumerate() {
+            match self.route(t) {
+                Route::Cross => out[i] = Some(S::zero()),
+                Route::Shard(s) => groups[s].push(i),
+            }
+        }
+        let work: Vec<(usize, Vec<usize>)> = groups
+            .into_iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .collect();
+        let workers = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(work.len())
+            .max(1);
+        let chunk = work.len().div_ceil(workers);
+        let results: Vec<(Vec<usize>, Vec<S>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .chunks(chunk)
+                .map(|assigned| {
+                    scope.spawn(move || {
+                        let mut scratch = PeekScratch::new();
+                        let mut patches = Vec::new();
+                        assigned
+                            .iter()
+                            .map(|(s, g)| {
+                                let shard = self.shards[*s].read().expect("shard lock");
+                                let vals: Vec<S> = g
+                                    .iter()
+                                    .map(|&i| {
+                                        shard.engine.query_with(
+                                            tuples[i],
+                                            &mut scratch,
+                                            &mut patches,
+                                        )
+                                    })
+                                    .collect();
+                                (g.clone(), vals)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("shard batch worker"))
+                .collect()
+        });
+        for (idxs, vals) in results {
+            for (i, v) in idxs.into_iter().zip(vals) {
+                out[i] = Some(v);
+            }
+        }
+        out.into_iter().map(|v| v.expect("all filled")).collect()
+    }
+
+    /// Apply one Gaifman-preserving update to the owning shard (write
+    /// lock on that shard only): both the shard's enumeration index
+    /// (incremental, `O_φ(1)`) and its point-query evaluator absorb it.
+    pub fn apply_update(&self, u: &TupleUpdate) -> Result<(), UpdateError> {
+        let s = match self.route(&u.tuple) {
+            Route::Shard(s) => s,
+            Route::Cross => {
+                // A shard-spanning tuple is never a clique of the
+                // compile-time Gaifman graph: inserting it is not
+                // Gaifman-preserving, removing it is a no-op.
+                return if u.present {
+                    Err(UpdateError::NotGaifmanPreserving)
+                } else {
+                    Ok(())
+                };
+            }
+        };
+        let mut shard = self.shards[s].write().expect("shard lock");
+        shard.index.apply_update(u)?;
+        shard.engine.apply_update(u);
+        Ok(())
+    }
+
+    /// Number of answers, summed over the shards.
+    pub fn count(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock").index.count())
+            .sum()
+    }
+
+    /// Whether at least one answer exists (`O_φ(1)` per shard).
+    pub fn is_nonempty(&self) -> bool {
+        self.shards
+            .iter()
+            .any(|s| s.read().expect("shard lock").index.is_nonempty())
+    }
+
+    /// Stream every answer to `f`, shard by shard: constant delay within
+    /// a shard, one read-lock handover between shards. The order is
+    /// deterministic (shard id, then the shard's native cursor order).
+    pub fn for_each_answer(&self, mut f: impl FnMut(&[Elem])) {
+        for s in &self.shards {
+            let shard = s.read().expect("shard lock");
+            let mut it = shard.index.iter();
+            while let Some(t) = it.next() {
+                f(&t);
+            }
+        }
+    }
+
+    /// All answers in shard-chained order (see
+    /// [`ShardedEngine::for_each_answer`]).
+    pub fn collect_answers(&self) -> Vec<Vec<Elem>> {
+        let mut out = Vec::new();
+        self.for_each_answer(|t| out.push(t.to_vec()));
+        out
+    }
+
+    /// All answers merged into one globally ordered stream (the shards
+    /// partition the answer set, so the merge is duplicate-free). The
+    /// global order is lexicographic on the answer tuples.
+    pub fn enumerate_merged(&self) -> Vec<Vec<Elem>> {
+        let mut out = self.collect_answers();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agq_logic::Var;
+    use agq_semiring::Nat;
+    use agq_structure::Signature;
+
+    /// Two triangles in different components plus an isolated edge.
+    fn three_component_graph() -> (Arc<Structure>, agq_structure::RelId) {
+        let mut sig = Signature::new();
+        let e = sig.add_relation("E", 2);
+        let mut a = Structure::new(Arc::new(sig), 9);
+        for (u, v) in [(0u32, 1u32), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (6, 7)] {
+            a.insert(e, &[u, v]);
+            a.insert(e, &[v, u]);
+        }
+        (Arc::new(a), e)
+    }
+
+    #[test]
+    fn shards_partition_answers() {
+        let (a, e) = three_component_graph();
+        let phi = Formula::Rel(e, vec![Var(0), Var(1)]);
+        let eng: GeneralShardedEngine<Nat> =
+            ShardedEngine::build(&a, &phi, &CompileOptions::default(), 0).unwrap();
+        assert!(eng.component_local());
+        assert_eq!(eng.num_shards(), 4, "3 edge components + 1 isolated");
+        assert_eq!(eng.count(), 14);
+        let mut collected = eng.collect_answers();
+        collected.sort_unstable();
+        assert_eq!(collected, eng.enumerate_merged());
+        for t in &collected {
+            assert_eq!(eng.query(t), Nat(1));
+        }
+        assert_eq!(eng.query(&[0, 3]), Nat(0), "cross-shard tuple is zero");
+    }
+
+    #[test]
+    fn closed_formula_runs_on_one_shard() {
+        // An arity-0 formula's single empty-tuple answer belongs to no
+        // component; sharding would duplicate it per shard.
+        let (a, _e) = three_component_graph();
+        let eng: GeneralShardedEngine<Nat> =
+            ShardedEngine::build(&a, &Formula::True, &CompileOptions::default(), 0).unwrap();
+        assert_eq!(eng.arity(), 0);
+        assert!(!eng.component_local());
+        assert_eq!(eng.num_shards(), 1);
+        assert_eq!(eng.count(), 1, "exactly one empty-tuple answer");
+        assert_eq!(eng.collect_answers(), vec![Vec::<u32>::new()]);
+        assert_eq!(eng.query(&[]), Nat(1));
+    }
+
+    #[test]
+    fn non_local_formula_falls_back_to_one_shard() {
+        let (a, e) = three_component_graph();
+        let phi = Formula::Rel(e, vec![Var(0), Var(1)])
+            .not()
+            .and(Formula::neq(Var(0), Var(1)));
+        let eng: GeneralShardedEngine<Nat> =
+            ShardedEngine::build(&a, &phi, &CompileOptions::default(), 0).unwrap();
+        assert!(!eng.component_local());
+        assert_eq!(eng.num_shards(), 1);
+        // cross-component non-edges are genuine answers, served correctly
+        assert_eq!(eng.query(&[0, 3]), Nat(1));
+        assert_eq!(eng.query(&[0, 1]), Nat(0));
+    }
+
+    #[test]
+    fn updates_route_to_owning_shard() {
+        let (a, e) = three_component_graph();
+        let phi = Formula::Rel(e, vec![Var(0), Var(1)]);
+        let eng: GeneralShardedEngine<Nat> =
+            ShardedEngine::build(&a, &phi, &CompileOptions::default(), 2).unwrap();
+        assert_eq!(eng.num_shards(), 2);
+        let before = eng.count();
+        eng.apply_update(&TupleUpdate::remove(e, &[0, 1])).unwrap();
+        assert_eq!(eng.count(), before - 1);
+        assert_eq!(eng.query(&[0, 1]), Nat(0));
+        assert_eq!(eng.query(&[1, 0]), Nat(1), "reverse edge untouched");
+        eng.apply_update(&TupleUpdate::insert(e, &[0, 1])).unwrap();
+        assert_eq!(eng.count(), before);
+        // cross-shard insert rejected, cross-shard remove is a no-op
+        assert_eq!(
+            eng.apply_update(&TupleUpdate::insert(e, &[0, 3])),
+            Err(UpdateError::NotGaifmanPreserving)
+        );
+        assert_eq!(eng.apply_update(&TupleUpdate::remove(e, &[0, 3])), Ok(()));
+    }
+
+    #[test]
+    fn batch_queries_group_by_shard() {
+        let (a, e) = three_component_graph();
+        let phi = Formula::Rel(e, vec![Var(0), Var(1)]);
+        let eng: GeneralShardedEngine<Nat> =
+            ShardedEngine::build(&a, &phi, &CompileOptions::default(), 3).unwrap();
+        let points: Vec<[u32; 2]> = (0..9).flat_map(|u| (0..9).map(move |v| [u, v])).collect();
+        let tuples: Vec<&[u32]> = points.iter().map(|p| p.as_slice()).collect();
+        let batch = eng.query_batch(&tuples);
+        for (t, got) in tuples.iter().zip(&batch) {
+            assert_eq!(*got, eng.query(t), "batch vs point at {t:?}");
+        }
+    }
+}

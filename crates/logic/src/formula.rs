@@ -98,6 +98,41 @@ impl Formula {
         }
     }
 
+    /// Conservative syntactic check that every answer tuple of the
+    /// formula lies inside **one** Gaifman component: in every model,
+    /// the free variables are forced to denote pairwise Gaifman-connected
+    /// elements.
+    ///
+    /// Two variables are *guaranteed connected* when every satisfying
+    /// assignment links them through a chain of positive relational atoms
+    /// (elements co-occurring in a present tuple are Gaifman-adjacent) or
+    /// equalities. The recursion computes, per subformula, the partition
+    /// of its variables into guaranteed-connected groups: positive atoms
+    /// and `=` merge their variables, conjunction joins partitions,
+    /// disjunction keeps only what both branches guarantee, and negation
+    /// guarantees nothing. `false` is the vacuous (everything-connected)
+    /// partition since it has no satisfying assignment.
+    ///
+    /// This is the admission test of the sharded engines: when it holds,
+    /// per-component answer sets partition the global answer set, and a
+    /// point query at a component-spanning tuple is structurally zero.
+    /// The check is conservative — `false` only means sharding cannot be
+    /// justified syntactically, not that answers actually span
+    /// components.
+    pub fn answers_component_local(&self) -> bool {
+        let free = self.free_vars();
+        if free.len() <= 1 {
+            return true;
+        }
+        match conn_partition(self) {
+            None => true, // unsatisfiable: vacuously component-local
+            Some(p) => {
+                let root = p.find(free[0]);
+                free[1..].iter().all(|v| p.find(*v) == root)
+            }
+        }
+    }
+
     /// Negation normal form (quantifier-free input only).
     fn nnf(&self, negate: bool) -> Formula {
         match self {
@@ -143,6 +178,142 @@ impl Formula {
                 unreachable!("nnf called on quantified formula")
             }
         }
+    }
+}
+
+/// A union-find partition of a formula's variables into groups that are
+/// guaranteed Gaifman-connected in every satisfying assignment.
+struct Partition {
+    vars: Vec<Var>,
+    parent: Vec<u32>,
+}
+
+impl Partition {
+    fn discrete(vars: &[Var]) -> Self {
+        Partition {
+            vars: vars.to_vec(),
+            parent: (0..vars.len() as u32).collect(),
+        }
+    }
+
+    fn idx(&self, v: Var) -> usize {
+        self.vars.binary_search(&v).expect("var in universe")
+    }
+
+    fn find_idx(&self, mut i: usize) -> u32 {
+        while self.parent[i] != i as u32 {
+            i = self.parent[i] as usize;
+        }
+        i as u32
+    }
+
+    fn find(&self, v: Var) -> u32 {
+        self.find_idx(self.idx(v))
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find_idx(a), self.find_idx(b));
+        if ra != rb {
+            self.parent[ra.max(rb) as usize] = ra.min(rb);
+        }
+    }
+
+    /// Coarsest common refinement-join: merge every group of `other`
+    /// into `self` (conjunction: both guarantees hold).
+    fn join(&mut self, other: &Partition) {
+        for i in 0..self.parent.len() {
+            self.union(i, other.find_idx(i) as usize);
+        }
+    }
+
+    /// Finest common coarsening-meet: keep a pair together only when
+    /// both partitions do (disjunction: only common guarantees survive).
+    fn meet(&self, other: &Partition) -> Partition {
+        let keys: Vec<(u32, u32)> = (0..self.parent.len())
+            .map(|i| (self.find_idx(i), other.find_idx(i)))
+            .collect();
+        let mut out = Partition::discrete(&self.vars);
+        let mut first: Vec<((u32, u32), usize)> = Vec::new();
+        for (i, k) in keys.iter().enumerate() {
+            match first.iter().find(|(fk, _)| fk == k) {
+                Some(&(_, j)) => out.union(i, j),
+                None => first.push((*k, i)),
+            }
+        }
+        out
+    }
+}
+
+fn all_vars(f: &Formula, out: &mut Vec<Var>) {
+    match f {
+        Formula::True | Formula::False => {}
+        Formula::Rel(_, args) => out.extend(args.iter().copied()),
+        Formula::Eq(a, b) => out.extend([*a, *b]),
+        Formula::Not(g) => all_vars(g, out),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().for_each(|g| all_vars(g, out)),
+        Formula::Exists(v, g) | Formula::Forall(v, g) => {
+            out.push(*v);
+            all_vars(g, out);
+        }
+    }
+}
+
+/// `None` is the "top" partition of an unsatisfiable subformula (every
+/// guarantee holds vacuously); `Some` carries the guaranteed-connected
+/// groups over the formula's full variable universe.
+fn conn_partition(f: &Formula) -> Option<Partition> {
+    let mut universe = Vec::new();
+    all_vars(f, &mut universe);
+    universe.sort_unstable();
+    universe.dedup();
+    conn_rec(f, &universe)
+}
+
+fn conn_rec(f: &Formula, universe: &[Var]) -> Option<Partition> {
+    match f {
+        Formula::True => Some(Partition::discrete(universe)),
+        Formula::False => None,
+        Formula::Rel(_, args) => {
+            let mut p = Partition::discrete(universe);
+            for w in args.windows(2) {
+                let (a, b) = (p.idx(w[0]), p.idx(w[1]));
+                p.union(a, b);
+            }
+            Some(p)
+        }
+        Formula::Eq(a, b) => {
+            let mut p = Partition::discrete(universe);
+            let (ia, ib) = (p.idx(*a), p.idx(*b));
+            p.union(ia, ib);
+            Some(p)
+        }
+        // Negation guarantees nothing positively (¬R can hold across
+        // components); conservative discrete partition.
+        Formula::Not(_) => Some(Partition::discrete(universe)),
+        Formula::And(fs) => {
+            let mut acc = Partition::discrete(universe);
+            for g in fs {
+                match conn_rec(g, universe) {
+                    None => return None, // unsatisfiable conjunct
+                    Some(p) => acc.join(&p),
+                }
+            }
+            Some(acc)
+        }
+        Formula::Or(fs) => {
+            let mut acc: Option<Option<Partition>> = None; // not yet seen a branch
+            for g in fs {
+                let p = conn_rec(g, universe);
+                acc = Some(match (acc, p) {
+                    (None, p) => p,
+                    (Some(None), p) => p, // top meets anything = anything
+                    (Some(Some(a)), None) => Some(a),
+                    (Some(Some(a)), Some(b)) => Some(a.meet(&b)),
+                });
+            }
+            acc.unwrap_or(None) // empty Or = False
+        }
+        Formula::Exists(_, g) | Formula::Forall(_, g) => conn_rec(g, universe),
     }
 }
 
@@ -452,6 +623,38 @@ mod tests {
     fn quantifiers_rejected() {
         let f = Formula::Exists(v(0), Box::new(rel(0, 1)));
         exclusive_dnf(&f);
+    }
+
+    #[test]
+    fn component_locality_check() {
+        // positive atoms connect
+        assert!(rel(0, 1).answers_component_local());
+        assert!(rel(0, 1).and(rel(1, 2)).answers_component_local());
+        // connection through a quantified middle variable
+        let through = Formula::Exists(v(1), Box::new(rel(0, 1).and(rel(1, 2))));
+        assert!(through.answers_component_local());
+        // equality connects
+        assert!(Formula::Eq(v(0), v(1)).answers_component_local());
+        // negation does not
+        assert!(!rel(0, 1).not().answers_component_local());
+        assert!(!rel(0, 1)
+            .not()
+            .and(Formula::neq(v(0), v(1)))
+            .answers_component_local());
+        // disjunction: both branches must connect
+        assert!(rel(0, 1).or(rel(1, 0)).answers_component_local());
+        assert!(!rel(0, 1).or(rel(1, 2)).answers_component_local());
+        // disconnected conjunction
+        let s = Formula::Rel(RelId(1), vec![v(0)]);
+        let t = Formula::Rel(RelId(2), vec![v(1)]);
+        assert!(!s.clone().and(t).answers_component_local());
+        // ≤1 free variable is always local
+        assert!(s.answers_component_local());
+        assert!(Formula::True.answers_component_local());
+        // unsatisfiable formulas are vacuously local
+        assert!(Formula::False
+            .and(rel(0, 1).not())
+            .answers_component_local());
     }
 
     #[test]

@@ -1,6 +1,18 @@
-//! Gaifman graphs of relational structures.
+//! Gaifman graphs of relational structures, and their decomposition into
+//! connected components.
+//!
+//! Components are the natural shard key of the whole dynamic story:
+//! Gaifman-preserving updates (Theorem 24) only touch tuples that are
+//! cliques of the *compile-time* Gaifman graph, so two elements in
+//! different components can never interact — not through an update, not
+//! through an answer of a query whose free variables are forced into one
+//! component. [`GaifmanComponents`] computes the component of every
+//! element with a union-find pass over the tuples (no materialized edge
+//! set needed) and assigns whole components to a bounded number of
+//! *shards*, balancing by component size.
 
 use crate::structure::Structure;
+use crate::Elem;
 use agq_graph::Graph;
 
 /// Build the Gaifman graph of `a`: vertices are the domain elements, and
@@ -41,6 +53,117 @@ pub fn tuple_preserves_gaifman(g: &Graph, items: &[u32]) -> bool {
     true
 }
 
+/// The connected components of a structure's Gaifman graph, with an
+/// assignment of components to a bounded number of shards.
+///
+/// Built by a union-find pass over the tuples: every tuple is a clique,
+/// so unioning consecutive elements of each tuple suffices. Construction
+/// is `O(|A| α(|A|))`; lookups are `O(1)` after the final flattening.
+#[derive(Clone, Debug)]
+pub struct GaifmanComponents {
+    /// Element → dense component id (`0..num_components`).
+    comp: Vec<u32>,
+    /// Component id → shard id (`0..num_shards`).
+    comp_shard: Vec<u32>,
+    num_shards: usize,
+}
+
+impl GaifmanComponents {
+    /// Decompose `a` into Gaifman components and pack them into at most
+    /// `max_shards` shards (size-balanced, largest component first).
+    /// `max_shards = 0` means one shard per component.
+    pub fn new(a: &Structure, max_shards: usize) -> Self {
+        let n = a.domain_size();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                // path halving
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        for r in a.signature().relation_ids() {
+            for t in a.relation(r).iter() {
+                let items = t.as_slice();
+                for w in items.windows(2) {
+                    let (ra, rb) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+                    if ra != rb {
+                        parent[ra.max(rb) as usize] = ra.min(rb);
+                    }
+                }
+            }
+        }
+        // Flatten to dense component ids (roots in element order).
+        let mut comp = vec![u32::MAX; n];
+        let mut sizes: Vec<u32> = Vec::new();
+        for e in 0..n as u32 {
+            let root = find(&mut parent, e) as usize;
+            if comp[root] == u32::MAX {
+                comp[root] = sizes.len() as u32;
+                sizes.push(0);
+            }
+            comp[e as usize] = comp[root];
+            sizes[comp[e as usize] as usize] += 1;
+        }
+        // Pack components into shards: largest first onto the currently
+        // lightest shard (greedy balancing; deterministic).
+        let num_comps = sizes.len();
+        let num_shards = match max_shards {
+            0 => num_comps.max(1),
+            m => m.min(num_comps).max(1),
+        };
+        let mut order: Vec<u32> = (0..num_comps as u32).collect();
+        order.sort_by_key(|&c| (std::cmp::Reverse(sizes[c as usize]), c));
+        let mut load = vec![0u64; num_shards];
+        let mut comp_shard = vec![0u32; num_comps];
+        for c in order {
+            let s = (0..num_shards).min_by_key(|&s| (load[s], s)).unwrap();
+            comp_shard[c as usize] = s as u32;
+            load[s] += sizes[c as usize] as u64;
+        }
+        GaifmanComponents {
+            comp,
+            comp_shard,
+            num_shards,
+        }
+    }
+
+    /// Number of Gaifman components.
+    pub fn num_components(&self) -> usize {
+        self.comp_shard.len()
+    }
+
+    /// Number of shards components were packed into.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Dense component id of an element.
+    pub fn component_of(&self, e: Elem) -> u32 {
+        self.comp[e as usize]
+    }
+
+    /// Shard owning an element.
+    pub fn shard_of(&self, e: Elem) -> u32 {
+        self.comp_shard[self.comp[e as usize] as usize]
+    }
+
+    /// Shard owning a tuple, if all its elements live in one shard
+    /// (`None` when the tuple spans shards — such a tuple is never a
+    /// clique of the Gaifman graph, hence never in any relation).
+    pub fn shard_of_tuple(&self, items: &[Elem]) -> Option<u32> {
+        let mut it = items.iter();
+        let first = self.shard_of(*it.next()?);
+        for &e in it {
+            if self.shard_of(e) != first {
+                return None;
+            }
+        }
+        Some(first)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,6 +193,60 @@ mod tests {
         let g = gaifman_graph(&a);
         assert!(g.has_edge(0, 2) && g.has_edge(2, 4) && g.has_edge(0, 4));
         assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn components_union_find_matches_graph() {
+        let mut sig = Signature::new();
+        let e = sig.add_relation("E", 2);
+        let r = sig.add_relation("R", 3);
+        let mut a = Structure::new(Arc::new(sig), 9);
+        a.insert(e, &[0, 1]);
+        a.insert(e, &[1, 2]);
+        a.insert(r, &[4, 5, 6]);
+        // 7, 8, 3 isolated
+        let c = GaifmanComponents::new(&a, 0);
+        assert_eq!(c.num_components(), 5);
+        assert_eq!(c.component_of(0), c.component_of(2));
+        assert_eq!(c.component_of(4), c.component_of(6));
+        assert_ne!(c.component_of(0), c.component_of(4));
+        assert_ne!(c.component_of(3), c.component_of(7));
+        assert_eq!(c.shard_of_tuple(&[0, 1]), Some(c.shard_of(0)));
+        assert_eq!(c.shard_of_tuple(&[0, 4]), None);
+    }
+
+    #[test]
+    fn shard_packing_is_balanced_and_component_whole() {
+        let mut sig = Signature::new();
+        let e = sig.add_relation("E", 2);
+        let mut a = Structure::new(Arc::new(sig), 12);
+        // components: {0..5} (size 6), {6,7}, {8,9}, {10,11}
+        for w in [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (6, 7),
+            (8, 9),
+            (10, 11),
+        ] {
+            a.insert(e, &[w.0, w.1]);
+        }
+        let c = GaifmanComponents::new(&a, 2);
+        assert_eq!(c.num_shards(), 2);
+        // every component maps to exactly one shard
+        for (u, v) in [(0u32, 5u32), (6, 7), (8, 9), (10, 11)] {
+            assert_eq!(c.shard_of(u), c.shard_of(v));
+        }
+        // greedy balance: big component alone, three small ones together
+        let big = c.shard_of(0);
+        assert_eq!(c.shard_of(6), 1 - big);
+        assert_eq!(c.shard_of(8), 1 - big);
+        assert_eq!(c.shard_of(10), 1 - big);
+        // shard count never exceeds component count
+        let c1 = GaifmanComponents::new(&a, 64);
+        assert_eq!(c1.num_shards(), 4);
     }
 
     #[test]

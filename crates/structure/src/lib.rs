@@ -11,7 +11,10 @@
 //!   and dynamic tuple insertion/removal;
 //! * [`WeightedStructure`] — the weights, generic over the semiring;
 //! * [`gaifman`] — extraction of the Gaifman graph (two elements are
-//!   adjacent iff they co-occur in some tuple);
+//!   adjacent iff they co-occur in some tuple) and its decomposition into
+//!   connected components ([`gaifman::GaifmanComponents`]) — the shard
+//!   key of the sharded engines, since Gaifman-preserving updates can
+//!   never couple two components;
 //! * [`Tuple`] — a small inline tuple type (arity ≤ [`MAX_ARITY`]);
 //! * [`fx`] — a fast FxHash-style hasher for the element-keyed maps
 //!   (HashDoS is not a concern for an analytical engine).
