@@ -20,12 +20,13 @@ use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
 fn main() {
-    // `… -- bench3` reruns only this PR's experiments (E9v3 + E14) and
-    // rewrites BENCH_3.json, leaving the earlier records untouched.
+    // `… -- bench3` (resp. `bench4`) reruns only that PR's experiments
+    // and rewrites its BENCH json, leaving earlier records untouched.
     let bench3_only = std::env::args().any(|a| a == "bench3");
+    let bench4_only = std::env::args().any(|a| a == "bench4");
     println!("# Experiment harness — sparse-agg");
     println!("(one section per experiment id of DESIGN.md §5)\n");
-    if !bench3_only {
+    if !bench3_only && !bench4_only {
         let mut record = BenchRecord::default();
         e1_perm_eval();
         e2_e4_perm_updates(&mut record);
@@ -44,10 +45,29 @@ fn main() {
         e9v2_enum_csr(&mut record2);
         record2.write("BENCH_2.json");
     }
-    let mut record3 = Bench3Record::default();
-    e9v3_delay_tail(&mut record3);
-    e14_sharded_service(&mut record3);
-    record3.write("BENCH_3.json");
+    if !bench4_only {
+        let mut record3 = Bench3Record::default();
+        e9v3_delay_tail(&mut record3);
+        e14_sharded_service(&mut record3);
+        record3.write("BENCH_3.json");
+    }
+    if !bench3_only {
+        let mut record4 = Bench4Record::default();
+        e15_batch_ingestion(&mut record4);
+        e9v4_delay_tail(&mut record4);
+        record4.write("BENCH_4.json");
+    }
+}
+
+/// Hardware/build stamp embedded in every BENCH json: throughput records
+/// are only comparable between runs with equal stamps (this container is
+/// a 1-CPU cgroup; numbers move a lot on real hardware).
+fn hardware_json() -> String {
+    let cpus = std::thread::available_parallelism().map_or(1, |c| c.get());
+    format!(
+        "\"hardware\": {{\"cpus\": {cpus}, \"debug_assertions\": {}}}",
+        cfg!(debug_assertions)
+    )
 }
 
 /// Headline numbers of PR 3 (Gaifman-component sharded engine, pooled
@@ -80,7 +100,8 @@ struct Bench3Record {
 impl Bench3Record {
     fn write(&self, path: &str) {
         let json = format!(
-            "{{\n  \"bench\": 3,\n  \"e9v3_delay_tail\": {{\"n\": {}, \"answers\": {}, \"answers_per_sec\": {:.0}, \"delay_hist\": {{\"lt_1us\": {}, \"1_10us\": {}, \"10_100us\": {}, \"100us_1ms\": {}, \"ge_1ms\": {}}}}},\n  \"e14_sharded_service\": {{\"n\": {}, \"components\": {}, \"shards\": {}, \"build_ms\": {{\"single\": {:.1}, \"sharded\": {:.1}}}, \"query_batch_qps\": {{\"single\": {:.0}, \"sharded\": {:.0}}}, \"updates_per_sec\": {{\"single\": {:.0}, \"sharded\": {:.0}}}, \"concurrent_mixed_ops_per_sec\": {{\"single\": {:.0}, \"sharded\": {:.0}}}}}\n}}\n",
+            "{{\n  \"bench\": 3,\n  {},\n  \"e9v3_delay_tail\": {{\"n\": {}, \"answers\": {}, \"answers_per_sec\": {:.0}, \"delay_hist\": {{\"lt_1us\": {}, \"1_10us\": {}, \"10_100us\": {}, \"100us_1ms\": {}, \"ge_1ms\": {}}}}},\n  \"e14_sharded_service\": {{\"n\": {}, \"components\": {}, \"shards\": {}, \"build_ms\": {{\"single\": {:.1}, \"sharded\": {:.1}}}, \"query_batch_qps\": {{\"single\": {:.0}, \"sharded\": {:.0}}}, \"updates_per_sec\": {{\"single\": {:.0}, \"sharded\": {:.0}}}, \"concurrent_mixed_ops_per_sec\": {{\"single\": {:.0}, \"sharded\": {:.0}}}}}\n}}\n",
+            hardware_json(),
             self.e9v3_n,
             self.e9v3_answers,
             self.e9v3_answers_per_sec,
@@ -117,6 +138,19 @@ fn e9v3_delay_tail(record: &mut Bench3Record) {
     println!("## E9v3  delay-tail attribution: E9v2 workload, allocation-free candidate scan");
     println!("2-path query | n | answers | ans/s | delay hist <1µs,<10µs,<100µs,<1ms,≥1ms");
     let n = 4000usize;
+    let (count, aps, hist) = delay_tail(n);
+    println!("    | {n:>5} | {count:>7} | {aps:>9.0} | {hist:?}");
+    println!("  (compare delay_hist against BENCH_2.json's e9v2_enumerate)\n");
+    record.e9v3_n = n;
+    record.e9v3_answers = count;
+    record.e9v3_answers_per_sec = aps;
+    record.e9v3_delay_hist = hist;
+}
+
+/// Build the E9 two-path workload at size `n`, enumerate every answer,
+/// and bucket the per-answer delays (<1µs, 1–10µs, 10–100µs, 100µs–1ms,
+/// ≥1ms). Shared by E9v3 and E9v4.
+fn delay_tail(n: usize) -> (u64, f64, [u64; 5]) {
     let wl = sparse_random(n, 7);
     let (x, y, z) = (Var(0), Var(1), Var(2));
     let phi = Formula::Rel(wl.e, vec![x, y])
@@ -144,25 +178,23 @@ fn e9v3_delay_tail(record: &mut Bench3Record) {
         count += 1;
     }
     let total = t_enum.elapsed();
-    let aps = count as f64 / total.as_secs_f64();
-    println!("    | {n:>5} | {count:>7} | {aps:>9.0} | {hist:?}");
-    println!("  (compare delay_hist against BENCH_2.json's e9v2_enumerate)\n");
-    record.e9v3_n = n;
-    record.e9v3_answers = count;
-    record.e9v3_answers_per_sec = aps;
-    record.e9v3_delay_hist = hist;
+    (count, count as f64 / total.as_secs_f64(), hist)
 }
 
-/// E14 — the sharded service: a multi-component database behind a
-/// `ShardedEngine`, serving a mixed update+query workload, single-shard
-/// baseline vs one shard per core. On a 1-CPU container the sharded
-/// numbers show routing overhead, not speedup — re-measure on real
-/// hardware (the concurrency itself is exercised by the release-mode
-/// smoke test in CI).
-fn e14_sharded_service(record: &mut Bench3Record) {
-    use agq_enumerate::{GeneralShardedEngine, ShardedEngine};
+/// The E14 world, shared by E14 and E15: `comps` sparse components of
+/// `m` vertices each (random tree plus chords, symmetrized) with a unary
+/// mark on even vertices, queried by `E(x, y) ∧ S(x)`.
+struct E14World {
+    a: std::sync::Arc<agq_structure::Structure>,
+    phi: Formula,
+    e: agq_structure::RelId,
+    edges: Vec<[u32; 2]>,
+    comps: usize,
+    m: usize,
+}
+
+fn e14_world() -> E14World {
     use agq_structure::Signature;
-    println!("## E14  sharded service: Gaifman-component shards, update+query mix");
     let comps = 64usize;
     let m = 250usize;
     let n = comps * m;
@@ -190,9 +222,243 @@ fn e14_sharded_service(record: &mut Bench3Record) {
         .iter()
         .map(|t| [t.as_slice()[0], t.as_slice()[1]])
         .collect();
-    let a = std::sync::Arc::new(a);
     let (x, y) = (Var(0), Var(1));
     let phi = Formula::Rel(e, vec![x, y]).and(Formula::Rel(s, vec![x]));
+    E14World {
+        a: std::sync::Arc::new(a),
+        phi,
+        e,
+        edges,
+        comps,
+        m,
+    }
+}
+
+/// `reps` membership flips over `edges`, presence-tracked so every
+/// update is a real flip at generation time. `hot = Some((k, frac))`
+/// sends that fraction of the flips to a size-`k` hot set of edges (the
+/// service-churn pattern: a handful of rows flapping under a trickle of
+/// background edits); `None` flips uniformly at random.
+fn flip_script(
+    e: agq_structure::RelId,
+    edges: &[[u32; 2]],
+    reps: usize,
+    seed: u64,
+    hot: Option<(usize, f64)>,
+) -> Vec<agq_core::TupleUpdate> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut present = vec![true; edges.len()];
+    let hotset: Vec<usize> = hot
+        .map(|(k, _)| (0..k).map(|_| rng.gen_range(0..edges.len())).collect())
+        .unwrap_or_default();
+    (0..reps)
+        .map(|_| {
+            let ei = match hot {
+                Some((_, frac)) if rng.gen_bool(frac) => hotset[rng.gen_range(0..hotset.len())],
+                _ => rng.gen_range(0..edges.len()),
+            };
+            present[ei] = !present[ei];
+            agq_core::TupleUpdate {
+                rel: e,
+                tuple: edges[ei].to_vec(),
+                present: present[ei],
+            }
+        })
+        .collect()
+}
+
+/// Headline numbers of PR 6 (batched update ingestion with coalesced
+/// dirty propagation), persisted as `BENCH_4.json`.
+#[derive(Default)]
+struct Bench4Record {
+    n: usize,
+    components: usize,
+    uniform_seq_ups: f64,
+    uniform_batch_ups: [f64; 4],
+    churn_hot_keys: usize,
+    churn_hot_fraction: f64,
+    churn_seq_ups: f64,
+    churn_batch_ups: [f64; 4],
+    sharded_shards: usize,
+    sharded_churn_seq_ups: f64,
+    sharded_churn_batch64_ups: f64,
+    // E9v4: the delay-tail workload re-measured after the batch plumbing.
+    e9v4_n: usize,
+    e9v4_answers: u64,
+    e9v4_answers_per_sec: f64,
+    e9v4_delay_hist: [u64; 5],
+}
+
+/// The batch sizes of the E15 sweep.
+const E15_BATCH_SIZES: [usize; 4] = [1, 8, 64, 512];
+
+impl Bench4Record {
+    fn write(&self, path: &str) {
+        let sweep = |ups: &[f64; 4]| {
+            E15_BATCH_SIZES
+                .iter()
+                .zip(ups)
+                .map(|(bs, u)| format!("\"{bs}\": {u:.0}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let ratio = |batch: f64, seq: f64| if seq > 0.0 { batch / seq } else { 0.0 };
+        let json = format!(
+            "{{\n  \"bench\": 4,\n  {},\n  \"e15_batch_ingestion\": {{\"n\": {}, \"components\": {}, \"updates\": 40000,\n    \"uniform\": {{\"sequential_ups\": {:.0}, \"batch_ups\": {{{}}}, \"batch64_speedup\": {:.2}}},\n    \"churn\": {{\"hot_keys\": {}, \"hot_fraction\": {:.2}, \"sequential_ups\": {:.0}, \"batch_ups\": {{{}}}, \"batch64_speedup\": {:.2}}},\n    \"sharded_churn\": {{\"shards\": {}, \"sequential_ups\": {:.0}, \"batch64_ups\": {:.0}, \"batch64_speedup\": {:.2}}}}},\n  \"e9v4_delay_tail\": {{\"n\": {}, \"answers\": {}, \"answers_per_sec\": {:.0}, \"delay_hist\": {{\"lt_1us\": {}, \"1_10us\": {}, \"10_100us\": {}, \"100us_1ms\": {}, \"ge_1ms\": {}}}}}\n}}\n",
+            hardware_json(),
+            self.n,
+            self.components,
+            self.uniform_seq_ups,
+            sweep(&self.uniform_batch_ups),
+            ratio(self.uniform_batch_ups[2], self.uniform_seq_ups),
+            self.churn_hot_keys,
+            self.churn_hot_fraction,
+            self.churn_seq_ups,
+            sweep(&self.churn_batch_ups),
+            ratio(self.churn_batch_ups[2], self.churn_seq_ups),
+            self.sharded_shards,
+            self.sharded_churn_seq_ups,
+            self.sharded_churn_batch64_ups,
+            ratio(self.sharded_churn_batch64_ups, self.sharded_churn_seq_ups),
+            self.e9v4_n,
+            self.e9v4_answers,
+            self.e9v4_answers_per_sec,
+            self.e9v4_delay_hist[0],
+            self.e9v4_delay_hist[1],
+            self.e9v4_delay_hist[2],
+            self.e9v4_delay_hist[3],
+            self.e9v4_delay_hist[4],
+        );
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+/// E15 — PR 6 headline: batched update ingestion. `apply_batch` vs
+/// one-by-one `apply_update` on the E14 world, swept over batch sizes,
+/// on two scripts:
+///
+/// * **uniform** random membership flips — the per-update cones are
+///   disjoint, so batch and sequential do identical gate work and the
+///   measured difference is pure ingestion overhead (per-call locks,
+///   staging, dirty-heap bookkeeping);
+/// * **hot-key churn** (95% of flips over 4 flapping edges) — repeated
+///   flips of a tuple cancel inside a batch, so coalescing collapses the
+///   per-incoming-update cost. This is where batching actually wins, and
+///   the release-gated `batch_regression.rs` test pins it at ≥1.5×.
+fn e15_batch_ingestion(record: &mut Bench4Record) {
+    use agq_enumerate::{EnumQueryEngine, GeneralShardedEngine, ShardedEngine};
+    println!("## E15  batched ingestion: apply_batch vs apply_update (E14 world)");
+    let w = e14_world();
+    record.n = w.comps * w.m;
+    record.components = w.comps;
+    let (hot_keys, hot_fraction) = (4usize, 0.95f64);
+    record.churn_hot_keys = hot_keys;
+    record.churn_hot_fraction = hot_fraction;
+    let reps = 40_000usize;
+    let opts = CompileOptions::default();
+    println!("script | sequential ups | batch=1 | batch=8 | batch=64 | batch=512");
+    for (label, script) in [
+        ("uniform", flip_script(w.e, &w.edges, reps, 15, None)),
+        (
+            "churn",
+            flip_script(w.e, &w.edges, reps, 99, Some((hot_keys, hot_fraction))),
+        ),
+    ] {
+        let mut eng: EnumQueryEngine<Nat, SegTreePerm<Nat>> =
+            EnumQueryEngine::build_dynamic(&w.a, &w.phi, &opts).unwrap();
+        // warm: page in the plan and fault in the touched cones; the
+        // script toggles presence, so it replays cleanly from any state
+        for u in &script {
+            eng.apply_update(u).unwrap();
+        }
+        let t_seq = time(|| {
+            for u in &script {
+                eng.apply_update(u).unwrap();
+            }
+        });
+        let seq_ups = reps as f64 / t_seq.as_secs_f64();
+        let mut batch_ups = [0f64; 4];
+        for (i, &bs) in E15_BATCH_SIZES.iter().enumerate() {
+            let t = time(|| {
+                for chunk in script.chunks(bs) {
+                    eng.apply_batch(chunk).unwrap();
+                }
+            });
+            batch_ups[i] = reps as f64 / t.as_secs_f64();
+        }
+        println!(
+            "    {label:>7} | {seq_ups:>12.0} | {:>9.0} | {:>9.0} | {:>9.0} | {:>9.0}",
+            batch_ups[0], batch_ups[1], batch_ups[2], batch_ups[3]
+        );
+        if label == "uniform" {
+            record.uniform_seq_ups = seq_ups;
+            record.uniform_batch_ups = batch_ups;
+        } else {
+            record.churn_seq_ups = seq_ups;
+            record.churn_batch_ups = batch_ups;
+        }
+    }
+    // the same churn script through the sharded engine: one write lock
+    // and one coalesced sweep per touched shard per batch
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let script = flip_script(w.e, &w.edges, reps, 99, Some((hot_keys, hot_fraction)));
+    let eng: GeneralShardedEngine<Nat> =
+        ShardedEngine::build(&w.a, &w.phi, &opts, cores.max(2)).unwrap();
+    for u in &script {
+        eng.apply_update(u).unwrap();
+    }
+    let t_seq = time(|| {
+        for u in &script {
+            eng.apply_update(u).unwrap();
+        }
+    });
+    let t_b64 = time(|| {
+        for chunk in script.chunks(64) {
+            eng.apply_batch(chunk).unwrap();
+        }
+    });
+    record.sharded_shards = eng.num_shards();
+    record.sharded_churn_seq_ups = reps as f64 / t_seq.as_secs_f64();
+    record.sharded_churn_batch64_ups = reps as f64 / t_b64.as_secs_f64();
+    println!(
+        "    churn via {} shards: sequential {:.0} ups, batch=64 {:.0} ups ({:.2}×)\n",
+        eng.num_shards(),
+        record.sharded_churn_seq_ups,
+        record.sharded_churn_batch64_ups,
+        record.sharded_churn_batch64_ups / record.sharded_churn_seq_ups
+    );
+}
+
+/// E9v4 — the E9v3 delay-tail workload re-measured after the batch
+/// ingestion plumbing: the enumeration path itself was not supposed to
+/// change, so the histogram should match BENCH_3.json's within noise.
+fn e9v4_delay_tail(record: &mut Bench4Record) {
+    println!("## E9v4  delay-tail re-measure: enumeration after the batch-ingestion changes");
+    let n = 4000usize;
+    let (count, aps, hist) = delay_tail(n);
+    println!("    | {n:>5} | {count:>7} | {aps:>9.0} | {hist:?}");
+    println!("  (compare delay_hist against BENCH_3.json's e9v3_delay_tail)\n");
+    record.e9v4_n = n;
+    record.e9v4_answers = count;
+    record.e9v4_answers_per_sec = aps;
+    record.e9v4_delay_hist = hist;
+}
+
+/// E14 — the sharded service: a multi-component database behind a
+/// `ShardedEngine`, serving a mixed update+query workload, single-shard
+/// baseline vs one shard per core. On a 1-CPU container the sharded
+/// numbers show routing overhead, not speedup — re-measure on real
+/// hardware (the concurrency itself is exercised by the release-mode
+/// smoke test in CI).
+fn e14_sharded_service(record: &mut Bench3Record) {
+    use agq_enumerate::{GeneralShardedEngine, ShardedEngine};
+    println!("## E14  sharded service: Gaifman-component shards, update+query mix");
+    let w = e14_world();
+    let (comps, m, n) = (w.comps, w.m, w.comps * w.m);
+    let (a, phi, e, edges) = (w.a, w.phi, w.e, w.edges);
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     let shard_target = cores.max(2);
     println!("shards | build | query_batch q/s | updates/s | concurrent mixed ops/s");
@@ -312,7 +578,8 @@ impl Bench2Record {
             0.0
         };
         let json = format!(
-            "{{\n  \"bench\": 2,\n  \"e9v2_build\": {{\"n\": {}, \"build_ms\": {:.1}, \"pr1_build_ms\": {:.1}, \"build_speedup\": {:.2}}},\n  \"e9v2_enumerate\": {{\"answers\": {}, \"answers_per_sec\": {:.0}, \"delay_hist\": {{\"lt_1us\": {}, \"1_10us\": {}, \"10_100us\": {}, \"100us_1ms\": {}, \"ge_1ms\": {}}}}},\n  \"e9v2_update\": {{\"apply_update_ns\": {:.1}, \"full_rebuild_ms\": {:.1}, \"update_speedup\": {:.0}}}\n}}\n",
+            "{{\n  \"bench\": 2,\n  {},\n  \"e9v2_build\": {{\"n\": {}, \"build_ms\": {:.1}, \"pr1_build_ms\": {:.1}, \"build_speedup\": {:.2}}},\n  \"e9v2_enumerate\": {{\"answers\": {}, \"answers_per_sec\": {:.0}, \"delay_hist\": {{\"lt_1us\": {}, \"1_10us\": {}, \"10_100us\": {}, \"100us_1ms\": {}, \"ge_1ms\": {}}}}},\n  \"e9v2_update\": {{\"apply_update_ns\": {:.1}, \"full_rebuild_ms\": {:.1}, \"update_speedup\": {:.0}}}\n}}\n",
+            hardware_json(),
             self.n,
             self.build_ms,
             Self::PR1_BUILD_MS,
@@ -455,7 +722,8 @@ impl BenchRecord {
             }
         };
         let json = format!(
-            "{{\n  \"bench\": 1,\n  \"e5_compile\": {{\"n\": {}, \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}}},\n  \"e2_update\": {{\"n\": {}, \"segtree_update_ns\": {:.1}}},\n  \"e10_throughput\": {{\"n\": {}, \"peek_with_qps\": {:.0}, \"update_restore_qps\": {:.0}, \"overlay_qps\": {:.0}, \"batch_qps\": {:.0}, \"overlay_speedup\": {:.2}, \"batch_speedup\": {:.2}}}\n}}\n",
+            "{{\n  \"bench\": 1,\n  {},\n  \"e5_compile\": {{\"n\": {}, \"sequential_ms\": {:.3}, \"parallel_ms\": {:.3}}},\n  \"e2_update\": {{\"n\": {}, \"segtree_update_ns\": {:.1}}},\n  \"e10_throughput\": {{\"n\": {}, \"peek_with_qps\": {:.0}, \"update_restore_qps\": {:.0}, \"overlay_qps\": {:.0}, \"batch_qps\": {:.0}, \"overlay_speedup\": {:.2}, \"batch_speedup\": {:.2}}}\n}}\n",
+            hardware_json(),
             self.compile_n,
             self.compile_seq_ms,
             self.compile_par_ms,

@@ -1,6 +1,34 @@
 //! Dynamic circuit evaluation under input updates (Theorem 8's engine).
+//!
+//! # Batched updates and coalesced dirty propagation
+//!
+//! [`DynEvaluator::set_inputs`] absorbs a whole batch of slot overwrites
+//! with **one** dirty-propagation sweep. "Dirty" across a batch means: a
+//! gate is queued the moment any child's committed value changes, and is
+//! recomputed exactly once, after every child it can see has settled.
+//! The single sweep is sound because the queue is a min-heap over gate
+//! ids and children always precede parents in the gate arena — popping
+//! in ascending id order is a topological schedule no matter how many
+//! slots seeded the queue, so interleaving the cones of all batched
+//! updates cannot reorder a parent before a child. Gates shared by
+//! several update cones (the wide aggregation gates near the root) are
+//! therefore recomputed once per batch instead of once per update, which
+//! is where the batch throughput win comes from.
+//!
+//! Permanent-entry changes are coalesced the same way: child-value
+//! changes destined for a permanent gate are buffered per sweep and
+//! flushed through [`PermMaint::update_batch`] when that gate pops, so a
+//! segment-tree backend repairs the union of the touched root paths once
+//! ([`agq_perm::SegTreePerm::update_batch`]) rather than per entry.
+//!
+//! The single-update path ([`DynEvaluator::set_input`]) is the batch
+//! path at size one — there is no separate cascade to diverge from.
+//! Within a batch, later entries for the same slot win, and entries that
+//! net out to the current committed value are dropped before any gate is
+//! touched.
 
 use crate::csr::{Csr, CsrBuilder};
+use crate::eval::sum_children;
 use crate::{Circuit, GateDef, GateId};
 use agq_perm::{ColMatrix, FinitePerm, RingPerm, SegTreePerm};
 use agq_semiring::{FiniteSemiring, Ring, Semiring};
@@ -22,6 +50,15 @@ pub trait PermMaint<S: Semiring> {
     fn build(m: ColMatrix<S>) -> Self;
     /// Overwrite one entry.
     fn update(&mut self, row: usize, col: usize, value: S);
+    /// Overwrite several entries at once. Implementations may repair
+    /// shared internal structure once for the whole batch; the default
+    /// applies the patches one by one. Later patches to the same entry
+    /// win.
+    fn update_batch(&mut self, patches: &[(usize, usize, S)]) {
+        for (row, col, v) in patches {
+            self.update(*row, *col, v.clone());
+        }
+    }
     /// Current permanent. Reads are free: implementations cache the value
     /// across updates.
     fn total(&self) -> &S;
@@ -37,6 +74,9 @@ impl<S: Semiring> PermMaint<S> for SegTreePerm<S> {
     }
     fn update(&mut self, row: usize, col: usize, value: S) {
         SegTreePerm::update(self, row, col, value);
+    }
+    fn update_batch(&mut self, patches: &[(usize, usize, S)]) {
+        SegTreePerm::update_batch(self, patches);
     }
     fn total(&self) -> &S {
         SegTreePerm::total(self)
@@ -63,6 +103,12 @@ impl<S: Ring> PermMaint<S> for RingMaint<S> {
         self.perm.update(row, col, value);
         self.total = self.perm.total();
     }
+    fn update_batch(&mut self, patches: &[(usize, usize, S)]) {
+        for (row, col, v) in patches {
+            self.perm.update(*row, *col, v.clone());
+        }
+        self.total = self.perm.total();
+    }
     fn total(&self) -> &S {
         &self.total
     }
@@ -86,6 +132,12 @@ impl<S: FiniteSemiring> PermMaint<S> for FiniteMaint<S> {
     }
     fn update(&mut self, row: usize, col: usize, value: S) {
         self.perm.update(row, col, value);
+        self.total = self.perm.total();
+    }
+    fn update_batch(&mut self, patches: &[(usize, usize, S)]) {
+        for (row, col, v) in patches {
+            self.perm.update(*row, *col, v.clone());
+        }
         self.total = self.perm.total();
     }
     fn total(&self) -> &S {
@@ -302,6 +354,15 @@ pub struct DynEvaluator<S: Semiring, P: PermMaint<S>> {
     /// Perm-gate maintenance structures, dense, in gate order.
     perms: Vec<P>,
     slot_values: Vec<S>,
+    /// Reused dirty queue of the update sweep (min-heap over gate ids =
+    /// topological schedule).
+    dirty: BinaryHeap<std::cmp::Reverse<u32>>,
+    /// Perm-entry patches buffered during the current sweep:
+    /// `(perm index, row, col, value)`, flushed through
+    /// [`PermMaint::update_batch`] when the owning perm gate pops.
+    perm_pending: Vec<(u32, u32, u32, S)>,
+    /// Assembly buffer for one perm gate's flush.
+    perm_flush: Vec<(usize, usize, S)>,
 }
 
 impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
@@ -339,6 +400,9 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
             values,
             perms,
             slot_values: slots.to_vec(),
+            dirty: BinaryHeap::new(),
+            perm_pending: Vec::new(),
+            perm_flush: Vec::new(),
         }
     }
 
@@ -362,31 +426,82 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
         &self.slot_values[slot as usize]
     }
 
-    /// Set input `slot` to `value` and repair all affected gates.
+    /// Set input `slot` to `value` and repair all affected gates. This is
+    /// [`DynEvaluator::set_inputs`] at batch size one.
     pub fn set_input(&mut self, slot: u32, value: S) {
         if self.slot_values[slot as usize] == value {
             return;
         }
-        self.slot_values[slot as usize] = value.clone();
-        let mut dirty: BinaryHeap<std::cmp::Reverse<u32>> = BinaryHeap::new();
-        for i in 0..self.plan.slot_gates.row(slot as usize).len() {
-            let g = self.plan.slot_gates.row(slot as usize)[i];
-            if self.values[g as usize] != value {
-                self.values[g as usize] = value.clone();
-                self.mark_parents(g, &mut dirty);
+        self.set_inputs(&[(slot, value)]);
+    }
+
+    /// Overwrite several slots and repair all affected gates with **one**
+    /// dirty-propagation sweep (see the module docs for why the single
+    /// sweep is sound). Later entries for the same slot win; entries equal
+    /// to the slot's committed value seed nothing and are dropped for
+    /// free.
+    pub fn set_inputs(&mut self, updates: &[(u32, S)]) {
+        // Commit all slot values first so later entries win and seeding
+        // reads each slot's final value.
+        for (slot, v) in updates {
+            self.slot_values[*slot as usize] = v.clone();
+        }
+        for (s, _) in updates {
+            let slot = *s as usize;
+            // A slot listed twice is seeded idempotently: the second pass
+            // finds the gate values already equal to the committed value.
+            for i in 0..self.plan.slot_gates.row(slot).len() {
+                let g = self.plan.slot_gates.row(slot)[i];
+                if self.values[g as usize] != self.slot_values[slot] {
+                    self.values[g as usize] = self.slot_values[slot].clone();
+                    self.mark_parents(g);
+                }
             }
         }
-        while let Some(std::cmp::Reverse(g)) = dirty.pop() {
+        self.drain_dirty();
+    }
+
+    /// One topological sweep over the dirty queue: ascending gate ids,
+    /// each gate recomputed at most once, buffered perm-entry patches
+    /// flushed when their perm gate pops (every changed child has a
+    /// smaller id, so all its patches are already buffered).
+    fn drain_dirty(&mut self) {
+        while let Some(std::cmp::Reverse(g)) = self.dirty.pop() {
             // Deduplicate: the same gate may be queued multiple times.
-            if dirty.peek() == Some(&std::cmp::Reverse(g)) {
+            if self.dirty.peek() == Some(&std::cmp::Reverse(g)) {
                 continue;
             }
-            let new = self.recompute(g);
+            let new = match &self.plan.circuit.gates()[g as usize] {
+                GateDef::Perm { .. } => {
+                    let pi = self.plan.perm_index[g as usize];
+                    let mut buf = std::mem::take(&mut self.perm_flush);
+                    buf.clear();
+                    let mut i = 0;
+                    while i < self.perm_pending.len() {
+                        if self.perm_pending[i].0 == pi {
+                            let (_, r, c, v) = self.perm_pending.swap_remove(i);
+                            buf.push((r as usize, c as usize, v));
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    if !buf.is_empty() {
+                        self.perms[pi as usize].update_batch(&buf);
+                    }
+                    self.perm_flush = buf;
+                    self.perms[pi as usize].total().clone()
+                }
+                _ => self.recompute(g),
+            };
             if self.values[g as usize] != new {
                 self.values[g as usize] = new;
-                self.mark_parents(g, &mut dirty);
+                self.mark_parents(g);
             }
         }
+        debug_assert!(
+            self.perm_pending.is_empty(),
+            "perm patches left unflushed after the sweep"
+        );
     }
 
     /// Evaluate the output with some slots *temporarily* overwritten via
@@ -528,14 +643,12 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
                 },
                 GateDef::Const(_) => self.values[g as usize].clone(),
                 GateDef::Add(children) => {
-                    let mut acc = S::zero();
-                    for c in self.plan.circuit.children(*children) {
-                        acc.add_assign(match lookup(&cone, &vals, c.0) {
+                    sum_children(self.plan.circuit.children(*children), |c| {
+                        match lookup(&cone, &vals, c.0) {
                             Some(i) => &vals[i],
                             None => &self.values[c.0 as usize],
-                        });
-                    }
-                    acc
+                        }
+                    })
                 }
                 GateDef::Mul(a, b) => {
                     let eff = |g: GateId| match lookup(&cone, &vals, g.0) {
@@ -591,19 +704,22 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
         self.peek(patches, &mut scratch)
     }
 
-    fn mark_parents(&mut self, g: u32, dirty: &mut BinaryHeap<std::cmp::Reverse<u32>>) {
-        // Perm parents absorb the new child value into their maintenance
-        // structure immediately; value recomputation happens in id order.
-        for &p in self.plan.parents.row(g as usize) {
+    fn mark_parents(&mut self, g: u32) {
+        // Perm parents get the new child value buffered as a pending
+        // patch; it is flushed in one `update_batch` when the perm gate
+        // pops. A child changes value at most once per sweep, so each
+        // (perm, row, col) carries at most one patch.
+        for i in 0..self.plan.parents.row(g as usize).len() {
+            let p = self.plan.parents.row(g as usize)[i];
             match p {
                 ParentRef::Add(pg) | ParentRef::Mul(pg) => {
-                    dirty.push(std::cmp::Reverse(pg));
+                    self.dirty.push(std::cmp::Reverse(pg));
                 }
                 ParentRef::Perm { gate, row, col } => {
                     let v = self.values[g as usize].clone();
-                    let pi = self.plan.perm_index[gate as usize] as usize;
-                    self.perms[pi].update(row as usize, col as usize, v);
-                    dirty.push(std::cmp::Reverse(gate));
+                    let pi = self.plan.perm_index[gate as usize];
+                    self.perm_pending.push((pi, row as u32, col, v));
+                    self.dirty.push(std::cmp::Reverse(gate));
                 }
             }
         }
@@ -631,13 +747,9 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
     fn recompute(&self, g: u32) -> S {
         match &self.plan.circuit.gates()[g as usize] {
             GateDef::Input(_) | GateDef::Const(_) => self.values[g as usize].clone(),
-            GateDef::Add(children) => {
-                let mut acc = S::zero();
-                for c in self.plan.circuit.children(*children) {
-                    acc.add_assign(&self.values[c.0 as usize]);
-                }
-                acc
-            }
+            GateDef::Add(children) => sum_children(self.plan.circuit.children(*children), |c| {
+                &self.values[c.0 as usize]
+            }),
             GateDef::Mul(a, b) => self.values[a.0 as usize].mul(&self.values[b.0 as usize]),
             GateDef::Perm { .. } => self.perms[self.plan.perm_index[g as usize] as usize]
                 .total()
@@ -650,11 +762,7 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
         match &self.plan.circuit.gates()[g as usize] {
             GateDef::Input(_) | GateDef::Const(_) => self.values[g as usize].clone(),
             GateDef::Add(children) => {
-                let mut acc = S::zero();
-                for c in self.plan.circuit.children(*children) {
-                    acc.add_assign(eff(*c));
-                }
-                acc
+                sum_children(self.plan.circuit.children(*children), |c| eff(c))
             }
             GateDef::Mul(a, b) => eff(*a).mul(eff(*b)),
             GateDef::Perm { .. } => unreachable!("perm gates handled in the peek loop"),
@@ -979,6 +1087,98 @@ mod tests {
     fn plan_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<EvalPlan>();
+    }
+
+    /// Random batches through `set_inputs` against the same updates
+    /// applied one-by-one on a control evaluator and a fresh rebuild.
+    fn batch_matches_sequential<P: PermMaint<Int>>(seed: u64) {
+        let n = 6;
+        let circuit = Arc::new(test_circuit(n));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut slots: Vec<Int> = (0..2 * n).map(|_| Int(rng.gen_range(-3..4))).collect();
+        let lit = [Int(2)];
+        let mut batched: DynEvaluator<Int, P> = DynEvaluator::new(circuit.clone(), &slots, &lit);
+        let mut sequential: DynEvaluator<Int, P> = DynEvaluator::new(circuit.clone(), &slots, &lit);
+        for round in 0..30 {
+            let batch: Vec<(u32, Int)> = (0..rng.gen_range(0..10))
+                .map(|_| (rng.gen_range(0..2 * n) as u32, Int(rng.gen_range(-3..4))))
+                .collect();
+            batched.set_inputs(&batch);
+            for &(s, v) in &batch {
+                sequential.set_input(s, v);
+                slots[s as usize] = v;
+            }
+            let fresh: DynEvaluator<Int, P> = DynEvaluator::new(circuit.clone(), &slots, &lit);
+            assert_eq!(batched.output(), sequential.output(), "round {round}");
+            assert_eq!(batched.output(), fresh.output(), "round {round} vs rebuild");
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_general() {
+        batch_matches_sequential::<SegTreePerm<Int>>(101);
+    }
+
+    #[test]
+    fn batch_matches_sequential_ring() {
+        batch_matches_sequential::<RingMaint<Int>>(102);
+    }
+
+    #[test]
+    fn batch_matches_sequential_finite() {
+        let n = 5;
+        let circuit = Arc::new(test_circuit(n));
+        let mut rng = SmallRng::seed_from_u64(103);
+        let mut slots: Vec<Bool> = (0..2 * n).map(|_| Bool(rng.gen_bool(0.5))).collect();
+        let lit = [Bool(false)];
+        let mut batched: FiniteEvaluator<Bool> = DynEvaluator::new(circuit.clone(), &slots, &lit);
+        let mut sequential: FiniteEvaluator<Bool> =
+            DynEvaluator::new(circuit.clone(), &slots, &lit);
+        for _ in 0..30 {
+            let batch: Vec<(u32, Bool)> = (0..rng.gen_range(0..10))
+                .map(|_| (rng.gen_range(0..2 * n) as u32, Bool(rng.gen_bool(0.5))))
+                .collect();
+            batched.set_inputs(&batch);
+            for &(s, v) in &batch {
+                sequential.set_input(s, v);
+                slots[s as usize] = v;
+            }
+            let fresh: FiniteEvaluator<Bool> = DynEvaluator::new(circuit.clone(), &slots, &lit);
+            assert_eq!(batched.output(), sequential.output());
+            assert_eq!(batched.output(), fresh.output());
+        }
+    }
+
+    #[test]
+    fn batch_duplicate_slots_later_wins() {
+        let n = 4;
+        let circuit = Arc::new(test_circuit(n));
+        let slots: Vec<Nat> = (0..2 * n).map(|i| Nat(i as u64 % 3)).collect();
+        let mut ev: GeneralEvaluator<Nat> = DynEvaluator::new(circuit.clone(), &slots, &[Nat(1)]);
+        ev.set_inputs(&[(0, Nat(9)), (2, Nat(4)), (0, Nat(7))]);
+        let mut expect = slots.clone();
+        expect[0] = Nat(7);
+        expect[2] = Nat(4);
+        let fresh: GeneralEvaluator<Nat> = DynEvaluator::new(circuit, &expect, &[Nat(1)]);
+        assert_eq!(ev.output(), fresh.output());
+        assert_eq!(*ev.slot_value(0), Nat(7));
+        // a batch netting out to the committed values touches nothing
+        ev.set_inputs(&[(0, Nat(1)), (0, Nat(7)), (2, Nat(4))]);
+        assert_eq!(ev.output(), fresh.output());
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let n = 3;
+        let circuit = Arc::new(test_circuit(n));
+        let slots: Vec<Nat> = (0..2 * n).map(|i| Nat(i as u64)).collect();
+        let mut ev: RingEvaluator<Int> = {
+            let slots: Vec<Int> = slots.iter().map(|v| Int(v.0 as i64)).collect();
+            DynEvaluator::new(circuit, &slots, &[Int(0)])
+        };
+        let before = *ev.output();
+        ev.set_inputs(&[]);
+        assert_eq!(*ev.output(), before);
     }
 
     #[test]

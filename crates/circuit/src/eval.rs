@@ -4,6 +4,44 @@ use crate::{Circuit, ConstRef, GateDef};
 use agq_perm::PrefixPerm;
 use agq_semiring::Semiring;
 
+use crate::GateId;
+
+/// Chunked accumulation over an addition gate's child segment of the CSR
+/// arena: four independent accumulator lanes folded at the end, so wide
+/// fan-in sums (the domain-sized aggregates at the circuit root) pipeline
+/// instead of serializing on one accumulator. Every evaluation path —
+/// one-shot [`eval_gates`], the dynamic evaluator's recompute, and the
+/// peek overlays — sums through this helper, so add-gate values are
+/// bit-identical across paths even for non-associative carriers (floats).
+pub(crate) fn sum_children<'a, S, F>(children: &[GateId], get: F) -> S
+where
+    S: Semiring + 'a,
+    F: Fn(GateId) -> &'a S,
+{
+    const LANES: usize = 4;
+    if children.len() < 2 * LANES {
+        let mut acc = S::zero();
+        for &c in children {
+            acc.add_assign(get(c));
+        }
+        return acc;
+    }
+    let mut lanes = [S::zero(), S::zero(), S::zero(), S::zero()];
+    let chunks = children.chunks_exact(LANES);
+    let rest = chunks.remainder();
+    for chunk in chunks {
+        for (lane, &c) in lanes.iter_mut().zip(chunk) {
+            lane.add_assign(get(c));
+        }
+    }
+    let [a, b, c, d] = lanes;
+    let mut acc = a.add(&b).add(&c.add(&d));
+    for &g in rest {
+        acc.add_assign(get(g));
+    }
+    acc
+}
+
 /// Evaluate every gate of `circuit` in topological order, returning the
 /// full value vector. Permanent gates use the streaming subset DP
 /// (`O(n·2^k·k)` per gate, linear overall for fixed `k`).
@@ -16,11 +54,7 @@ pub fn eval_gates<S: Semiring>(circuit: &Circuit, slots: &[S], lits: &[S]) -> Ve
             GateDef::Const(ConstRef::One) => S::one(),
             GateDef::Const(ConstRef::Lit(i)) => lits[*i as usize].clone(),
             GateDef::Add(children) => {
-                let mut acc = S::zero();
-                for c in circuit.children(*children) {
-                    acc.add_assign(&values[c.0 as usize]);
-                }
-                acc
+                sum_children(circuit.children(*children), |c| &values[c.0 as usize])
             }
             GateDef::Mul(a, b) => values[a.0 as usize].mul(&values[b.0 as usize]),
             GateDef::Perm { rows, cols } => {

@@ -38,6 +38,14 @@ use agq_semiring::Semiring;
 use agq_structure::{Elem, RelId, Tuple, WeightId, WeightedStructure};
 use std::sync::Arc;
 
+/// `std::thread::available_parallelism()` re-reads cgroup limits from the
+/// filesystem on every call (~10µs on Linux) — far too slow for per-batch
+/// dispatch decisions. Resolve it once per process.
+fn available_cores() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
 /// One Gaifman-preserving database update: set the membership of `tuple`
 /// in relation `rel`. The shared update language of every index bound to
 /// a compiled query — [`QueryEngine::apply_update`] patches the dynamic
@@ -240,7 +248,7 @@ impl<S: Semiring, P: PermMaint<S>> QueryEngine<S, P> {
         P: Sync,
     {
         let threads = match threads {
-            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            0 => available_cores(),
             t => t,
         }
         .min(tuples.len())
@@ -326,15 +334,71 @@ impl<S: Semiring, P: PermMaint<S>> QueryEngine<S, P> {
 
     /// Apply a [`TupleUpdate`] (dynamic-atom mode only). Equivalent to
     /// [`QueryEngine::set_atom`]; returns false when the tuple has no
-    /// compiled atom slots (a structural zero).
+    /// compiled atom slots (a structural zero). Routed through the batch
+    /// machinery ([`QueryEngine::apply_batch`] at size one), so the two
+    /// paths cannot diverge; net no-ops (presence already at the target)
+    /// short-circuit before any gate is touched.
     pub fn apply_update(&mut self, u: &TupleUpdate) -> bool {
         self.set_atom(u.rel, &u.tuple, u.present)
     }
 
+    /// Apply a whole batch of [`TupleUpdate`]s with **one** coalesced
+    /// dirty-propagation sweep ([`DynEvaluator::set_inputs`]): updates are
+    /// deduplicated per tuple (the last update to a `(rel, tuple)` wins),
+    /// net no-ops are dropped, and the union of touched slots is repaired
+    /// in a single topological pass — gates shared by several update cones
+    /// are recomputed once per batch instead of once per update.
+    ///
+    /// Accepts `&[TupleUpdate]` or `&[&TupleUpdate]`. Returns the number
+    /// of coalesced updates with compiled atom slots (updates on tuples
+    /// without any are structural zeros and count as unapplied, matching
+    /// [`QueryEngine::apply_update`]'s `false`).
+    pub fn apply_batch<U: std::borrow::Borrow<TupleUpdate>>(&mut self, updates: &[U]) -> usize {
+        let mut coalesced = Vec::with_capacity(updates.len());
+        crate::batch::coalesce_updates(updates, &mut coalesced);
+        self.apply_batch_coalesced(&coalesced)
+    }
+
+    /// [`QueryEngine::apply_batch`] for a batch that is **already
+    /// coalesced** (at most one update per `(rel, tuple)`, e.g. by
+    /// [`crate::coalesce_updates`]) — skips the dedup pass so a stack
+    /// that coalesced at its top layer does not pay for it again here.
+    /// Tuples duplicated within `updates` are staged against the same
+    /// pre-batch state, so which duplicate wins is unspecified: callers
+    /// must guarantee distinctness.
+    pub fn apply_batch_coalesced(&mut self, updates: &[&TupleUpdate]) -> usize {
+        let mut patches = std::mem::take(&mut self.patch_buf);
+        patches.clear();
+        let mut applied = 0usize;
+        for u in updates {
+            if self.stage_atom(u.rel, &u.tuple, u.present, &mut patches) {
+                applied += 1;
+            }
+        }
+        self.eval.set_inputs(&patches);
+        patches.clear();
+        self.patch_buf = patches;
+        applied
+    }
+
     /// Dynamic-atom mode only: insert/remove a tuple of relation `r`
     /// (must preserve the Gaifman graph — tuples over non-cliques were
-    /// compiled away as structural zeros and return false).
+    /// compiled away as structural zeros and return false). This is the
+    /// batch path at size one.
     pub fn set_atom(&mut self, r: RelId, t: &[Elem], present: bool) -> bool {
+        let mut patches = std::mem::take(&mut self.patch_buf);
+        patches.clear();
+        let staged = self.stage_atom(r, t, present, &mut patches);
+        self.eval.set_inputs(&patches);
+        patches.clear();
+        self.patch_buf = patches;
+        staged
+    }
+
+    /// Stage the slot patches of one atom flip into `patches`, skipping
+    /// slots already at the target value (net no-ops). Returns whether the
+    /// tuple has compiled atom slots at all.
+    fn stage_atom(&self, r: RelId, t: &[Elem], present: bool, patches: &mut Vec<(u32, S)>) -> bool {
         let tuple = Tuple::new(t);
         let pos = self.compiled.slots.lookup(&SlotKey::AtomPos(r, tuple));
         let neg = self.compiled.slots.lookup(&SlotKey::AtomNeg(r, tuple));
@@ -347,10 +411,14 @@ impl<S: Semiring, P: PermMaint<S>> QueryEngine<S, P> {
             (S::zero(), S::one())
         };
         if let Some(slot) = pos {
-            self.eval.set_input(slot, pv);
+            if *self.eval.slot_value(slot) != pv {
+                patches.push((slot, pv));
+            }
         }
         if let Some(slot) = neg {
-            self.eval.set_input(slot, nv);
+            if *self.eval.slot_value(slot) != nv {
+                patches.push((slot, nv));
+            }
         }
         true
     }

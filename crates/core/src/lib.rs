@@ -42,6 +42,7 @@
 //! `O(log |A|)` updates for general semirings, `O(1)` for rings and
 //! finite semirings.
 
+mod batch;
 mod compile;
 mod engine;
 mod qe;
@@ -49,6 +50,7 @@ mod shape;
 mod slots;
 mod term;
 
+pub use batch::{coalesce_updates, FxBuildHasher, FxHashSet, FxHasher};
 pub use compile::{compile, CompileOptions, CompileReport, CompiledQuery};
 pub use engine::{FiniteEngine, GeneralEngine, QueryEngine, RingEngine, TupleUpdate};
 pub use qe::eliminate_quantifiers;

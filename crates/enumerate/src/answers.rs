@@ -21,6 +21,10 @@ use agq_semiring::{Gen, Nat};
 use agq_structure::{Elem, RelId, Signature, Structure, Tuple, WeightId};
 use std::sync::Arc;
 
+/// The positive/negative indicator slots compiled for a tuple (either
+/// may be absent).
+type SlotPair = (Option<u32>, Option<u32>);
+
 /// Errors raised by answer-index updates.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum UpdateError {
@@ -220,13 +224,36 @@ impl AnswerIndex {
     /// Constant time, allocation-free (the indicator slots toggle in
     /// place). Fails if the index is static or the tuple is not a clique
     /// of the compile-time Gaifman graph (insertions only; removing a
-    /// never-representable tuple is a no-op).
+    /// never-representable tuple is a no-op). Net no-ops — membership
+    /// already at the target — short-circuit without invalidating
+    /// outstanding iterators. This is the batch path
+    /// ([`AnswerIndex::apply_batch`]) at size one.
     pub fn set_tuple(
         &mut self,
         r: RelId,
         tuple: &[Elem],
         present: bool,
     ) -> Result<(), UpdateError> {
+        let mut flips: [(u32, bool); 2] = [(0, false); 2];
+        let n = match self.stage_tuple(r, tuple, present)? {
+            Some(slots) => stage_flips(&self.machine, slots, present, &mut flips),
+            None => 0,
+        };
+        if n > 0 {
+            self.machine.set_input_bools(&flips[..n]);
+        }
+        Ok(())
+    }
+
+    /// Resolve the indicator slots of `(r, tuple)`, validating the update
+    /// without mutating anything: `Ok(None)` is the removing-a-never-
+    /// representable-tuple no-op.
+    fn stage_tuple(
+        &self,
+        r: RelId,
+        tuple: &[Elem],
+        present: bool,
+    ) -> Result<Option<SlotPair>, UpdateError> {
         if !self.dynamic {
             return Err(UpdateError::StaticIndex);
         }
@@ -241,15 +268,9 @@ impl AnswerIndex {
             if present {
                 return Err(UpdateError::NotGaifmanPreserving);
             }
-            return Ok(());
+            return Ok(None);
         }
-        if let Some(s) = pos {
-            self.machine.set_input_bool(s, present);
-        }
-        if let Some(s) = neg {
-            self.machine.set_input_bool(s, !present);
-        }
-        Ok(())
+        Ok(Some((pos, neg)))
     }
 
     /// Apply one database update *incrementally*: the support shadow is
@@ -261,10 +282,103 @@ impl AnswerIndex {
         self.set_tuple(u.rel, &u.tuple, u.present)
     }
 
+    /// Validate one update without applying it — the same checks as
+    /// [`AnswerIndex::apply_update`] (dynamic mode, Gaifman
+    /// preservation). The verdict depends only on the shared compiled
+    /// plan, so any index over the same query gives the same answer; the
+    /// sharded engine uses this to pre-validate a whole batch before
+    /// taking any write lock.
+    pub(crate) fn validate_update(&self, u: &TupleUpdate) -> Result<(), UpdateError> {
+        self.stage_tuple(u.rel, &u.tuple, u.present).map(|_| ())
+    }
+
+    /// Apply a whole batch of updates with **one** support sweep and one
+    /// iterator invalidation: updates are coalesced per `(rel, tuple)`
+    /// (the last one wins), net no-op flips are dropped against the
+    /// machine's presence bitset, and the surviving indicator flips go
+    /// through [`EnumMachine::set_input_bools`] in a single word-parallel
+    /// pass.
+    ///
+    /// The whole batch is validated **before** anything is applied: on
+    /// `Err` the index is unchanged (a batch is all-or-nothing, unlike a
+    /// manual loop over [`AnswerIndex::apply_update`], which stops at the
+    /// first offending update). Accepts `&[TupleUpdate]` or
+    /// `&[&TupleUpdate]`; returns the number of coalesced updates that
+    /// changed at least one indicator slot.
+    pub fn apply_batch<U: std::borrow::Borrow<TupleUpdate>>(
+        &mut self,
+        updates: &[U],
+    ) -> Result<usize, UpdateError> {
+        let mut coalesced = Vec::with_capacity(updates.len());
+        agq_core::coalesce_updates(updates, &mut coalesced);
+        self.apply_batch_coalesced(&coalesced)
+    }
+
+    /// [`AnswerIndex::apply_batch`] for a batch that is **already
+    /// coalesced** (at most one update per `(rel, tuple)`, e.g. by
+    /// [`agq_core::coalesce_updates`]) — skips the dedup pass so a stack
+    /// that coalesced at its top layer does not pay for it again here.
+    /// Tuples duplicated within `updates` are staged against the same
+    /// pre-batch state, so which duplicate wins is unspecified: callers
+    /// must guarantee distinctness.
+    pub fn apply_batch_coalesced(
+        &mut self,
+        updates: &[&TupleUpdate],
+    ) -> Result<usize, UpdateError> {
+        // Validate-and-resolve pass; nothing is mutated until it is
+        // complete.
+        let mut staged: Vec<(SlotPair, bool)> = Vec::new();
+        for u in updates {
+            if let Some(slots) = self.stage_tuple(u.rel, &u.tuple, u.present)? {
+                staged.push((slots, u.present));
+            }
+        }
+        let mut flips: Vec<(u32, bool)> = Vec::with_capacity(2 * staged.len());
+        let mut applied = 0usize;
+        for (slots, present) in staged {
+            let mut pair: [(u32, bool); 2] = [(0, false); 2];
+            let n = stage_flips(&self.machine, slots, present, &mut pair);
+            if n > 0 {
+                applied += 1;
+                flips.extend_from_slice(&pair[..n]);
+            }
+        }
+        if !flips.is_empty() {
+            self.machine.set_input_bools(&flips);
+        }
+        Ok(applied)
+    }
+
     /// The generator weight symbols (diagnostics).
     pub fn generator_weights(&self) -> &[WeightId] {
         &self.gen_weights
     }
+}
+
+/// Expand one staged tuple flip into indicator-slot flips, dropping
+/// slots already at their target presence (net no-ops). Returns how many
+/// entries of `out` were filled.
+fn stage_flips(
+    machine: &EnumMachine,
+    (pos, neg): SlotPair,
+    present: bool,
+    out: &mut [(u32, bool); 2],
+) -> usize {
+    let mut n = 0;
+    if let Some(s) = pos {
+        if machine.input_present(s) != present {
+            out[n] = (s, present);
+            n += 1;
+        }
+    }
+    if let Some(s) = neg {
+        // the negative indicator's target is the complement
+        if machine.input_present(s) == present {
+            out[n] = (s, !present);
+            n += 1;
+        }
+    }
+    n
 }
 
 fn bool_val(b: bool) -> InputVal {

@@ -371,12 +371,8 @@ impl EnumMachine {
         // then this row's entry summand
         if self.step(&mut rows[r].entry, dir) {
             excluded.push(rows[r].col);
-            let rest = self
-                .perm_build(gate, r + 1, excluded, dir)
-                .expect("invariant: same column set");
+            self.perm_reset_suffix(gate, rows, r + 1, excluded, dir);
             excluded.pop();
-            rows.truncate(r + 1);
-            rows.extend(rest);
             return true;
         }
         // then this row's column choice
@@ -391,15 +387,50 @@ impl EnumMachine {
                 entry: self.boundary(entry, dir).expect("entry supported"),
             };
             excluded.push(col);
-            let rest = self
-                .perm_build(gate, r + 1, excluded, dir)
-                .expect("viable candidate");
+            self.perm_reset_suffix(gate, rows, r + 1, excluded, dir);
             excluded.pop();
-            rows.truncate(r + 1);
-            rows.extend(rest);
             return true;
         }
         false
+    }
+
+    /// Reset rows `r1..` of a live permanent cursor to their boundary in
+    /// `dir`, **in place** — the incremental form of
+    /// [`Self::perm_build`]'s suffix rebuild. Column choices are
+    /// re-derived (deeper rows may sit mid-enumeration on non-boundary
+    /// columns), but rows whose boundary column matches their current one
+    /// keep their `PermRow` and reset the entry cursor in place, so the
+    /// common suffix-rebuild of a step allocates nothing. Succeeds by the
+    /// construction invariant (Hall's condition holds for the remaining
+    /// rows under the prefix exclusions).
+    fn perm_reset_suffix(
+        &self,
+        gate: u32,
+        rows: &mut [PermRow],
+        r1: usize,
+        excluded: &mut Vec<u32>,
+        dir: Dir,
+    ) {
+        let k = rows.len();
+        let ps = self.perm_support(gate);
+        for (i, row) in rows.iter_mut().enumerate().skip(r1) {
+            let (mask, col) = self
+                .candidate(&ps, i, excluded, None, dir)
+                .expect("invariant: suffix stays viable");
+            if row.col == col {
+                row.mask = mask;
+                self.reset(&mut row.entry, dir);
+            } else {
+                let entry = self.entry_gate(gate, i, col);
+                *row = PermRow {
+                    mask,
+                    col,
+                    entry: self.boundary(entry, dir).expect("entry supported"),
+                };
+            }
+            excluded.push(col);
+        }
+        excluded.truncate(excluded.len() - (k - r1));
     }
 
     /// Reset a cursor (of known shape) to its boundary in `dir`, reusing

@@ -120,6 +120,28 @@ impl<S: Semiring, P: PermMaint<S>> EnumQueryEngine<S, P> {
         Ok(())
     }
 
+    /// Apply a whole batch of updates to *both* sides with one coalesced
+    /// sweep each ([`AnswerIndex::apply_batch`] and
+    /// [`agq_core::QueryEngine::apply_batch`]): per-tuple coalescing, net
+    /// no-op dropping, and a single dirty propagation per side. The batch
+    /// is validated up front — on `Err` nothing is modified. Returns the
+    /// number of coalesced updates that changed the enumeration index.
+    ///
+    /// Coalescing runs **once**, here ([`agq_core::coalesce_updates`]);
+    /// the two sub-indexes only ever see the deduplicated slice, so on
+    /// hot-key churn batches the per-incoming-update cost is one hash,
+    /// not one per layer.
+    pub fn apply_batch<U: std::borrow::Borrow<TupleUpdate>>(
+        &mut self,
+        updates: &[U],
+    ) -> Result<usize, UpdateError> {
+        let mut coalesced = Vec::with_capacity(updates.len());
+        agq_core::coalesce_updates(updates, &mut coalesced);
+        let applied = self.index.apply_batch_coalesced(&coalesced)?;
+        self.engine.apply_batch_coalesced(&coalesced);
+        Ok(applied)
+    }
+
     /// [`EnumQueryEngine::apply_update`] followed by a fresh
     /// [`EnumQueryEngine::enumerate`]: the enumerate-after-update flow of
     /// Theorem 24, as one call.

@@ -88,6 +88,38 @@
 //! 4. **Cursor invalidation** — every update bumps the machine version;
 //!    outstanding iterators panic instead of yielding stale answers.
 //!
+//! # Batched updates and coalescing
+//!
+//! The whole update stack has a batch form, one coalesced sweep per
+//! layer instead of per-update cascades:
+//!
+//! * [`machine::EnumMachine::set_input_bools`] stages 0/1 indicator
+//!   flips into `u64` words of a presence bitset (later flips of a slot
+//!   win), computes the changed set word-at-a-time as
+//!   `(current ^ desired) & touched`, seeds only actually-changed slots,
+//!   and repairs the support shadow with **one** dirty-propagation sweep
+//!   and one version bump. "Dirty" across a batch means a gate is queued
+//!   when any child's support flips and settles exactly once — the queue
+//!   pops in ascending gate id, a topological order (children precede
+//!   parents in the arena), so interleaving the cones of all batched
+//!   flips cannot reorder a parent before a child. Gates shared by
+//!   several cones settle once per batch, which is the throughput win.
+//! * [`answers::AnswerIndex::apply_batch`] coalesces [`agq_core::TupleUpdate`]s
+//!   per `(rel, tuple)` (the last wins), drops net no-op flips against
+//!   the presence bitset, validates the whole batch *before* mutating
+//!   anything (all-or-nothing, unlike a manual `apply_update` loop), and
+//!   funnels the surviving flips through one `set_input_bools` call.
+//! * [`shard::ShardedEngine::apply_batch`] groups the coalesced batch by
+//!   owning shard, pre-validates against the shared plan under one read
+//!   lock, then takes each shard's write lock exactly once and applies
+//!   the shard groups in parallel.
+//!
+//! The single-update paths (`set_input_bool`, `set_tuple`,
+//! `apply_update`) are the batch paths at size one — there is no second
+//! cascade implementation to diverge from. One relaxation rides along:
+//! net no-op updates short-circuit *without* bumping the version, so
+//! they no longer invalidate outstanding iterators.
+//!
 //! [`cursor`] implements the bidirectional cursor; [`provenance`]
 //! packages result (C); [`engine`] fronts point queries, enumeration,
 //! and updates with one [`engine::EnumQueryEngine`] API.

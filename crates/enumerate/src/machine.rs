@@ -413,6 +413,14 @@ pub struct EnumMachine {
     perms: PermPool,
     /// Reused dirty queue (drained after every update).
     dirty: BinaryHeap<std::cmp::Reverse<u32>>,
+    /// Presence bitset over slots: bit `slot` is set iff the slot's value
+    /// is nonzero (a non-empty summand list). Lets batched 0/1 flips
+    /// compute the changed set word-at-a-time.
+    slot_bits: Vec<u64>,
+    /// Reused batch staging: `(word index, touched mask, desired mask)`.
+    flip_words: Vec<(u32, u64, u64)>,
+    /// Reused batch staging: slot-sorted copy of the incoming flips.
+    flip_scratch: Vec<(u32, bool)>,
     /// Bumped on every update; outstanding cursors become invalid.
     pub(crate) version: u64,
 }
@@ -474,6 +482,12 @@ impl EnumMachine {
                 }
             };
         }
+        let mut slot_bits = vec![0u64; input_vals.len().div_ceil(64)];
+        for (slot, v) in input_vals.iter().enumerate() {
+            if !v.is_empty() {
+                slot_bits[slot / 64] |= 1 << (slot % 64);
+            }
+        }
         EnumMachine {
             plan,
             input_vals,
@@ -481,6 +495,9 @@ impl EnumMachine {
             add_sup,
             perms,
             dirty: BinaryHeap::new(),
+            slot_bits,
+            flip_words: Vec::new(),
+            flip_scratch: Vec::new(),
             version: 0,
         }
     }
@@ -527,6 +544,12 @@ impl EnumMachine {
     pub fn set_input(&mut self, slot: u32, value: InputVal) {
         let new_support = !value.is_empty();
         self.input_vals[slot as usize] = value;
+        let (w, bit) = (slot as usize / 64, 1u64 << (slot % 64));
+        if new_support {
+            self.slot_bits[w] |= bit;
+        } else {
+            self.slot_bits[w] &= !bit;
+        }
         self.refresh_slot(slot, new_support);
     }
 
@@ -534,17 +557,94 @@ impl EnumMachine {
     /// `false` the empty sum `0`. Unlike [`EnumMachine::set_input`] this
     /// reuses the slot's existing buffers, so toggling relation
     /// indicators (the [Lemma 40] dynamic-atom slots) allocates nothing.
+    /// This is [`EnumMachine::set_input_bools`] at batch size one.
     ///
     /// [Lemma 40]: crate::answers
     pub fn set_input_bool(&mut self, slot: u32, present: bool) {
-        let v = &mut self.input_vals[slot as usize];
-        v.clear();
-        if present {
-            // `Vec::new()` does not allocate, and the outer push reuses
-            // the slot's retained capacity after the first toggle.
-            v.push(Vec::new());
+        self.set_input_bools(&[(slot, present)]);
+    }
+
+    /// Whether a slot currently holds a nonzero value (for 0/1 indicator
+    /// slots: whether the tuple is present). Served from the presence
+    /// bitset, so batch callers can drop net no-op flips without touching
+    /// the summand buffers.
+    pub fn input_present(&self, slot: u32) -> bool {
+        self.slot_bits[slot as usize / 64] >> (slot % 64) & 1 == 1
+    }
+
+    /// Apply a batch of 0/1 slot flips with **one** dirty-propagation
+    /// sweep and one version bump. Flips are staged into `u64` words of
+    /// the presence bitset (later flips of the same slot win), the changed
+    /// set is computed word-at-a-time as `(current XOR desired) AND
+    /// touched`, and only actually-changed slots seed the sweep — a flip
+    /// to the current presence costs one bit test. The single sweep is
+    /// sound for the same reason as in `agq_circuit::dynamic`: the dirty
+    /// queue pops in ascending gate id, which is a topological order, so
+    /// gates shared by several flip cones settle once per batch.
+    pub fn set_input_bools(&mut self, flips: &[(u32, bool)]) {
+        self.version += 1;
+        let mut words = std::mem::take(&mut self.flip_words);
+        words.clear();
+        // Stage per-word masks from a slot-sorted copy: the stable sort
+        // keeps input order within a slot, so applying entries in order
+        // makes the *last* flip of each slot win, and every flip lands in
+        // the trailing word entry (no per-flip scan of `words`).
+        let mut sorted = std::mem::take(&mut self.flip_scratch);
+        sorted.clear();
+        sorted.extend_from_slice(flips);
+        sorted.sort_by_key(|&(slot, _)| slot);
+        for &(slot, present) in &sorted {
+            let w = slot / 64;
+            let bit = 1u64 << (slot % 64);
+            match words.last_mut() {
+                Some(e) if e.0 == w => {
+                    e.1 |= bit;
+                    if present {
+                        e.2 |= bit;
+                    } else {
+                        e.2 &= !bit;
+                    }
+                }
+                _ => words.push((w, bit, if present { bit } else { 0 })),
+            }
         }
-        self.refresh_slot(slot, present);
+        self.flip_scratch = sorted;
+        let mut dirty = std::mem::take(&mut self.dirty);
+        for &(w, touched, desired) in &words {
+            let cur = self.slot_bits[w as usize];
+            let changed = (cur ^ desired) & touched;
+            self.slot_bits[w as usize] = (cur & !touched) | (desired & touched);
+            // Normalize the summand buffer of every touched slot to the
+            // 0/1 form a sequential `set_input_bool` pass would leave
+            // behind; seed the sweep only from slots whose presence
+            // actually changed.
+            let mut rem = touched;
+            while rem != 0 {
+                let b = rem.trailing_zeros();
+                rem &= rem - 1;
+                let slot = w * 64 + b;
+                let present = desired >> b & 1 == 1;
+                let v = &mut self.input_vals[slot as usize];
+                v.clear();
+                if present {
+                    // `Vec::new()` does not allocate, and the outer push
+                    // reuses the slot's retained capacity.
+                    v.push(Vec::new());
+                }
+                if changed >> b & 1 == 1 {
+                    for i in 0..self.plan.slot_gates.row(slot as usize).len() {
+                        let g = self.plan.slot_gates.row(slot as usize)[i];
+                        if self.support[g as usize] != present {
+                            self.support[g as usize] = present;
+                            self.notify_parents(g, &mut dirty);
+                        }
+                    }
+                }
+            }
+        }
+        self.drain_dirty(&mut dirty);
+        self.dirty = dirty;
+        self.flip_words = words;
     }
 
     /// Propagate a slot's (possibly changed) support through the shadow.
@@ -560,6 +660,13 @@ impl EnumMachine {
                 self.notify_parents(g, &mut dirty);
             }
         }
+        self.drain_dirty(&mut dirty);
+        self.dirty = dirty;
+    }
+
+    /// Drain the dirty queue: ascending gate ids (topological), each gate
+    /// settled at most once per sweep.
+    fn drain_dirty(&mut self, dirty: &mut BinaryHeap<std::cmp::Reverse<u32>>) {
         while let Some(std::cmp::Reverse(g)) = dirty.pop() {
             if dirty.peek() == Some(&std::cmp::Reverse(g)) {
                 continue;
@@ -567,10 +674,9 @@ impl EnumMachine {
             let new = self.recompute_support(g);
             if self.support[g as usize] != new {
                 self.support[g as usize] = new;
-                self.notify_parents(g, &mut dirty);
+                self.notify_parents(g, dirty);
             }
         }
-        self.dirty = dirty;
     }
 
     fn notify_parents(&mut self, g: u32, dirty: &mut BinaryHeap<std::cmp::Reverse<u32>>) {
@@ -767,6 +873,65 @@ mod tests {
         let mach = EnumMachine::new(c, vec![vec![gen(1), gen(2)], vec![gen(3), gen(4), gen(5)]]);
         // (2 + 3) * 3 = 15
         assert_eq!(mach.count_summands(), 15);
+    }
+
+    #[test]
+    fn batched_bool_flips_match_sequential() {
+        // 140 slots (three bitset words): out = Σ_i x_{2i}·x_{2i+1}
+        let n = 140u32;
+        let mut b = CircuitBuilder::new();
+        let prods: Vec<_> = (0..n / 2)
+            .map(|i| {
+                let a = b.input(2 * i);
+                let c = b.input(2 * i + 1);
+                b.mul(a, c)
+            })
+            .collect();
+        let s = b.add(&prods);
+        let c = Arc::new(b.finish(s));
+        let init: Vec<InputVal> = (0..n)
+            .map(|i| if i % 3 == 0 { gens(&[1]) } else { vec![] })
+            .collect();
+        let mut batched = EnumMachine::new(c.clone(), init.clone());
+        let mut sequential = EnumMachine::new(c.clone(), init.clone());
+        let mut vals = init;
+        // deterministic pseudo-random flips, duplicates included
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for round in 0..20 {
+            let mut batch: Vec<(u32, bool)> = Vec::new();
+            for _ in 0..(round % 7) + 1 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let slot = (x >> 33) as u32 % n;
+                let present = x & 1 == 1;
+                batch.push((slot, present));
+            }
+            batched.set_input_bools(&batch);
+            for &(slot, present) in &batch {
+                sequential.set_input_bool(slot, present);
+                vals[slot as usize] = if present { vec![Vec::new()] } else { vec![] };
+            }
+            let fresh = EnumMachine::new(c.clone(), vals.clone());
+            for g in 0..c.gates().len() {
+                assert_eq!(
+                    batched.support[g], sequential.support[g],
+                    "round {round}, gate {g}: batch vs sequential"
+                );
+                assert_eq!(
+                    batched.support[g], fresh.support[g],
+                    "round {round}, gate {g}: batch vs rebuild"
+                );
+            }
+            for slot in 0..n {
+                assert_eq!(batched.input(slot), sequential.input(slot), "slot {slot}");
+                assert_eq!(
+                    batched.input_present(slot),
+                    !vals[slot as usize].is_empty(),
+                    "bitset tracks presence"
+                );
+            }
+        }
     }
 
     #[test]

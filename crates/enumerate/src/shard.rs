@@ -56,8 +56,16 @@ use agq_logic::{normalize, Expr, Formula};
 use agq_perm::SegTreePerm;
 use agq_semiring::Semiring;
 use agq_structure::gaifman::GaifmanComponents;
-use agq_structure::{Elem, Structure, WeightedStructure};
-use std::sync::{Arc, RwLock};
+use agq_structure::{Elem, RelId, Structure, WeightedStructure};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// `std::thread::available_parallelism()` re-reads cgroup limits from the
+/// filesystem on every call (~10µs on Linux) — far too slow for per-batch
+/// dispatch decisions. Resolve it once per process.
+pub(crate) fn available_cores() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
 
 /// One shard's mutable state: a point-query evaluator state and an
 /// enumeration index state, both over the engine-wide shared plans.
@@ -225,10 +233,24 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
             .enumerate()
             .filter(|(_, g)| !g.is_empty())
             .collect();
-        let workers = std::thread::available_parallelism()
-            .map_or(1, |n| n.get())
-            .min(work.len())
-            .max(1);
+        let workers = available_cores().min(work.len()).max(1);
+        if workers == 1 {
+            // one core (or one shard group): answer on the calling thread
+            // instead of paying a thread spawn
+            let mut scratch = PeekScratch::new();
+            let mut patches = Vec::new();
+            for (s, g) in &work {
+                let shard = self.shards[*s].read().expect("shard lock");
+                for &i in g {
+                    out[i] = Some(
+                        shard
+                            .engine
+                            .query_with(tuples[i], &mut scratch, &mut patches),
+                    );
+                }
+            }
+            return out.into_iter().map(|v| v.expect("all filled")).collect();
+        }
         let chunk = work.len().div_ceil(workers);
         let results: Vec<(Vec<usize>, Vec<S>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = work
@@ -291,6 +313,96 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
         shard.index.apply_update(u)?;
         shard.engine.apply_update(u);
         Ok(())
+    }
+
+    /// Apply a whole batch of Gaifman-preserving updates: the batch is
+    /// coalesced per `(rel, tuple)` (the last update wins, cross-shard
+    /// removals are dropped as no-ops), grouped by owning shard, and the
+    /// non-empty shard groups are applied **in parallel** — each shard's
+    /// write lock is taken exactly once and absorbs its whole group with
+    /// one coalesced sweep per side ([`AnswerIndex::apply_batch`] /
+    /// [`agq_core::QueryEngine::apply_batch`]).
+    ///
+    /// The batch is all-or-nothing: every update is validated against the
+    /// shared compiled plan (one read-lock probe) *before* any write lock
+    /// is taken, so on `Err` no shard has been modified — unlike a manual
+    /// loop over [`ShardedEngine::apply_update`], which stops at the
+    /// first offending update. Returns the number of coalesced updates
+    /// that changed an enumeration index.
+    pub fn apply_batch(&self, updates: &[TupleUpdate]) -> Result<usize, UpdateError>
+    where
+        P: Send + Sync,
+    {
+        // Coalesce per (rel, tuple) and route: walk backwards so the last
+        // update wins.
+        let mut seen: agq_core::FxHashSet<(RelId, &[Elem])> =
+            agq_core::FxHashSet::with_capacity_and_hasher(updates.len(), Default::default());
+        let mut groups: Vec<Vec<&TupleUpdate>> = vec![Vec::new(); self.shards.len()];
+        for u in updates.iter().rev() {
+            if !seen.insert((u.rel, &u.tuple[..])) {
+                continue;
+            }
+            match self.route(&u.tuple) {
+                Route::Shard(s) => groups[s].push(u),
+                Route::Cross => {
+                    // see apply_update: inserting a shard-spanning tuple
+                    // is never Gaifman-preserving, removing one is a no-op
+                    if u.present {
+                        return Err(UpdateError::NotGaifmanPreserving);
+                    }
+                }
+            }
+        }
+        // Pre-validate the whole batch before mutating anything. The
+        // verdict depends only on the shared plan, so one shard's index
+        // can vouch for every group.
+        {
+            let probe = self.shards[0].read().expect("shard lock");
+            for u in groups.iter().flatten() {
+                probe.index.validate_update(u)?;
+            }
+        }
+        let work: Vec<(usize, &[&TupleUpdate])> = groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(s, g)| (s, g.as_slice()))
+            .collect();
+        if work.is_empty() {
+            return Ok(0);
+        }
+        // Each group is already distinct per tuple (the coalescing pass
+        // above), so the shards take the coalesced entry points.
+        let apply_group = |(s, g): &(usize, &[&TupleUpdate])| {
+            let mut shard = self.shards[*s].write().expect("shard lock");
+            let n = shard
+                .index
+                .apply_batch_coalesced(g)
+                .expect("batch was pre-validated");
+            shard.engine.apply_batch_coalesced(g);
+            n
+        };
+        let workers = available_cores().min(work.len()).max(1);
+        // Spawning threads costs tens of microseconds — far more than a
+        // typical shard group. Apply on the calling thread unless there is
+        // real parallelism to exploit.
+        if workers == 1 {
+            return Ok(work.iter().map(apply_group).sum());
+        }
+        let chunk = work.len().div_ceil(workers);
+        let applied = std::thread::scope(|scope| {
+            let handles: Vec<_> = work
+                .chunks(chunk)
+                .map(|assigned| {
+                    scope.spawn(move || assigned.iter().map(apply_group).sum::<usize>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard batch worker"))
+                .sum()
+        });
+        Ok(applied)
     }
 
     /// Number of answers, summed over the shards.

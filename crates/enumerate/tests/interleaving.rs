@@ -196,3 +196,116 @@ proptest! {
         run_backend::<Bool, FiniteMaint<Bool>>(w, &steps);
     }
 }
+
+// ---------------------------------------------------------------------
+// Batch-ingestion differential: apply_batch ≡ one-by-one ≡ rebuild.
+// ---------------------------------------------------------------------
+
+/// Drive one backend through the script in chunks of `batch_size`,
+/// asserting after every chunk that `apply_batch` on one engine agrees
+/// with a one-by-one `apply_update` loop on a second engine and with a
+/// full rebuild over the shadow database.
+fn run_backend_batched<S: Semiring, P: PermMaint<S>>(
+    mut w: World,
+    steps: &[(u32, u32, bool)],
+    batch_size: usize,
+) {
+    let opts = CompileOptions::default();
+    let arc = Arc::new(w.shadow.clone());
+    let mut batched: EnumQueryEngine<S, P> =
+        EnumQueryEngine::build_dynamic(&arc, &w.phi, &opts).expect("build_dynamic");
+    let mut sequential: EnumQueryEngine<S, P> =
+        EnumQueryEngine::build_dynamic(&arc, &w.phi, &opts).expect("build_dynamic");
+    for (bi, chunk) in steps.chunks(batch_size.max(1)).enumerate() {
+        let batch: Vec<TupleUpdate> = chunk
+            .iter()
+            .map(|&(kind, pick, present)| resolve_step(&w, kind, pick, present))
+            .collect();
+        for u in &batch {
+            if u.present {
+                w.shadow.insert(u.rel, &u.tuple);
+            } else {
+                w.shadow.remove(u.rel, &u.tuple);
+            }
+        }
+        batched.apply_batch(&batch).expect("gaifman-preserving");
+        for u in &batch {
+            sequential.apply_update(u).expect("gaifman-preserving");
+        }
+        let got = collect_sorted_iter(batched.enumerate());
+        let one_by_one = collect_sorted_iter(sequential.enumerate());
+        assert_eq!(
+            &got, &one_by_one,
+            "batch {bi}: apply_batch ≠ apply_update loop"
+        );
+        let rebuilt = AnswerIndex::build_dynamic(&w.shadow, &w.phi, &opts).expect("rebuild");
+        let mut expect = Vec::new();
+        let mut it = rebuilt.iter();
+        while let Some(t) = it.next() {
+            expect.push(t);
+        }
+        expect.sort();
+        assert_eq!(&got, &expect, "batch {bi}: apply_batch ≠ rebuild");
+        for t in got.iter().take(4) {
+            assert_eq!(
+                batched.query(t),
+                S::one(),
+                "batch {bi}: point query at {t:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Batches of every size (including duplicates of one tuple within a
+    /// batch — coalesced last-wins) agree with sequential application and
+    /// a fresh rebuild, on all three backends.
+    #[test]
+    fn apply_batch_matches_sequential_all_backends(
+        n in 6usize..12,
+        edges in pvec((0u32..16, 0u32..16), 6..24),
+        steps in pvec((0u32..4, 0u32..64, any::<bool>()), 4..24),
+        batch_size in 1usize..9,
+    ) {
+        let Some(w) = world(n, &edges) else { return };
+        run_backend_batched::<Nat, SegTreePerm<Nat>>(
+            world(n, &edges).expect("same world"), &steps, batch_size);
+        run_backend_batched::<Int, RingMaint<Int>>(
+            world(n, &edges).expect("same world"), &steps, batch_size);
+        run_backend_batched::<Bool, FiniteMaint<Bool>>(w, &steps, batch_size);
+    }
+}
+
+/// Mutually-cancelling flips inside one batch: the last update per tuple
+/// wins, and a batch that nets out to the current state applies nothing
+/// (and does not invalidate outstanding iterators).
+#[test]
+fn cancelling_flips_coalesce() {
+    let w = world(8, &[(0, 1), (1, 2), (2, 3), (3, 4)]).expect("world");
+    let arc = Arc::new(w.shadow.clone());
+    let opts = CompileOptions::default();
+    let mut eng: EnumQueryEngine<Nat, SegTreePerm<Nat>> =
+        EnumQueryEngine::build_dynamic(&arc, &w.phi, &opts).expect("build_dynamic");
+    let t = w.e_tuples[0];
+    let before = collect_sorted_iter(eng.enumerate());
+    // present tuple: remove-then-insert nets to no change at all
+    let batch = vec![TupleUpdate::remove(w.e, &t), TupleUpdate::insert(w.e, &t)];
+    let applied = eng.apply_batch(&batch).expect("gaifman-preserving");
+    assert_eq!(applied, 0, "net no-op batch applies nothing");
+    assert_eq!(collect_sorted_iter(eng.enumerate()), before);
+    // insert-then-remove: the remove wins
+    let batch = vec![TupleUpdate::insert(w.e, &t), TupleUpdate::remove(w.e, &t)];
+    eng.apply_batch(&batch).expect("gaifman-preserving");
+    let mut shadow = w.shadow.clone();
+    shadow.remove(w.e, &t);
+    let rebuilt = AnswerIndex::build_dynamic(&shadow, &w.phi, &opts).expect("rebuild");
+    let mut expect = Vec::new();
+    let mut it = rebuilt.iter();
+    while let Some(x) = it.next() {
+        expect.push(x);
+    }
+    expect.sort();
+    assert_eq!(collect_sorted_iter(eng.enumerate()), expect);
+}

@@ -11,7 +11,7 @@
 
 use agq_circuit::{FiniteMaint, PermMaint, RingMaint};
 use agq_core::{CompileOptions, TupleUpdate};
-use agq_enumerate::{AnswerIndex, EnumQueryEngine, ShardedEngine};
+use agq_enumerate::{AnswerIndex, EnumQueryEngine, ShardedEngine, UpdateError};
 use agq_logic::{Formula, Var};
 use agq_perm::SegTreePerm;
 use agq_semiring::{Bool, Int, Nat, Semiring};
@@ -264,6 +264,131 @@ proptest! {
             prop_assert_eq!(collect(&shared[i]), collect(&independent[i]));
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Batched ingestion across shards.
+// ---------------------------------------------------------------------
+
+/// `ShardedEngine::apply_batch` with batches straddling shards must agree
+/// with one-by-one sharded application and with a flat engine absorbing
+/// the same updates, on all three backends. Batches mix relations,
+/// duplicate tuples (last wins) and guaranteed mutually-cancelling flips.
+fn sharded_batch_matches_sequential<S, P>(seed: u64)
+where
+    S: Semiring + PartialEq,
+    P: PermMaint<S> + Send + Sync,
+{
+    let w = clustered_world(4, 6, seed);
+    let (x, y) = (Var(0), Var(1));
+    let phi = Formula::Rel(w.e, vec![x, y]).and(Formula::Rel(w.s, vec![x]));
+    let opts = CompileOptions::default();
+    let batched: ShardedEngine<S, P> = ShardedEngine::build(&w.a, &phi, &opts, 0).unwrap();
+    let sequential: ShardedEngine<S, P> = ShardedEngine::build(&w.a, &phi, &opts, 0).unwrap();
+    let mut flat: EnumQueryEngine<S, P> =
+        EnumQueryEngine::build_dynamic(&w.a, &phi, &opts).unwrap();
+    assert!(batched.num_shards() > 1, "world must actually shard");
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+    for round in 0..6 {
+        // a batch touching several components at once
+        let mut batch = Vec::new();
+        for _ in 0..12 {
+            if rng.gen_bool(0.4) {
+                batch.push(TupleUpdate {
+                    rel: w.s,
+                    tuple: vec![rng.gen_range(0..w.n)],
+                    present: rng.gen_bool(0.5),
+                });
+            } else {
+                let t = w.e_tuples[rng.gen_range(0..w.e_tuples.len())];
+                batch.push(TupleUpdate {
+                    rel: w.e,
+                    tuple: t.to_vec(),
+                    present: rng.gen_bool(0.5),
+                });
+            }
+        }
+        // guaranteed cancelling pair on one tuple: the remove wins
+        let t = w.e_tuples[rng.gen_range(0..w.e_tuples.len())];
+        batch.push(TupleUpdate::insert(w.e, &t));
+        batch.push(TupleUpdate::remove(w.e, &t));
+
+        batched.apply_batch(&batch).unwrap();
+        for u in &batch {
+            sequential.apply_update(u).unwrap();
+            flat.apply_update(u).unwrap();
+        }
+        let expect = sorted(collect_engine(&flat));
+        assert_eq!(
+            sorted(batched.collect_answers()),
+            expect,
+            "round {round}: batched sharded ≠ flat"
+        );
+        assert_eq!(
+            sorted(sequential.collect_answers()),
+            expect,
+            "round {round}: sequential sharded ≠ flat"
+        );
+        assert_eq!(batched.count(), expect.len() as u64);
+    }
+}
+
+#[test]
+fn sharded_batch_differential_general() {
+    sharded_batch_matches_sequential::<Nat, SegTreePerm<Nat>>(21);
+}
+
+#[test]
+fn sharded_batch_differential_ring() {
+    sharded_batch_matches_sequential::<Int, RingMaint<Int>>(22);
+}
+
+#[test]
+fn sharded_batch_differential_finite() {
+    sharded_batch_matches_sequential::<Bool, FiniteMaint<Bool>>(23);
+}
+
+/// A batch containing a cross-shard insert is rejected whole: the error
+/// surfaces before any update in the batch is applied, even ones routed
+/// to other shards. Cross-shard removes are dropped as no-ops and the
+/// rest of the batch still applies.
+#[test]
+fn sharded_batch_is_all_or_nothing() {
+    let w = clustered_world(3, 4, 31);
+    let (x, y) = (Var(0), Var(1));
+    let phi = Formula::Rel(w.e, vec![x, y]).and(Formula::Rel(w.s, vec![x]));
+    let opts = CompileOptions::default();
+    let eng: ShardedEngine<Nat, SegTreePerm<Nat>> =
+        ShardedEngine::build(&w.a, &phi, &opts, 0).unwrap();
+    assert!(eng.num_shards() > 1);
+    let before = sorted(eng.collect_answers());
+    let t = w.e_tuples[0];
+    let cross = [0u32, w.n - 1]; // first and last cluster: spans shards
+    let batch = vec![
+        TupleUpdate::remove(w.e, &t), // would change state if applied
+        TupleUpdate::insert(w.e, &cross),
+    ];
+    assert_eq!(
+        eng.apply_batch(&batch),
+        Err(UpdateError::NotGaifmanPreserving)
+    );
+    assert_eq!(
+        sorted(eng.collect_answers()),
+        before,
+        "rejected batch must leave no partial application"
+    );
+    // cross-shard removes are no-ops; the in-shard remove still applies
+    let batch = vec![
+        TupleUpdate::remove(w.e, &cross),
+        TupleUpdate::remove(w.e, &t),
+    ];
+    let applied = eng.apply_batch(&batch).unwrap();
+    assert_eq!(applied, 1, "only the in-shard remove touches slots");
+    let mut flat: EnumQueryEngine<Nat, SegTreePerm<Nat>> =
+        EnumQueryEngine::build_dynamic(&w.a, &phi, &opts).unwrap();
+    flat.apply_update(&TupleUpdate::remove(w.e, &t)).unwrap();
+    assert_eq!(sorted(eng.collect_answers()), sorted(collect_engine(&flat)));
 }
 
 // ---------------------------------------------------------------------
