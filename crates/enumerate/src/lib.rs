@@ -60,10 +60,15 @@
 //! compile-time Gaifman graph) routes every [`agq_core::TupleUpdate`] to
 //! the single shard owning its (clique) tuple; batched point queries
 //! fan out one worker per shard under read locks; per-shard enumeration
-//! streams merge into one globally ordered stream. Admission is the
-//! conservative `Formula::answers_component_local` check — formulas
-//! whose answers could span components run on one shard (correct,
-//! unsharded).
+//! streams chain into one **global rank order** (shard id, then the
+//! shard's native cursor order) under a consistent all-shards snapshot —
+//! cross-shard readers take every shard read lock in shard order, and
+//! `apply_batch` holds all affected write locks simultaneously in that
+//! same order, so a snapshot never observes half a batch. Admission is
+//! the conservative [`agq_logic::Formula::answers_component_local`]
+//! check — the arity-≥-1 rule lives there, not in the engine — and
+//! formulas whose answers could span components (including all closed
+//! formulas) run on one shard (correct, unsharded).
 //!
 //! # `AnswerIndex` invariants
 //!
@@ -119,6 +124,55 @@
 //! cascade implementation to diverge from. One relaxation rides along:
 //! net no-op updates short-circuit *without* bumping the version, so
 //! they no longer invalidate outstanding iterators.
+//!
+//! # Direct access: `answer(k)` and the count-maintenance invariant
+//!
+//! [`answers::AnswerIndex::answer`] returns the `k`-th answer in cursor
+//! order without enumerating the first `k`. It descends the circuit
+//! once, spending O(1) work per gate on the root-to-leaf path (plus one
+//! Lemma 23 row recursion per permanent gate): at an addition gate the
+//! owning child is found by rank inside the live supported-children
+//! list, at a multiplication gate by div/mod on the right factor's
+//! count, and at a permanent gate by walking the row's viable columns,
+//! each contributing a block of `cnt(entry) × perm(rest)` ranks. The
+//! counts that drive the descent are the **ℕ-semiring evaluation** of
+//! the same circuit (slot value = summand-list length), held in a lazy
+//! side evaluator:
+//!
+//! * **Count-maintenance invariant** — every slot mutation
+//!   (`set_input`, and each slot touched by a `set_input_bools` batch
+//!   sweep) appends a `(slot, new_count)` patch to a pending list; the
+//!   next count read flushes all pending patches through one batched
+//!   delta sweep (`set_inputs_delta` — addition gates settle from
+//!   accumulated child deltas instead of re-summing data-sized
+//!   fan-ins) and bumps a `count_version`. Between flushes the
+//!   evaluator may be stale, but no rank query can observe it: every
+//!   descent first acquires the flushed state. The cost model is
+//!   write-cheap, read-pays: appends are O(1) per update, while the
+//!   flush sweeps the accumulated updates' whole gate cone — counts
+//!   change all the way to the root, so that sweep is irreducible
+//!   under any repair schedule; laziness batches it across updates and
+//!   moves it off the write path.
+//! * **Derived caches version out, not patch out** — wide addition
+//!   gates keep a per-gate prefix-sum table over their live supported
+//!   children so the rank descent binary-searches instead of scanning
+//!   a data-sized fan-in. Each table is stamped with the
+//!   `count_version` that built it and is rebuilt lazily on first use
+//!   after any flush; there is no incremental patching of derived
+//!   tables to get wrong.
+//!
+//! **Overflow policy**: counts live in `Nat` (wrapping `u64`). Answer
+//! counts wrap at 2⁶⁴; ranks — and therefore `answer(k)`,
+//! `answer_range`, and `sample` — are exact whenever the true answer
+//! count fits in a `u64`, which is also the addressable range of
+//! `k: u64`. Beyond 2⁶⁴ answers the count is the true count mod 2⁶⁴
+//! and direct access is unspecified (enumeration itself is unaffected:
+//! cursors never consult counts).
+//!
+//! On the sharded engine, shards own contiguous global-rank intervals,
+//! so [`shard::ShardedEngine::answer`] subtracts per-shard counts under
+//! the all-shards snapshot until it finds the owning shard, then
+//! delegates — O(#shards + depth) per access.
 //!
 //! [`cursor`] implements the bidirectional cursor; [`provenance`]
 //! packages result (C); [`engine`] fronts point queries, enumeration,

@@ -27,11 +27,11 @@
 //! a column between buckets is an O(1) splice in flat memory, with no
 //! per-gate, per-mask `Vec`s anywhere.
 
-use agq_circuit::{Circuit, ConstRef, Csr, CsrBuilder, GateDef};
+use agq_circuit::{Circuit, ConstRef, Csr, CsrBuilder, GateDef, GateId, GeneralEvaluator};
 use agq_perm::support::sdr_exists;
-use agq_semiring::Gen;
+use agq_semiring::{Gen, Nat};
 use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// An input value in the free semiring: a list of summand monomials,
 /// each a (not necessarily sorted) list of generators. The empty list is
@@ -196,6 +196,72 @@ fn idx_opt(i: u32) -> Option<u32> {
         None
     } else {
         Some(i)
+    }
+}
+
+/// Lazily maintained per-gate summand counts: the circuit evaluated in ℕ
+/// with every input slot replaced by its summand-list length, kept
+/// incrementally correct by a [`GeneralEvaluator`] (its `SegTreePerm<Nat>`
+/// backends double as the row-subset rest-count oracle of rank descent).
+///
+/// The evaluator is **not** repaired eagerly on every update — that would
+/// tax ingestion whether or not ranks are ever read. Instead the support
+/// sweep records `(slot, new count)` patches into `pending` (one `Vec`
+/// push per changed slot), and the first rank read flushes them through
+/// one batched topological sweep ([`GeneralEvaluator::set_inputs`]).
+/// Until the first read nothing is built at all; the initial build reads
+/// the current summand lengths directly.
+pub(crate) struct CountState {
+    /// `None` until the first rank/count read.
+    pub(crate) eval: Option<GeneralEvaluator<Nat>>,
+    /// Slot count patches recorded since the last flush (only while
+    /// `eval` is built; later entries for a slot win).
+    pending: Vec<(u32, Nat)>,
+    /// Bumped on every flush (and rebuild) — invalidates the cached
+    /// prefix-sum tables below.
+    count_version: u64,
+    /// Per-`Add`-gate prefix sums of live-child counts in `nz` order,
+    /// built lazily for wide gates so rank descent binary-searches the
+    /// owning child instead of scanning a data-sized fan-in (the
+    /// `Add`-gate "prefix-sum table" of direct access). Stale entries
+    /// (older `version`) are rebuilt on touch.
+    add_prefix: std::collections::HashMap<u32, AddPrefix, agq_core::FxBuildHasher>,
+}
+
+/// One cached `Add`-gate prefix table (see [`CountState::add_prefix`]).
+struct AddPrefix {
+    version: u64,
+    /// `prefix[i]` = Σ counts of `nz[0..=i]` children (wrapping).
+    prefix: Vec<u64>,
+}
+
+impl CountState {
+    /// The count evaluator (callers go through [`EnumMachine::counts`],
+    /// which guarantees it is built and flushed).
+    pub(crate) fn eval(&self) -> &GeneralEvaluator<Nat> {
+        self.eval.as_ref().expect("built by counts()")
+    }
+
+    /// The prefix-sum table of add gate `gate` over its live children
+    /// `nz` (positions into `kids`), rebuilt if an update flush happened
+    /// since it was cached.
+    pub(crate) fn add_prefix_for(&mut self, gate: u32, nz: &[u32], kids: &[GateId]) -> &[u64] {
+        let version = self.count_version;
+        let eval = self.eval.as_ref().expect("built by counts()");
+        let entry = self.add_prefix.entry(gate).or_insert(AddPrefix {
+            version: u64::MAX,
+            prefix: Vec::new(),
+        });
+        if entry.version != version || entry.prefix.len() != nz.len() {
+            entry.prefix.clear();
+            let mut acc = 0u64;
+            entry.prefix.extend(nz.iter().map(|&pos| {
+                acc = acc.wrapping_add(eval.value(kids[pos as usize]).0);
+                acc
+            }));
+            entry.version = version;
+        }
+        &entry.prefix
     }
 }
 
@@ -423,6 +489,11 @@ pub struct EnumMachine {
     flip_scratch: Vec<(u32, bool)>,
     /// Bumped on every update; outstanding cursors become invalid.
     pub(crate) version: u64,
+    /// Lazily built per-gate summand counts (rank access / fast totals).
+    /// Interior mutability: rank reads happen under shared references
+    /// (shard read locks), but the first read builds and later reads
+    /// flush pending patches.
+    counts: Mutex<CountState>,
 }
 
 impl EnumMachine {
@@ -499,6 +570,12 @@ impl EnumMachine {
             flip_words: Vec::new(),
             flip_scratch: Vec::new(),
             version: 0,
+            counts: Mutex::new(CountState {
+                eval: None,
+                pending: Vec::new(),
+                count_version: 0,
+                add_prefix: Default::default(),
+            }),
         }
     }
 
@@ -550,7 +627,19 @@ impl EnumMachine {
         } else {
             self.slot_bits[w] &= !bit;
         }
+        self.note_count(slot);
         self.refresh_slot(slot, new_support);
+    }
+
+    /// Record a slot's new summand count for the lazy count evaluator
+    /// (no-op until the evaluator exists — the initial build reads the
+    /// summand lengths directly).
+    fn note_count(&mut self, slot: u32) {
+        let n = self.input_vals[slot as usize].len() as u64;
+        let st = self.counts.get_mut().expect("count state lock");
+        if st.eval.is_some() {
+            st.pending.push((slot, Nat(n)));
+        }
     }
 
     /// Set a 0/1-valued slot: `true` is the single empty monomial `1`,
@@ -631,6 +720,7 @@ impl EnumMachine {
                     // reuses the slot's retained capacity.
                     v.push(Vec::new());
                 }
+                self.note_count(slot);
                 if changed >> b & 1 == 1 {
                     for i in 0..self.plan.slot_gates.row(slot as usize).len() {
                         let g = self.plan.slot_gates.row(slot as usize)[i];
@@ -711,15 +801,60 @@ impl EnumMachine {
 
     /// Total number of summands of the output, counted by evaluating the
     /// circuit in ℕ with each input replaced by its summand count.
-    /// Linear time; used by tests and progress reporting.
+    /// Linear time; used by tests (as the oracle the incremental
+    /// [`EnumMachine::summand_count`] is checked against).
     pub fn count_summands(&self) -> u64 {
-        use agq_semiring::Nat;
         let slots: Vec<Nat> = self
             .input_vals
             .iter()
             .map(|v| Nat(v.len() as u64))
             .collect();
         self.plan.circuit.eval(&slots, &[]).0
+    }
+
+    /// The per-gate count state, built on first use and flushed up to
+    /// date: after this call `eval` is `Some` and reflects every update
+    /// applied so far. Counts wrap at `2^64` (see the crate docs for the
+    /// overflow policy); ranks are exact whenever the answer count fits
+    /// in a `u64`, which is also the addressable range of `answer(k)`.
+    pub(crate) fn counts(&self) -> MutexGuard<'_, CountState> {
+        let mut st = self.counts.lock().expect("count state lock");
+        if st.eval.is_none() {
+            st.pending.clear();
+            st.add_prefix.clear();
+            st.count_version = st.count_version.wrapping_add(1);
+            let slots: Vec<Nat> = self
+                .input_vals
+                .iter()
+                .map(|v| Nat(v.len() as u64))
+                .collect();
+            st.eval = Some(GeneralEvaluator::new(
+                self.plan.circuit.clone(),
+                &slots,
+                &[],
+            ));
+        } else if !st.pending.is_empty() {
+            // Delta repair: add gates settle from accumulated child
+            // deltas instead of re-summing data-sized fan-ins, keeping
+            // the flush proportional to the touched cone's edge count.
+            let pending = std::mem::take(&mut st.pending);
+            st.eval
+                .as_mut()
+                .expect("just checked")
+                .set_inputs_delta(&pending);
+            let mut pending = pending;
+            pending.clear();
+            st.pending = pending;
+            st.count_version = st.count_version.wrapping_add(1);
+        }
+        st
+    }
+
+    /// Total number of summands of the output, served from the
+    /// incrementally maintained count evaluator: `O(circuit)` on the
+    /// first call, `O(pending updates)` afterwards.
+    pub fn summand_count(&self) -> u64 {
+        self.counts().eval.as_ref().expect("built by counts()").output().0
     }
 }
 

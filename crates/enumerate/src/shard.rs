@@ -39,13 +39,30 @@
 //! Formulas that fail the component-locality check degrade gracefully to
 //! a single shard — always correct, never parallel.
 //!
-//! # Ordering
+//! # Ordering and global ranks
 //!
-//! Per-shard enumeration keeps each shard's native constant-delay cursor
-//! order; [`ShardedEngine::enumerate_merged`] merges the per-shard
-//! answer streams into one globally lexicographically ordered stream.
-//! The differential suite pins sharded ≡ unsharded answer sets, point
-//! queries, and post-update behavior on all three backends.
+//! The engine's one answer order is **global rank order**: shard id
+//! first, then the shard's native constant-delay cursor order. The
+//! shards partition the answer set, so per-shard ranks compose into
+//! global ranks through a prefix table of per-shard counts — that is
+//! how [`ShardedEngine::answer`] serves the k-th answer in `O(depth)`
+//! per shard probed, and how [`ShardedEngine::for_each_answer`] /
+//! [`ShardedEngine::enumerate_merged`] stream every answer by chaining
+//! the per-shard cursors (a k-way merge by global rank degenerates to
+//! concatenation, because the shards own contiguous rank intervals).
+//! The native cursor order is *not* lexicographic on the answer tuples
+//! (it follows the circuit structure), so no lexicographic stream is
+//! possible without materializing and sorting — callers that need one
+//! sort the collected answers themselves.
+//!
+//! Cross-shard reads — counts, rank access, full streams — take **all**
+//! shard read locks in shard order before touching any state, and
+//! [`ShardedEngine::apply_batch`] holds every affected shard's write
+//! lock for the whole application (acquired in the same shard order, so
+//! the two disciplines cannot deadlock). A snapshot therefore sees a
+//! concurrent batch fully applied or not at all — never torn across
+//! shards. The differential suite pins sharded ≡ unsharded answer sets,
+//! point queries, and post-update behavior on all three backends.
 
 use crate::answers::{AnswerIndex, UpdateError};
 use agq_circuit::{FiniteMaint, PeekScratch, PermMaint, RingMaint};
@@ -115,11 +132,10 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
         opts: &CompileOptions,
         max_shards: usize,
     ) -> Result<Self, CompileError> {
-        // Sharding is admitted only for component-local formulas with at
-        // least one free variable: a closed (arity-0) formula's single
-        // boolean/empty-tuple answer belongs to no component, so every
-        // shard would hold a full copy and fold it in twice.
-        let component_local = !phi.free_vars().is_empty() && phi.answers_component_local();
+        // The admission test (arity ≥ 1 included — a closed formula's
+        // empty-tuple answer belongs to no component) lives in one
+        // place: `Formula::answers_component_local`.
+        let component_local = phi.answers_component_local();
         let components = GaifmanComponents::new(a, if component_local { max_shards } else { 1 });
         let num_shards = components.num_shards();
 
@@ -371,30 +387,58 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
         if work.is_empty() {
             return Ok(0);
         }
+        // All-or-nothing *visibility*: take every affected shard's write
+        // lock up front, in shard order — the same order cross-shard
+        // readers acquire their read locks, so the disciplines compose
+        // without deadlock — and hold them all for the whole
+        // application. A snapshot reader (`count`, `answer`,
+        // `for_each_answer`, …) then sees the batch fully applied or not
+        // at all, never half of it. `work` is built in ascending shard
+        // order.
+        let mut guards: Vec<_> = work
+            .iter()
+            .map(|(s, _)| self.shards[*s].write().expect("shard lock"))
+            .collect();
         // Each group is already distinct per tuple (the coalescing pass
         // above), so the shards take the coalesced entry points.
-        let apply_group = |(s, g): &(usize, &[&TupleUpdate])| {
-            let mut shard = self.shards[*s].write().expect("shard lock");
+        fn apply_group<S: Semiring, P: PermMaint<S>>(
+            shard: &mut Shard<S, P>,
+            g: &[&TupleUpdate],
+        ) -> usize {
             let n = shard
                 .index
                 .apply_batch_coalesced(g)
                 .expect("batch was pre-validated");
             shard.engine.apply_batch_coalesced(g);
             n
-        };
+        }
         let workers = available_cores().min(work.len()).max(1);
         // Spawning threads costs tens of microseconds — far more than a
         // typical shard group. Apply on the calling thread unless there is
         // real parallelism to exploit.
         if workers == 1 {
-            return Ok(work.iter().map(apply_group).sum());
+            return Ok(guards
+                .iter_mut()
+                .zip(&work)
+                .map(|(shard, (_, g))| apply_group(&mut **shard, g))
+                .sum());
         }
-        let chunk = work.len().div_ceil(workers);
+        let mut pairs: Vec<(&mut Shard<S, P>, &[&TupleUpdate])> = guards
+            .iter_mut()
+            .zip(&work)
+            .map(|(shard, (_, g))| (&mut **shard, *g))
+            .collect();
+        let chunk = pairs.len().div_ceil(workers);
         let applied = std::thread::scope(|scope| {
-            let handles: Vec<_> = work
-                .chunks(chunk)
+            let handles: Vec<_> = pairs
+                .chunks_mut(chunk)
                 .map(|assigned| {
-                    scope.spawn(move || assigned.iter().map(apply_group).sum::<usize>())
+                    scope.spawn(move || {
+                        assigned
+                            .iter_mut()
+                            .map(|(shard, g)| apply_group(shard, g))
+                            .sum::<usize>()
+                    })
                 })
                 .collect();
             handles
@@ -405,27 +449,118 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
         Ok(applied)
     }
 
-    /// Number of answers, summed over the shards.
+    /// A consistent snapshot: every shard's read lock, acquired in shard
+    /// order (the same order [`ShardedEngine::apply_batch`] takes its
+    /// write locks, so readers and batch writers cannot deadlock).
+    /// Holding all of them, a concurrent batch is observed fully applied
+    /// or not at all — never torn across shards.
+    fn read_all(&self) -> Vec<std::sync::RwLockReadGuard<'_, Shard<S, P>>> {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock"))
+            .collect()
+    }
+
+    /// Number of answers, summed over the shards under one consistent
+    /// all-shards snapshot — a concurrent batch never shows up as a torn
+    /// total.
     pub fn count(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("shard lock").index.count())
-            .sum()
+        self.read_all().iter().map(|s| s.index.count()).sum()
     }
 
-    /// Whether at least one answer exists (`O_φ(1)` per shard).
+    /// Whether at least one answer exists (`O_φ(1)` per shard), under
+    /// the same consistent snapshot as [`ShardedEngine::count`].
     pub fn is_nonempty(&self) -> bool {
-        self.shards
-            .iter()
-            .any(|s| s.read().expect("shard lock").index.is_nonempty())
+        self.read_all().iter().any(|s| s.index.is_nonempty())
     }
 
-    /// Stream every answer to `f`, shard by shard: constant delay within
-    /// a shard, one read-lock handover between shards. The order is
-    /// deterministic (shard id, then the shard's native cursor order).
+    /// Direct access: the answer of **global rank** `k` (shard id, then
+    /// the shard's native cursor order — the order of
+    /// [`ShardedEngine::for_each_answer`]) without enumerating preceding
+    /// answers. The per-shard counts form the rank prefix table; the
+    /// owning shard answers its local rank in `O(depth)` gate visits.
+    /// `None` iff `k >= count()`. The whole lookup runs under one
+    /// consistent all-shards snapshot.
+    pub fn answer(&self, k: u64) -> Option<Vec<Elem>> {
+        let guards = self.read_all();
+        let mut k = k;
+        for shard in &guards {
+            let c = shard.index.count();
+            if k < c {
+                return shard.index.answer(k);
+            }
+            k -= c;
+        }
+        None
+    }
+
+    /// Answers of global ranks `k … k+len-1` (clipped at the end): one
+    /// rank descent into the owning shard, then a constant-delay cursor
+    /// walk that chains across shard boundaries — pagination without
+    /// enumerating ranks `< k`, under one consistent snapshot.
+    pub fn answer_range(&self, k: u64, len: usize) -> Vec<Vec<Elem>> {
+        let mut out = Vec::new();
+        if len == 0 {
+            return out;
+        }
+        let guards = self.read_all();
+        // prefix table: skip whole shards below rank k
+        let mut k = k;
+        let mut s = 0;
+        while s < guards.len() {
+            let c = guards[s].index.count();
+            if k < c {
+                break;
+            }
+            k -= c;
+            s += 1;
+        }
+        while s < guards.len() && out.len() < len {
+            let mut it = guards[s].index.iter();
+            if let Some(first) = it.seek(k) {
+                out.push(first);
+                while out.len() < len {
+                    match it.next() {
+                        Some(t) => out.push(t),
+                        None => break,
+                    }
+                }
+            }
+            k = 0; // subsequent shards continue from their rank 0
+            s += 1;
+        }
+        out
+    }
+
+    /// A uniformly random answer derived from `rng_seed` (deterministic
+    /// per seed), or `None` if the answer set is empty — one rank
+    /// descent, no enumeration, under one consistent snapshot.
+    pub fn sample(&self, rng_seed: u64) -> Option<Vec<Elem>> {
+        let guards = self.read_all();
+        let total: u64 = guards.iter().map(|s| s.index.count()).sum();
+        if total == 0 {
+            return None;
+        }
+        let mut k = ((crate::answers::splitmix64(rng_seed) as u128 * total as u128) >> 64) as u64;
+        for shard in &guards {
+            let c = shard.index.count();
+            if k < c {
+                return shard.index.answer(k);
+            }
+            k -= c;
+        }
+        None
+    }
+
+    /// Stream every answer to `f` in global rank order (shard id, then
+    /// the shard's native cursor order): constant delay per answer, O(1)
+    /// memory beyond the caller's own consumption. All shard read locks
+    /// are held for the duration — the stream is one consistent
+    /// snapshot, and the order is exactly the one
+    /// [`ShardedEngine::answer`] indexes.
     pub fn for_each_answer(&self, mut f: impl FnMut(&[Elem])) {
-        for s in &self.shards {
-            let shard = s.read().expect("shard lock");
+        let guards = self.read_all();
+        for shard in &guards {
             let mut it = shard.index.iter();
             while let Some(t) = it.next() {
                 f(&t);
@@ -433,7 +568,7 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
         }
     }
 
-    /// All answers in shard-chained order (see
+    /// All answers in global rank order (see
     /// [`ShardedEngine::for_each_answer`]).
     pub fn collect_answers(&self) -> Vec<Vec<Elem>> {
         let mut out = Vec::new();
@@ -441,13 +576,18 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
         out
     }
 
-    /// All answers merged into one globally ordered stream (the shards
-    /// partition the answer set, so the merge is duplicate-free). The
-    /// global order is lexicographic on the answer tuples.
+    /// All answers merged into one globally ordered stream: a thin
+    /// collect wrapper over the streaming merge of
+    /// [`ShardedEngine::for_each_answer`] (the shards partition the
+    /// answer set and own contiguous global-rank intervals, so the
+    /// k-way merge by rank is a chain of the per-shard constant-delay
+    /// cursors — nothing is materialized per shard, and nothing is
+    /// sorted). The global order is rank order, **not** lexicographic:
+    /// the native cursor order follows the circuit structure, so a
+    /// lexicographic stream would require materializing and sorting
+    /// every answer — the OOM risk this method used to carry.
     pub fn enumerate_merged(&self) -> Vec<Vec<Elem>> {
-        let mut out = self.collect_answers();
-        out.sort_unstable();
-        out
+        self.collect_answers()
     }
 }
 
@@ -479,9 +619,16 @@ mod tests {
         assert!(eng.component_local());
         assert_eq!(eng.num_shards(), 4, "3 edge components + 1 isolated");
         assert_eq!(eng.count(), 14);
-        let mut collected = eng.collect_answers();
-        collected.sort_unstable();
-        assert_eq!(collected, eng.enumerate_merged());
+        let collected = eng.collect_answers();
+        assert_eq!(
+            eng.enumerate_merged(),
+            collected,
+            "merged stream is the global rank order"
+        );
+        let mut dedup = collected.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), collected.len(), "partition is duplicate-free");
         for t in &collected {
             assert_eq!(eng.query(t), Nat(1));
         }
@@ -491,16 +638,30 @@ mod tests {
     #[test]
     fn closed_formula_runs_on_one_shard() {
         // An arity-0 formula's single empty-tuple answer belongs to no
-        // component; sharding would duplicate it per shard.
+        // component; sharding would duplicate it per shard. The arity
+        // rule is folded into `answers_component_local`, so every build
+        // path — any max_shards — must degrade to one shard.
         let (a, _e) = three_component_graph();
+        for max_shards in [0usize, 1, 2, 8] {
+            let eng: GeneralShardedEngine<Nat> =
+                ShardedEngine::build(&a, &Formula::True, &CompileOptions::default(), max_shards)
+                    .unwrap();
+            assert_eq!(eng.arity(), 0);
+            assert!(!eng.component_local());
+            assert_eq!(eng.num_shards(), 1, "max_shards = {max_shards}");
+            assert_eq!(eng.count(), 1, "exactly one empty-tuple answer");
+            assert_eq!(eng.collect_answers(), vec![Vec::<u32>::new()]);
+            assert_eq!(eng.answer(0), Some(Vec::new()), "rank 0 = empty tuple");
+            assert_eq!(eng.answer(1), None);
+            assert_eq!(eng.query(&[]), Nat(1));
+        }
+        // a closed formula with no answers: same admission outcome
         let eng: GeneralShardedEngine<Nat> =
-            ShardedEngine::build(&a, &Formula::True, &CompileOptions::default(), 0).unwrap();
-        assert_eq!(eng.arity(), 0);
-        assert!(!eng.component_local());
+            ShardedEngine::build(&a, &Formula::False, &CompileOptions::default(), 0).unwrap();
         assert_eq!(eng.num_shards(), 1);
-        assert_eq!(eng.count(), 1, "exactly one empty-tuple answer");
-        assert_eq!(eng.collect_answers(), vec![Vec::<u32>::new()]);
-        assert_eq!(eng.query(&[]), Nat(1));
+        assert_eq!(eng.count(), 0);
+        assert!(!eng.is_nonempty());
+        assert_eq!(eng.answer(0), None);
     }
 
     #[test]
@@ -538,6 +699,92 @@ mod tests {
             Err(UpdateError::NotGaifmanPreserving)
         );
         assert_eq!(eng.apply_update(&TupleUpdate::remove(e, &[0, 3])), Ok(()));
+    }
+
+    #[test]
+    fn sharded_direct_access_matches_stream() {
+        let (a, e) = three_component_graph();
+        let phi = Formula::Rel(e, vec![Var(0), Var(1)]);
+        let eng: GeneralShardedEngine<Nat> =
+            ShardedEngine::build(&a, &phi, &CompileOptions::default(), 0).unwrap();
+        assert!(eng.num_shards() > 1);
+        let check = |eng: &GeneralShardedEngine<Nat>| {
+            let all = eng.collect_answers();
+            for (k, t) in all.iter().enumerate() {
+                assert_eq!(eng.answer(k as u64).as_ref(), Some(t), "rank {k}");
+            }
+            assert_eq!(eng.answer(all.len() as u64), None);
+            assert_eq!(eng.answer(u64::MAX), None);
+            // ranges, including ones that cross shard boundaries
+            assert_eq!(eng.answer_range(0, all.len() + 5), all);
+            for k in 0..all.len() {
+                assert_eq!(
+                    eng.answer_range(k as u64, 4),
+                    all[k..(k + 4).min(all.len())],
+                    "range at {k}"
+                );
+            }
+            for seed in 0..16u64 {
+                let s = eng.sample(seed).expect("nonempty");
+                assert!(all.contains(&s), "seed {seed}");
+            }
+        };
+        check(&eng);
+        // ranks stay live after an update batch spanning shards
+        eng.apply_batch(&[
+            TupleUpdate::remove(e, &[0, 1]),
+            TupleUpdate::remove(e, &[3, 4]),
+            TupleUpdate::insert(e, &[0, 1]),
+            TupleUpdate::remove(e, &[6, 7]),
+        ])
+        .unwrap();
+        check(&eng);
+    }
+
+    #[test]
+    fn count_is_atomic_under_concurrent_batches() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        // Two components with one edge each; exactly one answer lives in
+        // one of them at any time, and each batch moves it to the other
+        // component. A torn cross-shard read sees 0 or 2.
+        let mut sig = Signature::new();
+        let e = sig.add_relation("E", 2);
+        let mut a = Structure::new(Arc::new(sig), 4);
+        a.insert(e, &[0, 1]);
+        a.insert(e, &[2, 3]);
+        let a = Arc::new(a);
+        let phi = Formula::Rel(e, vec![Var(0), Var(1)]);
+        let eng: GeneralShardedEngine<Nat> =
+            ShardedEngine::build(&a, &phi, &CompileOptions::default(), 0).unwrap();
+        assert_eq!(eng.num_shards(), 2);
+        eng.apply_update(&TupleUpdate::remove(e, &[2, 3])).unwrap();
+        assert_eq!(eng.count(), 1);
+        let to_second = [
+            TupleUpdate::remove(e, &[0, 1]),
+            TupleUpdate::insert(e, &[2, 3]),
+        ];
+        let to_first = [
+            TupleUpdate::remove(e, &[2, 3]),
+            TupleUpdate::insert(e, &[0, 1]),
+        ];
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for _ in 0..300 {
+                    eng.apply_batch(&to_second).unwrap();
+                    eng.apply_batch(&to_first).unwrap();
+                }
+                done.store(true, Ordering::Release);
+            });
+            while !done.load(Ordering::Acquire) {
+                assert_eq!(eng.count(), 1, "torn cross-shard count");
+                assert!(eng.is_nonempty(), "torn cross-shard nonempty");
+                let t = eng.answer(0).expect("rank 0 exists in every snapshot");
+                assert!(t == vec![0, 1] || t == vec![2, 3], "torn rank access");
+                assert_eq!(eng.answer(1), None, "rank 1 never exists");
+            }
+        });
+        assert_eq!(eng.count(), 1);
     }
 
     #[test]

@@ -122,8 +122,25 @@ where
             "answer sets"
         );
         let merged = sharded.enumerate_merged();
-        assert_eq!(merged, flat_answers, "merged stream is globally sorted");
+        assert_eq!(
+            merged,
+            sharded.collect_answers(),
+            "merged stream is the global rank order"
+        );
+        assert_eq!(sorted(merged), flat_answers, "merged answer set");
         assert_eq!(sharded.count(), flat_answers.len() as u64);
+        // global rank access agrees with the merged stream
+        let stream = sharded.collect_answers();
+        for k in [0, stream.len() / 2, stream.len().saturating_sub(1)] {
+            if k < stream.len() {
+                assert_eq!(
+                    sharded.answer(k as u64).as_ref(),
+                    Some(&stream[k]),
+                    "global rank {k}"
+                );
+            }
+        }
+        assert_eq!(sharded.answer(stream.len() as u64), None);
         // point queries: answers are one, random non-answers agree too
         for t in flat_answers.iter().take(8) {
             assert_eq!(sharded.query(t), one, "answer point query");

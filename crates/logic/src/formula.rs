@@ -113,15 +113,21 @@ impl Formula {
     /// guarantees nothing. `false` is the vacuous (everything-connected)
     /// partition since it has no satisfying assignment.
     ///
-    /// This is the admission test of the sharded engines: when it holds,
-    /// per-component answer sets partition the global answer set, and a
-    /// point query at a component-spanning tuple is structurally zero.
-    /// The check is conservative — `false` only means sharding cannot be
-    /// justified syntactically, not that answers actually span
-    /// components.
+    /// This is **the** admission test of the sharded engines: when it
+    /// holds, per-component answer sets partition the global answer set,
+    /// and a point query at a component-spanning tuple is structurally
+    /// zero. A closed (arity-0) formula is *not* admitted: its single
+    /// empty-tuple answer belongs to no component, so sharding would
+    /// duplicate it per shard — the arity-≥-1 rule lives here rather
+    /// than in each engine's admission code. The check is conservative —
+    /// `false` only means sharding cannot be justified syntactically,
+    /// not that answers actually span components.
     pub fn answers_component_local(&self) -> bool {
         let free = self.free_vars();
-        if free.len() <= 1 {
+        if free.is_empty() {
+            return false;
+        }
+        if free.len() == 1 {
             return true;
         }
         match conn_partition(self) {
@@ -648,10 +654,13 @@ mod tests {
         let s = Formula::Rel(RelId(1), vec![v(0)]);
         let t = Formula::Rel(RelId(2), vec![v(1)]);
         assert!(!s.clone().and(t).answers_component_local());
-        // ≤1 free variable is always local
+        // exactly 1 free variable is always local
         assert!(s.answers_component_local());
-        assert!(Formula::True.answers_component_local());
-        // unsatisfiable formulas are vacuously local
+        // closed formulas are never admitted: the empty-tuple answer
+        // belongs to no component (sharding would duplicate it)
+        assert!(!Formula::True.answers_component_local());
+        assert!(!Formula::False.answers_component_local());
+        // unsatisfiable formulas (with free variables) are vacuously local
         assert!(Formula::False
             .and(rel(0, 1).not())
             .answers_component_local());

@@ -161,8 +161,44 @@ impl<S: Semiring> SegTreePerm<S> {
     /// (`O(3^k · p · log n)` for `p` patched columns). Later patches to
     /// the same entry win.
     pub fn peek(&self, patches: &[(usize, usize, S)]) -> S {
+        self.peek_rows(patches, (1 << self.k) - 1)
+    }
+
+    /// [`SegTreePerm::peek`] restricted to a **row subset**: the permanent
+    /// of the rows in `row_mask` over all columns, with some entries
+    /// replaced. The node tables already hold every row-subset permanent,
+    /// so this is the same overlay walk reading a different root entry —
+    /// the rest-count query of rank descent (count the completions of
+    /// rows `r+1..k` once the columns chosen by rows `≤ r` are zeroed).
+    /// `row_mask = 0` returns `one` (the empty permanent).
+    pub fn peek_rows(&self, patches: &[(usize, usize, S)], row_mask: usize) -> S {
+        debug_assert!(row_mask < 1 << self.k, "row mask out of range");
+        match self.peek_walk(patches) {
+            Some(root) => root[row_mask].clone(),
+            None => self.table(1)[row_mask].clone(),
+        }
+    }
+
+    /// The **whole patched root table** — every row-subset permanent of
+    /// the matrix with `patches` applied, in one overlay walk. Rank
+    /// descent reads many row subsets against one excluded-column
+    /// prefix (the inclusion–exclusion rest counts of Lemma 23), so one
+    /// table query replaces a [`SegTreePerm::peek_rows`] call per
+    /// subset.
+    pub fn peek_table(&self, patches: &[(usize, usize, S)]) -> Vec<S> {
+        match self.peek_walk(patches) {
+            Some(root) => root,
+            None => self.table(1).to_vec(),
+        }
+    }
+
+    /// The shared overlay walk of [`SegTreePerm::peek_rows`] /
+    /// [`SegTreePerm::peek_table`]: the root table with `patches`
+    /// applied, or `None` when the overlay provably equals the stored
+    /// root table.
+    fn peek_walk(&self, patches: &[(usize, usize, S)]) -> Option<Vec<S>> {
         if patches.is_empty() {
-            return self.total().clone();
+            return None;
         }
         // Fast path — all patches hit one column (the common case for
         // point queries): walk the single root path with two ping-pong
@@ -178,7 +214,7 @@ impl<S: Semiring> SegTreePerm<S> {
             // idempotent semirings like (min, +)).
             while node > 1 {
                 if cur == self.table(node) {
-                    return self.total().clone();
+                    return None;
                 }
                 let sibling = self.table(node ^ 1);
                 if node.is_multiple_of(2) {
@@ -189,7 +225,7 @@ impl<S: Semiring> SegTreePerm<S> {
                 std::mem::swap(&mut cur, &mut buf);
                 node /= 2;
             }
-            return cur[(1 << self.k) - 1].clone();
+            return Some(cur);
         }
         // General path: patched leaf tables, one per affected column
         // (patch order is preserved within a column, so the last write to
@@ -242,10 +278,7 @@ impl<S: Semiring> SegTreePerm<S> {
             }
             frontier = next;
         }
-        match frontier.pop() {
-            Some((_, root)) => root[(1 << self.k) - 1].clone(),
-            None => self.total().clone(),
-        }
+        frontier.pop().map(|(_, root)| root)
     }
 
     /// The leaf table of `col` with same-column patches applied.
@@ -471,6 +504,46 @@ mod tests {
                 shadow.set(*r, *c, *v);
             }
             assert_eq!(tree.peek(&patches), perm_naive(&shadow));
+        }
+    }
+
+    #[test]
+    fn peek_rows_matches_naive_submatrix() {
+        let mut rng = SmallRng::seed_from_u64(37);
+        for n in [1usize, 4, 9] {
+            let m = random_matrix(3, n, 6 + n as u64);
+            let tree = SegTreePerm::build(m.clone());
+            for _ in 0..20 {
+                let patches: Vec<(usize, usize, Nat)> = (0..rng.gen_range(0..4))
+                    .map(|_| {
+                        (
+                            rng.gen_range(0..3),
+                            rng.gen_range(0..n),
+                            Nat(rng.gen_range(0..4)),
+                        )
+                    })
+                    .collect();
+                let mut shadow = m.clone();
+                for (r, c, v) in &patches {
+                    shadow.set(*r, *c, *v);
+                }
+                let table = tree.peek_table(&patches);
+                for row_mask in 0..8usize {
+                    let got = tree.peek_rows(&patches, row_mask);
+                    assert_eq!(table[row_mask], got, "peek_table ≡ peek_rows per mask");
+                    if row_mask == 0 {
+                        assert_eq!(got, Nat(1), "empty row set");
+                        continue;
+                    }
+                    let rows: Vec<usize> = (0..3).filter(|r| row_mask >> r & 1 == 1).collect();
+                    let mut sub = ColMatrix::new(rows.len());
+                    for c in 0..n {
+                        let col: Vec<Nat> = rows.iter().map(|&r| *shadow.get(r, c)).collect();
+                        sub.push_col(&col);
+                    }
+                    assert_eq!(got, perm_naive(&sub), "n={n} mask={row_mask}");
+                }
+            }
         }
     }
 

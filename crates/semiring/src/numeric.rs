@@ -79,6 +79,20 @@ impl Semiring for Nat {
     }
 }
 
+/// As implemented, `Nat` arithmetic wraps, so it is the ring `ℤ/2⁶⁴`
+/// and negation is two's complement. Delta-based maintenance (repairing
+/// an addition gate by `new = old + Σ δ_child` instead of re-summing
+/// its fan-in) relies on this: every identity holds mod 2⁶⁴, so results
+/// are exact whenever the true counts fit in a `u64`.
+impl Ring for Nat {
+    fn neg(&self) -> Self {
+        Nat(self.0.wrapping_neg())
+    }
+    fn sub(&self, rhs: &Self) -> Self {
+        Nat(self.0.wrapping_sub(rhs.0))
+    }
+}
+
 impl fmt::Display for Nat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.0)
