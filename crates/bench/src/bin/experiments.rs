@@ -26,12 +26,19 @@ fn main() {
     let bench3_only = std::env::args().any(|a| a == "bench3");
     let bench4_only = std::env::args().any(|a| a == "bench4");
     let bench5_only = std::env::args().any(|a| a == "bench5");
+    let bench6_only = std::env::args().any(|a| a == "bench6");
     println!("# Experiment harness — sparse-agg");
     println!("(one section per experiment id of DESIGN.md §5)\n");
     if bench5_only {
         let mut record5 = Bench5Record::default();
         e16_direct_access(&mut record5);
         record5.write("BENCH_5.json");
+        return;
+    }
+    if bench6_only {
+        let mut record6 = Bench6Record::default();
+        e17_vector_sweeps(&mut record6);
+        record6.write("BENCH_6.json");
         return;
     }
     if !bench3_only && !bench4_only {
@@ -69,6 +76,9 @@ fn main() {
         let mut record5 = Bench5Record::default();
         e16_direct_access(&mut record5);
         record5.write("BENCH_5.json");
+        let mut record6 = Bench6Record::default();
+        e17_vector_sweeps(&mut record6);
+        record6.write("BENCH_6.json");
     }
 }
 
@@ -582,12 +592,11 @@ fn e16_direct_access(record: &mut Bench5Record) {
 
     // rank-repair overhead: batch-64 flip ingestion, fresh index (counts
     // never built — no rank bookkeeping at all) vs one answer(k) per batch
-    let edges: Vec<[u32; 2]> = wl
-        .a
-        .relation(wl.e)
-        .iter()
-        .map(|t| [t.as_slice()[0], t.as_slice()[1]])
-        .collect();
+    let edges: Vec<[u32; 2]> =
+        wl.a.relation(wl.e)
+            .iter()
+            .map(|t| [t.as_slice()[0], t.as_slice()[1]])
+            .collect();
     let reps = 20_000usize;
     let script = flip_script(wl.e, &edges, reps, 23, None);
     let mut base_ix = AnswerIndex::build_dynamic(&wl.a, &phi, &opts).unwrap();
@@ -629,6 +638,287 @@ fn e16_direct_access(record: &mut Bench5Record) {
         100.0 * record.rank_repair_overhead_frac,
         record.ingest_with_reads_ups,
         100.0 * record.read_per_batch_overhead_frac
+    );
+}
+
+/// Headline numbers of PR 8 (vectorized sweeps: bulk semiring kernels +
+/// dense-run add-gate evaluation), persisted as `BENCH_6.json`.
+#[derive(Default)]
+struct Bench6Record {
+    n: usize,
+    add_gates: usize,
+    full_run_gates: usize,
+    total_children: usize,
+    dense_children: usize,
+    coverage: f64,
+    sweep_gather_us: f64,
+    sweep_dense_us: f64,
+    sweep_speedup: f64,
+    dense_children_per_sec: f64,
+    build_ms: f64,
+    count_build_ms: f64,
+    flush_batch64_ups: f64,
+    churn_seq_ups: f64,
+    churn_batch64_ups: f64,
+}
+
+impl Bench6Record {
+    fn write(&self, path: &str) {
+        let json = format!(
+            "{{\n  \"bench\": 6,\n  {},\n  \"e17_vector_sweeps\": {{\"n\": {},\n    \"dense_run_coverage\": {{\"add_gates\": {}, \"full_run_gates\": {}, \"total_children\": {}, \"dense_children\": {}, \"coverage\": {:.4}}},\n    \"kernel_ab\": {{\"gather_us\": {:.1}, \"dense_us\": {:.1}, \"speedup\": {:.2}, \"dense_children_per_sec\": {:.0}}},\n    \"e9_count_index\": {{\"build_ms\": {:.1}, \"count_build_ms\": {:.1}, \"flush_batch64_ups\": {:.0}}},\n    \"e15_churn_remeasure\": {{\"seq_ups\": {:.0}, \"batch64_ups\": {:.0}}}}}\n}}\n",
+            hardware_json(),
+            self.n,
+            self.add_gates,
+            self.full_run_gates,
+            self.total_children,
+            self.dense_children,
+            self.coverage,
+            self.sweep_gather_us,
+            self.sweep_dense_us,
+            self.sweep_speedup,
+            self.dense_children_per_sec,
+            self.build_ms,
+            self.count_build_ms,
+            self.flush_batch64_ups,
+            self.churn_seq_ups,
+            self.churn_batch64_ups,
+        );
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+/// E17 — PR 8 headline: the vectorized sweep layer, measured on the E9
+/// count-side circuit (the `Nat`-typed rank-table evaluator of PR 7).
+/// Four measurements:
+///
+/// * **dense-run coverage** — fraction of add-gate child mass lying in
+///   contiguous id runs ≥ 4 after the compiler's `cluster_adds` relabel
+///   (the mass eligible for the bulk `sum_slice` tier);
+/// * **kernel A/B** — one full add-gate sweep over the dense-run mass,
+///   bulk slice kernels (fed by the plan's precomputed runs) vs the
+///   canonical 4-lane scalar gather, same circuit and same value
+///   vector, min-of-7 timing;
+/// * **E9 build/flush** — answer-index build, first count (rank-table)
+///   materialization — a full `eval_gates` sweep, now on the dense
+///   tier — and batch-64 flip ingestion with a count flush per batch
+///   (the delta-repair path);
+/// * **E15 churn re-measure** — the hot-key churn ingestion of BENCH_4
+///   replayed on this PR's engine (the adds repaired there are now wide
+///   and dense, so this guards against coalescing regressions).
+fn e17_vector_sweeps(record: &mut Bench6Record) {
+    use agq_circuit::{eval_gates, EvalPlan, GateDef, GateId};
+    use agq_core::{eliminate_quantifiers, SlotKey};
+    use agq_enumerate::EnumQueryEngine;
+
+    println!("## E17  vectorized sweeps: dense-run kernels on the E9 count circuit");
+    let n = 20_000usize;
+    record.n = n;
+    let wl = sparse_random(n, 7);
+    let (x, y, z) = (Var(0), Var(1), Var(2));
+    let phi = Formula::Rel(wl.e, vec![x, y])
+        .and(Formula::Rel(wl.e, vec![y, z]))
+        .and(Formula::neq(x, z));
+
+    // The count-side circuit, exactly as the rank tables compile it:
+    // Σ_{x,y,z} [φ] with dynamic atoms over the Nat carrier.
+    let expr = Expr::<Nat>::Bracket(phi.clone()).sum_over([x, y, z]);
+    let opts = CompileOptions {
+        dynamic_atoms: true,
+        ..CompileOptions::default()
+    };
+    let (cexpr, a2) = eliminate_quantifiers(&expr, &wl.a, &opts).unwrap();
+    let nf = normalize(&cexpr).unwrap();
+    let compiled = compile(&a2, &nf, &opts).unwrap();
+    let slots: Vec<Nat> = compiled
+        .slots
+        .iter()
+        .map(|(_, key)| match key {
+            SlotKey::AtomPos(r, t) => Nat(u64::from(a2.holds(r, t.as_slice()))),
+            SlotKey::AtomNeg(r, t) => Nat(u64::from(!a2.holds(r, t.as_slice()))),
+            _ => unreachable!("count expression has no weights or free vars"),
+        })
+        .collect();
+    let plan = EvalPlan::new(compiled.circuit.clone());
+    let stats = plan.dense_run_stats();
+    record.add_gates = stats.add_gates;
+    record.full_run_gates = stats.full_run_gates;
+    record.total_children = stats.total_children;
+    record.dense_children = stats.dense_children;
+    record.coverage = stats.coverage();
+    println!(
+        "    coverage: {} add gates ({} full-run), {}/{} children dense ({:.1}%)",
+        stats.add_gates,
+        stats.full_run_gates,
+        stats.dense_children,
+        stats.total_children,
+        100.0 * record.coverage
+    );
+
+    // Kernel A/B over the dense-run mass (gates with a run ≥ 4): bulk
+    // slice sweep vs the canonical 4-lane gather, same value vector.
+    let values = eval_gates(&compiled.circuit, &slots, &compiled.lits);
+    let circuit = &compiled.circuit;
+    let dense_adds: Vec<&[GateId]> = circuit
+        .gates()
+        .iter()
+        .enumerate()
+        .filter_map(|(g, def)| match def {
+            GateDef::Add(r)
+                if plan
+                    .add_runs(g as u32)
+                    .iter()
+                    .any(|&(_, len)| len as usize >= 4) =>
+            {
+                Some(circuit.children(*r))
+            }
+            _ => None,
+        })
+        .collect();
+    let runs_flat: Vec<(u32, u32)> = circuit
+        .gates()
+        .iter()
+        .enumerate()
+        .filter(|(_, def)| matches!(def, GateDef::Add(_)))
+        .filter(|(g, _)| {
+            plan.add_runs(*g as u32)
+                .iter()
+                .any(|&(_, len)| len as usize >= 4)
+        })
+        .flat_map(|(g, _)| plan.add_runs(g as u32).iter().copied())
+        .collect();
+    let gather = || {
+        let mut check = Nat(0);
+        for kids in &dense_adds {
+            const LANES: usize = 4;
+            let s = if kids.len() < 2 * LANES {
+                let mut acc = Nat(0);
+                for c in *kids {
+                    acc.add_assign(&values[c.0 as usize]);
+                }
+                acc
+            } else {
+                let mut lanes = [Nat(0); LANES];
+                let chunks = kids.chunks_exact(LANES);
+                let rest = chunks.remainder();
+                for chunk in chunks {
+                    for (lane, c) in lanes.iter_mut().zip(chunk) {
+                        lane.add_assign(&values[c.0 as usize]);
+                    }
+                }
+                let [a, b, c, d] = lanes;
+                let mut acc = a.add(&b).add(&c.add(&d));
+                for g in rest {
+                    acc.add_assign(&values[g.0 as usize]);
+                }
+                acc
+            };
+            check.add_assign(&s);
+        }
+        check
+    };
+    let dense = || {
+        let mut check = Nat(0);
+        for &(lo, len) in &runs_flat {
+            let seg = &values[lo as usize..(lo + len) as usize];
+            if len >= 4 {
+                check.add_assign(&Nat::sum_slice(seg));
+            } else {
+                for v in seg {
+                    check.add_assign(v);
+                }
+            }
+        }
+        check
+    };
+    assert_eq!(gather().0, dense().0, "A/B sweeps must agree");
+    let reps = 100u32;
+    let timed = |f: &dyn Fn() -> Nat| -> Duration {
+        let mut best = Duration::MAX;
+        for _ in 0..7 {
+            let t = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(f());
+            }
+            best = best.min(t.elapsed() / reps);
+        }
+        best
+    };
+    let t_gather = timed(&gather);
+    let t_dense = timed(&dense);
+    let mass: usize = dense_adds.iter().map(|k| k.len()).sum();
+    record.sweep_gather_us = t_gather.as_secs_f64() * 1e6;
+    record.sweep_dense_us = t_dense.as_secs_f64() * 1e6;
+    record.sweep_speedup = t_gather.as_secs_f64() / t_dense.as_secs_f64();
+    record.dense_children_per_sec = mass as f64 / t_dense.as_secs_f64();
+    println!(
+        "    sweep A/B ({} gates, {} children): gather {:.1}µs, dense {:.1}µs — {:.2}× ({:.0}M children/s)",
+        dense_adds.len(),
+        mass,
+        record.sweep_gather_us,
+        record.sweep_dense_us,
+        record.sweep_speedup,
+        record.dense_children_per_sec / 1e6
+    );
+
+    // E9 build / count-build / flush: the answer index whose rank
+    // tables ride these kernels.
+    let opts = CompileOptions::default();
+    let t_build = time(|| {
+        std::hint::black_box(AnswerIndex::build_dynamic(&wl.a, &phi, &opts).unwrap());
+    });
+    let mut ix = AnswerIndex::build_dynamic(&wl.a, &phi, &opts).unwrap();
+    let t_count = time(|| {
+        std::hint::black_box(ix.count());
+    });
+    let edges: Vec<[u32; 2]> =
+        wl.a.relation(wl.e)
+            .iter()
+            .map(|t| [t.as_slice()[0], t.as_slice()[1]])
+            .collect();
+    let flips = 20_000usize;
+    let script = flip_script(wl.e, &edges, flips, 23, None);
+    let t_flush = time(|| {
+        for chunk in script.chunks(64) {
+            ix.apply_batch(chunk).unwrap();
+            std::hint::black_box(ix.count());
+        }
+    });
+    record.build_ms = t_build.as_secs_f64() * 1e3;
+    record.count_build_ms = t_count.as_secs_f64() * 1e3;
+    record.flush_batch64_ups = flips as f64 / t_flush.as_secs_f64();
+    println!(
+        "    E9 index: build {:.1}ms, count build {:.1}ms, batch=64 flip+flush {:.0} ups",
+        record.build_ms, record.count_build_ms, record.flush_batch64_ups
+    );
+
+    // E15 churn re-measure: hot-key flip ingestion on the E14 world.
+    let w = e14_world();
+    let script = flip_script(w.e, &w.edges, 40_000, 99, Some((4, 0.95)));
+    let mut eng: EnumQueryEngine<Nat, SegTreePerm<Nat>> =
+        EnumQueryEngine::build_dynamic(&w.a, &w.phi, &opts).unwrap();
+    for u in &script {
+        eng.apply_update(u).unwrap();
+    }
+    let t_seq = time(|| {
+        for u in &script {
+            eng.apply_update(u).unwrap();
+        }
+    });
+    let t_b64 = time(|| {
+        for chunk in script.chunks(64) {
+            eng.apply_batch(chunk).unwrap();
+        }
+    });
+    record.churn_seq_ups = script.len() as f64 / t_seq.as_secs_f64();
+    record.churn_batch64_ups = script.len() as f64 / t_b64.as_secs_f64();
+    println!(
+        "    E15 churn: sequential {:.0} ups, batch=64 {:.0} ups ({:.2}×)\n",
+        record.churn_seq_ups,
+        record.churn_batch64_ups,
+        record.churn_batch64_ups / record.churn_seq_ups
     );
 }
 

@@ -28,7 +28,7 @@
 //! touched.
 
 use crate::csr::{Csr, CsrBuilder};
-use crate::eval::sum_children;
+use crate::eval::{sum_add, sum_children, MIN_RUN};
 use crate::{Circuit, GateDef, GateId};
 use agq_perm::{ColMatrix, FinitePerm, RingPerm, SegTreePerm};
 use agq_semiring::{FiniteSemiring, Ring, Semiring};
@@ -158,6 +158,26 @@ enum ParentRef {
 /// Sentinel for "gate is not a permanent" in the dense perm index.
 const NO_PERM: u32 = u32::MAX;
 
+/// Visit every maximal contiguous ascending child-id run of every add
+/// gate: `f(gate index, first child id, run length)`, runs in child-list
+/// order. Shared by the two CSR passes of the dense-run analysis.
+fn for_each_add_run(circuit: &Circuit, mut f: impl FnMut(usize, u32, u32)) {
+    for (i, g) in circuit.gates().iter().enumerate() {
+        let GateDef::Add(r) = g else { continue };
+        let kids = circuit.children(*r);
+        let mut j = 0;
+        while j < kids.len() {
+            let lo = kids[j].0;
+            let mut len = 1u32;
+            while j + (len as usize) < kids.len() && kids[j + len as usize].0 == lo + len {
+                len += 1;
+            }
+            f(i, lo, len);
+            j += len as usize;
+        }
+    }
+}
+
 /// The immutable half of dynamic evaluation: everything derived from the
 /// circuit topology alone — parent references, per-slot input-gate lists,
 /// the dense perm-gate numbering, and (optionally) memoized per-slot peek
@@ -179,6 +199,35 @@ pub struct EvalPlan {
     /// the slot's input gates. An empty row means "not memoized" (a slot
     /// read by at least one gate always has a nonempty cone).
     cones: Csr<u32>,
+    /// Dense-run analysis: for each add gate, the maximal contiguous
+    /// ascending runs `(first child id, length)` of its child segment, in
+    /// child-list order (non-add gates have empty rows). Runs partition
+    /// the child list, so the evaluators can decompose a sum per run —
+    /// see the kernel contract in `eval.rs`.
+    add_runs: Csr<(u32, u32)>,
+}
+
+/// Summary of the plan's dense-run analysis ([`EvalPlan::dense_run_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DenseRunStats {
+    /// Number of add gates.
+    pub add_gates: usize,
+    /// Add gates whose whole child segment is one contiguous run.
+    pub full_run_gates: usize,
+    /// Total add-gate child mass (Σ fan-in).
+    pub total_children: usize,
+    /// Children lying in runs long enough for the bulk tier (≥ `MIN_RUN`).
+    pub dense_children: usize,
+}
+
+impl DenseRunStats {
+    /// Fraction of add-gate child mass the bulk tier can sweep as slices.
+    pub fn coverage(&self) -> f64 {
+        if self.total_children == 0 {
+            return 1.0;
+        }
+        self.dense_children as f64 / self.total_children as f64
+    }
 }
 
 impl EvalPlan {
@@ -309,6 +358,14 @@ impl EvalPlan {
             }
         }
 
+        // Dense-run analysis: maximal contiguous ascending child-id runs
+        // per add gate, in child-list order (two counting passes into the
+        // shared CSR layout like everything else here).
+        let mut counting = CsrBuilder::new(n);
+        for_each_add_run(&circuit, |i, _, _| counting.count(i));
+        let mut add_runs = counting.finish_counts((0u32, 0u32));
+        for_each_add_run(&circuit, |i, lo, len| add_runs.place(i, (lo, len)));
+
         EvalPlan {
             circuit,
             parents,
@@ -316,6 +373,7 @@ impl EvalPlan {
             num_perms,
             slot_gates,
             cones: cones.finish(),
+            add_runs: add_runs.finish(),
         }
     }
 
@@ -331,6 +389,35 @@ impl EvalPlan {
     /// Whether `slot`'s peek cone was memoized.
     pub fn has_cone(&self, slot: u32) -> bool {
         !self.cones.row(slot as usize).is_empty()
+    }
+
+    /// The maximal contiguous child-id runs `(first child id, length)` of
+    /// gate `g`'s child segment (empty for non-add gates). The runs
+    /// partition the child list in order.
+    pub fn add_runs(&self, g: u32) -> &[(u32, u32)] {
+        self.add_runs.row(g as usize)
+    }
+
+    /// Aggregate dense-run coverage over every add gate of the plan.
+    pub fn dense_run_stats(&self) -> DenseRunStats {
+        let mut stats = DenseRunStats::default();
+        for (i, g) in self.circuit.gates().iter().enumerate() {
+            let GateDef::Add(r) = g else { continue };
+            stats.add_gates += 1;
+            stats.total_children += r.len();
+            let runs = self.add_runs.row(i);
+            if let [(_, len)] = runs {
+                if *len as usize == r.len() {
+                    stats.full_run_gates += 1;
+                }
+            }
+            stats.dense_children += runs
+                .iter()
+                .filter(|&&(_, len)| len as usize >= MIN_RUN)
+                .map(|&(_, len)| len as usize)
+                .sum::<usize>();
+        }
+        stats
     }
 }
 
@@ -424,6 +511,13 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
     /// Current value of an input slot.
     pub fn slot_value(&self, slot: u32) -> &S {
         &self.slot_values[slot as usize]
+    }
+
+    /// The whole committed gate-value vector, indexed by gate id. Lets
+    /// rank-table builders scan an add gate's dense child range as one
+    /// slice instead of gathering per child.
+    pub fn gate_values(&self) -> &[S] {
+        &self.values
     }
 
     /// The maintenance structure of a permanent gate (`None` for
@@ -654,12 +748,41 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
                 },
                 GateDef::Const(_) => self.values[g as usize].clone(),
                 GateDef::Add(children) => {
-                    sum_children(self.plan.circuit.children(*children), |c| {
-                        match lookup(&cone, &vals, c.0) {
+                    let kids = self.plan.circuit.children(*children);
+                    if S::ORDER_INSENSITIVE_ADD {
+                        // Per-run decomposition: a run is a contiguous id
+                        // range, so one sorted probe into the (ascending)
+                        // cone decides whether any of its children are
+                        // overlaid. Untouched runs sum straight off the
+                        // committed value slice; touched runs gather
+                        // through the overlay lookup.
+                        let mut acc = S::zero();
+                        for &(lo, len) in self.plan.add_runs(g) {
+                            let hi = lo + len;
+                            let probe = cone.partition_point(|&x| x < lo);
+                            if probe < cone.len() && cone[probe] < hi {
+                                for c in lo..hi {
+                                    match lookup(&cone, &vals, c) {
+                                        Some(i) => acc.add_assign(&vals[i]),
+                                        None => acc.add_assign(&self.values[c as usize]),
+                                    }
+                                }
+                            } else if len as usize >= MIN_RUN {
+                                let seg = &self.values[lo as usize..hi as usize];
+                                acc.add_assign(&S::sum_slice(seg));
+                            } else {
+                                for v in &self.values[lo as usize..hi as usize] {
+                                    acc.add_assign(v);
+                                }
+                            }
+                        }
+                        acc
+                    } else {
+                        sum_children(kids, |c| match lookup(&cone, &vals, c.0) {
                             Some(i) => &vals[i],
                             None => &self.values[c.0 as usize],
-                        }
-                    })
+                        })
+                    }
                 }
                 GateDef::Mul(a, b) => {
                     let eff = |g: GateId| match lookup(&cone, &vals, g.0) {
@@ -758,9 +881,11 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
     fn recompute(&self, g: u32) -> S {
         match &self.plan.circuit.gates()[g as usize] {
             GateDef::Input(_) | GateDef::Const(_) => self.values[g as usize].clone(),
-            GateDef::Add(children) => sum_children(self.plan.circuit.children(*children), |c| {
-                &self.values[c.0 as usize]
-            }),
+            GateDef::Add(children) => sum_add(
+                self.plan.circuit.children(*children),
+                self.plan.add_runs(g),
+                &self.values,
+            ),
             GateDef::Mul(a, b) => self.values[a.0 as usize].mul(&self.values[b.0 as usize]),
             GateDef::Perm { .. } => self.perms[self.plan.perm_index[g as usize] as usize]
                 .total()
@@ -768,6 +893,11 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
         }
     }
 
+    /// Discovery-peek recompute. Stays a scalar gather on purpose: the
+    /// overlay is a hash map, so testing a run for overlaid children
+    /// costs as much as gathering it — the dense tier only pays off in
+    /// [`DynEvaluator::peek_memo`], where the sorted cone makes the
+    /// membership probe one binary search.
     fn recompute_overlay(&self, g: u32, scratch: &PeekScratch<S>) -> S {
         let eff = |gate: GateId| scratch.get(gate.0).unwrap_or(&self.values[gate.0 as usize]);
         match &self.plan.circuit.gates()[g as usize] {

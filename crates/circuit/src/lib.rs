@@ -58,18 +58,35 @@
 //! With cones memoized ([`EvalPlan::with_cones`]),
 //! [`DynEvaluator::peek_memo`] answers point queries by a single
 //! topological sweep of the precomputed cone.
+//!
+//! # Vectorized sweeps
+//!
+//! Add gates dominate sweep time on the compiled circuits (the
+//! domain-sized aggregates at the root). Three pieces turn their
+//! child gathers into bulk slice sums: carrier-level kernels
+//! ([`agq_semiring::Semiring::sum_slice`] /
+//! `add_assign_slices`, auto-vectorized for machine-word carriers), a
+//! plan-time **dense-run analysis** ([`EvalPlan`] precomputes each add
+//! gate's maximal contiguous child-id runs, exposed via
+//! [`EvalPlan::add_runs`] and summarized by
+//! [`EvalPlan::dense_run_stats`]), and the id-relabeling pass
+//! [`Circuit::cluster_adds`] that the compiler applies once so exclusive
+//! children actually *are* contiguous. The bit-identity rules for when a
+//! sum may go through the bulk tier are documented in `eval.rs` (kernel
+//! contract) and enforced by the differential tests.
 
 mod builder;
 mod csr;
 mod dynamic;
 mod eval;
+mod relabel;
 mod stats;
 
 pub use builder::CircuitBuilder;
 pub use csr::{Csr, CsrBuilder, CsrCursor};
 pub use dynamic::{
-    DynEvaluator, EvalPlan, FiniteEvaluator, FiniteMaint, GeneralEvaluator, PeekScratch, PermMaint,
-    RingEvaluator, RingMaint,
+    DenseRunStats, DynEvaluator, EvalPlan, FiniteEvaluator, FiniteMaint, GeneralEvaluator,
+    PeekScratch, PermMaint, RingEvaluator, RingMaint,
 };
 pub use eval::eval_gates;
 pub use stats::CircuitStats;
@@ -125,9 +142,10 @@ pub enum GateDef {
     Input(u32),
     /// A constant.
     Const(ConstRef),
-    /// Sum of the referenced children. The compiler only emits
-    /// query-bounded fan-in here; data-sized sums go through 1-row
-    /// permanent gates.
+    /// Sum of the referenced children. The compiler emits wide (chunked
+    /// data-sized) fan-in for term and top-level sums so the vectorized
+    /// dense-run tier has slices to sweep; per-element products still go
+    /// through 1-row permanent gates.
     Add(ChildRange),
     /// Product of two children.
     Mul(GateId, GateId),

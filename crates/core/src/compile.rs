@@ -286,7 +286,10 @@ pub fn compile<S: Semiring>(
     }
 
     let output = add_balanced(&mut emit.builder, &top_gates);
-    let circuit = emit.builder.finish(output);
+    // Relabel once so exclusive add-gate children become contiguous id
+    // runs — the dense-run tier of the evaluators sweeps those as value
+    // slices. Pure id renaming: deterministic, semantics-preserving.
+    let circuit = emit.builder.finish(output).cluster_adds();
     report.stats = circuit.stats();
     Ok(CompiledQuery {
         circuit: Arc::new(circuit),
@@ -352,15 +355,23 @@ fn surjections(k: usize, d_set: &[u32], assign: &mut [u32], i: usize, f: &mut im
     }
 }
 
+/// Fan-in of the add gates emitted for term and top-level sums. Wide
+/// gates keep the data-sized aggregates as few flat child segments the
+/// dense-run sweep of `agq_circuit` can evaluate as value slices (after
+/// `Circuit::cluster_adds` makes the children contiguous); the chunked
+/// recursion keeps depth logarithmic for sums wider than one gate.
+const ADD_FANIN: usize = 64;
+
 fn add_balanced(b: &mut CircuitBuilder, gates: &[GateId]) -> GateId {
     match gates.len() {
         0 => b.zero(),
         1 => gates[0],
+        n if n <= ADD_FANIN => b.add(gates),
         _ => {
-            let mid = gates.len() / 2;
-            let l = add_balanced(b, &gates[..mid]);
-            let r = add_balanced(b, &gates[mid..]);
-            b.add(&[l, r])
+            // Left-to-right chunks preserve the summand (enumeration)
+            // order; each chunk becomes one wide gate.
+            let chunks: Vec<GateId> = gates.chunks(ADD_FANIN).map(|c| b.add(c)).collect();
+            add_balanced(b, &chunks)
         }
     }
 }

@@ -745,9 +745,18 @@ mod tests {
         // ranges: aligned with the enumeration, clipped at the end
         assert_eq!(ix.answer_range(0, all.len()), all);
         let mid = all.len() / 2;
-        assert_eq!(ix.answer_range(mid as u64, 3), all[mid..(mid + 3).min(all.len())]);
-        assert_eq!(ix.answer_range(all.len() as u64 - 1, 10), all[all.len() - 1..]);
-        assert_eq!(ix.answer_range(all.len() as u64, 10), Vec::<Vec<Elem>>::new());
+        assert_eq!(
+            ix.answer_range(mid as u64, 3),
+            all[mid..(mid + 3).min(all.len())]
+        );
+        assert_eq!(
+            ix.answer_range(all.len() as u64 - 1, 10),
+            all[all.len() - 1..]
+        );
+        assert_eq!(
+            ix.answer_range(all.len() as u64, 10),
+            Vec::<Vec<Elem>>::new()
+        );
         assert_eq!(ix.answer_range(2, 0), Vec::<Vec<Elem>>::new());
         // sampling: deterministic per seed, always a real answer
         for seed in 0..32u64 {
@@ -769,9 +778,15 @@ mod tests {
             ix.set_tuple(e, &[0, 1, 2, 3, 4, 5], true),
             Err(UpdateError::MalformedTuple)
         );
-        assert_eq!(ix.set_tuple(e, &[0], false), Err(UpdateError::MalformedTuple));
+        assert_eq!(
+            ix.set_tuple(e, &[0], false),
+            Err(UpdateError::MalformedTuple)
+        );
         // out-of-domain element
-        assert_eq!(ix.set_tuple(e, &[0, 10], true), Err(UpdateError::MalformedTuple));
+        assert_eq!(
+            ix.set_tuple(e, &[0, 10], true),
+            Err(UpdateError::MalformedTuple)
+        );
         // unknown relation id
         assert_eq!(
             ix.set_tuple(RelId(7), &[0, 1], true),

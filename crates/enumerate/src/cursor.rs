@@ -590,10 +590,7 @@ impl EnumMachine {
             GateDef::Perm { .. } => {
                 let mut excluded = Vec::new();
                 let rows = self.perm_seek(st, gate.0, 0, &mut excluded, k, visits)?;
-                Some(Cursor::Perm {
-                    gate: gate.0,
-                    rows,
-                })
+                Some(Cursor::Perm { gate: gate.0, rows })
             }
         }
     }

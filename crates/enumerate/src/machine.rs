@@ -255,10 +255,31 @@ impl CountState {
         if entry.version != version || entry.prefix.len() != nz.len() {
             entry.prefix.clear();
             let mut acc = 0u64;
-            entry.prefix.extend(nz.iter().map(|&pos| {
-                acc = acc.wrapping_add(eval.value(kids[pos as usize]).0);
-                acc
-            }));
+            // Dense fast path: when every child is live in position order
+            // (the steady state of a fully-populated add gate) and the
+            // children are one contiguous id run (the compiler's
+            // `cluster_adds` layout), the rank table is a prefix scan of
+            // one value slice — sequential loads instead of a per-child
+            // `kids[pos]` → `value()` double indirection. Support churn
+            // that permutes `nz` falls back to the gather, which defines
+            // the enumeration order either way.
+            let dense = nz.len() == kids.len()
+                && !kids.is_empty()
+                && nz.iter().enumerate().all(|(i, &p)| p as usize == i)
+                && kids.windows(2).all(|w| w[1].0 == w[0].0 + 1);
+            if dense {
+                let lo = kids[0].0 as usize;
+                let vals = &eval.gate_values()[lo..lo + kids.len()];
+                entry.prefix.extend(vals.iter().map(|v| {
+                    acc = acc.wrapping_add(v.0);
+                    acc
+                }));
+            } else {
+                entry.prefix.extend(nz.iter().map(|&pos| {
+                    acc = acc.wrapping_add(eval.value(kids[pos as usize]).0);
+                    acc
+                }));
+            }
             entry.version = version;
         }
         &entry.prefix
@@ -337,6 +358,12 @@ pub struct EnumPlan {
     /// Dense add index → start of its [`AddSupports`] segment
     /// (`add_offsets[num_adds]` is the total).
     add_offsets: Vec<u32>,
+    /// Dense add index → first child gate id when the gate's whole child
+    /// segment is one contiguous ascending id run (`NO_IDX` otherwise).
+    /// After the compiler's `cluster_adds` relabeling this covers almost
+    /// every add gate; dense gates let the initial support pass read the
+    /// children's support 64-wide from a bitset instead of per child.
+    add_dense_lo: Vec<u32>,
     /// Gate id → dense perm index (`NO_IDX` for non-perm gates).
     perm_index: Vec<u32>,
     /// Dense perm index → pool layout.
@@ -367,6 +394,7 @@ impl EnumPlan {
         let mut add_index = vec![NO_IDX; n];
         let mut perm_index = vec![NO_IDX; n];
         let mut add_offsets: Vec<u32> = vec![0];
+        let mut add_dense_lo: Vec<u32> = Vec::new();
         let mut perm_meta: Vec<PermMeta> = Vec::new();
         let mut total_cols = 0usize;
         let mut total_buckets = 0usize;
@@ -378,7 +406,15 @@ impl EnumPlan {
                     add_index[i] = (add_offsets.len() - 1) as u32;
                     let last = *add_offsets.last().expect("nonempty");
                     add_offsets.push(last + r.len() as u32);
-                    for c in circuit.children(*r) {
+                    let kids = circuit.children(*r);
+                    add_dense_lo.push(
+                        if !kids.is_empty() && kids.windows(2).all(|w| w[1].0 == w[0].0 + 1) {
+                            kids[0].0
+                        } else {
+                            NO_IDX
+                        },
+                    );
+                    for c in kids {
                         parents.count(c.0 as usize);
                     }
                 }
@@ -450,6 +486,7 @@ impl EnumPlan {
             slot_gates: slot_gates.finish(),
             add_index,
             add_offsets,
+            add_dense_lo,
             perm_index,
             perm_meta,
             total_cols,
@@ -520,6 +557,13 @@ impl EnumMachine {
         );
         let mut perms = PermPool::with_layout(plan.total_cols, plan.total_buckets);
         let mut support = vec![false; n];
+        // Word-wide mirror of `support`, maintained during this pass only:
+        // dense add gates read their children's support 64 bits at a time
+        // instead of one bool per child (zero words skip 64 children in
+        // one compare — on the compiled circuits most mass sits under a
+        // few wide add gates, so this is the bulk of the O(circuit) per
+        // shard-state build).
+        let mut support_bits = vec![0u64; n.div_ceil(64)];
         // Bottom-up: children precede parents, so one pass suffices.
         for (i, g) in gates.iter().enumerate() {
             support[i] = match g {
@@ -529,12 +573,38 @@ impl EnumMachine {
                 GateDef::Const(ConstRef::Lit(_)) => unreachable!("no lits"),
                 GateDef::Add(children) => {
                     let ai = plan.add_index[i] as usize;
-                    for (p, c) in circuit.children(*children).iter().enumerate() {
-                        if support[c.0 as usize] {
-                            add_sup.set(&plan.add_offsets, ai, p, true);
+                    let kids = circuit.children(*children);
+                    let dense = plan.add_dense_lo[ai];
+                    if dense != NO_IDX {
+                        let lo = dense as usize;
+                        let hi = lo + kids.len();
+                        let mut any = false;
+                        let w0 = lo / 64;
+                        for (wi, &bits) in support_bits[w0..hi.div_ceil(64)].iter().enumerate() {
+                            let base = (w0 + wi) * 64;
+                            let mut word = bits;
+                            if base < lo {
+                                word &= !0u64 << (lo - base);
+                            }
+                            if base + 64 > hi {
+                                word &= !0u64 >> (base + 64 - hi);
+                            }
+                            any |= word != 0;
+                            while word != 0 {
+                                let b = word.trailing_zeros() as usize;
+                                word &= word - 1;
+                                add_sup.set(&plan.add_offsets, ai, base + b - lo, true);
+                            }
                         }
+                        any
+                    } else {
+                        for (p, c) in kids.iter().enumerate() {
+                            if support[c.0 as usize] {
+                                add_sup.set(&plan.add_offsets, ai, p, true);
+                            }
+                        }
+                        !add_sup.nz(&plan.add_offsets, ai).is_empty()
                     }
-                    !add_sup.nz(&plan.add_offsets, ai).is_empty()
                 }
                 GateDef::Mul(a, b) => support[a.0 as usize] && support[b.0 as usize],
                 GateDef::Perm { rows, cols } => {
@@ -552,6 +622,9 @@ impl EnumMachine {
                     PermSupport { meta, pool: &perms }.supported()
                 }
             };
+            if support[i] {
+                support_bits[i / 64] |= 1 << (i % 64);
+            }
         }
         let mut slot_bits = vec![0u64; input_vals.len().div_ceil(64)];
         for (slot, v) in input_vals.iter().enumerate() {
@@ -854,7 +927,12 @@ impl EnumMachine {
     /// incrementally maintained count evaluator: `O(circuit)` on the
     /// first call, `O(pending updates)` afterwards.
     pub fn summand_count(&self) -> u64 {
-        self.counts().eval.as_ref().expect("built by counts()").output().0
+        self.counts()
+            .eval
+            .as_ref()
+            .expect("built by counts()")
+            .output()
+            .0
     }
 }
 

@@ -117,7 +117,11 @@ fn check_ranks<S: Semiring + PartialEq, P: PermMaint<S> + Send + Sync>(
             "{ctx}: sharded rank {k}"
         );
     }
-    assert_eq!(sharded.answer(stream.len() as u64), None, "{ctx}: sharded end");
+    assert_eq!(
+        sharded.answer(stream.len() as u64),
+        None,
+        "{ctx}: sharded end"
+    );
     // sharded ranges cross shard boundaries transparently
     for &k in probe_ks {
         let k = (k as usize).min(stream.len()) as u64;

@@ -123,7 +123,11 @@ fn rank_repair_ingestion_overhead() {
     let n = 16_000;
     let (a, phi, e) = e9_workload(n);
     let opts = CompileOptions::default();
-    let edges: Vec<Vec<u32>> = a.relation(e).iter().map(|t| t.as_slice().to_vec()).collect();
+    let edges: Vec<Vec<u32>> = a
+        .relation(e)
+        .iter()
+        .map(|t| t.as_slice().to_vec())
+        .collect();
 
     // Deterministic flip script: toggle pseudo-random edges in and out.
     let reps = 20_000usize;

@@ -1,7 +1,7 @@
 //! Executable semiring laws, used by unit and property tests of every
 //! instance (and by downstream crates to validate user-supplied semirings).
 
-use crate::traits::{Ring, Semiring};
+use crate::traits::{lane_sum_iter, lane_sum_slice, Ring, Semiring};
 
 /// Assert all commutative-semiring laws on every triple drawn from
 /// `samples`. Panics with a descriptive message on the first violation.
@@ -38,6 +38,63 @@ pub fn check_semiring_laws<S: Semiring>(samples: &[S]) {
     }
 }
 
+/// Assert the bulk-kernel laws that the vectorized evaluators rely on,
+/// over prefixes of `samples` of every length up to `samples.len()`
+/// (covering the short-sequential, lane-mode, and remainder regimes of
+/// the canonical fold):
+///
+/// * `sum_slice` agrees with the canonical 4-lane fold
+///   ([`lane_sum_slice`]) — for `ORDER_INSENSITIVE_ADD` carriers this is
+///   the associativity/commutativity claim of the flag, for the rest it
+///   pins the default implementation;
+/// * `sum_slice` agrees with a plain left-to-right iterated `add` when
+///   the carrier declares order-insensitivity;
+/// * `sum` (the iterator form) is bit-identical to the default slice
+///   fold ([`lane_sum_iter`] ≡ [`lane_sum_slice`]);
+/// * `add_assign_slices` equals elementwise `add`.
+pub fn check_sum_kernel_laws<S: Semiring>(samples: &[S]) {
+    for len in 0..=samples.len() {
+        let xs = &samples[..len];
+        let canonical = lane_sum_slice(xs);
+        let bulk = S::sum_slice(xs);
+        assert_eq!(
+            bulk, canonical,
+            "sum_slice disagrees with the canonical lane fold at len {len}"
+        );
+        let streamed = S::sum(xs.iter());
+        assert_eq!(
+            streamed,
+            lane_sum_iter(xs.iter()),
+            "sum does not route through lane_sum_iter at len {len}"
+        );
+        assert_eq!(
+            lane_sum_iter(xs.iter()),
+            canonical,
+            "lane_sum_iter drifts from lane_sum_slice at len {len}"
+        );
+        if S::ORDER_INSENSITIVE_ADD {
+            let mut seq = S::zero();
+            for x in xs {
+                seq.add_assign(x);
+            }
+            assert_eq!(
+                bulk, seq,
+                "ORDER_INSENSITIVE_ADD carrier: sum_slice ≠ iterated add at len {len}"
+            );
+        }
+        let mut dst: Vec<S> = xs.to_vec();
+        let src: Vec<S> = xs.iter().rev().cloned().collect();
+        S::add_assign_slices(&mut dst, &src);
+        for (i, ((d, a), b)) in dst.iter().zip(xs).zip(&src).enumerate() {
+            assert_eq!(
+                *d,
+                a.add(b),
+                "add_assign_slices ≠ elementwise add at index {i}, len {len}"
+            );
+        }
+    }
+}
+
 /// Assert the additional ring laws on every element of `samples`.
 pub fn check_ring_laws<R: Ring>(samples: &[R]) {
     for a in samples {
@@ -56,10 +113,10 @@ pub fn check_ring_laws<R: Ring>(samples: &[R]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::numeric::{Bool, Int, Mod, Nat, Rat};
+    use crate::numeric::{Bool, Int, Mod, Nat, Rat, F64};
     use crate::pair::Pair;
     use crate::provenance::{Gen, Poly};
-    use crate::tropical::{MaxPlus, MinMax, MinPlus};
+    use crate::tropical::{MaxF, MaxPlus, MinMax, MinPlus};
 
     #[test]
     fn bool_laws() {
@@ -113,6 +170,69 @@ mod tests {
             Pair(Nat(3), MinPlus(4)),
         ];
         check_semiring_laws(&xs);
+    }
+
+    // ≥ 13 samples so every carrier exercises the sequential (<8), lane,
+    // and remainder regimes of the canonical fold.
+    #[test]
+    fn sum_kernel_laws_all_carriers() {
+        let bools: Vec<Bool> = (0..13).map(|i| Bool(i % 3 == 0)).collect();
+        check_sum_kernel_laws(&bools);
+
+        let nats: Vec<Nat> = (0..13).map(|i| Nat(i * i + 1)).collect();
+        check_sum_kernel_laws(&nats);
+
+        let ints: Vec<Int> = (0..13).map(|i| Int(7 - 2 * i)).collect();
+        check_sum_kernel_laws(&ints);
+
+        let mods: Vec<Mod> = (0..13).map(|v| Mod::new(v * 3 + 1, 5)).collect();
+        check_sum_kernel_laws(&mods);
+
+        let minplus: Vec<MinPlus> = (0..13)
+            .map(|i| {
+                if i == 4 {
+                    MinPlus::INF
+                } else {
+                    MinPlus(40 - i)
+                }
+            })
+            .collect();
+        check_sum_kernel_laws(&minplus);
+
+        let maxplus: Vec<MaxPlus> = (0..13)
+            .map(|i| {
+                if i == 7 {
+                    MaxPlus::NEG_INF
+                } else {
+                    MaxPlus(i - 6)
+                }
+            })
+            .collect();
+        check_sum_kernel_laws(&maxplus);
+
+        let minmax: Vec<MinMax> = (0..13).map(|i| MinMax(100 - 5 * i)).collect();
+        check_sum_kernel_laws(&minmax);
+
+        let rats: Vec<Rat> = (1..14).map(|i| Rat::new(i, i + 1)).collect();
+        check_sum_kernel_laws(&rats);
+
+        // Order-sensitive carriers: the law degenerates to "default ≡
+        // canonical fold", which is exactly the bit-identity contract the
+        // evaluators need for F64.
+        let floats: Vec<F64> = (0..13).map(|i| F64(0.1 * i as f64 + 1e-9)).collect();
+        check_sum_kernel_laws(&floats);
+
+        let maxf: Vec<MaxF> = (0..13).map(|i| MaxF(1.5 * i as f64 - 3.0)).collect();
+        check_sum_kernel_laws(&maxf);
+
+        let pairs: Vec<Pair<Nat, MinPlus>> =
+            (0..13).map(|i| Pair(Nat(i), MinPlus(20 - i))).collect();
+        check_sum_kernel_laws(&pairs);
+
+        let polys: Vec<Poly> = (0..13)
+            .map(|i| Poly::var(Gen(i % 4)).add(&Poly::one()))
+            .collect();
+        check_sum_kernel_laws(&polys);
     }
 
     #[test]

@@ -39,5 +39,5 @@ mod tropical;
 pub use numeric::{Bool, Int, Mod, Nat, Rat, F64};
 pub use pair::Pair;
 pub use provenance::{Gen, Monomial, Poly};
-pub use traits::{nat_mul, FiniteSemiring, Ring, Semiring};
+pub use traits::{lane_sum_iter, lane_sum_slice, nat_mul, FiniteSemiring, Ring, Semiring};
 pub use tropical::{MaxF, MaxPlus, MinMax, MinPlus};

@@ -12,6 +12,8 @@ use std::fmt;
 pub struct Bool(pub bool);
 
 impl Semiring for Bool {
+    const ORDER_INSENSITIVE_ADD: bool = true;
+
     fn zero() -> Self {
         Bool(false)
     }
@@ -29,6 +31,19 @@ impl Semiring for Bool {
     }
     fn is_one(&self) -> bool {
         self.0
+    }
+    #[inline]
+    fn sum_slice(xs: &[Self]) -> Self {
+        // Disjunction short-circuits; `any` compiles to an early-exit scan,
+        // which beats any fold the moment a `true` appears.
+        Bool(xs.iter().any(|x| x.0))
+    }
+    #[inline]
+    fn add_assign_slices(dst: &mut [Self], src: &[Self]) {
+        assert_eq!(dst.len(), src.len(), "slice length mismatch");
+        for (d, s) in dst.iter_mut().zip(src) {
+            d.0 |= s.0;
+        }
     }
 }
 
@@ -59,6 +74,8 @@ impl fmt::Display for Bool {
 pub struct Nat(pub u64);
 
 impl Semiring for Nat {
+    const ORDER_INSENSITIVE_ADD: bool = true;
+
     fn zero() -> Self {
         Nat(0)
     }
@@ -76,6 +93,23 @@ impl Semiring for Nat {
     }
     fn is_one(&self) -> bool {
         self.0 == 1
+    }
+    #[inline]
+    fn sum_slice(xs: &[Self]) -> Self {
+        // Wrapping u64 addition is associative and commutative at the bit
+        // level, so a straight reduction is legal and LLVM vectorizes it.
+        let mut acc = 0u64;
+        for x in xs {
+            acc = acc.wrapping_add(x.0);
+        }
+        Nat(acc)
+    }
+    #[inline]
+    fn add_assign_slices(dst: &mut [Self], src: &[Self]) {
+        assert_eq!(dst.len(), src.len(), "slice length mismatch");
+        for (d, s) in dst.iter_mut().zip(src) {
+            d.0 = d.0.wrapping_add(s.0);
+        }
     }
 }
 
@@ -104,6 +138,8 @@ impl fmt::Display for Nat {
 pub struct Int(pub i64);
 
 impl Semiring for Int {
+    const ORDER_INSENSITIVE_ADD: bool = true;
+
     fn zero() -> Self {
         Int(0)
     }
@@ -121,6 +157,21 @@ impl Semiring for Int {
     }
     fn is_one(&self) -> bool {
         self.0 == 1
+    }
+    #[inline]
+    fn sum_slice(xs: &[Self]) -> Self {
+        let mut acc = 0i64;
+        for x in xs {
+            acc = acc.wrapping_add(x.0);
+        }
+        Int(acc)
+    }
+    #[inline]
+    fn add_assign_slices(dst: &mut [Self], src: &[Self]) {
+        assert_eq!(dst.len(), src.len(), "slice length mismatch");
+        for (d, s) in dst.iter_mut().zip(src) {
+            d.0 = d.0.wrapping_add(s.0);
+        }
     }
 }
 
@@ -303,6 +354,12 @@ impl Mod {
 }
 
 impl Semiring for Mod {
+    // Uniform-modulus residue addition is exact word arithmetic; mixed
+    // moduli never arise from a single compiled query (all constants and
+    // inputs share one `m`), and `sum_slice` falls back to the canonical
+    // fold when they do.
+    const ORDER_INSENSITIVE_ADD: bool = true;
+
     fn zero() -> Self {
         Mod::new(0, DEFAULT_MODULUS)
     }
@@ -312,6 +369,24 @@ impl Semiring for Mod {
     fn add(&self, rhs: &Self) -> Self {
         let m = self.join(rhs);
         Mod::new((self.value + rhs.value) % m, m)
+    }
+    #[inline]
+    fn sum_slice(xs: &[Self]) -> Self {
+        let Some(first) = xs.first() else {
+            return Self::zero();
+        };
+        let m = first.modulus;
+        if xs.iter().any(|x| x.modulus != m) {
+            // Mixed moduli: defer to the canonical fold, whose pairwise
+            // `join` handles identity-modulus adoption (and panics on a
+            // genuine mismatch exactly like the scalar path would).
+            return crate::traits::lane_sum_slice(xs);
+        }
+        let mut acc = 0u64;
+        for x in xs {
+            acc = (acc + x.value) % m;
+        }
+        Mod::new(acc, m)
     }
     fn mul(&self, rhs: &Self) -> Self {
         let m = self.join(rhs);

@@ -16,6 +16,22 @@ use std::hash::Hash;
 /// These laws are checked for every instance by the property tests in
 /// [`crate::laws`].
 pub trait Semiring: Clone + PartialEq + Debug + Send + Sync + 'static {
+    /// Whether addition is insensitive to summand *order and grouping* at
+    /// the representation level: any fold of any permutation of a summand
+    /// sequence yields the same bits.
+    ///
+    /// True for the machine-word carriers (`Bool`, `Nat`, `Int`, `Mod`,
+    /// and the integer tropical semirings), whose additions are exact
+    /// word operations. False by default, and in particular for the
+    /// floating-point carriers (`F64`, `MaxF`'s sibling `F64`-valued
+    /// products), where only the canonical fold order of
+    /// [`lane_sum_slice`] is reproducible. Evaluators consult this flag
+    /// before decomposing a sum into per-run bulk kernels: when it is
+    /// `false`, only a *single* run covering the whole child segment may
+    /// use [`Semiring::sum_slice`] (same operand sequence, same fold),
+    /// everything else falls back to the canonical scalar gather.
+    const ORDER_INSENSITIVE_ADD: bool = false;
+
     /// The additive identity `0`.
     fn zero() -> Self;
     /// The multiplicative identity `1`.
@@ -24,6 +40,35 @@ pub trait Semiring: Clone + PartialEq + Debug + Send + Sync + 'static {
     fn add(&self, rhs: &Self) -> Self;
     /// Semiring multiplication.
     fn mul(&self, rhs: &Self) -> Self;
+
+    /// Sum of a contiguous slice — the bulk kernel behind dense-run
+    /// add-gate evaluation.
+    ///
+    /// The default reproduces the canonical 4-lane fold of
+    /// [`lane_sum_slice`] **exactly** (same operand order, same lane
+    /// grouping), so a dense-run evaluator that hands a gate's full child
+    /// segment to `sum_slice` gets bit-identical values to the scalar
+    /// gather on every carrier, floats included. Carriers with
+    /// [`Semiring::ORDER_INSENSITIVE_ADD`]` = true` may override with a
+    /// tight loop the compiler auto-vectorizes (wrapping `u64` adds,
+    /// word-`min`/`max`, boolean any); by the flag's contract the result
+    /// bits cannot differ from the canonical fold.
+    fn sum_slice(xs: &[Self]) -> Self {
+        lane_sum_slice(xs)
+    }
+
+    /// Elementwise in-place addition of two equal-length slices:
+    /// `dst[i] += src[i]` for every `i` — the vectorizable companion
+    /// kernel for accumulating one value row into another.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    fn add_assign_slices(dst: &mut [Self], src: &[Self]) {
+        assert_eq!(dst.len(), src.len(), "slice length mismatch");
+        for (d, s) in dst.iter_mut().zip(src) {
+            d.add_assign(s);
+        }
+    }
 
     /// Whether this element is the additive identity.
     ///
@@ -48,16 +93,18 @@ pub trait Semiring: Clone + PartialEq + Debug + Send + Sync + 'static {
     }
 
     /// Sum of a sequence of elements (empty sum is `0`).
+    ///
+    /// Routed through the same canonical lane fold as
+    /// [`Semiring::sum_slice`]'s default ([`lane_sum_iter`]), so one-shot
+    /// iterator sums and dense-run slice sums cannot drift in fold order
+    /// — for any sequence, `sum(xs.iter())` and the default
+    /// `sum_slice(xs)` are bit-identical.
     fn sum<'a, I>(iter: I) -> Self
     where
         Self: 'a,
         I: IntoIterator<Item = &'a Self>,
     {
-        let mut acc = Self::zero();
-        for x in iter {
-            acc.add_assign(x);
-        }
-        acc
+        lane_sum_iter(iter.into_iter())
     }
 
     /// Product of a sequence of elements (empty product is `1`).
@@ -88,6 +135,92 @@ pub trait Semiring: Clone + PartialEq + Debug + Send + Sync + 'static {
             }
         }
         acc
+    }
+}
+
+/// The **canonical fold order** of every sum in the engine: four
+/// independent accumulator lanes over chunks of 4 (element `4k + j` lands
+/// in lane `j`), lanes folded as `(l0 + l1) + (l2 + l3)`, then the
+/// `len % 4` tail appended scalar, left to right. Sequences shorter than
+/// 8 fold sequentially. This is the exact order the circuit evaluators'
+/// scalar gather uses (`agq_circuit`'s `sum_children`), the default
+/// [`Semiring::sum_slice`], and the streaming twin [`lane_sum_iter`] —
+/// one definition, so add-gate values are bit-identical across one-shot,
+/// dynamic, peek, and bulk paths even for non-associative carriers.
+pub fn lane_sum_slice<S: Semiring>(xs: &[S]) -> S {
+    const LANES: usize = 4;
+    if xs.len() < 2 * LANES {
+        let mut acc = S::zero();
+        for x in xs {
+            acc.add_assign(x);
+        }
+        return acc;
+    }
+    let mut lanes = [S::zero(), S::zero(), S::zero(), S::zero()];
+    let chunks = xs.chunks_exact(LANES);
+    let rest = chunks.remainder();
+    for chunk in chunks {
+        for (lane, x) in lanes.iter_mut().zip(chunk) {
+            lane.add_assign(x);
+        }
+    }
+    let [a, b, c, d] = lanes;
+    let mut acc = a.add(&b).add(&c.add(&d));
+    for x in rest {
+        acc.add_assign(x);
+    }
+    acc
+}
+
+/// Streaming twin of [`lane_sum_slice`]: folds an iterator in the exact
+/// same canonical order without collecting it (the first 8 items are
+/// buffered to decide between the short sequential fold and lane mode).
+pub fn lane_sum_iter<'a, S: Semiring + 'a>(mut it: impl Iterator<Item = &'a S>) -> S {
+    const LANES: usize = 4;
+    let mut head: [Option<&S>; 2 * LANES] = [None; 2 * LANES];
+    let mut n = 0;
+    for x in it.by_ref() {
+        head[n] = Some(x);
+        n += 1;
+        if n == 2 * LANES {
+            break;
+        }
+    }
+    if n < 2 * LANES {
+        let mut acc = S::zero();
+        for x in head.iter().flatten() {
+            acc.add_assign(x);
+        }
+        return acc;
+    }
+    let mut lanes = [S::zero(), S::zero(), S::zero(), S::zero()];
+    for (j, lane) in lanes.iter_mut().enumerate() {
+        lane.add_assign(head[j].expect("filled"));
+        lane.add_assign(head[LANES + j].expect("filled"));
+    }
+    let mut rest: [Option<&S>; LANES] = [None; LANES];
+    loop {
+        let mut m = 0;
+        for x in it.by_ref() {
+            rest[m] = Some(x);
+            m += 1;
+            if m == LANES {
+                break;
+            }
+        }
+        if m == LANES {
+            for (lane, x) in lanes.iter_mut().zip(&rest) {
+                lane.add_assign(x.expect("full chunk"));
+            }
+            rest = [None; LANES];
+        } else {
+            let [a, b, c, d] = lanes;
+            let mut acc = a.add(&b).add(&c.add(&d));
+            for x in rest[..m].iter() {
+                acc.add_assign(x.expect("partial chunk"));
+            }
+            return acc;
+        }
     }
 }
 

@@ -24,6 +24,10 @@ impl MinPlus {
 }
 
 impl Semiring for MinPlus {
+    // `min` over u64 is idempotent, associative, and commutative — any
+    // fold order yields identical bits.
+    const ORDER_INSENSITIVE_ADD: bool = true;
+
     fn zero() -> Self {
         Self::INF
     }
@@ -32,6 +36,21 @@ impl Semiring for MinPlus {
     }
     fn add(&self, rhs: &Self) -> Self {
         MinPlus(self.0.min(rhs.0))
+    }
+    #[inline]
+    fn sum_slice(xs: &[Self]) -> Self {
+        let mut acc = u64::MAX;
+        for x in xs {
+            acc = acc.min(x.0);
+        }
+        MinPlus(acc)
+    }
+    #[inline]
+    fn add_assign_slices(dst: &mut [Self], src: &[Self]) {
+        assert_eq!(dst.len(), src.len(), "slice length mismatch");
+        for (d, s) in dst.iter_mut().zip(src) {
+            d.0 = d.0.min(s.0);
+        }
     }
     fn mul(&self, rhs: &Self) -> Self {
         // +∞ is absorbing; saturating_add keeps u64::MAX fixed.
@@ -72,6 +91,8 @@ impl MaxPlus {
 }
 
 impl Semiring for MaxPlus {
+    const ORDER_INSENSITIVE_ADD: bool = true;
+
     fn zero() -> Self {
         Self::NEG_INF
     }
@@ -80,6 +101,21 @@ impl Semiring for MaxPlus {
     }
     fn add(&self, rhs: &Self) -> Self {
         MaxPlus(self.0.max(rhs.0))
+    }
+    #[inline]
+    fn sum_slice(xs: &[Self]) -> Self {
+        let mut acc = i64::MIN;
+        for x in xs {
+            acc = acc.max(x.0);
+        }
+        MaxPlus(acc)
+    }
+    #[inline]
+    fn add_assign_slices(dst: &mut [Self], src: &[Self]) {
+        assert_eq!(dst.len(), src.len(), "slice length mismatch");
+        for (d, s) in dst.iter_mut().zip(src) {
+            d.0 = d.0.max(s.0);
+        }
     }
     fn mul(&self, rhs: &Self) -> Self {
         if self.0 == i64::MIN || rhs.0 == i64::MIN {
@@ -123,6 +159,8 @@ impl MinMax {
 }
 
 impl Semiring for MinMax {
+    const ORDER_INSENSITIVE_ADD: bool = true;
+
     fn zero() -> Self {
         Self::INF
     }
@@ -131,6 +169,21 @@ impl Semiring for MinMax {
     }
     fn add(&self, rhs: &Self) -> Self {
         MinMax(self.0.min(rhs.0))
+    }
+    #[inline]
+    fn sum_slice(xs: &[Self]) -> Self {
+        let mut acc = u64::MAX;
+        for x in xs {
+            acc = acc.min(x.0);
+        }
+        MinMax(acc)
+    }
+    #[inline]
+    fn add_assign_slices(dst: &mut [Self], src: &[Self]) {
+        assert_eq!(dst.len(), src.len(), "slice length mismatch");
+        for (d, s) in dst.iter_mut().zip(src) {
+            d.0 = d.0.min(s.0);
+        }
     }
     fn mul(&self, rhs: &Self) -> Self {
         MinMax(self.0.max(rhs.0))
