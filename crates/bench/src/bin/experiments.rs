@@ -27,6 +27,7 @@ fn main() {
     let bench4_only = std::env::args().any(|a| a == "bench4");
     let bench5_only = std::env::args().any(|a| a == "bench5");
     let bench6_only = std::env::args().any(|a| a == "bench6");
+    let bench7_only = std::env::args().any(|a| a == "bench7");
     println!("# Experiment harness — sparse-agg");
     println!("(one section per experiment id of DESIGN.md §5)\n");
     if bench5_only {
@@ -39,6 +40,12 @@ fn main() {
         let mut record6 = Bench6Record::default();
         e17_vector_sweeps(&mut record6);
         record6.write("BENCH_6.json");
+        return;
+    }
+    if bench7_only {
+        let mut record7 = Bench7Record::default();
+        e18_persist_restart(&mut record7);
+        record7.write("BENCH_7.json");
         return;
     }
     if !bench3_only && !bench4_only {
@@ -79,6 +86,9 @@ fn main() {
         let mut record6 = Bench6Record::default();
         e17_vector_sweeps(&mut record6);
         record6.write("BENCH_6.json");
+        let mut record7 = Bench7Record::default();
+        e18_persist_restart(&mut record7);
+        record7.write("BENCH_7.json");
     }
 }
 
@@ -1886,4 +1896,177 @@ fn e12_ablation_coloring() {
         );
     }
     println!();
+}
+
+/// Headline numbers of PR 9 (agq-persist: plan serialization, state
+/// snapshots, checksummed WAL), persisted as `BENCH_7.json`.
+#[derive(Default)]
+struct Bench7Record {
+    n: usize,
+    answers: u64,
+    compile_ms: f64,
+    plan_bytes: u64,
+    snapshot_bytes: u64,
+    save_ms: f64,
+    load_ms: f64,
+    load_speedup: f64,
+    wal_batches: usize,
+    wal_updates: usize,
+    wal_bytes: u64,
+    recover_ms: f64,
+    wal_replay_ups: f64,
+}
+
+impl Bench7Record {
+    fn write(&self, path: &str) {
+        let json = format!(
+            "{{\n  \"bench\": 7,\n  {},\n  \"e18_persist_restart\": {{\"n\": {}, \"answers\": {},\n    \"compile_ms\": {:.1},\n    \"artifacts\": {{\"plan_bytes\": {}, \"snapshot_bytes\": {}, \"save_ms\": {:.1}}},\n    \"plan_load\": {{\"load_ms\": {:.1}, \"speedup_vs_compile\": {:.1}}},\n    \"wal\": {{\"batches\": {}, \"updates\": {}, \"bytes\": {}, \"recover_ms\": {:.1}, \"replay_updates_per_sec\": {:.0}}}}}\n}}\n",
+            hardware_json(),
+            self.n,
+            self.answers,
+            self.compile_ms,
+            self.plan_bytes,
+            self.snapshot_bytes,
+            self.save_ms,
+            self.load_ms,
+            self.load_speedup,
+            self.wal_batches,
+            self.wal_updates,
+            self.wal_bytes,
+            self.recover_ms,
+            self.wal_replay_ups,
+        );
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+/// E18 — PR 9 headline: persistence round-trip on the E9 workload.
+/// Four measurements:
+///
+/// * **compile vs load** — a cold `build_dynamic` against decoding the
+///   saved `.agqplan` + `.agqsnap` pair (linear decode + linear plan
+///   rebuild; no tree-decomposition, no circuit construction);
+/// * **artifact sizes** — bytes on disk for the plan and the snapshot,
+///   and the wall time to write both under the snapshot locks;
+/// * **WAL journal + recovery** — 64 batches of 16 edge flips appended
+///   through the checksummed log, then a crash-restart:
+///   plan + snapshot load, tail scan, and committed-batch replay;
+/// * **replay throughput** — updates per second through the recovery
+///   replay path alone (recover time minus a separately-timed load).
+fn e18_persist_restart(record: &mut Bench7Record) {
+    use agq_core::TupleUpdate;
+    use agq_enumerate::EnumQueryEngine;
+    use agq_persist::{attach_file_wal, load_engine, recover_engine, save_engine};
+    use agq_semiring::F64;
+
+    type Engine = EnumQueryEngine<F64, SegTreePerm<F64>>;
+
+    println!("## E18  persistence: plan/snapshot round-trip + WAL recovery on E9");
+    let n = 16_000usize;
+    record.n = n;
+    let g = generators::gnm(n, 2 * n, 7);
+    let mut sig = agq_structure::Signature::new();
+    let e = sig.add_relation("E", 2);
+    let mut a = agq_structure::Structure::new(std::sync::Arc::new(sig), n);
+    for (u, v) in g.edges() {
+        a.insert(e, &[u, v]);
+        a.insert(e, &[v, u]);
+    }
+    let edges: Vec<Vec<u32>> = a
+        .relation(e)
+        .iter()
+        .map(|t| t.as_slice().to_vec())
+        .collect();
+    let a = std::sync::Arc::new(a);
+    let (x, y, z) = (Var(0), Var(1), Var(2));
+    let phi = Formula::Rel(e, vec![x, y])
+        .and(Formula::Rel(e, vec![y, z]))
+        .and(Formula::neq(x, z));
+    let opts = CompileOptions::default();
+
+    let t0 = Instant::now();
+    let mut live = Engine::build_dynamic(&a, &phi, &opts).unwrap();
+    record.compile_ms = t0.elapsed().as_secs_f64() * 1e3;
+    record.answers = live.count();
+    println!(
+        "    compile: {:.1} ms, {} answers",
+        record.compile_ms, record.answers
+    );
+
+    let dir = std::env::temp_dir().join(format!("agq_bench7_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (plan, snap, wal) = (
+        dir.join("q.agqplan"),
+        dir.join("q.agqsnap"),
+        dir.join("wal.agqlog"),
+    );
+    let t0 = Instant::now();
+    let stats = save_engine(&live, &plan, &snap).unwrap();
+    record.save_ms = t0.elapsed().as_secs_f64() * 1e3;
+    record.plan_bytes = stats.plan_bytes;
+    record.snapshot_bytes = stats.snapshot_bytes;
+    println!(
+        "    save: plan {} B + snapshot {} B in {:.1} ms",
+        record.plan_bytes, record.snapshot_bytes, record.save_ms
+    );
+
+    // Warm the file cache, then time the load proper.
+    load_engine::<F64, SegTreePerm<F64>>(&plan, &snap).unwrap();
+    let t0 = Instant::now();
+    let loaded = load_engine::<F64, SegTreePerm<F64>>(&plan, &snap).unwrap();
+    record.load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    record.load_speedup = record.compile_ms / record.load_ms;
+    assert_eq!(loaded.count(), record.answers);
+    println!(
+        "    load: {:.1} ms ({:.1}× faster than compile)",
+        record.load_ms, record.load_speedup
+    );
+
+    // Journal 64 batches of 16 deterministic edge flips, then recover.
+    attach_file_wal(&mut live, &wal).unwrap();
+    let (batches, per_batch) = (64usize, 16usize);
+    let mut present = vec![true; edges.len()];
+    let mut s = 0x9e3779b97f4a7c15u64;
+    for _ in 0..batches {
+        let batch: Vec<TupleUpdate> = (0..per_batch)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let ei = (s % edges.len() as u64) as usize;
+                present[ei] = !present[ei];
+                TupleUpdate {
+                    rel: e,
+                    tuple: edges[ei].clone(),
+                    present: present[ei],
+                }
+            })
+            .collect();
+        live.apply_batch(&batch).unwrap();
+    }
+    live.detach_wal();
+    record.wal_batches = batches;
+    record.wal_updates = batches * per_batch;
+    record.wal_bytes = std::fs::metadata(&wal).unwrap().len();
+
+    let t0 = Instant::now();
+    let (rec, report) = recover_engine::<F64, SegTreePerm<F64>>(&plan, &snap, &wal).unwrap();
+    record.recover_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.batches_replayed, batches);
+    assert_eq!(rec.count(), live.count());
+    let replay_ms = (record.recover_ms - record.load_ms).max(1e-3);
+    record.wal_replay_ups = record.wal_updates as f64 / (replay_ms / 1e3);
+    println!(
+        "    recover: {:.1} ms for {} batches / {} updates ({} B of WAL); \
+         replay ≈ {:.0} updates/s\n",
+        record.recover_ms,
+        record.wal_batches,
+        record.wal_updates,
+        record.wal_bytes,
+        record.wal_replay_ups
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -493,9 +493,67 @@ impl<S: Semiring, P: PermMaint<S>> DynEvaluator<S, P> {
         }
     }
 
+    /// Reinstate a previously saved state over a shared plan without
+    /// re-evaluating the circuit: `slot_values` and `values` are the
+    /// vectors a live evaluator exposed via
+    /// [`slot_value`](Self::slot_value) / [`gate_values`](Self::gate_values).
+    ///
+    /// Perm maintenance structures are rebuilt with [`PermMaint::build`]
+    /// on matrices gathered from the saved `values` — valid because the
+    /// update sweep keeps every perm matrix entry equal to the committed
+    /// value of its child gate, so the pair `(slot_values, values)` fully
+    /// determines the perm state. Lengths are validated (a corrupt
+    /// snapshot yields `Err`, not a later out-of-bounds panic); the gate
+    /// values themselves are trusted, exactly as a live engine trusts its
+    /// own committed buffer.
+    pub fn from_saved(
+        plan: Arc<EvalPlan>,
+        slot_values: Vec<S>,
+        values: Vec<S>,
+    ) -> Result<Self, &'static str> {
+        let circuit = &plan.circuit;
+        if slot_values.len() != circuit.num_slots() {
+            return Err("saved slot-value count does not match plan");
+        }
+        if values.len() != circuit.len() {
+            return Err("saved gate-value count does not match plan");
+        }
+        let mut perms: Vec<P> = Vec::with_capacity(plan.num_perms);
+        for g in circuit.gates() {
+            if let GateDef::Perm { rows, cols } = g {
+                let k = *rows as usize;
+                let cols = circuit.children(*cols);
+                let mut m = ColMatrix::with_capacity(k, cols.len() / k);
+                let mut buf = Vec::with_capacity(k);
+                for col in cols.chunks_exact(k) {
+                    buf.clear();
+                    buf.extend(col.iter().map(|g| values[g.0 as usize].clone()));
+                    m.push_col(&buf);
+                }
+                perms.push(P::build(m));
+            }
+        }
+        Ok(DynEvaluator {
+            plan,
+            values,
+            perms,
+            slot_values,
+            dirty: BinaryHeap::new(),
+            perm_pending: Vec::new(),
+            perm_flush: Vec::new(),
+        })
+    }
+
     /// The shared immutable plan.
     pub fn plan(&self) -> &Arc<EvalPlan> {
         &self.plan
+    }
+
+    /// The whole slot-value vector, indexed by slot id (the mutable
+    /// counterpart of [`gate_values`](Self::gate_values), exposed for
+    /// state snapshotting).
+    pub fn slot_values(&self) -> &[S] {
+        &self.slot_values
     }
 
     /// Current output value.

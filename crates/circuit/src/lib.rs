@@ -118,6 +118,18 @@ pub struct ChildRange {
 }
 
 impl ChildRange {
+    /// A range of `len` children starting at arena offset `start`.
+    /// Used by deserializers reconstructing a circuit from its flat
+    /// buffers; [`CircuitBuilder`] is the normal way to mint ranges.
+    pub fn new(start: u32, len: u32) -> Self {
+        ChildRange { start, len }
+    }
+
+    /// Arena offset of the first child.
+    pub fn start(self) -> u32 {
+        self.start
+    }
+
     /// Number of children in the range.
     pub fn len(self) -> usize {
         self.len as usize
@@ -175,6 +187,78 @@ pub struct Circuit {
 }
 
 impl Circuit {
+    /// Reassemble a circuit from its flat buffers (the inverse of
+    /// reading them back via [`gates`](Self::gates) /
+    /// [`child_arena`](Self::child_arena) / the scalar accessors).
+    ///
+    /// Every structural invariant the builder enforces is re-checked so
+    /// that a corrupted or adversarial byte stream yields an `Err`
+    /// instead of out-of-bounds panics later: child ranges must lie
+    /// inside the arena, every referenced gate id (children, `Mul`
+    /// operands, the output) must be *smaller* than the referencing gate
+    /// (topological order) and within bounds, slot/literal references
+    /// must be within the declared counts, and `Perm` column counts must
+    /// be divisible by their row count.
+    pub fn from_raw_parts(
+        gates: Vec<GateDef>,
+        children: Vec<GateId>,
+        num_slots: u32,
+        num_lits: u32,
+        output: GateId,
+    ) -> Result<Self, &'static str> {
+        let n = gates.len() as u64;
+        let arena = children.len() as u64;
+        let check_range = |g: u64, r: ChildRange| -> Result<(), &'static str> {
+            if r.start as u64 + r.len as u64 > arena {
+                return Err("child range out of arena bounds");
+            }
+            for &c in &children[r.as_range()] {
+                if (c.0 as u64) >= g {
+                    return Err("child id violates topological order");
+                }
+            }
+            Ok(())
+        };
+        for (g, def) in gates.iter().enumerate() {
+            let g = g as u64;
+            match *def {
+                GateDef::Input(slot) => {
+                    if slot >= num_slots {
+                        return Err("input slot out of range");
+                    }
+                }
+                GateDef::Const(ConstRef::Lit(i)) => {
+                    if i >= num_lits {
+                        return Err("literal index out of range");
+                    }
+                }
+                GateDef::Const(_) => {}
+                GateDef::Add(r) => check_range(g, r)?,
+                GateDef::Mul(a, b) => {
+                    if a.0 as u64 >= g || b.0 as u64 >= g {
+                        return Err("mul operand violates topological order");
+                    }
+                }
+                GateDef::Perm { rows, cols } => {
+                    if rows == 0 || cols.len() % rows as usize != 0 {
+                        return Err("perm column count not divisible by rows");
+                    }
+                    check_range(g, cols)?;
+                }
+            }
+        }
+        if n == 0 || output.0 as u64 >= n {
+            return Err("output gate out of range");
+        }
+        Ok(Circuit {
+            gates,
+            children,
+            num_slots,
+            num_lits,
+            output,
+        })
+    }
+
     /// The gates, in topological order.
     pub fn gates(&self) -> &[GateDef] {
         &self.gates

@@ -82,6 +82,70 @@ impl TupleUpdate {
     }
 }
 
+/// A durability hook: a sink that records committed update batches as a
+/// write-ahead-log stream. Engines that ingest [`TupleUpdate`] batches
+/// call [`append_batch`](WalSink::append_batch) once per *applied* batch,
+/// tagging it with a monotonically increasing log sequence number (LSN);
+/// a snapshot taken at LSN `n` plus a replay of every logged batch with
+/// LSN `> n` reconstructs the live state (replay overlap is harmless —
+/// tuple updates are idempotent set-membership writes).
+///
+/// The trait lives here, below the engines in the dependency graph, so
+/// any engine layer can carry a sink without knowing the on-disk format;
+/// `agq-persist` provides the checksummed file-backed implementation.
+pub trait WalSink: Send {
+    /// Append one committed batch under sequence number `lsn`.
+    fn append_batch(&mut self, lsn: u64, updates: &[TupleUpdate]) -> std::io::Result<()>;
+
+    /// Flush buffered records to durable storage.
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Why an engine state could not be instantiated over given plan halves —
+/// the typed replacement for the assertion failures a corrupt or
+/// mismatched snapshot used to trigger deep inside the evaluator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PartsError {
+    /// The evaluation plan was derived from a different circuit than the
+    /// compiled query (slot counts disagree).
+    SlotCountMismatch {
+        /// Slots the plan's circuit expects.
+        plan: usize,
+        /// Slots the compiled query's registry carries.
+        compiled: usize,
+    },
+    /// Literal-table length disagrees between plan circuit and query.
+    LitCountMismatch {
+        /// Literals the plan's circuit expects.
+        plan: usize,
+        /// Literals the compiled query carries.
+        compiled: usize,
+    },
+    /// A saved evaluator state does not fit the plan (wrong vector
+    /// lengths — e.g. a snapshot from a different query or version).
+    SavedState(&'static str),
+}
+
+impl std::fmt::Display for PartsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartsError::SlotCountMismatch { plan, compiled } => write!(
+                f,
+                "plan/query slot count mismatch: plan circuit has {plan}, compiled query {compiled}"
+            ),
+            PartsError::LitCountMismatch { plan, compiled } => write!(
+                f,
+                "plan/query literal count mismatch: plan circuit has {plan}, compiled query {compiled}"
+            ),
+            PartsError::SavedState(msg) => write!(f, "saved state does not fit plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PartsError {}
+
 /// A compiled weighted query bound to live weight values: supports point
 /// queries at free-variable tuples, batched zero-restore queries, weight
 /// updates, and (in dynamic-atom mode) Gaifman-preserving relation
@@ -143,6 +207,22 @@ impl<S: Semiring, P: PermMaint<S>> QueryEngine<S, P> {
         plan: Arc<EvalPlan>,
         weights: &WeightedStructure<S>,
     ) -> Self {
+        match Self::try_from_parts(compiled, plan, weights) {
+            Ok(engine) => engine,
+            Err(e) => panic!("QueryEngine::from_parts: {e}"),
+        }
+    }
+
+    /// Fallible form of [`from_parts`](Self::from_parts): validates that
+    /// the plan actually belongs to the compiled query before touching the
+    /// evaluator, so recovery paths loading plan halves from disk get a
+    /// typed [`PartsError`] instead of an assertion panic.
+    pub fn try_from_parts(
+        compiled: Arc<CompiledQuery<S>>,
+        plan: Arc<EvalPlan>,
+        weights: &WeightedStructure<S>,
+    ) -> Result<Self, PartsError> {
+        Self::check_plan(&compiled, &plan)?;
         let a = weights.structure();
         let slot_values: Vec<S> = compiled
             .slots
@@ -167,12 +247,56 @@ impl<S: Semiring, P: PermMaint<S>> QueryEngine<S, P> {
             })
             .collect();
         let eval = DynEvaluator::from_plan(plan, &slot_values, &compiled.lits);
-        QueryEngine {
+        Ok(QueryEngine {
             compiled,
             eval,
             scratch: PeekScratch::new(),
             patch_buf: Vec::new(),
+        })
+    }
+
+    /// Reinstate an engine from a saved evaluator state (`slot_values`
+    /// and committed `gate_values` as exposed by
+    /// [`evaluator`](Self::evaluator)) without re-evaluating the circuit:
+    /// the restore half of snapshot/restore.
+    pub fn from_saved(
+        compiled: Arc<CompiledQuery<S>>,
+        plan: Arc<EvalPlan>,
+        slot_values: Vec<S>,
+        gate_values: Vec<S>,
+    ) -> Result<Self, PartsError> {
+        Self::check_plan(&compiled, &plan)?;
+        let eval = DynEvaluator::from_saved(plan, slot_values, gate_values)
+            .map_err(PartsError::SavedState)?;
+        Ok(QueryEngine {
+            compiled,
+            eval,
+            scratch: PeekScratch::new(),
+            patch_buf: Vec::new(),
+        })
+    }
+
+    fn check_plan(compiled: &CompiledQuery<S>, plan: &EvalPlan) -> Result<(), PartsError> {
+        let circuit = plan.circuit();
+        if circuit.num_slots() != compiled.slots.len() {
+            return Err(PartsError::SlotCountMismatch {
+                plan: circuit.num_slots(),
+                compiled: compiled.slots.len(),
+            });
         }
+        if circuit.num_lits() != compiled.lits.len() {
+            return Err(PartsError::LitCountMismatch {
+                plan: circuit.num_lits(),
+                compiled: compiled.lits.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The live evaluator state (read-only; snapshotting reads
+    /// `slot_values()` / `gate_values()` through this).
+    pub fn evaluator(&self) -> &DynEvaluator<S, P> {
+        &self.eval
     }
 
     /// The compiled query this engine runs.

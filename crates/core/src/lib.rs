@@ -52,7 +52,9 @@ mod term;
 
 pub use batch::{coalesce_updates, FxBuildHasher, FxHashSet, FxHasher};
 pub use compile::{compile, CompileOptions, CompileReport, CompiledQuery};
-pub use engine::{FiniteEngine, GeneralEngine, QueryEngine, RingEngine, TupleUpdate};
+pub use engine::{
+    FiniteEngine, GeneralEngine, PartsError, QueryEngine, RingEngine, TupleUpdate, WalSink,
+};
 pub use qe::eliminate_quantifiers;
 pub use shape::{enumerate_shapes, Shape};
 pub use slots::{SlotKey, SlotRegistry};

@@ -36,6 +36,10 @@ pub enum UpdateError {
     /// The tuple is malformed for the indexed database: unknown
     /// relation, wrong arity, or an element outside the domain.
     MalformedTuple,
+    /// The batch was applied but could not be appended to the attached
+    /// write-ahead log — the in-memory state is current, durability of
+    /// this batch is not guaranteed.
+    Wal(String),
 }
 
 impl std::fmt::Display for UpdateError {
@@ -47,6 +51,9 @@ impl std::fmt::Display for UpdateError {
             UpdateError::StaticIndex => write!(f, "index was built without dynamic support"),
             UpdateError::MalformedTuple => {
                 write!(f, "tuple has wrong arity or an out-of-domain element")
+            }
+            UpdateError::Wal(e) => {
+                write!(f, "applied batch could not be appended to the WAL: {e}")
             }
         }
     }
@@ -201,6 +208,63 @@ impl AnswerIndex {
             sig: self.sig.clone(),
             domain_size: self.domain_size,
         }
+    }
+
+    /// Reassemble an index from its saved parts — the restore half of
+    /// snapshot/restore (`agq-persist`). The `machine` must have been
+    /// rebuilt over this query's [`crate::machine::EnumPlan`] (e.g. via
+    /// [`EnumMachine::from_plan`] on saved input values); the remaining
+    /// arguments are exactly what the corresponding accessors
+    /// ([`slot_registry`](Self::slot_registry), [`arity`](Self::arity),
+    /// [`is_dynamic`](Self::is_dynamic),
+    /// [`generator_weights`](Self::generator_weights),
+    /// [`signature`](Self::signature),
+    /// [`domain_size`](Self::domain_size)) exposed at save time.
+    pub fn from_saved_parts(
+        machine: EnumMachine,
+        slots: Arc<agq_core::SlotRegistry>,
+        arity: usize,
+        dynamic: bool,
+        gen_weights: Arc<Vec<WeightId>>,
+        sig: Arc<Signature>,
+        domain_size: usize,
+    ) -> AnswerIndex {
+        AnswerIndex {
+            machine,
+            slots,
+            arity,
+            dynamic,
+            gen_weights,
+            sig,
+            domain_size,
+        }
+    }
+
+    /// The shared slot registry of the compiled enumeration circuit.
+    pub fn slot_registry(&self) -> &Arc<agq_core::SlotRegistry> {
+        &self.slots
+    }
+
+    /// The original signature of the indexed structure (no generator
+    /// weights).
+    pub fn signature(&self) -> &Arc<Signature> {
+        &self.sig
+    }
+
+    /// Domain size of the indexed structure.
+    pub fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+
+    /// Whether the index was built with dynamic-update support.
+    pub fn is_dynamic(&self) -> bool {
+        self.dynamic
+    }
+
+    /// The generator weight symbols behind an `Arc`, for sibling-state
+    /// constructors.
+    pub fn generator_weights_arc(&self) -> &Arc<Vec<WeightId>> {
+        &self.gen_weights
     }
 
     /// Answer-tuple arity.

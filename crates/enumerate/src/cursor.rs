@@ -537,7 +537,7 @@ impl EnumMachine {
         match &self.circuit().gates()[gi] {
             GateDef::Input(slot) => {
                 let n = self.input(*slot).len() as u64;
-                (k < n).then(|| Cursor::Leaf {
+                (k < n).then_some(Cursor::Leaf {
                     slot: *slot,
                     idx: k as usize,
                 })
@@ -687,7 +687,7 @@ impl EnumMachine {
                                 let term = prod[s]
                                     .wrapping_mul(FACT[bits])
                                     .wrapping_mul(qtab[deeper & !rowmask[s]]);
-                                rest = if bits % 2 == 0 {
+                                rest = if bits.is_multiple_of(2) {
                                     rest.wrapping_add(term)
                                 } else {
                                     rest.wrapping_sub(term)

@@ -14,7 +14,7 @@
 use crate::answers::{AnswerIndex, AnswerIter, UpdateError};
 use agq_circuit::{FiniteMaint, PermMaint, RingMaint};
 use agq_core::{
-    compile, eliminate_quantifiers, CompileError, CompileOptions, QueryEngine, TupleUpdate,
+    compile, eliminate_quantifiers, CompileError, CompileOptions, QueryEngine, TupleUpdate, WalSink,
 };
 use agq_logic::{normalize, Expr, Formula};
 use agq_perm::SegTreePerm;
@@ -25,9 +25,17 @@ use std::sync::Arc;
 /// A first-order query bound to a database, answering point queries,
 /// constant-delay enumeration, and (in dynamic mode) constant-time
 /// Gaifman-preserving updates through one API.
+///
+/// Every successfully applied update batch bumps a log sequence number
+/// (LSN); when a [`WalSink`] is attached the batch is also appended to it
+/// under that LSN, which is what makes a snapshot (taken at
+/// [`last_lsn`](Self::last_lsn)) plus a WAL-tail replay reconstruct the
+/// live state (`agq-persist`).
 pub struct EnumQueryEngine<S: Semiring, P: PermMaint<S>> {
     engine: QueryEngine<S, P>,
     index: AnswerIndex,
+    wal: Option<Box<dyn WalSink>>,
+    last_lsn: u64,
 }
 
 /// Unified engine for arbitrary semirings (logarithmic point queries).
@@ -80,7 +88,61 @@ impl<S: Semiring, P: PermMaint<S>> EnumQueryEngine<S, P> {
         } else {
             AnswerIndex::build(a, phi, opts)?
         };
-        Ok(EnumQueryEngine { engine, index })
+        Ok(EnumQueryEngine {
+            engine,
+            index,
+            wal: None,
+            last_lsn: 0,
+        })
+    }
+
+    /// Reassemble an engine from separately restored halves — the
+    /// restore constructor of `agq-persist`. `last_lsn` seeds the log
+    /// sequence counter (the LSN the restored state is current through).
+    pub fn from_parts(engine: QueryEngine<S, P>, index: AnswerIndex, last_lsn: u64) -> Self {
+        EnumQueryEngine {
+            engine,
+            index,
+            wal: None,
+            last_lsn,
+        }
+    }
+
+    /// Attach a write-ahead-log sink: every subsequently applied batch is
+    /// appended to it under its LSN. Returns the previously attached sink.
+    pub fn attach_wal(&mut self, sink: Box<dyn WalSink>) -> Option<Box<dyn WalSink>> {
+        self.wal.replace(sink)
+    }
+
+    /// Detach the WAL sink (e.g. before replaying a recovered tail, so
+    /// the replay is not re-logged).
+    pub fn detach_wal(&mut self) -> Option<Box<dyn WalSink>> {
+        self.wal.take()
+    }
+
+    /// The LSN of the last successfully applied update batch (0 before
+    /// any update). A snapshot taken now is current through this LSN.
+    pub fn last_lsn(&self) -> u64 {
+        self.last_lsn
+    }
+
+    /// Reset the log sequence counter — used after WAL replay so
+    /// subsequent batches continue from the highest committed LSN
+    /// rather than from the snapshot's.
+    pub fn set_last_lsn(&mut self, lsn: u64) {
+        self.last_lsn = lsn;
+    }
+
+    /// Log one applied batch to the attached sink (if any), bumping the
+    /// LSN either way so snapshots stay sequenced even without a WAL.
+    fn log_batch(&mut self, updates: &[TupleUpdate]) -> Result<(), UpdateError> {
+        self.last_lsn += 1;
+        if let Some(wal) = &mut self.wal {
+            wal.append_batch(self.last_lsn, updates)
+                .and_then(|()| wal.flush())
+                .map_err(|e| UpdateError::Wal(e.to_string()))?;
+        }
+        Ok(())
     }
 
     /// Answer-tuple arity.
@@ -140,7 +202,7 @@ impl<S: Semiring, P: PermMaint<S>> EnumQueryEngine<S, P> {
     pub fn apply_update(&mut self, u: &TupleUpdate) -> Result<(), UpdateError> {
         self.index.apply_update(u)?;
         self.engine.apply_update(u);
-        Ok(())
+        self.log_batch(std::slice::from_ref(u))
     }
 
     /// Apply a whole batch of updates to *both* sides with one coalesced
@@ -162,6 +224,12 @@ impl<S: Semiring, P: PermMaint<S>> EnumQueryEngine<S, P> {
         agq_core::coalesce_updates(updates, &mut coalesced);
         let applied = self.index.apply_batch_coalesced(&coalesced)?;
         self.engine.apply_batch_coalesced(&coalesced);
+        if self.wal.is_some() {
+            let owned: Vec<TupleUpdate> = coalesced.iter().map(|u| (*u).clone()).collect();
+            self.log_batch(&owned)?;
+        } else {
+            self.last_lsn += 1;
+        }
         Ok(applied)
     }
 

@@ -188,6 +188,8 @@ pub mod shard;
 pub use answers::{AnswerIndex, AnswerIter, UpdateError};
 pub use cursor::{Cursor, SummandIter};
 pub use engine::{EnumQueryEngine, FiniteEnumEngine, GeneralEnumEngine, RingEnumEngine};
-pub use machine::{EnumMachine, EnumPlan};
+pub use machine::{EnumMachine, EnumPlan, InputVal, MachineStateDump};
 pub use provenance::{ProvIter, ProvenanceIndex};
-pub use shard::{FiniteShardedEngine, GeneralShardedEngine, RingShardedEngine, ShardedEngine};
+pub use shard::{
+    FiniteShardedEngine, GeneralShardedEngine, RingShardedEngine, ShardStateDump, ShardedEngine,
+};

@@ -533,6 +533,37 @@ pub struct EnumMachine {
     counts: Mutex<CountState>,
 }
 
+/// A flat, self-contained dump of an [`EnumMachine`]'s mutable state —
+/// what `agq-persist` snapshots per shard. Includes the
+/// history-dependent orderings (add-support prefixes, perm-pool bucket
+/// links), not just the input values, so a restored machine enumerates
+/// in exactly the order the live one did.
+#[derive(Clone, Debug)]
+pub struct MachineStateDump {
+    /// Summand lists per input slot.
+    pub input_vals: Vec<InputVal>,
+    /// Boolean support per gate.
+    pub support: Vec<bool>,
+    /// Per-add-gate supported-prefix lengths.
+    pub add_len: Vec<u32>,
+    /// Supported child positions (first `add_len[ai]` of each segment).
+    pub add_nz: Vec<u32>,
+    /// Child position → index in the supported prefix (`u32::MAX` none).
+    pub add_where: Vec<u32>,
+    /// Perm pool: per-column support mask.
+    pub perm_mask: Vec<u32>,
+    /// Perm pool: bucket successor per column.
+    pub perm_next: Vec<u32>,
+    /// Perm pool: bucket predecessor per column.
+    pub perm_prev: Vec<u32>,
+    /// Perm pool: first column per bucket.
+    pub perm_heads: Vec<u32>,
+    /// Perm pool: last column per bucket.
+    pub perm_tails: Vec<u32>,
+    /// Perm pool: column count per bucket.
+    pub perm_counts: Vec<i64>,
+}
+
 impl EnumMachine {
     /// Build from initial input values, deriving a fresh plan. Equivalent
     /// to `EnumMachine::from_plan(Arc::new(EnumPlan::new(circuit)), …)`.
@@ -650,6 +681,147 @@ impl EnumMachine {
                 add_prefix: Default::default(),
             }),
         }
+    }
+
+    /// Dump the full mutable state, **including the order-bearing
+    /// internals**: the add-gate support prefixes and the permanent
+    /// pool's bucket links. Enumeration and rank order depend on the
+    /// update history through these (supported children are appended /
+    /// swap-removed, pool columns are spliced to bucket tails), so a
+    /// restore from input values alone would enumerate the same *set*
+    /// in a different *order*. `EnumMachine::from_saved` over this dump
+    /// reproduces the exact live order.
+    pub fn dump_state(&self) -> MachineStateDump {
+        MachineStateDump {
+            input_vals: self.input_vals.clone(),
+            support: self.support.clone(),
+            add_len: self.add_sup.len.clone(),
+            add_nz: self.add_sup.nz.clone(),
+            add_where: self.add_sup.where_pos.clone(),
+            perm_mask: self.perms.col_mask.clone(),
+            perm_next: self.perms.next.clone(),
+            perm_prev: self.perms.prev.clone(),
+            perm_heads: self.perms.heads.clone(),
+            perm_tails: self.perms.tails.clone(),
+            perm_counts: self.perms.counts.clone(),
+        }
+    }
+
+    /// Reinstate a machine from a saved state dump, bit-for-bit: the
+    /// restored machine enumerates in exactly the order the dumped one
+    /// did. Validates every array length and every stored index against
+    /// the plan's layout so a corrupted dump is an `Err`, never an
+    /// out-of-bounds panic in the enumeration hot path.
+    pub fn from_saved(plan: Arc<EnumPlan>, dump: MachineStateDump) -> Result<Self, &'static str> {
+        let circuit = &plan.circuit;
+        let n = circuit.len();
+        if dump.input_vals.len() != circuit.num_slots() {
+            return Err("input count disagrees with the circuit");
+        }
+        if dump.support.len() != n {
+            return Err("support length disagrees with the circuit");
+        }
+        let num_adds = plan.add_offsets.len() - 1;
+        let add_total = *plan.add_offsets.last().expect("nonempty") as usize;
+        if dump.add_len.len() != num_adds
+            || dump.add_nz.len() != add_total
+            || dump.add_where.len() != add_total
+        {
+            return Err("add-support arrays disagree with the plan layout");
+        }
+        for ai in 0..num_adds {
+            let seg = (plan.add_offsets[ai + 1] - plan.add_offsets[ai]) as usize;
+            let len = dump.add_len[ai] as usize;
+            if len > seg {
+                return Err("add-support prefix exceeds its segment");
+            }
+            let start = plan.add_offsets[ai] as usize;
+            for &p in &dump.add_nz[start..start + len] {
+                if p as usize >= seg {
+                    return Err("add-support child position out of range");
+                }
+            }
+            for &w in &dump.add_where[start..start + seg] {
+                if w != NO_IDX && w as usize >= len {
+                    return Err("add-support back-pointer out of range");
+                }
+            }
+        }
+        if dump.perm_mask.len() != plan.total_cols
+            || dump.perm_next.len() != plan.total_cols
+            || dump.perm_prev.len() != plan.total_cols
+            || dump.perm_heads.len() != plan.total_buckets
+            || dump.perm_tails.len() != plan.total_buckets
+            || dump.perm_counts.len() != plan.total_buckets
+        {
+            return Err("perm-pool arrays disagree with the plan layout");
+        }
+        for (pi, meta) in plan.perm_meta.iter().enumerate() {
+            // This gate's column count: distance to the next col_base
+            // (metas are laid out in order) or the pool total.
+            let cols = match plan.perm_meta.get(pi + 1) {
+                Some(next) => (next.col_base - meta.col_base) as usize,
+                None => plan.total_cols - meta.col_base as usize,
+            };
+            let cb = meta.col_base as usize;
+            let in_range = |v: u32| -> bool { v == NO_IDX || (v as usize) < cols };
+            if !dump.perm_next[cb..cb + cols].iter().all(|&v| in_range(v))
+                || !dump.perm_prev[cb..cb + cols].iter().all(|&v| in_range(v))
+            {
+                return Err("perm-pool link out of range");
+            }
+            let buckets = 1usize << meta.k;
+            let bb = meta.bucket_base as usize;
+            if !dump.perm_heads[bb..bb + buckets]
+                .iter()
+                .all(|&v| in_range(v))
+                || !dump.perm_tails[bb..bb + buckets]
+                    .iter()
+                    .all(|&v| in_range(v))
+            {
+                return Err("perm-pool bucket head out of range");
+            }
+            for &m in &dump.perm_mask[cb..cb + cols] {
+                if m as usize >= buckets {
+                    return Err("perm-pool column mask out of range");
+                }
+            }
+        }
+        let mut slot_bits = vec![0u64; dump.input_vals.len().div_ceil(64)];
+        for (slot, v) in dump.input_vals.iter().enumerate() {
+            if !v.is_empty() {
+                slot_bits[slot / 64] |= 1 << (slot % 64);
+            }
+        }
+        Ok(EnumMachine {
+            plan,
+            input_vals: dump.input_vals,
+            support: dump.support,
+            add_sup: AddSupports {
+                len: dump.add_len,
+                nz: dump.add_nz,
+                where_pos: dump.add_where,
+            },
+            perms: PermPool {
+                col_mask: dump.perm_mask,
+                next: dump.perm_next,
+                prev: dump.perm_prev,
+                heads: dump.perm_heads,
+                tails: dump.perm_tails,
+                counts: dump.perm_counts,
+            },
+            dirty: BinaryHeap::new(),
+            slot_bits,
+            flip_words: Vec::new(),
+            flip_scratch: Vec::new(),
+            version: 0,
+            counts: Mutex::new(CountState {
+                eval: None,
+                pending: Vec::new(),
+                count_version: 0,
+                add_prefix: Default::default(),
+            }),
+        })
     }
 
     /// The shared immutable plan.

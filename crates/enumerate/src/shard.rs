@@ -65,16 +65,17 @@
 //! point queries, and post-update behavior on all three backends.
 
 use crate::answers::{AnswerIndex, UpdateError};
+use crate::machine::MachineStateDump;
 use agq_circuit::{FiniteMaint, PeekScratch, PermMaint, RingMaint};
 use agq_core::{
-    compile, eliminate_quantifiers, CompileError, CompileOptions, QueryEngine, TupleUpdate,
+    compile, eliminate_quantifiers, CompileError, CompileOptions, QueryEngine, TupleUpdate, WalSink,
 };
 use agq_logic::{normalize, Expr, Formula};
 use agq_perm::SegTreePerm;
 use agq_semiring::Semiring;
 use agq_structure::gaifman::GaifmanComponents;
 use agq_structure::{Elem, RelId, Structure, WeightedStructure};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// `std::thread::available_parallelism()` re-reads cgroup limits from the
 /// filesystem on every call (~10µs on Linux) — far too slow for per-batch
@@ -99,6 +100,32 @@ pub struct ShardedEngine<S: Semiring, P: PermMaint<S>> {
     shards: Vec<RwLock<Shard<S, P>>>,
     component_local: bool,
     arity: usize,
+    /// Durability state: the optional WAL sink and the LSN of the last
+    /// applied batch, assigned under one mutex *while the applying
+    /// batch's shard write locks are still held* so LSN order agrees
+    /// with apply order for conflicting batches.
+    wal: Mutex<WalState>,
+}
+
+/// The durability side-state of a [`ShardedEngine`] (see its `wal` field).
+struct WalState {
+    sink: Option<Box<dyn WalSink>>,
+    last_lsn: u64,
+}
+
+/// One shard's serializable mutable state, as captured by
+/// [`ShardedEngine::snapshot_states`] under a consistent all-shards
+/// snapshot: the point-query evaluator's slot/gate value vectors and the
+/// full enumeration machine dump (input summand lists plus the
+/// order-bearing support/pool internals). Everything else a shard holds
+/// is shared immutable plan.
+pub struct ShardStateDump<S> {
+    /// Point side: input-slot values, indexed by slot id.
+    pub slot_values: Vec<S>,
+    /// Point side: committed per-gate values, indexed by gate id.
+    pub gate_values: Vec<S>,
+    /// Enumeration side: the machine's mutable state.
+    pub machine: MachineStateDump,
 }
 
 /// Sharded engine for arbitrary semirings (logarithmic point queries).
@@ -115,6 +142,10 @@ enum Route {
     /// Elements span shards: structurally zero for component-local
     /// formulas.
     Cross,
+    /// Some element is outside the domain the decomposition was built
+    /// over: never a valid tuple, reported as a malformed update instead
+    /// of an out-of-bounds panic in the routing table.
+    Unknown,
 }
 
 impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
@@ -175,7 +206,74 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
             shards,
             component_local,
             arity,
+            wal: Mutex::new(WalState {
+                sink: None,
+                last_lsn: 0,
+            }),
         })
+    }
+
+    /// Reassemble an engine from separately restored shard states — the
+    /// restore constructor of `agq-persist`. Every `(engine, index)` pair
+    /// must have been instantiated over one shared plan (the saved one);
+    /// `last_lsn` seeds the log sequence counter. Errs when the shard
+    /// count disagrees with the decomposition.
+    pub fn from_saved_parts(
+        components: GaifmanComponents,
+        component_local: bool,
+        arity: usize,
+        shard_states: Vec<(QueryEngine<S, P>, AnswerIndex)>,
+        last_lsn: u64,
+    ) -> Result<Self, &'static str> {
+        if shard_states.len() != components.num_shards() {
+            return Err("shard count disagrees with the component decomposition");
+        }
+        Ok(ShardedEngine {
+            components,
+            shards: shard_states
+                .into_iter()
+                .map(|(engine, index)| RwLock::new(Shard { engine, index }))
+                .collect(),
+            component_local,
+            arity,
+            wal: Mutex::new(WalState {
+                sink: None,
+                last_lsn,
+            }),
+        })
+    }
+
+    /// Capture every shard's mutable state plus the LSN it is current
+    /// through, under one consistent all-shards snapshot (all read locks
+    /// in shard order — a concurrent batch is either fully included, or
+    /// excluded and sequenced after the returned LSN, never torn).
+    pub fn snapshot_states(&self) -> (u64, Vec<ShardStateDump<S>>) {
+        let guards = self.read_all();
+        let lsn = self.wal.lock().expect("wal lock").last_lsn;
+        let dumps = guards
+            .iter()
+            .map(|shard| {
+                let eval = shard.engine.evaluator();
+                ShardStateDump {
+                    slot_values: eval.slot_values().to_vec(),
+                    gate_values: eval.gate_values().to_vec(),
+                    machine: shard.index.machine().dump_state(),
+                }
+            })
+            .collect();
+        (lsn, dumps)
+    }
+
+    /// Run `f` against one shard's state under its read lock — the
+    /// shared-plan accessor snapshotting uses (every shard points at the
+    /// same compiled query and plans).
+    pub fn with_shard<R>(
+        &self,
+        s: usize,
+        f: impl FnOnce(&QueryEngine<S, P>, &AnswerIndex) -> R,
+    ) -> R {
+        let shard = self.shards[s].read().expect("shard lock");
+        f(&shard.engine, &shard.index)
     }
 
     /// Answer-tuple arity.
@@ -204,10 +302,22 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
         if self.shards.len() == 1 || tuple.is_empty() {
             return Route::Shard(0);
         }
-        match self.components.shard_of_tuple(tuple) {
-            Some(s) => Route::Shard(s as usize),
-            None => Route::Cross,
+        let mut it = tuple.iter();
+        let first = match self
+            .components
+            .try_shard_of(*it.next().expect("tuple is nonempty"))
+        {
+            Some(s) => s,
+            None => return Route::Unknown,
+        };
+        for &e in it {
+            match self.components.try_shard_of(e) {
+                Some(s) if s == first => {}
+                Some(_) => return Route::Cross,
+                None => return Route::Unknown,
+            }
         }
+        Route::Shard(first as usize)
     }
 
     /// Point query: the indicator value `[φ(ā)]`, served by the owning
@@ -215,7 +325,7 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
     /// zero (its elements can never be chained by positive atoms).
     pub fn query(&self, tuple: &[Elem]) -> S {
         match self.route(tuple) {
-            Route::Cross => S::zero(),
+            Route::Cross | Route::Unknown => S::zero(),
             Route::Shard(s) => {
                 let shard = self.shards[s].read().expect("shard lock");
                 let mut scratch = PeekScratch::new();
@@ -240,7 +350,7 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
         let mut out: Vec<Option<S>> = vec![None; tuples.len()];
         for (i, t) in tuples.iter().enumerate() {
             match self.route(t) {
-                Route::Cross => out[i] = Some(S::zero()),
+                Route::Cross | Route::Unknown => out[i] = Some(S::zero()),
                 Route::Shard(s) => groups[s].push(i),
             }
         }
@@ -324,11 +434,52 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
                     Ok(())
                 };
             }
+            Route::Unknown => return Err(UpdateError::MalformedTuple),
         };
         let mut shard = self.shards[s].write().expect("shard lock");
         shard.index.apply_update(u)?;
         shard.engine.apply_update(u);
+        // Log while the shard write lock is still held, so LSN order
+        // agrees with apply order for updates contending on a shard.
+        self.log_applied(std::slice::from_ref(u))
+    }
+
+    /// Assign the next LSN to an applied batch and append it to the WAL
+    /// sink, if one is attached. Called with the applying batch's shard
+    /// write locks still held.
+    fn log_applied(&self, updates: &[TupleUpdate]) -> Result<(), UpdateError> {
+        let mut wal = self.wal.lock().expect("wal lock");
+        wal.last_lsn += 1;
+        let lsn = wal.last_lsn;
+        if let Some(sink) = &mut wal.sink {
+            sink.append_batch(lsn, updates)
+                .and_then(|()| sink.flush())
+                .map_err(|e| UpdateError::Wal(e.to_string()))?;
+        }
         Ok(())
+    }
+
+    /// Attach a write-ahead-log sink: every subsequently applied batch
+    /// is appended under its LSN. Returns the previous sink.
+    pub fn attach_wal(&self, sink: Box<dyn WalSink>) -> Option<Box<dyn WalSink>> {
+        self.wal.lock().expect("wal lock").sink.replace(sink)
+    }
+
+    /// Detach the WAL sink (e.g. before replaying a recovered tail).
+    pub fn detach_wal(&self) -> Option<Box<dyn WalSink>> {
+        self.wal.lock().expect("wal lock").sink.take()
+    }
+
+    /// The LSN of the last applied update batch (0 before any update).
+    pub fn last_lsn(&self) -> u64 {
+        self.wal.lock().expect("wal lock").last_lsn
+    }
+
+    /// Reset the log sequence counter — used after WAL replay so
+    /// subsequent batches continue from the highest committed LSN
+    /// rather than from the snapshot's.
+    pub fn set_last_lsn(&self, lsn: u64) {
+        self.wal.lock().expect("wal lock").last_lsn = lsn;
     }
 
     /// Apply a whole batch of Gaifman-preserving updates: the batch is
@@ -367,6 +518,7 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
                         return Err(UpdateError::NotGaifmanPreserving);
                     }
                 }
+                Route::Unknown => return Err(UpdateError::MalformedTuple),
             }
         }
         // Pre-validate the whole batch before mutating anything. The
@@ -416,36 +568,56 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
         // Spawning threads costs tens of microseconds — far more than a
         // typical shard group. Apply on the calling thread unless there is
         // real parallelism to exploit.
-        if workers == 1 {
-            return Ok(guards
+        let applied = if workers == 1 {
+            guards
                 .iter_mut()
                 .zip(&work)
                 .map(|(shard, (_, g))| apply_group(&mut **shard, g))
-                .sum());
-        }
-        let mut pairs: Vec<(&mut Shard<S, P>, &[&TupleUpdate])> = guards
-            .iter_mut()
-            .zip(&work)
-            .map(|(shard, (_, g))| (&mut **shard, *g))
-            .collect();
-        let chunk = pairs.len().div_ceil(workers);
-        let applied = std::thread::scope(|scope| {
-            let handles: Vec<_> = pairs
-                .chunks_mut(chunk)
-                .map(|assigned| {
-                    scope.spawn(move || {
-                        assigned
-                            .iter_mut()
-                            .map(|(shard, g)| apply_group(shard, g))
-                            .sum::<usize>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard batch worker"))
                 .sum()
-        });
+        } else {
+            let mut pairs: Vec<(&mut Shard<S, P>, &[&TupleUpdate])> = guards
+                .iter_mut()
+                .zip(&work)
+                .map(|(shard, (_, g))| (&mut **shard, *g))
+                .collect();
+            let chunk = pairs.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = pairs
+                    .chunks_mut(chunk)
+                    .map(|assigned| {
+                        scope.spawn(move || {
+                            assigned
+                                .iter_mut()
+                                .map(|(shard, g)| apply_group(shard, g))
+                                .sum::<usize>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard batch worker"))
+                    .sum()
+            })
+        };
+        // Log while the shard write locks (`guards`) are still held; the
+        // coalesced batch is only materialized when a sink is attached,
+        // so the no-WAL ingestion hot path pays one mutex lock and an
+        // increment.
+        {
+            let mut wal = self.wal.lock().expect("wal lock");
+            wal.last_lsn += 1;
+            let lsn = wal.last_lsn;
+            if let Some(sink) = &mut wal.sink {
+                let owned: Vec<TupleUpdate> = work
+                    .iter()
+                    .flat_map(|(_, g)| g.iter().map(|&u| u.clone()))
+                    .collect();
+                sink.append_batch(lsn, &owned)
+                    .and_then(|()| sink.flush())
+                    .map_err(|e| UpdateError::Wal(e.to_string()))?;
+            }
+        }
+        drop(guards);
         Ok(applied)
     }
 

@@ -1,0 +1,97 @@
+//! # `agq-persist` — plan/state serialization, snapshots, and a WAL
+//!
+//! Crash-safe persistence for the aggregate-query engines: the compiled
+//! plan and the mutable evaluator state are written to disk, updates
+//! are journaled through a checksummed write-ahead log, and a restart
+//! reassembles an engine that answers **byte-identically** to the one
+//! that went down — without re-running the Theorem 6 compilation.
+//!
+//! Three artifact kinds:
+//!
+//! * **`.agqplan`** — the immutable half: the point-query circuit with
+//!   its slot registry, literal table, free variables, and compile
+//!   report, plus the enumeration circuit, its registry, the generator
+//!   weights, the database signature, the domain size, arity, and
+//!   dynamic flag. Written once per compiled query; loading one skips
+//!   compilation entirely (the derived [`agq_circuit::EvalPlan`] /
+//!   [`agq_enumerate::EnumPlan`] adjacency structures are rebuilt by
+//!   one linear pass each, since they are pure functions of the
+//!   circuit).
+//! * **`.agqsnap`** — the mutable half: per shard, the evaluator's slot
+//!   values and committed gate values and the enumeration machine's
+//!   provenance supports, captured at one LSN. Sharded snapshots are
+//!   taken under the engine's ordered whole-lockset read guard, so they
+//!   are point-in-time consistent across shards, and additionally carry
+//!   the Gaifman component → shard routing tables.
+//! * **`wal.agqlog`** — the write-ahead log: committed update batches,
+//!   one CRC per record, replayed at recovery to roll a snapshot
+//!   forward to the crash point.
+//!
+//! # File format
+//!
+//! All integers are **little-endian**, fixed width; lengths are `u64`;
+//! there is no alignment padding. Plan and snapshot files share one
+//! framing:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic           — "AGQP" (plan) / "AGQS" (snapshot)
+//! 4       4     version u32     — FORMAT_VERSION (currently 1)
+//! 8       1     carrier tag u8  — PersistValue::TAG of the semiring
+//! 9       n     body            — bundle payload (plan.rs / snapshot.rs)
+//! 9+n     4     crc u32         — CRC-32 (IEEE) of the body bytes
+//! ```
+//!
+//! A wrong magic, an unknown version, a foreign carrier tag, and a
+//! trailer mismatch each map to their own [`PersistError`] variant; a
+//! structurally invalid body is [`PersistError::Corrupt`]. Loading
+//! never panics on bad bytes — every length is validated against the
+//! buffer before allocation, every index against its range.
+//!
+//! The WAL has its own header (`"AGQW"` + version `u32`) and is a
+//! record stream, not a checksummed monolith, so an arbitrarily damaged
+//! *tail* still yields the full committed prefix — see [`wal`] for the
+//! record framing and tail-repair rules.
+//!
+//! # Versioning
+//!
+//! The version word covers the **whole body layout**: any change to
+//! field order, widths, or semantics bumps it, and loaders reject files
+//! from other versions outright ([`PersistError::VersionMismatch`])
+//! rather than guessing. Carriers version independently through their
+//! tag byte. Values round-trip bit-exactly (`f64` through
+//! `to_bits`/`from_bits`), which is what makes the differential
+//! round-trip suite's byte-identity assertions meaningful.
+//!
+//! # LSN semantics
+//!
+//! Every successfully applied update batch bumps the owning engine's
+//! **log sequence number**, whether or not a WAL sink is attached, so
+//! snapshots are always sequenced. A snapshot records the LSN it is
+//! current through; a WAL commit marker records the LSN of its batch.
+//! The engines append to the WAL *after* applying (commit-log order,
+//! under the same locks that ordered the apply), so the log never
+//! contains a batch the engine had not applied; a crash between apply
+//! and append loses at most that final batch. Recovery replays exactly
+//! the committed batches with `snapshot LSN < batch LSN`, skips
+//! non-monotonic duplicates, discards torn or corrupt tails, and
+//! reports all of it in a [`RecoveryReport`].
+
+pub mod codec;
+pub mod crc32;
+pub mod engine_io;
+pub mod error;
+pub mod plan;
+pub mod snapshot;
+pub mod value;
+pub mod wal;
+
+pub use engine_io::{
+    attach_file_wal, attach_sharded_file_wal, load_engine, load_plan, load_sharded, recover_engine,
+    recover_sharded, save_engine, save_plan, save_sharded, save_sharded_plan,
+    save_sharded_snapshot, save_snapshot, SaveStats, FORMAT_VERSION, PLAN_MAGIC, SNAP_MAGIC,
+};
+pub use error::{PersistError, RecoveryReport};
+pub use plan::LoadedPlan;
+pub use value::PersistValue;
+pub use wal::{scan_wal, FileWal, WalBatch, WalScan, WAL_MAGIC, WAL_VERSION};

@@ -129,6 +129,35 @@ impl GaifmanComponents {
         }
     }
 
+    /// Reassemble a decomposition from its flat tables (element →
+    /// component, component → shard), validating that every table entry
+    /// is in range so a corrupted snapshot yields `Err` instead of
+    /// out-of-bounds panics in the routing hot path.
+    pub fn from_parts(
+        comp: Vec<u32>,
+        comp_shard: Vec<u32>,
+        num_shards: usize,
+    ) -> Result<Self, &'static str> {
+        let num_comps = comp_shard.len();
+        if comp.iter().any(|&c| c as usize >= num_comps) {
+            return Err("component id out of range");
+        }
+        if comp_shard.iter().any(|&s| s as usize >= num_shards) {
+            return Err("shard id out of range");
+        }
+        Ok(GaifmanComponents {
+            comp,
+            comp_shard,
+            num_shards,
+        })
+    }
+
+    /// The flat tables behind the decomposition: `(element → component,
+    /// component → shard)`, the inverse of [`from_parts`](Self::from_parts).
+    pub fn parts(&self) -> (&[u32], &[u32]) {
+        (&self.comp, &self.comp_shard)
+    }
+
     /// Number of Gaifman components.
     pub fn num_components(&self) -> usize {
         self.comp_shard.len()
@@ -147,6 +176,14 @@ impl GaifmanComponents {
     /// Shard owning an element.
     pub fn shard_of(&self, e: Elem) -> u32 {
         self.comp_shard[self.comp[e as usize] as usize]
+    }
+
+    /// Shard owning an element, or `None` when the element is outside
+    /// the domain the decomposition was built over — the non-panicking
+    /// lookup update-routing uses on unvalidated input.
+    pub fn try_shard_of(&self, e: Elem) -> Option<u32> {
+        let c = *self.comp.get(e as usize)?;
+        Some(self.comp_shard[c as usize])
     }
 
     /// Shard owning a tuple, if all its elements live in one shard

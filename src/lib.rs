@@ -53,6 +53,7 @@ pub use agq_graph as graph;
 pub use agq_logic as logic;
 pub use agq_nested as nested;
 pub use agq_perm as perm;
+pub use agq_persist as persist;
 pub use agq_semiring as semiring;
 pub use agq_structure as structure;
 
