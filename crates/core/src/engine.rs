@@ -103,6 +103,88 @@ pub trait WalSink: Send {
     }
 }
 
+/// What an engine does when a WAL append still fails after the
+/// [`DurabilityPolicy`]'s bounded retries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalFailure {
+    /// Reject the batch: nothing is applied in memory, the LSN is not
+    /// advanced, and the caller gets a typed WAL error. Durability is
+    /// preserved at the cost of availability.
+    FailStop,
+    /// Apply the batch anyway and keep serving, but mark the engine
+    /// `wal_degraded` so health reporting (and operators) can see that
+    /// the in-memory state has run ahead of the durable log. Availability
+    /// is preserved at the cost of durability.
+    FailOpen,
+}
+
+/// How hard an engine tries to journal a batch before giving up, and
+/// what "giving up" means. Engines journal **write-ahead**: the batch is
+/// appended (and flushed) under this policy *before* any in-memory state
+/// changes, so [`WalFailure::FailStop`] can reject a batch with the
+/// engine untouched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DurabilityPolicy {
+    /// Total append attempts (≥ 1; `0` is treated as `1`).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles per subsequent retry.
+    pub backoff: std::time::Duration,
+    /// Behaviour after the last attempt fails.
+    pub on_failure: WalFailure,
+}
+
+impl Default for DurabilityPolicy {
+    /// Three attempts, 1 ms initial backoff, fail-stop.
+    fn default() -> Self {
+        DurabilityPolicy {
+            attempts: 3,
+            backoff: std::time::Duration::from_millis(1),
+            on_failure: WalFailure::FailStop,
+        }
+    }
+}
+
+impl DurabilityPolicy {
+    /// The default retry schedule but fail-open on exhaustion.
+    pub fn fail_open() -> Self {
+        DurabilityPolicy {
+            on_failure: WalFailure::FailOpen,
+            ..DurabilityPolicy::default()
+        }
+    }
+
+    /// Append + flush one batch under this policy's retry schedule.
+    /// Returns the last error once `attempts` attempts have failed; the
+    /// caller decides between fail-stop and fail-open via
+    /// [`on_failure`](DurabilityPolicy::on_failure). Each attempt passes
+    /// through the `wal.append` fail-point.
+    pub fn append(
+        &self,
+        sink: &mut dyn WalSink,
+        lsn: u64,
+        updates: &[TupleUpdate],
+    ) -> std::io::Result<()> {
+        let attempts = self.attempts.max(1);
+        let mut delay = self.backoff;
+        for attempt in 1..=attempts {
+            let res = crate::fault::io_point("wal.append")
+                .and_then(|()| sink.append_batch(lsn, updates))
+                .and_then(|()| sink.flush());
+            match res {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt == attempts => return Err(e),
+                Err(_) => {
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    delay = delay.saturating_mul(2);
+                }
+            }
+        }
+        unreachable!("loop returns on the last attempt")
+    }
+}
+
 /// Why an engine state could not be instantiated over given plan halves —
 /// the typed replacement for the assertion failures a corrupt or
 /// mismatched snapshot used to trigger deep inside the evaluator.

@@ -45,6 +45,7 @@
 mod batch;
 mod compile;
 mod engine;
+pub mod fault;
 mod qe;
 mod shape;
 mod slots;
@@ -53,7 +54,8 @@ mod term;
 pub use batch::{coalesce_updates, FxBuildHasher, FxHashSet, FxHasher};
 pub use compile::{compile, CompileOptions, CompileReport, CompiledQuery};
 pub use engine::{
-    FiniteEngine, GeneralEngine, PartsError, QueryEngine, RingEngine, TupleUpdate, WalSink,
+    DurabilityPolicy, FiniteEngine, GeneralEngine, PartsError, QueryEngine, RingEngine,
+    TupleUpdate, WalFailure, WalSink,
 };
 pub use qe::eliminate_quantifiers;
 pub use shape::{enumerate_shapes, Shape};

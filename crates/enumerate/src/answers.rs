@@ -36,10 +36,27 @@ pub enum UpdateError {
     /// The tuple is malformed for the indexed database: unknown
     /// relation, wrong arity, or an element outside the domain.
     MalformedTuple,
-    /// The batch was applied but could not be appended to the attached
-    /// write-ahead log — the in-memory state is current, durability of
-    /// this batch is not guaranteed.
+    /// The batch could not be journaled to the attached write-ahead log
+    /// within the engine's durability policy. Under fail-stop the batch
+    /// was **rejected** — nothing was applied and the LSN did not
+    /// advance; only a fail-open engine applies past this error (and
+    /// reports itself `wal_degraded` instead of raising it).
     Wal(String),
+    /// The update routes to a quarantined shard: it was rejected in full
+    /// (batches are all-or-nothing across shards). Restore the shard
+    /// first, then retry.
+    ShardUnavailable {
+        /// The quarantined shard the update routes to.
+        shard: usize,
+    },
+    /// A shard worker panicked while applying this (already journaled)
+    /// batch. The named shards are now quarantined; every other shard
+    /// applied its part and keeps serving. Replaying the WAL through a
+    /// shard restore completes the partial application.
+    ShardPanicked {
+        /// The shards quarantined by the panic, ascending.
+        shards: Vec<usize>,
+    },
 }
 
 impl std::fmt::Display for UpdateError {
@@ -53,7 +70,16 @@ impl std::fmt::Display for UpdateError {
                 write!(f, "tuple has wrong arity or an out-of-domain element")
             }
             UpdateError::Wal(e) => {
-                write!(f, "applied batch could not be appended to the WAL: {e}")
+                write!(f, "batch could not be journaled to the WAL: {e}")
+            }
+            UpdateError::ShardUnavailable { shard } => {
+                write!(f, "update routes to quarantined shard {shard}")
+            }
+            UpdateError::ShardPanicked { shards } => {
+                write!(
+                    f,
+                    "shard worker panicked applying the batch; quarantined {shards:?}"
+                )
             }
         }
     }
@@ -344,6 +370,24 @@ impl AnswerIndex {
     /// The underlying enumeration machine (for instrumentation).
     pub fn machine(&self) -> &EnumMachine {
         &self.machine
+    }
+
+    /// Invariant verification for recovery and quarantine-restore paths:
+    /// [`EnumMachine::self_check`] (support shadow, add-support
+    /// prefixes, perm-pool bucket links — all against the plan) plus
+    /// slot/count consistency — the incrementally maintained summand
+    /// count must agree with a fresh ℕ evaluation of the circuit over
+    /// the current inputs. Linear time; not for the serving path.
+    pub fn self_check(&self) -> Result<(), String> {
+        self.machine.self_check()?;
+        let incremental = self.machine.summand_count();
+        let fresh = self.machine.count_summands();
+        if incremental != fresh {
+            return Err(format!(
+                "count drift: incremental evaluator says {incremental}, fresh ℕ evaluation {fresh}"
+            ));
+        }
+        Ok(())
     }
 
     /// Constant-delay, duplicate-free, bidirectional iterator over the

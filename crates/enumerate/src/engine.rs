@@ -14,7 +14,8 @@
 use crate::answers::{AnswerIndex, AnswerIter, UpdateError};
 use agq_circuit::{FiniteMaint, PermMaint, RingMaint};
 use agq_core::{
-    compile, eliminate_quantifiers, CompileError, CompileOptions, QueryEngine, TupleUpdate, WalSink,
+    compile, eliminate_quantifiers, CompileError, CompileOptions, DurabilityPolicy, QueryEngine,
+    TupleUpdate, WalFailure, WalSink,
 };
 use agq_logic::{normalize, Expr, Formula};
 use agq_perm::SegTreePerm;
@@ -27,15 +28,23 @@ use std::sync::Arc;
 /// Gaifman-preserving updates through one API.
 ///
 /// Every successfully applied update batch bumps a log sequence number
-/// (LSN); when a [`WalSink`] is attached the batch is also appended to it
-/// under that LSN, which is what makes a snapshot (taken at
-/// [`last_lsn`](Self::last_lsn)) plus a WAL-tail replay reconstruct the
-/// live state (`agq-persist`).
+/// (LSN); when a [`WalSink`] is attached the batch is journaled
+/// **write-ahead** under that LSN — validated, appended to the sink
+/// (with the retry schedule of the configured [`DurabilityPolicy`]), and
+/// only then applied in memory. That ordering is what makes a snapshot
+/// (taken at [`last_lsn`](Self::last_lsn)) plus a WAL-tail replay
+/// reconstruct the live state (`agq-persist`): a batch the WAL rejected
+/// under fail-stop was never applied, and a batch the WAL accepted is
+/// durable even if the process dies mid-apply. Under
+/// [`WalFailure::FailOpen`] the engine instead keeps serving through a
+/// WAL outage and raises [`wal_degraded`](Self::wal_degraded).
 pub struct EnumQueryEngine<S: Semiring, P: PermMaint<S>> {
     engine: QueryEngine<S, P>,
     index: AnswerIndex,
     wal: Option<Box<dyn WalSink>>,
     last_lsn: u64,
+    policy: DurabilityPolicy,
+    wal_degraded: bool,
 }
 
 /// Unified engine for arbitrary semirings (logarithmic point queries).
@@ -93,6 +102,8 @@ impl<S: Semiring, P: PermMaint<S>> EnumQueryEngine<S, P> {
             index,
             wal: None,
             last_lsn: 0,
+            policy: DurabilityPolicy::default(),
+            wal_degraded: false,
         })
     }
 
@@ -105,6 +116,8 @@ impl<S: Semiring, P: PermMaint<S>> EnumQueryEngine<S, P> {
             index,
             wal: None,
             last_lsn,
+            policy: DurabilityPolicy::default(),
+            wal_degraded: false,
         }
     }
 
@@ -133,15 +146,48 @@ impl<S: Semiring, P: PermMaint<S>> EnumQueryEngine<S, P> {
         self.last_lsn = lsn;
     }
 
-    /// Log one applied batch to the attached sink (if any), bumping the
-    /// LSN either way so snapshots stay sequenced even without a WAL.
-    fn log_batch(&mut self, updates: &[TupleUpdate]) -> Result<(), UpdateError> {
-        self.last_lsn += 1;
+    /// How hard the engine tries to make a batch durable before giving
+    /// up, and what "giving up" means (fail-stop rejection vs. degraded
+    /// fail-open serving).
+    pub fn set_durability(&mut self, policy: DurabilityPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active [`DurabilityPolicy`].
+    pub fn durability(&self) -> DurabilityPolicy {
+        self.policy
+    }
+
+    /// Whether a WAL append has failed past its retry budget under
+    /// [`WalFailure::FailOpen`] — the engine kept serving, but batches
+    /// from that point on may be missing from the log (take a fresh
+    /// snapshot before trusting it again).
+    pub fn wal_degraded(&self) -> bool {
+        self.wal_degraded
+    }
+
+    /// Acknowledge a WAL outage after repairing the sink (e.g.
+    /// re-attaching a fresh one and snapshotting).
+    pub fn reset_wal_degraded(&mut self) {
+        self.wal_degraded = false;
+    }
+
+    /// Journal one batch **write-ahead**: append it to the attached sink
+    /// (if any) under the *next* LSN, and commit that LSN only if the
+    /// append succeeded — or unconditionally under fail-open, flagging
+    /// [`wal_degraded`](Self::wal_degraded). On a fail-stop `Err` the
+    /// LSN does not advance and the caller must not apply the batch.
+    fn journal(&mut self, updates: &[TupleUpdate]) -> Result<(), UpdateError> {
+        let lsn = self.last_lsn + 1;
         if let Some(wal) = &mut self.wal {
-            wal.append_batch(self.last_lsn, updates)
-                .and_then(|()| wal.flush())
-                .map_err(|e| UpdateError::Wal(e.to_string()))?;
+            if let Err(e) = self.policy.append(wal.as_mut(), lsn, updates) {
+                match self.policy.on_failure {
+                    WalFailure::FailStop => return Err(UpdateError::Wal(e.to_string())),
+                    WalFailure::FailOpen => self.wal_degraded = true,
+                }
+            }
         }
+        self.last_lsn = lsn;
         Ok(())
     }
 
@@ -197,12 +243,18 @@ impl<S: Semiring, P: PermMaint<S>> EnumQueryEngine<S, P> {
     /// evaluator. Dynamic mode only; the update must preserve the
     /// Gaifman graph and be well-formed (known relation, right arity,
     /// in-domain elements). On error nothing is modified on either
-    /// side: the index validates *before* mutating, and the point
-    /// evaluator only runs after the index accepted.
+    /// side: the update is validated *before* it is journaled or
+    /// applied, and the write-ahead journal commits (advancing the LSN)
+    /// before either in-memory side mutates — a fail-stop WAL rejection
+    /// therefore also leaves both sides untouched.
     pub fn apply_update(&mut self, u: &TupleUpdate) -> Result<(), UpdateError> {
-        self.index.apply_update(u)?;
+        self.index.validate_update(u)?;
+        self.journal(std::slice::from_ref(u))?;
+        self.index
+            .apply_update(u)
+            .expect("update was pre-validated");
         self.engine.apply_update(u);
-        self.log_batch(std::slice::from_ref(u))
+        Ok(())
     }
 
     /// Apply a whole batch of updates to *both* sides with one coalesced
@@ -222,14 +274,22 @@ impl<S: Semiring, P: PermMaint<S>> EnumQueryEngine<S, P> {
     ) -> Result<usize, UpdateError> {
         let mut coalesced = Vec::with_capacity(updates.len());
         agq_core::coalesce_updates(updates, &mut coalesced);
-        let applied = self.index.apply_batch_coalesced(&coalesced)?;
-        self.engine.apply_batch_coalesced(&coalesced);
+        for u in &coalesced {
+            self.index.validate_update(u)?;
+        }
+        // Write-ahead: the batch is durable (or cleanly rejected, LSN
+        // unadvanced) before anything mutates in memory.
         if self.wal.is_some() {
             let owned: Vec<TupleUpdate> = coalesced.iter().map(|u| (*u).clone()).collect();
-            self.log_batch(&owned)?;
+            self.journal(&owned)?;
         } else {
-            self.last_lsn += 1;
+            self.journal(&[])?; // no sink: just sequence the batch
         }
+        let applied = self
+            .index
+            .apply_batch_coalesced(&coalesced)
+            .expect("batch was pre-validated");
+        self.engine.apply_batch_coalesced(&coalesced);
         Ok(applied)
     }
 
@@ -242,6 +302,14 @@ impl<S: Semiring, P: PermMaint<S>> EnumQueryEngine<S, P> {
     ) -> Result<AnswerIter<'_>, UpdateError> {
         self.apply_update(u)?;
         Ok(self.index.iter())
+    }
+
+    /// Deep invariant verification of the enumeration state: structural
+    /// consistency of the machine plus agreement between the incremental
+    /// summand count and a fresh from-scratch evaluation. See
+    /// [`AnswerIndex::self_check`].
+    pub fn self_check(&self) -> Result<(), String> {
+        self.index.self_check()
     }
 
     /// The point-query engine (instrumentation, batch queries).

@@ -191,5 +191,6 @@ pub use engine::{EnumQueryEngine, FiniteEnumEngine, GeneralEnumEngine, RingEnumE
 pub use machine::{EnumMachine, EnumPlan, InputVal, MachineStateDump};
 pub use provenance::{ProvIter, ProvenanceIndex};
 pub use shard::{
-    FiniteShardedEngine, GeneralShardedEngine, RingShardedEngine, ShardStateDump, ShardedEngine,
+    FiniteShardedEngine, GeneralShardedEngine, HealthReport, RingShardedEngine, ServeError,
+    ServeMode, Served, ShardStateDump, ShardedEngine,
 };

@@ -1106,6 +1106,197 @@ impl EnumMachine {
             .output()
             .0
     }
+
+    /// Exhaustive invariant verification of the mutable state against
+    /// the plan: the support shadow of every gate matches a fresh
+    /// bottom-up recomputation, input presence bits mirror the summand
+    /// lists, every add gate's supported prefix is a duplicate-free list
+    /// of exactly the supported children with consistent back-pointers,
+    /// and every perm pool bucket is a coherent doubly-linked list whose
+    /// masks match the children's support with each column in exactly
+    /// one bucket. `O(circuit)` with allocations — a diagnostic for
+    /// recovery and quarantine-restore paths, not a hot path.
+    pub fn self_check(&self) -> Result<(), String> {
+        let plan = &self.plan;
+        let circuit = &plan.circuit;
+        let gates = circuit.gates();
+        if self.support.len() != gates.len() {
+            return Err(format!(
+                "support length {} disagrees with circuit size {}",
+                self.support.len(),
+                gates.len()
+            ));
+        }
+        if self.input_vals.len() != circuit.num_slots() {
+            return Err(format!(
+                "input count {} disagrees with circuit slot count {}",
+                self.input_vals.len(),
+                circuit.num_slots()
+            ));
+        }
+        for (slot, v) in self.input_vals.iter().enumerate() {
+            let bit = self.slot_bits[slot / 64] >> (slot % 64) & 1 == 1;
+            if bit == v.is_empty() {
+                return Err(format!(
+                    "slot {slot}: presence bit {bit} but summand list has {} entries",
+                    v.len()
+                ));
+            }
+        }
+        for (i, g) in gates.iter().enumerate() {
+            let expected = match g {
+                GateDef::Input(slot) => !self.input_vals[*slot as usize].is_empty(),
+                GateDef::Const(ConstRef::Zero) => false,
+                GateDef::Const(ConstRef::One) => true,
+                GateDef::Const(ConstRef::Lit(_)) => {
+                    return Err(format!(
+                        "gate {i}: literal constant in an enumeration circuit"
+                    ))
+                }
+                GateDef::Add(r) => {
+                    let ai = plan.add_index[i];
+                    if ai == NO_IDX {
+                        return Err(format!("gate {i}: add gate missing from the dense index"));
+                    }
+                    let ai = ai as usize;
+                    let kids = circuit.children(*r);
+                    let start = plan.add_offsets[ai] as usize;
+                    let seg = (plan.add_offsets[ai + 1] - plan.add_offsets[ai]) as usize;
+                    if seg != kids.len() {
+                        return Err(format!(
+                            "gate {i}: segment capacity {seg} vs fan-in {}",
+                            kids.len()
+                        ));
+                    }
+                    let len = self.add_sup.len[ai] as usize;
+                    if len > seg {
+                        return Err(format!(
+                            "gate {i}: supported prefix {len} exceeds segment {seg}"
+                        ));
+                    }
+                    let mut in_prefix = vec![false; seg];
+                    for (idx, &p) in self.add_sup.nz[start..start + len].iter().enumerate() {
+                        let p = p as usize;
+                        if p >= seg {
+                            return Err(format!("gate {i}: child position {p} out of range"));
+                        }
+                        if in_prefix[p] {
+                            return Err(format!("gate {i}: child position {p} listed twice"));
+                        }
+                        in_prefix[p] = true;
+                        if !self.support[kids[p].0 as usize] {
+                            return Err(format!(
+                                "gate {i}: unsupported child at position {p} in the live prefix"
+                            ));
+                        }
+                        if self.add_sup.where_pos[start + p] as usize != idx {
+                            return Err(format!(
+                                "gate {i}: back-pointer of position {p} is {} not {idx}",
+                                self.add_sup.where_pos[start + p]
+                            ));
+                        }
+                    }
+                    for (p, &listed) in in_prefix.iter().enumerate() {
+                        if !listed {
+                            if self.add_sup.where_pos[start + p] != NO_IDX {
+                                return Err(format!(
+                                    "gate {i}: stale back-pointer at unlisted position {p}"
+                                ));
+                            }
+                            if self.support[kids[p].0 as usize] {
+                                return Err(format!(
+                                    "gate {i}: supported child at position {p} missing from the prefix"
+                                ));
+                            }
+                        }
+                    }
+                    len > 0
+                }
+                GateDef::Mul(a, b) => self.support[a.0 as usize] && self.support[b.0 as usize],
+                GateDef::Perm { rows, cols } => {
+                    let k = *rows as usize;
+                    let pi = plan.perm_index[i];
+                    if pi == NO_IDX {
+                        return Err(format!("gate {i}: perm gate missing from the dense index"));
+                    }
+                    let meta = plan.perm_meta[pi as usize];
+                    let children = circuit.children(*cols);
+                    let ncols = children.len() / k;
+                    let ps = PermSupport {
+                        meta,
+                        pool: &self.perms,
+                    };
+                    for ci in 0..ncols {
+                        let mut m = 0u32;
+                        for (r, child) in children[ci * k..(ci + 1) * k].iter().enumerate() {
+                            if self.support[child.0 as usize] {
+                                m |= 1 << r;
+                            }
+                        }
+                        if ps.mask_of(ci as u32) != m {
+                            return Err(format!(
+                                "gate {i}: column {ci} mask {:#b} but child support is {m:#b}",
+                                ps.mask_of(ci as u32)
+                            ));
+                        }
+                    }
+                    let mut seen = vec![false; ncols];
+                    for m in 0..(1u32 << k) {
+                        let mut walked = 0i64;
+                        let mut prev: Option<u32> = None;
+                        let mut cur = ps.head(m);
+                        while let Some(col) = cur {
+                            if col as usize >= ncols {
+                                return Err(format!(
+                                    "gate {i}: bucket {m:#b} links to column {col} out of range"
+                                ));
+                            }
+                            if seen[col as usize] {
+                                return Err(format!(
+                                    "gate {i}: column {col} linked twice (cycle or cross-bucket)"
+                                ));
+                            }
+                            seen[col as usize] = true;
+                            if ps.mask_of(col) != m {
+                                return Err(format!(
+                                    "gate {i}: column {col} in bucket {m:#b} but its mask is {:#b}",
+                                    ps.mask_of(col)
+                                ));
+                            }
+                            if ps.prev(col) != prev {
+                                return Err(format!(
+                                    "gate {i}: broken prev link at column {col} of bucket {m:#b}"
+                                ));
+                            }
+                            prev = Some(col);
+                            walked += 1;
+                            cur = ps.next(col);
+                        }
+                        if ps.tail(m) != prev {
+                            return Err(format!("gate {i}: tail of bucket {m:#b} disagrees"));
+                        }
+                        if walked != ps.counts()[m as usize] {
+                            return Err(format!(
+                                "gate {i}: bucket {m:#b} holds {walked} columns but counts says {}",
+                                ps.counts()[m as usize]
+                            ));
+                        }
+                    }
+                    if let Some(col) = seen.iter().position(|&s| !s) {
+                        return Err(format!("gate {i}: column {col} linked into no bucket"));
+                    }
+                    ps.supported()
+                }
+            };
+            if expected != self.support[i] {
+                return Err(format!(
+                    "gate {i}: support shadow {} but recomputation gives {expected}",
+                    self.support[i]
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -63,19 +63,59 @@
 //! concurrent batch fully applied or not at all — never torn across
 //! shards. The differential suite pins sharded ≡ unsharded answer sets,
 //! point queries, and post-update behavior on all three backends.
+//!
+//! # Fault boundary
+//!
+//! The component decomposition that makes shards *independent* also
+//! makes them a **fault** boundary: one shard failing must not take the
+//! others down. Three mechanisms enforce that (see ROADMAP.md's "Fault
+//! model" for the operator view):
+//!
+//! * **Panic isolation + quarantine.** Shard apply work runs under
+//!   [`catch_unwind`]; a panic (its own bug, or an injected
+//!   `shard.apply` / `batch.worker` fail-point) marks the shard
+//!   [quarantined](ShardedEngine::is_quarantined) instead of unwinding
+//!   through the facade or poisoning the lock for every later caller.
+//!   A quarantined shard rejects updates with
+//!   [`UpdateError::ShardUnavailable`] and is skipped by reads; the
+//!   `try_*` serving APIs report the skip as
+//!   [`Served::Degraded`]`{ missing_shards }` (or a typed
+//!   [`ServeError`] under [`ServeMode::Strict`]), while the plain
+//!   value-returning APIs degrade silently over the healthy shards.
+//!   [`ShardedEngine::install_shard`] swaps a re-hydrated state back in
+//!   (snapshot + WAL replay — `agq_persist::restore_quarantined_shard`)
+//!   and lifts the quarantine.
+//! * **Write-ahead journaling with a [`DurabilityPolicy`].** Batches
+//!   are journaled *before* any in-memory apply, still under the shard
+//!   write locks so LSN order agrees with apply order. A sink error is
+//!   retried with backoff; on exhaustion, fail-stop rejects the batch
+//!   with nothing applied and the LSN unadvanced, while fail-open
+//!   applies anyway and marks the engine
+//!   [`wal_degraded`](ShardedEngine::wal_degraded). A worker panic
+//!   *after* journaling quarantines the shard but loses nothing: the
+//!   batch is durable, and the restore replay completes it.
+//! * **Poison-aware locking.** Every lock acquisition maps
+//!   [`PoisonError`] into the quarantine path (or recovers the inner
+//!   guard, for the WAL mutex) instead of propagating a panic — one
+//!   thread's failure never cascades through `expect("shard lock")`.
 
 use crate::answers::{AnswerIndex, UpdateError};
 use crate::machine::MachineStateDump;
 use agq_circuit::{FiniteMaint, PeekScratch, PermMaint, RingMaint};
 use agq_core::{
-    compile, eliminate_quantifiers, CompileError, CompileOptions, QueryEngine, TupleUpdate, WalSink,
+    compile, eliminate_quantifiers, CompileError, CompileOptions, DurabilityPolicy, QueryEngine,
+    TupleUpdate, WalFailure, WalSink,
 };
 use agq_logic::{normalize, Expr, Formula};
 use agq_perm::SegTreePerm;
 use agq_semiring::Semiring;
 use agq_structure::gaifman::GaifmanComponents;
 use agq_structure::{Elem, RelId, Structure, WeightedStructure};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{
+    Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 
 /// `std::thread::available_parallelism()` re-reads cgroup limits from the
 /// filesystem on every call (~10µs on Linux) — far too slow for per-batch
@@ -92,25 +132,162 @@ struct Shard<S: Semiring, P: PermMaint<S>> {
     index: AnswerIndex,
 }
 
+/// A shard's lock plus its quarantine flag. The flag lives *outside* the
+/// lock so readers can skip a quarantined shard without blocking on a
+/// lock a wedged worker might hold, and so the facade never needs to
+/// touch possibly-corrupt state to learn that it is corrupt.
+struct ShardCell<S: Semiring, P: PermMaint<S>> {
+    lock: RwLock<Shard<S, P>>,
+    quarantined: AtomicBool,
+}
+
+impl<S: Semiring, P: PermMaint<S>> ShardCell<S, P> {
+    fn new(shard: Shard<S, P>) -> Self {
+        ShardCell {
+            lock: RwLock::new(shard),
+            quarantined: AtomicBool::new(false),
+        }
+    }
+}
+
+/// How the `try_*` serving APIs treat quarantined shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ServeMode {
+    /// Any quarantined shard that could contribute to the result turns
+    /// the call into [`ServeError::ShardUnavailable`].
+    Strict,
+    /// Serve from the healthy shards and report the missing ones in
+    /// [`Served::Degraded`]. The default.
+    #[default]
+    Degrade,
+}
+
+/// A serving result that is explicit about completeness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Served<T> {
+    /// Every shard contributed: the value is exact.
+    Complete(T),
+    /// Quarantined shards were skipped: the value covers only the
+    /// healthy shards.
+    Degraded {
+        /// The (partial) result over the healthy shards.
+        value: T,
+        /// The quarantined shards that did not contribute, ascending.
+        missing_shards: Vec<usize>,
+    },
+}
+
+impl<T> Served<T> {
+    /// The value, complete or not.
+    pub fn value(self) -> T {
+        match self {
+            Served::Complete(v) | Served::Degraded { value: v, .. } => v,
+        }
+    }
+
+    /// Borrow the value, complete or not.
+    pub fn get(&self) -> &T {
+        match self {
+            Served::Complete(v) | Served::Degraded { value: v, .. } => v,
+        }
+    }
+
+    /// Whether every shard contributed.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Served::Complete(_))
+    }
+
+    /// The shards that did not contribute (empty when complete).
+    pub fn missing_shards(&self) -> &[usize] {
+        match self {
+            Served::Complete(_) => &[],
+            Served::Degraded { missing_shards, .. } => missing_shards,
+        }
+    }
+}
+
+/// Typed serving failure under [`ServeMode::Strict`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Quarantined shards would be needed for a complete answer.
+    ShardUnavailable {
+        /// The quarantined shards, ascending.
+        shards: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ShardUnavailable { shards } => {
+                write!(
+                    f,
+                    "quarantined shards {shards:?} are required for this result"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A point-in-time operator view of the engine's fault state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Total shard count.
+    pub shards: usize,
+    /// Quarantined shard ids, ascending.
+    pub quarantined: Vec<usize>,
+    /// Whether a WAL sink is attached.
+    pub wal_attached: bool,
+    /// Whether a fail-open policy has applied batches past a failed
+    /// journal append — the in-memory state runs ahead of the durable
+    /// log until the next snapshot.
+    pub wal_degraded: bool,
+    /// The LSN of the last accepted batch.
+    pub last_lsn: u64,
+}
+
 /// A first-order query served from Gaifman-component shards: one shared
 /// immutable compiled plan, per-shard mutable state, one update/query
-/// language. See the [module docs](self) for the decomposition argument.
+/// language. See the [module docs](self) for the decomposition argument
+/// and the fault boundary.
 pub struct ShardedEngine<S: Semiring, P: PermMaint<S>> {
     components: GaifmanComponents,
-    shards: Vec<RwLock<Shard<S, P>>>,
+    shards: Vec<ShardCell<S, P>>,
     component_local: bool,
     arity: usize,
-    /// Durability state: the optional WAL sink and the LSN of the last
-    /// applied batch, assigned under one mutex *while the applying
-    /// batch's shard write locks are still held* so LSN order agrees
-    /// with apply order for conflicting batches.
+    /// Durability state: the optional WAL sink, the durability policy,
+    /// and the LSN of the last accepted batch, assigned under one mutex
+    /// *while the accepting batch's shard write locks are still held* so
+    /// LSN order agrees with apply order for conflicting batches.
     wal: Mutex<WalState>,
+    /// `true` = [`ServeMode::Strict`] for the `try_*` APIs.
+    serve_strict: AtomicBool,
+    /// The LSN this engine was seeded with (0 at build, the replayed LSN
+    /// after recovery): [`ShardedEngine::self_check`]'s monotonicity
+    /// floor — the live counter may never run behind it.
+    lsn_floor: AtomicU64,
 }
 
 /// The durability side-state of a [`ShardedEngine`] (see its `wal` field).
 struct WalState {
     sink: Option<Box<dyn WalSink>>,
     last_lsn: u64,
+    policy: DurabilityPolicy,
+    /// Set when a fail-open policy accepted a batch it could not journal.
+    degraded: bool,
+}
+
+impl WalState {
+    fn fresh(last_lsn: u64) -> Self {
+        WalState {
+            sink: None,
+            last_lsn,
+            policy: DurabilityPolicy::default(),
+            degraded: false,
+        }
+    }
 }
 
 /// One shard's serializable mutable state, as captured by
@@ -198,7 +375,7 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
                         .expect("base index alive")
                         .shard_filtered(|e| components.shard_of(e) == s as u32)
                 };
-                RwLock::new(Shard { engine, index })
+                ShardCell::new(Shard { engine, index })
             })
             .collect();
         Ok(ShardedEngine {
@@ -206,10 +383,9 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
             shards,
             component_local,
             arity,
-            wal: Mutex::new(WalState {
-                sink: None,
-                last_lsn: 0,
-            }),
+            wal: Mutex::new(WalState::fresh(0)),
+            serve_strict: AtomicBool::new(false),
+            lsn_floor: AtomicU64::new(0),
         })
     }
 
@@ -232,27 +408,75 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
             components,
             shards: shard_states
                 .into_iter()
-                .map(|(engine, index)| RwLock::new(Shard { engine, index }))
+                .map(|(engine, index)| ShardCell::new(Shard { engine, index }))
                 .collect(),
             component_local,
             arity,
-            wal: Mutex::new(WalState {
-                sink: None,
-                last_lsn,
-            }),
+            wal: Mutex::new(WalState::fresh(last_lsn)),
+            serve_strict: AtomicBool::new(false),
+            lsn_floor: AtomicU64::new(last_lsn),
         })
+    }
+
+    /// The WAL mutex, poison-recovered: the journal path never panics
+    /// while holding it (injected panics fire before the lock is taken,
+    /// and sink errors are returned, not thrown), so a poisoned state
+    /// still holds a coherent `WalState` — recover it rather than
+    /// cascade a different thread's failure.
+    fn lock_wal(&self) -> MutexGuard<'_, WalState> {
+        self.wal.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// A shard's read guard, or `Err(s)` if it is quarantined. A
+    /// poisoned lock — a panic escaped while the state was mid-mutation
+    /// — quarantines the shard instead of propagating the panic.
+    fn read_shard(&self, s: usize) -> Result<RwLockReadGuard<'_, Shard<S, P>>, usize> {
+        let cell = &self.shards[s];
+        if cell.quarantined.load(Ordering::Acquire) {
+            return Err(s);
+        }
+        match cell.lock.read() {
+            Ok(g) => Ok(g),
+            Err(_) => {
+                cell.quarantined.store(true, Ordering::Release);
+                Err(s)
+            }
+        }
+    }
+
+    /// A shard's write guard, with the same quarantine mapping as
+    /// [`ShardedEngine::read_shard`].
+    fn write_shard(&self, s: usize) -> Result<RwLockWriteGuard<'_, Shard<S, P>>, usize> {
+        let cell = &self.shards[s];
+        if cell.quarantined.load(Ordering::Acquire) {
+            return Err(s);
+        }
+        match cell.lock.write() {
+            Ok(g) => Ok(g),
+            Err(_) => {
+                cell.quarantined.store(true, Ordering::Release);
+                Err(s)
+            }
+        }
     }
 
     /// Capture every shard's mutable state plus the LSN it is current
     /// through, under one consistent all-shards snapshot (all read locks
     /// in shard order — a concurrent batch is either fully included, or
     /// excluded and sequenced after the returned LSN, never torn).
-    pub fn snapshot_states(&self) -> (u64, Vec<ShardStateDump<S>>) {
-        let guards = self.read_all();
-        let lsn = self.wal.lock().expect("wal lock").last_lsn;
+    ///
+    /// Errs if any shard is quarantined: a snapshot must cover the whole
+    /// engine, and a quarantined shard's state is not trustworthy.
+    /// Restore the shard first.
+    pub fn snapshot_states(&self) -> Result<(u64, Vec<ShardStateDump<S>>), ServeError> {
+        let (guards, missing) = self.read_healthy();
+        if !missing.is_empty() {
+            return Err(ServeError::ShardUnavailable { shards: missing });
+        }
+        let lsn = self.lock_wal().last_lsn;
         let dumps = guards
             .iter()
-            .map(|shard| {
+            .map(|(_, shard)| {
                 let eval = shard.engine.evaluator();
                 ShardStateDump {
                     slot_values: eval.slot_values().to_vec(),
@@ -261,19 +485,41 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
                 }
             })
             .collect();
-        (lsn, dumps)
+        Ok((lsn, dumps))
     }
 
     /// Run `f` against one shard's state under its read lock — the
     /// shared-plan accessor snapshotting uses (every shard points at the
     /// same compiled query and plans).
+    ///
+    /// # Panics
+    /// Panics if shard `s` is quarantined; use
+    /// [`ShardedEngine::with_healthy_shard`] when any shard will do.
     pub fn with_shard<R>(
         &self,
         s: usize,
         f: impl FnOnce(&QueryEngine<S, P>, &AnswerIndex) -> R,
     ) -> R {
-        let shard = self.shards[s].read().expect("shard lock");
-        f(&shard.engine, &shard.index)
+        match self.read_shard(s) {
+            Ok(shard) => f(&shard.engine, &shard.index),
+            Err(s) => panic!("shard {s} is quarantined"),
+        }
+    }
+
+    /// Run `f` against the first healthy shard's state under its read
+    /// lock — shared-plan access that tolerates quarantined shards (the
+    /// restore path sources plan `Arc`s this way). `None` iff every
+    /// shard is quarantined.
+    pub fn with_healthy_shard<R>(
+        &self,
+        f: impl FnOnce(&QueryEngine<S, P>, &AnswerIndex) -> R,
+    ) -> Option<R> {
+        for s in 0..self.shards.len() {
+            if let Ok(shard) = self.read_shard(s) {
+                return Some(f(&shard.engine, &shard.index));
+            }
+        }
+        None
     }
 
     /// Answer-tuple arity.
@@ -322,16 +568,69 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
 
     /// Point query: the indicator value `[φ(ā)]`, served by the owning
     /// shard under a read lock. A tuple spanning shards is structurally
-    /// zero (its elements can never be chained by positive atoms).
+    /// zero (its elements can never be chained by positive atoms). A
+    /// tuple owned by a quarantined shard is served as zero — use
+    /// [`ShardedEngine::try_query`] to distinguish "absent" from
+    /// "unavailable".
     pub fn query(&self, tuple: &[Elem]) -> S {
+        self.query_inner(tuple).0
+    }
+
+    /// [`ShardedEngine::query`] with explicit completeness: `Degraded`
+    /// (value zero, naming the owning shard) when the owner is
+    /// quarantined, or a typed error under [`ServeMode::Strict`]. Other
+    /// shards' quarantine never affects a point query — the cone above a
+    /// single-shard tuple's slots stays inside its component.
+    pub fn try_query(&self, tuple: &[Elem]) -> Result<Served<S>, ServeError> {
+        let (value, missing) = self.query_inner(tuple);
+        self.serve(value, missing)
+    }
+
+    fn query_inner(&self, tuple: &[Elem]) -> (S, Vec<usize>) {
         match self.route(tuple) {
-            Route::Cross | Route::Unknown => S::zero(),
-            Route::Shard(s) => {
-                let shard = self.shards[s].read().expect("shard lock");
-                let mut scratch = PeekScratch::new();
-                let mut patches = Vec::new();
-                shard.engine.query_with(tuple, &mut scratch, &mut patches)
-            }
+            Route::Cross | Route::Unknown => (S::zero(), Vec::new()),
+            Route::Shard(s) => match self.read_shard(s) {
+                Ok(shard) => {
+                    let mut scratch = PeekScratch::new();
+                    let mut patches = Vec::new();
+                    (
+                        shard.engine.query_with(tuple, &mut scratch, &mut patches),
+                        Vec::new(),
+                    )
+                }
+                Err(s) => (S::zero(), vec![s]),
+            },
+        }
+    }
+
+    /// Wrap a computed value according to the serve mode: complete,
+    /// degraded naming the skipped shards, or a strict-mode error.
+    fn serve<T>(&self, value: T, missing: Vec<usize>) -> Result<Served<T>, ServeError> {
+        if missing.is_empty() {
+            Ok(Served::Complete(value))
+        } else if self.serve_strict.load(Ordering::Acquire) {
+            Err(ServeError::ShardUnavailable { shards: missing })
+        } else {
+            Ok(Served::Degraded {
+                value,
+                missing_shards: missing,
+            })
+        }
+    }
+
+    /// How the `try_*` APIs react to quarantined shards (the plain
+    /// value-returning APIs always degrade silently).
+    pub fn set_serve_mode(&self, mode: ServeMode) {
+        self.serve_strict
+            .store(mode == ServeMode::Strict, Ordering::Release);
+    }
+
+    /// The current serve mode.
+    pub fn serve_mode(&self) -> ServeMode {
+        if self.serve_strict.load(Ordering::Acquire) {
+            ServeMode::Strict
+        } else {
+            ServeMode::Degrade
         }
     }
 
@@ -345,6 +644,25 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
     where
         P: Send + Sync,
     {
+        self.query_batch_inner(tuples).0
+    }
+
+    /// [`ShardedEngine::query_batch`] with explicit completeness: tuples
+    /// owned by quarantined shards come back zero and the shards are
+    /// named in `Degraded` (or turn the whole call into a strict-mode
+    /// error).
+    pub fn try_query_batch(&self, tuples: &[&[Elem]]) -> Result<Served<Vec<S>>, ServeError>
+    where
+        P: Send + Sync,
+    {
+        let (values, missing) = self.query_batch_inner(tuples);
+        self.serve(values, missing)
+    }
+
+    fn query_batch_inner(&self, tuples: &[&[Elem]]) -> (Vec<S>, Vec<usize>)
+    where
+        P: Send + Sync,
+    {
         // Group tuple indices by shard; resolve cross-shard tuples inline.
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         let mut out: Vec<Option<S>> = vec![None; tuples.len()];
@@ -354,19 +672,33 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
                 Route::Shard(s) => groups[s].push(i),
             }
         }
-        let work: Vec<(usize, Vec<usize>)> = groups
-            .into_iter()
-            .enumerate()
-            .filter(|(_, g)| !g.is_empty())
-            .collect();
+        // Take the healthy read guards on the calling thread (shard
+        // order), resolving quarantined shards' tuples to zero; workers
+        // then only ever see `&Shard` references that are known good.
+        type ShardWork<'a, S, P> = Vec<(RwLockReadGuard<'a, Shard<S, P>>, Vec<usize>)>;
+        let mut missing = Vec::new();
+        let mut work: ShardWork<'_, S, P> = Vec::new();
+        for (s, g) in groups.into_iter().enumerate() {
+            if g.is_empty() {
+                continue;
+            }
+            match self.read_shard(s) {
+                Ok(guard) => work.push((guard, g)),
+                Err(s) => {
+                    missing.push(s);
+                    for &i in &g {
+                        out[i] = Some(S::zero());
+                    }
+                }
+            }
+        }
         let workers = available_cores().min(work.len()).max(1);
-        if workers == 1 {
+        if workers <= 1 {
             // one core (or one shard group): answer on the calling thread
             // instead of paying a thread spawn
             let mut scratch = PeekScratch::new();
             let mut patches = Vec::new();
-            for (s, g) in &work {
-                let shard = self.shards[*s].read().expect("shard lock");
+            for (shard, g) in &work {
                 for &i in g {
                     out[i] = Some(
                         shard
@@ -375,11 +707,14 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
                     );
                 }
             }
-            return out.into_iter().map(|v| v.expect("all filled")).collect();
+            let vals = out.into_iter().map(|v| v.expect("all filled")).collect();
+            return (vals, missing);
         }
-        let chunk = work.len().div_ceil(workers);
+        let pairs: Vec<(&Shard<S, P>, &[usize])> =
+            work.iter().map(|(gd, g)| (&**gd, g.as_slice())).collect();
+        let chunk = pairs.len().div_ceil(workers);
         let results: Vec<(Vec<usize>, Vec<S>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = work
+            let handles: Vec<_> = pairs
                 .chunks(chunk)
                 .map(|assigned| {
                     scope.spawn(move || {
@@ -387,8 +722,7 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
                         let mut patches = Vec::new();
                         assigned
                             .iter()
-                            .map(|(s, g)| {
-                                let shard = self.shards[*s].read().expect("shard lock");
+                            .map(|(shard, g)| {
                                 let vals: Vec<S> = g
                                     .iter()
                                     .map(|&i| {
@@ -399,7 +733,7 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
                                         )
                                     })
                                     .collect();
-                                (g.clone(), vals)
+                                (g.to_vec(), vals)
                             })
                             .collect::<Vec<_>>()
                     })
@@ -407,7 +741,7 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("shard batch worker"))
+                .flat_map(|h| h.join().expect("read-only query worker"))
                 .collect()
         });
         for (idxs, vals) in results {
@@ -415,12 +749,19 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
                 out[i] = Some(v);
             }
         }
-        out.into_iter().map(|v| v.expect("all filled")).collect()
+        let vals = out.into_iter().map(|v| v.expect("all filled")).collect();
+        (vals, missing)
     }
 
     /// Apply one Gaifman-preserving update to the owning shard (write
     /// lock on that shard only): both the shard's enumeration index
     /// (incremental, `O_φ(1)`) and its point-query evaluator absorb it.
+    ///
+    /// The update is journaled **write-ahead** under the shard lock
+    /// (validate → journal → apply): a fail-stop WAL failure rejects it
+    /// with nothing applied and the LSN unadvanced, and a panic during
+    /// the apply quarantines the shard — already durable, so a restore
+    /// replay completes it.
     pub fn apply_update(&self, u: &TupleUpdate) -> Result<(), UpdateError> {
         let s = match self.route(&u.tuple) {
             Route::Shard(s) => s,
@@ -436,50 +777,103 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
             }
             Route::Unknown => return Err(UpdateError::MalformedTuple),
         };
-        let mut shard = self.shards[s].write().expect("shard lock");
-        shard.index.apply_update(u)?;
-        shard.engine.apply_update(u);
-        // Log while the shard write lock is still held, so LSN order
-        // agrees with apply order for updates contending on a shard.
-        self.log_applied(std::slice::from_ref(u))
-    }
-
-    /// Assign the next LSN to an applied batch and append it to the WAL
-    /// sink, if one is attached. Called with the applying batch's shard
-    /// write locks still held.
-    fn log_applied(&self, updates: &[TupleUpdate]) -> Result<(), UpdateError> {
-        let mut wal = self.wal.lock().expect("wal lock");
-        wal.last_lsn += 1;
-        let lsn = wal.last_lsn;
-        if let Some(sink) = &mut wal.sink {
-            sink.append_batch(lsn, updates)
-                .and_then(|()| sink.flush())
-                .map_err(|e| UpdateError::Wal(e.to_string()))?;
+        let mut shard = self
+            .write_shard(s)
+            .map_err(|shard| UpdateError::ShardUnavailable { shard })?;
+        shard.index.validate_update(u)?;
+        self.journal(std::slice::from_ref(u))?;
+        let shard = &mut *shard;
+        let applied = catch_unwind(AssertUnwindSafe(|| {
+            agq_core::fault::point("shard.apply");
+            shard
+                .index
+                .apply_update(u)
+                .expect("update was pre-validated");
+            shard.engine.apply_update(u);
+        }));
+        if applied.is_err() {
+            self.shards[s].quarantined.store(true, Ordering::Release);
+            return Err(UpdateError::ShardPanicked { shards: vec![s] });
         }
         Ok(())
     }
 
-    /// Attach a write-ahead-log sink: every subsequently applied batch
-    /// is appended under its LSN. Returns the previous sink.
+    /// Journal a batch write-ahead: assign the next LSN and append +
+    /// flush under the durability policy, with the accepting batch's
+    /// shard write locks still held (so LSN order agrees with apply
+    /// order). On success — or on append exhaustion under a fail-open
+    /// policy, which marks the WAL degraded — the LSN is committed and
+    /// the caller proceeds to apply. Under fail-stop, exhaustion commits
+    /// nothing and the caller must not apply.
+    fn journal(&self, updates: &[TupleUpdate]) -> Result<u64, UpdateError> {
+        let mut wal = self.lock_wal();
+        let lsn = wal.last_lsn + 1;
+        let WalState {
+            sink,
+            policy,
+            degraded,
+            ..
+        } = &mut *wal;
+        if let Some(sink) = sink {
+            if let Err(e) = policy.append(sink.as_mut(), lsn, updates) {
+                match policy.on_failure {
+                    WalFailure::FailStop => return Err(UpdateError::Wal(e.to_string())),
+                    WalFailure::FailOpen => *degraded = true,
+                }
+            }
+        }
+        wal.last_lsn = lsn;
+        Ok(lsn)
+    }
+
+    /// Attach a write-ahead-log sink: every subsequently accepted batch
+    /// is appended under its LSN, before it is applied. Returns the
+    /// previous sink.
     pub fn attach_wal(&self, sink: Box<dyn WalSink>) -> Option<Box<dyn WalSink>> {
-        self.wal.lock().expect("wal lock").sink.replace(sink)
+        self.lock_wal().sink.replace(sink)
     }
 
     /// Detach the WAL sink (e.g. before replaying a recovered tail).
     pub fn detach_wal(&self) -> Option<Box<dyn WalSink>> {
-        self.wal.lock().expect("wal lock").sink.take()
+        self.lock_wal().sink.take()
     }
 
-    /// The LSN of the last applied update batch (0 before any update).
+    /// The LSN of the last accepted update batch (0 before any update).
     pub fn last_lsn(&self) -> u64 {
-        self.wal.lock().expect("wal lock").last_lsn
+        self.lock_wal().last_lsn
     }
 
     /// Reset the log sequence counter — used after WAL replay so
     /// subsequent batches continue from the highest committed LSN
-    /// rather than from the snapshot's.
+    /// rather than from the snapshot's. Also moves the
+    /// [`ShardedEngine::self_check`] monotonicity floor.
     pub fn set_last_lsn(&self, lsn: u64) {
-        self.wal.lock().expect("wal lock").last_lsn = lsn;
+        self.lock_wal().last_lsn = lsn;
+        self.lsn_floor.store(lsn, Ordering::Release);
+    }
+
+    /// The retry/failure policy for WAL appends.
+    pub fn set_durability(&self, policy: DurabilityPolicy) {
+        self.lock_wal().policy = policy;
+    }
+
+    /// The current WAL durability policy.
+    pub fn durability(&self) -> DurabilityPolicy {
+        self.lock_wal().policy
+    }
+
+    /// Whether a fail-open policy has accepted batches past a failed
+    /// journal append. While set, the in-memory state runs ahead of the
+    /// durable log; a fresh snapshot re-establishes durability (see
+    /// [`ShardedEngine::reset_wal_degraded`]).
+    pub fn wal_degraded(&self) -> bool {
+        self.lock_wal().degraded
+    }
+
+    /// Clear the degraded-WAL marker — call after capturing a snapshot
+    /// that covers the unjournaled batches.
+    pub fn reset_wal_degraded(&self) {
+        self.lock_wal().degraded = false;
     }
 
     /// Apply a whole batch of Gaifman-preserving updates: the batch is
@@ -490,12 +884,17 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
     /// one coalesced sweep per side ([`AnswerIndex::apply_batch`] /
     /// [`agq_core::QueryEngine::apply_batch`]).
     ///
-    /// The batch is all-or-nothing: every update is validated against the
-    /// shared compiled plan (one read-lock probe) *before* any write lock
-    /// is taken, so on `Err` no shard has been modified — unlike a manual
-    /// loop over [`ShardedEngine::apply_update`], which stops at the
-    /// first offending update. Returns the number of coalesced updates
-    /// that changed an enumeration index.
+    /// The batch is all-or-nothing on the happy path: every update is
+    /// validated against the shared compiled plan, then journaled
+    /// write-ahead, *before* any in-memory mutation — on a validation,
+    /// routing, quarantine, or fail-stop WAL error no shard has been
+    /// modified and the LSN has not advanced. The one partial outcome is
+    /// a worker panic mid-apply ([`UpdateError::ShardPanicked`]): the
+    /// panicking shards are quarantined, every other shard has applied
+    /// its group, and because the batch was journaled first, a restore
+    /// replay completes the quarantined shards to the same state.
+    /// Returns the number of coalesced updates that changed an
+    /// enumeration index.
     pub fn apply_batch(&self, updates: &[TupleUpdate]) -> Result<usize, UpdateError>
     where
         P: Send + Sync,
@@ -521,15 +920,6 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
                 Route::Unknown => return Err(UpdateError::MalformedTuple),
             }
         }
-        // Pre-validate the whole batch before mutating anything. The
-        // verdict depends only on the shared plan, so one shard's index
-        // can vouch for every group.
-        {
-            let probe = self.shards[0].read().expect("shard lock");
-            for u in groups.iter().flatten() {
-                probe.index.validate_update(u)?;
-            }
-        }
         let work: Vec<(usize, &[&TupleUpdate])> = groups
             .iter()
             .enumerate()
@@ -546,17 +936,59 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
         // application. A snapshot reader (`count`, `answer`,
         // `for_each_answer`, …) then sees the batch fully applied or not
         // at all, never half of it. `work` is built in ascending shard
-        // order.
-        let mut guards: Vec<_> = work
-            .iter()
-            .map(|(s, _)| self.shards[*s].write().expect("shard lock"))
-            .collect();
+        // order. A quarantined shard rejects the whole batch here,
+        // before anything is journaled or applied.
+        let mut guards: Vec<_> = Vec::with_capacity(work.len());
+        for (s, _) in &work {
+            guards.push(
+                self.write_shard(*s)
+                    .map_err(|shard| UpdateError::ShardUnavailable { shard })?,
+            );
+        }
+        // Pre-validate the whole batch before journaling or mutating
+        // anything. The verdict depends only on the shared plan, so the
+        // first affected shard's index can vouch for every group.
+        for u in work.iter().flat_map(|(_, g)| g.iter()) {
+            guards[0].index.validate_update(u)?;
+        }
+        // Journal write-ahead while the write locks are held; the
+        // coalesced batch is only materialized when a sink is attached,
+        // so the no-WAL ingestion hot path pays one mutex lock and an
+        // increment. On a fail-stop WAL error the locks drop with
+        // nothing applied and the LSN unadvanced.
+        {
+            let mut wal = self.lock_wal();
+            let lsn = wal.last_lsn + 1;
+            let WalState {
+                sink,
+                policy,
+                degraded,
+                ..
+            } = &mut *wal;
+            if let Some(sink) = sink {
+                let owned: Vec<TupleUpdate> = work
+                    .iter()
+                    .flat_map(|(_, g)| g.iter().map(|&u| u.clone()))
+                    .collect();
+                if let Err(e) = policy.append(sink.as_mut(), lsn, &owned) {
+                    match policy.on_failure {
+                        WalFailure::FailStop => return Err(UpdateError::Wal(e.to_string())),
+                        WalFailure::FailOpen => *degraded = true,
+                    }
+                }
+            }
+            wal.last_lsn = lsn;
+        }
         // Each group is already distinct per tuple (the coalescing pass
-        // above), so the shards take the coalesced entry points.
+        // above), so the shards take the coalesced entry points. Every
+        // group runs under `catch_unwind`: a panic (a bug, or the
+        // `shard.apply` / `batch.worker` fail-points) quarantines the
+        // affected shards instead of crossing the facade.
         fn apply_group<S: Semiring, P: PermMaint<S>>(
             shard: &mut Shard<S, P>,
             g: &[&TupleUpdate],
         ) -> usize {
+            agq_core::fault::point("shard.apply");
             let n = shard
                 .index
                 .apply_batch_coalesced(g)
@@ -568,82 +1000,124 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
         // Spawning threads costs tens of microseconds — far more than a
         // typical shard group. Apply on the calling thread unless there is
         // real parallelism to exploit.
-        let applied = if workers == 1 {
-            guards
-                .iter_mut()
-                .zip(&work)
-                .map(|(shard, (_, g))| apply_group(&mut **shard, g))
-                .sum()
+        let mut applied = 0usize;
+        let mut panicked: Vec<usize> = Vec::new();
+        if workers == 1 {
+            for (shard, (s, g)) in guards.iter_mut().zip(&work) {
+                match catch_unwind(AssertUnwindSafe(|| apply_group(&mut **shard, g))) {
+                    Ok(n) => applied += n,
+                    Err(_) => panicked.push(*s),
+                }
+            }
         } else {
-            let mut pairs: Vec<(&mut Shard<S, P>, &[&TupleUpdate])> = guards
+            let mut pairs: Vec<(usize, &mut Shard<S, P>, &[&TupleUpdate])> = guards
                 .iter_mut()
                 .zip(&work)
-                .map(|(shard, (_, g))| (&mut **shard, *g))
+                .map(|(shard, (s, g))| (*s, &mut **shard, *g))
                 .collect();
             let chunk = pairs.len().div_ceil(workers);
             std::thread::scope(|scope| {
-                let handles: Vec<_> = pairs
+                let handles: Vec<(Vec<usize>, _)> = pairs
                     .chunks_mut(chunk)
                     .map(|assigned| {
-                        scope.spawn(move || {
-                            assigned
-                                .iter_mut()
-                                .map(|(shard, g)| apply_group(shard, g))
-                                .sum::<usize>()
-                        })
+                        let ids: Vec<usize> = assigned.iter().map(|(s, _, _)| *s).collect();
+                        let h = scope.spawn(move || {
+                            agq_core::fault::point("batch.worker");
+                            let mut applied = 0usize;
+                            let mut panicked = Vec::new();
+                            for (s, shard, g) in assigned.iter_mut() {
+                                match catch_unwind(AssertUnwindSafe(|| apply_group(shard, g))) {
+                                    Ok(n) => applied += n,
+                                    Err(_) => panicked.push(*s),
+                                }
+                            }
+                            (applied, panicked)
+                        });
+                        (ids, h)
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard batch worker"))
-                    .sum()
-            })
-        };
-        // Log while the shard write locks (`guards`) are still held; the
-        // coalesced batch is only materialized when a sink is attached,
-        // so the no-WAL ingestion hot path pays one mutex lock and an
-        // increment.
-        {
-            let mut wal = self.wal.lock().expect("wal lock");
-            wal.last_lsn += 1;
-            let lsn = wal.last_lsn;
-            if let Some(sink) = &mut wal.sink {
-                let owned: Vec<TupleUpdate> = work
-                    .iter()
-                    .flat_map(|(_, g)| g.iter().map(|&u| u.clone()))
-                    .collect();
-                sink.append_batch(lsn, &owned)
-                    .and_then(|()| sink.flush())
-                    .map_err(|e| UpdateError::Wal(e.to_string()))?;
+                for (ids, h) in handles {
+                    match h.join() {
+                        Ok((n, p)) => {
+                            applied += n;
+                            panicked.extend(p);
+                        }
+                        // The worker died outside the per-group
+                        // catch_unwind (the `batch.worker` fail-point,
+                        // or glue-code bugs): which of its groups were
+                        // applied is unknown, so quarantine them all —
+                        // the journaled batch makes the restore exact.
+                        Err(_) => panicked.extend(ids),
+                    }
+                }
+            });
+        }
+        if !panicked.is_empty() {
+            panicked.sort_unstable();
+            for &s in &panicked {
+                self.shards[s].quarantined.store(true, Ordering::Release);
             }
+            return Err(UpdateError::ShardPanicked { shards: panicked });
         }
         drop(guards);
         Ok(applied)
     }
 
-    /// A consistent snapshot: every shard's read lock, acquired in shard
-    /// order (the same order [`ShardedEngine::apply_batch`] takes its
-    /// write locks, so readers and batch writers cannot deadlock).
-    /// Holding all of them, a concurrent batch is observed fully applied
-    /// or not at all — never torn across shards.
-    fn read_all(&self) -> Vec<std::sync::RwLockReadGuard<'_, Shard<S, P>>> {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("shard lock"))
-            .collect()
+    /// A consistent snapshot of the healthy shards: their read locks,
+    /// acquired in shard order (the same order
+    /// [`ShardedEngine::apply_batch`] takes its write locks, so readers
+    /// and batch writers cannot deadlock), plus the quarantined shard
+    /// ids that were skipped. Holding all of the guards, a concurrent
+    /// batch is observed fully applied or not at all — never torn across
+    /// shards.
+    #[allow(clippy::type_complexity)]
+    fn read_healthy(&self) -> (Vec<(usize, RwLockReadGuard<'_, Shard<S, P>>)>, Vec<usize>) {
+        let mut guards = Vec::with_capacity(self.shards.len());
+        let mut missing = Vec::new();
+        for s in 0..self.shards.len() {
+            match self.read_shard(s) {
+                Ok(g) => guards.push((s, g)),
+                Err(s) => missing.push(s),
+            }
+        }
+        (guards, missing)
     }
 
-    /// Number of answers, summed over the shards under one consistent
-    /// all-shards snapshot — a concurrent batch never shows up as a torn
-    /// total.
+    /// Number of answers, summed over the **healthy** shards under one
+    /// consistent snapshot — a concurrent batch never shows up as a torn
+    /// total. Quarantined shards contribute nothing; use
+    /// [`ShardedEngine::try_count`] to be told when that happens.
     pub fn count(&self) -> u64 {
-        self.read_all().iter().map(|s| s.index.count()).sum()
+        self.read_healthy()
+            .0
+            .iter()
+            .map(|(_, s)| s.index.count())
+            .sum()
     }
 
-    /// Whether at least one answer exists (`O_φ(1)` per shard), under
-    /// the same consistent snapshot as [`ShardedEngine::count`].
+    /// [`ShardedEngine::count`] with explicit completeness.
+    pub fn try_count(&self) -> Result<Served<u64>, ServeError> {
+        let (guards, missing) = self.read_healthy();
+        let total = guards.iter().map(|(_, s)| s.index.count()).sum();
+        self.serve(total, missing)
+    }
+
+    /// Whether at least one answer exists on a **healthy** shard
+    /// (`O_φ(1)` per shard), under the same consistent snapshot as
+    /// [`ShardedEngine::count`].
     pub fn is_nonempty(&self) -> bool {
-        self.read_all().iter().any(|s| s.index.is_nonempty())
+        self.read_healthy()
+            .0
+            .iter()
+            .any(|(_, s)| s.index.is_nonempty())
+    }
+
+    /// [`ShardedEngine::is_nonempty`] with explicit completeness (a
+    /// degraded `false` only means the healthy shards are empty).
+    pub fn try_is_nonempty(&self) -> Result<Served<bool>, ServeError> {
+        let (guards, missing) = self.read_healthy();
+        let any = guards.iter().any(|(_, s)| s.index.is_nonempty());
+        self.serve(any, missing)
     }
 
     /// Direct access: the answer of **global rank** `k` (shard id, then
@@ -652,11 +1126,13 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
     /// answers. The per-shard counts form the rank prefix table; the
     /// owning shard answers its local rank in `O(depth)` gate visits.
     /// `None` iff `k >= count()`. The whole lookup runs under one
-    /// consistent all-shards snapshot.
+    /// consistent snapshot of the healthy shards; quarantined shards are
+    /// transparently absent from the rank space (use
+    /// [`ShardedEngine::try_answer`] to detect that).
     pub fn answer(&self, k: u64) -> Option<Vec<Elem>> {
-        let guards = self.read_all();
+        let guards = self.read_healthy().0;
         let mut k = k;
-        for shard in &guards {
+        for (_, shard) in &guards {
             let c = shard.index.count();
             if k < c {
                 return shard.index.answer(k);
@@ -664,6 +1140,24 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
             k -= c;
         }
         None
+    }
+
+    /// [`ShardedEngine::answer`] with explicit completeness: a degraded
+    /// result means the rank space omits the listed quarantined shards.
+    #[allow(clippy::type_complexity)]
+    pub fn try_answer(&self, k: u64) -> Result<Served<Option<Vec<Elem>>>, ServeError> {
+        let (guards, missing) = self.read_healthy();
+        let mut k = k;
+        let mut found = None;
+        for (_, shard) in &guards {
+            let c = shard.index.count();
+            if k < c {
+                found = shard.index.answer(k);
+                break;
+            }
+            k -= c;
+        }
+        self.serve(found, missing)
     }
 
     /// Answers of global ranks `k … k+len-1` (clipped at the end): one
@@ -675,12 +1169,12 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
         if len == 0 {
             return out;
         }
-        let guards = self.read_all();
+        let guards = self.read_healthy().0;
         // prefix table: skip whole shards below rank k
         let mut k = k;
         let mut s = 0;
         while s < guards.len() {
-            let c = guards[s].index.count();
+            let c = guards[s].1.index.count();
             if k < c {
                 break;
             }
@@ -688,7 +1182,7 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
             s += 1;
         }
         while s < guards.len() && out.len() < len {
-            let mut it = guards[s].index.iter();
+            let mut it = guards[s].1.index.iter();
             if let Some(first) = it.seek(k) {
                 out.push(first);
                 while out.len() < len {
@@ -704,17 +1198,32 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
         out
     }
 
+    /// [`ShardedEngine::answer_range`] with explicit completeness.
+    #[allow(clippy::type_complexity)]
+    pub fn try_answer_range(
+        &self,
+        k: u64,
+        len: usize,
+    ) -> Result<Served<Vec<Vec<Elem>>>, ServeError> {
+        let missing = self.quarantined_shards();
+        if !missing.is_empty() && self.serve_strict.load(Ordering::Acquire) {
+            return Err(ServeError::ShardUnavailable { shards: missing });
+        }
+        let page = self.answer_range(k, len);
+        self.serve(page, missing)
+    }
+
     /// A uniformly random answer derived from `rng_seed` (deterministic
     /// per seed), or `None` if the answer set is empty — one rank
     /// descent, no enumeration, under one consistent snapshot.
     pub fn sample(&self, rng_seed: u64) -> Option<Vec<Elem>> {
-        let guards = self.read_all();
-        let total: u64 = guards.iter().map(|s| s.index.count()).sum();
+        let guards = self.read_healthy().0;
+        let total: u64 = guards.iter().map(|(_, s)| s.index.count()).sum();
         if total == 0 {
             return None;
         }
         let mut k = ((crate::answers::splitmix64(rng_seed) as u128 * total as u128) >> 64) as u64;
-        for shard in &guards {
+        for (_, shard) in &guards {
             let c = shard.index.count();
             if k < c {
                 return shard.index.answer(k);
@@ -731,8 +1240,8 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
     /// snapshot, and the order is exactly the one
     /// [`ShardedEngine::answer`] indexes.
     pub fn for_each_answer(&self, mut f: impl FnMut(&[Elem])) {
-        let guards = self.read_all();
-        for shard in &guards {
+        let guards = self.read_healthy().0;
+        for (_, shard) in &guards {
             let mut it = shard.index.iter();
             while let Some(t) = it.next() {
                 f(&t);
@@ -748,6 +1257,21 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
         out
     }
 
+    /// [`ShardedEngine::collect_answers`] with explicit completeness: a
+    /// degraded stream covers only the healthy shards' rank intervals.
+    #[allow(clippy::type_complexity)]
+    pub fn try_collect_answers(&self) -> Result<Served<Vec<Vec<Elem>>>, ServeError> {
+        let (guards, missing) = self.read_healthy();
+        let mut out = Vec::new();
+        for (_, shard) in &guards {
+            let mut it = shard.index.iter();
+            while let Some(t) = it.next() {
+                out.push(t.to_vec());
+            }
+        }
+        self.serve(out, missing)
+    }
+
     /// All answers merged into one globally ordered stream: a thin
     /// collect wrapper over the streaming merge of
     /// [`ShardedEngine::for_each_answer`] (the shards partition the
@@ -760,6 +1284,111 @@ impl<S: Semiring, P: PermMaint<S>> ShardedEngine<S, P> {
     /// every answer — the OOM risk this method used to carry.
     pub fn enumerate_merged(&self) -> Vec<Vec<Elem>> {
         self.collect_answers()
+    }
+
+    // ----- fault management ---------------------------------------------
+
+    /// The shard that owns `tuple` under the Gaifman-component routing,
+    /// or `None` when the tuple's elements are not all known to one
+    /// component (operators use this to direct
+    /// [`ShardedEngine::restore`][`crate::shard`]-style repairs).
+    pub fn owning_shard(&self, tuple: &[Elem]) -> Option<usize> {
+        match self.route(tuple) {
+            Route::Shard(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Manually quarantine shard `s` (e.g. after an external integrity
+    /// alarm). Idempotent; out-of-range ids are ignored.
+    pub fn quarantine_shard(&self, s: usize) {
+        if let Some(cell) = self.shards.get(s) {
+            cell.quarantined.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether shard `s` is currently quarantined.
+    pub fn is_quarantined(&self, s: usize) -> bool {
+        self.shards
+            .get(s)
+            .is_some_and(|cell| cell.quarantined.load(Ordering::Acquire))
+    }
+
+    /// Ids of every currently quarantined shard, ascending.
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        (0..self.shards.len())
+            .filter(|&s| self.shards[s].quarantined.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Replace shard `s` with a freshly rebuilt engine + index and lift
+    /// its quarantine. This is the re-admission half of recovery: the
+    /// caller (normally `agq_persist::restore_quarantined_shard`)
+    /// rebuilds the state from a snapshot plus WAL replay and hands it
+    /// over here. Clears lock poison left by the panic that triggered
+    /// the quarantine.
+    pub fn install_shard(
+        &self,
+        s: usize,
+        engine: QueryEngine<S, P>,
+        index: AnswerIndex,
+    ) -> Result<(), &'static str> {
+        let cell = self.shards.get(s).ok_or("shard id out of range")?;
+        // A poisoned lock is expected here (the quarantine was likely
+        // caused by a worker panicking mid-write); the old state is
+        // discarded wholesale, so recovering the guard is sound.
+        let mut guard = cell.lock.write().unwrap_or_else(PoisonError::into_inner);
+        *guard = Shard { engine, index };
+        drop(guard);
+        cell.quarantined.store(false, Ordering::Release);
+        Ok(())
+    }
+
+    /// A point-in-time health summary for operators and tests.
+    pub fn health(&self) -> HealthReport {
+        let wal = self.lock_wal();
+        HealthReport {
+            shards: self.shards.len(),
+            quarantined: self.quarantined_shards(),
+            wal_attached: wal.sink.is_some(),
+            wal_degraded: wal.degraded,
+            last_lsn: wal.last_lsn,
+        }
+    }
+
+    /// Deep invariant verification over every **healthy** shard: each
+    /// shard's enumeration structures are checked for internal
+    /// consistency ([`AnswerIndex::self_check`]), output arities must
+    /// agree across shards, and the WAL position must not have moved
+    /// backwards past the floor pinned at construction/restore time.
+    /// Returns the quarantined shard ids that were skipped, or the first
+    /// violation found.
+    pub fn self_check(&self) -> Result<Vec<usize>, String> {
+        let (guards, missing) = self.read_healthy();
+        let mut arity = None;
+        for (s, shard) in &guards {
+            shard
+                .index
+                .self_check()
+                .map_err(|e| format!("shard {s}: {e}"))?;
+            let a = shard.index.arity();
+            match arity {
+                None => arity = Some(a),
+                Some(prev) if prev != a => {
+                    return Err(format!("shard {s}: output arity {a} disagrees with {prev}"));
+                }
+                Some(_) => {}
+            }
+        }
+        drop(guards);
+        let lsn = self.last_lsn();
+        let floor = self.lsn_floor.load(Ordering::Acquire);
+        if lsn < floor {
+            return Err(format!(
+                "WAL position moved backwards: last_lsn {lsn} < floor {floor}"
+            ));
+        }
+        Ok(missing)
     }
 }
 

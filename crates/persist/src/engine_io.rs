@@ -11,8 +11,10 @@ use crate::snapshot::{self, ShardingMeta, SnapshotBundle};
 use crate::value::PersistValue;
 use crate::wal::{self, FileWal};
 use agq_circuit::PermMaint;
-use agq_core::QueryEngine;
-use agq_enumerate::{AnswerIndex, EnumMachine, EnumQueryEngine, ShardStateDump, ShardedEngine};
+use agq_core::{QueryEngine, TupleUpdate};
+use agq_enumerate::{
+    AnswerIndex, EnumMachine, EnumQueryEngine, ServeError, ShardStateDump, ShardedEngine,
+};
 use agq_semiring::Semiring;
 use std::io::Write;
 use std::path::Path;
@@ -167,6 +169,7 @@ where
     S: Semiring + PersistValue,
     P: PermMaint<S>,
 {
+    agq_core::fault::io_point("snapshot.save")?;
     let eval = engine.query_engine().evaluator();
     let bundle = SnapshotBundle {
         last_lsn: engine.last_lsn(),
@@ -191,7 +194,13 @@ where
     S: Semiring + PersistValue,
     P: PermMaint<S>,
 {
-    let (last_lsn, shards) = engine.snapshot_states();
+    agq_core::fault::io_point("snapshot.save")?;
+    let (last_lsn, shards) =
+        engine
+            .snapshot_states()
+            .map_err(|ServeError::ShardUnavailable { shards }| {
+                PersistError::ShardsUnavailable(shards)
+            })?;
     let bundle = SnapshotBundle {
         last_lsn,
         sharding: Some(ShardingMeta {
@@ -394,6 +403,114 @@ where
     })?;
     engine.set_last_lsn(snapshot_lsn.max(wal_last));
     Ok((engine, report))
+}
+
+/// Re-hydrate one quarantined shard of a **live** sharded engine and
+/// lift its quarantine, without restarting the process or touching the
+/// healthy shards.
+///
+/// The shard's state is rebuilt from the `.agqsnap` file, then rolled
+/// forward through every committed WAL batch sequenced after the
+/// snapshot — filtered to the updates this shard owns. Because the
+/// engine journals write-ahead (a batch is durable before it is
+/// applied), this replay also completes the batch whose mid-apply panic
+/// caused the quarantine: the rebuilt shard converges to exactly the
+/// state it would hold had the panic never happened. The shared
+/// immutable plan is borrowed from a healthy shard (every shard
+/// references the same `Arc`s), so no `.agqplan` file is needed.
+///
+/// The rebuilt state must pass [`AnswerIndex::self_check`] before it is
+/// installed; on any error the live engine is left untouched (the shard
+/// stays quarantined).
+pub fn restore_quarantined_shard<S, P>(
+    engine: &ShardedEngine<S, P>,
+    shard: usize,
+    snap_path: impl AsRef<Path>,
+    wal_path: impl AsRef<Path>,
+) -> Result<RecoveryReport, PersistError>
+where
+    S: Semiring + PersistValue,
+    P: PermMaint<S>,
+{
+    let plan = engine
+        .with_healthy_shard(|qe, index| {
+            (
+                Arc::clone(qe.compiled_arc()),
+                Arc::clone(qe.plan()),
+                Arc::clone(index.machine().plan()),
+                Arc::clone(index.slot_registry()),
+                Arc::clone(index.generator_weights_arc()),
+                Arc::clone(index.signature()),
+                index.domain_size(),
+                index.is_dynamic(),
+            )
+        })
+        .ok_or(PersistError::Corrupt(
+            "no healthy shard to source the shared plan from; use recover_sharded instead",
+        ))?;
+    let (compiled, eval_plan, enum_plan, enum_slots, gen_weights, sig, domain_size, dynamic) = plan;
+
+    let body = read_artifact(snap_path, SNAP_MAGIC, S::TAG)?;
+    let snap = snapshot::read_snapshot::<S>(&body)?;
+    if snap.sharding.is_none() {
+        return Err(PersistError::Corrupt(
+            "snapshot is unsharded; it cannot restore a shard of a sharded engine",
+        ));
+    }
+    let snapshot_lsn = snap.last_lsn;
+    let dump = snap
+        .shards
+        .into_iter()
+        .nth(shard)
+        .ok_or(PersistError::Corrupt(
+            "snapshot has fewer shards than the live engine",
+        ))?;
+
+    let mut qe: QueryEngine<S, P> =
+        QueryEngine::from_saved(compiled, eval_plan, dump.slot_values, dump.gate_values)?;
+    let machine =
+        EnumMachine::from_saved(enum_plan, dump.machine).map_err(PersistError::Corrupt)?;
+    let mut index = AnswerIndex::from_saved_parts(
+        machine,
+        enum_slots,
+        engine.arity(),
+        dynamic,
+        gen_weights,
+        sig,
+        domain_size,
+    );
+
+    let scan = wal::scan_wal(wal_path)?;
+    let mut replayed = 0usize;
+    let mut report = replay_batches(scan, snapshot_lsn, |batch| {
+        // The journaled batch is already coalesced and grouped by
+        // shard, so this shard's subsequence is exactly the group the
+        // live engine applied (or would have applied) — replaying it
+        // through the same batched path reproduces the enumeration
+        // structures byte for byte (their internal order is
+        // update-history-dependent).
+        let group: Vec<&TupleUpdate> = batch
+            .updates
+            .iter()
+            .filter(|u| engine.owning_shard(&u.tuple) == Some(shard))
+            .collect();
+        if group.is_empty() {
+            return Ok(());
+        }
+        index.apply_batch_coalesced(&group)?;
+        qe.apply_batch_coalesced(&group);
+        replayed += group.len();
+        Ok(())
+    })?;
+    // `replay_batches` counts whole batches; this restore only applied
+    // the updates the shard owns.
+    report.updates_replayed = replayed;
+
+    index.self_check().map_err(PersistError::Invariant)?;
+    engine
+        .install_shard(shard, qe, index)
+        .map_err(PersistError::Corrupt)?;
+    Ok(report)
 }
 
 /// Open (or create) the WAL at `path` for appending — truncating any

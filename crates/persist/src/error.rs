@@ -47,6 +47,14 @@ pub enum PersistError {
     /// was valid when logged no longer is — e.g. the artifacts come from
     /// different databases).
     Replay(UpdateError),
+    /// A whole-engine snapshot was requested while the listed shards
+    /// were quarantined — the dump would silently omit their state.
+    /// Restore them first (see `restore_quarantined_shard`).
+    ShardsUnavailable(Vec<usize>),
+    /// A restored engine or shard failed its deep invariant
+    /// verification (`self_check`); the rebuilt state was **not**
+    /// installed.
+    Invariant(String),
 }
 
 impl fmt::Display for PersistError {
@@ -71,6 +79,13 @@ impl fmt::Display for PersistError {
             PersistError::Corrupt(msg) => write!(f, "corrupt artifact: {msg}"),
             PersistError::Parts(e) => write!(f, "plan/state mismatch: {e}"),
             PersistError::Replay(e) => write!(f, "WAL replay rejected: {e}"),
+            PersistError::ShardsUnavailable(shards) => {
+                write!(
+                    f,
+                    "shards quarantined, snapshot would be incomplete: {shards:?}"
+                )
+            }
+            PersistError::Invariant(msg) => write!(f, "invariant violation: {msg}"),
         }
     }
 }

@@ -65,17 +65,27 @@
 //!
 //! # LSN semantics
 //!
-//! Every successfully applied update batch bumps the owning engine's
+//! Every successfully journaled update batch bumps the owning engine's
 //! **log sequence number**, whether or not a WAL sink is attached, so
 //! snapshots are always sequenced. A snapshot records the LSN it is
 //! current through; a WAL commit marker records the LSN of its batch.
-//! The engines append to the WAL *after* applying (commit-log order,
-//! under the same locks that ordered the apply), so the log never
-//! contains a batch the engine had not applied; a crash between apply
-//! and append loses at most that final batch. Recovery replays exactly
-//! the committed batches with `snapshot LSN < batch LSN`, skips
-//! non-monotonic duplicates, discards torn or corrupt tails, and
-//! reports all of it in a [`RecoveryReport`].
+//! The engines journal **write-ahead**: the batch is appended under
+//! the same locks that order the apply, *before* the in-memory apply,
+//! and the LSN advances only if the append succeeds (or the engine's
+//! `DurabilityPolicy` is fail-open, which flags `wal_degraded`
+//! instead). A failed fail-stop append rejects the batch with nothing
+//! applied and the LSN unmoved — no gap, no divergence. The log may
+//! therefore briefly contain a batch the engine had not finished
+//! applying (a crash in that window is healed by replay, which is
+//! idempotent from the snapshot LSN); it never *misses* a batch the
+//! engine applied. Recovery replays exactly the committed batches with
+//! `snapshot LSN < batch LSN`, skips non-monotonic duplicates,
+//! discards torn or corrupt tails, and reports all of it in a
+//! [`RecoveryReport`]. The same machinery restores a single
+//! quarantined shard in place ([`restore_quarantined_shard`]): its
+//! snapshot partition is reloaded and the WAL's shard-owned
+//! subsequences are replayed through the batched apply path, so the
+//! restored shard is byte-identical to one that never faulted.
 
 pub mod codec;
 pub mod crc32;
@@ -88,8 +98,9 @@ pub mod wal;
 
 pub use engine_io::{
     attach_file_wal, attach_sharded_file_wal, load_engine, load_plan, load_sharded, recover_engine,
-    recover_sharded, save_engine, save_plan, save_sharded, save_sharded_plan,
-    save_sharded_snapshot, save_snapshot, SaveStats, FORMAT_VERSION, PLAN_MAGIC, SNAP_MAGIC,
+    recover_sharded, restore_quarantined_shard, save_engine, save_plan, save_sharded,
+    save_sharded_plan, save_sharded_snapshot, save_snapshot, SaveStats, FORMAT_VERSION, PLAN_MAGIC,
+    SNAP_MAGIC,
 };
 pub use error::{PersistError, RecoveryReport};
 pub use plan::LoadedPlan;

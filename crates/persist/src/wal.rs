@@ -27,10 +27,16 @@
 //! last committed marker — a half-written record, updates with no
 //! marker, a CRC failure — is the **tail**, and recovery discards it
 //! (reported via [`RecoveryReport`]'s `torn_tail`/`corrupt_tail` and
-//! `truncated_at`). Because the engines append a batch only *after*
-//! applying it (commit-log order), discarding the tail never loses a
-//! batch an engine had not already applied at crash time; it only
-//! forgets the final in-flight append.
+//! `truncated_at`). The engines journal **write-ahead**: a batch is
+//! appended (and fsync-flushed per the engine's `DurabilityPolicy`)
+//! under the same locks that order the apply, *before* the in-memory
+//! apply runs, and the LSN advances only once the append succeeds (or
+//! the policy is fail-open). Discarding a torn tail therefore only
+//! forgets a batch whose append never completed — one the engine
+//! either rejected (fail-stop, nothing applied) or at worst applied
+//! without durability in the crash window; replaying the committed
+//! prefix plus quarantine-restore covers the rest (see
+//! `engine_io::restore_quarantined_shard`).
 
 use crate::codec::{ByteReader, ByteWriter};
 use crate::crc32::crc32;

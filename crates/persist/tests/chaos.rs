@@ -1,0 +1,481 @@
+//! Deterministic chaos suite (requires `--features failpoints`): seeded
+//! fault schedules — WAL append errors, mid-apply panics, worker delays
+//! — are injected into a live sharded engine while it serves queries and
+//! absorbs update batches. The suite asserts the fault contract end to
+//! end:
+//!
+//! - no panic ever crosses the facade (every outcome is a typed `Err`),
+//! - healthy shards keep serving correct answers throughout,
+//! - a quarantined shard restored from snapshot + WAL replay
+//!   ([`restore_quarantined_shard`]) converges **byte-identically** to a
+//!   reference engine that never saw a fault, and
+//! - `self_check` passes on the restored engine.
+//!
+//! Differential bookkeeping: the reference engine applies exactly the
+//! batches the chaos engine made durable — `Ok(_)` and
+//! `Err(ShardPanicked)` batches (journaled write-ahead, so the panic'd
+//! batch is completed by restore replay), but not `Err(Wal)` fail-stop
+//! rejections or `Err(ShardUnavailable)` post-quarantine rejections
+//! (rejected before journaling, nothing applied anywhere).
+#![cfg(feature = "failpoints")]
+
+use agq_circuit::{FiniteMaint, PermMaint, RingMaint};
+use agq_core::fault::{self, FaultSpec, Trigger};
+use agq_core::{CompileOptions, DurabilityPolicy, TupleUpdate, WalFailure};
+use agq_enumerate::{ShardedEngine, UpdateError};
+use agq_logic::{Formula, Var};
+use agq_perm::SegTreePerm;
+use agq_persist::codec::ByteWriter;
+use agq_persist::{
+    attach_sharded_file_wal, recover_sharded, restore_quarantined_shard, save_sharded,
+    PersistError, PersistValue,
+};
+use agq_semiring::{Bool, Int, Semiring, F64};
+use agq_structure::{RelId, Signature, Structure};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// The fail-point registry is process-global: chaos tests must not
+/// overlap. (A panicking test poisons the mutex; later tests don't
+/// care, they reconfigure from scratch.)
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Silence the default panic hook while injected panics are expected;
+/// restores the previous hook on drop. Only used under `serial()`.
+struct QuietPanics;
+impl QuietPanics {
+    fn new() -> Self {
+        // Injected panics are routine here — silence them; anything
+        // else (a real assertion failure) still reports.
+        std::panic::set_hook(Box::new(|info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("failpoint") {
+                eprintln!("{info}");
+            }
+        }));
+        QuietPanics
+    }
+}
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        // The hook cannot be swapped from a panicking thread (and a
+        // panic here would abort the process mid-unwind).
+        if !std::thread::panicking() {
+            let _ = std::panic::take_hook();
+        }
+    }
+}
+
+fn scratch(label: &str) -> (PathBuf, PathBuf, PathBuf) {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let id = SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("agq_chaos_{}_{}_{}", std::process::id(), label, id));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    (
+        dir.join("q.agqplan"),
+        dir.join("q.agqsnap"),
+        dir.join("wal.agqlog"),
+    )
+}
+
+fn value_bytes<S: PersistValue>(v: &S) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    v.write_value(&mut w);
+    w.into_bytes()
+}
+
+struct World {
+    shadow: Structure,
+    e: RelId,
+    s: RelId,
+    phi: Formula,
+    e_tuples: Vec<[u32; 2]>,
+    n: u32,
+}
+
+/// Multi-component world: `E` edges spread over several Gaifman
+/// components (so there are healthy shards left to serve when one is
+/// quarantined), `S` unary marks, φ = E(x,y) ∧ S(x).
+fn world(n: usize, edges: &[(u32, u32)]) -> Option<World> {
+    let mut sig = Signature::new();
+    let e = sig.add_relation("E", 2);
+    let s = sig.add_relation("S", 1);
+    let mut a = Structure::new(Arc::new(sig), n);
+    for &(u, v) in edges {
+        let (u, v) = (u % n as u32, v % n as u32);
+        if u != v {
+            a.insert(e, &[u, v]);
+        }
+    }
+    for v in 0..n as u32 / 2 {
+        a.insert(s, &[v]);
+    }
+    let e_tuples: Vec<[u32; 2]> = a
+        .relation(e)
+        .iter()
+        .map(|t| [t.as_slice()[0], t.as_slice()[1]])
+        .collect();
+    if e_tuples.is_empty() {
+        return None;
+    }
+    let (x, y) = (Var(0), Var(1));
+    let phi = Formula::Rel(e, vec![x, y]).and(Formula::Rel(s, vec![x]));
+    Some(World {
+        shadow: a,
+        e,
+        s,
+        phi,
+        e_tuples,
+        n: n as u32,
+    })
+}
+
+fn resolve_step(w: &World, kind: u32, pick: u32, present: bool) -> TupleUpdate {
+    if kind.is_multiple_of(2) {
+        TupleUpdate {
+            rel: w.s,
+            tuple: vec![pick % w.n],
+            present,
+        }
+    } else {
+        let t = w.e_tuples[pick as usize % w.e_tuples.len()];
+        let t = if kind % 4 == 1 { t } else { [t[1], t[0]] };
+        TupleUpdate {
+            rel: w.e,
+            tuple: t.to_vec(),
+            present,
+        }
+    }
+}
+
+/// Assert the chaos engine and the never-faulted reference are
+/// byte-identical: count, the full answer stream, direct access, and
+/// every point query.
+fn assert_equivalent<S, P>(
+    chaos: &ShardedEngine<S, P>,
+    reference: &ShardedEngine<S, P>,
+    n: u32,
+    label: &str,
+) where
+    S: Semiring + PersistValue + Send + Sync,
+    P: PermMaint<S> + Send + Sync,
+{
+    assert_eq!(chaos.count(), reference.count(), "{label}: count");
+    assert_eq!(
+        chaos.collect_answers(),
+        reference.collect_answers(),
+        "{label}: answer stream"
+    );
+    for k in 0..reference.count() {
+        assert_eq!(chaos.answer(k), reference.answer(k), "{label}: answer({k})");
+    }
+    for a in 0..n {
+        for b in 0..n {
+            let t = [a, b];
+            assert_eq!(
+                value_bytes(&chaos.query(&t)),
+                value_bytes(&reference.query(&t)),
+                "{label}: query({t:?}) not byte-identical"
+            );
+        }
+    }
+}
+
+/// Drive one backend through a scripted fault run and verify
+/// quarantine → restore → byte-identical convergence.
+fn run_chaos<S, P>(w: World, steps: &[(u32, u32, bool)], seed: u64, panic_hit: u64, label: &str)
+where
+    S: Semiring + PersistValue + Send + Sync,
+    P: PermMaint<S> + Send + Sync,
+{
+    let opts = CompileOptions::default();
+    let arc = Arc::new(w.shadow.clone());
+    let chaos: ShardedEngine<S, P> =
+        ShardedEngine::build(&arc, &w.phi, &opts, 4).expect("chaos build");
+
+    // Snapshot the pristine state, then journal everything: the
+    // snapshot + WAL pair is what restores a quarantined shard.
+    let (plan_path, snap_path, wal_path) = scratch(label);
+    save_sharded(&chaos, &plan_path, &snap_path).expect("save pristine");
+    attach_sharded_file_wal(&chaos, &wal_path).expect("attach wal");
+    chaos.set_durability(DurabilityPolicy {
+        attempts: 2,
+        backoff: Duration::ZERO,
+        on_failure: WalFailure::FailStop,
+    });
+
+    // Scripted schedule, a pure function of the proptest inputs:
+    // seeded WAL append errors, one mid-apply panic, periodic worker
+    // delays.
+    fault::clear_all();
+    fault::configure(
+        "wal.append",
+        FaultSpec::error(Trigger::Seeded {
+            seed,
+            per_mille: 250,
+        }),
+    );
+    fault::configure("shard.apply", FaultSpec::panic(Trigger::Nth(panic_hit)));
+    fault::configure("batch.worker", FaultSpec::delay_ms(1, Trigger::Every(5)));
+
+    let _quiet = QuietPanics::new();
+    let updates: Vec<TupleUpdate> = steps
+        .iter()
+        .map(|&(kind, pick, present)| resolve_step(&w, kind, pick, present))
+        .collect();
+    // Shadow of the durable relation contents, for mid-chaos serving
+    // checks on healthy shards. (The reference engine is replayed only
+    // *after* the run: fail points are process-global, so a live
+    // reference would trip them too.)
+    let mut e_set: std::collections::HashSet<[u32; 2]> = w.e_tuples.iter().copied().collect();
+    let mut s_set: std::collections::HashSet<u32> = (0..w.n / 2).collect();
+    let mut durable: Vec<Vec<TupleUpdate>> = Vec::new();
+    for chunk in updates.chunks(3) {
+        match chaos.apply_batch(chunk) {
+            // Applied (or journaled then panic'd mid-apply): the batch
+            // is durable, the reference will apply it in full.
+            Ok(_) | Err(UpdateError::ShardPanicked { .. }) => {
+                durable.push(chunk.to_vec());
+                for u in chunk {
+                    if u.rel == w.e {
+                        let t = [u.tuple[0], u.tuple[1]];
+                        if u.present {
+                            e_set.insert(t);
+                        } else {
+                            e_set.remove(&t);
+                        }
+                    } else if u.present {
+                        s_set.insert(u.tuple[0]);
+                    } else {
+                        s_set.remove(&u.tuple[0]);
+                    }
+                }
+            }
+            // Rejected before anything was journaled or applied.
+            Err(UpdateError::Wal(_)) | Err(UpdateError::ShardUnavailable { .. }) => {}
+            Err(e) => panic!("{label}: unexpected batch outcome {e}"),
+        }
+        // Healthy shards keep serving mid-chaos: φ = E(x,y) ∧ S(x), so
+        // the expected indicator value falls out of the shadow sets.
+        let quarantined = chaos.quarantined_shards();
+        for t in w.e_tuples.iter().take(4) {
+            let tup = [t[0], t[1]];
+            if chaos
+                .owning_shard(&tup)
+                .is_some_and(|s| !quarantined.contains(&s))
+            {
+                let expect = if e_set.contains(&tup) && s_set.contains(&tup[0]) {
+                    S::one()
+                } else {
+                    S::zero()
+                };
+                assert_eq!(
+                    value_bytes(&chaos.query(&tup)),
+                    value_bytes(&expect),
+                    "{label}: healthy shard disagreed mid-chaos on {tup:?}"
+                );
+            }
+        }
+    }
+    drop(_quiet);
+    fault::clear_all();
+
+    // Replay the durable history into a fresh, never-faulted reference.
+    let reference: ShardedEngine<S, P> =
+        ShardedEngine::build(&arc, &w.phi, &opts, 0).expect("reference build");
+    for chunk in &durable {
+        reference.apply_batch(chunk).expect("reference apply");
+    }
+
+    // The chaos engine journaled exactly the batches the reference
+    // applied (its WAL-less LSN is just its applied-batch count), so
+    // the LSNs must line up batch for batch.
+    assert_eq!(
+        chaos.last_lsn(),
+        reference.last_lsn(),
+        "{label}: lsn tracks journaled batches"
+    );
+
+    // Restore every quarantined shard from snapshot + WAL replay.
+    let quarantined = chaos.quarantined_shards();
+    chaos.detach_wal();
+    if quarantined.len() == chaos.num_shards() {
+        // Every shard went down: in-process restore borrows the shared
+        // plan from a healthy peer, so with none left the documented
+        // path is a full `recover_sharded` restart. Verify *that*
+        // converges to the reference instead.
+        let (recovered, _report) =
+            recover_sharded::<S, P>(&plan_path, &snap_path, &wal_path).expect("full recovery");
+        assert_eq!(
+            recovered.self_check().expect("self_check"),
+            Vec::<usize>::new()
+        );
+        assert_equivalent(&recovered, &reference, w.n, label);
+        return;
+    }
+    for s in quarantined {
+        restore_quarantined_shard(&chaos, s, &snap_path, &wal_path)
+            .unwrap_or_else(|e| panic!("{label}: restore shard {s}: {e}"));
+        assert!(!chaos.is_quarantined(s), "{label}: quarantine lifted");
+    }
+    assert!(chaos.quarantined_shards().is_empty());
+    assert_eq!(
+        chaos.self_check().expect("self_check after restore"),
+        Vec::<usize>::new(),
+        "{label}: no shard skipped"
+    );
+    assert_equivalent(&chaos, &reference, w.n, label);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Seeded chaos on all three maintenance backends.
+    #[test]
+    fn chaos_quarantine_restore_is_byte_identical(
+        n in 8usize..13,
+        edges in pvec((0u32..16, 0u32..16), 8..18),
+        steps in pvec((0u32..4, 0u32..64, any::<bool>()), 6..16),
+        seed in 0u64..u64::MAX,
+        panic_hit in 1u64..12,
+    ) {
+        let _gate = serial();
+        if world(n, &edges).is_none() { return; }
+        run_chaos::<F64, SegTreePerm<F64>>(
+            world(n, &edges).unwrap(), &steps, seed, panic_hit, "general-f64");
+        run_chaos::<Int, RingMaint<Int>>(
+            world(n, &edges).unwrap(), &steps, seed, panic_hit, "ring-int");
+        run_chaos::<Bool, FiniteMaint<Bool>>(
+            world(n, &edges).unwrap(), &steps, seed, panic_hit, "finite-bool");
+    }
+}
+
+/// The acceptance scenario, fully deterministic: a WAL I/O error burst
+/// that exhausts the retry budget (fail-stop rejection, LSN pinned)
+/// followed by one worker panic (quarantine), with healthy shards
+/// serving throughout, then restore + self_check + byte-identity.
+#[test]
+fn acceptance_wal_burst_then_worker_panic() {
+    let _gate = serial();
+    let w = world(10, &[(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (7, 8)]).unwrap();
+    let opts = CompileOptions::default();
+    let arc = Arc::new(w.shadow.clone());
+    let chaos: ShardedEngine<Int, RingMaint<Int>> =
+        ShardedEngine::build(&arc, &w.phi, &opts, 4).unwrap();
+    let reference: ShardedEngine<Int, RingMaint<Int>> =
+        ShardedEngine::build(&arc, &w.phi, &opts, 0).unwrap();
+
+    let (plan_path, snap_path, wal_path) = scratch("acceptance");
+    save_sharded(&chaos, &plan_path, &snap_path).unwrap();
+    attach_sharded_file_wal(&chaos, &wal_path).unwrap();
+    chaos.set_durability(DurabilityPolicy {
+        attempts: 2,
+        backoff: Duration::ZERO,
+        on_failure: WalFailure::FailStop,
+    });
+
+    fault::clear_all();
+    // Batch 1 appends on hit 1. Batch 2 hits 2 and (retry) 3 — both
+    // error: the retry budget is exhausted, the batch is rejected
+    // fail-stop. Batch 3 appends on hit 4.
+    fault::configure("wal.append", FaultSpec::error(Trigger::Range(2, 3)));
+
+    let b1 = [resolve_step(&w, 1, 0, false)]; // remove an E tuple
+    let b2 = [resolve_step(&w, 1, 1, false)];
+    chaos.apply_batch(&b1).unwrap();
+    reference.apply_batch(&b1).unwrap();
+    assert_eq!(chaos.last_lsn(), 1);
+
+    let err = chaos.apply_batch(&b2).unwrap_err();
+    assert!(matches!(err, UpdateError::Wal(_)), "fail-stop rejection");
+    assert_eq!(chaos.last_lsn(), 1, "LSN pinned on rejection");
+    assert_equivalent(&chaos, &reference, w.n, "after wal burst");
+
+    // Re-submit: the burst is over, the batch lands under LSN 2 with no
+    // gap — and the earlier rejection left no trace in the log.
+    chaos.apply_batch(&b2).unwrap();
+    reference.apply_batch(&b2).unwrap();
+    assert_eq!(chaos.last_lsn(), 2);
+
+    // One worker panic on the next apply: the batch is journaled
+    // (LSN 3), the owning shard is quarantined, no panic escapes. The
+    // site's hit counter is global, so aim one past what the earlier
+    // batches consumed.
+    fault::configure(
+        "shard.apply",
+        FaultSpec::panic(Trigger::Nth(fault::hit_count("shard.apply") + 1)),
+    );
+    let b3 = [resolve_step(&w, 1, 2, false)];
+    let quiet = QuietPanics::new();
+    let err = chaos.apply_batch(&b3).unwrap_err();
+    drop(quiet);
+    fault::clear_all();
+    let UpdateError::ShardPanicked { shards } = err else {
+        panic!("expected ShardPanicked, got {err}");
+    };
+    assert_eq!(chaos.last_lsn(), 3, "panic'd batch was journaled first");
+    assert_eq!(chaos.quarantined_shards(), shards);
+    // The reference applies the journaled batch: restore replay will
+    // complete it on the chaos side.
+    reference.apply_batch(&b3).unwrap();
+
+    // Healthy shards keep serving; the facade stays panic-free.
+    for t in &w.e_tuples {
+        let tup = [t[0], t[1]];
+        if chaos
+            .owning_shard(&tup)
+            .is_some_and(|s| !shards.contains(&s))
+        {
+            assert_eq!(
+                value_bytes(&chaos.query(&tup)),
+                value_bytes(&reference.query(&tup)),
+                "healthy shard serves correctly during quarantine"
+            );
+        }
+    }
+    assert_eq!(chaos.self_check().unwrap(), shards, "skips quarantined");
+
+    // Restore from snapshot + WAL replay, then full byte-identity.
+    chaos.detach_wal();
+    for &s in &shards {
+        let report = restore_quarantined_shard(&chaos, s, &snap_path, &wal_path).unwrap();
+        assert_eq!(report.batches_replayed, 3, "whole journaled history");
+    }
+    assert!(chaos.quarantined_shards().is_empty());
+    assert_eq!(chaos.self_check().unwrap(), Vec::<usize>::new());
+    assert_equivalent(&chaos, &reference, w.n, "after restore");
+}
+
+/// An injected I/O error on the snapshot path surfaces as a typed
+/// `PersistError::Io`, with no artifact corruption semantics.
+#[test]
+fn snapshot_save_fault_is_a_typed_error() {
+    let _gate = serial();
+    let w = world(8, &[(0, 1), (2, 3), (4, 5)]).unwrap();
+    let arc = Arc::new(w.shadow.clone());
+    let eng: ShardedEngine<Bool, FiniteMaint<Bool>> =
+        ShardedEngine::build(&arc, &w.phi, &CompileOptions::default(), 0).unwrap();
+    let (plan_path, snap_path, _wal) = scratch("snapfault");
+
+    fault::clear_all();
+    fault::configure("snapshot.save", FaultSpec::error(Trigger::Nth(1)));
+    let err = save_sharded(&eng, &plan_path, &snap_path).unwrap_err();
+    assert!(matches!(err, PersistError::Io(_)));
+    fault::clear_all();
+    save_sharded(&eng, &plan_path, &snap_path).expect("clean save after fault cleared");
+}
